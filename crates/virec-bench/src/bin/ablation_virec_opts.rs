@@ -1,0 +1,100 @@
+//! Ablation of the ViReC system optimizations (§5.3), beyond the paper's
+//! figures: starting from the full ViReC design at 8 threads / 80% context,
+//! each optimization is disabled in turn:
+//!
+//! * `no_dummy`     — destination-only registers wait for real fills;
+//! * `no_pinning`   — register lines are ordinary data lines in the dcache;
+//! * `blocking_bsi` — one backing-store request at a time;
+//! * `no_branchpred`— static not-taken only;
+//! * `nsf`          — all of the above plus PLRU (the NSF baseline \[41\]).
+
+use virec_bench::harness::*;
+use virec_core::{CoreConfig, PolicyKind};
+use virec_sim::report::{f3, geomean, Table};
+use virec_workloads::suite;
+
+/// A named configuration mutation.
+type Variant = (&'static str, Box<dyn Fn(CoreConfig) -> CoreConfig>);
+
+fn main() {
+    let n = problem_size();
+    let threads = 8;
+    let variants: Vec<Variant> = vec![
+        ("full", Box::new(|c| c)),
+        (
+            "no_dummy",
+            Box::new(|mut c: CoreConfig| {
+                c.dummy_fill_opt = false;
+                c
+            }),
+        ),
+        (
+            "no_pinning",
+            Box::new(|mut c: CoreConfig| {
+                c.reg_line_pinning = false;
+                c
+            }),
+        ),
+        (
+            "blocking_bsi",
+            Box::new(|mut c: CoreConfig| {
+                c.nonblocking_bsi = false;
+                c
+            }),
+        ),
+        (
+            "no_branchpred",
+            Box::new(|mut c: CoreConfig| {
+                c.branch_pred = false;
+                c
+            }),
+        ),
+        (
+            "nsf",
+            Box::new(|mut c: CoreConfig| {
+                c.dummy_fill_opt = false;
+                c.reg_line_pinning = false;
+                c.nonblocking_bsi = false;
+                c.policy = PolicyKind::Plru;
+                c
+            }),
+        ),
+    ];
+
+    let mut t = Table::new(
+        &format!("Ablation — ViReC optimizations, 8 threads, 80% ctx, n={n}"),
+        &[
+            "workload",
+            "full",
+            "no_dummy",
+            "no_pinning",
+            "blocking_bsi",
+            "no_branchpred",
+            "nsf",
+        ],
+    );
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for w in suite(n, layout0()) {
+        let base_cfg = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
+        let full_cycles = run(base_cfg, &w).cycles as f64;
+        let mut cells = vec![w.name.to_string()];
+        for (vi, (_, f)) in variants.iter().enumerate() {
+            let cfg = f(base_cfg);
+            let r = run(cfg, &w);
+            let relative = full_cycles / r.cycles as f64; // <1 = slower than full
+            per_variant[vi].push(relative);
+            cells.push(f3(relative));
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    let mut m = Table::new(
+        "Ablation — geomean performance relative to full ViReC",
+        &["variant", "geomean"],
+    );
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        m.row(vec![name.to_string(), f3(geomean(&per_variant[vi]))]);
+    }
+    m.print();
+}

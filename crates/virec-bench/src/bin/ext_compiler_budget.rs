@@ -1,0 +1,112 @@
+//! §4.2 via the mini-compiler: sweep the register-allocation budget for a
+//! compiled gather kernel and measure the static/dynamic spill overhead
+//! against the active-context shrinkage — the trade-off the paper's
+//! compiler register reduction navigates.
+
+use virec_cc::compile;
+use virec_cc::ir::{BinOp, Cmp, Function, Operand, Stmt};
+use virec_core::{Core, CoreConfig, RegRegion};
+use virec_isa::analysis::RegisterUsage;
+use virec_isa::{FlatMem, Reg};
+use virec_mem::{Fabric, FabricConfig};
+use virec_sim::report::{f3, Table};
+
+const REGION_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x10_000;
+const FRAME_BASE: u64 = 0x8000;
+const CODE_BASE: u64 = 0x4000_0000;
+
+fn gather_ir() -> Function {
+    Function {
+        name: "gather_cc".into(),
+        params: vec![0, 1, 2, 3, 4],
+        body: vec![
+            Stmt::def_const(5, 0),
+            Stmt::def_copy(6, 3),
+            Stmt::While {
+                cond: (Operand::Temp(6), Cmp::Lt, Operand::Temp(2)),
+                body: vec![
+                    Stmt::Load {
+                        dst: 7,
+                        base: 1,
+                        index: Operand::Temp(6),
+                    },
+                    Stmt::Load {
+                        dst: 8,
+                        base: 0,
+                        index: Operand::Temp(7),
+                    },
+                    Stmt::def_bin(5, BinOp::Add, Operand::Temp(5), Operand::Temp(8)),
+                    Stmt::def_bin(6, BinOp::Add, Operand::Temp(6), Operand::Temp(4)),
+                ],
+            },
+            Stmt::Return {
+                value: Operand::Temp(5),
+            },
+        ],
+    }
+}
+
+fn main() {
+    let n: u64 = std::env::var("VIREC_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let nthreads = 8;
+    let mut t = Table::new(
+        &format!("Compiler register budget sweep — compiled gather, 8 threads, n={n}"),
+        &[
+            "budget",
+            "spilled",
+            "static_instrs",
+            "active_ctx",
+            "virec_regs",
+            "cycles",
+            "ipc",
+        ],
+    );
+    for budget in [2usize, 3, 4, 6, 8, 10, 14] {
+        let c = compile(&gather_ir(), budget).expect("compiles");
+        let active = RegisterUsage::analyze(&c.program).active_context_size();
+        // Size the ViReC RF at 100% of the *compiled* active context.
+        let phys = (active * nthreads).max(12);
+
+        let mut mem = FlatMem::new(0, 0x200_000);
+        for i in 0..n {
+            mem.write_u64(DATA_BASE + i * 8, i * 17);
+            mem.write_u64(DATA_BASE + n * 8 + i * 8, (i * 13) % n);
+        }
+        let region = RegRegion::new(REGION_BASE, nthreads);
+        for th in 0..nthreads {
+            let args = [DATA_BASE, DATA_BASE + n * 8, n, th as u64, nthreads as u64];
+            for (i, &v) in args.iter().enumerate() {
+                mem.write_u64(region.reg_addr(th, Reg::new(i as u8)), v);
+            }
+            mem.write_u64(
+                region.reg_addr(th, c.frame_reg),
+                FRAME_BASE + th as u64 * 0x100,
+            );
+        }
+        let cfg = CoreConfig::virec(nthreads, phys);
+        let mut core = Core::new(cfg, c.program.clone(), region, CODE_BASE, (0, 1));
+        let mut fabric = Fabric::new(FabricConfig::default());
+        let mut now = 0u64;
+        while !core.done() {
+            fabric.tick(now);
+            core.tick(now, &mut fabric, &mut mem);
+            now += 1;
+            assert!(now < 500_000_000);
+        }
+        core.finalize_stats();
+        t.row(vec![
+            budget.to_string(),
+            c.spilled.to_string(),
+            c.program.len().to_string(),
+            active.to_string(),
+            phys.to_string(),
+            now.to_string(),
+            f3(core.stats().ipc()),
+        ]);
+    }
+    t.print();
+}

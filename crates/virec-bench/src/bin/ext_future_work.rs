@@ -1,0 +1,80 @@
+//! Extensions beyond the paper (its stated future work, §8): group
+//! evictions and a prefetch+caching hybrid, evaluated against baseline
+//! ViReC at 8 threads across context sizes.
+
+use virec_bench::harness::*;
+use virec_core::PolicyKind;
+use virec_sim::report::{f3, geomean, Table};
+use virec_workloads::suite;
+
+fn main() {
+    let n = problem_size();
+    let threads = 8;
+    for frac in [0.8f64, 0.4] {
+        let mut t = Table::new(
+            &format!(
+                "Future-work extensions — 8 threads, {:.0}% context, n={n}",
+                frac * 100.0
+            ),
+            &[
+                "workload",
+                "baseline_cyc",
+                "group_evict2",
+                "group_evict4",
+                "switch_prefetch",
+                "both",
+            ],
+        );
+        let mut rel = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for w in suite(n, layout0()) {
+            let base_cfg = virec_cfg(&w, threads, frac, PolicyKind::Lrc);
+            let base = run(base_cfg, &w).cycles as f64;
+            let mut row = vec![w.name.to_string(), format!("{}", base as u64)];
+            let variants = [
+                {
+                    let mut c = base_cfg;
+                    c.group_evict = 2;
+                    c
+                },
+                {
+                    let mut c = base_cfg;
+                    c.group_evict = 4;
+                    c
+                },
+                {
+                    let mut c = base_cfg;
+                    c.switch_prefetch = true;
+                    c
+                },
+                {
+                    let mut c = base_cfg;
+                    c.group_evict = 2;
+                    c.switch_prefetch = true;
+                    c
+                },
+            ];
+            for (i, cfg) in variants.into_iter().enumerate() {
+                let r = run(cfg, &w);
+                let speedup = base / r.cycles as f64;
+                rel[i].push(speedup);
+                row.push(f3(speedup));
+            }
+            t.row(row);
+        }
+        t.print();
+        let mut m = Table::new(
+            &format!(
+                "Future-work extensions — geomean speedup at {:.0}% context",
+                frac * 100.0
+            ),
+            &["variant", "geomean_speedup"],
+        );
+        for (name, v) in ["group_evict2", "group_evict4", "switch_prefetch", "both"]
+            .iter()
+            .zip(&rel)
+        {
+            m.row(vec![name.to_string(), f3(geomean(v))]);
+        }
+        m.print();
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 1: performance-area trade-off for the gather kernel.
+//!
+//! Points: a single in-order core, the OoO host core, banked multithreaded
+//! cores with 4/8 banks (256/512 registers counting the FP half), and ViReC
+//! at 40–100% of the active context for 4 and 8 threads. Performance is
+//! normalized to the single in-order core; area comes from the analytic
+//! 45 nm model.
+//!
+//! Paper shape targets: OoO ≈ 5.3x InO performance at ≈19x area; banked
+//! and ViReC dominate OoO in performance/area; ViReC-100% matches banked
+//! performance at ~40% less area; ViReC degrades gracefully as the stored
+//! context shrinks.
+
+use virec_area::AreaModel;
+use virec_bench::harness::*;
+use virec_core::ooo::{run_ooo, OooConfig};
+use virec_core::{CoreConfig, PolicyKind};
+use virec_isa::FlatMem;
+use virec_sim::report::{f3, Table};
+use virec_workloads::kernels;
+
+fn main() {
+    // Figure 1 needs a footprint well past the OoO core's 1 MiB L2, or the
+    // host-processor point is unrealistically fast.
+    let n = std::env::var("VIREC_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(262_144);
+    let w = kernels::spatter::gather(n, layout0());
+    let area = AreaModel::default();
+    let mut t = Table::new(
+        &format!("Figure 1 — performance-area tradeoff, gather n={n}"),
+        &["config", "area_mm2", "cycles", "perf_norm", "perf_per_mm2"],
+    );
+
+    // Single in-order core: the normalization baseline.
+    let ino = run(CoreConfig::banked(1), &w);
+    let ino_cycles = ino.cycles as f64;
+    let mut push = |name: String, mm2: f64, cycles: f64| {
+        let perf = ino_cycles / cycles;
+        t.row(vec![
+            name,
+            f3(mm2),
+            format!("{}", cycles as u64),
+            f3(perf),
+            f3(perf / mm2),
+        ]);
+    };
+    push("inorder".into(), area.inorder_core(), ino_cycles);
+
+    // OoO host core (trace model, clock-normalized to the 1 GHz domain).
+    {
+        let mut mem = FlatMem::new(0, virec_workloads::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        let init = w.thread_ctx(0, 1);
+        let r = run_ooo(
+            &OooConfig::default(),
+            w.program(),
+            &mut mem,
+            &init,
+            200_000_000,
+        );
+        push(
+            "ooo".into(),
+            area.ooo_core(),
+            r.nmp_equivalent_cycles as f64,
+        );
+    }
+
+    for threads in [4usize, 8] {
+        let b = run(CoreConfig::banked(threads), &w);
+        push(
+            format!("banked_{threads}t"),
+            area.banked_core(threads),
+            b.cycles as f64,
+        );
+        for (label, frac) in CTX_FRACTIONS {
+            let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
+            let r = run(cfg, &w);
+            push(
+                format!("virec_{threads}t_{label}"),
+                area.virec_core(cfg.phys_regs),
+                r.cycles as f64,
+            );
+        }
+    }
+    t.print();
+}

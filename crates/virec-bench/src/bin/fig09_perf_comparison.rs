@@ -1,0 +1,99 @@
+//! Figure 9: performance of ViReC vs banked vs NSF vs RF prefetching.
+//!
+//! For every workload and 4/6/8 threads, performance is shown relative to
+//! the similarly-threaded banked core (= 1.0). ViReC is swept over 40–80%
+//! of the active context; prefetching is evaluated in full-context and
+//! oracle-exact variants; the NSF baseline \[41\] is ViReC with PLRU and no
+//! system optimizations at the 80% RF size.
+//!
+//! Paper shape targets: ViReC-80% within ~4–10% of banked (drop grows with
+//! threads); ViReC-40% within ~11–22%; full-context prefetch almost always
+//! worst; exact prefetch beats ViReC-40% but loses to ViReC-60/80%; ViReC
+//! clearly beats the NSF.
+
+use virec_bench::harness::*;
+use virec_core::{CoreConfig, PolicyKind};
+use virec_sim::report::{f3, geomean, Table};
+use virec_sim::runner::run_prefetch_exact;
+use virec_workloads::suite;
+
+fn main() {
+    let n = problem_size();
+    let threads_list = [4usize, 6, 8];
+    let mut t = Table::new(
+        &format!("Figure 9 — relative performance vs banked, n={n}"),
+        &[
+            "workload",
+            "threads",
+            "banked_cyc",
+            "virec40",
+            "virec60",
+            "virec80",
+            "nsf80",
+            "pf_full",
+            "pf_exact",
+        ],
+    );
+
+    // Collect relative performances for the mean rows.
+    let mut rel: std::collections::HashMap<(&str, usize), Vec<f64>> = Default::default();
+
+    for w in suite(n, layout0()) {
+        for &threads in &threads_list {
+            let banked = run(CoreConfig::banked(threads), &w);
+            let base = banked.cycles as f64;
+            let mut cells = vec![
+                w.name.to_string(),
+                threads.to_string(),
+                banked.cycles.to_string(),
+            ];
+            for (key, frac) in [("virec40", 0.4), ("virec60", 0.6), ("virec80", 0.8)] {
+                let cfg = virec_cfg(&w, threads, frac, PolicyKind::Lrc);
+                let r = run(cfg, &w);
+                let rp = base / r.cycles as f64;
+                rel.entry((key, threads)).or_default().push(rp);
+                cells.push(f3(rp));
+            }
+            {
+                let cfg80 = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
+                let nsf = run(CoreConfig::nsf(threads, cfg80.phys_regs), &w);
+                let rp = base / nsf.cycles as f64;
+                rel.entry(("nsf80", threads)).or_default().push(rp);
+                cells.push(f3(rp));
+            }
+            {
+                let pf = run(
+                    CoreConfig::prefetch_full(threads, w.active_context_size()),
+                    &w,
+                );
+                let rp = base / pf.cycles as f64;
+                rel.entry(("pf_full", threads)).or_default().push(rp);
+                cells.push(f3(rp));
+            }
+            {
+                let pe =
+                    run_prefetch_exact(threads, w.active_context_size(), &w, Default::default());
+                let rp = base / pe.cycles as f64;
+                rel.entry(("pf_exact", threads)).or_default().push(rp);
+                cells.push(f3(rp));
+            }
+            t.row(cells);
+        }
+    }
+    t.print();
+
+    let mut means = Table::new(
+        "Figure 9 — geomean relative performance (banked = 1.0)",
+        &["config", "4t", "6t", "8t"],
+    );
+    for key in [
+        "virec40", "virec60", "virec80", "nsf80", "pf_full", "pf_exact",
+    ] {
+        let mut row = vec![key.to_string()];
+        for &threads in &threads_list {
+            row.push(f3(geomean(&rel[&(key, threads)])));
+        }
+        means.row(row);
+    }
+    means.print();
+}

@@ -1,0 +1,80 @@
+//! Figure 10: performance-per-register trade-off for gather.
+//!
+//! Sweeps the number of scheduled threads; each thread count has points for
+//! ViReC at 40/60/80/100% context plus the banked core. Paper shape: while
+//! memory latency is not hidden (few threads), small contexts cost little —
+//! scheduling more threads with less per-thread context wins; once latency
+//! is hidden, additional context (fewer register misses) pays more than
+//! additional threads. E.g. 32 registers run 4 threads at 100% or 8 threads
+//! at 40% — with the 8-thread configuration substantially faster.
+
+use virec_bench::harness::*;
+use virec_core::{CoreConfig, PolicyKind};
+use virec_sim::report::{f3, Table};
+use virec_workloads::kernels;
+
+fn main() {
+    let n = problem_size();
+    let w = kernels::spatter::gather(n, layout0());
+    let mut t = Table::new(
+        &format!("Figure 10 — performance per register, gather n={n}"),
+        &[
+            "threads",
+            "config",
+            "regs",
+            "cycles",
+            "perf",
+            "perf_per_reg",
+        ],
+    );
+    // Performance normalized to the single-thread banked run.
+    let base = run(CoreConfig::banked(1), &w).cycles as f64;
+    for threads in [1usize, 2, 4, 6, 8, 10] {
+        for (label, frac) in CTX_FRACTIONS {
+            let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
+            let r = run(cfg, &w);
+            let perf = base / r.cycles as f64;
+            t.row(vec![
+                threads.to_string(),
+                format!("virec_{label}"),
+                cfg.phys_regs.to_string(),
+                r.cycles.to_string(),
+                f3(perf),
+                f3(perf / cfg.phys_regs as f64),
+            ]);
+        }
+        let b = run(CoreConfig::banked(threads), &w);
+        let regs = threads * 64; // 32 int + 32 fp per bank (Table 1)
+        let perf = base / b.cycles as f64;
+        t.row(vec![
+            threads.to_string(),
+            "banked".into(),
+            regs.to_string(),
+            b.cycles.to_string(),
+            f3(perf),
+            f3(perf / regs as f64),
+        ]);
+    }
+    t.print();
+
+    // The paper's headline scaling claim: 32 registers as 4 threads @100%
+    // vs 8 threads @40%.
+    let four_full = run(CoreConfig::virec(4, 32), &w);
+    let eight_small = run(CoreConfig::virec(8, 32), &w);
+    let speedup = four_full.cycles as f64 / eight_small.cycles as f64;
+    let mut s = Table::new(
+        "Figure 10 — same 32-register RF, threads vs context",
+        &["config", "cycles", "speedup_vs_4t_100%"],
+    );
+    s.row(vec![
+        "virec 4t x 100% (32 regs)".into(),
+        four_full.cycles.to_string(),
+        f3(1.0),
+    ]);
+    s.row(vec![
+        "virec 8t x 40% (32 regs)".into(),
+        eight_small.cycles.to_string(),
+        f3(speedup),
+    ]);
+    s.print();
+}

@@ -1,0 +1,51 @@
+//! Figure 11: performance scaling with increased system load.
+//!
+//! 1/2/4/8 ViReC processors share the crossbar and DRAM, all running
+//! gather with 8 or 10 threads per core on a fixed 64-register RF (100%
+//! context at 8 threads, 80% at 10). Paper shape: with 1–2 active cores,
+//! 8 threads suffice to hide memory latency; as contention raises the
+//! observed latency, 10 threads win for the 4- and 8-core systems —
+//! the thread-scaling flexibility a statically banked core lacks.
+
+use virec_bench::harness::*;
+use virec_core::CoreConfig;
+use virec_sim::report::{f3, Table};
+use virec_sim::{System, SystemConfig};
+use virec_workloads::kernels;
+
+fn main() {
+    let n = problem_size();
+    let mut t = Table::new(
+        &format!("Figure 11 — system-load scaling, gather n={n}, ViReC 64 regs"),
+        &[
+            "cores",
+            "threads",
+            "cycles",
+            "core0_ipc",
+            "mean_ipc",
+            "observed_queue_delay",
+        ],
+    );
+    for ncores in [1usize, 2, 4, 8] {
+        for threads in [8usize, 10] {
+            let core = CoreConfig::virec(threads, 64);
+            let cfg = SystemConfig {
+                ncores,
+                core,
+                fabric: Default::default(),
+                max_cycles: 2_000_000_000,
+            };
+            let mut sys = System::new(cfg, kernels::spatter::gather, n);
+            let r = sys.run();
+            t.row(vec![
+                ncores.to_string(),
+                threads.to_string(),
+                r.cycles.to_string(),
+                f3(r.per_core[0].ipc()),
+                f3(r.mean_core_ipc()),
+                f3(r.mean_queue_delay()),
+            ]);
+        }
+    }
+    t.print();
+}

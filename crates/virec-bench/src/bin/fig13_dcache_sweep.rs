@@ -1,0 +1,63 @@
+//! Figure 13: backing-store sensitivity — dcache latency and capacity.
+//!
+//! One processor, eight threads, IPC geometric mean over the workload
+//! suite, for ViReC (80% context) and banked. Paper shape: all approaches
+//! lose performance as dcache latency grows, ViReC faster (fills ride the
+//! dcache); shrinking the dcache hurts ViReC earlier than banked because
+//! pinned register lines consume capacity.
+
+use virec_bench::harness::*;
+use virec_core::{CoreConfig, PolicyKind};
+use virec_sim::report::{f3, geomean, Table};
+use virec_workloads::suite;
+
+fn run_geomean(mut cfg_virec: CoreConfig, cfg_banked: CoreConfig, n: u64) -> (f64, f64) {
+    let mut v = Vec::new();
+    let mut b = Vec::new();
+    for w in suite(n, layout0()) {
+        // Context-size the ViReC RF per workload at 80%.
+        let sized = virec_cfg(&w, cfg_virec.nthreads, 0.8, PolicyKind::Lrc);
+        cfg_virec.phys_regs = sized.phys_regs;
+        v.push(run(cfg_virec, &w).ipc());
+        b.push(run(cfg_banked, &w).ipc());
+    }
+    (geomean(&v), geomean(&b))
+}
+
+fn main() {
+    let n = problem_size().min(4096);
+    let threads = 8;
+
+    let mut lat = Table::new(
+        &format!("Figure 13a — dcache latency sweep, 8 threads, n={n}"),
+        &[
+            "dcache_latency",
+            "virec80_ipc",
+            "banked_ipc",
+            "virec/banked",
+        ],
+    );
+    for latency in [1u32, 2, 4, 8, 16] {
+        let mut cv = CoreConfig::virec(threads, 64);
+        cv.dcache.hit_latency = latency;
+        let mut cb = CoreConfig::banked(threads);
+        cb.dcache.hit_latency = latency;
+        let (v, b) = run_geomean(cv, cb, n);
+        lat.row(vec![latency.to_string(), f3(v), f3(b), f3(v / b)]);
+    }
+    lat.print();
+
+    let mut cap = Table::new(
+        &format!("Figure 13b — dcache capacity sweep, 8 threads, n={n}"),
+        &["dcache_kB", "virec80_ipc", "banked_ipc", "virec/banked"],
+    );
+    for kb in [2usize, 4, 8, 16, 32] {
+        let mut cv = CoreConfig::virec(threads, 64);
+        cv.dcache.size_bytes = kb * 1024;
+        let mut cb = CoreConfig::banked(threads);
+        cb.dcache.size_bytes = kb * 1024;
+        let (v, b) = run_geomean(cv, cb, n);
+        cap.row(vec![kb.to_string(), f3(v), f3(b), f3(v / b)]);
+    }
+    cap.print();
+}

@@ -1,0 +1,77 @@
+//! Figure 14 (and the §6.2 delay analysis): processor area versus thread
+//! count for ViReC with different per-thread context sizes, against a
+//! banked design with 64 registers per bank.
+//!
+//! Paper shape: ViReC with 5–10 registers per thread stays well under the
+//! banked curve (≈40% savings at 8–16 threads, ≈20% overhead over the base
+//! core), while ViReC with full 64-register contexts grows faster than
+//! banking due to the superlinear CAM tag store.
+
+use virec_area::AreaModel;
+use virec_sim::report::{f3, Table};
+
+fn main() {
+    let m = AreaModel::default();
+    let mut t = Table::new(
+        "Figure 14 — core area (mm², 45 nm) vs thread count",
+        &[
+            "threads",
+            "banked(64/bank)",
+            "virec 4r/t",
+            "virec 8r/t",
+            "virec 10r/t",
+            "virec 64r/t",
+        ],
+    );
+    for threads in [1usize, 2, 4, 8, 12, 16] {
+        t.row(vec![
+            threads.to_string(),
+            f3(m.banked_core(threads)),
+            f3(m.virec_core(4 * threads)),
+            f3(m.virec_core(8 * threads)),
+            f3(m.virec_core(10 * threads)),
+            f3(m.virec_core(64 * threads)),
+        ]);
+    }
+    t.print();
+
+    let mut b = Table::new(
+        "Figure 14 — ViReC area breakdown (mm²)",
+        &[
+            "phys_regs",
+            "rf",
+            "tag_store",
+            "vrmu_logic",
+            "total_overhead",
+        ],
+    );
+    for regs in [24usize, 32, 64, 80, 120] {
+        b.row(vec![
+            regs.to_string(),
+            f3(m.rf_area(regs)),
+            f3(m.tag_store_area(regs)),
+            f3(m.vrmu_logic_area(regs)),
+            f3(m.virec_overhead(regs)),
+        ]);
+    }
+    b.print();
+
+    let mut d = Table::new("§6.2 — RF read delay (ns)", &["config", "delay_ns"]);
+    d.row(vec![
+        "baseline 32-entry RF".into(),
+        f3(m.virec_rf_delay(32)),
+    ]);
+    for regs in [24usize, 64, 80, 120] {
+        d.row(vec![
+            format!("virec {regs} regs"),
+            f3(m.virec_rf_delay(regs)),
+        ]);
+    }
+    for threads in [4usize, 8, 16] {
+        d.row(vec![
+            format!("banked {threads} banks"),
+            f3(m.banked_rf_delay(threads)),
+        ]);
+    }
+    d.print();
+}

@@ -1,0 +1,87 @@
+//! Table 1: simulation parameters of every modelled processor.
+
+use virec_core::CoreConfig;
+use virec_mem::{DramConfig, FabricConfig};
+use virec_sim::report::Table;
+
+fn describe(name: &str, cfg: &CoreConfig, t: &mut Table) {
+    t.row(vec![
+        name.into(),
+        format!("{:?}", cfg.engine),
+        cfg.nthreads.to_string(),
+        cfg.phys_regs.to_string(),
+        cfg.sq_entries.to_string(),
+        format!(
+            "{}kB/{}-way",
+            cfg.icache.size_bytes / 1024,
+            cfg.icache.assoc
+        ),
+        format!(
+            "{}kB/{}-way/{}cyc",
+            cfg.dcache.size_bytes / 1024,
+            cfg.dcache.assoc,
+            cfg.dcache.hit_latency
+        ),
+        format!("{:?}", cfg.policy),
+    ]);
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1 — performance simulation parameters",
+        &[
+            "processor",
+            "engine",
+            "threads",
+            "regs",
+            "SQ",
+            "icache",
+            "dcache",
+            "policy",
+        ],
+    );
+    describe("inorder (CVA6-like)", &CoreConfig::inorder(), &mut t);
+    describe("banked 8t", &CoreConfig::banked(8), &mut t);
+    describe("virec 8t (80% ctx of 8)", &CoreConfig::virec(8, 52), &mut t);
+    describe(
+        "virec 8t (100% ctx of 8)",
+        &CoreConfig::virec(8, 64),
+        &mut t,
+    );
+    describe("nsf 8t", &CoreConfig::nsf(8, 52), &mut t);
+    describe("software 8t", &CoreConfig::software(8), &mut t);
+    describe("prefetch_full 8t", &CoreConfig::prefetch_full(8, 8), &mut t);
+    describe(
+        "prefetch_exact 8t",
+        &CoreConfig::prefetch_exact(8, 8),
+        &mut t,
+    );
+    t.print();
+
+    let f = FabricConfig::default();
+    let d: DramConfig = f.dram;
+    let mut m = Table::new("Table 1 — memory system", &["parameter", "value"]);
+    m.row(vec!["DRAM channels".into(), d.channels.to_string()]);
+    m.row(vec![
+        "banks/channel".into(),
+        d.banks_per_channel.to_string(),
+    ]);
+    m.row(vec![
+        "tRP-tRCD-tCL (cycles)".into(),
+        format!("{}-{}-{}", d.t_rp, d.t_rcd, d.t_cl),
+    ]);
+    m.row(vec!["burst (cycles)".into(), d.t_burst.to_string()]);
+    m.row(vec![
+        "row buffer (lines)".into(),
+        d.lines_per_row.to_string(),
+    ]);
+    m.row(vec![
+        "crossbar hop (cycles)".into(),
+        f.xbar_latency.to_string(),
+    ]);
+    m.row(vec![
+        "crossbar accepts/cycle".into(),
+        f.xbar_accepts_per_cycle.to_string(),
+    ]);
+    m.print();
+}

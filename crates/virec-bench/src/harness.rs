@@ -1,0 +1,54 @@
+//! Common experiment plumbing for the fig*/table* binaries.
+
+use virec_core::{CoreConfig, PolicyKind};
+use virec_mem::FabricConfig;
+use virec_sim::runner::{run_single, RunOptions, RunResult};
+use virec_workloads::{Layout, Workload};
+
+/// Default problem size for figure regeneration (large enough that caches
+/// and context switching behave realistically, small enough to sweep).
+pub const DEFAULT_N: u64 = 8192;
+
+/// Smaller size for quick shape checks.
+pub const QUICK_N: u64 = 1024;
+
+/// Reads the problem size from VIREC_N (falls back to DEFAULT_N).
+pub fn problem_size() -> u64 {
+    std::env::var("VIREC_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_N)
+}
+
+/// The context fractions swept throughout the paper's Figures 1, 9, 10.
+pub const CTX_FRACTIONS: &[(&str, f64)] =
+    &[("40%", 0.4), ("60%", 0.6), ("80%", 0.8), ("100%", 1.0)];
+
+/// Runs one workload on one config with default options (verified).
+pub fn run(cfg: CoreConfig, w: &Workload) -> RunResult {
+    run_single(cfg, w, &RunOptions::default())
+}
+
+/// Runs with a custom fabric.
+pub fn run_with_fabric(cfg: CoreConfig, w: &Workload, fabric: FabricConfig) -> RunResult {
+    run_single(
+        cfg,
+        w,
+        &RunOptions {
+            fabric,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// A ViReC config storing `frac` of the workload's active context.
+pub fn virec_cfg(w: &Workload, nthreads: usize, frac: f64, policy: PolicyKind) -> CoreConfig {
+    let mut cfg = CoreConfig::virec_for_context(nthreads, w.active_context_size(), frac);
+    cfg.policy = policy;
+    cfg
+}
+
+/// Single-core layout shortcut.
+pub fn layout0() -> Layout {
+    Layout::for_core(0)
+}

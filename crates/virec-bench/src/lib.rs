@@ -1,0 +1,2 @@
+//! Shared harness code for the figure-regeneration binaries.
+pub mod harness;

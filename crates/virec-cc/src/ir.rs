@@ -1,0 +1,332 @@
+//! The structured intermediate representation and its reference
+//! interpreter.
+
+use std::collections::HashMap;
+use virec_isa::{AccessSize, DataMemory};
+
+/// A virtual register (SSA-ish temporary; redefinition is allowed).
+pub type TempId = u32;
+
+/// A value operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A temporary.
+    Temp(TempId),
+    /// An immediate constant.
+    Const(i64),
+}
+
+/// Binary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (mod 64).
+    Shl,
+    /// Logical shift right (mod 64).
+    Shr,
+}
+
+impl BinOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        }
+    }
+}
+
+/// Loop / branch comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// Unsigned less-than.
+    Lt,
+    /// Not equal.
+    Ne,
+}
+
+impl Cmp {
+    /// Evaluates the comparison.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cmp::Lt => a < b,
+            Cmp::Ne => a != b,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `dst = a` or `dst = op(a, b)`.
+    Def {
+        /// Destination temporary.
+        dst: TempId,
+        /// First operand.
+        a: Operand,
+        /// Optional operation and second operand (plain copy when absent).
+        op: Option<(BinOp, Operand)>,
+    },
+    /// `dst = mem64[base + index*8]`.
+    Load {
+        /// Destination temporary.
+        dst: TempId,
+        /// Base-address temporary.
+        base: TempId,
+        /// Element index.
+        index: Operand,
+    },
+    /// `mem64[base + index*8] = src`.
+    Store {
+        /// Value stored.
+        src: Operand,
+        /// Base-address temporary.
+        base: TempId,
+        /// Element index.
+        index: Operand,
+    },
+    /// `while cond { body }`.
+    While {
+        /// Loop condition `(lhs, cmp, rhs)`.
+        cond: (Operand, Cmp, Operand),
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Terminates the function with a value (left in the return register).
+    Return {
+        /// Returned value.
+        value: Operand,
+    },
+}
+
+impl Stmt {
+    /// Shorthand: `dst = constant`.
+    pub fn def_const(dst: TempId, v: i64) -> Stmt {
+        Stmt::Def {
+            dst,
+            a: Operand::Const(v),
+            op: None,
+        }
+    }
+
+    /// Shorthand: `dst = copy of src`.
+    pub fn def_copy(dst: TempId, src: TempId) -> Stmt {
+        Stmt::Def {
+            dst,
+            a: Operand::Temp(src),
+            op: None,
+        }
+    }
+
+    /// Shorthand: `dst = op(a, b)`.
+    pub fn def_bin(dst: TempId, op: BinOp, a: Operand, b: Operand) -> Stmt {
+        Stmt::Def {
+            dst,
+            a,
+            op: Some((op, b)),
+        }
+    }
+}
+
+/// A compilable function. Parameters arrive as pre-initialized temporaries
+/// (the offloaded register context supplies their values).
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Name (used for the emitted program).
+    pub name: String,
+    /// Parameter temporaries, in ABI order (`x0`, `x1`, …).
+    pub params: Vec<TempId>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// Result of interpreting a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IrResult {
+    /// Value of the executed `Return` (0 if the body fell off the end).
+    pub value: u64,
+}
+
+/// Reference interpreter over the structured IR.
+pub fn interpret(f: &Function, args: &[u64], mem: &mut dyn DataMemory, max_steps: u64) -> IrResult {
+    assert_eq!(args.len(), f.params.len(), "argument arity mismatch");
+    let mut env: HashMap<TempId, u64> = HashMap::new();
+    for (&p, &v) in f.params.iter().zip(args) {
+        env.insert(p, v);
+    }
+    let mut steps = 0u64;
+    let value = exec_block(&f.body, &mut env, mem, &mut steps, max_steps).unwrap_or(0);
+    IrResult { value }
+}
+
+fn eval(op: Operand, env: &HashMap<TempId, u64>) -> u64 {
+    match op {
+        Operand::Const(c) => c as u64,
+        Operand::Temp(t) => *env
+            .get(&t)
+            .unwrap_or_else(|| panic!("use of undefined temp t{t}")),
+    }
+}
+
+fn exec_block(
+    block: &[Stmt],
+    env: &mut HashMap<TempId, u64>,
+    mem: &mut dyn DataMemory,
+    steps: &mut u64,
+    max_steps: u64,
+) -> Option<u64> {
+    for s in block {
+        *steps += 1;
+        assert!(*steps < max_steps, "IR interpreter exceeded step budget");
+        match s {
+            Stmt::Def { dst, a, op } => {
+                let v = match op {
+                    None => eval(*a, env),
+                    Some((op, b)) => op.apply(eval(*a, env), eval(*b, env)),
+                };
+                env.insert(*dst, v);
+            }
+            Stmt::Load { dst, base, index } => {
+                let addr =
+                    eval(Operand::Temp(*base), env).wrapping_add(eval(*index, env).wrapping_mul(8));
+                env.insert(*dst, mem.read(addr, AccessSize::B8));
+            }
+            Stmt::Store { src, base, index } => {
+                let addr =
+                    eval(Operand::Temp(*base), env).wrapping_add(eval(*index, env).wrapping_mul(8));
+                mem.write(addr, AccessSize::B8, eval(*src, env));
+            }
+            Stmt::While { cond, body } => {
+                let (a, c, b) = *cond;
+                while c.eval(eval(a, env), eval(b, env)) {
+                    *steps += 1;
+                    assert!(*steps < max_steps, "IR interpreter exceeded step budget");
+                    if let Some(v) = exec_block(body, env, mem, steps, max_steps) {
+                        return Some(v);
+                    }
+                }
+            }
+            Stmt::Return { value } => return Some(eval(*value, env)),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::FlatMem;
+
+    fn sum_fn(n: i64) -> Function {
+        Function {
+            name: "sum".into(),
+            params: vec![],
+            body: vec![
+                Stmt::def_const(0, 0),
+                Stmt::def_const(1, 0),
+                Stmt::While {
+                    cond: (Operand::Temp(1), Cmp::Lt, Operand::Const(n)),
+                    body: vec![
+                        Stmt::def_bin(0, BinOp::Add, Operand::Temp(0), Operand::Temp(1)),
+                        Stmt::def_bin(1, BinOp::Add, Operand::Temp(1), Operand::Const(1)),
+                    ],
+                },
+                Stmt::Return {
+                    value: Operand::Temp(0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn interprets_loops() {
+        let mut mem = FlatMem::new(0, 64);
+        let r = interpret(&sum_fn(10), &[], &mut mem, 10_000);
+        assert_eq!(r.value, 45);
+    }
+
+    #[test]
+    fn params_bind_in_order() {
+        let f = Function {
+            name: "addp".into(),
+            params: vec![5, 6],
+            body: vec![
+                Stmt::def_bin(7, BinOp::Add, Operand::Temp(5), Operand::Temp(6)),
+                Stmt::Return {
+                    value: Operand::Temp(7),
+                },
+            ],
+        };
+        let mut mem = FlatMem::new(0, 64);
+        assert_eq!(interpret(&f, &[30, 12], &mut mem, 100).value, 42);
+    }
+
+    #[test]
+    fn memory_ops_roundtrip() {
+        // store 99 at base[3], read it back.
+        let f = Function {
+            name: "m".into(),
+            params: vec![0],
+            body: vec![
+                Stmt::Store {
+                    src: Operand::Const(99),
+                    base: 0,
+                    index: Operand::Const(3),
+                },
+                Stmt::Load {
+                    dst: 1,
+                    base: 0,
+                    index: Operand::Const(3),
+                },
+                Stmt::Return {
+                    value: Operand::Temp(1),
+                },
+            ],
+        };
+        let mut mem = FlatMem::new(0, 256);
+        assert_eq!(interpret(&f, &[0x40], &mut mem, 100).value, 99);
+        assert_eq!(mem.read_u64(0x40 + 24), 99);
+    }
+
+    #[test]
+    fn fallthrough_returns_zero() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            body: vec![Stmt::def_const(0, 7)],
+        };
+        let mut mem = FlatMem::new(0, 64);
+        assert_eq!(interpret(&f, &[], &mut mem, 100).value, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined temp")]
+    fn undefined_temp_panics() {
+        let f = Function {
+            name: "bad".into(),
+            params: vec![],
+            body: vec![Stmt::Return {
+                value: Operand::Temp(9),
+            }],
+        };
+        let mut mem = FlatMem::new(0, 64);
+        interpret(&f, &[], &mut mem, 100);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # virec-cc
+//!
+//! A miniature compiler targeting the `virec-isa` instruction set, built to
+//! realize §4.2 of the ViReC paper *as a compiler mechanism*: "a compiler
+//! can artificially reduce the registers available for register allocation
+//! to only those required in the innermost loops", spilling long-lived
+//! outer values to memory with ordinary loads/stores.
+//!
+//! The pipeline:
+//!
+//! 1. [`ir`] — a small structured IR (defs, loads/stores, `while` loops)
+//!    with a reference interpreter;
+//! 2. [`lower`] — lowering to linear virtual-register code with labels;
+//! 3. [`regalloc`] — liveness fixpoint + linear-scan allocation under a
+//!    configurable **register budget**, with spill slots in a per-thread
+//!    frame addressed through a reserved frame pointer;
+//! 4. [`emit`] — emission to a [`virec_isa::Program`].
+//!
+//! Shrinking the budget produces exactly the spill code the paper
+//! describes; the compiled kernels run on any `virec-core` engine and are
+//! differentially tested against the IR interpreter.
+//!
+//! ```
+//! use virec_cc::ir::{Function, Stmt, Operand, BinOp, Cmp};
+//! use virec_cc::compile;
+//!
+//! // sum = Σ i for i in 0..10
+//! let f = Function {
+//!     name: "sum".into(),
+//!     params: vec![],
+//!     body: vec![
+//!         Stmt::def_const(0, 0),              // t0 = 0 (sum)
+//!         Stmt::def_const(1, 0),              // t1 = 0 (i)
+//!         Stmt::While {
+//!             cond: (Operand::Temp(1), Cmp::Lt, Operand::Const(10)),
+//!             body: vec![
+//!                 Stmt::def_bin(0, BinOp::Add, Operand::Temp(0), Operand::Temp(1)),
+//!                 Stmt::def_bin(1, BinOp::Add, Operand::Temp(1), Operand::Const(1)),
+//!             ],
+//!         },
+//!         Stmt::Return { value: Operand::Temp(0) },
+//!     ],
+//! };
+//! let compiled = compile(&f, 8).expect("compiles with an 8-register budget");
+//! assert!(compiled.program.len() > 5);
+//! ```
+
+pub mod emit;
+pub mod ir;
+pub mod lower;
+pub mod regalloc;
+
+pub use emit::{compile, CompileError, Compiled};

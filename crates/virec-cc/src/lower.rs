@@ -1,0 +1,422 @@
+//! Lowering: structured IR → linear virtual-register code.
+//!
+//! The linear form mirrors the machine ISA (ALU with immediate second
+//! operands, scaled-index addressing, compare + conditional branch) but
+//! operates on an unbounded set of temporaries. Constants that must occupy
+//! a register (ALU/compare left operands, store sources, bases) are
+//! materialized into fresh temps.
+
+use crate::ir::{BinOp, Cmp, Function, Operand, Stmt, TempId};
+use virec_isa::Cond;
+
+/// Label identifier inside lowered code.
+pub type LabelId = u32;
+
+/// Index operand of lowered memory instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VIndex {
+    /// Scaled temp index: `[base, t, lsl #3]`.
+    Temp(TempId),
+    /// Constant byte offset: `[base, #bytes]`.
+    ByteOff(i64),
+}
+
+/// Second operand of lowered ALU/compare instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VOp {
+    /// A temporary.
+    Temp(TempId),
+    /// An immediate.
+    Imm(i64),
+}
+
+/// A lowered instruction over virtual registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VInst {
+    /// Pseudo-instruction: `dst` receives parameter `index` (ABI register).
+    Param {
+        /// Destination temporary.
+        dst: TempId,
+        /// Parameter position.
+        index: usize,
+    },
+    /// `dst = imm`.
+    MovImm {
+        /// Destination temporary.
+        dst: TempId,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination temporary.
+        dst: TempId,
+        /// Source temporary.
+        src: TempId,
+    },
+    /// `dst = op(a, b)`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination temporary.
+        dst: TempId,
+        /// Left operand (register).
+        a: TempId,
+        /// Right operand.
+        b: VOp,
+    },
+    /// `dst = mem64[base + index]`.
+    Load {
+        /// Destination temporary.
+        dst: TempId,
+        /// Base temporary.
+        base: TempId,
+        /// Index.
+        index: VIndex,
+    },
+    /// `mem64[base + index] = src`.
+    Store {
+        /// Source temporary.
+        src: TempId,
+        /// Base temporary.
+        base: TempId,
+        /// Index.
+        index: VIndex,
+    },
+    /// Compare, setting flags.
+    Cmp {
+        /// Left operand (register).
+        a: TempId,
+        /// Right operand.
+        b: VOp,
+    },
+    /// Conditional branch on the last compare.
+    Bcc {
+        /// Branch condition.
+        cond: Cond,
+        /// Target label.
+        target: LabelId,
+    },
+    /// Unconditional branch.
+    B {
+        /// Target label.
+        target: LabelId,
+    },
+    /// Label marker (no machine code).
+    Label(LabelId),
+    /// `x0 = src`; terminate.
+    Ret {
+        /// Returned temporary.
+        src: TempId,
+    },
+}
+
+impl VInst {
+    /// Temporaries read by this instruction.
+    pub fn uses(&self) -> Vec<TempId> {
+        match *self {
+            VInst::Mov { src, .. } => vec![src],
+            VInst::Bin { a, b, .. } => match b {
+                VOp::Temp(t) => vec![a, t],
+                VOp::Imm(_) => vec![a],
+            },
+            VInst::Load { base, index, .. } => match index {
+                VIndex::Temp(t) => vec![base, t],
+                VIndex::ByteOff(_) => vec![base],
+            },
+            VInst::Store { src, base, index } => {
+                let mut v = vec![src, base];
+                if let VIndex::Temp(t) = index {
+                    v.push(t);
+                }
+                v
+            }
+            VInst::Cmp { a, b } => match b {
+                VOp::Temp(t) => vec![a, t],
+                VOp::Imm(_) => vec![a],
+            },
+            VInst::Ret { src } => vec![src],
+            _ => vec![],
+        }
+    }
+
+    /// Temporary written by this instruction.
+    pub fn def(&self) -> Option<TempId> {
+        match *self {
+            VInst::Param { dst, .. }
+            | VInst::MovImm { dst, .. }
+            | VInst::Mov { dst, .. }
+            | VInst::Bin { dst, .. }
+            | VInst::Load { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+}
+
+/// Result of lowering.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// Linear instruction sequence.
+    pub code: Vec<VInst>,
+    /// First temp id not used by the function (fresh-temp watermark).
+    pub next_temp: TempId,
+}
+
+struct LowerCtx {
+    code: Vec<VInst>,
+    next_temp: TempId,
+    next_label: LabelId,
+}
+
+impl LowerCtx {
+    fn fresh(&mut self) -> TempId {
+        let t = self.next_temp;
+        self.next_temp += 1;
+        t
+    }
+
+    fn label(&mut self) -> LabelId {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    /// Materializes an operand into a temp.
+    fn as_temp(&mut self, op: Operand) -> TempId {
+        match op {
+            Operand::Temp(t) => t,
+            Operand::Const(c) => {
+                let t = self.fresh();
+                self.code.push(VInst::MovImm { dst: t, imm: c });
+                t
+            }
+        }
+    }
+
+    fn as_vop(&mut self, op: Operand) -> VOp {
+        match op {
+            Operand::Temp(t) => VOp::Temp(t),
+            Operand::Const(c) => VOp::Imm(c),
+        }
+    }
+
+    fn as_vindex(&mut self, op: Operand) -> VIndex {
+        match op {
+            Operand::Temp(t) => VIndex::Temp(t),
+            Operand::Const(c) => VIndex::ByteOff(c.wrapping_mul(8)),
+        }
+    }
+
+    fn lower_block(&mut self, block: &[Stmt]) {
+        for s in block {
+            match s {
+                Stmt::Def { dst, a, op } => match op {
+                    None => match a {
+                        Operand::Const(c) => self.code.push(VInst::MovImm { dst: *dst, imm: *c }),
+                        Operand::Temp(t) => self.code.push(VInst::Mov { dst: *dst, src: *t }),
+                    },
+                    Some((bop, b)) => {
+                        let at = self.as_temp(*a);
+                        let bv = self.as_vop(*b);
+                        self.code.push(VInst::Bin {
+                            op: *bop,
+                            dst: *dst,
+                            a: at,
+                            b: bv,
+                        });
+                    }
+                },
+                Stmt::Load { dst, base, index } => {
+                    let idx = self.as_vindex(*index);
+                    self.code.push(VInst::Load {
+                        dst: *dst,
+                        base: *base,
+                        index: idx,
+                    });
+                }
+                Stmt::Store { src, base, index } => {
+                    let st = self.as_temp(*src);
+                    let idx = self.as_vindex(*index);
+                    self.code.push(VInst::Store {
+                        src: st,
+                        base: *base,
+                        index: idx,
+                    });
+                }
+                Stmt::While { cond, body } => {
+                    let head = self.label();
+                    let end = self.label();
+                    let (a, c, b) = *cond;
+                    self.code.push(VInst::Label(head));
+                    let at = self.as_temp(a);
+                    let bv = self.as_vop(b);
+                    self.code.push(VInst::Cmp { a: at, b: bv });
+                    let exit_cond = match c {
+                        Cmp::Lt => Cond::Lo.invert(), // exit when !(a < b)
+                        Cmp::Ne => Cond::Ne.invert(),
+                    };
+                    self.code.push(VInst::Bcc {
+                        cond: exit_cond,
+                        target: end,
+                    });
+                    self.lower_block(body);
+                    self.code.push(VInst::B { target: head });
+                    self.code.push(VInst::Label(end));
+                }
+                Stmt::Return { value } => {
+                    let t = self.as_temp(*value);
+                    self.code.push(VInst::Ret { src: t });
+                }
+            }
+        }
+    }
+}
+
+/// Highest temp id referenced by a function body (for fresh-temp seeding).
+fn max_temp(block: &[Stmt], mut acc: TempId) -> TempId {
+    let op_max = |op: &Operand, acc: TempId| match op {
+        Operand::Temp(t) => acc.max(*t),
+        Operand::Const(_) => acc,
+    };
+    for s in block {
+        acc = match s {
+            Stmt::Def { dst, a, op } => {
+                let mut m = acc.max(*dst);
+                m = op_max(a, m);
+                if let Some((_, b)) = op {
+                    m = op_max(b, m);
+                }
+                m
+            }
+            Stmt::Load { dst, base, index } => op_max(index, acc.max(*dst).max(*base)),
+            Stmt::Store { src, base, index } => op_max(index, op_max(src, acc.max(*base))),
+            Stmt::While { cond, body } => {
+                let m = op_max(&cond.0, op_max(&cond.2, acc));
+                max_temp(body, m)
+            }
+            Stmt::Return { value } => op_max(value, acc),
+        };
+    }
+    acc
+}
+
+/// Lowers a function to linear virtual code (with parameter pseudo-defs at
+/// the top and a trailing `Ret` if the body can fall through).
+pub fn lower(f: &Function) -> Lowered {
+    let seed = max_temp(&f.body, f.params.iter().copied().max().unwrap_or(0)) + 1;
+    let mut ctx = LowerCtx {
+        code: Vec::new(),
+        next_temp: seed,
+        next_label: 0,
+    };
+    for (i, &p) in f.params.iter().enumerate() {
+        ctx.code.push(VInst::Param { dst: p, index: i });
+    }
+    ctx.lower_block(&f.body);
+    // Fallthrough: return 0.
+    if !matches!(ctx.code.last(), Some(VInst::Ret { .. })) {
+        let t = ctx.fresh();
+        ctx.code.push(VInst::MovImm { dst: t, imm: 0 });
+        ctx.code.push(VInst::Ret { src: t });
+    }
+    Lowered {
+        next_temp: ctx.next_temp,
+        code: ctx.code,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Stmt as S;
+
+    #[test]
+    fn lowers_loop_shape() {
+        let f = Function {
+            name: "l".into(),
+            params: vec![0],
+            body: vec![
+                S::While {
+                    cond: (Operand::Temp(0), Cmp::Ne, Operand::Const(0)),
+                    body: vec![S::def_bin(
+                        0,
+                        BinOp::Sub,
+                        Operand::Temp(0),
+                        Operand::Const(1),
+                    )],
+                },
+                S::Return {
+                    value: Operand::Temp(0),
+                },
+            ],
+        };
+        let low = lower(&f);
+        let labels = low
+            .code
+            .iter()
+            .filter(|i| matches!(i, VInst::Label(_)))
+            .count();
+        assert_eq!(labels, 2, "head + end");
+        assert!(low.code.iter().any(|i| matches!(i, VInst::B { .. })));
+        assert!(matches!(low.code[0], VInst::Param { index: 0, .. }));
+        assert!(matches!(low.code.last(), Some(VInst::Ret { .. })));
+    }
+
+    #[test]
+    fn constants_materialized_where_required() {
+        let f = Function {
+            name: "c".into(),
+            params: vec![1],
+            body: vec![
+                // store const to memory: source must become a temp.
+                S::Store {
+                    src: Operand::Const(7),
+                    base: 1,
+                    index: Operand::Const(2),
+                },
+            ],
+        };
+        let low = lower(&f);
+        assert!(low
+            .code
+            .iter()
+            .any(|i| matches!(i, VInst::MovImm { imm: 7, .. })));
+        assert!(low.code.iter().any(|i| matches!(
+            i,
+            VInst::Store {
+                index: VIndex::ByteOff(16),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn fallthrough_gets_ret_zero() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            body: vec![S::def_const(0, 1)],
+        };
+        let low = lower(&f);
+        assert!(matches!(low.code.last(), Some(VInst::Ret { .. })));
+    }
+
+    #[test]
+    fn uses_and_defs_reported() {
+        let i = VInst::Store {
+            src: 1,
+            base: 2,
+            index: VIndex::Temp(3),
+        };
+        assert_eq!(i.uses(), vec![1, 2, 3]);
+        assert_eq!(i.def(), None);
+        let j = VInst::Bin {
+            op: BinOp::Add,
+            dst: 4,
+            a: 5,
+            b: VOp::Imm(1),
+        };
+        assert_eq!(j.uses(), vec![5]);
+        assert_eq!(j.def(), Some(4));
+    }
+}

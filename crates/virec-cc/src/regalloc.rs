@@ -1,0 +1,315 @@
+//! Liveness analysis and linear-scan register allocation.
+//!
+//! The allocator distributes temporaries over a configurable pool of
+//! machine registers — the **register budget** of §4.2. Temporaries that do
+//! not fit are assigned frame slots; the emitter inserts reload/spill code
+//! around their uses. A smaller budget therefore produces exactly the
+//! "registers spilled to memory using regular load/store instructions" the
+//! paper's compiler reduction describes.
+
+use crate::lower::{LabelId, VInst};
+use std::collections::{HashMap, HashSet};
+use virec_isa::Reg;
+
+/// Where a temporary lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A machine register.
+    Reg(Reg),
+    /// Frame slot `n` (byte offset `8 n` from the frame pointer).
+    Slot(u32),
+}
+
+/// Allocation result.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location of every temporary.
+    pub locs: HashMap<u32, Loc>,
+    /// Number of frame slots used.
+    pub frame_slots: u32,
+    /// Number of temporaries spilled to the frame.
+    pub spilled: usize,
+}
+
+/// The allocatable machine-register pool for a given budget: `x8`,
+/// `x9`, … (`x0..x7` are the parameter ABI registers, `x25..x27` the spill
+/// scratch set, `x28` the frame pointer).
+pub fn pool(budget: usize) -> Vec<Reg> {
+    assert!(
+        (1..=17).contains(&budget),
+        "register budget must be in 1..=17 (x8..x24), got {budget}"
+    );
+    (8..8 + budget as u8).map(Reg::new).collect()
+}
+
+/// First spill-scratch register (three consecutive: x25, x26, x27).
+pub const SCRATCH0: Reg = Reg::new(25);
+/// Second spill-scratch register.
+pub const SCRATCH1: Reg = Reg::new(26);
+/// Third spill-scratch register.
+pub const SCRATCH2: Reg = Reg::new(27);
+/// The frame pointer register (points at the per-thread spill frame).
+pub const FRAME_PTR: Reg = Reg::new(28);
+
+/// Computes per-instruction liveness and returns each temp's live interval
+/// `[start, end]` over instruction indices.
+pub fn live_intervals(code: &[VInst]) -> HashMap<u32, (usize, usize)> {
+    // Successor map (labels resolved to indices).
+    let mut label_pos: HashMap<LabelId, usize> = HashMap::new();
+    for (i, inst) in code.iter().enumerate() {
+        if let VInst::Label(l) = inst {
+            label_pos.insert(*l, i);
+        }
+    }
+    let succs = |i: usize| -> Vec<usize> {
+        match code[i] {
+            VInst::B { target } => vec![label_pos[&target]],
+            VInst::Bcc { target, .. } => {
+                let mut v = vec![label_pos[&target]];
+                if i + 1 < code.len() {
+                    v.push(i + 1);
+                }
+                v
+            }
+            VInst::Ret { .. } => vec![],
+            _ => {
+                if i + 1 < code.len() {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    };
+
+    // Backward fixpoint.
+    let n = code.len();
+    let mut live_in: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut out: HashSet<u32> = HashSet::new();
+            for s in succs(i) {
+                out.extend(live_in[s].iter().copied());
+            }
+            if let Some(d) = code[i].def() {
+                out.remove(&d);
+            }
+            for u in code[i].uses() {
+                out.insert(u);
+            }
+            if out != live_in[i] {
+                live_in[i] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Intervals: defs open, uses/liveness extend.
+    let mut intervals: HashMap<u32, (usize, usize)> = HashMap::new();
+    let touch = |t: u32, i: usize, intervals: &mut HashMap<u32, (usize, usize)>| {
+        intervals
+            .entry(t)
+            .and_modify(|(s, e)| {
+                *s = (*s).min(i);
+                *e = (*e).max(i);
+            })
+            .or_insert((i, i));
+    };
+    for (i, inst) in code.iter().enumerate() {
+        if let Some(d) = inst.def() {
+            touch(d, i, &mut intervals);
+        }
+        for u in inst.uses() {
+            touch(u, i, &mut intervals);
+        }
+        for &t in &live_in[i] {
+            touch(t, i, &mut intervals);
+        }
+    }
+    intervals
+}
+
+/// Linear-scan allocation (Poletto-Sarkar) over the given budget.
+pub fn allocate(code: &[VInst], budget: usize) -> Allocation {
+    let regs = pool(budget);
+    let intervals = live_intervals(code);
+    let mut order: Vec<(u32, (usize, usize))> = intervals.iter().map(|(&t, &iv)| (t, iv)).collect();
+    order.sort_by_key(|&(t, (s, _))| (s, t));
+
+    let mut locs: HashMap<u32, Loc> = HashMap::new();
+    // Active: (end, temp, reg) sorted by end.
+    let mut active: Vec<(usize, u32, Reg)> = Vec::new();
+    let mut free: Vec<Reg> = regs.clone();
+    let mut next_slot = 0u32;
+    let mut spilled = 0usize;
+
+    for (t, (start, end)) in order {
+        // Expire old intervals.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].0 < start {
+                free.push(active[i].2);
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(r) = free.pop() {
+            active.push((end, t, r));
+            locs.insert(t, Loc::Reg(r));
+        } else {
+            // Spill the interval that ends furthest (it or the new one).
+            let (mi, &max_active) = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (e, _, _))| *e)
+                .expect("budget >= 1 so active nonempty");
+            if max_active.0 > end {
+                // Steal the register; spill the long-lived active temp.
+                let (_, victim, r) = max_active;
+                locs.insert(victim, Loc::Slot(next_slot));
+                next_slot += 1;
+                spilled += 1;
+                active.swap_remove(mi);
+                active.push((end, t, r));
+                locs.insert(t, Loc::Reg(r));
+            } else {
+                locs.insert(t, Loc::Slot(next_slot));
+                next_slot += 1;
+                spilled += 1;
+            }
+        }
+    }
+
+    Allocation {
+        locs,
+        frame_slots: next_slot,
+        spilled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cmp, Function, Operand, Stmt};
+    use crate::lower::lower;
+
+    fn chain_function(k: u32) -> Function {
+        // t0..t(k-1) all defined first, then all consumed — forces k
+        // simultaneously live temps.
+        let mut body: Vec<Stmt> = (0..k).map(|i| Stmt::def_const(i, i as i64)).collect();
+        let mut acc = k;
+        body.push(Stmt::def_const(acc, 0));
+        for i in 0..k {
+            body.push(Stmt::def_bin(
+                acc + 1,
+                BinOp::Add,
+                Operand::Temp(acc),
+                Operand::Temp(i),
+            ));
+            acc += 1;
+        }
+        body.push(Stmt::Return {
+            value: Operand::Temp(acc),
+        });
+        Function {
+            name: "chain".into(),
+            params: vec![],
+            body,
+        }
+    }
+
+    #[test]
+    fn generous_budget_spills_nothing() {
+        let low = lower(&chain_function(6));
+        let a = allocate(&low.code, 12);
+        assert_eq!(a.spilled, 0);
+        assert_eq!(a.frame_slots, 0);
+    }
+
+    #[test]
+    fn tight_budget_spills() {
+        let low = lower(&chain_function(10));
+        let a = allocate(&low.code, 3);
+        assert!(a.spilled > 0, "10 live temps cannot fit 3 registers");
+        assert!(a.frame_slots as usize >= a.spilled);
+    }
+
+    #[test]
+    fn every_temp_gets_a_location() {
+        let low = lower(&chain_function(8));
+        let a = allocate(&low.code, 4);
+        for inst in &low.code {
+            for t in inst.uses() {
+                assert!(a.locs.contains_key(&t), "t{t} unallocated");
+            }
+            if let Some(d) = inst.def() {
+                assert!(a.locs.contains_key(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_overlapping_temps_share_a_register() {
+        let low = lower(&chain_function(9));
+        let a = allocate(&low.code, 5);
+        let iv = live_intervals(&low.code);
+        let temps: Vec<u32> = iv.keys().copied().collect();
+        for (i, &x) in temps.iter().enumerate() {
+            for &y in &temps[i + 1..] {
+                let (Loc::Reg(rx), Loc::Reg(ry)) = (a.locs[&x], a.locs[&y]) else {
+                    continue;
+                };
+                if rx == ry {
+                    let (sx, ex) = iv[&x];
+                    let (sy, ey) = iv[&y];
+                    assert!(
+                        ex < sy || ey < sx,
+                        "t{x} [{sx},{ex}] and t{y} [{sy},{ey}] overlap in {rx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_carried_temp_lives_across_loop() {
+        // acc is defined before the loop, used and redefined inside:
+        // liveness must span the whole loop (including the back edge).
+        let f = Function {
+            name: "l".into(),
+            params: vec![],
+            body: vec![
+                Stmt::def_const(0, 0),
+                Stmt::def_const(1, 5),
+                Stmt::While {
+                    cond: (Operand::Temp(1), Cmp::Ne, Operand::Const(0)),
+                    body: vec![
+                        Stmt::def_bin(0, BinOp::Add, Operand::Temp(0), Operand::Const(2)),
+                        Stmt::def_bin(1, BinOp::Sub, Operand::Temp(1), Operand::Const(1)),
+                    ],
+                },
+                Stmt::Return {
+                    value: Operand::Temp(0),
+                },
+            ],
+        };
+        let low = lower(&f);
+        let iv = live_intervals(&low.code);
+        let back_edge = low
+            .code
+            .iter()
+            .position(|i| matches!(i, VInst::B { .. }))
+            .expect("loop has a back edge");
+        let (s0, e0) = iv[&0];
+        assert!(s0 < back_edge && e0 >= back_edge, "acc must span the loop");
+    }
+
+    #[test]
+    #[should_panic(expected = "register budget must be in 1..=17")]
+    fn zero_budget_rejected() {
+        pool(0);
+    }
+}

@@ -1,0 +1,1102 @@
+//! The near-memory processor core: a single-issue, in-order, 5-stage
+//! pipeline (Fetch → Decode → Execute → Mem → Commit) with coarse-grain
+//! multithreading, the context-switching logic (CSL) of §5.2, and a
+//! pluggable [`ContextEngine`].
+//!
+//! ## Timing model
+//!
+//! * Fetch is pipelined: icache hits deliver one instruction per cycle;
+//!   misses stall. Branches use static prediction (backward taken, forward
+//!   not-taken; unconditional branches always follow their target).
+//! * Decode performs the register lookup through the context engine. ViReC
+//!   misses stall the front end until the BSI fills return (Figure 4 (A)→(B)).
+//! * Execute resolves branches (mispredicts squash the fetched slot and
+//!   redirect) and computes ALU results / effective addresses. `mul` and
+//!   `udiv` occupy the stage for multiple cycles.
+//! * Mem issues loads/stores through the LSQ port of the dcache. A **load
+//!   miss to program data** raises the context-switch request (Figure 4
+//!   (C)→(E)); the CSL masks of §5.2 may instead turn it into a blocking
+//!   wait. Stores retire into a finite store queue that drains in the
+//!   background.
+//! * Commit pops the rollback queue, counts instructions and unblocks the
+//!   "committed since last switch" CSL mask.
+
+use crate::config::{CoreConfig, EngineKind};
+use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, OracleSchedule};
+use crate::engines::{BankedEngine, PrefetchEngine, SoftwareEngine, VirecEngine};
+use crate::regions::RegRegion;
+use crate::stats::CoreStats;
+use crate::thread::{Thread, ThreadStatus};
+use crate::trace::{TraceEvent, Tracer};
+use std::collections::VecDeque;
+use virec_isa::{AccessSize, DataMemory, Flags, FlatMem, Instr, Program, Reg};
+use virec_mem::{AccessKind, AccessResult, Cache, Fabric, MshrId, PortId};
+
+/// A fetched instruction waiting for decode.
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    instr: Instr,
+    pc: u32,
+    predicted_next: u32,
+    avail_at: u64,
+}
+
+/// The decode-stage latch.
+#[derive(Clone, Copy, Debug)]
+struct DecodeSlot {
+    instr: Instr,
+    pc: u32,
+    predicted_next: u32,
+    /// `acquire` has been called at least once (engine holds in-flight
+    /// state for this instruction).
+    started: bool,
+    /// `acquire` returned `Ready`.
+    ready: bool,
+}
+
+/// The execute-stage latch.
+#[derive(Clone, Copy, Debug)]
+struct ExecSlot {
+    instr: Instr,
+    pc: u32,
+    done_at: u64,
+    /// ALU-class result to write back on exit.
+    result: Option<(Reg, u64)>,
+    /// Effective address for memory instructions.
+    addr: u64,
+    /// Value to store, for stores.
+    store_val: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MemPhase {
+    /// Needs to issue its dcache access (or is a non-memory instruction).
+    Start,
+    /// Dcache hit in flight.
+    Wait { at: u64 },
+    /// Blocking on an MSHR (masked context switch or register-region miss).
+    WaitMshr { mshr: MshrId },
+    /// Completed; commits at `at`.
+    Done { at: u64 },
+}
+
+/// The mem-stage latch.
+#[derive(Clone, Copy, Debug)]
+struct MemSlot {
+    instr: Instr,
+    pc: u32,
+    phase: MemPhase,
+    addr: u64,
+    store_val: u64,
+    /// Functionally loaded value (written back at completion).
+    load_val: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SqState {
+    Issue,
+    Wait { at: u64 },
+    WaitMshr { mshr: MshrId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SqEntry {
+    addr: u64,
+    state: SqState,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SysPurpose {
+    /// Demand fetch of the incoming thread's sysregs (blocks fetch).
+    DemandIn,
+    /// Ping-pong buffer prefetch for a predicted-next thread.
+    Prefetch(u8),
+    /// Write-back of a suspended thread's sysregs.
+    Writeback,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SysOp {
+    addr: u64,
+    is_load: bool,
+    purpose: SysPurpose,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SysWait {
+    At(u64),
+    Mshr(MshrId),
+}
+
+/// A near-memory processor core.
+pub struct Core {
+    cfg: CoreConfig,
+    program: Program,
+    region: RegRegion,
+    code_base: u64,
+    icache: Cache,
+    dcache: Cache,
+    engine: Box<dyn ContextEngine>,
+    threads: Vec<Thread>,
+
+    running: Option<u8>,
+    /// At least one thread has been activated (suppresses the first
+    /// `on_switch` callback, which has no suspended predecessor).
+    started: bool,
+    /// Thread chosen to switch in, waiting for the engine to be ready.
+    pending_in: Option<u8>,
+    /// Last thread that ran (round-robin pointer).
+    last_tid: u8,
+    committed_since_switch: bool,
+
+    fetch_pc: u32,
+    fetch_stopped: bool,
+    fetch_wait_mshr: Option<MshrId>,
+    fetched: Option<Fetched>,
+    decode: Option<DecodeSlot>,
+    exec: Option<ExecSlot>,
+    mem_slot: Option<MemSlot>,
+    sq: VecDeque<SqEntry>,
+
+    /// Sysreg ping-pong buffer state (§5.2). Only used by engines that keep
+    /// sysregs in the backing store (ViReC and the prefetchers).
+    use_sysbuf: bool,
+    sys_ready: Vec<bool>,
+    sys_queue: VecDeque<SysOp>,
+    sys_wait: Vec<(SysWait, SysPurpose)>,
+    sys_demand_outstanding: bool,
+
+    /// Abandoned icache MSHRs (squashed fetches), retired when they return.
+    orphan_ifetches: Vec<MshrId>,
+
+    /// Per-quantum register-use recording for the prefetch oracle.
+    recorder: Option<Vec<Vec<u32>>>,
+    quantum_mask: Vec<u32>,
+
+    tracer: Option<Tracer>,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Builds a core. `ports.0`/`ports.1` are the fabric ports of the
+    /// icache and dcache respectively; `region` is where this core's thread
+    /// contexts were offloaded; `code_base` is the (timing-only) address of
+    /// the program image.
+    pub fn new(
+        cfg: CoreConfig,
+        program: Program,
+        region: RegRegion,
+        code_base: u64,
+        ports: (PortId, PortId),
+    ) -> Core {
+        Self::with_oracle(
+            cfg,
+            program,
+            region,
+            code_base,
+            ports,
+            OracleSchedule::default(),
+        )
+    }
+
+    /// Builds a core with an oracle schedule for exact-context prefetching.
+    pub fn with_oracle(
+        cfg: CoreConfig,
+        program: Program,
+        region: RegRegion,
+        code_base: u64,
+        ports: (PortId, PortId),
+        oracle: OracleSchedule,
+    ) -> Core {
+        cfg.validate();
+        assert_eq!(region.nthreads, cfg.nthreads, "region sized for nthreads");
+        let engine: Box<dyn ContextEngine> = match cfg.engine {
+            EngineKind::ViReC => Box::new(VirecEngine::new(&cfg)),
+            EngineKind::Banked => Box::new(BankedEngine::new(cfg.nthreads)),
+            EngineKind::Software => Box::new(SoftwareEngine::new(cfg.nthreads)),
+            EngineKind::PrefetchFull => Box::new(PrefetchEngine::full(cfg.nthreads)),
+            EngineKind::PrefetchExact => Box::new(PrefetchEngine::exact(cfg.nthreads, oracle)),
+        };
+        let use_sysbuf = matches!(
+            cfg.engine,
+            EngineKind::ViReC | EngineKind::PrefetchFull | EngineKind::PrefetchExact
+        );
+        Core {
+            program,
+            region,
+            code_base,
+            icache: Cache::new(cfg.icache, ports.0),
+            dcache: Cache::new(cfg.dcache, ports.1),
+            engine,
+            threads: (0..cfg.nthreads).map(|_| Thread::new(0)).collect(),
+            running: None,
+            started: false,
+            pending_in: Some(0),
+            last_tid: 0,
+            committed_since_switch: true,
+            fetch_pc: 0,
+            fetch_stopped: false,
+            fetch_wait_mshr: None,
+            fetched: None,
+            decode: None,
+            exec: None,
+            mem_slot: None,
+            sq: VecDeque::new(),
+            use_sysbuf,
+            sys_ready: vec![false; cfg.nthreads],
+            sys_queue: VecDeque::new(),
+            sys_wait: Vec::new(),
+            sys_demand_outstanding: false,
+            orphan_ifetches: Vec::new(),
+            recorder: None,
+            quantum_mask: vec![0; cfg.nthreads],
+            tracer: None,
+            stats: CoreStats::default(),
+            cfg,
+        }
+    }
+
+    /// Installs an event tracer (see [`crate::trace`]). Pass the callback
+    /// from [`crate::trace::VecTracer::tracer`] to record into a vector.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    #[inline]
+    fn emit(&mut self, now: u64, ev: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t(now, ev);
+        }
+    }
+
+    /// Enables per-quantum register-use recording (to build the oracle for
+    /// exact-context prefetching).
+    pub fn enable_quantum_recording(&mut self) {
+        self.recorder = Some(vec![Vec::new(); self.cfg.nthreads]);
+    }
+
+    /// Takes the recorded oracle schedule (call after the run).
+    pub fn take_oracle(&mut self) -> OracleSchedule {
+        let mut sets = self.recorder.take().unwrap_or_default();
+        // Close the final quantum of every thread.
+        for (t, mask) in self.quantum_mask.iter().enumerate() {
+            if *mask != 0 {
+                if let Some(v) = sets.get_mut(t) {
+                    v.push(*mask);
+                }
+            }
+        }
+        OracleSchedule { sets }
+    }
+
+    /// This core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// This core's register-backing region.
+    pub fn region(&self) -> RegRegion {
+        self.region
+    }
+
+    /// Execution statistics (dcache/icache stats are folded in by
+    /// [`Core::finalize_stats`]).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Scheduling state of thread `tid`.
+    pub fn thread(&self, tid: usize) -> &Thread {
+        &self.threads[tid]
+    }
+
+    /// Whether every launched thread has halted (threads that were never
+    /// activated do not keep the core alive).
+    pub fn done(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.status, ThreadStatus::Halted | ThreadStatus::Inactive))
+    }
+
+    /// Deactivates thread `tid` so the scheduler skips it until
+    /// [`Core::activate_thread`]. Only valid before the thread has run
+    /// (status `Ready`, typically right after construction).
+    pub fn deactivate_thread(&mut self, tid: usize) {
+        assert_eq!(
+            self.threads[tid].status,
+            ThreadStatus::Ready,
+            "can only deactivate a not-yet-run thread"
+        );
+        self.threads[tid].status = ThreadStatus::Inactive;
+    }
+
+    /// Launches a previously inactive thread at `pc`. The caller must have
+    /// offloaded its context to the reserved region beforehand.
+    pub fn activate_thread(&mut self, tid: usize, pc: u32) {
+        assert_eq!(
+            self.threads[tid].status,
+            ThreadStatus::Inactive,
+            "thread {tid} is not inactive"
+        );
+        self.threads[tid].pc = pc;
+        self.threads[tid].status = ThreadStatus::Ready;
+    }
+
+    /// Copies cache statistics into the core stats snapshot.
+    pub fn finalize_stats(&mut self) {
+        self.stats.dcache = *self.dcache.stats();
+        self.stats.icache = *self.icache.stats();
+    }
+
+    /// Writes all live register state to the backing region so final
+    /// architectural state can be inspected from memory.
+    pub fn drain(&mut self, mem: &mut FlatMem) {
+        self.engine.drain(self.region, mem);
+    }
+
+    /// Architectural value of `(tid, reg)` after [`Core::drain`].
+    pub fn arch_reg(&self, tid: usize, reg: Reg, mem: &FlatMem) -> u64 {
+        if reg.is_zero() {
+            0
+        } else {
+            mem.read(self.region.reg_addr(tid, reg), AccessSize::B8)
+        }
+    }
+
+    fn code_addr(&self, pc: u32) -> u64 {
+        self.code_base + pc as u64 * 4
+    }
+
+    fn env<'a>(
+        engine_stats: &'a mut CoreStats,
+        dcache: &'a mut Cache,
+        fabric: &'a mut Fabric,
+        mem: &'a mut FlatMem,
+        region: RegRegion,
+    ) -> EngineEnv<'a> {
+        EngineEnv {
+            dcache,
+            fabric,
+            mem,
+            region,
+            stats: engine_stats,
+        }
+    }
+
+    /// Advances the core by one cycle. The caller must tick the fabric once
+    /// per cycle (before or after all cores, consistently).
+    pub fn tick(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        self.stats.cycles += 1;
+
+        self.dcache.tick(now, fabric);
+        self.icache.tick(now, fabric);
+        self.poll_blocked_threads(now);
+        self.poll_orphans(now);
+
+        // Stall accounting (one category per cycle, most severe first).
+        if self.running.is_none() {
+            self.stats.stall_idle += 1;
+        } else if matches!(
+            self.mem_slot,
+            Some(MemSlot {
+                phase: MemPhase::WaitMshr { .. },
+                ..
+            })
+        ) {
+            self.stats.stall_mem += 1;
+        } else if matches!(
+            self.decode,
+            Some(DecodeSlot {
+                started: true,
+                ready: false,
+                ..
+            })
+        ) {
+            self.stats.stall_reg_fill += 1;
+        } else if self.fetched.is_none()
+            && (self.fetch_wait_mshr.is_some() || self.sys_demand_outstanding)
+        {
+            self.stats.stall_fetch += 1;
+        }
+
+        // Backend first so younger stages see freed slots this cycle.
+        self.stage_mem(now, fabric, mem);
+        self.drain_sq(now, fabric);
+        self.stage_exec(now, fabric, mem);
+        self.stage_decode(now, fabric, mem);
+        self.stage_fetch_to_decode(now);
+
+        // Engine machinery (BSI / transfer queues) after the LSQ had its
+        // chance at the dcache ports — the arbiter priority of §5.3.
+        {
+            let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+            self.engine.tick(now, &mut env);
+        }
+        self.tick_sysops(now, fabric);
+        self.stage_fetch(now, fabric);
+        self.schedule(now, fabric, mem);
+    }
+
+    // ---- scheduling ----------------------------------------------------
+
+    fn poll_blocked_threads(&mut self, now: u64) {
+        let mut woke: Vec<u8> = Vec::new();
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            if let ThreadStatus::Blocked(mshr) = t.status {
+                if self.dcache.mshr_ready(mshr, now) {
+                    self.dcache.mshr_retire(mshr);
+                    t.status = ThreadStatus::Ready;
+                    woke.push(i as u8);
+                }
+            }
+        }
+        for tid in woke {
+            self.emit(now, TraceEvent::Wakeup { tid });
+        }
+    }
+
+    fn poll_orphans(&mut self, now: u64) {
+        let icache = &mut self.icache;
+        self.orphan_ifetches.retain(|&m| {
+            if icache.mshr_ready(m, now) {
+                icache.mshr_retire(m);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Picks and activates the next thread when the pipeline is idle.
+    fn schedule(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        if self.running.is_some() {
+            return;
+        }
+        if self.pending_in.is_none() {
+            // Round-robin scan from the last running thread.
+            let n = self.cfg.nthreads;
+            for i in 1..=n {
+                let cand = ((self.last_tid as usize + i) % n) as u8;
+                if self.threads[cand as usize].runnable() {
+                    self.pending_in = Some(cand);
+                    break;
+                }
+            }
+        }
+        let Some(tid) = self.pending_in else { return };
+        if !self.threads[tid as usize].runnable() {
+            // Chosen thread got blocked/halted in the meantime; rescan.
+            self.pending_in = None;
+            return;
+        }
+        let ready = {
+            let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+            self.engine.thread_ready(now, tid, &mut env)
+        };
+        if !ready {
+            return;
+        }
+        // Switch in.
+        self.pending_in = None;
+        let out = self.last_tid;
+        self.running = Some(tid);
+        self.last_tid = tid;
+        self.fetch_pc = self.threads[tid as usize].pc;
+        self.fetch_stopped = false;
+        self.committed_since_switch = false;
+        if self.started {
+            let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+            self.engine.on_switch(now, out, tid, &mut env);
+        }
+        self.started = true;
+        self.emit(
+            now,
+            TraceEvent::SwitchIn {
+                tid,
+                pc: self.fetch_pc,
+            },
+        );
+        if self.use_sysbuf {
+            if !self.sys_ready[tid as usize] {
+                self.sys_queue.push_back(SysOp {
+                    addr: self.region.sysreg_addr(tid as usize),
+                    is_load: true,
+                    purpose: SysPurpose::DemandIn,
+                });
+                self.sys_demand_outstanding = true;
+            }
+            // Warm the ping-pong buffer for the predicted next thread.
+            if let Some(next) = self.predict_next_thread(tid) {
+                if !self.sys_ready[next as usize] {
+                    self.sys_queue.push_back(SysOp {
+                        addr: self.region.sysreg_addr(next as usize),
+                        is_load: true,
+                        purpose: SysPurpose::Prefetch(next),
+                    });
+                }
+            }
+        }
+    }
+
+    fn predict_next_thread(&self, after: u8) -> Option<u8> {
+        let n = self.cfg.nthreads;
+        for i in 1..n {
+            let cand = ((after as usize + i) % n) as u8;
+            if self.threads[cand as usize].status != ThreadStatus::Halted {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Flushes the pipeline and suspends the running thread.
+    /// `resume_pc` is where the thread will replay from; `blocked_on` is the
+    /// MSHR of the triggering load miss (if any).
+    fn context_switch_out(
+        &mut self,
+        now: u64,
+        resume_pc: u32,
+        blocked_on: Option<MshrId>,
+        halted: bool,
+        fabric: &mut Fabric,
+        mem: &mut FlatMem,
+    ) {
+        let tid = self.running.take().expect("switching out with no thread");
+        let t = &mut self.threads[tid as usize];
+        t.pc = resume_pc;
+        t.status = match (halted, blocked_on) {
+            (true, _) => ThreadStatus::Halted,
+            (false, Some(m)) => ThreadStatus::Blocked(m),
+            (false, None) => ThreadStatus::Ready,
+        };
+
+        // Flush the pipeline; the engine compacts its rollback queue and
+        // clears the C bits of in-flight registers (§5.1).
+        self.fetched = None;
+        self.decode = None;
+        self.exec = None;
+        self.mem_slot = None;
+        if let Some(m) = self.fetch_wait_mshr.take() {
+            self.orphan_ifetches.push(m);
+        }
+        self.engine.flush_all_inflight(tid);
+        if halted {
+            let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+            self.engine.on_thread_halt(tid, &mut env);
+        }
+
+        // Close the recording quantum.
+        if let Some(rec) = &mut self.recorder {
+            let mask = std::mem::take(&mut self.quantum_mask[tid as usize]);
+            rec[tid as usize].push(mask);
+        }
+
+        if self.use_sysbuf {
+            self.sys_ready[tid as usize] = false;
+            self.sys_queue.push_back(SysOp {
+                addr: self.region.sysreg_addr(tid as usize),
+                is_load: false,
+                purpose: SysPurpose::Writeback,
+            });
+        }
+
+        if !halted {
+            self.stats.context_switches += 1;
+        }
+        self.emit(
+            now,
+            TraceEvent::SwitchOut {
+                tid,
+                resume_pc,
+                blocked: blocked_on.is_some(),
+            },
+        );
+    }
+
+    // ---- pipeline stages -------------------------------------------------
+
+    fn stage_mem(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        let Some(mut slot) = self.mem_slot.take() else {
+            return;
+        };
+        let tid = self.running.expect("mem stage with no running thread");
+
+        match slot.phase {
+            MemPhase::Start => {
+                // The issue attempt failed last cycle (port/MSHR); retry.
+                self.mem_slot = Some(slot);
+                self.mem_issue(now, fabric, mem);
+                return;
+            }
+            MemPhase::Wait { at } => {
+                if at <= now {
+                    if let Instr::Ldr { dst, .. } = slot.instr {
+                        self.engine.write(tid, dst, slot.load_val);
+                    }
+                    slot.phase = MemPhase::Done { at: now };
+                }
+                self.mem_slot = Some(slot);
+            }
+            MemPhase::WaitMshr { mshr } => {
+                if self.dcache.mshr_ready(mshr, now) {
+                    self.dcache.mshr_retire(mshr);
+                    if let Instr::Ldr { dst, size, .. } = slot.instr {
+                        slot.load_val = mem.read(slot.addr, size);
+                        self.engine.write(tid, dst, slot.load_val);
+                    }
+                    slot.phase = MemPhase::Done { at: now };
+                }
+                self.mem_slot = Some(slot);
+            }
+            MemPhase::Done { .. } => {
+                self.mem_slot = Some(slot);
+            }
+        }
+        self.try_commit(now, fabric, mem);
+    }
+
+    /// Processes a mem-stage slot in [`MemPhase::Start`]: issues the dcache
+    /// access for loads/stores (the CSL switch decision happens here) or
+    /// completes non-memory instructions in a single cycle.
+    fn mem_issue(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        let Some(mut slot) = self.mem_slot.take() else {
+            return;
+        };
+        debug_assert!(matches!(slot.phase, MemPhase::Start));
+
+        match slot.instr {
+            Instr::Ldr { size, .. } => {
+                match self
+                    .dcache
+                    .access(now, slot.addr, AccessKind::DataLoad, fabric)
+                {
+                    AccessResult::Hit { ready_at } => {
+                        slot.load_val = mem.read(slot.addr, size);
+                        slot.phase = MemPhase::Wait { at: ready_at };
+                        self.mem_slot = Some(slot);
+                    }
+                    AccessResult::Miss { mshr } => {
+                        if self.region.contains(slot.addr) {
+                            // Register-region miss: never a context switch
+                            // (§5.3) — wait for the fill.
+                            slot.phase = MemPhase::WaitMshr { mshr };
+                            self.mem_slot = Some(slot);
+                        } else if self.can_switch() {
+                            self.context_switch_out(now, slot.pc, Some(mshr), false, fabric, mem);
+                            return;
+                        } else {
+                            self.stats.switches_masked += 1;
+                            let tid = self.running.expect("mem stage implies running");
+                            self.emit(now, TraceEvent::SwitchMasked { tid });
+                            slot.phase = MemPhase::WaitMshr { mshr };
+                            self.mem_slot = Some(slot);
+                        }
+                    }
+                    AccessResult::NoMshr | AccessResult::NoPort => {
+                        self.mem_slot = Some(slot); // retry next cycle
+                    }
+                }
+            }
+            Instr::Str { size, .. } => {
+                if self.sq.len() >= self.cfg.sq_entries {
+                    self.stats.stall_sq_full += 1;
+                    self.mem_slot = Some(slot);
+                } else {
+                    mem.write(slot.addr, size, slot.store_val);
+                    self.sq.push_back(SqEntry {
+                        addr: slot.addr,
+                        state: SqState::Issue,
+                    });
+                    slot.phase = MemPhase::Done { at: now };
+                    self.mem_slot = Some(slot);
+                }
+            }
+            _ => {
+                slot.phase = MemPhase::Done { at: now };
+                self.mem_slot = Some(slot);
+            }
+        }
+        self.try_commit(now, fabric, mem);
+    }
+
+    fn try_commit(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        let Some(slot) = self.mem_slot else { return };
+        let MemPhase::Done { at } = slot.phase else {
+            return;
+        };
+        if at > now {
+            return;
+        }
+        let tid = self.running.expect("commit with no running thread");
+        self.mem_slot = None;
+        self.engine.commit_instr(tid, &slot.instr);
+        self.stats.instructions += 1;
+        self.committed_since_switch = true;
+        self.emit(
+            now,
+            TraceEvent::Commit {
+                tid,
+                pc: slot.pc,
+                instr: slot.instr,
+            },
+        );
+        if matches!(slot.instr, Instr::Halt) {
+            self.context_switch_out(now, slot.pc, None, true, fabric, mem);
+        }
+    }
+
+    /// The CSL masking conditions of §5.2.
+    fn can_switch(&self) -> bool {
+        // (1) At least one instruction committed since the last switch.
+        if !self.committed_since_switch {
+            return false;
+        }
+        // (2) Another runnable thread exists.
+        let tid = self.running.expect("mask check while idle");
+        let any_other = self
+            .threads
+            .iter()
+            .enumerate()
+            .any(|(i, t)| i != tid as usize && t.runnable());
+        if !any_other {
+            return false;
+        }
+        // (3) No outstanding BSI register transfer.
+        if self.engine.bsi_busy() {
+            return false;
+        }
+        // (4) The oldest in-flight instruction is the memory operation
+        // itself (always true for this in-order pipeline when known).
+        if self.engine.oldest_inflight_is_mem() == Some(false) {
+            return false;
+        }
+        true
+    }
+
+    fn drain_sq(&mut self, now: u64, fabric: &mut Fabric) {
+        let Some(head) = self.sq.front_mut() else {
+            return;
+        };
+        match head.state {
+            SqState::Issue => {
+                match self
+                    .dcache
+                    .access(now, head.addr, AccessKind::DataStore, fabric)
+                {
+                    AccessResult::Hit { ready_at } => head.state = SqState::Wait { at: ready_at },
+                    AccessResult::Miss { mshr } => head.state = SqState::WaitMshr { mshr },
+                    AccessResult::NoMshr | AccessResult::NoPort => {}
+                }
+            }
+            SqState::Wait { at } => {
+                if at <= now {
+                    self.sq.pop_front();
+                }
+            }
+            SqState::WaitMshr { mshr } => {
+                if self.dcache.mshr_ready(mshr, now) {
+                    self.dcache.mshr_retire(mshr);
+                    self.sq.pop_front();
+                }
+            }
+        }
+    }
+
+    fn stage_exec(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        let Some(slot) = self.exec else { return };
+        if slot.done_at > now || self.mem_slot.is_some() {
+            return;
+        }
+        let tid = self.running.expect("exec with no running thread");
+        // Writeback of ALU-class results happens as the instruction leaves
+        // execute (full forwarding to the next instruction's execute entry).
+        if let Some((dst, val)) = slot.result {
+            self.engine.write(tid, dst, val);
+        }
+        self.exec = None;
+        self.mem_slot = Some(MemSlot {
+            instr: slot.instr,
+            pc: slot.pc,
+            phase: MemPhase::Start,
+            addr: slot.addr,
+            store_val: slot.store_val,
+            load_val: 0,
+        });
+        // Issue immediately (the LSQ access happens in the cycle the
+        // instruction enters the mem stage).
+        self.mem_issue(now, fabric, mem);
+    }
+
+    /// Whether `instr` must wait for an in-flight load's destination.
+    fn load_hazard(&self, instr: &Instr) -> bool {
+        let Some(MemSlot {
+            instr: Instr::Ldr { dst, .. },
+            phase,
+            ..
+        }) = &self.mem_slot
+        else {
+            return false;
+        };
+        if matches!(phase, MemPhase::Done { .. }) {
+            return false; // value already written back
+        }
+        instr.regs().contains(*dst)
+    }
+
+    fn stage_decode(&mut self, now: u64, fabric: &mut Fabric, mem: &mut FlatMem) {
+        let Some(mut slot) = self.decode else { return };
+        let tid = self.running.expect("decode with no running thread");
+
+        if !slot.ready {
+            let outcome = {
+                let mut env =
+                    Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+                self.engine.acquire(now, tid, &slot.instr, &mut env)
+            };
+            slot.started = true;
+            slot.ready = outcome == AcquireOutcome::Ready;
+            if slot.ready {
+                if let Some(_rec) = &self.recorder {
+                    let mut mask = 0u32;
+                    for r in slot.instr.regs().iter() {
+                        mask |= 1 << r.index();
+                    }
+                    self.quantum_mask[tid as usize] |= mask;
+                }
+            }
+            self.decode = Some(slot);
+        }
+        let Some(slot) = self.decode else { return };
+        if !slot.ready || self.exec.is_some() || self.load_hazard(&slot.instr) {
+            return;
+        }
+        // Issue to execute: read operands, compute, resolve branches.
+        self.decode = None;
+        self.issue_to_exec(now, tid, slot);
+    }
+
+    fn issue_to_exec(&mut self, now: u64, tid: u8, slot: DecodeSlot) {
+        use virec_isa::instr::Operand2;
+        use virec_isa::MemOffset;
+
+        let read = |e: &dyn ContextEngine, r: Reg| -> u64 { e.read(tid, r) };
+        let flags = self.threads[tid as usize].flags;
+        let mut result: Option<(Reg, u64)> = None;
+        let mut addr = 0u64;
+        let mut store_val = 0u64;
+        let mut latency = 1u32;
+        let mut actual_next = slot.pc + 1;
+
+        match slot.instr {
+            Instr::Alu { op, dst, src, rhs } => {
+                let b = match rhs {
+                    Operand2::Reg(r) => read(&*self.engine, r),
+                    Operand2::Imm(v) => v as u64,
+                };
+                result = Some((dst, op.apply(read(&*self.engine, src), b)));
+                latency = op.latency();
+            }
+            Instr::Madd { dst, a, b, acc } => {
+                let v = read(&*self.engine, a)
+                    .wrapping_mul(read(&*self.engine, b))
+                    .wrapping_add(read(&*self.engine, acc));
+                result = Some((dst, v));
+                latency = 3;
+            }
+            Instr::MovImm { dst, imm } => {
+                result = Some((dst, imm as u64));
+            }
+            Instr::Cmp { src, rhs } => {
+                let b = match rhs {
+                    Operand2::Reg(r) => read(&*self.engine, r),
+                    Operand2::Imm(v) => v as u64,
+                };
+                self.threads[tid as usize].flags = Flags::from_cmp(read(&*self.engine, src), b);
+            }
+            Instr::Csel { dst, a, b, cond } => {
+                let v = if cond.eval(flags) {
+                    read(&*self.engine, a)
+                } else {
+                    read(&*self.engine, b)
+                };
+                result = Some((dst, v));
+            }
+            Instr::Ldr { base, offset, .. } | Instr::Str { base, offset, .. } => {
+                let b = read(&*self.engine, base);
+                addr = match offset {
+                    MemOffset::Imm(i) => b.wrapping_add(i as u64),
+                    MemOffset::RegShifted { index, shift } => {
+                        b.wrapping_add(read(&*self.engine, index).wrapping_shl(shift as u32))
+                    }
+                };
+                if let Instr::Str { src, .. } = slot.instr {
+                    store_val = read(&*self.engine, src);
+                }
+            }
+            Instr::B { target } => actual_next = target,
+            Instr::Bcc { cond, target } => {
+                if cond.eval(flags) {
+                    actual_next = target;
+                }
+            }
+            Instr::Cbz { src, target } => {
+                if read(&*self.engine, src) == 0 {
+                    actual_next = target;
+                }
+            }
+            Instr::Cbnz { src, target } => {
+                if read(&*self.engine, src) != 0 {
+                    actual_next = target;
+                }
+            }
+            Instr::Nop | Instr::Halt => {}
+        }
+
+        if slot.instr.is_branch() && actual_next != slot.predicted_next {
+            // Mispredict: squash the fetched slot and redirect.
+            self.stats.branch_mispredicts += 1;
+            self.fetched = None;
+            if let Some(m) = self.fetch_wait_mshr.take() {
+                self.orphan_ifetches.push(m);
+            }
+            self.fetch_pc = actual_next;
+            self.fetch_stopped = false;
+        }
+
+        self.exec = Some(ExecSlot {
+            instr: slot.instr,
+            pc: slot.pc,
+            done_at: now + latency as u64,
+            result,
+            addr,
+            store_val,
+        });
+    }
+
+    fn stage_fetch_to_decode(&mut self, now: u64) {
+        if self.decode.is_some() {
+            return;
+        }
+        let Some(f) = self.fetched else { return };
+        if f.avail_at > now {
+            return;
+        }
+        self.fetched = None;
+        self.decode = Some(DecodeSlot {
+            instr: f.instr,
+            pc: f.pc,
+            predicted_next: f.predicted_next,
+            started: false,
+            ready: false,
+        });
+    }
+
+    fn stage_fetch(&mut self, now: u64, fabric: &mut Fabric) {
+        if self.running.is_none()
+            || self.fetched.is_some()
+            || self.fetch_stopped
+            || self.sys_demand_outstanding
+        {
+            return;
+        }
+        if let Some(m) = self.fetch_wait_mshr {
+            if self.icache.mshr_ready(m, now) {
+                self.icache.mshr_retire(m);
+                self.fetch_wait_mshr = None;
+                self.deliver_fetch(now + 1);
+            }
+            return;
+        }
+        let addr = self.code_addr(self.fetch_pc);
+        match self.icache.access(now, addr, AccessKind::IFetch, fabric) {
+            AccessResult::Hit { .. } => {
+                // Pipelined fetch: one instruction per cycle on hits.
+                self.deliver_fetch(now + 1);
+            }
+            AccessResult::Miss { mshr } => {
+                self.fetch_wait_mshr = Some(mshr);
+            }
+            AccessResult::NoMshr | AccessResult::NoPort => {}
+        }
+    }
+
+    fn deliver_fetch(&mut self, avail_at: u64) {
+        let pc = self.fetch_pc;
+        let instr = self.program.fetch(pc);
+        let predicted_next = match instr {
+            Instr::B { target } => target,
+            Instr::Bcc { target, .. } | Instr::Cbz { target, .. } | Instr::Cbnz { target, .. } => {
+                if self.cfg.branch_pred && target <= pc {
+                    target // backward: predict taken
+                } else {
+                    pc + 1 // forward: predict not-taken
+                }
+            }
+            Instr::Halt => {
+                self.fetch_stopped = true;
+                pc
+            }
+            _ => pc + 1,
+        };
+        self.fetched = Some(Fetched {
+            instr,
+            pc,
+            predicted_next,
+            avail_at,
+        });
+        if !self.fetch_stopped {
+            self.fetch_pc = predicted_next;
+        }
+    }
+
+    fn tick_sysops(&mut self, now: u64, fabric: &mut Fabric) {
+        if !self.use_sysbuf {
+            return;
+        }
+        // Complete.
+        let mut i = 0;
+        while i < self.sys_wait.len() {
+            let done = match self.sys_wait[i].0 {
+                SysWait::At(t) => t <= now,
+                SysWait::Mshr(m) => {
+                    if self.dcache.mshr_ready(m, now) {
+                        self.dcache.mshr_retire(m);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !done {
+                i += 1;
+                continue;
+            }
+            match self.sys_wait[i].1 {
+                SysPurpose::DemandIn => self.sys_demand_outstanding = false,
+                SysPurpose::Prefetch(t) => self.sys_ready[t as usize] = true,
+                SysPurpose::Writeback => {}
+            }
+            self.sys_wait.swap_remove(i);
+        }
+        // Issue (lowest priority on the dcache ports).
+        if let Some(op) = self.sys_queue.front().copied() {
+            let kind = match (op.is_load, self.cfg.reg_line_pinning) {
+                (true, true) => AccessKind::RegFill,
+                (true, false) => AccessKind::DataLoad,
+                (false, true) => AccessKind::RegSpill,
+                (false, false) => AccessKind::DataStore,
+            };
+            match self.dcache.access(now, op.addr, kind, fabric) {
+                AccessResult::Hit { ready_at } => {
+                    self.sys_queue.pop_front();
+                    self.sys_wait.push((SysWait::At(ready_at), op.purpose));
+                }
+                AccessResult::Miss { mshr } => {
+                    self.sys_queue.pop_front();
+                    self.sys_wait.push((SysWait::Mshr(mshr), op.purpose));
+                }
+                AccessResult::NoMshr | AccessResult::NoPort => {}
+            }
+        }
+    }
+}

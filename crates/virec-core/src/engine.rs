@@ -1,0 +1,119 @@
+//! The context-engine abstraction.
+//!
+//! The pipeline is identical for every architecture alternative in the
+//! paper's evaluation; what differs is how thread register contexts are
+//! stored and made available. A [`ContextEngine`] answers the decode stage's
+//! register lookups and manages storage:
+//!
+//! * [`crate::engines::VirecEngine`] — the paper's contribution (VRMU + BSI).
+//! * [`crate::engines::BankedEngine`] — statically banked full contexts.
+//! * [`crate::engines::SoftwareEngine`] — save/restore through memory.
+//! * [`crate::engines::PrefetchEngine`] — double-buffer context prefetching
+//!   (full or oracle-exact).
+
+use crate::regions::RegRegion;
+use crate::stats::CoreStats;
+use virec_isa::{FlatMem, Instr, Reg};
+use virec_mem::{Cache, Fabric};
+
+/// Mutable access to the core-owned resources an engine needs each cycle.
+pub struct EngineEnv<'a> {
+    /// The data cache (the ViReC backing store).
+    pub dcache: &'a mut Cache,
+    /// The crossbar + DRAM fabric.
+    pub fabric: &'a mut Fabric,
+    /// Functional memory (register-backing region included).
+    pub mem: &'a mut FlatMem,
+    /// This core's register-backing region layout.
+    pub region: RegRegion,
+    /// Statistics sink.
+    pub stats: &'a mut CoreStats,
+}
+
+/// Result of a decode-stage register acquisition attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// All registers of the instruction are available; it may issue.
+    Ready,
+    /// Fills are in flight (or no victim was available); retry next cycle.
+    Pending,
+}
+
+/// Per-quantum register-use sets recorded from a run, used as the oracle for
+/// exact-context prefetching (§6.1: "assuming an oracle prediction").
+#[derive(Clone, Debug, Default)]
+pub struct OracleSchedule {
+    /// `sets[tid][quantum]` = bitmask over architectural registers used in
+    /// that scheduling quantum.
+    pub sets: Vec<Vec<u32>>,
+}
+
+impl OracleSchedule {
+    /// Register mask for a thread's `quantum`-th run, if recorded.
+    pub fn mask(&self, tid: usize, quantum: usize) -> Option<u32> {
+        self.sets.get(tid).and_then(|v| v.get(quantum)).copied()
+    }
+}
+
+/// Storage and availability of thread register contexts.
+pub trait ContextEngine {
+    /// Attempts to make every register of `instr` available for `tid`.
+    /// Called from decode once per cycle until it returns `Ready`; on
+    /// `Ready` the engine has locked the registers and recorded the
+    /// instruction as in-flight.
+    fn acquire(
+        &mut self,
+        now: u64,
+        tid: u8,
+        instr: &Instr,
+        env: &mut EngineEnv<'_>,
+    ) -> AcquireOutcome;
+
+    /// Reads the current value of a resident register.
+    fn read(&self, tid: u8, reg: Reg) -> u64;
+
+    /// Writes a resident register.
+    fn write(&mut self, tid: u8, reg: Reg, value: u64);
+
+    /// The oldest in-flight instruction committed.
+    fn commit_instr(&mut self, tid: u8, instr: &Instr);
+
+    /// A branch redirect squashed the youngest in-flight (acquired but not
+    /// issued) instruction.
+    fn abort_youngest(&mut self, tid: u8, instr: &Instr);
+
+    /// A context switch flushed every in-flight instruction of `tid`
+    /// (the rollback-queue compaction of §5.1).
+    fn flush_all_inflight(&mut self, tid: u8);
+
+    /// The CSL switched from `out_tid` to `in_tid`.
+    fn on_switch(&mut self, now: u64, out_tid: u8, in_tid: u8, env: &mut EngineEnv<'_>);
+
+    /// Whether `tid` can be scheduled right now (e.g. its context bank is
+    /// loaded). Engines may use this call to start loading.
+    fn thread_ready(&mut self, now: u64, tid: u8, env: &mut EngineEnv<'_>) -> bool;
+
+    /// Thread `tid` halted; its context storage may be reclaimed.
+    fn on_thread_halt(&mut self, tid: u8, env: &mut EngineEnv<'_>) {
+        let _ = (tid, env);
+    }
+
+    /// Advances engine-internal machinery (BSI, transfer queues) one cycle.
+    fn tick(&mut self, now: u64, env: &mut EngineEnv<'_>);
+
+    /// CSL mask: a register load or store is outstanding in the BSI (§5.2).
+    fn bsi_busy(&self) -> bool {
+        false
+    }
+
+    /// CSL mask: whether the oldest in-flight instruction is a memory
+    /// operation (`None` when unknown or the backend is empty, which the
+    /// CSL treats as permissive).
+    fn oldest_inflight_is_mem(&self) -> Option<bool> {
+        None
+    }
+
+    /// Writes all live register state back to the backing region so the
+    /// final memory image can be compared against the golden interpreter.
+    fn drain(&mut self, region: RegRegion, mem: &mut FlatMem);
+}

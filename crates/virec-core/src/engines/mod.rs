@@ -1,0 +1,92 @@
+//! Context-engine implementations: ViReC and the baselines it is evaluated
+//! against (banked, software switching, full/exact context prefetching).
+
+mod banked;
+mod prefetch;
+mod software;
+mod virec;
+
+pub use banked::BankedEngine;
+pub use prefetch::PrefetchEngine;
+pub use software::SoftwareEngine;
+pub use virec::VirecEngine;
+
+use virec_mem::{AccessKind, AccessResult, Cache, Fabric, MshrId};
+
+/// A queue of timing-only line/word transfers through the dcache, shared by
+/// the banked first-activation loads, software save/restore sequences, and
+/// the prefetch engines' context movement.
+pub(crate) struct Xfer {
+    queued: std::collections::VecDeque<(u64, bool)>,
+    outstanding: Vec<XferWait>,
+}
+
+pub(crate) enum XferWait {
+    At(u64),
+    Mshr(MshrId),
+}
+
+impl Xfer {
+    pub(crate) fn new() -> Xfer {
+        Xfer {
+            queued: std::collections::VecDeque::new(),
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// Queues a load of `addr` (timing only).
+    pub(crate) fn enqueue_load(&mut self, addr: u64) {
+        self.queued.push_back((addr, true));
+    }
+
+    /// Queues a store to `addr` (timing only).
+    pub(crate) fn enqueue_store(&mut self, addr: u64) {
+        self.queued.push_back((addr, false));
+    }
+
+    /// No transfers queued or in flight.
+    pub(crate) fn idle(&self) -> bool {
+        self.queued.is_empty() && self.outstanding.is_empty()
+    }
+
+    /// Issues queued transfers and completes outstanding ones.
+    pub(crate) fn tick(&mut self, now: u64, dcache: &mut Cache, fabric: &mut Fabric) {
+        let mut i = 0;
+        while i < self.outstanding.len() {
+            let done = match self.outstanding[i] {
+                XferWait::At(t) => t <= now,
+                XferWait::Mshr(id) => {
+                    if dcache.mshr_ready(id, now) {
+                        dcache.mshr_retire(id);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if done {
+                self.outstanding.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        while let Some(&(addr, is_load)) = self.queued.front() {
+            let kind = if is_load {
+                AccessKind::DataLoad
+            } else {
+                AccessKind::DataStore
+            };
+            match dcache.access(now, addr, kind, fabric) {
+                AccessResult::Hit { ready_at } => {
+                    self.queued.pop_front();
+                    self.outstanding.push(XferWait::At(ready_at));
+                }
+                AccessResult::Miss { mshr } => {
+                    self.queued.pop_front();
+                    self.outstanding.push(XferWait::Mshr(mshr));
+                }
+                AccessResult::NoMshr | AccessResult::NoPort => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Layout of the reserved register-backing region in memory.
+//!
+//! Offloaded thread contexts are "shipped through the crossbar and written
+//! to a reserved region of memory per processor" (§6). ViReC spills and
+//! fills registers to this region through the dcache; each thread's context
+//! occupies a small number of 64-byte lines (general-purpose registers plus
+//! one line of system registers).
+
+use virec_isa::Reg;
+
+/// Bytes reserved per thread: 31 GPRs (4 lines, 8 regs each, rounded) plus
+/// one line of system registers = 5 lines.
+pub const BYTES_PER_THREAD: u64 = 5 * 64;
+
+/// Describes where one core's register contexts live in memory.
+#[derive(Clone, Copy, Debug)]
+pub struct RegRegion {
+    /// Base address of this core's reserved region (64-byte aligned).
+    pub base: u64,
+    /// Number of hardware threads with contexts in the region.
+    pub nthreads: usize,
+}
+
+impl RegRegion {
+    /// Creates a region at `base` for `nthreads` threads.
+    ///
+    /// # Panics
+    /// Panics if `base` is not 64-byte aligned.
+    pub fn new(base: u64, nthreads: usize) -> RegRegion {
+        assert_eq!(base % 64, 0, "region base must be line-aligned");
+        RegRegion { base, nthreads }
+    }
+
+    /// Total size of the region in bytes.
+    pub fn size(&self) -> u64 {
+        self.nthreads as u64 * BYTES_PER_THREAD
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.size()
+    }
+
+    /// Backing-store address of `reg` for thread `tid`.
+    pub fn reg_addr(&self, tid: usize, reg: Reg) -> u64 {
+        assert!(tid < self.nthreads);
+        assert!(!reg.is_zero(), "xzr has no backing-store slot");
+        self.base + tid as u64 * BYTES_PER_THREAD + reg.index() as u64 * 8
+    }
+
+    /// Backing-store address of thread `tid`'s system-register line
+    /// (PC, flags and scheduling state, prefetched by the CSL ping-pong
+    /// buffer in §5.2).
+    pub fn sysreg_addr(&self, tid: usize) -> u64 {
+        assert!(tid < self.nthreads);
+        self.base + tid as u64 * BYTES_PER_THREAD + 4 * 64
+    }
+
+    /// Whether `addr` falls inside the reserved region. The dcache miss
+    /// logic uses this check to suppress context-switch signals for
+    /// register fills (§5.3).
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::reg::names::*;
+
+    #[test]
+    fn distinct_threads_distinct_lines() {
+        let r = RegRegion::new(0x1_0000, 8);
+        for t in 0..8 {
+            for u in 0..8 {
+                if t != u {
+                    // Thread contexts must never share a cache line, or
+                    // pinning would couple unrelated threads.
+                    assert_ne!(r.reg_addr(t, X0) / 64, r.reg_addr(u, X0) / 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reg_addresses_are_dense_and_ordered() {
+        let r = RegRegion::new(0, 2);
+        assert_eq!(r.reg_addr(0, X0), 0);
+        assert_eq!(r.reg_addr(0, X1), 8);
+        assert_eq!(r.reg_addr(0, X30), 240);
+        assert_eq!(r.reg_addr(1, X0), BYTES_PER_THREAD);
+    }
+
+    #[test]
+    fn sysregs_have_their_own_line() {
+        let r = RegRegion::new(0, 1);
+        let sys = r.sysreg_addr(0);
+        assert_eq!(sys % 64, 0);
+        assert!(sys / 64 > r.reg_addr(0, X30) / 64);
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let r = RegRegion::new(0x2000, 4);
+        assert!(r.contains(0x2000));
+        assert!(r.contains(r.end() - 1));
+        assert!(!r.contains(r.end()));
+        assert!(!r.contains(0x1FFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "xzr")]
+    fn xzr_rejected() {
+        let r = RegRegion::new(0, 1);
+        let _ = r.reg_addr(0, XZR);
+    }
+
+    #[test]
+    fn lines_per_thread_matches_paper() {
+        // "each thread uses between 2 and 4 cache lines to store their
+        // general and system registers" — our full layout is 5 lines, of
+        // which a reduced-context workload touches 2–4.
+        assert_eq!(BYTES_PER_THREAD / 64, 5);
+    }
+}

@@ -1,0 +1,69 @@
+//! Hardware-thread scheduling state.
+
+use virec_isa::Flags;
+use virec_mem::MshrId;
+
+/// Scheduling status of a hardware thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Not yet launched; the scheduler skips it until the host activates it
+    /// (dynamic thread scaling — §6.1's "ViReC can schedule additional
+    /// threads" without re-provisioning the RF).
+    Inactive,
+    /// Runnable (possibly pending an engine-side context load).
+    Ready,
+    /// Waiting for a dcache data miss to return (the MSHR it sleeps on).
+    Blocked(MshrId),
+    /// Executed `halt`.
+    Halted,
+}
+
+/// One hardware thread: system-register state (PC, flags) plus scheduling
+/// status. General-purpose register values live in the context engine.
+#[derive(Clone, Copy, Debug)]
+pub struct Thread {
+    /// Resume program counter.
+    pub pc: u32,
+    /// Condition flags (system register, saved/restored with the sysreg
+    /// line).
+    pub flags: Flags,
+    /// Scheduling status.
+    pub status: ThreadStatus,
+}
+
+impl Thread {
+    /// A fresh thread starting at `pc`.
+    pub fn new(pc: u32) -> Thread {
+        Thread {
+            pc,
+            flags: Flags::default(),
+            status: ThreadStatus::Ready,
+        }
+    }
+
+    /// Whether the thread can be picked by the round-robin scheduler.
+    pub fn runnable(&self) -> bool {
+        self.status == ThreadStatus::Ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_thread_is_runnable() {
+        let t = Thread::new(3);
+        assert!(t.runnable());
+        assert_eq!(t.pc, 3);
+    }
+
+    #[test]
+    fn blocked_and_halted_not_runnable() {
+        let mut t = Thread::new(0);
+        t.status = ThreadStatus::Blocked(7);
+        assert!(!t.runnable());
+        t.status = ThreadStatus::Halted;
+        assert!(!t.runnable());
+    }
+}

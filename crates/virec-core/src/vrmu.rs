@@ -1,0 +1,644 @@
+//! The Virtual Register Management Unit (§5.1, Figure 8).
+//!
+//! The VRMU sits in the decode stage and consists of:
+//!
+//! * the **tag store** — a fully associative CAM mapping
+//!   `(thread, architectural register)` to physical RF entries, carrying the
+//!   T/C/A replacement metadata; and
+//! * the **rollback queue** — a FIFO with one entry per in-flight
+//!   instruction, used to reset the speculatively-set commit bits of
+//!   registers whose instructions were flushed by a context switch, and to
+//!   report whether the oldest in-flight instruction is a memory operation
+//!   (one of the CSL masking signals).
+//!
+//! Unlike a cache, the tag store also carries the register *values* in this
+//! simulator: the physical RF is the `value` field of each entry. Values
+//! really travel through spill/fill, so the differential tests against the
+//! golden interpreter validate the whole machinery.
+
+use crate::config::PolicyKind;
+use crate::policy::{select_victim, EntryMeta, XorShift, AGE_MAX, RRPV_INSERT, RRPV_MAX};
+use std::collections::VecDeque;
+use virec_isa::{Reg, RegList};
+
+/// One physical register with its CAM tag and metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct TagEntry {
+    /// Owning thread (CAM tag, together with `reg`).
+    pub tid: u8,
+    /// Architectural register (CAM tag).
+    pub reg: Reg,
+    /// Current register value (the physical RF cell).
+    pub value: u64,
+    /// Modified since fill — must be spilled on eviction.
+    pub dirty: bool,
+    /// A fill from the backing store is in flight; value not yet usable.
+    pub fill_pending: bool,
+    /// How many in-flight instructions reference this entry (eviction lock).
+    pub lock_count: u8,
+    /// Replacement metadata.
+    pub meta: EntryMeta,
+}
+
+impl TagEntry {
+    const EMPTY: TagEntry = TagEntry {
+        tid: 0,
+        reg: Reg::XZR,
+        value: 0,
+        dirty: false,
+        fill_pending: false,
+        lock_count: 0,
+        meta: EntryMeta {
+            valid: false,
+            locked: false,
+            t_bits: 0,
+            c_bit: false,
+            a_bits: 0,
+            last_access: 0,
+            fill_seq: 0,
+            rrpv: 0,
+        },
+    };
+}
+
+/// Result of requesting a physical register for `(tid, reg)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// Allocated into a free entry.
+    Free {
+        /// Index of the allocated entry.
+        idx: usize,
+    },
+    /// Allocated by evicting a victim; the caller must spill the victim if
+    /// it was dirty.
+    Evicted {
+        /// Index of the (re-used) entry.
+        idx: usize,
+        /// The victim's owning thread.
+        victim_tid: u8,
+        /// The victim's architectural register.
+        victim_reg: Reg,
+        /// The victim's value at eviction time.
+        victim_value: u64,
+        /// Whether the victim must be written back.
+        victim_dirty: bool,
+    },
+    /// Every valid entry is locked by in-flight instructions; retry after a
+    /// commit frees locks.
+    NoVictim,
+}
+
+/// Maximum hardware threads a tag store can map (bounds the reverse-map
+/// size; far above the paper's 4–10 threads).
+pub const MAX_THREADS: usize = 32;
+
+const NO_ENTRY: u16 = u16::MAX;
+
+/// The tag store: a fully associative register cache.
+///
+/// Lookups are O(1) through a `(thread, register) -> entry` reverse map —
+/// the simulator's hottest path (hardware does this with the CAM match
+/// lines).
+pub struct TagStore {
+    entries: Vec<TagEntry>,
+    /// Reverse map: `tid * 32 + reg` -> entry index (or `NO_ENTRY`).
+    map: Vec<u16>,
+    policy: PolicyKind,
+    stamp: u64,
+    fill_seq: u64,
+    rotate: u64,
+    rng: XorShift,
+}
+
+impl TagStore {
+    /// Creates a tag store with `phys_regs` entries managed by `policy`.
+    pub fn new(phys_regs: usize, policy: PolicyKind) -> TagStore {
+        assert!(phys_regs < NO_ENTRY as usize);
+        TagStore {
+            entries: vec![TagEntry::EMPTY; phys_regs],
+            map: vec![NO_ENTRY; MAX_THREADS * 32],
+            policy,
+            stamp: 0,
+            fill_seq: 0,
+            rotate: 0,
+            rng: XorShift::new(0x5EED_CAFE),
+        }
+    }
+
+    /// Number of physical registers.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn map_slot(tid: u8, reg: Reg) -> usize {
+        debug_assert!((tid as usize) < MAX_THREADS);
+        tid as usize * 32 + reg.index()
+    }
+
+    /// Looks up `(tid, reg)`; does not touch metadata.
+    #[inline]
+    pub fn lookup(&self, tid: u8, reg: Reg) -> Option<usize> {
+        let idx = self.map[Self::map_slot(tid, reg)];
+        if idx == NO_ENTRY {
+            None
+        } else {
+            Some(idx as usize)
+        }
+    }
+
+    /// Immutable access to an entry.
+    pub fn entry(&self, idx: usize) -> &TagEntry {
+        &self.entries[idx]
+    }
+
+    /// Mutable access to an entry.
+    pub fn entry_mut(&mut self, idx: usize) -> &mut TagEntry {
+        &mut self.entries[idx]
+    }
+
+    /// Records an access to entry `idx`: resets its age, ages everyone else,
+    /// speculatively sets the commit bit (§5.1), and stamps perfect-LRU
+    /// metadata.
+    pub fn touch(&mut self, idx: usize) {
+        self.stamp += 1;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if !e.meta.valid {
+                continue;
+            }
+            if i == idx {
+                e.meta.a_bits = 0;
+                e.meta.c_bit = true;
+                e.meta.last_access = self.stamp;
+                e.meta.rrpv = 0; // SRRIP hit promotion
+            } else {
+                e.meta.a_bits = (e.meta.a_bits + 1).min(AGE_MAX);
+            }
+        }
+    }
+
+    /// SRRIP aging: increment every evictable entry's RRPV until one
+    /// saturates (bounded by the 2-bit range).
+    fn srrip_age(&mut self) {
+        if self.policy != PolicyKind::Srrip {
+            return;
+        }
+        for _ in 0..RRPV_MAX {
+            let any_max = self.entries.iter().any(|e| {
+                e.meta.valid && e.lock_count == 0 && !e.fill_pending && e.meta.rrpv >= RRPV_MAX
+            });
+            if any_max {
+                return;
+            }
+            for e in &mut self.entries {
+                if e.meta.valid {
+                    e.meta.rrpv = (e.meta.rrpv + 1).min(RRPV_MAX);
+                }
+            }
+        }
+    }
+
+    /// Allocates a physical register for `(tid, reg)`, evicting if needed.
+    /// The new entry starts invalid-valued (`fill_pending` decided by the
+    /// caller) and locked by one reference.
+    pub fn allocate(&mut self, tid: u8, reg: Reg) -> AllocOutcome {
+        debug_assert!(self.lookup(tid, reg).is_none(), "allocating resident reg");
+        let idx_and_victim = if let Some(idx) = self.entries.iter().position(|e| !e.meta.valid) {
+            Some((idx, None))
+        } else {
+            self.srrip_age();
+            let metas: Vec<EntryMeta> = self
+                .entries
+                .iter()
+                .map(|e| {
+                    let mut m = e.meta;
+                    m.locked = e.lock_count > 0 || e.fill_pending;
+                    m
+                })
+                .collect();
+            self.rotate = self.rotate.wrapping_add(1);
+            select_victim(self.policy, &metas, self.rotate, &mut self.rng).map(|idx| {
+                let v = self.entries[idx];
+                (idx, Some(v))
+            })
+        };
+
+        let Some((idx, victim)) = idx_and_victim else {
+            return AllocOutcome::NoVictim;
+        };
+
+        if let Some(v) = victim {
+            self.map[Self::map_slot(v.tid, v.reg)] = NO_ENTRY;
+        }
+        self.map[Self::map_slot(tid, reg)] = idx as u16;
+
+        self.fill_seq += 1;
+        self.stamp += 1;
+        let e = &mut self.entries[idx];
+        *e = TagEntry {
+            tid,
+            reg,
+            value: 0,
+            dirty: false,
+            fill_pending: false,
+            lock_count: 0,
+            meta: EntryMeta {
+                valid: true,
+                locked: false,
+                t_bits: 0,
+                c_bit: true,
+                a_bits: 0,
+                last_access: self.stamp,
+                fill_seq: self.fill_seq,
+                rrpv: RRPV_INSERT,
+            },
+        };
+
+        match victim {
+            None => AllocOutcome::Free { idx },
+            Some(v) => AllocOutcome::Evicted {
+                idx,
+                victim_tid: v.tid,
+                victim_reg: v.reg,
+                victim_value: v.value,
+                victim_dirty: v.dirty,
+            },
+        }
+    }
+
+    /// Selects and removes an additional eviction victim (for group
+    /// evictions — paper future work). Returns the victim's identity and
+    /// value, or `None` if no evictable entry exists.
+    pub fn evict_one(&mut self) -> Option<(u8, Reg, u64, bool)> {
+        let metas: Vec<EntryMeta> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut m = e.meta;
+                m.locked = e.lock_count > 0 || e.fill_pending;
+                m
+            })
+            .collect();
+        self.rotate = self.rotate.wrapping_add(1);
+        let idx = select_victim(self.policy, &metas, self.rotate, &mut self.rng)?;
+        let v = self.entries[idx];
+        self.entries[idx] = TagEntry::EMPTY;
+        self.map[Self::map_slot(v.tid, v.reg)] = NO_ENTRY;
+        Some((v.tid, v.reg, v.value, v.dirty))
+    }
+
+    /// Registers currently resident for thread `tid`.
+    pub fn resident_regs(&self, tid: u8) -> Vec<Reg> {
+        self.entries
+            .iter()
+            .filter(|e| e.meta.valid && e.tid == tid)
+            .map(|e| e.reg)
+            .collect()
+    }
+
+    /// Context-switch metadata update (§5.1): registers of the suspended
+    /// thread get the maximum thread-recency value, everyone else is
+    /// decremented, and the incoming thread's registers are zeroed.
+    pub fn on_context_switch(&mut self, out_tid: u8, in_tid: u8) {
+        for e in &mut self.entries {
+            if !e.meta.valid {
+                continue;
+            }
+            if e.tid == out_tid {
+                e.meta.t_bits = AGE_MAX;
+            } else if e.tid == in_tid {
+                e.meta.t_bits = 0;
+            } else {
+                e.meta.t_bits = e.meta.t_bits.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Adds an in-flight reference to `(tid, reg)`, protecting it from
+    /// eviction until commit or flush.
+    pub fn lock(&mut self, idx: usize) {
+        self.entries[idx].lock_count += 1;
+    }
+
+    /// Releases one in-flight reference.
+    pub fn unlock(&mut self, idx: usize) {
+        let e = &mut self.entries[idx];
+        debug_assert!(e.lock_count > 0, "unlocking unlocked entry");
+        e.lock_count = e.lock_count.saturating_sub(1);
+    }
+
+    /// Clears the commit bit of `(tid, reg)` if resident — the rollback
+    /// queue's compaction operation for flushed registers.
+    pub fn clear_commit(&mut self, tid: u8, reg: Reg) {
+        if let Some(idx) = self.lookup(tid, reg) {
+            self.entries[idx].meta.c_bit = false;
+        }
+    }
+
+    /// Iterates over valid entries (for drain and debugging).
+    pub fn valid_entries(&self) -> impl Iterator<Item = &TagEntry> {
+        self.entries.iter().filter(|e| e.meta.valid)
+    }
+
+    /// Checks structural invariants (used by property tests): injective
+    /// tags and a reverse map consistent with the entry array.
+    pub fn check_invariants(&self) {
+        for (i, a) in self.entries.iter().enumerate() {
+            if !a.meta.valid {
+                continue;
+            }
+            assert!(!a.reg.is_zero(), "xzr must never be cached");
+            assert_eq!(
+                self.map[Self::map_slot(a.tid, a.reg)] as usize,
+                i,
+                "reverse map out of sync for t{} {:?}",
+                a.tid,
+                a.reg
+            );
+            for b in &self.entries[i + 1..] {
+                if b.meta.valid {
+                    assert!(
+                        !(a.tid == b.tid && a.reg == b.reg),
+                        "duplicate mapping for t{} {:?}",
+                        a.tid,
+                        a.reg
+                    );
+                }
+            }
+        }
+        // Every mapped slot points at a matching valid entry.
+        for (slot, &idx) in self.map.iter().enumerate() {
+            if idx == NO_ENTRY {
+                continue;
+            }
+            let e = &self.entries[idx as usize];
+            assert!(e.meta.valid, "map points at invalid entry");
+            assert_eq!(Self::map_slot(e.tid, e.reg), slot, "map slot mismatch");
+        }
+    }
+}
+
+/// One rollback-queue record: the registers an in-flight instruction
+/// accessed and whether it is a memory operation.
+#[derive(Clone, Copy, Debug)]
+pub struct RollbackEntry {
+    /// Registers the instruction referenced (sources and destinations).
+    pub regs: RegList,
+    /// Whether the instruction is a load or store (CSL masking signal).
+    pub is_mem: bool,
+}
+
+/// The rollback queue (§5.1): FIFO with a depth equal to the maximum number
+/// of instructions in the processor backend.
+pub struct RollbackQueue {
+    entries: VecDeque<RollbackEntry>,
+    depth: usize,
+}
+
+impl RollbackQueue {
+    /// Creates a queue with the given depth.
+    pub fn new(depth: usize) -> RollbackQueue {
+        RollbackQueue {
+            entries: VecDeque::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// Records an instruction entering the backend.
+    ///
+    /// # Panics
+    /// Panics if the queue overflows — the pipeline must never have more
+    /// in-flight instructions than the backend depth.
+    pub fn push(&mut self, entry: RollbackEntry) {
+        assert!(
+            self.entries.len() < self.depth,
+            "rollback queue overflow (depth {})",
+            self.depth
+        );
+        self.entries.push_back(entry);
+    }
+
+    /// Removes the oldest entry when its instruction commits.
+    pub fn pop_commit(&mut self) -> Option<RollbackEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Removes the youngest entry — used when a branch redirect squashes an
+    /// already-acquired instruction in decode.
+    pub fn pop_youngest(&mut self) -> Option<RollbackEntry> {
+        self.entries.pop_back()
+    }
+
+    /// Whether the oldest in-flight instruction is a memory operation.
+    /// `None` when the backend is empty.
+    pub fn oldest_is_mem(&self) -> Option<bool> {
+        self.entries.front().map(|e| e.is_mem)
+    }
+
+    /// Compacts the queue on a pipeline flush: returns the union of all
+    /// in-flight registers (the 1-hot vector of §5.1) and empties the queue.
+    pub fn flush(&mut self) -> Vec<Reg> {
+        let mut seen = [false; 32];
+        let mut out = Vec::new();
+        for e in self.entries.drain(..) {
+            for r in e.regs.iter() {
+                if !seen[r.index()] {
+                    seen[r.index()] = true;
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of in-flight instructions tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the backend is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::reg::names::*;
+
+    #[test]
+    fn allocate_then_lookup() {
+        let mut ts = TagStore::new(4, PolicyKind::Lrc);
+        let out = ts.allocate(0, X1);
+        assert!(matches!(out, AllocOutcome::Free { .. }));
+        assert!(ts.lookup(0, X1).is_some());
+        assert!(ts.lookup(1, X1).is_none(), "tags include the thread id");
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn eviction_when_full() {
+        let mut ts = TagStore::new(2, PolicyKind::Lrc);
+        let AllocOutcome::Free { idx } = ts.allocate(0, X1) else {
+            panic!()
+        };
+        ts.entry_mut(idx).value = 111;
+        ts.entry_mut(idx).dirty = true;
+        let _ = ts.allocate(0, X2);
+        // Make X1 the clear victim: committed + old.
+        let i1 = ts.lookup(0, X1).unwrap();
+        ts.entry_mut(i1).meta.a_bits = AGE_MAX;
+        let out = ts.allocate(0, X3);
+        match out {
+            AllocOutcome::Evicted {
+                victim_reg,
+                victim_value,
+                victim_dirty,
+                ..
+            } => {
+                assert_eq!(victim_reg, X1);
+                assert_eq!(victim_value, 111);
+                assert!(victim_dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(ts.lookup(0, X1).is_none());
+        assert!(ts.lookup(0, X3).is_some());
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn locked_entries_block_eviction() {
+        let mut ts = TagStore::new(1, PolicyKind::Lrc);
+        let AllocOutcome::Free { idx } = ts.allocate(0, X1) else {
+            panic!()
+        };
+        ts.lock(idx);
+        assert_eq!(ts.allocate(0, X2), AllocOutcome::NoVictim);
+        ts.unlock(idx);
+        assert!(matches!(ts.allocate(0, X2), AllocOutcome::Evicted { .. }));
+    }
+
+    #[test]
+    fn touch_updates_ages_and_commit() {
+        let mut ts = TagStore::new(3, PolicyKind::Lrc);
+        let AllocOutcome::Free { idx: i1 } = ts.allocate(0, X1) else {
+            panic!()
+        };
+        let AllocOutcome::Free { idx: i2 } = ts.allocate(0, X2) else {
+            panic!()
+        };
+        ts.entry_mut(i1).meta.c_bit = false;
+        ts.touch(i1);
+        assert_eq!(ts.entry(i1).meta.a_bits, 0);
+        assert!(ts.entry(i1).meta.c_bit, "touch speculatively sets C");
+        assert!(ts.entry(i2).meta.a_bits > 0, "others age");
+    }
+
+    #[test]
+    fn ages_saturate() {
+        let mut ts = TagStore::new(2, PolicyKind::Lrc);
+        let AllocOutcome::Free { idx: i1 } = ts.allocate(0, X1) else {
+            panic!()
+        };
+        let AllocOutcome::Free { idx: i2 } = ts.allocate(0, X2) else {
+            panic!()
+        };
+        for _ in 0..20 {
+            ts.touch(i1);
+        }
+        assert_eq!(ts.entry(i2).meta.a_bits, AGE_MAX);
+    }
+
+    #[test]
+    fn context_switch_updates_t_bits() {
+        let mut ts = TagStore::new(6, PolicyKind::Lrc);
+        let _ = ts.allocate(0, X1);
+        let _ = ts.allocate(1, X1);
+        let _ = ts.allocate(2, X1);
+        // Give thread 2 a mid-range T value to observe the decrement.
+        let i2 = ts.lookup(2, X1).unwrap();
+        ts.entry_mut(i2).meta.t_bits = 3;
+        ts.on_context_switch(0, 1);
+        assert_eq!(ts.entry(ts.lookup(0, X1).unwrap()).meta.t_bits, AGE_MAX);
+        assert_eq!(ts.entry(ts.lookup(1, X1).unwrap()).meta.t_bits, 0);
+        assert_eq!(ts.entry(ts.lookup(2, X1).unwrap()).meta.t_bits, 2);
+    }
+
+    #[test]
+    fn clear_commit_only_if_resident() {
+        let mut ts = TagStore::new(2, PolicyKind::Lrc);
+        let AllocOutcome::Free { idx } = ts.allocate(0, X1) else {
+            panic!()
+        };
+        ts.touch(idx);
+        ts.clear_commit(0, X1);
+        assert!(!ts.entry(idx).meta.c_bit);
+        ts.clear_commit(0, X9); // absent: no-op, must not panic
+    }
+
+    #[test]
+    fn rollback_fifo_order_and_mem_signal() {
+        let mut rq = RollbackQueue::new(4);
+        let mut regs1 = RegList::new();
+        regs1.push(X1);
+        rq.push(RollbackEntry {
+            regs: regs1,
+            is_mem: true,
+        });
+        let mut regs2 = RegList::new();
+        regs2.push(X2);
+        rq.push(RollbackEntry {
+            regs: regs2,
+            is_mem: false,
+        });
+        assert_eq!(rq.oldest_is_mem(), Some(true));
+        let e = rq.pop_commit().unwrap();
+        assert!(e.regs.contains(X1));
+        assert_eq!(rq.oldest_is_mem(), Some(false));
+    }
+
+    #[test]
+    fn rollback_flush_compacts_to_unique_regs() {
+        let mut rq = RollbackQueue::new(4);
+        for regs in [[X1, X2], [X2, X3]] {
+            let mut l = RegList::new();
+            l.push(regs[0]);
+            l.push(regs[1]);
+            rq.push(RollbackEntry {
+                regs: l,
+                is_mem: false,
+            });
+        }
+        let mut flushed = rq.flush();
+        flushed.sort();
+        assert_eq!(flushed, vec![X1, X2, X3]);
+        assert!(rq.is_empty());
+        assert_eq!(rq.oldest_is_mem(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback queue overflow")]
+    fn rollback_overflow_panics() {
+        let mut rq = RollbackQueue::new(1);
+        rq.push(RollbackEntry {
+            regs: RegList::new(),
+            is_mem: false,
+        });
+        rq.push(RollbackEntry {
+            regs: RegList::new(),
+            is_mem: false,
+        });
+    }
+
+    #[test]
+    fn fill_pending_blocks_eviction() {
+        let mut ts = TagStore::new(1, PolicyKind::Plru);
+        let AllocOutcome::Free { idx } = ts.allocate(0, X1) else {
+            panic!()
+        };
+        ts.entry_mut(idx).fill_pending = true;
+        assert_eq!(ts.allocate(0, X2), AllocOutcome::NoVictim);
+    }
+}

@@ -1,0 +1,175 @@
+//! Replays of the paper's worked examples (Figures 5 and 6) against the
+//! tag store — the pedagogical scenarios that motivate MRT-PLRU and LRC.
+
+use virec_core::vrmu::{AllocOutcome, TagStore};
+use virec_core::PolicyKind;
+use virec_isa::reg::names::*;
+use virec_isa::Reg;
+
+fn fill(ts: &mut TagStore, tid: u8, reg: Reg) -> usize {
+    match ts.allocate(tid, reg) {
+        AllocOutcome::Free { idx } | AllocOutcome::Evicted { idx, .. } => idx,
+        AllocOutcome::NoVictim => panic!("unexpected NoVictim"),
+    }
+}
+
+/// Figure 5: two threads run the gather loop; the RF is full. When the blue
+/// thread (thread 1) misses on x5 right after a context switch, PLRU evicts
+/// a register of the *upcoming/current* thread (by age alone), while
+/// MRT-PLRU evicts from the most recently suspended red thread (thread 0).
+fn figure5_scenario(policy: PolicyKind) -> (u8, Reg) {
+    // Six physical registers: blue (t1) holds x2, x4, x6 from its *last*
+    // quantum (old ages); red (t0) holds x2, x4, x6 and has just been
+    // running, so its registers are the youngest.
+    let mut ts = TagStore::new(6, policy);
+    for r in [X2, X4, X6] {
+        let i = fill(&mut ts, 1, r);
+        ts.touch(i);
+    }
+    for r in [X2, X4, X6] {
+        let i = fill(&mut ts, 0, r);
+        ts.touch(i);
+    }
+    // Red keeps executing its loop for a while (its registers stay young,
+    // blue's ages saturate).
+    for _ in 0..4 {
+        for r in [X2, X4, X6] {
+            let i = ts.lookup(0, r).expect("resident");
+            ts.touch(i);
+        }
+    }
+    // Red's ldrsw misses in the dcache: context switch to blue (t1).
+    ts.on_context_switch(0, 1);
+    // Blue starts replaying: touches x2 (address base) — making its other
+    // registers older — then misses on x5.
+    let i = ts.lookup(1, X2).expect("resident");
+    ts.touch(i);
+    match ts.allocate(1, X5) {
+        AllocOutcome::Evicted {
+            victim_tid,
+            victim_reg,
+            ..
+        } => (victim_tid, victim_reg),
+        other => panic!("expected an eviction, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure5_plru_evicts_from_the_wrong_thread() {
+    let (tid, _reg) = figure5_scenario(PolicyKind::Plru);
+    assert_eq!(
+        tid, 1,
+        "age-only PLRU evicts one of the blue (current) thread's own \
+         registers — the Figure 5(b) pathology"
+    );
+}
+
+#[test]
+fn figure5_mrt_plru_targets_the_suspended_thread() {
+    let (tid, _reg) = figure5_scenario(PolicyKind::MrtPlru);
+    assert_eq!(
+        tid, 0,
+        "MRT-PLRU evicts from the most recently suspended red thread — \
+         Figure 5(c)"
+    );
+}
+
+#[test]
+fn figure5_lrc_also_targets_the_suspended_thread() {
+    let (tid, _) = figure5_scenario(PolicyKind::Lrc);
+    assert_eq!(tid, 0);
+}
+
+/// Figure 6: within the suspended red thread, x2/x5 were operands of the
+/// in-flight (flushed) `ldrsw x6, [x2, x5]` while x0 belonged to an already
+/// *committed* instruction. All three share the same saturated age, so
+/// MRT-PLRU cannot tell them apart — but LRC's commit bit singles out x0.
+fn figure6_store(policy: PolicyKind) -> TagStore {
+    // Exactly three entries: x0, x2, x5 — the allocation for blue's x3
+    // must evict one of them.
+    let mut ts = TagStore::new(3, policy);
+    for r in [X0, X2, X5] {
+        let i = fill(&mut ts, 0, r);
+        ts.touch(i);
+        // Saturate ages: long time since these were accessed.
+        ts.entry_mut(i).meta.a_bits = 7;
+    }
+    // The flushed instruction's registers get their C bits cleared by the
+    // rollback-queue compaction; x0's committed access keeps C = 1.
+    ts.clear_commit(0, X2);
+    ts.clear_commit(0, X5);
+    // Red is suspended.
+    ts.on_context_switch(0, 1);
+    ts
+}
+
+#[test]
+fn figure6_lrc_evicts_the_committed_register() {
+    let mut ts = figure6_store(PolicyKind::Lrc);
+    // Blue needs a register: the victim must be x0 (committed), never the
+    // in-flight x2/x5 that red will replay immediately on resume.
+    match ts.allocate(1, X3) {
+        AllocOutcome::Evicted {
+            victim_tid,
+            victim_reg,
+            ..
+        } => {
+            assert_eq!(victim_tid, 0);
+            assert_eq!(victim_reg, X0, "LRC must evict the committed x0");
+        }
+        other => panic!("expected eviction, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure6_mrt_plru_cannot_distinguish() {
+    // With saturated ages, MRT-PLRU's choice among x0/x2/x5 is arbitrary
+    // (rotation) — across several equivalent scenarios it will sometimes
+    // pick a flushed register, which is exactly the fuzzing LRC repairs.
+    let mut evicted_inflight = false;
+    for _ in 0..3 {
+        let mut ts = figure6_store(PolicyKind::MrtPlru);
+        if let AllocOutcome::Evicted { victim_reg, .. } = ts.allocate(1, X3) {
+            if victim_reg == X2 || victim_reg == X5 {
+                evicted_inflight = true;
+            }
+            // Free the slot again for the next round by reallocating in a
+            // fresh store (loop builds a new one).
+        }
+    }
+    // Note: the rotation pointer advances identically in each fresh store,
+    // so run three stores with different numbers of prior evictions to
+    // move the pointer.
+    let mut ts = figure6_store(PolicyKind::MrtPlru);
+    let _ = ts.allocate(1, X3);
+    if let AllocOutcome::Evicted { victim_reg, .. } = ts.allocate(1, X4) {
+        if victim_reg == X2 || victim_reg == X5 {
+            evicted_inflight = true;
+        }
+    }
+    assert!(
+        evicted_inflight,
+        "MRT-PLRU should (sometimes) evict an in-flight register"
+    );
+}
+
+/// After the thread cycle completes a full round, the suspended thread's
+/// T bits have decayed back to zero — it is about to run again and its
+/// registers are protected (the round-robin recency ramp of §4.1).
+#[test]
+fn t_bits_decay_over_a_full_round() {
+    let mut ts = TagStore::new(8, PolicyKind::Lrc);
+    let i = fill(&mut ts, 0, X1);
+    ts.touch(i);
+    ts.on_context_switch(0, 1);
+    assert_eq!(ts.entry(ts.lookup(0, X1).unwrap()).meta.t_bits, 7);
+    // Seven more switches among other threads: t0's recency decays to 0.
+    for k in 1..8u8 {
+        ts.on_context_switch(k, k + 1);
+    }
+    assert_eq!(
+        ts.entry(ts.lookup(0, X1).unwrap()).meta.t_bits,
+        0,
+        "after a full round the thread is 'next' again"
+    );
+}

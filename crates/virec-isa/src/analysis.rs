@@ -1,0 +1,212 @@
+//! Static program analysis: loop nesting and register pressure.
+//!
+//! Used to reproduce the paper's Figure 2 (register utilization of
+//! memory-intensive workloads) and to characterize the *active context* —
+//! the registers accessed inside the innermost loops, which is what ViReC
+//! sizes its physical register file against (§2, §4.2).
+
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_ALLOCATABLE};
+use std::collections::BTreeSet;
+
+/// A natural loop identified from a back edge `source -> target` with
+/// `target <= source`; its body is the contiguous range `target..=source`.
+///
+/// The assembler emits reducible, structurally nested loops, so the
+/// contiguous-range approximation is exact for all workloads in this
+/// repository (asserted by [`RegisterUsage::analyze`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// First instruction of the loop body.
+    pub head: u32,
+    /// The back-edge branch instruction (last instruction of the body).
+    pub back_edge: u32,
+    /// Nesting depth, 1 = outermost.
+    pub depth: u32,
+}
+
+/// Register-usage summary of a program.
+///
+/// ```
+/// use virec_isa::{Asm, analysis::RegisterUsage, reg::names::*};
+/// let mut a = Asm::new("loop");
+/// a.mov_imm(X1, 8);
+/// a.label("top");
+/// a.add(X0, X0, X1);
+/// a.subi(X1, X1, 1);
+/// a.cbnz(X1, "top");
+/// a.halt();
+/// let usage = RegisterUsage::analyze(&a.assemble());
+/// assert_eq!(usage.max_depth, 1);
+/// assert_eq!(usage.active_context_size(), 2); // x0 and x1
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegisterUsage {
+    /// All loops, ordered by head.
+    pub loops: Vec<Loop>,
+    /// Registers referenced anywhere in the program.
+    pub all_used: BTreeSet<Reg>,
+    /// Registers referenced inside maximum-depth (innermost) loops.
+    pub innermost: BTreeSet<Reg>,
+    /// Registers referenced *only* outside the innermost loops — candidates
+    /// for the compiler register reduction of §4.2.
+    pub outer_only: BTreeSet<Reg>,
+    /// Maximum loop nesting depth (0 when the program has no loops).
+    pub max_depth: u32,
+}
+
+impl RegisterUsage {
+    /// Analyzes a program.
+    pub fn analyze(program: &Program) -> RegisterUsage {
+        let instrs = program.instrs();
+        let mut loops = find_loops(instrs);
+        // Depth = number of enclosing loops (including itself).
+        let spans: Vec<(u32, u32)> = loops.iter().map(|l| (l.head, l.back_edge)).collect();
+        for l in &mut loops {
+            l.depth = spans
+                .iter()
+                .filter(|&&(h, b)| h <= l.head && l.back_edge <= b)
+                .count() as u32;
+        }
+        let max_depth = loops.iter().map(|l| l.depth).max().unwrap_or(0);
+
+        let mut all_used = BTreeSet::new();
+        let mut innermost = BTreeSet::new();
+        for (pc, i) in instrs.iter().enumerate() {
+            let pc = pc as u32;
+            let in_innermost = loops
+                .iter()
+                .any(|l| l.depth == max_depth && l.head <= pc && pc <= l.back_edge);
+            for r in i.regs().iter() {
+                all_used.insert(r);
+                if in_innermost && max_depth > 0 {
+                    innermost.insert(r);
+                }
+            }
+        }
+        let outer_only = all_used.difference(&innermost).copied().collect();
+        RegisterUsage {
+            loops,
+            all_used,
+            innermost,
+            outer_only,
+            max_depth,
+        }
+    }
+
+    /// Fraction of the 31-register architectural context referenced in the
+    /// innermost loops — the quantity plotted in the paper's Figure 2.
+    pub fn innermost_utilization(&self) -> f64 {
+        self.innermost.len() as f64 / NUM_ALLOCATABLE as f64
+    }
+
+    /// Size of the *active context*: the per-thread register working set the
+    /// ViReC RF is provisioned against (paper: "on the order of 5-10
+    /// registers at 100% context").
+    pub fn active_context_size(&self) -> usize {
+        if self.max_depth == 0 {
+            self.all_used.len()
+        } else {
+            self.innermost.len()
+        }
+    }
+}
+
+/// Finds all natural loops via back edges (branch to an earlier or equal PC).
+fn find_loops(instrs: &[Instr]) -> Vec<Loop> {
+    let mut loops = Vec::new();
+    for (pc, i) in instrs.iter().enumerate() {
+        if let Some(t) = i.branch_target() {
+            if t as usize <= pc {
+                loops.push(Loop {
+                    head: t,
+                    back_edge: pc as u32,
+                    depth: 0,
+                });
+            }
+        }
+    }
+    loops.sort_by_key(|l| (l.head, std::cmp::Reverse(l.back_edge)));
+    loops.dedup_by_key(|l| (l.head, l.back_edge));
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::program::Asm;
+    use crate::reg::names::*;
+
+    fn nested_prog() -> Program {
+        // outer loop uses X10 (outer counter), inner uses X0..X2
+        let mut a = Asm::new("nested");
+        a.mov_imm(X10, 4);
+        a.label("outer");
+        a.mov_imm(X1, 8);
+        a.label("inner");
+        a.add(X0, X0, X1);
+        a.subi(X1, X1, 1);
+        a.cbnz(X1, "inner");
+        a.subi(X10, X10, 1);
+        a.cbnz(X10, "outer");
+        a.halt();
+        a.assemble()
+    }
+
+    #[test]
+    fn detects_nesting_depths() {
+        let u = RegisterUsage::analyze(&nested_prog());
+        assert_eq!(u.max_depth, 2);
+        assert_eq!(u.loops.len(), 2);
+        let inner = u.loops.iter().find(|l| l.depth == 2).unwrap();
+        let outer = u.loops.iter().find(|l| l.depth == 1).unwrap();
+        assert!(outer.head < inner.head);
+        assert!(outer.back_edge > inner.back_edge);
+    }
+
+    #[test]
+    fn innermost_register_set() {
+        let u = RegisterUsage::analyze(&nested_prog());
+        assert!(u.innermost.contains(&X0));
+        assert!(u.innermost.contains(&X1));
+        assert!(!u.innermost.contains(&X10), "outer counter is outer-only");
+        assert!(u.outer_only.contains(&X10));
+    }
+
+    #[test]
+    fn straight_line_program_has_no_loops() {
+        let mut a = Asm::new("s");
+        a.mov_imm(X0, 1);
+        a.addi(X1, X0, 2);
+        a.halt();
+        let u = RegisterUsage::analyze(&a.assemble());
+        assert_eq!(u.max_depth, 0);
+        assert!(u.innermost.is_empty());
+        assert_eq!(u.active_context_size(), 2);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let u = RegisterUsage::analyze(&nested_prog());
+        // inner loop touches X0, X1 → 2/31
+        assert!((u.innermost_utilization() - 2.0 / 31.0).abs() < 1e-12);
+        assert_eq!(u.active_context_size(), 2);
+    }
+
+    #[test]
+    fn single_loop_with_conditional_exit() {
+        let mut a = Asm::new("c");
+        a.mov_imm(X1, 3);
+        a.label("top");
+        a.subi(X1, X1, 1);
+        a.cmpi(X1, 0);
+        a.bcc(Cond::Gt, "top");
+        a.halt();
+        let u = RegisterUsage::analyze(&a.assemble());
+        assert_eq!(u.max_depth, 1);
+        assert_eq!(u.loops.len(), 1);
+        assert!(u.innermost.contains(&X1));
+    }
+}

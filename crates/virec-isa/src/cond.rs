@@ -1,0 +1,171 @@
+//! Condition codes and the NZCV flag register.
+
+/// The NZCV condition flags produced by compare instructions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Negative: result was negative (two's complement).
+    pub n: bool,
+    /// Zero: result was zero.
+    pub z: bool,
+    /// Carry: unsigned overflow / no-borrow for subtraction.
+    pub c: bool,
+    /// Overflow: signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Computes the flags for `a - b`, AArch64 `cmp` semantics.
+    pub fn from_cmp(a: u64, b: u64) -> Flags {
+        let (res, borrow) = a.overflowing_sub(b);
+        let sa = a as i64;
+        let sb = b as i64;
+        let (sres, sover) = sa.overflowing_sub(sb);
+        debug_assert_eq!(sres as u64, res);
+        Flags {
+            n: (res as i64) < 0,
+            z: res == 0,
+            // AArch64 carry for subtraction is "no borrow".
+            c: !borrow,
+            v: sover,
+        }
+    }
+
+    /// Packs the flags into a 4-bit NZCV value (N is bit 3).
+    pub fn to_nzcv(self) -> u8 {
+        (self.n as u8) << 3 | (self.z as u8) << 2 | (self.c as u8) << 1 | self.v as u8
+    }
+
+    /// Unpacks a 4-bit NZCV value.
+    pub fn from_nzcv(bits: u8) -> Flags {
+        Flags {
+            n: bits & 0b1000 != 0,
+            z: bits & 0b0100 != 0,
+            c: bits & 0b0010 != 0,
+            v: bits & 0b0001 != 0,
+        }
+    }
+}
+
+/// AArch64 condition codes usable with `b.<cond>` and `csel`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (`Z`).
+    Eq,
+    /// Not equal (`!Z`).
+    Ne,
+    /// Signed less than (`N != V`).
+    Lt,
+    /// Signed less than or equal (`Z || N != V`).
+    Le,
+    /// Signed greater than (`!Z && N == V`).
+    Gt,
+    /// Signed greater than or equal (`N == V`).
+    Ge,
+    /// Unsigned lower (`!C`).
+    Lo,
+    /// Unsigned higher or same (`C`).
+    Hs,
+}
+
+impl Cond {
+    /// Evaluates the condition against a set of flags.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Lt => f.n != f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Ge => f.n == f.v,
+            Cond::Lo => !f.c,
+            Cond::Hs => f.c,
+        }
+    }
+
+    /// The logically inverted condition.
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Lo => Cond::Hs,
+            Cond::Hs => Cond::Lo,
+        }
+    }
+
+    /// All condition codes, for exhaustive testing.
+    pub const ALL: [Cond; 8] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::Lo,
+        Cond::Hs,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(a: i64, b: i64) -> Flags {
+        Flags::from_cmp(a as u64, b as u64)
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        assert!(Cond::Lt.eval(cmp(-5, 3)));
+        assert!(!Cond::Lt.eval(cmp(3, -5)));
+        assert!(Cond::Ge.eval(cmp(3, 3)));
+        assert!(Cond::Gt.eval(cmp(4, 3)));
+        assert!(!Cond::Gt.eval(cmp(3, 3)));
+        assert!(Cond::Le.eval(cmp(3, 3)));
+        assert!(Cond::Le.eval(cmp(i64::MIN, i64::MAX)));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        assert!(Cond::Lo.eval(Flags::from_cmp(1, 2)));
+        assert!(Cond::Hs.eval(Flags::from_cmp(2, 2)));
+        // -1 as unsigned is huge.
+        assert!(Cond::Hs.eval(Flags::from_cmp(u64::MAX, 2)));
+    }
+
+    #[test]
+    fn equality() {
+        assert!(Cond::Eq.eval(cmp(7, 7)));
+        assert!(Cond::Ne.eval(cmp(7, 8)));
+    }
+
+    #[test]
+    fn inversion_is_complement() {
+        for a in [-3i64, 0, 1, 5, i64::MIN, i64::MAX] {
+            for b in [-3i64, 0, 1, 5, i64::MIN, i64::MAX] {
+                let f = cmp(a, b);
+                for c in Cond::ALL {
+                    assert_ne!(c.eval(f), c.invert().eval(f), "{c:?} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nzcv_roundtrip() {
+        for bits in 0..16u8 {
+            assert_eq!(Flags::from_nzcv(bits).to_nzcv(), bits);
+        }
+    }
+
+    #[test]
+    fn signed_overflow_sets_v() {
+        let f = cmp(i64::MIN, 1);
+        assert!(f.v);
+        // MIN - 1 overflows: signed comparison must still say MIN < 1.
+        assert!(Cond::Lt.eval(f));
+    }
+}

@@ -1,0 +1,370 @@
+//! Golden functional interpreter.
+//!
+//! The interpreter executes one thread's program against a [`DataMemory`]
+//! with no timing model. It is the reference against which every timing
+//! simulator in the workspace is differentially tested: the final register
+//! values and memory image of a ViReC/banked/software-switched core run must
+//! match the interpreter's bit-for-bit.
+
+use crate::cond::Flags;
+use crate::instr::{Instr, MemOffset, Operand2};
+use crate::mem::DataMemory;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+
+/// Architectural state of a single hardware thread.
+#[derive(Clone, Debug)]
+pub struct ThreadCtx {
+    /// General-purpose registers. `regs[31]` is the zero register and is
+    /// kept at zero by the accessors.
+    regs: [u64; NUM_REGS],
+    /// Condition flags.
+    pub flags: Flags,
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Whether the thread has executed `halt`.
+    pub halted: bool,
+}
+
+impl Default for ThreadCtx {
+    fn default() -> Self {
+        ThreadCtx::new()
+    }
+}
+
+impl ThreadCtx {
+    /// A fresh context: all registers zero, PC at 0.
+    pub fn new() -> ThreadCtx {
+        ThreadCtx {
+            regs: [0; NUM_REGS],
+            flags: Flags::default(),
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    /// Reads a register (`xzr` reads zero).
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to `xzr` are discarded).
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Snapshot of all 31 allocatable registers, for state comparison.
+    pub fn reg_image(&self) -> [u64; 31] {
+        let mut out = [0; 31];
+        out.copy_from_slice(&self.regs[..31]);
+        out
+    }
+}
+
+/// Result of running the interpreter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The thread reached `halt` after executing this many instructions.
+    Halted {
+        /// Dynamic instruction count, including the final `halt`.
+        instructions: u64,
+    },
+    /// The instruction budget ran out before `halt`.
+    BudgetExhausted,
+}
+
+/// Functional interpreter over a program and a memory.
+///
+/// ```
+/// use virec_isa::{Asm, FlatMem, Interpreter, ThreadCtx, reg::names::*};
+/// let mut a = Asm::new("double");
+/// a.add(X0, X1, X1);
+/// a.halt();
+/// let p = a.assemble();
+/// let mut mem = FlatMem::new(0, 64);
+/// let mut ctx = ThreadCtx::new();
+/// ctx.set(X1, 21);
+/// Interpreter::new(&p, &mut mem).run(&mut ctx, 100);
+/// assert_eq!(ctx.get(X0), 42);
+/// ```
+pub struct Interpreter<'a, M: DataMemory> {
+    program: &'a Program,
+    mem: &'a mut M,
+}
+
+impl<'a, M: DataMemory> Interpreter<'a, M> {
+    /// Creates an interpreter for `program` over `mem`.
+    pub fn new(program: &'a Program, mem: &'a mut M) -> Self {
+        Interpreter { program, mem }
+    }
+
+    /// Executes a single instruction, updating `ctx` (and memory).
+    ///
+    /// Does nothing if the thread has already halted.
+    pub fn step(&mut self, ctx: &mut ThreadCtx) {
+        if ctx.halted {
+            return;
+        }
+        let i = self.program.fetch(ctx.pc);
+        let mut next_pc = ctx.pc + 1;
+        match i {
+            Instr::Alu { op, dst, src, rhs } => {
+                let b = match rhs {
+                    Operand2::Reg(r) => ctx.get(r),
+                    Operand2::Imm(v) => v as u64,
+                };
+                let v = op.apply(ctx.get(src), b);
+                ctx.set(dst, v);
+            }
+            Instr::Madd { dst, a, b, acc } => {
+                let v = ctx
+                    .get(a)
+                    .wrapping_mul(ctx.get(b))
+                    .wrapping_add(ctx.get(acc));
+                ctx.set(dst, v);
+            }
+            Instr::MovImm { dst, imm } => ctx.set(dst, imm as u64),
+            Instr::Cmp { src, rhs } => {
+                let b = match rhs {
+                    Operand2::Reg(r) => ctx.get(r),
+                    Operand2::Imm(v) => v as u64,
+                };
+                ctx.flags = Flags::from_cmp(ctx.get(src), b);
+            }
+            Instr::Csel { dst, a, b, cond } => {
+                let v = if cond.eval(ctx.flags) {
+                    ctx.get(a)
+                } else {
+                    ctx.get(b)
+                };
+                ctx.set(dst, v);
+            }
+            Instr::Ldr {
+                dst,
+                base,
+                offset,
+                size,
+            } => {
+                let addr = effective_address(ctx, base, offset);
+                let v = self.mem.read(addr, size);
+                ctx.set(dst, v);
+            }
+            Instr::Str {
+                src,
+                base,
+                offset,
+                size,
+            } => {
+                let addr = effective_address(ctx, base, offset);
+                self.mem.write(addr, size, ctx.get(src));
+            }
+            Instr::B { target } => next_pc = target,
+            Instr::Bcc { cond, target } => {
+                if cond.eval(ctx.flags) {
+                    next_pc = target;
+                }
+            }
+            Instr::Cbz { src, target } => {
+                if ctx.get(src) == 0 {
+                    next_pc = target;
+                }
+            }
+            Instr::Cbnz { src, target } => {
+                if ctx.get(src) != 0 {
+                    next_pc = target;
+                }
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                ctx.halted = true;
+            }
+        }
+        ctx.pc = next_pc;
+    }
+
+    /// Runs until `halt` or until `max_instrs` instructions have executed.
+    pub fn run(&mut self, ctx: &mut ThreadCtx, max_instrs: u64) -> ExecOutcome {
+        let mut n = 0;
+        while n < max_instrs {
+            if ctx.halted {
+                return ExecOutcome::Halted { instructions: n };
+            }
+            self.step(ctx);
+            n += 1;
+            if ctx.halted {
+                return ExecOutcome::Halted { instructions: n };
+            }
+        }
+        if ctx.halted {
+            ExecOutcome::Halted { instructions: n }
+        } else {
+            ExecOutcome::BudgetExhausted
+        }
+    }
+}
+
+/// Computes the effective address of a memory access.
+pub fn effective_address(ctx: &ThreadCtx, base: Reg, offset: MemOffset) -> u64 {
+    let b = ctx.get(base);
+    match offset {
+        MemOffset::Imm(i) => b.wrapping_add(i as u64),
+        MemOffset::RegShifted { index, shift } => {
+            b.wrapping_add(ctx.get(index).wrapping_shl(shift as u32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::mem::FlatMem;
+    use crate::program::Asm;
+    use crate::reg::names::*;
+
+    fn run_prog(a: Asm, mem: &mut FlatMem) -> ThreadCtx {
+        let p = a.assemble();
+        let mut ctx = ThreadCtx::new();
+        let out = Interpreter::new(&p, mem).run(&mut ctx, 1_000_000);
+        assert!(matches!(out, ExecOutcome::Halted { .. }), "{out:?}");
+        ctx
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // sum 1..=10
+        let mut a = Asm::new("sum");
+        a.mov_imm(X0, 0); // sum
+        a.mov_imm(X1, 10); // i
+        a.label("loop");
+        a.add(X0, X0, X1);
+        a.subi(X1, X1, 1);
+        a.cbnz(X1, "loop");
+        a.halt();
+        let mut m = FlatMem::new(0, 8);
+        let ctx = run_prog(a, &mut m);
+        assert_eq!(ctx.get(X0), 55);
+    }
+
+    #[test]
+    fn gather_kernel_functional() {
+        // x2 = data base, x3 = idx base, x4 = n, x0 = sum
+        // for i in 0..n { x5 = idx[i]; x6 = data[x5]; sum += x6 }
+        let data_base = 0x1000u64;
+        let idx_base = 0x2000u64;
+        let n = 16u64;
+        let mut m = FlatMem::new(0x1000, 0x2000);
+        for i in 0..n {
+            m.write_u64(data_base + i * 8, i * 100);
+        }
+        // reversed indices
+        for i in 0..n {
+            m.write_u64(idx_base + i * 8, n - 1 - i);
+        }
+        let mut a = Asm::new("gather");
+        a.mov_imm(X0, 0);
+        a.mov_imm(X1, 0); // i
+        a.mov_imm(X2, data_base as i64);
+        a.mov_imm(X3, idx_base as i64);
+        a.mov_imm(X4, n as i64);
+        a.label("loop");
+        a.ldr_idx(X5, X3, X1, 3);
+        a.ldr_idx(X6, X2, X5, 3);
+        a.add(X0, X0, X6);
+        a.addi(X1, X1, 1);
+        a.cmp(X1, X4);
+        a.bcc(Cond::Lt, "loop");
+        a.halt();
+        let ctx = run_prog(a, &mut m);
+        let expect: u64 = (0..n).map(|i| i * 100).sum();
+        assert_eq!(ctx.get(X0), expect);
+    }
+
+    #[test]
+    fn store_visible_in_memory() {
+        let mut a = Asm::new("st");
+        a.mov_imm(X1, 0x40);
+        a.mov_imm(X2, 0xDEAD);
+        a.str(X2, X1, 8);
+        a.halt();
+        let mut m = FlatMem::new(0, 0x100);
+        run_prog(a, &mut m);
+        assert_eq!(m.read_u64(0x48), 0xDEAD);
+    }
+
+    #[test]
+    fn csel_picks_by_flags() {
+        let mut a = Asm::new("csel");
+        a.mov_imm(X1, 3);
+        a.mov_imm(X2, 7);
+        a.cmpi(X1, 5);
+        a.csel(X0, X1, X2, Cond::Lt); // 3 < 5 → X0 = 3
+        a.cmpi(X2, 5);
+        a.csel(X3, X1, X2, Cond::Lt); // 7 < 5 false → X3 = 7
+        a.halt();
+        let mut m = FlatMem::new(0, 8);
+        let ctx = run_prog(a, &mut m);
+        assert_eq!(ctx.get(X0), 3);
+        assert_eq!(ctx.get(X3), 7);
+    }
+
+    #[test]
+    fn xzr_reads_zero_discards_writes() {
+        let mut a = Asm::new("z");
+        a.mov_imm(XZR, 42);
+        a.add(X0, XZR, XZR);
+        a.halt();
+        let mut m = FlatMem::new(0, 8);
+        let ctx = run_prog(a, &mut m);
+        assert_eq!(ctx.get(X0), 0);
+        assert_eq!(ctx.get(XZR), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_detected() {
+        let mut a = Asm::new("inf");
+        a.label("top");
+        a.b("top");
+        let p = a.assemble();
+        let mut m = FlatMem::new(0, 8);
+        let mut ctx = ThreadCtx::new();
+        let out = Interpreter::new(&p, &mut m).run(&mut ctx, 100);
+        assert_eq!(out, ExecOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn halted_thread_stays_halted() {
+        let mut a = Asm::new("h");
+        a.halt();
+        let p = a.assemble();
+        let mut m = FlatMem::new(0, 8);
+        let mut ctx = ThreadCtx::new();
+        let mut interp = Interpreter::new(&p, &mut m);
+        interp.step(&mut ctx);
+        assert!(ctx.halted);
+        let pc = ctx.pc;
+        interp.step(&mut ctx); // no-op
+        assert_eq!(ctx.pc, pc);
+    }
+
+    #[test]
+    fn instruction_count_includes_halt() {
+        let mut a = Asm::new("c");
+        a.nop();
+        a.nop();
+        a.halt();
+        let p = a.assemble();
+        let mut m = FlatMem::new(0, 8);
+        let mut ctx = ThreadCtx::new();
+        let out = Interpreter::new(&p, &mut m).run(&mut ctx, 100);
+        assert_eq!(out, ExecOutcome::Halted { instructions: 3 });
+    }
+}

@@ -1,0 +1,160 @@
+//! Functional memory.
+//!
+//! Both the golden interpreter and the timing simulators operate on a single
+//! flat byte store. The timing layers (`virec-mem`) model *when* an access
+//! completes; this module models *what* it returns. Keeping the functional
+//! state in one place lets the differential tests compare final memory
+//! images byte-for-byte.
+
+use crate::instr::AccessSize;
+
+/// Byte-addressable functional memory.
+pub trait DataMemory {
+    /// Reads `size` bytes at `addr`, zero-extended to 64 bits.
+    fn read(&self, addr: u64, size: AccessSize) -> u64;
+    /// Writes the low `size` bytes of `value` at `addr`.
+    fn write(&mut self, addr: u64, size: AccessSize, value: u64);
+}
+
+/// A flat, contiguous memory starting at a base address.
+///
+/// Accesses outside the mapped range panic — out-of-range addresses in the
+/// simulator indicate a kernel or machinery bug and must not be silently
+/// absorbed.
+#[derive(Clone)]
+pub struct FlatMem {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl FlatMem {
+    /// Creates a zero-filled memory of `size` bytes mapped at `base`.
+    pub fn new(base: u64, size: usize) -> FlatMem {
+        FlatMem {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Base address of the mapping.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size of the mapping in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// One-past-the-end address of the mapping.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Whether `addr..addr+len` lies within the mapping.
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr + len <= self.end()
+    }
+
+    #[inline]
+    fn offset(&self, addr: u64, len: u64) -> usize {
+        assert!(
+            self.contains(addr, len),
+            "memory access out of range: addr={addr:#x} len={len} (mapped {:#x}..{:#x})",
+            self.base,
+            self.end()
+        );
+        (addr - self.base) as usize
+    }
+
+    /// Reads a `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, AccessSize::B8)
+    }
+
+    /// Writes a `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, AccessSize::B8, value);
+    }
+
+    /// Borrow of the raw backing bytes (for image comparison in tests).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Copies a slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let off = self.offset(addr, data.len() as u64);
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+    }
+}
+
+impl DataMemory for FlatMem {
+    fn read(&self, addr: u64, size: AccessSize) -> u64 {
+        let n = size.bytes();
+        let off = self.offset(addr, n);
+        let mut buf = [0u8; 8];
+        buf[..n as usize].copy_from_slice(&self.bytes[off..off + n as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    fn write(&mut self, addr: u64, size: AccessSize, value: u64) {
+        let n = size.bytes();
+        let off = self.offset(addr, n);
+        self.bytes[off..off + n as usize].copy_from_slice(&value.to_le_bytes()[..n as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_all_sizes() {
+        let mut m = FlatMem::new(0x1000, 64);
+        m.write(0x1000, AccessSize::B8, 0x1122334455667788);
+        assert_eq!(m.read(0x1000, AccessSize::B8), 0x1122334455667788);
+        assert_eq!(m.read(0x1000, AccessSize::B4), 0x55667788);
+        assert_eq!(m.read(0x1000, AccessSize::B1), 0x88);
+        m.write(0x1004, AccessSize::B1, 0xFF);
+        assert_eq!(m.read(0x1000, AccessSize::B8), 0x112233FF55667788);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = FlatMem::new(0, 8);
+        m.write(0, AccessSize::B4, 0xAABBCCDD);
+        assert_eq!(m.bytes()[0], 0xDD);
+        assert_eq!(m.bytes()[3], 0xAA);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let m = FlatMem::new(0x1000, 8);
+        let _ = m.read(0x0FFF, AccessSize::B1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn straddling_end_panics() {
+        let m = FlatMem::new(0x1000, 8);
+        let _ = m.read(0x1004, AccessSize::B8);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let m = FlatMem::new(0x100, 16);
+        assert!(m.contains(0x100, 16));
+        assert!(!m.contains(0x100, 17));
+        assert!(!m.contains(0xFF, 1));
+        assert!(m.contains(0x10F, 1));
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = FlatMem::new(0, 16);
+        m.write_bytes(4, &[1, 2, 3, 4]);
+        assert_eq!(m.read(4, AccessSize::B4), 0x04030201);
+    }
+}

@@ -1,0 +1,282 @@
+//! Compiler register reduction (§4.2 of the paper).
+//!
+//! Registers used exclusively in outer loops have extremely long reuse
+//! distances; keeping them in the register context wastes ViReC RF capacity
+//! and pollutes the replacement state. The paper's fix is a compiler-level
+//! transformation: "artificially reduce the registers available for
+//! register allocation to only those required in the innermost loops",
+//! spilling outer-loop values to memory with regular load/store
+//! instructions — at a negligible dynamic-instruction overhead because
+//! outer loops run rarely.
+//!
+//! [`demote_registers`] implements that transformation on assembled
+//! programs: every use of a demoted register is preceded by a reload from
+//! its spill slot and every definition is followed by a spill, bounding the
+//! register's live range to single instructions. Spill slots are addressed
+//! absolutely through the zero register (`[xzr, #slot]`), so no extra base
+//! register is consumed. Branch targets are remapped onto the rewritten
+//! instruction stream.
+
+use crate::instr::{AccessSize, Instr, MemOffset};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+
+/// Result of a register-reduction transformation.
+pub struct ReducedProgram {
+    /// The rewritten program.
+    pub program: Program,
+    /// Spill-slot address of each demoted register.
+    pub slots: BTreeMap<Reg, u64>,
+    /// Static instructions added by the transformation.
+    pub added_instrs: usize,
+}
+
+/// Rewrites `program`, demoting `regs` to absolute memory slots at
+/// `spill_base` (one 8-byte slot per register). Suitable for single-thread
+/// programs; multi-threaded kernels should use
+/// [`demote_registers_with_base`] with a per-thread base register.
+///
+/// The caller must initialize each slot with the register's initial value
+/// (instead of placing it in the offloaded register context) — see
+/// [`ReducedProgram::slots`].
+///
+/// # Panics
+/// Panics if `spill_base` is not 8-byte aligned or a demoted register is
+/// the zero register.
+pub fn demote_registers(program: &Program, regs: &[Reg], spill_base: u64) -> ReducedProgram {
+    assert_eq!(spill_base % 8, 0, "spill slots must be 8-byte aligned");
+    rewrite(program, regs, Reg::XZR, spill_base, false)
+}
+
+/// Multi-thread register reduction: spill slots are addressed relative to
+/// `base` (which each thread's offloaded context points at its private
+/// spill area), and a preamble stores the demoted registers' initial values
+/// from the context into their slots before the first original instruction.
+///
+/// Returned slot values are *offsets from `base`*.
+///
+/// # Panics
+/// Panics if `base` is demoted, or a demoted register is the zero register.
+pub fn demote_registers_with_base(program: &Program, regs: &[Reg], base: Reg) -> ReducedProgram {
+    assert!(
+        !regs.contains(&base),
+        "cannot demote the spill base register"
+    );
+    assert!(
+        !base.is_zero(),
+        "per-thread spilling needs a real base register"
+    );
+    rewrite(program, regs, base, 0, true)
+}
+
+fn rewrite(
+    program: &Program,
+    regs: &[Reg],
+    base: Reg,
+    slot_base: u64,
+    preamble: bool,
+) -> ReducedProgram {
+    let mut slots = BTreeMap::new();
+    for (i, &r) in regs.iter().enumerate() {
+        assert!(!r.is_zero(), "cannot demote xzr");
+        slots.insert(r, slot_base + i as u64 * 8);
+    }
+
+    // Optional preamble: persist the context-provided initial values.
+    let mut prologue = Vec::new();
+    if preamble {
+        for (&r, &slot) in &slots {
+            prologue.push(Instr::Str {
+                src: r,
+                base,
+                offset: MemOffset::Imm(slot as i64),
+                size: AccessSize::B8,
+            });
+        }
+    }
+
+    // Pass 1: rewrite each instruction into a group, recording the new
+    // index of each old instruction.
+    let mut groups: Vec<Vec<Instr>> = Vec::with_capacity(program.len());
+    for &instr in program.instrs() {
+        let mut group = Vec::with_capacity(3);
+        for r in instr.srcs().iter() {
+            if let Some(&slot) = slots.get(&r) {
+                group.push(Instr::Ldr {
+                    dst: r,
+                    base,
+                    offset: MemOffset::Imm(slot as i64),
+                    size: AccessSize::B8,
+                });
+            }
+        }
+        group.push(instr);
+        for r in instr.dsts().iter() {
+            if let Some(&slot) = slots.get(&r) {
+                group.push(Instr::Str {
+                    src: r,
+                    base,
+                    offset: MemOffset::Imm(slot as i64),
+                    size: AccessSize::B8,
+                });
+            }
+        }
+        groups.push(group);
+    }
+
+    let mut new_index = Vec::with_capacity(groups.len());
+    let mut acc = prologue.len() as u32;
+    for g in &groups {
+        new_index.push(acc);
+        acc += g.len() as u32;
+    }
+
+    // Pass 2: flatten and remap branch targets. Branch targets point at the
+    // *start* of the target instruction's group (so reloads run on entry);
+    // the preamble is never re-executed.
+    let mut out = prologue;
+    out.reserve(acc as usize);
+    for g in groups {
+        for mut i in g {
+            match &mut i {
+                Instr::B { target }
+                | Instr::Bcc { target, .. }
+                | Instr::Cbz { target, .. }
+                | Instr::Cbnz { target, .. } => *target = new_index[*target as usize],
+                _ => {}
+            }
+            out.push(i);
+        }
+    }
+    let added = out.len() - program.len();
+    ReducedProgram {
+        program: Program::new(&format!("{}_reduced", program.name()), out),
+        slots,
+        added_instrs: added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExecOutcome, Interpreter, ThreadCtx};
+    use crate::mem::{DataMemory, FlatMem};
+    use crate::program::Asm;
+    use crate::reg::names::*;
+
+    /// Nested-loop program: X10 is an outer-loop-only accumulator.
+    fn nested() -> Program {
+        let mut a = Asm::new("nested");
+        a.mov_imm(X10, 0); // outer acc
+        a.mov_imm(X9, 4); // outer counter
+        a.label("outer");
+        a.mov_imm(X1, 8); // inner counter
+        a.label("inner");
+        a.add(X0, X0, X1);
+        a.subi(X1, X1, 1);
+        a.cbnz(X1, "inner");
+        a.add(X10, X10, X0); // outer-loop use
+        a.subi(X9, X9, 1);
+        a.cbnz(X9, "outer");
+        a.halt();
+        a.assemble()
+    }
+
+    fn run(p: &Program, mem: &mut FlatMem) -> ThreadCtx {
+        let mut ctx = ThreadCtx::new();
+        let out = Interpreter::new(p, mem).run(&mut ctx, 1_000_000);
+        assert!(matches!(out, ExecOutcome::Halted { .. }));
+        ctx
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let p = nested();
+        let mut m1 = FlatMem::new(0, 0x1000);
+        let base = run(&p, &mut m1);
+
+        let red = demote_registers(&p, &[X10], 0x800);
+        let mut m2 = FlatMem::new(0, 0x1000);
+        let reduced = run(&red.program, &mut m2);
+
+        assert_eq!(base.get(X0), reduced.get(X0));
+        // The demoted register's final value lives in its spill slot.
+        assert_eq!(m2.read(red.slots[&X10], AccessSize::B8), base.get(X10));
+    }
+
+    #[test]
+    fn branch_targets_remapped() {
+        let p = nested();
+        let red = demote_registers(&p, &[X10, X9], 0x800);
+        // Every branch target must be in range and land on an instruction.
+        for i in red.program.instrs() {
+            if let Some(t) = i.branch_target() {
+                assert!((t as usize) < red.program.len());
+            }
+        }
+        assert!(red.added_instrs > 0);
+    }
+
+    #[test]
+    fn overhead_is_static_per_reference() {
+        let p = nested();
+        let red = demote_registers(&p, &[X10], 0x800);
+        // X10 is referenced 3 times (two defs incl. mov, one use+def in
+        // add): mov_imm -> 1 str, add -> 1 ldr + 1 str = 3 added.
+        assert_eq!(red.added_instrs, 3);
+    }
+
+    #[test]
+    fn dynamic_overhead_small_for_outer_regs() {
+        let p = nested();
+        let mut m = FlatMem::new(0, 0x1000);
+        let mut ctx = ThreadCtx::new();
+        let ExecOutcome::Halted { instructions: base } =
+            Interpreter::new(&p, &mut m).run(&mut ctx, 1_000_000)
+        else {
+            panic!()
+        };
+        let red = demote_registers(&p, &[X10], 0x800);
+        let mut m2 = FlatMem::new(0, 0x1000);
+        let mut ctx2 = ThreadCtx::new();
+        let ExecOutcome::Halted {
+            instructions: reduced,
+        } = Interpreter::new(&red.program, &mut m2).run(&mut ctx2, 1_000_000)
+        else {
+            panic!()
+        };
+        let overhead = (reduced - base) as f64 / base as f64;
+        assert!(
+            overhead < 0.25,
+            "outer-loop spills should be rare (got {overhead:.3})"
+        );
+    }
+
+    #[test]
+    fn demoting_inner_reg_still_correct() {
+        // Even a hot register can be demoted — just expensively.
+        let p = nested();
+        let red = demote_registers(&p, &[X1], 0x800);
+        let mut m1 = FlatMem::new(0, 0x1000);
+        let base = run(&p, &mut m1);
+        let mut m2 = FlatMem::new(0, 0x1000);
+        let reduced = run(&red.program, &mut m2);
+        assert_eq!(base.get(X0), reduced.get(X0));
+        assert_eq!(base.get(X10), reduced.get(X10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot demote xzr")]
+    fn xzr_rejected() {
+        let p = nested();
+        let _ = demote_registers(&p, &[XZR], 0x800);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte aligned")]
+    fn misaligned_base_rejected() {
+        let p = nested();
+        let _ = demote_registers(&p, &[X10], 0x801);
+    }
+}

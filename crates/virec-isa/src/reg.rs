@@ -1,0 +1,122 @@
+//! Architectural register names.
+//!
+//! The ISA exposes 32 integer registers following AArch64 conventions:
+//! `x0..x30` are general purpose and `x31` is the zero register (`xzr`),
+//! which reads as zero and discards writes. The zero register is never
+//! tracked by the register-cache machinery (it has no state to cache).
+
+use std::fmt;
+
+/// Number of architectural integer registers (including `xzr`).
+pub const NUM_REGS: usize = 32;
+
+/// Number of *allocatable* registers, i.e. excluding `xzr`.
+pub const NUM_ALLOCATABLE: usize = 31;
+
+/// An architectural register identifier in `0..32`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register: reads as 0, writes are discarded.
+    pub const XZR: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub const fn new(idx: u8) -> Reg {
+        assert!(idx < NUM_REGS as u8, "register index out of range");
+        Reg(idx)
+    }
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// Iterator over all allocatable registers (`x0..=x30`).
+    pub fn allocatable() -> impl Iterator<Item = Reg> {
+        (0..NUM_ALLOCATABLE as u8).map(Reg)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "xzr")
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr;)*) => {
+        $(
+            #[doc = concat!("Register x", stringify!($idx), ".")]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+/// Convenience constants `X0..=X30` plus [`XZR`](Reg::XZR).
+pub mod names {
+    use super::Reg;
+    named_regs! {
+        X0 = 0; X1 = 1; X2 = 2; X3 = 3; X4 = 4; X5 = 5; X6 = 6; X7 = 7;
+        X8 = 8; X9 = 9; X10 = 10; X11 = 11; X12 = 12; X13 = 13; X14 = 14;
+        X15 = 15; X16 = 16; X17 = 17; X18 = 18; X19 = 19; X20 = 20; X21 = 21;
+        X22 = 22; X23 = 23; X24 = 24; X25 = 25; X26 = 26; X27 = 27; X28 = 28;
+        X29 = 29; X30 = 30;
+    }
+    /// The zero register.
+    pub const XZR: Reg = Reg::XZR;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::XZR.is_zero());
+        assert_eq!(Reg::XZR.index(), 31);
+        assert!(!names::X0.is_zero());
+    }
+
+    #[test]
+    fn allocatable_excludes_xzr() {
+        let regs: Vec<Reg> = Reg::allocatable().collect();
+        assert_eq!(regs.len(), NUM_ALLOCATABLE);
+        assert!(!regs.contains(&Reg::XZR));
+        assert_eq!(regs[0], names::X0);
+        assert_eq!(regs[30], names::X30);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", names::X7), "x7");
+        assert_eq!(format!("{}", Reg::XZR), "xzr");
+    }
+}

@@ -1,0 +1,437 @@
+//! The system crossbar and DRAM timing model.
+//!
+//! Near-memory processors in the paper attach to the system crossbar next to
+//! the memory controller (configuration from \[8, 11\] in the paper). The
+//! [`Fabric`] models both pieces: a crossbar with a fixed hop latency and a
+//! bounded per-cycle accept rate, and a DDR5-like DRAM with per-bank
+//! row-buffer state, bank busy times, and channel data-bus occupancy.
+//!
+//! The model is timing-only: functional data lives in the flat memory owned
+//! by the system. Requests are identified by opaque tokens that requesters
+//! poll for completion.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies the requester port (one per cache that talks to the fabric).
+pub type PortId = usize;
+
+/// Opaque identifier of an in-flight fabric request.
+pub type ReqToken = u64;
+
+/// DRAM timing and geometry parameters (all times in core cycles at 1 GHz).
+///
+/// Defaults approximate the paper's DDR5_6400, 1 rank, 2 channels,
+/// tRP-tCL-tRCD = 14-14-14 (Table 1) as seen from a 1 GHz near-memory core.
+#[derive(Clone, Copy, Debug)]
+pub struct DramConfig {
+    /// Number of channels (power of two).
+    pub channels: usize,
+    /// Banks per channel (power of two).
+    pub banks_per_channel: usize,
+    /// Consecutive cache lines mapped to one row (row-buffer size / 64).
+    pub lines_per_row: u64,
+    /// Precharge latency.
+    pub t_rp: u32,
+    /// Activate (row-to-column) latency.
+    pub t_rcd: u32,
+    /// Column access (CAS) latency.
+    pub t_cl: u32,
+    /// Data-burst time for one 64B line on the channel bus.
+    pub t_burst: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 2,
+            banks_per_channel: 16,
+            lines_per_row: 128, // 8 KiB row buffer
+            t_rp: 14,
+            t_rcd: 14,
+            t_cl: 14,
+            t_burst: 8,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Latency of a row-buffer hit (CAS + burst).
+    pub fn row_hit_latency(&self) -> u32 {
+        self.t_cl + self.t_burst
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + CAS + burst).
+    pub fn row_conflict_latency(&self) -> u32 {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+    }
+}
+
+/// Crossbar + DRAM configuration.
+///
+/// The default crossbar hop (18 cycles each way) yields an unloaded load
+/// latency of roughly 80 cycles at 1 GHz — near-memory placement at the
+/// memory-controller crossbar removes only 20–30% of the host's latency
+/// (§1 of the paper, citing \[54\]), and the remainder must be hidden by
+/// multithreading.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// One-way crossbar hop latency in cycles.
+    pub xbar_latency: u32,
+    /// Requests the crossbar accepts per cycle (shared across ports).
+    pub xbar_accepts_per_cycle: usize,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            xbar_latency: 18,
+            xbar_accepts_per_cycle: 4,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// Aggregate fabric statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FabricStats {
+    /// Read-line requests serviced.
+    pub reads: u64,
+    /// Write-line requests serviced.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that conflicted with an open row (precharge + activate).
+    pub row_conflicts: u64,
+    /// Accesses to a bank with no open row (activate only).
+    pub row_empty: u64,
+    /// Total cycles requests spent queued before bank service.
+    pub queue_cycles: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    token: ReqToken,
+    addr: u64,
+    is_write: bool,
+    submitted: u64,
+    /// Cycle the request reaches the memory controller.
+    arrive_at: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// The crossbar + DRAM fabric shared by all near-memory cores.
+pub struct Fabric {
+    cfg: FabricConfig,
+    banks: Vec<Bank>,
+    chan_bus_free: Vec<u64>,
+    /// Submitted but not yet accepted by the crossbar.
+    accept_queue: VecDeque<Pending>,
+    /// Accepted, waiting for bank service.
+    inflight: Vec<Pending>,
+    /// token -> absolute cycle at which the response is available.
+    done: HashMap<ReqToken, u64>,
+    next_token: ReqToken,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric.
+    pub fn new(cfg: FabricConfig) -> Fabric {
+        let nbanks = cfg.dram.channels * cfg.dram.banks_per_channel;
+        Fabric {
+            cfg,
+            banks: vec![Bank::default(); nbanks],
+            chan_bus_free: vec![0; cfg.dram.channels],
+            accept_queue: VecDeque::new(),
+            inflight: Vec::new(),
+            done: HashMap::new(),
+            next_token: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Best-case (unloaded, row-hit) read latency through the fabric.
+    pub fn unloaded_read_latency(&self) -> u32 {
+        2 * self.cfg.xbar_latency + self.cfg.dram.row_hit_latency()
+    }
+
+    /// Submits a 64B line request. Returns a token to poll with
+    /// [`Fabric::is_done`].
+    pub fn submit(&mut self, now: u64, _port: PortId, addr: u64, is_write: bool) -> ReqToken {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.accept_queue.push_back(Pending {
+            token,
+            addr,
+            is_write,
+            submitted: now,
+            arrive_at: 0,
+        });
+        token
+    }
+
+    /// Whether the response for `token` is available at cycle `now`.
+    pub fn is_done(&self, token: ReqToken, now: u64) -> bool {
+        self.done.get(&token).is_some_and(|&t| t <= now)
+    }
+
+    /// Removes a completed token. Call after [`Fabric::is_done`] returns true.
+    pub fn retire(&mut self, token: ReqToken) {
+        let removed = self.done.remove(&token);
+        debug_assert!(removed.is_some(), "retiring unknown token {token}");
+    }
+
+    /// Number of requests somewhere in the fabric (excluding completed).
+    pub fn outstanding(&self) -> usize {
+        self.accept_queue.len() + self.inflight.len()
+    }
+
+    fn map_addr(&self, addr: u64) -> (usize, usize, u64) {
+        let d = &self.cfg.dram;
+        let line = addr >> 6;
+        let chan = (line as usize) & (d.channels - 1);
+        let bank = ((line as usize) >> d.channels.trailing_zeros()) & (d.banks_per_channel - 1);
+        let row = line / (d.channels as u64 * d.banks_per_channel as u64) / d.lines_per_row;
+        (chan, bank, row)
+    }
+
+    /// Advances the fabric by one cycle: accepts crossbar requests and
+    /// schedules bank accesses. Call once per core cycle with the current
+    /// cycle number (monotonically non-decreasing).
+    pub fn tick(&mut self, now: u64) {
+        // Crossbar acceptance: bounded number of requests per cycle.
+        for _ in 0..self.cfg.xbar_accepts_per_cycle {
+            let Some(mut p) = self.accept_queue.pop_front() else {
+                break;
+            };
+            p.arrive_at = now + self.cfg.xbar_latency as u64;
+            self.inflight.push(p);
+        }
+
+        // Bank scheduling, FR-FCFS-lite: row hits first, then FCFS.
+        self.schedule_pass(now, true);
+        self.schedule_pass(now, false);
+    }
+
+    fn schedule_pass(&mut self, now: u64, row_hits_only: bool) {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let p = self.inflight[i];
+            if p.arrive_at > now {
+                i += 1;
+                continue;
+            }
+            let (chan, bank_idx, row) = self.map_addr(p.addr);
+            let bidx = chan * self.cfg.dram.banks_per_channel + bank_idx;
+            let bank = self.banks[bidx];
+            if bank.busy_until > now {
+                i += 1;
+                continue;
+            }
+            let is_row_hit = bank.open_row == Some(row);
+            if row_hits_only && !is_row_hit {
+                i += 1;
+                continue;
+            }
+            let d = &self.cfg.dram;
+            let access = if is_row_hit {
+                self.stats.row_hits += 1;
+                d.t_cl
+            } else if bank.open_row.is_some() {
+                self.stats.row_conflicts += 1;
+                d.t_rp + d.t_rcd + d.t_cl
+            } else {
+                self.stats.row_empty += 1;
+                d.t_rcd + d.t_cl
+            };
+            // Data burst serializes on the channel bus.
+            let data_start = (now + access as u64).max(self.chan_bus_free[chan]);
+            let data_end = data_start + d.t_burst as u64;
+            self.chan_bus_free[chan] = data_end;
+            self.banks[bidx] = Bank {
+                open_row: Some(row),
+                busy_until: data_end,
+            };
+            let ready = data_end + self.cfg.xbar_latency as u64;
+            self.stats.queue_cycles += now.saturating_sub(p.submitted);
+            if p.is_write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            self.done.insert(p.token, ready);
+            self.inflight.swap_remove(i);
+            // Do not advance i: swap_remove moved a new element here.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_from_until_done(f: &mut Fabric, start: u64, token: ReqToken, limit: u64) -> u64 {
+        for now in start..start + limit {
+            f.tick(now);
+            if f.is_done(token, now) {
+                return now;
+            }
+        }
+        panic!("request did not complete within {limit} cycles");
+    }
+
+    fn run_until_done(f: &mut Fabric, token: ReqToken, limit: u64) -> u64 {
+        run_from_until_done(f, 0, token, limit)
+    }
+
+    #[test]
+    fn single_read_latency_bounds() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let t = f.submit(0, 0, 0x1000, false);
+        let done = run_until_done(&mut f, t, 1000);
+        let cfg = FabricConfig::default();
+        // Cold bank: activate + CAS + burst + 2 crossbar hops.
+        let expect =
+            (cfg.dram.t_rcd + cfg.dram.t_cl + cfg.dram.t_burst + 2 * cfg.xbar_latency) as u64;
+        assert!(
+            done >= expect && done <= expect + 2,
+            "done={done} expect≈{expect}"
+        );
+        f.retire(t);
+        assert!(!f.is_done(t, done + 1));
+    }
+
+    #[test]
+    fn row_hit_faster_than_conflict() {
+        let mut f = Fabric::new(FabricConfig::default());
+        // Same bank & row (stride = channels * banks lines): row hit.
+        let d0 = f.config().dram;
+        let same_row_stride = 64 * d0.channels as u64 * d0.banks_per_channel as u64;
+        let t1 = f.submit(0, 0, 0x1000, false);
+        let e1 = run_until_done(&mut f, t1, 1000);
+        let t2 = f.submit(e1, 0, 0x1000 + same_row_stride, false);
+        let e2 = run_from_until_done(&mut f, e1, t2, 10_000) - e1;
+        // Different row, same bank: conflict.
+        let d = f.config().dram;
+        let stride = d.channels as u64 * d.banks_per_channel as u64 * d.lines_per_row * 64;
+        let t3 = f.submit(e1 + e2, 0, 0x1000 + stride, false);
+        let e3 = run_from_until_done(&mut f, e1 + e2, t3, 100_000) - (e1 + e2);
+        assert!(e2 < e3, "row hit {e2} must beat conflict {e3}");
+        assert!(f.stats().row_hits >= 1);
+        assert!(f.stats().row_conflicts >= 1);
+    }
+
+    #[test]
+    fn bank_parallelism_beats_serialization() {
+        // Two requests to different banks should overlap; to the same bank
+        // they serialize.
+        let cfg = FabricConfig::default();
+        let mut f = Fabric::new(cfg);
+        let d = cfg.dram;
+        let bank_stride = 64 * d.channels as u64; // next bank, same channel
+        let a = f.submit(0, 0, 0x0, false);
+        let b = f.submit(0, 0, bank_stride, false);
+        let done_a = run_until_done(&mut f, a, 10_000);
+        let done_b = run_until_done(&mut f, b, 10_000);
+        let parallel_span = done_a.max(done_b);
+
+        let mut f2 = Fabric::new(cfg);
+        let row_stride = d.channels as u64 * d.banks_per_channel as u64 * d.lines_per_row * 64;
+        let c = f2.submit(0, 0, 0x0, false);
+        let e = f2.submit(0, 0, row_stride, false); // same bank, different row
+        let done_c = run_until_done(&mut f2, c, 10_000);
+        let done_e = run_until_done(&mut f2, e, 10_000);
+        let serial_span = done_c.max(done_e);
+        assert!(
+            parallel_span < serial_span,
+            "bank-parallel {parallel_span} vs serialized {serial_span}"
+        );
+    }
+
+    #[test]
+    fn accept_rate_limits_throughput() {
+        let slow = FabricConfig {
+            xbar_accepts_per_cycle: 1,
+            ..FabricConfig::default()
+        };
+        let fast = FabricConfig {
+            xbar_accepts_per_cycle: 16,
+            ..FabricConfig::default()
+        };
+
+        let run = |cfg: FabricConfig| -> u64 {
+            let mut f = Fabric::new(cfg);
+            let tokens: Vec<_> = (0..32).map(|i| f.submit(0, 0, i * 64, false)).collect();
+            let mut now = 0;
+            loop {
+                f.tick(now);
+                if tokens.iter().all(|&t| f.is_done(t, now)) {
+                    return now;
+                }
+                now += 1;
+                assert!(now < 100_000);
+            }
+        };
+        assert!(run(fast) <= run(slow));
+    }
+
+    #[test]
+    fn writes_complete_and_count() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let t = f.submit(0, 1, 0x2000, true);
+        run_until_done(&mut f, t, 1000);
+        assert_eq!(f.stats().writes, 1);
+        assert_eq!(f.stats().reads, 0);
+    }
+
+    #[test]
+    fn outstanding_drains() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let t = f.submit(0, 0, 0, false);
+        assert_eq!(f.outstanding(), 1);
+        let done = run_until_done(&mut f, t, 1000);
+        assert_eq!(f.outstanding(), 0);
+        f.retire(t);
+        let _ = done;
+    }
+
+    #[test]
+    fn queueing_under_load_increases_latency() {
+        // A burst of same-bank requests: the last one waits far longer than
+        // an unloaded request.
+        let cfg = FabricConfig::default();
+        let d = cfg.dram;
+        let row_stride = d.channels as u64 * d.banks_per_channel as u64 * d.lines_per_row * 64;
+        let mut f = Fabric::new(cfg);
+        let tokens: Vec<_> = (0..8)
+            .map(|i| f.submit(0, 0, i as u64 * row_stride, false))
+            .collect();
+        let mut now = 0;
+        while !tokens.iter().all(|&t| f.is_done(t, now)) {
+            f.tick(now);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert!(
+            now > f.unloaded_read_latency() as u64 * 4,
+            "8 same-bank conflicts must serialize (took {now})"
+        );
+    }
+}

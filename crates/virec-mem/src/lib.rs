@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # virec-mem
+//!
+//! The memory hierarchy for the ViReC simulator — the substrate the paper
+//! gets from gem5's classic memory system:
+//!
+//! * [`cache::Cache`] — set-associative, write-back/write-allocate caches
+//!   with MSHRs, limited ports, and the ViReC backing-store extensions of
+//!   §5.3: a register/data bit and a 3-bit pin counter per line, so lines
+//!   holding registers that are live in the RF cannot be evicted.
+//! * [`fabric::Fabric`] — the system crossbar plus a DDR5-like DRAM timing
+//!   model (per-bank row-buffer state, FR-FCFS-lite scheduling, bus
+//!   occupancy). Near-memory cores attach directly to it, mirroring the
+//!   paper's placement at the memory-controller crossbar.
+//!
+//! ## Timing vs. function
+//!
+//! These components model *when* accesses complete. Functional data lives in
+//! [`virec_isa::FlatMem`](https://docs.rs/virec-isa), updated at access time
+//! by the pipeline. Because every thread's register-backing region is private
+//! and the workloads partition their data, this split is behaviourally
+//! equivalent to moving bytes through the hierarchy, while keeping the
+//! differential tests against the golden interpreter exact.
+
+pub mod cache;
+pub mod fabric;
+pub mod stats;
+
+pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, MshrId};
+pub use fabric::{DramConfig, Fabric, FabricConfig, FabricStats, PortId};
+pub use stats::CacheStats;
+
+/// Cache line size in bytes, fixed at 64 across the hierarchy (Table 1).
+pub const LINE_BYTES: u64 = 64;
+
+/// Returns the line-aligned address containing `addr`.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(0x12345), 0x12340);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # virec-sim
+//!
+//! Full-system simulation: one or more near-memory cores attached to the
+//! shared crossbar/DRAM fabric, the task-level offload mechanism that ships
+//! thread contexts to each core's reserved region (§6), and the experiment
+//! runner used by every figure reproduction.
+//!
+//! * [`offload`] — the host side: writes initial register contexts into the
+//!   reserved region of memory, the image ViReC's fills read on first
+//!   schedule.
+//! * [`runner`] — single-core experiments with optional golden verification
+//!   and oracle recording for exact-context prefetching.
+//! * [`system`] — multi-core systems sharing the fabric (Figure 11).
+//! * [`report`] — plain-text table/CSV emission for the figure binaries.
+
+pub mod offload;
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use runner::{run_single, verify_against_golden, RunOptions, RunResult};
+pub use system::{System, SystemConfig, SystemResult};

@@ -1,0 +1,250 @@
+//! Single-core experiment runner.
+
+use crate::offload::offload;
+use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule};
+use virec_isa::{ExecOutcome, FlatMem, Interpreter, Reg, ThreadCtx};
+use virec_mem::{Fabric, FabricConfig};
+use virec_workloads::{layout, Workload};
+
+/// Options for a single-core run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Fabric (crossbar + DRAM) configuration.
+    pub fabric: FabricConfig,
+    /// Check final architectural state against the golden interpreter
+    /// (cheap insurance; on by default).
+    pub verify: bool,
+    /// Record per-quantum register sets (for the prefetch oracle).
+    pub record_oracle: bool,
+    /// Oracle to feed an exact-context prefetching core.
+    pub oracle: OracleSchedule,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            fabric: FabricConfig::default(),
+            verify: true,
+            record_oracle: false,
+            oracle: OracleSchedule::default(),
+        }
+    }
+}
+
+/// Outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Total cycles until every thread halted.
+    pub cycles: u64,
+    /// Core statistics (caches folded in).
+    pub stats: CoreStats,
+    /// Recorded oracle (empty unless requested).
+    pub oracle: OracleSchedule,
+}
+
+impl RunResult {
+    /// Instructions per cycle — the paper's primary performance metric.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Runs `workload` on a single core with `nthreads` hardware threads.
+///
+/// ```
+/// use virec_core::CoreConfig;
+/// use virec_sim::runner::{run_single, RunOptions};
+/// use virec_workloads::{kernels, Layout};
+///
+/// let w = kernels::stream::reduction(256, Layout::for_core(0));
+/// let r = run_single(CoreConfig::virec(4, 24), &w, &RunOptions::default());
+/// assert!(r.ipc() > 0.0);
+/// assert!(r.stats.instructions > 256);
+/// ```
+///
+/// # Panics
+/// Panics if the run exceeds the configured cycle limit or (with
+/// `verify`) diverges from the golden interpreter.
+pub fn run_single(cfg: CoreConfig, workload: &Workload, opts: &RunOptions) -> RunResult {
+    let mut mem = FlatMem::new(
+        0,
+        layout::mem_size(1).max((workload.layout.data_base + workload.layout.data_size) as usize),
+    );
+    let region = offload(&mut mem, workload, cfg.nthreads);
+
+    let mut core = Core::with_oracle(
+        cfg,
+        workload.program().clone(),
+        region,
+        workload.layout.code_base,
+        (0, 1),
+        opts.oracle.clone(),
+    );
+    if opts.record_oracle {
+        core.enable_quantum_recording();
+    }
+
+    let mut fabric = Fabric::new(opts.fabric);
+    let mut now = 0u64;
+    while !core.done() {
+        fabric.tick(now);
+        core.tick(now, &mut fabric, &mut mem);
+        now += 1;
+        assert!(
+            now < cfg.max_cycles,
+            "{}: exceeded {} cycles (engine {:?}, {} threads)",
+            workload.name,
+            cfg.max_cycles,
+            cfg.engine,
+            cfg.nthreads
+        );
+    }
+    core.finalize_stats();
+    core.drain(&mut mem);
+
+    if opts.verify {
+        verify_against_golden(workload, cfg.nthreads, &core, &mem);
+    }
+
+    let oracle = core.take_oracle();
+    RunResult {
+        cycles: now,
+        stats: *core.stats(),
+        oracle,
+    }
+}
+
+/// Compares a finished core's architectural state (registers and data
+/// segment) against a fresh golden-interpreter run of the same workload.
+///
+/// # Panics
+/// Panics on any divergence — a timing model must never change results.
+pub fn verify_against_golden(workload: &Workload, nthreads: usize, core: &Core, mem: &FlatMem) {
+    let mut gold_mem = FlatMem::new(0, mem.size());
+    workload.init_mem(&mut gold_mem);
+    for t in 0..nthreads {
+        let mut ctx = ThreadCtx::new();
+        for (r, v) in workload.thread_ctx(t, nthreads) {
+            ctx.set(r, v);
+        }
+        let out = Interpreter::new(workload.program(), &mut gold_mem).run(&mut ctx, 100_000_000);
+        assert!(
+            matches!(out, ExecOutcome::Halted { .. }),
+            "golden run of {} did not halt",
+            workload.name
+        );
+        for r in Reg::allocatable() {
+            assert_eq!(
+                core.arch_reg(t, r, mem),
+                ctx.get(r),
+                "{}: thread {t} register {r} diverged",
+                workload.name
+            );
+        }
+    }
+    let data_lo = workload.layout.data_base as usize;
+    let data_hi =
+        (workload.layout.data_base + workload.layout.data_size).min(mem.size() as u64) as usize;
+    assert_eq!(
+        &mem.bytes()[data_lo..data_hi],
+        &gold_mem.bytes()[data_lo..data_hi],
+        "{}: data segment diverged",
+        workload.name
+    );
+}
+
+/// Records the per-quantum oracle by running the workload on a banked core
+/// with the same thread count (the recording substrate for §6.1's exact
+/// prefetching comparison).
+pub fn record_oracle(workload: &Workload, nthreads: usize, fabric: FabricConfig) -> OracleSchedule {
+    let cfg = CoreConfig::banked(nthreads);
+    let opts = RunOptions {
+        fabric,
+        verify: false,
+        record_oracle: true,
+        oracle: OracleSchedule::default(),
+    };
+    run_single(cfg, workload, &opts).oracle
+}
+
+/// Convenience: run an exact-context prefetching core, recording the oracle
+/// first.
+pub fn run_prefetch_exact(
+    nthreads: usize,
+    regs_per_thread: usize,
+    workload: &Workload,
+    fabric: FabricConfig,
+) -> RunResult {
+    let oracle = record_oracle(workload, nthreads, fabric);
+    let cfg = CoreConfig::prefetch_exact(nthreads, regs_per_thread);
+    let opts = RunOptions {
+        fabric,
+        oracle,
+        ..RunOptions::default()
+    };
+    run_single(cfg, workload, &opts)
+}
+
+/// Sanity marker so downstream code can assert which engine a config is.
+pub fn engine_label(cfg: &CoreConfig) -> &'static str {
+    match cfg.engine {
+        EngineKind::ViReC => "virec",
+        EngineKind::Banked => "banked",
+        EngineKind::Software => "software",
+        EngineKind::PrefetchFull => "prefetch_full",
+        EngineKind::PrefetchExact => "prefetch_exact",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_workloads::{kernels, Layout};
+
+    #[test]
+    fn banked_gather_runs_and_verifies() {
+        let w = kernels::spatter::gather(256, Layout::for_core(0));
+        let r = run_single(CoreConfig::banked(4), &w, &RunOptions::default());
+        assert!(r.cycles > 0);
+        assert!(r.stats.instructions > 256 * 5);
+    }
+
+    #[test]
+    fn virec_gather_runs_and_verifies() {
+        let w = kernels::spatter::gather(256, Layout::for_core(0));
+        let r = run_single(CoreConfig::virec(4, 32), &w, &RunOptions::default());
+        assert!(r.stats.rf_misses > 0);
+    }
+
+    #[test]
+    fn oracle_recording_produces_quanta() {
+        let w = kernels::spatter::gather(256, Layout::for_core(0));
+        let o = record_oracle(&w, 4, FabricConfig::default());
+        assert_eq!(o.sets.len(), 4);
+        assert!(
+            o.sets.iter().any(|s| s.len() > 1),
+            "multiple quanta expected"
+        );
+    }
+
+    #[test]
+    fn prefetch_exact_runs_with_recorded_oracle() {
+        let w = kernels::spatter::gather(256, Layout::for_core(0));
+        let r = run_prefetch_exact(4, 8, &w, FabricConfig::default());
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn multithreading_beats_single_thread_on_gather() {
+        // The core premise: TLP hides memory latency.
+        let w = kernels::spatter::gather(1024, Layout::for_core(0));
+        let one = run_single(CoreConfig::banked(1), &w, &RunOptions::default());
+        let four = run_single(CoreConfig::banked(4), &w, &RunOptions::default());
+        assert!(
+            four.cycles * 2 < one.cycles * 3,
+            "4 threads ({}) should clearly beat 1 thread ({})",
+            four.cycles,
+            one.cycles
+        );
+    }
+}

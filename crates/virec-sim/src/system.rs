@@ -1,0 +1,246 @@
+//! Multi-core near-memory systems (Figure 11): several processors share the
+//! crossbar and DRAM, so memory latency observed by each core grows with
+//! system activity.
+
+use crate::offload::offload;
+use virec_core::{Core, CoreConfig, CoreStats};
+use virec_isa::FlatMem;
+use virec_mem::{Fabric, FabricConfig, FabricStats};
+use virec_workloads::{layout, Layout, Workload, WorkloadCtor};
+
+/// Configuration of a multi-core system. Every core runs the same core
+/// configuration and its own instance of the same workload on a private
+/// slice of memory (the paper's per-processor offload regions).
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Number of near-memory processors on the crossbar.
+    pub ncores: usize,
+    /// Per-core configuration.
+    pub core: CoreConfig,
+    /// Shared fabric configuration.
+    pub fabric: FabricConfig,
+    /// Abort threshold.
+    pub max_cycles: u64,
+}
+
+/// Result of a system run.
+#[derive(Clone, Debug)]
+pub struct SystemResult {
+    /// Cycles until *every* core finished.
+    pub cycles: u64,
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+    /// Shared crossbar/DRAM statistics (for observed-latency analysis).
+    pub fabric: FabricStats,
+}
+
+impl SystemResult {
+    /// Mean cycles a memory request queued in the fabric before service —
+    /// the "observed latency" increase of Figure 11.
+    pub fn mean_queue_delay(&self) -> f64 {
+        let reqs = self.fabric.reads + self.fabric.writes;
+        if reqs == 0 {
+            0.0
+        } else {
+            self.fabric.queue_cycles as f64 / reqs as f64
+        }
+    }
+
+    /// Aggregate instructions per cycle across the whole system.
+    pub fn total_ipc(&self) -> f64 {
+        let insts: u64 = self.per_core.iter().map(|s| s.instructions).sum();
+        insts as f64 / self.cycles as f64
+    }
+
+    /// Mean per-core IPC.
+    pub fn mean_core_ipc(&self) -> f64 {
+        let sum: f64 = self
+            .per_core
+            .iter()
+            .map(|s| s.instructions as f64 / self.cycles as f64)
+            .sum();
+        sum / self.per_core.len() as f64
+    }
+}
+
+/// A system of identical near-memory cores sharing one fabric.
+pub struct System {
+    cores: Vec<Core>,
+    fabric: Fabric,
+    mem: FlatMem,
+    workloads: Vec<Workload>,
+    cfg: SystemConfig,
+}
+
+impl System {
+    /// Builds a system where core `i` runs `ctor(n, Layout::for_core(i))`.
+    pub fn new(cfg: SystemConfig, ctor: WorkloadCtor, n: u64) -> System {
+        let specs = vec![(ctor, n); cfg.ncores];
+        Self::new_mixed(cfg, &specs)
+    }
+
+    /// Builds a heterogeneous system: core `i` runs `specs[i]` — a
+    /// multi-programmed near-memory node, each processor offloaded a
+    /// different kernel.
+    ///
+    /// # Panics
+    /// Panics if `specs.len() != cfg.ncores`.
+    pub fn new_mixed(cfg: SystemConfig, specs: &[(WorkloadCtor, u64)]) -> System {
+        let cores = vec![cfg.core; specs.len()];
+        Self::new_heterogeneous(cfg, &cores, specs)
+    }
+
+    /// Fully heterogeneous construction: per-core configurations *and*
+    /// per-core workloads — e.g. banked and ViReC processors contending on
+    /// the same crossbar.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree with `cfg.ncores`.
+    pub fn new_heterogeneous(
+        cfg: SystemConfig,
+        core_cfgs: &[CoreConfig],
+        specs: &[(WorkloadCtor, u64)],
+    ) -> System {
+        assert_eq!(specs.len(), cfg.ncores, "one workload spec per core");
+        assert_eq!(core_cfgs.len(), cfg.ncores, "one core config per core");
+        let mut mem = FlatMem::new(0, layout::mem_size(cfg.ncores));
+        let mut cores = Vec::with_capacity(cfg.ncores);
+        let mut workloads = Vec::with_capacity(cfg.ncores);
+        for (c, (&(ctor, n), core_cfg)) in specs.iter().zip(core_cfgs).enumerate() {
+            let w = ctor(n, Layout::for_core(c));
+            let region = offload(&mut mem, &w, core_cfg.nthreads);
+            cores.push(Core::new(
+                *core_cfg,
+                w.program().clone(),
+                region,
+                w.layout.code_base,
+                (2 * c, 2 * c + 1),
+            ));
+            workloads.push(w);
+        }
+        System {
+            cores,
+            fabric: Fabric::new(cfg.fabric),
+            mem,
+            workloads,
+            cfg,
+        }
+    }
+
+    /// Per-core statistics access while the system is alive (post-run).
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Runs the system to completion and verifies every core against the
+    /// golden interpreter.
+    pub fn run(&mut self) -> SystemResult {
+        let mut now = 0u64;
+        while !self.cores.iter().all(|c| c.done()) {
+            self.fabric.tick(now);
+            for core in &mut self.cores {
+                if !core.done() {
+                    core.tick(now, &mut self.fabric, &mut self.mem);
+                }
+            }
+            now += 1;
+            assert!(now < self.cfg.max_cycles, "system exceeded cycle budget");
+        }
+        for core in &mut self.cores {
+            core.finalize_stats();
+            core.drain(&mut self.mem);
+        }
+        for (core, w) in self.cores.iter().zip(&self.workloads) {
+            crate::runner::verify_against_golden(w, core.config().nthreads, core, &self.mem);
+        }
+        SystemResult {
+            cycles: now,
+            per_core: self.cores.iter().map(|c| *c.stats()).collect(),
+            fabric: *self.fabric.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_workloads::kernels;
+
+    fn sys_cfg(ncores: usize, core: CoreConfig) -> SystemConfig {
+        SystemConfig {
+            ncores,
+            core,
+            fabric: FabricConfig::default(),
+            max_cycles: 200_000_000,
+        }
+    }
+
+    #[test]
+    fn two_core_system_completes_and_verifies() {
+        let cfg = sys_cfg(2, CoreConfig::virec(4, 32));
+        let mut sys = System::new(cfg, kernels::spatter::gather, 256);
+        let r = sys.run();
+        assert_eq!(r.per_core.len(), 2);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn mixed_workload_system_verifies() {
+        let cfg = sys_cfg(3, CoreConfig::virec(4, 32));
+        let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![
+            (kernels::spatter::gather, 256),
+            (kernels::stream::stream_triad, 256),
+            (kernels::sparse::spmv, 64),
+        ];
+        let mut sys = System::new_mixed(cfg, &specs);
+        let r = sys.run();
+        assert_eq!(r.per_core.len(), 3);
+        // All three kernels committed work.
+        for s in &r.per_core {
+            assert!(s.instructions > 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload spec per core")]
+    fn mixed_arity_checked() {
+        let cfg = sys_cfg(2, CoreConfig::banked(2));
+        let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![(kernels::spatter::gather, 64)];
+        let _ = System::new_mixed(cfg, &specs);
+    }
+
+    #[test]
+    fn heterogeneous_engines_share_the_fabric() {
+        // A banked core and a ViReC core contend for the same DRAM; both
+        // must verify, and both make progress.
+        let cfg = sys_cfg(2, CoreConfig::banked(4));
+        let cores = [CoreConfig::banked(4), CoreConfig::virec(8, 52)];
+        let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![
+            (kernels::spatter::gather, 256),
+            (kernels::spatter::gather, 256),
+        ];
+        let mut sys = System::new_heterogeneous(cfg, &cores, &specs);
+        let r = sys.run();
+        assert!(r.per_core[0].instructions > 1000);
+        assert!(r.per_core[1].instructions > 1000);
+        // The ViReC core ran 8 threads, the banked core 4.
+        assert!(r.per_core[1].context_switches > r.per_core[0].context_switches / 4);
+    }
+
+    #[test]
+    fn contention_slows_cores_down() {
+        // Per-core IPC must drop as more cores share the fabric.
+        let run = |ncores: usize| {
+            let cfg = sys_cfg(ncores, CoreConfig::banked(4));
+            System::new(cfg, kernels::spatter::gather, 512).run()
+        };
+        let one = run(1);
+        let four = run(4);
+        let ipc1 = one.per_core[0].ipc();
+        let ipc4 = four.per_core[0].ipc();
+        assert!(
+            ipc4 < ipc1,
+            "core 0 IPC should drop under contention: {ipc4} vs {ipc1}"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Dense/regular kernels rounding out the suite: a memcpy-style copy, a
+//! 1-D 3-point stencil (CORAL-2 class), and a matrix transpose whose
+//! column-order writes skip cache lines.
+
+use super::{base_ctx, regs::*};
+use crate::data;
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_isa::{Asm, Cond, FlatMem};
+
+/// Streaming copy: `b[i] = a[i]` — pure bandwidth, the simplest kernel.
+pub fn copy(n: u64, layout: Layout) -> Workload {
+    let a_base = layout.data_base;
+    let b_base = a_base + n * 8;
+
+    let mut asm = Asm::new("copy");
+    asm.label("loop");
+    asm.ldr_idx(T0, BASE_A, I, 3);
+    asm.str_idx(T0, OUT, I, 3);
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "copy",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 50).into_iter().enumerate() {
+                mem.write_u64(a_base + i as u64 * 8, v);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, a_base));
+            c.push((OUT, b_base));
+            c
+        }),
+    )
+}
+
+/// 1-D 3-point stencil: `b[i] = a[i-1] + 2*a[i] + a[i+1]` over the interior
+/// points. High spatial locality with two-element reuse across iterations
+/// of the *same* thread partition.
+pub fn stencil3(n: u64, layout: Layout) -> Workload {
+    let a_base = layout.data_base;
+    let b_base = a_base + n * 8;
+
+    let mut asm = Asm::new("stencil3");
+    // I starts at tid+1 and the bound is n-1 (interior points only).
+    asm.label("loop");
+    asm.subi(T0, I, 1);
+    asm.ldr_idx(T0, BASE_A, T0, 3); // a[i-1]
+    asm.ldr_idx(T1, BASE_A, I, 3); // a[i]
+    asm.add(T0, T0, T1);
+    asm.add(T0, T0, T1); // + 2*a[i]
+    asm.addi(T1, I, 1);
+    asm.ldr_idx(T1, BASE_A, T1, 3); // a[i+1]
+    asm.add(T0, T0, T1);
+    asm.str_idx(T0, OUT, I, 3); // b[i]
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "stencil3",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 51).into_iter().enumerate() {
+                mem.write_u64(a_base + i as u64 * 8, v & 0xFFFF_FFFF);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n.saturating_sub(1));
+            // Shift the induction variable into the interior.
+            for slot in c.iter_mut() {
+                if slot.0 == I {
+                    slot.1 = tid as u64 + 1;
+                }
+            }
+            c.push((BASE_A, a_base));
+            c.push((OUT, b_base));
+            c
+        }),
+    )
+}
+
+/// Matrix transpose: `b[j][i] = a[i][j]` for a `side x side` matrix
+/// (`side` = largest power of two with `side² <= n`). Row-major reads,
+/// column-major writes — every store opens a new line once `side >= 8`.
+pub fn transpose(n: u64, layout: Layout) -> Workload {
+    let side = 1u64 << (n.max(4).ilog2() / 2);
+    let elems = side * side;
+    let a_base = layout.data_base;
+    let b_base = a_base + elems * 8;
+
+    let mut asm = Asm::new("transpose");
+    // Outer: I = row (tid-interleaved). Inner: T0 = column.
+    // E0 = i*side (row offset), T1 = element, E1 = j*side + i (dst index).
+    asm.label("rows");
+    asm.mov_imm(E2, side as i64);
+    asm.mul(E0, I, E2); // row offset
+    asm.mov_imm(T0, 0);
+    asm.label("cols");
+    asm.add(E1, E0, T0); // src index
+    asm.ldr_idx(T1, BASE_A, E1, 3); // a[i*side + j]
+    asm.mul(E1, T0, E2);
+    asm.add(E1, E1, I); // dst index j*side + i
+    asm.str_idx(T1, OUT, E1, 3);
+    asm.addi(T0, T0, 1);
+    asm.cmp(T0, E2);
+    asm.bcc(Cond::Lt, "cols");
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "rows");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "transpose",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(elems as usize, 52).into_iter().enumerate() {
+                mem.write_u64(a_base + i as u64 * 8, v);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, side);
+            c.push((BASE_A, a_base));
+            c.push((OUT, b_base));
+            c
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+
+    fn run_functional(w: &Workload, nthreads: usize) -> FlatMem {
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        for t in 0..nthreads {
+            let mut ctx = ThreadCtx::new();
+            for (r, v) in w.thread_ctx(t, nthreads) {
+                ctx.set(r, v);
+            }
+            let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 50_000_000);
+            assert!(matches!(out, ExecOutcome::Halted { .. }), "{}", w.name);
+        }
+        mem
+    }
+
+    #[test]
+    fn copy_replicates_source() {
+        let n = 128;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&copy(n, layout), 4);
+        let src = data::values(n as usize, 50);
+        for (i, expect) in src.iter().enumerate() {
+            assert_eq!(
+                mem.read_u64(layout.data_base + n * 8 + i as u64 * 8),
+                *expect
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_matches_scalar() {
+        let n = 96;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&stencil3(n, layout), 3);
+        let a: Vec<u64> = data::values(n as usize, 51)
+            .into_iter()
+            .map(|v| v & 0xFFFF_FFFF)
+            .collect();
+        for i in 1..(n - 1) as usize {
+            let expect = a[i - 1]
+                .wrapping_add(a[i].wrapping_mul(2))
+                .wrapping_add(a[i + 1]);
+            let got = mem.read_u64(layout.data_base + n * 8 + i as u64 * 8);
+            assert_eq!(got, expect, "i={i}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_exact() {
+        let n = 256; // side = 16
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&transpose(n, layout), 4);
+        let side = 16u64;
+        let src = data::values((side * side) as usize, 52);
+        for i in 0..side {
+            for j in 0..side {
+                let got = mem.read_u64(layout.data_base + side * side * 8 + (j * side + i) * 8);
+                assert_eq!(got, src[(i * side + j) as usize], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_side_is_power_of_two() {
+        for n in [16u64, 100, 256, 1000, 4096] {
+            let side = 1u64 << (n.max(4).ilog2() / 2);
+            assert!(side * side <= n.max(4) * 2); // sanity
+            assert!(side.is_power_of_two());
+        }
+    }
+}

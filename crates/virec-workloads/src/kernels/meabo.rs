@@ -1,0 +1,171 @@
+//! A Meabo-style mixed-phase kernel \[7\].
+//!
+//! Meabo interleaves compute-bound and memory-bound phases. This kernel
+//! runs an outer loop over blocks; each block executes
+//!
+//! 1. a **compute phase** — multiple ALU operations per element over a
+//!    streaming array (registers set A), and
+//! 2. a **random-access phase** — indirect reads (registers set B).
+//!
+//! Different subsets of the register context are live in each phase, the
+//! behaviour the paper calls out for *meabo* in §6.1 (partial contexts per
+//! quantum, high temporal register locality between partial executions).
+
+use super::regs::*;
+use crate::data;
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_isa::{Asm, Cond, FlatMem};
+
+/// Elements per block (per phase pass).
+const BLOCK: u64 = 32;
+
+/// Mixed compute + random-access phases over `n` elements.
+pub fn meabo(n: u64, layout: Layout) -> Workload {
+    let a_base = layout.data_base; // streamed in phase 1
+    let c_base = a_base + n * 8; // phase-1 output
+    let ridx_base = c_base + n * 8; // random indices for phase 2
+    let out_base = ridx_base + n * 8; // per-thread results
+
+    let blocks = (n / BLOCK).max(1);
+
+    let mut asm = Asm::new("meabo");
+    // Outer loop over blocks: I = block (starts at tid, strides by T).
+    // E2 = element cursor within the block (recomputed per phase).
+    asm.label("blocks");
+    asm.mov_imm(E3, BLOCK as i64);
+    asm.mul(E2, I, E3); // e2 = block * BLOCK (phase-1 cursor)
+    asm.add(E3, E2, E3); // e3 = block end
+
+    // Phase 1: compute-heavy stream — c[j] = ((a[j]*3) ^ a[j]) >> 1 + j.
+    asm.label("phase1");
+    asm.ldr_idx(T0, BASE_A, E2, 3); // t0 = a[j]
+    asm.mov_imm(T1, 3);
+    asm.mul(T1, T0, T1);
+    asm.eor(T1, T1, T0);
+    asm.lsri(T1, T1, 1);
+    asm.add(T1, T1, E2);
+    asm.str_idx(T1, BASE_B, E2, 3); // c[j] = t1
+    asm.addi(E2, E2, 1);
+    asm.cmp(E2, E3);
+    asm.bcc(Cond::Lt, "phase1");
+
+    // Phase 2: random gather — sum += c[ridx[j]] over the same block.
+    asm.mov_imm(E1, BLOCK as i64);
+    asm.mul(E2, I, E1); // reset cursor
+    asm.label("phase2");
+    asm.ldr_idx(T0, E0, E2, 3); // t0 = ridx[j]
+    asm.ldr_idx(T1, BASE_B, T0, 3); // t1 = c[t0]
+    asm.add(ACC, ACC, T1);
+    asm.addi(E2, E2, 1);
+    asm.cmp(E2, E3);
+    asm.bcc(Cond::Lt, "phase2");
+
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "blocks");
+    asm.str_idx(ACC, OUT, TID, 3);
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "meabo",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 40).into_iter().enumerate() {
+                mem.write_u64(a_base + i as u64 * 8, v & 0xFFFF_FFFF);
+            }
+            // Random indices constrained to each element's own block: the
+            // random-access phase reads values the same thread produced in
+            // its compute phase (race-free across threads, and the source
+            // of meabo's high temporal register/data locality).
+            for (i, r) in data::uniform_indices(BLOCK, n as usize, 41)
+                .into_iter()
+                .enumerate()
+            {
+                let block_base = (i as u64 / BLOCK) * BLOCK;
+                mem.write_u64(ridx_base + i as u64 * 8, block_base + r);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            vec![
+                (ACC, 0),
+                (I, tid as u64),
+                (BASE_A, a_base),
+                (BASE_B, c_base),
+                (E0, ridx_base),
+                (BOUND, blocks),
+                (STRIDE, nthreads as u64),
+                (OUT, out_base),
+                (TID, tid as u64),
+            ]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+
+    #[test]
+    fn meabo_functional_model() {
+        let n = 128; // 4 blocks
+        let layout = Layout::for_core(0);
+        let w = meabo(n, layout);
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        let nthreads = 2;
+        let mut sums = Vec::new();
+        for t in 0..nthreads {
+            let mut ctx = ThreadCtx::new();
+            for (r, v) in w.thread_ctx(t, nthreads) {
+                ctx.set(r, v);
+            }
+            let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 10_000_000);
+            assert!(matches!(out, ExecOutcome::Halted { .. }));
+            sums.push(ctx.get(ACC));
+        }
+
+        // Scalar model.
+        let a: Vec<u64> = data::values(n as usize, 40)
+            .into_iter()
+            .map(|v| v & 0xFFFF_FFFF)
+            .collect();
+        let ridx: Vec<u64> = data::uniform_indices(BLOCK, n as usize, 41)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64 / BLOCK) * BLOCK + r)
+            .collect();
+        let blocks = n / BLOCK;
+        let mut c = vec![0u64; n as usize];
+        // All phase-1 writes across threads (disjoint blocks).
+        for b in 0..blocks {
+            for j in b * BLOCK..(b + 1) * BLOCK {
+                let t0 = a[j as usize];
+                c[j as usize] = ((t0.wrapping_mul(3) ^ t0) >> 1).wrapping_add(j);
+            }
+        }
+        for t in 0..nthreads as u64 {
+            let mut sum = 0u64;
+            let mut b = t;
+            while b < blocks {
+                for j in b * BLOCK..(b + 1) * BLOCK {
+                    sum = sum.wrapping_add(c[ridx[j as usize] as usize]);
+                }
+                b += nthreads as u64;
+            }
+            assert_eq!(sums[t as usize], sum, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn meabo_is_nested() {
+        let w = meabo(128, Layout::for_core(0));
+        let u = w.register_usage();
+        assert_eq!(u.max_depth, 2);
+        assert_eq!(u.loops.len(), 3, "outer + two phase loops");
+    }
+}

@@ -1,0 +1,61 @@
+//! Kernel implementations, grouped by originating suite.
+
+pub mod dense;
+pub mod meabo;
+pub mod pointer;
+pub mod sparse;
+pub mod spatter;
+pub mod stream;
+
+pub(crate) use helpers::*;
+
+mod helpers {
+    use virec_isa::Reg;
+
+    /// Shared register conventions across kernels — keeping them uniform
+    /// makes Figure 2's utilization comparison meaningful.
+    pub mod regs {
+        use virec_isa::reg::names;
+        use virec_isa::Reg;
+
+        /// Accumulator / result.
+        pub const ACC: Reg = names::X0;
+        /// Loop induction variable (starts at `tid`).
+        pub const I: Reg = names::X1;
+        /// Primary data base pointer.
+        pub const BASE_A: Reg = names::X2;
+        /// Secondary base pointer (indices, second array).
+        pub const BASE_B: Reg = names::X3;
+        /// Loop bound.
+        pub const BOUND: Reg = names::X4;
+        /// Scratch.
+        pub const T0: Reg = names::X5;
+        /// Scratch.
+        pub const T1: Reg = names::X6;
+        /// Stride (number of hardware threads).
+        pub const STRIDE: Reg = names::X7;
+        /// Output base pointer.
+        pub const OUT: Reg = names::X8;
+        /// Thread id / output slot.
+        pub const TID: Reg = names::X9;
+        /// Extra operands for wider kernels.
+        pub const E0: Reg = names::X10;
+        /// Extra operands for wider kernels.
+        pub const E1: Reg = names::X11;
+        /// Extra operands for wider kernels.
+        pub const E2: Reg = names::X12;
+        /// Extra operands for wider kernels.
+        pub const E3: Reg = names::X13;
+    }
+
+    /// The common per-thread context prologue: interleaved partitioning.
+    pub fn base_ctx(tid: usize, nthreads: usize, n: u64) -> Vec<(Reg, u64)> {
+        vec![
+            (regs::ACC, 0),
+            (regs::I, tid as u64),
+            (regs::BOUND, n),
+            (regs::STRIDE, nthreads as u64),
+            (regs::TID, tid as u64),
+        ]
+    }
+}

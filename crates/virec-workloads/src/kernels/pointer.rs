@@ -1,0 +1,156 @@
+//! Dependent-access kernels: pointer chasing (PrIM-style linked traversal)
+//! and GUPS-style random update.
+
+use super::{base_ctx, regs::*};
+use crate::data;
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_isa::{Asm, Cond, FlatMem};
+
+/// Linked-list traversal: `cur = next[cur]`, `n` hops per thread. Every
+/// load depends on the previous one — zero memory-level parallelism within
+/// a thread, the case where multithreading is the *only* latency-hiding
+/// lever.
+pub fn pointer_chase(n: u64, layout: Layout) -> Workload {
+    let next_base = layout.data_base;
+    let out_base = next_base + n * 8;
+
+    let mut asm = Asm::new("pointer_chase");
+    // ACC = current node, I = remaining hops (counts down from n/stride).
+    asm.label("loop");
+    asm.ldr_idx(ACC, BASE_A, ACC, 3); // cur = next[cur]
+    asm.subi(I, I, 1);
+    asm.cbnz(I, "loop");
+    asm.str_idx(ACC, OUT, TID, 3); // out[tid] = final node
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "pointer_chase",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, nx) in data::cycle_permutation(n, 20).into_iter().enumerate() {
+                mem.write_u64(next_base + i as u64 * 8, nx);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            // Each thread starts at a different node and walks n/T hops.
+            let hops = (n / nthreads as u64).max(1);
+            vec![
+                (ACC, (tid as u64 * (n / nthreads.max(1) as u64)) % n),
+                (I, hops),
+                (BASE_A, next_base),
+                (OUT, out_base),
+                (TID, tid as u64),
+            ]
+        }),
+    )
+}
+
+/// GUPS-style random update: `t[j] = t[j] ^ f(i)` with `j` drawn from a
+/// per-thread random stream. Tables are privatized per thread (as in
+/// standard parallel GUPS implementations) so results are deterministic.
+pub fn update(n: u64, layout: Layout) -> Workload {
+    // Table of n entries per thread (privatized), preceded by the index
+    // stream shared by all threads.
+    let idx_base = layout.data_base;
+    let table_base = idx_base + n * 8;
+
+    let mut asm = Asm::new("update");
+    asm.label("loop");
+    asm.ldr_idx(T0, BASE_B, I, 3); // t0 = idx[i]
+    asm.ldr_idx(T1, BASE_A, T0, 3); // t1 = table[t0]
+    asm.eor(T1, T1, T0); // t1 ^= t0
+    asm.str_idx(T1, BASE_A, T0, 3); // table[t0] = t1
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "update",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, ix) in data::uniform_indices(n, n as usize, 21)
+                .into_iter()
+                .enumerate()
+            {
+                mem.write_u64(idx_base + i as u64 * 8, ix);
+            }
+            // Tables start zeroed (FlatMem default) — one per thread is
+            // laid out by the context's BASE_A below; nothing to write.
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, table_base + tid as u64 * n * 8)); // private table
+            c.push((BASE_B, idx_base));
+            c
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+
+    fn run_functional(w: &Workload, nthreads: usize) -> FlatMem {
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        for t in 0..nthreads {
+            let mut ctx = ThreadCtx::new();
+            for (r, v) in w.thread_ctx(t, nthreads) {
+                ctx.set(r, v);
+            }
+            let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 10_000_000);
+            assert!(matches!(out, ExecOutcome::Halted { .. }));
+        }
+        mem
+    }
+
+    #[test]
+    fn chase_follows_permutation() {
+        let n = 128;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&pointer_chase(n, layout), 2);
+        let next = data::cycle_permutation(n, 20);
+        for t in 0..2u64 {
+            let mut cur = t * (n / 2) % n;
+            for _ in 0..n / 2 {
+                cur = next[cur as usize];
+            }
+            let got = mem.read_u64(layout.data_base + n * 8 + t * 8);
+            assert_eq!(got, cur, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn update_xors_privatized_tables() {
+        let n = 96;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&update(n, layout), 3);
+        let idx = data::uniform_indices(n, n as usize, 21);
+        for t in 0..3usize {
+            let mut table = vec![0u64; n as usize];
+            for i in (t..n as usize).step_by(3) {
+                let j = idx[i] as usize;
+                table[j] ^= idx[i];
+            }
+            let tb = layout.data_base + n * 8 + t as u64 * n * 8;
+            for (j, expect) in table.iter().enumerate() {
+                assert_eq!(mem.read_u64(tb + j as u64 * 8), *expect, "t{t} slot {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn chase_uses_tiny_context() {
+        let w = pointer_chase(64, Layout::for_core(0));
+        assert!(w.active_context_size() <= 4, "chase inner loop is 3 regs");
+    }
+}

@@ -1,0 +1,205 @@
+//! Sparse/irregular kernels: histogram (PrIM-style) and CSR SpMV
+//! (CORAL-2-style). SpMV's nested loops exercise the outer-loop register
+//! behaviour of §4.2.
+
+use super::{base_ctx, regs::*};
+use crate::data;
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_isa::{Asm, Cond, FlatMem};
+
+/// Number of histogram buckets (fits in two cache lines per thread).
+const BUCKETS: u64 = 256;
+
+/// Histogram over the low byte of each value, with per-thread private
+/// histograms (standard privatization, keeps the kernel race-free).
+pub fn histogram(n: u64, layout: Layout) -> Workload {
+    let data_base = layout.data_base;
+    let hist_base = data_base + n * 8;
+
+    let mut asm = Asm::new("histogram");
+    asm.label("loop");
+    asm.ldr_idx(T0, BASE_A, I, 3); // t0 = data[i]
+    asm.andi(T0, T0, (BUCKETS - 1) as i64); // bucket
+    asm.ldr_idx(T1, OUT, T0, 3); // t1 = hist[bucket]
+    asm.addi(T1, T1, 1);
+    asm.str_idx(T1, OUT, T0, 3); // hist[bucket] = t1
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "histogram",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 30).into_iter().enumerate() {
+                mem.write_u64(data_base + i as u64 * 8, v);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, data_base));
+            c.push((OUT, hist_base + tid as u64 * BUCKETS * 8)); // private
+            c
+        }),
+    )
+}
+
+/// Nonzeros per row of the synthetic CSR matrix.
+const NNZ_PER_ROW: u64 = 8;
+
+/// CSR sparse matrix-vector product: `y[r] = Σ val[k] * x[col[k]]`.
+///
+/// The row loop is the outer loop; the nonzero loop is the innermost. Row
+/// pointers and the output base live in outer-loop registers with long
+/// reuse distances — the registers §4.2's compiler reduction targets.
+pub fn spmv(n: u64, layout: Layout) -> Workload {
+    let rows = n;
+    let cols = n;
+    // Layout: row_ptr[rows+1] | col_idx[...] | val[...] | x[cols] | y[rows]
+    let rp_base = layout.data_base;
+    let (_, col_idx) = data::csr_matrix(rows, cols, NNZ_PER_ROW, 31);
+    let nnz = col_idx.len() as u64;
+    let ci_base = rp_base + (rows + 1) * 8;
+    let val_base = ci_base + nnz * 8;
+    let x_base = val_base + nnz * 8;
+    let y_base = x_base + cols * 8;
+
+    // Outer loop: I = row (starts at tid, strides by nthreads). Inner loop
+    // walks nonzeros k in row_ptr[r]..row_ptr[r+1]. The x base (E3) and
+    // value base (E2) stay live across both loops; T1 is recycled as the
+    // row_ptr[r+1] bound.
+    let mut asm = Asm::new("spmv");
+    asm.label("rows");
+    asm.ldr_idx(T0, BASE_A, I, 3); // k = row_ptr[r]
+    asm.addi(T1, I, 1);
+    asm.ldr_idx(T1, BASE_A, T1, 3); // kend = row_ptr[r+1]
+    asm.mov_imm(ACC, 0);
+    asm.cmp(T0, T1);
+    asm.bcc(Cond::Ge, "row_done");
+    asm.label("nnz");
+    asm.ldr_idx(E0, BASE_B, T0, 3); // col = col_idx[k]
+    asm.ldr_idx(E1, E2, T0, 3); // v = val[k]
+    asm.ldr_idx(E0, E3, E0, 3); // xv = x[col]
+    asm.madd(ACC, E0, E1, ACC);
+    asm.addi(T0, T0, 1);
+    asm.cmp(T0, T1);
+    asm.bcc(Cond::Lt, "nnz");
+    asm.label("row_done");
+    asm.str_idx(ACC, OUT, I, 3);
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "rows");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "spmv",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            let (row_ptr, col_idx) = data::csr_matrix(rows, cols, NNZ_PER_ROW, 31);
+            for (i, v) in row_ptr.iter().enumerate() {
+                mem.write_u64(rp_base + i as u64 * 8, *v);
+            }
+            for (i, c) in col_idx.iter().enumerate() {
+                mem.write_u64(ci_base + i as u64 * 8, *c);
+            }
+            for (i, v) in data::values(col_idx.len(), 32).into_iter().enumerate() {
+                mem.write_u64(val_base + i as u64 * 8, v & 0xFFFF);
+            }
+            for (i, v) in data::values(cols as usize, 33).into_iter().enumerate() {
+                mem.write_u64(x_base + i as u64 * 8, v & 0xFFFF);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, rows);
+            c.push((BASE_A, rp_base));
+            c.push((BASE_B, ci_base));
+            c.push((E2, val_base));
+            c.push((E3, x_base));
+            c.push((OUT, y_base));
+            c
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+
+    fn run_functional(w: &Workload, nthreads: usize) -> FlatMem {
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        for t in 0..nthreads {
+            let mut ctx = ThreadCtx::new();
+            for (r, v) in w.thread_ctx(t, nthreads) {
+                ctx.set(r, v);
+            }
+            let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 50_000_000);
+            assert!(matches!(out, ExecOutcome::Halted { .. }), "{}", w.name);
+        }
+        mem
+    }
+
+    #[test]
+    fn histogram_counts_correctly() {
+        let n = 200;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&histogram(n, layout), 2);
+        let vals = data::values(n as usize, 30);
+        for t in 0..2usize {
+            let mut h = vec![0u64; BUCKETS as usize];
+            for i in (t..n as usize).step_by(2) {
+                h[(vals[i] & (BUCKETS - 1)) as usize] += 1;
+            }
+            let hb = layout.data_base + n * 8 + t as u64 * BUCKETS * 8;
+            for (b, expect) in h.iter().enumerate() {
+                assert_eq!(mem.read_u64(hb + b as u64 * 8), *expect, "t{t} b{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let n = 64;
+        let layout = Layout::for_core(0);
+        let w = spmv(n, layout);
+        let mem = run_functional(&w, 4);
+        let (rp, ci) = data::csr_matrix(n, n, NNZ_PER_ROW, 31);
+        let vals: Vec<u64> = data::values(ci.len(), 32)
+            .into_iter()
+            .map(|v| v & 0xFFFF)
+            .collect();
+        let x: Vec<u64> = data::values(n as usize, 33)
+            .into_iter()
+            .map(|v| v & 0xFFFF)
+            .collect();
+        let nnz = ci.len() as u64;
+        let y_base = layout.data_base + (n + 1) * 8 + 2 * nnz * 8 + n * 8;
+        for r in 0..n as usize {
+            let mut acc = 0u64;
+            for k in rp[r] as usize..rp[r + 1] as usize {
+                acc = acc.wrapping_add(vals[k].wrapping_mul(x[ci[k] as usize]));
+            }
+            assert_eq!(mem.read_u64(y_base + r as u64 * 8), acc, "row {r}");
+        }
+    }
+
+    #[test]
+    fn spmv_has_nested_loops() {
+        let w = spmv(32, Layout::for_core(0));
+        let usage = w.register_usage();
+        assert_eq!(usage.max_depth, 2, "spmv must have a 2-deep loop nest");
+        assert!(
+            !usage.outer_only.is_empty(),
+            "spmv should have outer-loop-only registers (the §4.2 case)"
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! Spatter-style gather/scatter kernels \[36\] — the paper's headline
+//! workloads (Figures 1, 5, 10, 11 all use *gather*).
+
+use super::{base_ctx, regs::*};
+use crate::data;
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_isa::{Asm, Cond, FlatMem};
+
+/// Spatter index-pattern families \[36\]. The suite's default `gather` uses
+/// `UniformRandom`; the other patterns reproduce Spatter's stride and
+/// "mostly-stride-1" traces for locality studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpatterPattern {
+    /// `idx[i] = (i * stride) % n` — fixed-stride sweeps (stride in
+    /// elements; 8 elements = one cache line).
+    UniformStride(u64),
+    /// Mostly stride-1: runs of `run` consecutive indices separated by
+    /// jumps of `gap` elements (the FEM-style Spatter patterns).
+    Ms1 {
+        /// Consecutive elements per run.
+        run: u64,
+        /// Elements skipped between runs.
+        gap: u64,
+    },
+    /// Uniformly random indices (the default low-locality pattern).
+    UniformRandom,
+}
+
+impl SpatterPattern {
+    /// Generates the index stream for `count` accesses over `0..n`.
+    pub fn indices(self, n: u64, count: usize, salt: u64) -> Vec<u64> {
+        match self {
+            SpatterPattern::UniformStride(stride) => (0..count as u64)
+                .map(|i| (i.wrapping_mul(stride)) % n)
+                .collect(),
+            SpatterPattern::Ms1 { run, gap } => {
+                let run = run.max(1);
+                let mut out = Vec::with_capacity(count);
+                let mut base = 0u64;
+                let mut k = 0u64;
+                for _ in 0..count {
+                    out.push((base + k) % n);
+                    k += 1;
+                    if k == run {
+                        k = 0;
+                        base = (base + run + gap) % n;
+                    }
+                }
+                out
+            }
+            SpatterPattern::UniformRandom => data::uniform_indices(n, count, salt),
+        }
+    }
+}
+
+/// `sum += data[idx[i]]` with a configurable Spatter index pattern.
+pub fn gather_with_pattern(n: u64, layout: Layout, pattern: SpatterPattern) -> Workload {
+    let data_base = layout.data_base;
+    let idx_base = data_base + n * 8;
+    let out_base = idx_base + n * 8;
+
+    let mut a = Asm::new("gather");
+    a.label("loop");
+    a.ldr_idx(T0, BASE_B, I, 3);
+    a.ldr_idx(T1, BASE_A, T0, 3);
+    a.add(ACC, ACC, T1);
+    a.add(I, I, STRIDE);
+    a.cmp(I, BOUND);
+    a.bcc(Cond::Lt, "loop");
+    a.str_idx(ACC, OUT, TID, 3);
+    a.halt();
+    let program = a.assemble();
+
+    Workload::from_parts(
+        "gather",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 1).into_iter().enumerate() {
+                mem.write_u64(data_base + i as u64 * 8, v);
+            }
+            for (i, ix) in pattern.indices(n, n as usize, 2).into_iter().enumerate() {
+                mem.write_u64(idx_base + i as u64 * 8, ix);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, data_base));
+            c.push((BASE_B, idx_base));
+            c.push((OUT, out_base));
+            c
+        }),
+    )
+}
+
+/// `sum += data[idx[i]]` with uniformly random indices — streaming
+/// indirect reads, the canonical low-locality near-memory kernel.
+pub fn gather(n: u64, layout: Layout) -> Workload {
+    let data_base = layout.data_base;
+    let idx_base = data_base + n * 8;
+    let out_base = idx_base + n * 8;
+
+    let mut a = Asm::new("gather");
+    a.label("loop");
+    a.ldr_idx(T0, BASE_B, I, 3); // t0 = idx[i]
+    a.ldr_idx(T1, BASE_A, T0, 3); // t1 = data[t0]
+    a.add(ACC, ACC, T1);
+    a.add(I, I, STRIDE);
+    a.cmp(I, BOUND);
+    a.bcc(Cond::Lt, "loop");
+    a.str_idx(ACC, OUT, TID, 3); // out[tid] = sum
+    a.halt();
+    let program = a.assemble();
+
+    Workload::from_parts(
+        "gather",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 1).into_iter().enumerate() {
+                mem.write_u64(data_base + i as u64 * 8, v);
+            }
+            for (i, ix) in data::uniform_indices(n, n as usize, 2)
+                .into_iter()
+                .enumerate()
+            {
+                mem.write_u64(idx_base + i as u64 * 8, ix);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, data_base));
+            c.push((BASE_B, idx_base));
+            c.push((OUT, out_base));
+            c
+        }),
+    )
+}
+
+/// `out[idx[i]] = vals[i]` over a per-thread permutation partition —
+/// streaming indirect writes.
+pub fn scatter(n: u64, layout: Layout) -> Workload {
+    let vals_base = layout.data_base;
+    let idx_base = vals_base + n * 8;
+    let out_base = idx_base + n * 8;
+
+    let mut a = Asm::new("scatter");
+    a.label("loop");
+    a.ldr_idx(T0, BASE_B, I, 3); // t0 = idx[i]
+    a.ldr_idx(T1, BASE_A, I, 3); // t1 = vals[i]
+    a.str_idx(T1, OUT, T0, 3); // out[t0] = t1
+    a.add(I, I, STRIDE);
+    a.cmp(I, BOUND);
+    a.bcc(Cond::Lt, "loop");
+    a.halt();
+    let program = a.assemble();
+
+    Workload::from_parts(
+        "scatter",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 3).into_iter().enumerate() {
+                mem.write_u64(vals_base + i as u64 * 8, v);
+            }
+            // A permutation keeps scatter targets disjoint across threads,
+            // so timing-dependent store interleaving cannot change results.
+            for (i, ix) in data::cycle_permutation(n, 4).into_iter().enumerate() {
+                mem.write_u64(idx_base + i as u64 * 8, ix);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, vals_base));
+            c.push((BASE_B, idx_base));
+            c.push((OUT, out_base));
+            c
+        }),
+    )
+}
+
+/// `y[pidx[i]] = x[gidx[i]]` — simultaneous gather and scatter.
+pub fn gather_scatter(n: u64, layout: Layout) -> Workload {
+    let x_base = layout.data_base;
+    let gidx_base = x_base + n * 8;
+    let pidx_base = gidx_base + n * 8;
+    let y_base = pidx_base + n * 8;
+
+    let mut a = Asm::new("gather_scatter");
+    a.label("loop");
+    a.ldr_idx(T0, BASE_B, I, 3); // t0 = gidx[i]
+    a.ldr_idx(T0, BASE_A, T0, 3); // t0 = x[t0]
+    a.ldr_idx(T1, E0, I, 3); // t1 = pidx[i]
+    a.str_idx(T0, OUT, T1, 3); // y[t1] = t0
+    a.add(I, I, STRIDE);
+    a.cmp(I, BOUND);
+    a.bcc(Cond::Lt, "loop");
+    a.halt();
+    let program = a.assemble();
+
+    Workload::from_parts(
+        "gather_scatter",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 5).into_iter().enumerate() {
+                mem.write_u64(x_base + i as u64 * 8, v);
+            }
+            for (i, ix) in data::uniform_indices(n, n as usize, 6)
+                .into_iter()
+                .enumerate()
+            {
+                mem.write_u64(gidx_base + i as u64 * 8, ix);
+            }
+            for (i, ix) in data::cycle_permutation(n, 7).into_iter().enumerate() {
+                mem.write_u64(pidx_base + i as u64 * 8, ix);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, x_base));
+            c.push((BASE_B, gidx_base));
+            c.push((E0, pidx_base));
+            c.push((OUT, y_base));
+            c
+        }),
+    )
+}
+
+/// Elements touched per stride jump (16 × 8 B = two cache lines, so every
+/// access opens a new line).
+const STRIDE_ELEMS: u64 = 16;
+
+/// `sum += a[i * 16]` — strided reads that skip cache lines.
+pub fn stride(n: u64, layout: Layout) -> Workload {
+    let a_base = layout.data_base;
+    let out_base = a_base + n * STRIDE_ELEMS * 8;
+
+    let mut a = Asm::new("stride");
+    // i counts logical elements; address = base + (i*16)*8.
+    a.label("loop");
+    a.lsli(T0, I, 4); // t0 = i * 16
+    a.ldr_idx(T1, BASE_A, T0, 3); // t1 = a[t0]
+    a.add(ACC, ACC, T1);
+    a.add(I, I, STRIDE);
+    a.cmp(I, BOUND);
+    a.bcc(Cond::Lt, "loop");
+    a.str_idx(ACC, OUT, TID, 3);
+    a.halt();
+    let program = a.assemble();
+
+    Workload::from_parts(
+        "stride",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            // Only the strided slots matter; fill them.
+            for i in 0..n {
+                mem.write_u64(a_base + i * STRIDE_ELEMS * 8, i.wrapping_mul(31) & 0xFFFF);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, a_base));
+            c.push((OUT, out_base));
+            c
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+
+    fn run_functional(w: &Workload, nthreads: usize) -> (FlatMem, Vec<ThreadCtx>) {
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        let mut ctxs = Vec::new();
+        for t in 0..nthreads {
+            let mut ctx = ThreadCtx::new();
+            for (r, v) in w.thread_ctx(t, nthreads) {
+                ctx.set(r, v);
+            }
+            let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 10_000_000);
+            assert!(matches!(out, ExecOutcome::Halted { .. }), "{}", w.name);
+            ctxs.push(ctx);
+        }
+        (mem, ctxs)
+    }
+
+    #[test]
+    fn gather_sums_match_scalar_model() {
+        let n = 256;
+        let layout = Layout::for_core(0);
+        let w = gather(n, layout);
+        let (mem, _) = run_functional(&w, 4);
+        // Independent scalar model.
+        let data: Vec<u64> = data::values(n as usize, 1);
+        let idx = data::uniform_indices(n, n as usize, 2);
+        for t in 0..4usize {
+            let expect: u64 = (t..n as usize)
+                .step_by(4)
+                .map(|i| data[idx[i] as usize])
+                .fold(0u64, |a, b| a.wrapping_add(b));
+            let out = mem.read_u64(layout.data_base + 2 * n * 8 + t as u64 * 8);
+            assert_eq!(out, expect, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn scatter_places_all_values() {
+        let n = 128;
+        let layout = Layout::for_core(0);
+        let w = scatter(n, layout);
+        let (mem, _) = run_functional(&w, 4);
+        let vals = data::values(n as usize, 3);
+        let idx = data::cycle_permutation(n, 4);
+        for i in 0..n as usize {
+            let got = mem.read_u64(layout.data_base + 2 * n * 8 + idx[i] * 8);
+            assert_eq!(got, vals[i], "element {i}");
+        }
+    }
+
+    #[test]
+    fn gather_scatter_functional() {
+        let n = 128;
+        let layout = Layout::for_core(0);
+        let w = gather_scatter(n, layout);
+        let (mem, _) = run_functional(&w, 2);
+        let x = data::values(n as usize, 5);
+        let g = data::uniform_indices(n, n as usize, 6);
+        let p = data::cycle_permutation(n, 7);
+        for i in 0..n as usize {
+            let got = mem.read_u64(layout.data_base + 3 * n * 8 + p[i] * 8);
+            assert_eq!(got, x[g[i] as usize], "element {i}");
+        }
+    }
+
+    #[test]
+    fn stride_covers_partition() {
+        let n = 64;
+        let layout = Layout::for_core(0);
+        let w = stride(n, layout);
+        let (mem, _) = run_functional(&w, 2);
+        for t in 0..2u64 {
+            let expect: u64 = (t..n).step_by(2).map(|i| i.wrapping_mul(31) & 0xFFFF).sum();
+            let got = mem.read_u64(layout.data_base + n * STRIDE_ELEMS * 8 + t * 8);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn gather_active_context_is_about_eight() {
+        let w = gather(64, Layout::for_core(0));
+        let ctx = w.active_context_size();
+        assert!((7..=9).contains(&ctx), "gather active ctx = {ctx}");
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stride_wraps() {
+        let ix = SpatterPattern::UniformStride(3).indices(10, 7, 0);
+        assert_eq!(ix, vec![0, 3, 6, 9, 2, 5, 8]);
+    }
+
+    #[test]
+    fn ms1_runs_and_gaps() {
+        let ix = SpatterPattern::Ms1 { run: 3, gap: 2 }.indices(100, 8, 0);
+        // runs of 3 consecutive, then skip 2: 0,1,2, 5,6,7, 10,11
+        assert_eq!(ix, vec![0, 1, 2, 5, 6, 7, 10, 11]);
+    }
+
+    #[test]
+    fn random_pattern_matches_default_gather() {
+        let a = SpatterPattern::UniformRandom.indices(64, 32, 2);
+        let b = data::uniform_indices(64, 32, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_patterns_stay_in_range() {
+        for p in [
+            SpatterPattern::UniformStride(7),
+            SpatterPattern::Ms1 { run: 4, gap: 9 },
+            SpatterPattern::UniformRandom,
+        ] {
+            for ix in p.indices(37, 200, 5) {
+                assert!(ix < 37, "{p:?} produced {ix}");
+            }
+        }
+    }
+
+    #[test]
+    fn patterned_gather_is_functionally_correct() {
+        use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+        let n = 128;
+        let layout = Layout::for_core(0);
+        let pattern = SpatterPattern::Ms1 { run: 8, gap: 24 };
+        let w = gather_with_pattern(n, layout, pattern);
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        let mut ctx = ThreadCtx::new();
+        for (r, v) in w.thread_ctx(0, 1) {
+            ctx.set(r, v);
+        }
+        let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 1_000_000);
+        assert!(matches!(out, ExecOutcome::Halted { .. }));
+        let vals = data::values(n as usize, 1);
+        let idx = pattern.indices(n, n as usize, 2);
+        let expect: u64 = idx
+            .iter()
+            .fold(0u64, |a, &i| a.wrapping_add(vals[i as usize]));
+        let got = mem.read_u64(layout.data_base + 2 * n * 8);
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,201 @@
+//! Streaming kernels (CORAL-2 / STREAM-style): high spatial locality,
+//! regular misses at line boundaries.
+
+use super::{base_ctx, regs::*};
+use crate::data;
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_isa::{Asm, Cond, FlatMem};
+
+/// STREAM triad: `a[i] = b[i] + s * c[i]`.
+pub fn stream_triad(n: u64, layout: Layout) -> Workload {
+    let b_base = layout.data_base;
+    let c_base = b_base + n * 8;
+    let a_base = c_base + n * 8;
+    let scalar = 3u64;
+
+    let mut asm = Asm::new("stream_triad");
+    asm.label("loop");
+    asm.ldr_idx(T0, BASE_A, I, 3); // t0 = b[i]
+    asm.ldr_idx(T1, BASE_B, I, 3); // t1 = c[i]
+    asm.madd(T1, T1, E0, T0); // t1 = c[i]*s + b[i]
+    asm.str_idx(T1, OUT, I, 3); // a[i] = t1
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "stream_triad",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 10).into_iter().enumerate() {
+                mem.write_u64(b_base + i as u64 * 8, v & 0xFFFF_FFFF);
+            }
+            for (i, v) in data::values(n as usize, 11).into_iter().enumerate() {
+                mem.write_u64(c_base + i as u64 * 8, v & 0xFFFF_FFFF);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, b_base));
+            c.push((BASE_B, c_base));
+            c.push((OUT, a_base));
+            c.push((E0, scalar));
+            c
+        }),
+    )
+}
+
+/// DAXPY: `y[i] = y[i] + a * x[i]`.
+pub fn daxpy(n: u64, layout: Layout) -> Workload {
+    let x_base = layout.data_base;
+    let y_base = x_base + n * 8;
+    let scalar = 7u64;
+
+    let mut asm = Asm::new("daxpy");
+    asm.label("loop");
+    asm.ldr_idx(T0, BASE_A, I, 3); // t0 = x[i]
+    asm.ldr_idx(T1, OUT, I, 3); // t1 = y[i]
+    asm.madd(T1, T0, E0, T1); // t1 = x[i]*a + y[i]
+    asm.str_idx(T1, OUT, I, 3);
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "daxpy",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 12).into_iter().enumerate() {
+                mem.write_u64(x_base + i as u64 * 8, v & 0xFFFF);
+            }
+            for (i, v) in data::values(n as usize, 13).into_iter().enumerate() {
+                mem.write_u64(y_base + i as u64 * 8, v & 0xFFFF);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, x_base));
+            c.push((OUT, y_base));
+            c.push((E0, scalar));
+            c
+        }),
+    )
+}
+
+/// Sequential reduction: `sum += a[i]` — the high-locality end of the suite.
+pub fn reduction(n: u64, layout: Layout) -> Workload {
+    let a_base = layout.data_base;
+    let out_base = a_base + n * 8;
+
+    let mut asm = Asm::new("reduction");
+    asm.label("loop");
+    asm.ldr_idx(T0, BASE_A, I, 3);
+    asm.add(ACC, ACC, T0);
+    asm.add(I, I, STRIDE);
+    asm.cmp(I, BOUND);
+    asm.bcc(Cond::Lt, "loop");
+    asm.str_idx(ACC, OUT, TID, 3);
+    asm.halt();
+    let program = asm.assemble();
+
+    Workload::from_parts(
+        "reduction",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for (i, v) in data::values(n as usize, 14).into_iter().enumerate() {
+                mem.write_u64(a_base + i as u64 * 8, v & 0xFF_FFFF);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            let mut c = base_ctx(tid, nthreads, n);
+            c.push((BASE_A, a_base));
+            c.push((OUT, out_base));
+            c
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::{ExecOutcome, Interpreter, ThreadCtx};
+
+    fn run_functional(w: &Workload, nthreads: usize) -> FlatMem {
+        let mut mem = FlatMem::new(0, crate::layout::mem_size(1));
+        w.init_mem(&mut mem);
+        for t in 0..nthreads {
+            let mut ctx = ThreadCtx::new();
+            for (r, v) in w.thread_ctx(t, nthreads) {
+                ctx.set(r, v);
+            }
+            let out = Interpreter::new(w.program(), &mut mem).run(&mut ctx, 10_000_000);
+            assert!(matches!(out, ExecOutcome::Halted { .. }));
+        }
+        mem
+    }
+
+    #[test]
+    fn triad_computes_b_plus_sc() {
+        let n = 128;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&stream_triad(n, layout), 4);
+        let b: Vec<u64> = data::values(n as usize, 10)
+            .into_iter()
+            .map(|v| v & 0xFFFF_FFFF)
+            .collect();
+        let c: Vec<u64> = data::values(n as usize, 11)
+            .into_iter()
+            .map(|v| v & 0xFFFF_FFFF)
+            .collect();
+        for i in 0..n as usize {
+            let got = mem.read_u64(layout.data_base + 2 * n * 8 + i as u64 * 8);
+            assert_eq!(got, c[i].wrapping_mul(3).wrapping_add(b[i]), "i={i}");
+        }
+    }
+
+    #[test]
+    fn daxpy_updates_in_place() {
+        let n = 64;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&daxpy(n, layout), 2);
+        let x: Vec<u64> = data::values(n as usize, 12)
+            .into_iter()
+            .map(|v| v & 0xFFFF)
+            .collect();
+        let y: Vec<u64> = data::values(n as usize, 13)
+            .into_iter()
+            .map(|v| v & 0xFFFF)
+            .collect();
+        for i in 0..n as usize {
+            let got = mem.read_u64(layout.data_base + n * 8 + i as u64 * 8);
+            assert_eq!(got, x[i] * 7 + y[i]);
+        }
+    }
+
+    #[test]
+    fn reduction_sums_partition() {
+        let n = 100;
+        let layout = Layout::for_core(0);
+        let mem = run_functional(&reduction(n, layout), 3);
+        let a: Vec<u64> = data::values(n as usize, 14)
+            .into_iter()
+            .map(|v| v & 0xFF_FFFF)
+            .collect();
+        for t in 0..3usize {
+            let expect: u64 = (t..n as usize).step_by(3).map(|i| a[i]).sum();
+            let got = mem.read_u64(layout.data_base + n * 8 + t as u64 * 8);
+            assert_eq!(got, expect, "thread {t}");
+        }
+    }
+}

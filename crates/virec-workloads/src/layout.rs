@@ -1,0 +1,69 @@
+//! Per-core memory layout.
+//!
+//! Each near-memory core owns a disjoint slice of physical memory holding
+//! its register-backing region and its workload data, mirroring the
+//! per-processor reserved regions of the paper's offload mechanism (§6).
+//! Keeping the slices disjoint also makes the DRAM bank behaviour realistic
+//! when several cores run concurrently.
+
+/// Address-space layout for one core.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Base of the register-backing (context) region, 64-byte aligned.
+    pub region_base: u64,
+    /// Base of the workload data segment, 64-byte aligned.
+    pub data_base: u64,
+    /// Size of the data segment in bytes.
+    pub data_size: u64,
+    /// Timing-only base address of the code image.
+    pub code_base: u64,
+}
+
+/// Span of address space given to each core.
+pub const CORE_SPAN: u64 = 0x100_0000; // 16 MiB
+
+/// Total functional memory needed for `ncores` cores.
+pub fn mem_size(ncores: usize) -> usize {
+    (ncores as u64 * CORE_SPAN) as usize
+}
+
+impl Layout {
+    /// Layout for core `core_id`.
+    pub fn for_core(core_id: usize) -> Layout {
+        let base = core_id as u64 * CORE_SPAN;
+        Layout {
+            region_base: base + 0x1000,
+            data_base: base + 0x10_000,
+            data_size: CORE_SPAN - 0x10_000,
+            code_base: 0x1_0000_0000 + base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_are_disjoint() {
+        let a = Layout::for_core(0);
+        let b = Layout::for_core(1);
+        assert!(a.data_base + a.data_size <= b.region_base);
+        assert!(a.code_base != b.code_base);
+    }
+
+    #[test]
+    fn alignment() {
+        for i in 0..8 {
+            let l = Layout::for_core(i);
+            assert_eq!(l.region_base % 64, 0);
+            assert_eq!(l.data_base % 64, 0);
+        }
+    }
+
+    #[test]
+    fn mem_size_covers_all_cores() {
+        let l = Layout::for_core(7);
+        assert!((l.data_base + l.data_size) as usize <= mem_size(8));
+    }
+}

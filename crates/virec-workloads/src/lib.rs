@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # virec-workloads
+//!
+//! The memory-intensive kernels of the ViReC evaluation (§6), expressed in
+//! the `virec-isa` mini-ISA. The paper draws on four suites used in prior
+//! near-data-processor studies — Spatter (gather/scatter) \[36\], Arm Meabo
+//! \[7\], CORAL-2 \[1\] and PrIM \[28\]; this crate implements representative
+//! kernels from each access-pattern class:
+//!
+//! | kernel           | suite     | pattern                               |
+//! |------------------|-----------|---------------------------------------|
+//! | `gather`         | Spatter   | streaming indirect reads              |
+//! | `scatter`        | Spatter   | streaming indirect writes             |
+//! | `gather_scatter` | Spatter   | indirect read + indirect write        |
+//! | `stride`         | Spatter   | strided reads (cache-line skipping)   |
+//! | `stream_triad`   | CORAL-2   | streaming `a[i] = b[i] + s*c[i]`      |
+//! | `daxpy`          | CORAL-2   | streaming `y[i] += a*x[i]`            |
+//! | `reduction`      | PrIM      | sequential sum (high locality)        |
+//! | `pointer_chase`  | PrIM      | dependent loads (linked traversal)    |
+//! | `update`         | GUPS      | random read-modify-write              |
+//! | `histogram`      | PrIM      | data-dependent RMW on small table     |
+//! | `spmv`           | CORAL-2   | CSR sparse matrix-vector product      |
+//! | `meabo`          | Meabo     | mixed compute + random-access phases  |
+//! | `copy`           | STREAM    | pure-bandwidth streaming copy         |
+//! | `stencil3`       | CORAL-2   | 1-D 3-point stencil                   |
+//! | `transpose`      | CORAL-2   | row-major reads, column-major writes  |
+//!
+//! Every workload partitions its iteration space across hardware threads by
+//! interleaving (thread `t` handles elements `t, t+T, t+2T, …`), matching
+//! the task-level offload model of §6, and carries the per-thread initial
+//! register context the offload mechanism ships to the reserved region.
+
+pub mod data;
+pub mod kernels;
+pub mod layout;
+pub mod reduction;
+pub mod workload;
+
+pub use layout::Layout;
+pub use reduction::reduce_workload;
+pub use workload::{by_name, suite, suite_names, Workload, WorkloadCtor};

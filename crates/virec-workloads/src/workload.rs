@@ -1,0 +1,162 @@
+//! The [`Workload`] abstraction: a kernel program plus its data image and
+//! per-thread offloaded register contexts.
+
+use crate::kernels;
+use crate::layout::Layout;
+use virec_isa::analysis::RegisterUsage;
+use virec_isa::{FlatMem, Program, Reg};
+
+/// Builds the initial memory image (data segment) of a workload.
+pub type InitFn = Box<dyn Fn(&mut FlatMem) + Send + Sync>;
+/// Produces the initial register context of thread `tid` of `nthreads`.
+pub type CtxFn = Box<dyn Fn(usize, usize) -> Vec<(Reg, u64)> + Send + Sync>;
+
+/// A runnable benchmark kernel.
+pub struct Workload {
+    /// Kernel name (stable across the repo; used in reports).
+    pub name: &'static str,
+    /// Problem size in elements.
+    pub n: u64,
+    /// The memory layout this instance was built for.
+    pub layout: Layout,
+    program: Program,
+    init: InitFn,
+    ctx: CtxFn,
+}
+
+impl Workload {
+    /// Assembles a workload from its parts (used by the kernel modules).
+    pub fn from_parts(
+        name: &'static str,
+        n: u64,
+        layout: Layout,
+        program: Program,
+        init: InitFn,
+        ctx: CtxFn,
+    ) -> Workload {
+        Workload {
+            name,
+            n,
+            layout,
+            program,
+            init,
+            ctx,
+        }
+    }
+
+    /// The kernel program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Writes the workload's data segment into memory.
+    pub fn init_mem(&self, mem: &mut FlatMem) {
+        (self.init)(mem);
+    }
+
+    /// Initial register context for `tid` of `nthreads`.
+    pub fn thread_ctx(&self, tid: usize, nthreads: usize) -> Vec<(Reg, u64)> {
+        (self.ctx)(tid, nthreads)
+    }
+
+    /// Static register-pressure analysis of the kernel.
+    pub fn register_usage(&self) -> RegisterUsage {
+        RegisterUsage::analyze(&self.program)
+    }
+
+    /// Size of the active (innermost-loop) register context — what ViReC's
+    /// physical RF is provisioned against (paper: 5–10 registers).
+    pub fn active_context_size(&self) -> usize {
+        self.register_usage().active_context_size()
+    }
+}
+
+/// A workload constructor: `(problem size, layout) -> Workload`.
+pub type WorkloadCtor = fn(u64, Layout) -> Workload;
+
+/// The full evaluation suite, in a stable order.
+pub const SUITE: &[(&str, WorkloadCtor)] = &[
+    ("gather", kernels::spatter::gather),
+    ("scatter", kernels::spatter::scatter),
+    ("gather_scatter", kernels::spatter::gather_scatter),
+    ("stride", kernels::spatter::stride),
+    ("stream_triad", kernels::stream::stream_triad),
+    ("daxpy", kernels::stream::daxpy),
+    ("reduction", kernels::stream::reduction),
+    ("pointer_chase", kernels::pointer::pointer_chase),
+    ("update", kernels::pointer::update),
+    ("histogram", kernels::sparse::histogram),
+    ("spmv", kernels::sparse::spmv),
+    ("meabo", kernels::meabo::meabo),
+    ("copy", kernels::dense::copy),
+    ("stencil3", kernels::dense::stencil3),
+    ("transpose", kernels::dense::transpose),
+];
+
+/// Instantiates the whole suite at problem size `n`.
+///
+/// ```
+/// use virec_workloads::{suite, Layout};
+/// let all = suite(256, Layout::for_core(0));
+/// assert_eq!(all.len(), 15);
+/// // Every kernel's active context is small (the paper's Figure 2).
+/// assert!(all.iter().all(|w| w.active_context_size() <= 14));
+/// ```
+pub fn suite(n: u64, layout: Layout) -> Vec<Workload> {
+    SUITE.iter().map(|(_, ctor)| ctor(n, layout)).collect()
+}
+
+/// Names of all suite workloads, in suite order.
+pub fn suite_names() -> Vec<&'static str> {
+    SUITE.iter().map(|(n, _)| *n).collect()
+}
+
+/// Builds one workload by name.
+pub fn by_name(name: &str, n: u64, layout: Layout) -> Option<Workload> {
+    SUITE
+        .iter()
+        .find(|(wn, _)| *wn == name)
+        .map(|(_, ctor)| ctor(n, layout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fifteen_unique_kernels() {
+        let names = suite_names();
+        assert_eq!(names.len(), 15);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        let l = Layout::for_core(0);
+        for name in suite_names() {
+            let w = by_name(name, 64, l).expect(name);
+            assert_eq!(w.name, name);
+            assert!(!w.program().is_empty());
+        }
+        assert!(by_name("nonsense", 64, l).is_none());
+    }
+
+    #[test]
+    fn active_contexts_are_small() {
+        // The paper's premise (Figure 2): memory-intensive kernels use a
+        // small fraction of the architectural context in their inner loops.
+        let l = Layout::for_core(0);
+        for w in suite(256, l) {
+            let ctx = w.active_context_size();
+            assert!(
+                (3..=14).contains(&ctx),
+                "{}: active context {} outside the expected 3..=14",
+                w.name,
+                ctx
+            );
+        }
+    }
+}

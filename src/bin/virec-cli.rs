@@ -1,0 +1,215 @@
+//! `virec-cli` — run ViReC simulations from the command line.
+//!
+//! ```text
+//! virec-cli list
+//! virec-cli run --workload gather --n 4096 --engine virec --threads 8 --regs 52
+//! virec-cli run --workload spmv --engine banked --threads 4
+//! virec-cli area --threads 8 --regs 64
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use virec::area::AreaModel;
+use virec::core::{CoreConfig, EngineKind, PolicyKind};
+use virec::sim::runner::{run_prefetch_exact, run_single, RunOptions};
+use virec::workloads::{by_name, suite_names, Layout};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "virec-cli — ViReC near-memory multithreading simulator
+
+USAGE:
+    virec-cli list
+    virec-cli run  --workload <name> [--n <elems>] [--engine <e>]
+                   [--threads <t>] [--regs <r>] [--policy <p>] [--no-verify]
+                   [--group-evict <g>] [--switch-prefetch]
+    virec-cli area [--threads <t>] [--regs <r>]
+
+ENGINES:  virec (default) | banked | software | prefetch_full | prefetch_exact | nsf
+POLICIES: lrc (default) | mrt-plru | plru | lru | mrt-lru | fifo | random"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        // Boolean flags.
+        if matches!(key, "no-verify" | "switch-prefetch") {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(val) = args.get(i + 1) else {
+            return Err(format!("--{key} needs a value"));
+        };
+        out.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "lrc" => PolicyKind::Lrc,
+        "mrt-plru" | "mrtplru" => PolicyKind::MrtPlru,
+        "plru" => PolicyKind::Plru,
+        "lru" => PolicyKind::Lru,
+        "mrt-lru" | "mrtlru" => PolicyKind::MrtLru,
+        "fifo" => PolicyKind::Fifo,
+        "random" => PolicyKind::Random,
+        _ => return None,
+    })
+}
+
+fn cmd_run(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let Some(wname) = get("workload") else {
+        eprintln!("error: --workload is required (see `virec-cli list`)");
+        return ExitCode::from(2);
+    };
+    let n: u64 = get("n").map_or(Ok(4096), str::parse).unwrap_or(0);
+    let threads: usize = get("threads").map_or(Ok(8), str::parse).unwrap_or(0);
+    if n == 0 || threads == 0 {
+        eprintln!("error: invalid --n or --threads");
+        return ExitCode::from(2);
+    }
+    let Some(workload) = by_name(wname, n, Layout::for_core(0)) else {
+        eprintln!("error: unknown workload {wname:?}; see `virec-cli list`");
+        return ExitCode::from(2);
+    };
+    let default_regs = (threads * workload.active_context_size()).max(12);
+    let regs: usize = get("regs")
+        .map_or(Ok(default_regs), str::parse)
+        .unwrap_or(0);
+    if regs == 0 {
+        eprintln!("error: invalid --regs");
+        return ExitCode::from(2);
+    }
+
+    let engine = get("engine").unwrap_or("virec");
+    let mut cfg = match engine {
+        "virec" => CoreConfig::virec(threads, regs),
+        "banked" => CoreConfig::banked(threads),
+        "software" => CoreConfig::software(threads),
+        "prefetch_full" => CoreConfig::prefetch_full(threads, workload.active_context_size()),
+        "prefetch_exact" => CoreConfig::prefetch_exact(threads, workload.active_context_size()),
+        "nsf" => CoreConfig::nsf(threads, regs),
+        other => {
+            eprintln!("error: unknown engine {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(p) = get("policy") {
+        let Some(p) = parse_policy(p) else {
+            eprintln!("error: unknown policy {p:?}");
+            return ExitCode::from(2);
+        };
+        cfg.policy = p;
+    }
+    if let Some(g) = get("group-evict") {
+        cfg.group_evict = g.parse().unwrap_or(1);
+    }
+    if get("switch-prefetch").is_some() {
+        cfg.switch_prefetch = true;
+    }
+    let opts = RunOptions {
+        verify: get("no-verify").is_none(),
+        ..RunOptions::default()
+    };
+
+    let result = if cfg.engine == EngineKind::PrefetchExact {
+        run_prefetch_exact(
+            threads,
+            workload.active_context_size(),
+            &workload,
+            opts.fabric,
+        )
+    } else {
+        run_single(cfg, &workload, &opts)
+    };
+
+    println!("workload          : {} (n={n})", workload.name);
+    println!(
+        "engine            : {engine}, {threads} threads, {regs} regs, policy {:?}",
+        cfg.policy
+    );
+    print!("{}", result.stats.report());
+    ExitCode::SUCCESS
+}
+
+fn cmd_area(flags: HashMap<String, String>) -> ExitCode {
+    let threads: usize = flags
+        .get("threads")
+        .map_or(Ok(8), |s| s.parse())
+        .unwrap_or(8);
+    let regs: usize = flags
+        .get("regs")
+        .map_or(Ok(64), |s| s.parse())
+        .unwrap_or(64);
+    let m = AreaModel::default();
+    println!("area model (45 nm):");
+    println!("  base core          : {:.3} mm²", m.base_core_mm2);
+    println!(
+        "  banked, {threads} banks     : {:.3} mm²",
+        m.banked_core(threads)
+    );
+    println!(
+        "  virec, {regs} regs      : {:.3} mm²  (RF {:.3} + tag {:.3} + logic {:.3})",
+        m.virec_core(regs),
+        m.rf_area(regs),
+        m.tag_store_area(regs),
+        m.vrmu_logic_area(regs)
+    );
+    println!(
+        "  savings vs banked  : {:.1}%",
+        100.0 * (1.0 - m.virec_core(regs) / m.banked_core(threads))
+    );
+    println!(
+        "  RF delay           : virec {:.3} ns, banked {:.3} ns",
+        m.virec_rf_delay(regs),
+        m.banked_rf_delay(threads)
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("available workloads:");
+            for name in suite_names() {
+                let w = by_name(name, 64, Layout::for_core(0)).expect("suite entry");
+                println!(
+                    "  {name:<15} active context = {:>2} registers, {} static instrs",
+                    w.active_context_size(),
+                    w.program().len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_run(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "area" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_area(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end: kernels compiled by `virec-cc` (at various register
+//! budgets) run on the full ViReC core and must match the IR interpreter —
+//! the complete §4.2 story, from register-allocation knob to near-memory
+//! execution.
+
+use virec::cc::ir::{BinOp, Cmp, Function, Operand, Stmt};
+use virec::cc::{compile, Compiled};
+use virec::core::{Core, CoreConfig, RegRegion};
+use virec::isa::{FlatMem, Reg};
+use virec::mem::{Fabric, FabricConfig};
+
+const REGION_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x10_000;
+const FRAME_BASE: u64 = 0x8000;
+const CODE_BASE: u64 = 0x4000_0000;
+
+/// The gather kernel as IR: params t0=data, t1=idx, t2=n, t3=start,
+/// t4=step. Σ data[idx[i]] for i = start, start+step, … < n.
+fn gather_ir() -> Function {
+    Function {
+        name: "gather_cc".into(),
+        params: vec![0, 1, 2, 3, 4],
+        body: vec![
+            Stmt::def_const(5, 0), // sum
+            Stmt::def_copy(6, 3),  // i = start
+            Stmt::While {
+                cond: (Operand::Temp(6), Cmp::Lt, Operand::Temp(2)),
+                body: vec![
+                    Stmt::Load {
+                        dst: 7,
+                        base: 1,
+                        index: Operand::Temp(6),
+                    },
+                    Stmt::Load {
+                        dst: 8,
+                        base: 0,
+                        index: Operand::Temp(7),
+                    },
+                    Stmt::def_bin(5, BinOp::Add, Operand::Temp(5), Operand::Temp(8)),
+                    Stmt::def_bin(6, BinOp::Add, Operand::Temp(6), Operand::Temp(4)),
+                ],
+            },
+            Stmt::Return {
+                value: Operand::Temp(5),
+            },
+        ],
+    }
+}
+
+fn init_mem(mem: &mut FlatMem, n: u64) {
+    for i in 0..n {
+        mem.write_u64(DATA_BASE + i * 8, i * 17);
+        mem.write_u64(DATA_BASE + n * 8 + i * 8, (i * 13) % n);
+    }
+}
+
+/// Runs the compiled kernel on `nthreads` ViReC hardware threads and
+/// returns each thread's x0 (the return value).
+fn run_on_core(c: &Compiled, n: u64, nthreads: usize, phys_regs: usize) -> Vec<u64> {
+    let mut mem = FlatMem::new(0, 0x100_000);
+    init_mem(&mut mem, n);
+    let region = RegRegion::new(REGION_BASE, nthreads);
+    for t in 0..nthreads {
+        let args = [DATA_BASE, DATA_BASE + n * 8, n, t as u64, nthreads as u64];
+        for (i, &v) in args.iter().enumerate() {
+            mem.write_u64(region.reg_addr(t, Reg::new(i as u8)), v);
+        }
+        // Per-thread spill frame.
+        mem.write_u64(
+            region.reg_addr(t, c.frame_reg),
+            FRAME_BASE + t as u64 * 0x100,
+        );
+    }
+    let cfg = CoreConfig::virec(nthreads, phys_regs);
+    let mut core = Core::new(cfg, c.program.clone(), region, CODE_BASE, (0, 1));
+    let mut fabric = Fabric::new(FabricConfig::default());
+    let mut now = 0;
+    while !core.done() {
+        fabric.tick(now);
+        core.tick(now, &mut fabric, &mut mem);
+        now += 1;
+        assert!(now < 50_000_000);
+    }
+    core.drain(&mut mem);
+    (0..nthreads)
+        .map(|t| core.arch_reg(t, Reg::new(0), &mem))
+        .collect()
+}
+
+/// Reference answer straight from the IR interpreter.
+fn golden(n: u64, nthreads: usize) -> Vec<u64> {
+    let f = gather_ir();
+    (0..nthreads)
+        .map(|t| {
+            let mut mem = FlatMem::new(0, 0x100_000);
+            init_mem(&mut mem, n);
+            virec::cc::ir::interpret(
+                &f,
+                &[DATA_BASE, DATA_BASE + n * 8, n, t as u64, nthreads as u64],
+                &mut mem,
+                10_000_000,
+            )
+            .value
+        })
+        .collect()
+}
+
+#[test]
+fn compiled_gather_matches_ir_at_every_budget() {
+    let n = 256;
+    let nthreads = 4;
+    let want = golden(n, nthreads);
+    for budget in [2usize, 4, 8, 14] {
+        let c = compile(&gather_ir(), budget).expect("compiles");
+        let got = run_on_core(&c, n, nthreads, 48);
+        assert_eq!(got, want, "budget {budget} diverged on the core");
+    }
+}
+
+#[test]
+fn budget_controls_active_context() {
+    // §4.2's effect on the paper's key metric: a lower register budget
+    // shrinks the active (inner-loop) register context, at the cost of
+    // extra spill instructions inside the loop.
+    let big = compile(&gather_ir(), 14).unwrap();
+    let small = compile(&gather_ir(), 4).unwrap();
+    let ctx_of = |c: &Compiled| {
+        virec::isa::analysis::RegisterUsage::analyze(&c.program).active_context_size()
+    };
+    let (big_ctx, small_ctx) = (ctx_of(&big), ctx_of(&small));
+    assert!(
+        small_ctx <= big_ctx,
+        "4-register budget should not enlarge the active context \
+         ({small_ctx} vs {big_ctx})"
+    );
+    assert!(small.spilled > 0);
+    assert!(big.spilled == 0);
+}
+
+#[test]
+fn tight_budget_costs_cycles_on_the_core() {
+    let n = 512;
+    let nthreads = 4;
+    let run_cycles = |budget: usize| {
+        let c = compile(&gather_ir(), budget).unwrap();
+        let mut mem = FlatMem::new(0, 0x100_000);
+        init_mem(&mut mem, n);
+        let region = RegRegion::new(REGION_BASE, nthreads);
+        for t in 0..nthreads {
+            let args = [DATA_BASE, DATA_BASE + n * 8, n, t as u64, nthreads as u64];
+            for (i, &v) in args.iter().enumerate() {
+                mem.write_u64(region.reg_addr(t, Reg::new(i as u8)), v);
+            }
+            mem.write_u64(
+                region.reg_addr(t, c.frame_reg),
+                FRAME_BASE + t as u64 * 0x100,
+            );
+        }
+        let cfg = CoreConfig::banked(nthreads);
+        let mut core = Core::new(cfg, c.program.clone(), region, CODE_BASE, (0, 1));
+        let mut fabric = Fabric::new(FabricConfig::default());
+        let mut now = 0u64;
+        while !core.done() {
+            fabric.tick(now);
+            core.tick(now, &mut fabric, &mut mem);
+            now += 1;
+            assert!(now < 50_000_000);
+        }
+        now
+    };
+    let generous = run_cycles(14);
+    let starved = run_cycles(2);
+    assert!(
+        starved > generous,
+        "spill code must cost cycles: {starved} vs {generous}"
+    );
+}

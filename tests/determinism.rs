@@ -1,0 +1,57 @@
+//! Reproducibility: the simulator is fully deterministic — identical
+//! configurations must give identical cycle counts and statistics, and
+//! multi-core systems must verify against the golden model.
+
+use virec::core::CoreConfig;
+use virec::mem::FabricConfig;
+use virec::sim::runner::{run_single, RunOptions};
+use virec::sim::{System, SystemConfig};
+use virec::workloads::{kernels, Layout};
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let w = kernels::spatter::gather(1024, Layout::for_core(0));
+    let cfg = CoreConfig::virec(8, 32);
+    let a = run_single(cfg, &w, &RunOptions::default());
+    let b = run_single(cfg, &w, &RunOptions::default());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats.instructions, b.stats.instructions);
+    assert_eq!(a.stats.rf_hits, b.stats.rf_hits);
+    assert_eq!(a.stats.rf_misses, b.stats.rf_misses);
+    assert_eq!(a.stats.context_switches, b.stats.context_switches);
+    assert_eq!(a.stats.dcache.misses, b.stats.dcache.misses);
+}
+
+#[test]
+fn system_runs_are_deterministic_and_verified() {
+    let build = || {
+        let cfg = SystemConfig {
+            ncores: 4,
+            core: CoreConfig::virec(4, 32),
+            fabric: FabricConfig::default(),
+            max_cycles: 500_000_000,
+        };
+        System::new(cfg, kernels::spatter::gather, 512).run()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.cycles, b.cycles);
+    for (x, y) in a.per_core.iter().zip(&b.per_core) {
+        assert_eq!(x.instructions, y.instructions);
+        assert_eq!(x.context_switches, y.context_switches);
+    }
+}
+
+#[test]
+fn eight_core_system_with_ten_threads_verifies() {
+    // The largest configuration of Figure 11 (shrunk problem size).
+    let cfg = SystemConfig {
+        ncores: 8,
+        core: CoreConfig::virec(10, 64),
+        fabric: FabricConfig::default(),
+        max_cycles: 1_000_000_000,
+    };
+    let r = System::new(cfg, kernels::spatter::gather, 256).run();
+    assert_eq!(r.per_core.len(), 8);
+    assert!(r.cycles > 0);
+}

@@ -1,0 +1,71 @@
+//! Failure injection: the verification machinery must *fail* when state is
+//! corrupted — otherwise the hundreds of green differential tests would
+//! prove nothing.
+
+use virec::core::{CoreConfig, RegRegion};
+use virec::isa::{reg::names::X4, FlatMem};
+use virec::mem::{Fabric, FabricConfig};
+use virec::sim::offload::offload;
+use virec::sim::runner::verify_against_golden;
+use virec::workloads::{kernels, Layout};
+
+/// Runs gather to completion and returns (core, mem) without verification.
+fn run_unverified(cfg: CoreConfig, n: u64) -> (virec::core::Core, FlatMem) {
+    let w = kernels::spatter::gather(n, Layout::for_core(0));
+    let mut mem = FlatMem::new(0, virec::workloads::layout::mem_size(1));
+    let region: RegRegion = offload(&mut mem, &w, cfg.nthreads);
+    let mut core =
+        virec::core::Core::new(cfg, w.program().clone(), region, w.layout.code_base, (0, 1));
+    let mut fabric = Fabric::new(FabricConfig::default());
+    let mut now = 0;
+    while !core.done() {
+        fabric.tick(now);
+        core.tick(now, &mut fabric, &mut mem);
+        now += 1;
+        assert!(now < 50_000_000);
+    }
+    core.drain(&mut mem);
+    (core, mem)
+}
+
+#[test]
+fn clean_run_verifies() {
+    let (core, mem) = run_unverified(CoreConfig::virec(4, 32), 256);
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    verify_against_golden(&w, 4, &core, &mem);
+}
+
+#[test]
+#[should_panic(expected = "register")]
+fn corrupted_register_is_detected() {
+    let (core, mut mem) = run_unverified(CoreConfig::virec(4, 32), 256);
+    // Flip a bit in thread 2's drained x4 (the loop bound — always live).
+    let region = core.region();
+    let addr = region.reg_addr(2, X4);
+    let v = mem.read_u64(addr);
+    mem.write_u64(addr, v ^ 1);
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    verify_against_golden(&w, 4, &core, &mem);
+}
+
+#[test]
+#[should_panic(expected = "data segment diverged")]
+fn corrupted_data_segment_is_detected() {
+    let (core, mut mem) = run_unverified(CoreConfig::virec(4, 32), 256);
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    // Corrupt one byte of the gather output array.
+    let out = w.layout.data_base + 2 * 256 * 8;
+    let v = mem.read_u64(out);
+    mem.write_u64(out, v.wrapping_add(1));
+    verify_against_golden(&w, 4, &core, &mem);
+}
+
+#[test]
+#[should_panic(expected = "diverged")]
+fn wrong_thread_count_is_detected() {
+    // Verifying against a different partitioning must fail: the golden run
+    // computes different per-thread sums.
+    let (core, mem) = run_unverified(CoreConfig::virec(4, 32), 256);
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    verify_against_golden(&w, 3, &core, &mem);
+}
