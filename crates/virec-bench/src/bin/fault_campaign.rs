@@ -1,0 +1,116 @@
+//! Deterministic fault-injection campaign across the context engines.
+//!
+//! Runs K seeded single-bit fault injections (default 64, override with
+//! `VIREC_FAULTS`) against a ViReC core (all six fault sites: VRMU tag
+//! store, rollback queue, stuck fills, backing-store registers, DRAM
+//! lines, in-flight fabric responses) and a banked core (the four sites
+//! that exist without a VRMU), classifying every run against the golden
+//! interpreter and the clean run's architectural digest.
+//!
+//! Exit status is nonzero if any effectful fault escaped detection
+//! (a `SILENT` outcome) — that is a checker bug, not a simulator bug.
+//!
+//! ```sh
+//! cargo run --release -p virec-bench --bin fault_campaign
+//! VIREC_FAULTS=256 VIREC_N=2048 cargo run --release -p virec-bench --bin fault_campaign
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use virec_bench::harness::*;
+use virec_core::CoreConfig;
+use virec_sim::report::{pct, Table};
+use virec_sim::{run_campaign, CampaignReport, FaultSite, InjectionOutcome};
+use virec_workloads::kernels;
+
+/// Injection count per engine (`VIREC_FAULTS`, default 64).
+fn injection_count() -> usize {
+    std::env::var("VIREC_FAULTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+fn main() {
+    // Campaigns run one full simulation per injection; keep the default
+    // problem size modest so 2×64 runs stay interactive.
+    let n = problem_size().min(2048);
+    let injections = injection_count();
+    let base_seed: u64 = std::env::var("VIREC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF00D_5EED);
+    let w = kernels::spatter::gather(n, layout0());
+
+    // Crashed outcomes unwind through a panic; silence the default hook so
+    // the report is the only output, and restore it afterwards.
+    let quiet = |cfg: CoreConfig, sites: &[FaultSite]| -> Option<CampaignReport> {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = catch_unwind(AssertUnwindSafe(|| {
+            run_campaign(cfg, &w, injections, base_seed, sites)
+        }));
+        std::panic::set_hook(prev);
+        report.ok()
+    };
+
+    println!("fault campaign: gather n={n}, {injections} injections per engine\n");
+    let mut reports = Vec::new();
+    for (cfg, sites) in [
+        (CoreConfig::virec(4, 32), &FaultSite::ALL[..]),
+        (CoreConfig::banked(4), &FaultSite::NON_VRMU[..]),
+    ] {
+        match quiet(cfg, sites) {
+            Some(r) => reports.push(r),
+            None => {
+                eprintln!("campaign aborted: the clean reference run failed");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        "Fault-injection campaign — detection by engine",
+        &[
+            "engine",
+            "injections",
+            "detected",
+            "crashed",
+            "masked",
+            "not_applied",
+            "silent",
+            "detection_rate",
+            "clean_cycles",
+        ],
+    );
+    for r in &reports {
+        t.row(vec![
+            r.engine.clone(),
+            r.records.len().to_string(),
+            r.count(InjectionOutcome::Detected).to_string(),
+            r.count(InjectionOutcome::Crashed).to_string(),
+            r.count(InjectionOutcome::Masked).to_string(),
+            r.count(InjectionOutcome::NotApplied).to_string(),
+            r.count(InjectionOutcome::Silent).to_string(),
+            pct(r.detection_rate()),
+            r.clean_cycles.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut escaped = false;
+    for r in &reports {
+        println!("{}", r.summary());
+        for rec in &r.records {
+            if rec.outcome == InjectionOutcome::Silent {
+                escaped = true;
+                println!("  SILENT escape: seed {} faults {:?}", rec.seed, rec.faults);
+            }
+        }
+    }
+    if escaped {
+        eprintln!("\nFAIL: at least one effectful fault escaped every checker");
+        std::process::exit(1);
+    }
+    println!("\nOK: every effectful fault was detected");
+}

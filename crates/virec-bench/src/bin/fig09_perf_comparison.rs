@@ -10,16 +10,22 @@
 //! threads); ViReC-40% within ~11–22%; full-context prefetch almost always
 //! worst; exact prefetch beats ViReC-40% but loses to ViReC-60/80%; ViReC
 //! clearly beats the NSF.
+//!
+//! Failed configurations become structured failure rows (error kind plus
+//! diagnostics) and the sweep continues; the geomean rows only aggregate
+//! the configurations that completed.
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
 use virec_sim::report::{f3, geomean, Table};
-use virec_sim::runner::run_prefetch_exact;
+use virec_sim::runner::{try_run_prefetch_exact, RunOptions};
 use virec_workloads::suite;
 
 fn main() {
     let n = problem_size();
     let threads_list = [4usize, 6, 8];
+    let opts = RunOptions::default();
+    let mut log = SweepLog::new();
     let mut t = Table::new(
         &format!("Figure 9 — relative performance vs banked, n={n}"),
         &[
@@ -40,42 +46,71 @@ fn main() {
 
     for w in suite(n, layout0()) {
         for &threads in &threads_list {
-            let banked = run(CoreConfig::banked(threads), &w);
-            let base = banked.cycles as f64;
-            let mut cells = vec![
-                w.name.to_string(),
-                threads.to_string(),
-                banked.cycles.to_string(),
-            ];
+            let banked = log.cell(
+                &format!("{}/{threads}t/banked", w.name),
+                CoreConfig::banked(threads),
+                &w,
+                &opts,
+            );
+            let mut cells = vec![w.name.to_string(), threads.to_string()];
+            let base = match banked.cycles() {
+                Some(c) => {
+                    cells.push(c.to_string());
+                    Some(c as f64)
+                }
+                None => {
+                    cells.push("FAILED".into());
+                    None
+                }
+            };
+            // Records the relative performance of a variant run, or a
+            // failure marker when either side of the ratio is missing.
+            let mut push_rel =
+                |cells: &mut Vec<String>, key: &'static str, cycles: Option<u64>| match (
+                    base, cycles,
+                ) {
+                    (Some(base), Some(c)) => {
+                        let rp = base / c as f64;
+                        rel.entry((key, threads)).or_default().push(rp);
+                        cells.push(f3(rp));
+                    }
+                    _ => cells.push("-".into()),
+                };
             for (key, frac) in [("virec40", 0.4), ("virec60", 0.6), ("virec80", 0.8)] {
                 let cfg = virec_cfg(&w, threads, frac, PolicyKind::Lrc);
-                let r = run(cfg, &w);
-                let rp = base / r.cycles as f64;
-                rel.entry((key, threads)).or_default().push(rp);
-                cells.push(f3(rp));
+                let r = log.cell(&format!("{}/{threads}t/{key}", w.name), cfg, &w, &opts);
+                push_rel(&mut cells, key, r.cycles());
             }
             {
                 let cfg80 = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
-                let nsf = run(CoreConfig::nsf(threads, cfg80.phys_regs), &w);
-                let rp = base / nsf.cycles as f64;
-                rel.entry(("nsf80", threads)).or_default().push(rp);
-                cells.push(f3(rp));
+                let nsf = log.cell(
+                    &format!("{}/{threads}t/nsf80", w.name),
+                    CoreConfig::nsf(threads, cfg80.phys_regs),
+                    &w,
+                    &opts,
+                );
+                push_rel(&mut cells, "nsf80", nsf.cycles());
             }
             {
-                let pf = run(
+                let pf = log.cell(
+                    &format!("{}/{threads}t/pf_full", w.name),
                     CoreConfig::prefetch_full(threads, w.active_context_size()),
                     &w,
+                    &opts,
                 );
-                let rp = base / pf.cycles as f64;
-                rel.entry(("pf_full", threads)).or_default().push(rp);
-                cells.push(f3(rp));
+                push_rel(&mut cells, "pf_full", pf.cycles());
             }
             {
-                let pe =
-                    run_prefetch_exact(threads, w.active_context_size(), &w, Default::default());
-                let rp = base / pe.cycles as f64;
-                rel.entry(("pf_exact", threads)).or_default().push(rp);
-                cells.push(f3(rp));
+                let pe = log.cell_from(
+                    &format!("{}/{threads}t/pf_exact", w.name),
+                    try_run_prefetch_exact(
+                        threads,
+                        w.active_context_size(),
+                        &w,
+                        Default::default(),
+                    ),
+                );
+                push_rel(&mut cells, "pf_exact", pe.map(|r| r.cycles));
             }
             t.row(cells);
         }
@@ -83,7 +118,7 @@ fn main() {
     t.print();
 
     let mut means = Table::new(
-        "Figure 9 — geomean relative performance (banked = 1.0)",
+        "Figure 9 — geomean relative performance (banked = 1.0, completed runs only)",
         &["config", "4t", "6t", "8t"],
     );
     for key in [
@@ -91,9 +126,13 @@ fn main() {
     ] {
         let mut row = vec![key.to_string()];
         for &threads in &threads_list {
-            row.push(f3(geomean(&rel[&(key, threads)])));
+            match rel.get(&(key, threads)) {
+                Some(v) if !v.is_empty() => row.push(f3(geomean(v))),
+                _ => row.push("-".into()),
+            }
         }
         means.row(row);
     }
     means.print();
+    log.print();
 }

@@ -7,15 +7,22 @@
 //! is hidden, additional context (fewer register misses) pays more than
 //! additional threads. E.g. 32 registers run 4 threads at 100% or 8 threads
 //! at 40% — with the 8-thread configuration substantially faster.
+//!
+//! Failed configurations become structured failure rows and the sweep
+//! continues (the normalizing single-thread banked run is the only cell
+//! the figure cannot survive losing).
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
 use virec_sim::report::{f3, Table};
+use virec_sim::runner::RunOptions;
 use virec_workloads::kernels;
 
 fn main() {
     let n = problem_size();
     let w = kernels::spatter::gather(n, layout0());
+    let opts = RunOptions::default();
+    let mut log = SweepLog::new();
     let mut t = Table::new(
         &format!("Figure 10 — performance per register, gather n={n}"),
         &[
@@ -27,54 +34,94 @@ fn main() {
             "perf_per_reg",
         ],
     );
-    // Performance normalized to the single-thread banked run.
-    let base = run(CoreConfig::banked(1), &w).cycles as f64;
+    // Performance normalized to the single-thread banked run. Everything
+    // in the figure is relative to this cell, so its failure is fatal.
+    let base = match log.cell("banked_1t_base", CoreConfig::banked(1), &w, &opts) {
+        Cell::Done(r) => r.cycles as f64,
+        Cell::Failed { .. } => {
+            log.print();
+            eprintln!("figure 10: the normalizing run failed; aborting");
+            std::process::exit(1);
+        }
+    };
     for threads in [1usize, 2, 4, 6, 8, 10] {
         for (label, frac) in CTX_FRACTIONS {
             let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
-            let r = run(cfg, &w);
-            let perf = base / r.cycles as f64;
-            t.row(vec![
-                threads.to_string(),
-                format!("virec_{label}"),
-                cfg.phys_regs.to_string(),
-                r.cycles.to_string(),
-                f3(perf),
-                f3(perf / cfg.phys_regs as f64),
-            ]);
+            let cell = log.cell(&format!("{threads}t/virec_{label}"), cfg, &w, &opts);
+            match cell.cycles() {
+                Some(cycles) => {
+                    let perf = base / cycles as f64;
+                    t.row(vec![
+                        threads.to_string(),
+                        format!("virec_{label}"),
+                        cfg.phys_regs.to_string(),
+                        cycles.to_string(),
+                        f3(perf),
+                        f3(perf / cfg.phys_regs as f64),
+                    ]);
+                }
+                None => t.row(vec![
+                    threads.to_string(),
+                    format!("virec_{label}"),
+                    cfg.phys_regs.to_string(),
+                    "FAILED".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
         }
-        let b = run(CoreConfig::banked(threads), &w);
+        let b = log.cell(
+            &format!("{threads}t/banked"),
+            CoreConfig::banked(threads),
+            &w,
+            &opts,
+        );
         let regs = threads * 64; // 32 int + 32 fp per bank (Table 1)
-        let perf = base / b.cycles as f64;
-        t.row(vec![
-            threads.to_string(),
-            "banked".into(),
-            regs.to_string(),
-            b.cycles.to_string(),
-            f3(perf),
-            f3(perf / regs as f64),
-        ]);
+        match b.cycles() {
+            Some(cycles) => {
+                let perf = base / cycles as f64;
+                t.row(vec![
+                    threads.to_string(),
+                    "banked".into(),
+                    regs.to_string(),
+                    cycles.to_string(),
+                    f3(perf),
+                    f3(perf / regs as f64),
+                ]);
+            }
+            None => t.row(vec![
+                threads.to_string(),
+                "banked".into(),
+                regs.to_string(),
+                "FAILED".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
     }
     t.print();
 
     // The paper's headline scaling claim: 32 registers as 4 threads @100%
     // vs 8 threads @40%.
-    let four_full = run(CoreConfig::virec(4, 32), &w);
-    let eight_small = run(CoreConfig::virec(8, 32), &w);
-    let speedup = four_full.cycles as f64 / eight_small.cycles as f64;
-    let mut s = Table::new(
-        "Figure 10 — same 32-register RF, threads vs context",
-        &["config", "cycles", "speedup_vs_4t_100%"],
-    );
-    s.row(vec![
-        "virec 4t x 100% (32 regs)".into(),
-        four_full.cycles.to_string(),
-        f3(1.0),
-    ]);
-    s.row(vec![
-        "virec 8t x 40% (32 regs)".into(),
-        eight_small.cycles.to_string(),
-        f3(speedup),
-    ]);
-    s.print();
+    let four_full = log.cell("claim/virec_4t_32r", CoreConfig::virec(4, 32), &w, &opts);
+    let eight_small = log.cell("claim/virec_8t_32r", CoreConfig::virec(8, 32), &w, &opts);
+    if let (Some(four), Some(eight)) = (four_full.cycles(), eight_small.cycles()) {
+        let speedup = four as f64 / eight as f64;
+        let mut s = Table::new(
+            "Figure 10 — same 32-register RF, threads vs context",
+            &["config", "cycles", "speedup_vs_4t_100%"],
+        );
+        s.row(vec![
+            "virec 4t x 100% (32 regs)".into(),
+            four.to_string(),
+            f3(1.0),
+        ]);
+        s.row(vec![
+            "virec 8t x 40% (32 regs)".into(),
+            eight.to_string(),
+            f3(speedup),
+        ]);
+        s.print();
+    }
+    log.print();
 }

@@ -26,26 +26,37 @@ fn main() {
             "observed_queue_delay",
         ],
     );
+    let mut log = SweepLog::new();
     for ncores in [1usize, 2, 4, 8] {
         for threads in [8usize, 10] {
-            let core = CoreConfig::virec(threads, 64);
+            let mut core = CoreConfig::virec(threads, 64);
+            core.max_cycles = 2_000_000_000;
             let cfg = SystemConfig {
                 ncores,
                 core,
                 fabric: Default::default(),
-                max_cycles: 2_000_000_000,
             };
             let mut sys = System::new(cfg, kernels::spatter::gather, n);
-            let r = sys.run();
-            t.row(vec![
-                ncores.to_string(),
-                threads.to_string(),
-                r.cycles.to_string(),
-                f3(r.per_core[0].ipc()),
-                f3(r.mean_core_ipc()),
-                f3(r.mean_queue_delay()),
-            ]);
+            match log.cell_from(&format!("{ncores}c/{threads}t"), sys.try_run()) {
+                Some(r) => t.row(vec![
+                    ncores.to_string(),
+                    threads.to_string(),
+                    r.cycles.to_string(),
+                    f3(r.per_core[0].ipc()),
+                    f3(r.mean_core_ipc()),
+                    f3(r.mean_queue_delay()),
+                ]),
+                None => t.row(vec![
+                    ncores.to_string(),
+                    threads.to_string(),
+                    "FAILED".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
         }
     }
     t.print();
+    log.print();
 }

@@ -7,10 +7,15 @@
 //! commit knowledge) within a fraction of a percent and beats MRT-PLRU;
 //! mean hit rates around 94%/83% at 80%/40% context; LRC speeds up over
 //! PLRU substantially more at 80% than at 40% context.
+//!
+//! A failed policy run becomes a structured failure row and the sweep
+//! continues; the mean rows aggregate only the runs that completed, and
+//! speedups are only reported where the PLRU normalizer completed.
 
 use virec_bench::harness::*;
 use virec_core::PolicyKind;
 use virec_sim::report::{f3, geomean, pct, Table};
+use virec_sim::runner::RunOptions;
 use virec_workloads::suite;
 
 const POLICIES: &[PolicyKind] = &[
@@ -27,6 +32,8 @@ const POLICIES: &[PolicyKind] = &[
 fn main() {
     let n = problem_size();
     let threads = 8;
+    let opts = RunOptions::default();
+    let mut log = SweepLog::new();
     for frac in [0.8f64, 0.4] {
         let mut t = Table::new(
             &format!(
@@ -41,45 +48,55 @@ fn main() {
         let mut speed: std::collections::HashMap<PolicyKind, Vec<f64>> = Default::default();
         for w in suite(n, layout0()) {
             let mut cells = vec![w.name.to_string()];
-            // Run PLRU first to normalize speedups.
-            let plru_cfg = virec_cfg(&w, threads, frac, PolicyKind::Plru);
-            let plru = run(plru_cfg, &w);
-            let plru_cycles = plru.cycles as f64;
             let mut results = std::collections::HashMap::new();
-            results.insert(PolicyKind::Plru, plru);
             for &p in POLICIES {
-                if p == PolicyKind::Plru {
-                    continue;
-                }
                 let cfg = virec_cfg(&w, threads, frac, p);
-                results.insert(p, run(cfg, &w));
+                let label = format!("{}/{:.0}%/{}", w.name, frac * 100.0, p.label());
+                results.insert(p, log.cell(&label, cfg, &w, &opts));
             }
+            // Speedups are normalized to PLRU, so they are only recorded
+            // for workloads where the PLRU run completed.
+            let plru_cycles = results[&PolicyKind::Plru].cycles().map(|c| c as f64);
             for &p in POLICIES {
-                let r = &results[&p];
-                cells.push(pct(r.stats.rf_hit_rate()));
-                hit.entry(p).or_default().push(r.stats.rf_hit_rate());
-                speed
-                    .entry(p)
-                    .or_default()
-                    .push(plru_cycles / r.cycles as f64);
+                match results[&p].done() {
+                    Some(r) => {
+                        cells.push(pct(r.stats.rf_hit_rate()));
+                        hit.entry(p).or_default().push(r.stats.rf_hit_rate());
+                        if let Some(plru_cycles) = plru_cycles {
+                            speed
+                                .entry(p)
+                                .or_default()
+                                .push(plru_cycles / r.cycles as f64);
+                        }
+                    }
+                    None => cells.push("FAILED".into()),
+                }
             }
             t.row(cells);
         }
         t.print();
 
         let mut m = Table::new(
-            &format!("Figure 12 — means at {:.0}% context", frac * 100.0),
+            &format!(
+                "Figure 12 — means at {:.0}% context (completed runs only)",
+                frac * 100.0
+            ),
             &["policy", "mean_hit_rate", "geomean_speedup_vs_PLRU"],
         );
         for &p in POLICIES {
-            let hits = &hit[&p];
-            let mean_hit = hits.iter().sum::<f64>() / hits.len() as f64;
-            m.row(vec![
-                p.label().into(),
-                pct(mean_hit),
-                f3(geomean(&speed[&p])),
-            ]);
+            let hits = hit.get(&p).map(Vec::as_slice).unwrap_or(&[]);
+            let mean_hit = if hits.is_empty() {
+                "-".into()
+            } else {
+                pct(hits.iter().sum::<f64>() / hits.len() as f64)
+            };
+            let speedup = match speed.get(&p) {
+                Some(v) if !v.is_empty() => f3(geomean(v)),
+                _ => "-".into(),
+            };
+            m.row(vec![p.label().into(), mean_hit, speedup]);
         }
         m.print();
     }
+    log.print();
 }

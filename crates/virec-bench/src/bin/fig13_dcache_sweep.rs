@@ -5,28 +5,61 @@
 //! lose performance as dcache latency grows, ViReC faster (fills ride the
 //! dcache); shrinking the dcache hurts ViReC earlier than banked because
 //! pinned register lines consume capacity.
+//!
+//! A failed run becomes a structured failure row and the sweep continues;
+//! the geomeans aggregate only the workloads that completed.
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
 use virec_sim::report::{f3, geomean, Table};
+use virec_sim::runner::RunOptions;
 use virec_workloads::suite;
 
-fn run_geomean(mut cfg_virec: CoreConfig, cfg_banked: CoreConfig, n: u64) -> (f64, f64) {
+fn run_geomean(
+    mut cfg_virec: CoreConfig,
+    cfg_banked: CoreConfig,
+    n: u64,
+    point: &str,
+    log: &mut SweepLog,
+) -> (Option<f64>, Option<f64>) {
+    let opts = RunOptions::default();
     let mut v = Vec::new();
     let mut b = Vec::new();
     for w in suite(n, layout0()) {
         // Context-size the ViReC RF per workload at 80%.
         let sized = virec_cfg(&w, cfg_virec.nthreads, 0.8, PolicyKind::Lrc);
         cfg_virec.phys_regs = sized.phys_regs;
-        v.push(run(cfg_virec, &w).ipc());
-        b.push(run(cfg_banked, &w).ipc());
+        if let Some(r) = log
+            .cell(&format!("{point}/{}/virec80", w.name), cfg_virec, &w, &opts)
+            .done()
+        {
+            v.push(r.ipc());
+        }
+        if let Some(r) = log
+            .cell(&format!("{point}/{}/banked", w.name), cfg_banked, &w, &opts)
+            .done()
+        {
+            b.push(r.ipc());
+        }
     }
-    (geomean(&v), geomean(&b))
+    let gm = |xs: &[f64]| {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(geomean(xs))
+        }
+    };
+    (gm(&v), gm(&b))
+}
+
+fn opt_f3(x: Option<f64>) -> String {
+    x.map(f3).unwrap_or_else(|| "-".into())
 }
 
 fn main() {
     let n = problem_size().min(4096);
     let threads = 8;
+    let mut log = SweepLog::new();
 
     let mut lat = Table::new(
         &format!("Figure 13a — dcache latency sweep, 8 threads, n={n}"),
@@ -42,8 +75,12 @@ fn main() {
         cv.dcache.hit_latency = latency;
         let mut cb = CoreConfig::banked(threads);
         cb.dcache.hit_latency = latency;
-        let (v, b) = run_geomean(cv, cb, n);
-        lat.row(vec![latency.to_string(), f3(v), f3(b), f3(v / b)]);
+        let (v, b) = run_geomean(cv, cb, n, &format!("lat{latency}"), &mut log);
+        let ratio = match (v, b) {
+            (Some(v), Some(b)) => f3(v / b),
+            _ => "-".into(),
+        };
+        lat.row(vec![latency.to_string(), opt_f3(v), opt_f3(b), ratio]);
     }
     lat.print();
 
@@ -56,8 +93,13 @@ fn main() {
         cv.dcache.size_bytes = kb * 1024;
         let mut cb = CoreConfig::banked(threads);
         cb.dcache.size_bytes = kb * 1024;
-        let (v, b) = run_geomean(cv, cb, n);
-        cap.row(vec![kb.to_string(), f3(v), f3(b), f3(v / b)]);
+        let (v, b) = run_geomean(cv, cb, n, &format!("cap{kb}k"), &mut log);
+        let ratio = match (v, b) {
+            (Some(v), Some(b)) => f3(v / b),
+            _ => "-".into(),
+        };
+        cap.row(vec![kb.to_string(), opt_f3(v), opt_f3(b), ratio]);
     }
     cap.print();
+    log.print();
 }

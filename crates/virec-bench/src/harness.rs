@@ -1,8 +1,15 @@
 //! Common experiment plumbing for the fig*/table* binaries.
+//!
+//! Sweeps degrade gracefully: [`run_cell`] turns a failed configuration
+//! into a structured [`Cell::Failed`] row (error kind plus one-line
+//! diagnostics) instead of tearing the whole sweep down, retrying budget
+//! failures once with a relaxed cycle budget first. [`SweepLog`] collects
+//! the failures so a figure binary can print them after its table.
 
 use virec_core::{CoreConfig, PolicyKind};
 use virec_mem::FabricConfig;
-use virec_sim::runner::{run_single, RunOptions, RunResult};
+use virec_sim::runner::{run_single, try_run_single, RunOptions, RunResult};
+use virec_sim::SimError;
 use virec_workloads::{Layout, Workload};
 
 /// Default problem size for figure regeneration (large enough that caches
@@ -39,6 +46,151 @@ pub fn run_with_fabric(cfg: CoreConfig, w: &Workload, fabric: FabricConfig) -> R
             ..RunOptions::default()
         },
     )
+}
+
+/// Fallible run with default options (verified).
+pub fn try_run(cfg: CoreConfig, w: &Workload) -> Result<RunResult, SimError> {
+    try_run_single(cfg, w, &RunOptions::default())
+}
+
+/// One sweep cell: either a completed run or a structured failure row.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// The configuration completed (and verified). Boxed so a sweep's
+    /// mostly-small failure rows don't pay for the large result payload.
+    Done(Box<RunResult>),
+    /// The configuration failed; the sweep continues without it.
+    Failed {
+        /// Machine-readable error kind (`cycle_budget`, `livelock`, …).
+        kind: &'static str,
+        /// Full structured error line.
+        error: String,
+        /// True if a budget failure was retried with a relaxed budget and
+        /// failed again.
+        retried: bool,
+    },
+}
+
+impl Cell {
+    /// The result if the cell completed.
+    pub fn done(&self) -> Option<&RunResult> {
+        match self {
+            Cell::Done(r) => Some(r),
+            Cell::Failed { .. } => None,
+        }
+    }
+
+    /// Cycles for table rendering; `None` renders as a failure marker.
+    pub fn cycles(&self) -> Option<u64> {
+        self.done().map(|r| r.cycles)
+    }
+}
+
+/// Budget-relaxation factor for the single retry of a budget failure.
+pub const RETRY_BUDGET_FACTOR: u64 = 4;
+
+/// Runs one sweep cell with graceful degradation: a failure becomes a
+/// [`Cell::Failed`] row, and a pure cycle-budget failure is retried once
+/// with a [`RETRY_BUDGET_FACTOR`]× budget before giving up.
+pub fn run_cell(cfg: CoreConfig, w: &Workload, opts: &RunOptions) -> Cell {
+    match try_run_single(cfg, w, opts) {
+        Ok(r) => Cell::Done(Box::new(r)),
+        Err(SimError::CycleBudgetExceeded { .. }) => {
+            let mut relaxed = cfg;
+            relaxed.max_cycles = cfg.max_cycles.saturating_mul(RETRY_BUDGET_FACTOR);
+            match try_run_single(relaxed, w, opts) {
+                Ok(r) => Cell::Done(Box::new(r)),
+                Err(e) => Cell::Failed {
+                    kind: e.kind(),
+                    error: e.to_string(),
+                    retried: true,
+                },
+            }
+        }
+        Err(e) => Cell::Failed {
+            kind: e.kind(),
+            error: e.to_string(),
+            retried: false,
+        },
+    }
+}
+
+/// Collects failed cells across a sweep for end-of-run reporting.
+#[derive(Default)]
+pub struct SweepLog {
+    failures: Vec<(String, String)>,
+}
+
+impl SweepLog {
+    /// New empty log.
+    pub fn new() -> SweepLog {
+        SweepLog::default()
+    }
+
+    /// Runs a labelled cell, records any failure, and returns the cell.
+    pub fn cell(&mut self, label: &str, cfg: CoreConfig, w: &Workload, opts: &RunOptions) -> Cell {
+        let cell = run_cell(cfg, w, opts);
+        self.record(label, &cell);
+        cell
+    }
+
+    /// Wraps a fallible run from a path `run_cell` does not cover (the
+    /// prefetch-exact oracle, `System::try_run`, …) into a cell, recording
+    /// any failure. No budget retry is attempted.
+    pub fn cell_from<T>(&mut self, label: &str, result: Result<T, SimError>) -> Option<T> {
+        match result {
+            Ok(v) => Some(v),
+            Err(e) => {
+                self.record(
+                    label,
+                    &Cell::Failed {
+                        kind: e.kind(),
+                        error: e.to_string(),
+                        retried: false,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    fn record(&mut self, label: &str, cell: &Cell) {
+        if let Cell::Failed {
+            kind,
+            error,
+            retried,
+        } = cell
+        {
+            let suffix = if *retried {
+                " (after budget retry)"
+            } else {
+                ""
+            };
+            self.failures
+                .push((label.to_string(), format!("[{kind}{suffix}] {error}")));
+        }
+    }
+
+    /// True if every cell so far completed.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of failed cells.
+    pub fn failed(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Prints the failure rows (no-op when the sweep was clean).
+    pub fn print(&self) {
+        if self.failures.is_empty() {
+            return;
+        }
+        println!("\n{} failed configuration(s):", self.failures.len());
+        for (label, error) in &self.failures {
+            println!("  {label}: {error}");
+        }
+    }
 }
 
 /// A ViReC config storing `frac` of the workload's active context.

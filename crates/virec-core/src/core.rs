@@ -22,7 +22,7 @@
 //!   "committed since last switch" CSL mask.
 
 use crate::config::{CoreConfig, EngineKind};
-use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, OracleSchedule};
+use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault, OracleSchedule};
 use crate::engines::{BankedEngine, PrefetchEngine, SoftwareEngine, VirecEngine};
 use crate::regions::RegRegion;
 use crate::stats::CoreStats;
@@ -173,6 +173,10 @@ pub struct Core {
     recorder: Option<Vec<Vec<u32>>>,
     quantum_mask: Vec<u32>,
 
+    /// PC of each thread's most recently committed instruction (failure
+    /// diagnostics — pinpoints where a thread was when a run went wrong).
+    last_commit_pc: Vec<Option<u32>>,
+
     tracer: Option<Tracer>,
     stats: CoreStats,
 }
@@ -250,6 +254,7 @@ impl Core {
             orphan_ifetches: Vec::new(),
             recorder: None,
             quantum_mask: vec![0; cfg.nthreads],
+            last_commit_pc: vec![None; cfg.nthreads],
             tracer: None,
             stats: CoreStats::default(),
             cfg,
@@ -352,6 +357,58 @@ impl Core {
     /// architectural state can be inspected from memory.
     pub fn drain(&mut self, mem: &mut FlatMem) {
         self.engine.drain(self.region, mem);
+    }
+
+    /// PC of each thread's most recently committed instruction (`None` for
+    /// threads that never committed).
+    pub fn last_commit_pcs(&self) -> &[Option<u32>] {
+        &self.last_commit_pc
+    }
+
+    /// Delivers a fault to the context engine (the fault-injection
+    /// subsystem's entry point for engine-internal state). Returns a
+    /// description of the corrupted site, or `None` if not applicable.
+    pub fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
+        self.engine.inject_fault(fault)
+    }
+
+    /// Multi-line snapshot of pipeline and engine state for livelock dumps:
+    /// per-thread status and last-committed PC, latch occupancy, engine
+    /// occupancy, and outstanding cache MSHRs.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  thread {i}: {:?} pc={} last_commit={}",
+                t.status,
+                t.pc,
+                match self.last_commit_pc[i] {
+                    Some(pc) => pc.to_string(),
+                    None => "-".to_string(),
+                }
+            );
+        }
+        let occ = |b: bool| if b { "busy" } else { "-" };
+        let _ = writeln!(
+            s,
+            "  pipeline: running={:?} fetched={} decode={} exec={} mem={} sq={}",
+            self.running,
+            occ(self.fetched.is_some()),
+            occ(self.decode.is_some()),
+            occ(self.exec.is_some()),
+            occ(self.mem_slot.is_some()),
+            self.sq.len()
+        );
+        let _ = writeln!(s, "  engine: {}", self.engine.debug_state());
+        let _ = writeln!(
+            s,
+            "  mshrs: dcache {} outstanding, icache {} outstanding",
+            self.dcache.outstanding_mshrs(),
+            self.icache.outstanding_mshrs()
+        );
+        s
     }
 
     /// Architectural value of `(tid, reg)` after [`Core::drain`].
@@ -732,6 +789,7 @@ impl Core {
         self.engine.commit_instr(tid, &slot.instr);
         self.stats.instructions += 1;
         self.committed_since_switch = true;
+        self.last_commit_pc[tid as usize] = Some(slot.pc);
         self.emit(
             now,
             TraceEvent::Commit {

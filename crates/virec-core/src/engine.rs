@@ -30,6 +30,38 @@ pub struct EngineEnv<'a> {
     pub stats: &'a mut CoreStats,
 }
 
+/// A deterministic fault aimed at engine-internal state, delivered by the
+/// fault-injection subsystem between pipeline cycles. Engines that do not
+/// model the targeted structure report the fault as not applicable by
+/// returning `None` from [`ContextEngine::inject_fault`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineFault {
+    /// Flip `bit` of the value held in the `nth` occupied physical-register
+    /// slot (a tag-store entry for ViReC, a bank cell for banked engines).
+    /// `nth` wraps modulo the current occupancy.
+    RegValue {
+        /// Which occupied slot (modulo occupancy).
+        nth: u64,
+        /// Which bit of the 64-bit value (modulo 64).
+        bit: u8,
+    },
+    /// Corrupt the `nth` occupied rollback-queue slot: rewrite one recorded
+    /// register identity (or toggle the is-mem CSL signal), modelling an
+    /// upset in the VRMU's in-flight tracking.
+    RollbackSlot {
+        /// Which queue slot (modulo occupancy).
+        nth: u64,
+        /// Selects the register/bit within the slot.
+        bit: u8,
+    },
+    /// Mark the `nth` occupied tag-store entry as waiting for a fill that
+    /// will never arrive (a lost BSI response).
+    StuckFill {
+        /// Which occupied entry (modulo occupancy).
+        nth: u64,
+    },
+}
+
 /// Result of a decode-stage register acquisition attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AcquireOutcome {
@@ -111,6 +143,27 @@ pub trait ContextEngine {
     /// CSL treats as permissive).
     fn oldest_inflight_is_mem(&self) -> Option<bool> {
         None
+    }
+
+    /// Applies a fault to engine-internal state. Returns a description of
+    /// the corrupted site, or `None` when the engine has no such structure
+    /// (or it is currently empty) — the campaign records the injection as
+    /// not applied.
+    fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
+        let _ = fault;
+        None
+    }
+
+    /// `(occupied, capacity)` of the engine's register storage, for
+    /// watchdog dumps and fault-site selection.
+    fn occupancy(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    /// One-line summary of engine-internal state for livelock dumps.
+    fn debug_state(&self) -> String {
+        let (used, cap) = self.occupancy();
+        format!("occupancy {used}/{cap}")
     }
 
     /// Writes all live register state back to the backing region so the

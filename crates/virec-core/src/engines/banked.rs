@@ -7,7 +7,7 @@
 //! core loads them into the bank).
 
 use super::Xfer;
-use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv};
+use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault};
 use crate::regions::{RegRegion, BYTES_PER_THREAD};
 use crate::stats::CoreStats;
 use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg};
@@ -118,6 +118,36 @@ impl ContextEngine for BankedEngine {
                 self.loading_tid = None;
             }
         }
+    }
+
+    fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
+        // Banked storage has no tag store or rollback queue; only register
+        // cells can be hit.
+        let EngineFault::RegValue { nth, bit } = fault else {
+            return None;
+        };
+        let loaded: Vec<usize> = (0..self.banks.len())
+            .filter(|&t| !matches!(self.state[t], LoadState::NotLoaded))
+            .collect();
+        if loaded.is_empty() {
+            return None;
+        }
+        let cells = loaded.len() * virec_isa::reg::NUM_ALLOCATABLE;
+        let cell = nth as usize % cells;
+        let t = loaded[cell / virec_isa::reg::NUM_ALLOCATABLE];
+        let r = cell % virec_isa::reg::NUM_ALLOCATABLE;
+        self.banks[t][r] ^= 1 << (bit % 64);
+        Some(format!("bank[t{t}] x{r} value bit {}", bit % 64))
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        let loaded = (0..self.banks.len())
+            .filter(|&t| !matches!(self.state[t], LoadState::NotLoaded))
+            .count();
+        (
+            loaded * virec_isa::reg::NUM_ALLOCATABLE,
+            self.banks.len() * virec_isa::reg::NUM_ALLOCATABLE,
+        )
     }
 
     fn drain(&mut self, region: RegRegion, mem: &mut FlatMem) {

@@ -8,7 +8,7 @@
 
 use crate::bsi::Bsi;
 use crate::config::CoreConfig;
-use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv};
+use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault};
 use crate::regions::RegRegion;
 use crate::vrmu::{AllocOutcome, RollbackEntry, RollbackQueue, TagStore};
 use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg, RegList};
@@ -357,6 +357,28 @@ impl ContextEngine for VirecEngine {
 
     fn oldest_inflight_is_mem(&self) -> Option<bool> {
         self.rollback.oldest_is_mem()
+    }
+
+    fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
+        match fault {
+            EngineFault::RegValue { nth, bit } => self.tags.corrupt_value(nth as usize, bit),
+            EngineFault::RollbackSlot { nth, bit } => self.rollback.corrupt_slot(nth as usize, bit),
+            EngineFault::StuckFill { nth } => self.tags.corrupt_stuck_fill(nth as usize),
+        }
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        (self.tags.valid_count(), self.tags.capacity())
+    }
+
+    fn debug_state(&self) -> String {
+        format!(
+            "VRMU {}/{} entries valid, {} fills pending, rollback depth {}",
+            self.tags.valid_count(),
+            self.tags.capacity(),
+            self.tags.fills_pending_count(),
+            self.rollback.len()
+        )
     }
 
     fn drain(&mut self, region: RegRegion, mem: &mut FlatMem) {

@@ -340,6 +340,66 @@ impl TagStore {
         self.entries.iter().filter(|e| e.meta.valid)
     }
 
+    /// Number of valid entries (VRMU occupancy).
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.meta.valid).count()
+    }
+
+    /// Number of entries with a fill in flight (for livelock dumps).
+    pub fn fills_pending_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.meta.valid && e.fill_pending)
+            .count()
+    }
+
+    /// Entry index of the `nth` valid entry, wrapping modulo occupancy.
+    fn nth_valid(&self, nth: usize) -> Option<usize> {
+        let valid: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.meta.valid)
+            .map(|(i, _)| i)
+            .collect();
+        if valid.is_empty() {
+            None
+        } else {
+            Some(valid[nth % valid.len()])
+        }
+    }
+
+    /// Fault injection: flips `bit` of the physical-RF cell behind the
+    /// `nth` valid entry (an SRAM upset in the value array). Bookkeeping
+    /// state is left untouched — a clean entry that is never read again
+    /// and never written back masks the fault, exactly as hardware would.
+    /// Returns a description of the corrupted site, or `None` when the
+    /// store is empty.
+    pub fn corrupt_value(&mut self, nth: usize, bit: u8) -> Option<String> {
+        let idx = self.nth_valid(nth)?;
+        let e = &mut self.entries[idx];
+        e.value ^= 1 << (bit % 64);
+        Some(format!(
+            "tag-store[{idx}] t{} {} value bit {}",
+            e.tid,
+            e.reg,
+            bit % 64
+        ))
+    }
+
+    /// Fault injection: marks the `nth` valid entry as waiting for a fill
+    /// that will never arrive (a lost BSI response). The entry becomes
+    /// unreadable and unevictable, which must surface as a livelock.
+    pub fn corrupt_stuck_fill(&mut self, nth: usize) -> Option<String> {
+        let idx = self.nth_valid(nth)?;
+        let e = &mut self.entries[idx];
+        e.fill_pending = true;
+        Some(format!(
+            "tag-store[{idx}] t{} {} stuck fill_pending",
+            e.tid, e.reg
+        ))
+    }
+
     /// Checks structural invariants (used by property tests): injective
     /// tags and a reverse map consistent with the entry array.
     pub fn check_invariants(&self) {
@@ -459,6 +519,40 @@ impl RollbackQueue {
     /// Whether the backend is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Fault injection: corrupts the `nth` occupied slot (modulo occupancy).
+    /// High `bit` values toggle the is-mem CSL signal; otherwise one
+    /// recorded register identity is rewritten, so commit/flush will unlock
+    /// and clear the wrong registers. Returns a description of the
+    /// corrupted site, or `None` when the queue is empty.
+    pub fn corrupt_slot(&mut self, nth: usize, bit: u8) -> Option<String> {
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        let slot = &mut self.entries[nth % n];
+        if slot.regs.is_empty() || bit >= 56 {
+            slot.is_mem = !slot.is_mem;
+            return Some(format!(
+                "rollback[{}] is_mem toggled to {}",
+                nth % n,
+                slot.is_mem
+            ));
+        }
+        let regs: Vec<Reg> = slot.regs.iter().collect();
+        let i = (bit as usize / 5) % regs.len();
+        let old = regs[i];
+        let new = Reg::new(((old.index() ^ (1 << (bit % 5))) % 31) as u8);
+        let mut rewritten = RegList::new();
+        for (j, &r) in regs.iter().enumerate() {
+            rewritten.push(if j == i { new } else { r });
+        }
+        slot.regs = rewritten;
+        Some(format!(
+            "rollback[{}] reg {old} rewritten to {new}",
+            nth % n
+        ))
     }
 }
 

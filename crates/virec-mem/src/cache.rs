@@ -214,6 +214,12 @@ impl Cache {
         &self.stats
     }
 
+    /// Number of MSHRs currently allocated (outstanding misses), for
+    /// forward-progress diagnostics.
+    pub fn outstanding_mshrs(&self) -> usize {
+        self.mshrs.len()
+    }
+
     fn set_index(&self, line_addr: u64) -> usize {
         ((line_addr / LINE_BYTES) as usize) & (self.cfg.sets() - 1)
     }

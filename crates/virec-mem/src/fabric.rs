@@ -203,6 +203,24 @@ impl Fabric {
         self.accept_queue.len() + self.inflight.len()
     }
 
+    /// Fault-injection hook: line address of one in-flight request (`nth`
+    /// wraps modulo the number outstanding), or `None` when the fabric is
+    /// idle. The fabric carries timing only — campaigns model a corrupted
+    /// response by flipping a bit of the functional line this request will
+    /// deliver.
+    pub fn inflight_addr(&self, nth: usize) -> Option<u64> {
+        let total = self.accept_queue.len() + self.inflight.len();
+        if total == 0 {
+            return None;
+        }
+        let k = nth % total;
+        if k < self.accept_queue.len() {
+            Some(self.accept_queue[k].addr)
+        } else {
+            Some(self.inflight[k - self.accept_queue.len()].addr)
+        }
+    }
+
     fn map_addr(&self, addr: u64) -> (usize, usize, u64) {
         let d = &self.cfg.dram;
         let line = addr >> 6;

@@ -1,0 +1,381 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] schedules bit flips at chosen cycles in the structures a
+//! real near-memory core would need to protect: VRMU tag-store entries,
+//! rollback-queue slots, backing-store register slots, DRAM lines, and
+//! in-flight fabric responses. Plans are generated from a `u64` seed with
+//! the same xorshift generator the core's Random replacement policy uses —
+//! no external RNG crate, and a seed fully determines the campaign.
+//!
+//! [`run_campaign`] drives K single-fault injections against one
+//! configuration and classifies every outcome: the paper's differential
+//! golden check is the detector, and the acceptance bar is that **no
+//! effectful fault survives silently**.
+
+use crate::error::SimError;
+use crate::runner::{try_run_single, RunOptions, RunResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use virec_core::policy::XorShift;
+use virec_core::{CoreConfig, EngineFault};
+use virec_workloads::Workload;
+
+/// A corruptible structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Flip a bit in a valid VRMU tag-store entry's cached value.
+    TagValue,
+    /// Corrupt a rollback-queue slot (register list or kind bit).
+    RollbackSlot,
+    /// Mark a tag-store entry's fill as never completing (lost response).
+    StuckFill,
+    /// Flip a bit in a register slot of the backing-store region.
+    BackingReg,
+    /// Flip a bit in a word of the workload's data segment (DRAM cell).
+    DramLine,
+    /// Flip a bit in the memory behind an in-flight fabric request
+    /// (a corrupted response payload).
+    FabricResponse,
+}
+
+impl FaultSite {
+    /// Every site (ViReC engines expose all of them).
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::TagValue,
+        FaultSite::RollbackSlot,
+        FaultSite::StuckFill,
+        FaultSite::BackingReg,
+        FaultSite::DramLine,
+        FaultSite::FabricResponse,
+    ];
+
+    /// Sites meaningful for engines without a VRMU (banked, software):
+    /// `TagValue` still lands (it maps to register cells via
+    /// `EngineFault::RegValue`), the VRMU-internal sites do not.
+    pub const NON_VRMU: [FaultSite; 4] = [
+        FaultSite::TagValue,
+        FaultSite::BackingReg,
+        FaultSite::DramLine,
+        FaultSite::FabricResponse,
+    ];
+}
+
+/// One scheduled corruption.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// Cycle at which the fault is applied (after the core's tick).
+    pub cycle: u64,
+    /// Structure to corrupt.
+    pub site: FaultSite,
+    /// Free index the site interprets (entry/slot/thread/line selector).
+    pub index: u64,
+    /// Bit position the site interprets modulo the field width.
+    pub bit: u8,
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Events, not necessarily sorted; each fires once.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults (the default for ordinary runs).
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A single fault.
+    pub fn single(event: FaultEvent) -> FaultPlan {
+        FaultPlan {
+            events: vec![event],
+        }
+    }
+
+    /// `count` faults drawn from `sites`, with cycles uniform in
+    /// `window.0..window.1`, fully determined by `seed`.
+    pub fn seeded(seed: u64, count: usize, window: (u64, u64), sites: &[FaultSite]) -> FaultPlan {
+        assert!(!sites.is_empty(), "fault plan needs at least one site");
+        let mut rng = XorShift::new(seed);
+        let span = window.1.saturating_sub(window.0).max(1);
+        let events = (0..count)
+            .map(|_| FaultEvent {
+                cycle: window.0 + rng.next_u64() % span,
+                site: sites[(rng.next_u64() % sites.len() as u64) as usize],
+                index: rng.next_u64(),
+                bit: (rng.next_u64() % 64) as u8,
+            })
+            .collect();
+        FaultPlan { events }
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// How one injection ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectionOutcome {
+    /// The run failed with [`SimError::FaultDetected`]: the checker (or
+    /// watchdog/budget) caught the corruption.
+    Detected,
+    /// The corrupted run panicked on an internal consistency assert —
+    /// also a successful detection, via a different tripwire.
+    Crashed,
+    /// The fault was applied but changed nothing observable: the corrupted
+    /// state was dead (never read again). Verification passed and the
+    /// architectural digest matches the clean run. Benign by construction.
+    Masked,
+    /// The plan never landed (e.g. VRMU site on an engine without one, or
+    /// the scheduled structure was empty at that cycle).
+    NotApplied,
+    /// The fault changed architectural state **and** every checker passed.
+    /// This must never happen; any occurrence is a checker bug.
+    Silent,
+}
+
+/// One row of a campaign report.
+#[derive(Clone, Debug)]
+pub struct InjectionRecord {
+    /// Seed that generated this injection's plan.
+    pub seed: u64,
+    /// Descriptions of the faults that actually landed.
+    pub faults: Vec<String>,
+    /// Classification.
+    pub outcome: InjectionOutcome,
+    /// Error kind for detected runs (`cycle_budget`, `golden_divergence`…).
+    pub error_kind: Option<String>,
+}
+
+/// Aggregate result of [`run_campaign`].
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Engine label of the attacked configuration.
+    pub engine: String,
+    /// Per-injection records, in seed order.
+    pub records: Vec<InjectionRecord>,
+    /// Cycles of the clean reference run.
+    pub clean_cycles: u64,
+}
+
+impl CampaignReport {
+    /// Count of records with the given outcome.
+    pub fn count(&self, outcome: InjectionOutcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Detection rate over *effectful* faults: caught / (applied − masked).
+    /// Masked faults hit dead state and are undetectable by any
+    /// architectural checker; they are excluded, as in hardware FIT
+    /// accounting.
+    pub fn detection_rate(&self) -> f64 {
+        let caught = self.count(InjectionOutcome::Detected) + self.count(InjectionOutcome::Crashed);
+        let effectful = caught + self.count(InjectionOutcome::Silent);
+        if effectful == 0 {
+            1.0
+        } else {
+            caught as f64 / effectful as f64
+        }
+    }
+
+    /// True when no effectful fault escaped: zero silent corruptions.
+    pub fn all_detected(&self) -> bool {
+        self.count(InjectionOutcome::Silent) == 0
+    }
+
+    /// One summary line for logs and the campaign driver.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} injections — {} detected, {} crashed, {} masked, {} not applied, {} SILENT \
+             (detection rate {:.1}%)",
+            self.engine,
+            self.records.len(),
+            self.count(InjectionOutcome::Detected),
+            self.count(InjectionOutcome::Crashed),
+            self.count(InjectionOutcome::Masked),
+            self.count(InjectionOutcome::NotApplied),
+            self.count(InjectionOutcome::Silent),
+            self.detection_rate() * 100.0
+        )
+    }
+}
+
+/// Runs a clean reference, then `injections` seeded single-fault runs of
+/// `cfg` on `workload`, classifying each against the golden checker and the
+/// clean run's architectural digest.
+///
+/// # Panics
+/// Panics if the clean (fault-free) run itself fails — the configuration
+/// must be healthy before it is attacked.
+pub fn run_campaign(
+    cfg: CoreConfig,
+    workload: &Workload,
+    injections: usize,
+    base_seed: u64,
+    sites: &[FaultSite],
+) -> CampaignReport {
+    let clean_opts = RunOptions::default();
+    let clean: RunResult = try_run_single(cfg, workload, &clean_opts)
+        .unwrap_or_else(|e| panic!("clean reference run failed: {e}"));
+
+    // Inject inside the meaty middle of the run: after warm-up fills, before
+    // the drain, so the corrupted state has a real chance to be consumed.
+    let window = ((clean.cycles / 10).max(1), (clean.cycles * 9 / 10).max(2));
+
+    // Attacked runs get tripwires scaled to the clean run, not the
+    // conservative defaults: a corrupted run that stops committing is
+    // flagged after a few clean-run lengths, and one that runs away while
+    // still committing (e.g. a flipped loop bound) is flagged by the
+    // budget instead of burning the full configured allowance.
+    let livelock_cycles = clean.cycles.saturating_mul(4).max(10_000);
+    let mut attacked = cfg;
+    attacked.max_cycles = clean
+        .cycles
+        .saturating_mul(20)
+        .max(100_000)
+        .min(cfg.max_cycles);
+
+    let mut records = Vec::with_capacity(injections);
+    for i in 0..injections {
+        let seed = base_seed.wrapping_add(i as u64).max(1);
+        let opts = RunOptions {
+            faults: FaultPlan::seeded(seed, 1, window, sites),
+            livelock_cycles,
+            ..RunOptions::default()
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            try_run_single(attacked, workload, &opts)
+        }));
+        let record = match run {
+            Err(_) => InjectionRecord {
+                seed,
+                faults: vec!["(panicked before reporting)".into()],
+                outcome: InjectionOutcome::Crashed,
+                error_kind: None,
+            },
+            Ok(Err(SimError::FaultDetected {
+                faults,
+                cause,
+                diag: _,
+            })) => InjectionRecord {
+                seed,
+                faults,
+                outcome: InjectionOutcome::Detected,
+                error_kind: Some(cause.kind().to_string()),
+            },
+            Ok(Err(other)) => InjectionRecord {
+                // A failure without an applied fault: infrastructure bug,
+                // surface it loudly as a crash rather than a detection.
+                seed,
+                faults: Vec::new(),
+                outcome: InjectionOutcome::Crashed,
+                error_kind: Some(other.kind().to_string()),
+            },
+            Ok(Ok(result)) => {
+                let outcome = if result.faults_applied.is_empty() {
+                    InjectionOutcome::NotApplied
+                } else if result.arch_digest == clean.arch_digest {
+                    InjectionOutcome::Masked
+                } else {
+                    InjectionOutcome::Silent
+                };
+                InjectionRecord {
+                    seed,
+                    faults: result.faults_applied,
+                    outcome,
+                    error_kind: None,
+                }
+            }
+        };
+        records.push(record);
+    }
+
+    CampaignReport {
+        engine: crate::runner::engine_label(&cfg).to_string(),
+        records,
+        clean_cycles: clean.cycles,
+    }
+}
+
+/// Maps a generic (site, index, bit) event onto the engine's fault hooks.
+/// Used by the runner; exposed for tests.
+pub fn engine_fault_of(event: &FaultEvent) -> Option<EngineFault> {
+    match event.site {
+        FaultSite::TagValue => Some(EngineFault::RegValue {
+            nth: event.index,
+            bit: event.bit,
+        }),
+        FaultSite::RollbackSlot => Some(EngineFault::RollbackSlot {
+            nth: event.index,
+            bit: event.bit,
+        }),
+        FaultSite::StuckFill => Some(EngineFault::StuckFill { nth: event.index }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 8, (100, 1000), &FaultSite::ALL);
+        let b = FaultPlan::seeded(42, 8, (100, 1000), &FaultSite::ALL);
+        assert_eq!(a.events.len(), 8);
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.cycle, y.cycle);
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.bit, y.bit);
+        }
+        let c = FaultPlan::seeded(43, 8, (100, 1000), &FaultSite::ALL);
+        assert!(a
+            .events
+            .iter()
+            .zip(&c.events)
+            .any(|(x, y)| x.cycle != y.cycle || x.index != y.index));
+    }
+
+    #[test]
+    fn plan_cycles_respect_window() {
+        let p = FaultPlan::seeded(7, 64, (500, 600), &FaultSite::ALL);
+        for e in &p.events {
+            assert!(
+                (500..600).contains(&e.cycle),
+                "cycle {} outside window",
+                e.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn report_math() {
+        let rec = |outcome| InjectionRecord {
+            seed: 1,
+            faults: vec![],
+            outcome,
+            error_kind: None,
+        };
+        let report = CampaignReport {
+            engine: "virec".into(),
+            records: vec![
+                rec(InjectionOutcome::Detected),
+                rec(InjectionOutcome::Detected),
+                rec(InjectionOutcome::Crashed),
+                rec(InjectionOutcome::Masked),
+                rec(InjectionOutcome::NotApplied),
+            ],
+            clean_cycles: 1000,
+        };
+        assert!(report.all_detected());
+        assert_eq!(report.detection_rate(), 1.0);
+        let mut bad = report.clone();
+        bad.records.push(rec(InjectionOutcome::Silent));
+        assert!(!bad.all_detected());
+        assert!(bad.detection_rate() < 1.0);
+        assert!(bad.summary().contains("1 SILENT"));
+    }
+}

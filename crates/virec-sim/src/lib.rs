@@ -14,11 +14,29 @@
 //!   and oracle recording for exact-context prefetching.
 //! * [`system`] — multi-core systems sharing the fabric (Figure 11).
 //! * [`report`] — plain-text table/CSV emission for the figure binaries.
+//! * [`error`] — typed simulation errors ([`SimError`]) with per-run
+//!   diagnostics; every runner has a `try_` form returning `Result`.
+//! * [`watchdog`] — forward-progress monitoring that separates livelock
+//!   from slow runs.
+//! * [`fault`] — deterministic seeded fault injection and campaign
+//!   classification against the golden checker.
 
+pub mod error;
+pub mod fault;
 pub mod offload;
 pub mod report;
 pub mod runner;
 pub mod system;
+pub mod watchdog;
 
-pub use runner::{run_single, verify_against_golden, RunOptions, RunResult};
+pub use error::{DivergenceSite, RunDiagnostics, SimError};
+pub use fault::{
+    run_campaign, CampaignReport, FaultEvent, FaultPlan, FaultSite, InjectionOutcome,
+    InjectionRecord,
+};
+pub use runner::{
+    run_single, try_run_single, try_verify_against_golden, verify_against_golden, RunOptions,
+    RunResult,
+};
 pub use system::{System, SystemConfig, SystemResult};
+pub use watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};

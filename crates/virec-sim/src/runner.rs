@@ -1,6 +1,15 @@
 //! Single-core experiment runner.
+//!
+//! [`try_run_single`] is the fallible core: it drives the cycle loop with a
+//! forward-progress watchdog, applies any scheduled [`FaultPlan`], and
+//! verifies the final architectural state against the golden interpreter,
+//! returning a typed [`SimError`] instead of panicking. [`run_single`] is
+//! the thin panicking wrapper the examples and figure binaries use.
 
+use crate::error::{DivergenceSite, RunDiagnostics, SimError};
+use crate::fault::{engine_fault_of, FaultEvent, FaultPlan, FaultSite};
 use crate::offload::offload;
+use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
 use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule};
 use virec_isa::{ExecOutcome, FlatMem, Interpreter, Reg, ThreadCtx};
 use virec_mem::{Fabric, FabricConfig};
@@ -18,6 +27,11 @@ pub struct RunOptions {
     pub record_oracle: bool,
     /// Oracle to feed an exact-context prefetching core.
     pub oracle: OracleSchedule,
+    /// Watchdog threshold: cycles without a commit before the run is
+    /// declared livelocked (0 disables the watchdog).
+    pub livelock_cycles: u64,
+    /// Scheduled fault injections (empty for ordinary runs).
+    pub faults: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -27,6 +41,8 @@ impl Default for RunOptions {
             verify: true,
             record_oracle: false,
             oracle: OracleSchedule::default(),
+            livelock_cycles: DEFAULT_LIVELOCK_CYCLES,
+            faults: FaultPlan::empty(),
         }
     }
 }
@@ -40,6 +56,12 @@ pub struct RunResult {
     pub stats: CoreStats,
     /// Recorded oracle (empty unless requested).
     pub oracle: OracleSchedule,
+    /// Descriptions of the injected faults that actually landed.
+    pub faults_applied: Vec<String>,
+    /// FNV digest of the final architectural state (all thread registers
+    /// plus the data segment) — used by fault campaigns to distinguish
+    /// masked faults from silent corruptions.
+    pub arch_digest: u64,
 }
 
 impl RunResult {
@@ -49,23 +71,20 @@ impl RunResult {
     }
 }
 
-/// Runs `workload` on a single core with `nthreads` hardware threads.
+/// Fallible single-core run: returns a typed error instead of panicking.
 ///
-/// ```
-/// use virec_core::CoreConfig;
-/// use virec_sim::runner::{run_single, RunOptions};
-/// use virec_workloads::{kernels, Layout};
-///
-/// let w = kernels::stream::reduction(256, Layout::for_core(0));
-/// let r = run_single(CoreConfig::virec(4, 24), &w, &RunOptions::default());
-/// assert!(r.ipc() > 0.0);
-/// assert!(r.stats.instructions > 256);
-/// ```
-///
-/// # Panics
-/// Panics if the run exceeds the configured cycle limit or (with
-/// `verify`) diverges from the golden interpreter.
-pub fn run_single(cfg: CoreConfig, workload: &Workload, opts: &RunOptions) -> RunResult {
+/// The cycle loop distinguishes *livelock* (no commit for
+/// [`RunOptions::livelock_cycles`] — the machine is wedged, reported with a
+/// full pipeline/engine/MSHR dump) from a *slow run* (commits still landing
+/// when `CoreConfig::max_cycles` runs out — a budget problem). If the
+/// options carry a [`FaultPlan`], events are applied at their scheduled
+/// cycles and any subsequent failure is wrapped in
+/// [`SimError::FaultDetected`] so campaign drivers can attribute it.
+pub fn try_run_single(
+    cfg: CoreConfig,
+    workload: &Workload,
+    opts: &RunOptions,
+) -> Result<RunResult, SimError> {
     let mut mem = FlatMem::new(
         0,
         layout::mem_size(1).max((workload.layout.data_base + workload.layout.data_size) as usize),
@@ -85,41 +104,204 @@ pub fn run_single(cfg: CoreConfig, workload: &Workload, opts: &RunOptions) -> Ru
     }
 
     let mut fabric = Fabric::new(opts.fabric);
+    let mut watchdog = Watchdog::new(opts.livelock_cycles);
+    let mut pending: Vec<FaultEvent> = opts.faults.events.clone();
+    let mut faults_applied: Vec<String> = Vec::new();
+    let wrap = |e: SimError, applied: &[String]| -> SimError {
+        if applied.is_empty() {
+            e
+        } else {
+            let diag = Box::new(e.diagnostics().clone());
+            SimError::FaultDetected {
+                faults: applied.to_vec(),
+                cause: Box::new(e),
+                diag,
+            }
+        }
+    };
+
     let mut now = 0u64;
     while !core.done() {
         fabric.tick(now);
         core.tick(now, &mut fabric, &mut mem);
+
+        if !pending.is_empty() {
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].cycle <= now {
+                    let event = pending.swap_remove(i);
+                    if let Some(desc) = apply_fault(&event, &mut core, &fabric, &mut mem, workload)
+                    {
+                        faults_applied.push(format!("cycle {now}: {desc}"));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
         now += 1;
-        assert!(
-            now < cfg.max_cycles,
-            "{}: exceeded {} cycles (engine {:?}, {} threads)",
-            workload.name,
-            cfg.max_cycles,
-            cfg.engine,
-            cfg.nthreads
-        );
+        if let Err(stalled) = watchdog.observe(now, core.stats().instructions) {
+            let e = SimError::Livelock {
+                stalled_cycles: stalled,
+                dump: core.debug_dump(),
+                diag: RunDiagnostics::capture(workload.name, &core, now),
+            };
+            return Err(wrap(e, &faults_applied));
+        }
+        if now >= cfg.max_cycles {
+            let e = SimError::CycleBudgetExceeded {
+                budget: cfg.max_cycles,
+                diag: RunDiagnostics::capture(workload.name, &core, now),
+            };
+            return Err(wrap(e, &faults_applied));
+        }
     }
     core.finalize_stats();
     core.drain(&mut mem);
 
+    let arch_digest = arch_digest(&core, &mem, workload, cfg.nthreads);
+
     if opts.verify {
-        verify_against_golden(workload, cfg.nthreads, &core, &mem);
+        if let Err(e) = try_verify_against_golden(workload, cfg.nthreads, &core, &mem, now) {
+            return Err(wrap(e, &faults_applied));
+        }
     }
 
     let oracle = core.take_oracle();
-    RunResult {
+    Ok(RunResult {
         cycles: now,
         stats: *core.stats(),
         oracle,
+        faults_applied,
+        arch_digest,
+    })
+}
+
+/// Runs `workload` on a single core with `nthreads` hardware threads.
+///
+/// ```
+/// use virec_core::CoreConfig;
+/// use virec_sim::runner::{run_single, RunOptions};
+/// use virec_workloads::{kernels, Layout};
+///
+/// let w = kernels::stream::reduction(256, Layout::for_core(0));
+/// let r = run_single(CoreConfig::virec(4, 24), &w, &RunOptions::default());
+/// assert!(r.ipc() > 0.0);
+/// assert!(r.stats.instructions > 256);
+/// ```
+///
+/// # Panics
+/// Panics with the [`SimError`] display if the run exceeds the configured
+/// cycle limit, livelocks, or (with `verify`) diverges from the golden
+/// interpreter. Use [`try_run_single`] to handle failures structurally.
+pub fn run_single(cfg: CoreConfig, workload: &Workload, opts: &RunOptions) -> RunResult {
+    try_run_single(cfg, workload, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Applies one fault event to the live machine. Returns a description when
+/// the fault landed, `None` when the targeted structure had nothing to
+/// corrupt (e.g. a VRMU site on a banked engine, or no in-flight request).
+fn apply_fault(
+    event: &FaultEvent,
+    core: &mut Core,
+    fabric: &Fabric,
+    mem: &mut FlatMem,
+    workload: &Workload,
+) -> Option<String> {
+    let flip = |mem: &mut FlatMem, addr: u64, bit: u8| {
+        let v = mem.read_u64(addr);
+        mem.write_u64(addr, v ^ (1u64 << (bit % 64)));
+    };
+    let mem_end = mem.size() as u64;
+    match event.site {
+        FaultSite::TagValue | FaultSite::RollbackSlot | FaultSite::StuckFill => {
+            core.inject_fault(engine_fault_of(event)?)
+        }
+        FaultSite::BackingReg => {
+            let nthreads = core.config().nthreads as u64;
+            let t = (event.index % nthreads) as usize;
+            let r = Reg::new(((event.index / nthreads) % 31) as u8);
+            let addr = core.region().reg_addr(t, r);
+            if addr + 8 > mem_end {
+                return None;
+            }
+            flip(mem, addr, event.bit);
+            Some(format!("backing-store t{t} {r} bit {}", event.bit % 64))
+        }
+        FaultSite::DramLine => {
+            let words = (workload.layout.data_size / 8).max(1);
+            let addr = workload.layout.data_base + (event.index % words) * 8;
+            if addr + 8 > mem_end {
+                return None;
+            }
+            flip(mem, addr, event.bit);
+            Some(format!("dram word {addr:#x} bit {}", event.bit % 64))
+        }
+        FaultSite::FabricResponse => {
+            let addr = fabric.inflight_addr(event.index as usize)?;
+            let line = addr & !63;
+            let word = line + (event.bit as u64 % 8) * 8;
+            if word + 8 > mem_end {
+                return None;
+            }
+            flip(mem, word, event.bit);
+            Some(format!(
+                "fabric response line {line:#x} word {} bit {}",
+                event.bit % 8,
+                event.bit % 64
+            ))
+        }
     }
 }
 
-/// Compares a finished core's architectural state (registers and data
-/// segment) against a fresh golden-interpreter run of the same workload.
-///
-/// # Panics
-/// Panics on any divergence — a timing model must never change results.
-pub fn verify_against_golden(workload: &Workload, nthreads: usize, core: &Core, mem: &FlatMem) {
+/// FNV-1a digest of the final architectural state: every allocatable
+/// register of every thread, then the data segment bytes.
+fn arch_digest(core: &Core, mem: &FlatMem, workload: &Workload, nthreads: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for t in 0..nthreads {
+        for r in Reg::allocatable() {
+            for b in core.arch_reg(t, r, mem).to_le_bytes() {
+                eat(b);
+            }
+        }
+    }
+    let data_lo = workload.layout.data_base as usize;
+    let data_hi =
+        (workload.layout.data_base + workload.layout.data_size).min(mem.size() as u64) as usize;
+    for &b in &mem.bytes()[data_lo..data_hi] {
+        eat(b);
+    }
+    h
+}
+
+/// Step cap for the golden interpreter, derived from the timing run's
+/// actual committed-instruction count (with generous slack) instead of a
+/// hard-coded constant — a workload that legitimately needs more steps
+/// cannot be misreported, and a wedged golden run is detected at a cap
+/// proportional to the work actually done.
+fn golden_step_cap(committed_instructions: u64) -> u64 {
+    committed_instructions
+        .saturating_mul(4)
+        .saturating_add(100_000)
+}
+
+/// Fallible form of [`verify_against_golden`]: compares a finished core's
+/// architectural state (registers and data segment) against a fresh
+/// golden-interpreter run of the same workload.
+pub fn try_verify_against_golden(
+    workload: &Workload,
+    nthreads: usize,
+    core: &Core,
+    mem: &FlatMem,
+    cycles: u64,
+) -> Result<(), SimError> {
+    let diag = || RunDiagnostics::capture(workload.name, core, cycles);
+    let step_cap = golden_step_cap(core.stats().instructions);
     let mut gold_mem = FlatMem::new(0, mem.size());
     workload.init_mem(&mut gold_mem);
     for t in 0..nthreads {
@@ -127,30 +309,62 @@ pub fn verify_against_golden(workload: &Workload, nthreads: usize, core: &Core, 
         for (r, v) in workload.thread_ctx(t, nthreads) {
             ctx.set(r, v);
         }
-        let out = Interpreter::new(workload.program(), &mut gold_mem).run(&mut ctx, 100_000_000);
-        assert!(
-            matches!(out, ExecOutcome::Halted { .. }),
-            "golden run of {} did not halt",
-            workload.name
-        );
+        let out = Interpreter::new(workload.program(), &mut gold_mem).run(&mut ctx, step_cap);
+        if !matches!(out, ExecOutcome::Halted { .. }) {
+            return Err(SimError::GoldenRunStuck {
+                thread: t,
+                step_cap,
+                diag: diag(),
+            });
+        }
         for r in Reg::allocatable() {
-            assert_eq!(
-                core.arch_reg(t, r, mem),
-                ctx.get(r),
-                "{}: thread {t} register {r} diverged",
-                workload.name
-            );
+            let got = core.arch_reg(t, r, mem);
+            let want = ctx.get(r);
+            if got != want {
+                return Err(SimError::GoldenDivergence {
+                    site: DivergenceSite::Register {
+                        thread: t,
+                        reg: r,
+                        got,
+                        want,
+                    },
+                    diag: diag(),
+                });
+            }
         }
     }
     let data_lo = workload.layout.data_base as usize;
     let data_hi =
         (workload.layout.data_base + workload.layout.data_size).min(mem.size() as u64) as usize;
-    assert_eq!(
-        &mem.bytes()[data_lo..data_hi],
-        &gold_mem.bytes()[data_lo..data_hi],
-        "{}: data segment diverged",
-        workload.name
-    );
+    let got = &mem.bytes()[data_lo..data_hi];
+    let want = &gold_mem.bytes()[data_lo..data_hi];
+    if got != want {
+        let first_mismatch = got
+            .iter()
+            .zip(want)
+            .position(|(a, b)| a != b)
+            .map_or(data_lo, |off| data_lo + off);
+        return Err(SimError::GoldenDivergence {
+            site: DivergenceSite::DataRange {
+                lo: data_lo,
+                hi: data_hi,
+                first_mismatch,
+            },
+            diag: diag(),
+        });
+    }
+    Ok(())
+}
+
+/// Compares a finished core's architectural state (registers and data
+/// segment) against a fresh golden-interpreter run of the same workload.
+///
+/// # Panics
+/// Panics on any divergence — a timing model must never change results.
+/// Use [`try_verify_against_golden`] to handle divergence structurally.
+pub fn verify_against_golden(workload: &Workload, nthreads: usize, core: &Core, mem: &FlatMem) {
+    try_verify_against_golden(workload, nthreads, core, mem, core.stats().cycles)
+        .unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// Records the per-quantum oracle by running the workload on a banked core
@@ -162,7 +376,7 @@ pub fn record_oracle(workload: &Workload, nthreads: usize, fabric: FabricConfig)
         fabric,
         verify: false,
         record_oracle: true,
-        oracle: OracleSchedule::default(),
+        ..RunOptions::default()
     };
     run_single(cfg, workload, &opts).oracle
 }
@@ -183,6 +397,23 @@ pub fn run_prefetch_exact(
         ..RunOptions::default()
     };
     run_single(cfg, workload, &opts)
+}
+
+/// Fallible form of [`run_prefetch_exact`].
+pub fn try_run_prefetch_exact(
+    nthreads: usize,
+    regs_per_thread: usize,
+    workload: &Workload,
+    fabric: FabricConfig,
+) -> Result<RunResult, SimError> {
+    let oracle = record_oracle(workload, nthreads, fabric);
+    let cfg = CoreConfig::prefetch_exact(nthreads, regs_per_thread);
+    let opts = RunOptions {
+        fabric,
+        oracle,
+        ..RunOptions::default()
+    };
+    try_run_single(cfg, workload, &opts)
 }
 
 /// Sanity marker so downstream code can assert which engine a config is.
@@ -246,5 +477,44 @@ mod tests {
             four.cycles,
             one.cycles
         );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_not_a_panic() {
+        let w = kernels::spatter::gather(512, Layout::for_core(0));
+        let mut cfg = CoreConfig::virec(4, 32);
+        cfg.max_cycles = 2_000; // far too small for 512 elements
+        let err = try_run_single(cfg, &w, &RunOptions::default()).unwrap_err();
+        match &err {
+            SimError::CycleBudgetExceeded { budget, diag } => {
+                assert_eq!(*budget, 2_000);
+                assert_eq!(diag.nthreads, 4);
+                assert_eq!(diag.last_commit_pc.len(), 4);
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "cycle_budget");
+    }
+
+    #[test]
+    fn identical_runs_have_identical_digests() {
+        let w = kernels::stream::stream_triad(128, Layout::for_core(0));
+        let a = run_single(CoreConfig::virec(4, 24), &w, &RunOptions::default());
+        let b = run_single(CoreConfig::virec(4, 24), &w, &RunOptions::default());
+        assert_eq!(a.arch_digest, b.arch_digest, "runs are deterministic");
+        // A different kernel must not collide.
+        let w2 = kernels::stream::reduction(128, Layout::for_core(0));
+        let c = run_single(CoreConfig::virec(4, 24), &w2, &RunOptions::default());
+        assert_ne!(a.arch_digest, c.arch_digest);
+    }
+
+    #[test]
+    fn engines_agree_on_arch_digest() {
+        // The digest is over architectural state, so every engine that
+        // verifies against the same golden model must produce the same one.
+        let w = kernels::spatter::gather(256, Layout::for_core(0));
+        let banked = run_single(CoreConfig::banked(4), &w, &RunOptions::default());
+        let virec = run_single(CoreConfig::virec(4, 32), &w, &RunOptions::default());
+        assert_eq!(banked.arch_digest, virec.arch_digest);
     }
 }

@@ -2,7 +2,9 @@
 //! crossbar and DRAM, so memory latency observed by each core grows with
 //! system activity.
 
+use crate::error::{RunDiagnostics, SimError};
 use crate::offload::offload;
+use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
 use virec_core::{Core, CoreConfig, CoreStats};
 use virec_isa::FlatMem;
 use virec_mem::{Fabric, FabricConfig, FabricStats};
@@ -11,6 +13,10 @@ use virec_workloads::{layout, Layout, Workload, WorkloadCtor};
 /// Configuration of a multi-core system. Every core runs the same core
 /// configuration and its own instance of the same workload on a private
 /// slice of memory (the paper's per-processor offload regions).
+///
+/// The system's cycle budget is not configured here: it is derived as the
+/// maximum of the per-core `CoreConfig::max_cycles` values, so a single
+/// knob governs both single-core and system runs.
 #[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
     /// Number of near-memory processors on the crossbar.
@@ -19,8 +25,6 @@ pub struct SystemConfig {
     pub core: CoreConfig,
     /// Shared fabric configuration.
     pub fabric: FabricConfig,
-    /// Abort threshold.
-    pub max_cycles: u64,
 }
 
 /// Result of a system run.
@@ -132,9 +136,27 @@ impl System {
         &self.cores[i]
     }
 
-    /// Runs the system to completion and verifies every core against the
-    /// golden interpreter.
-    pub fn run(&mut self) -> SystemResult {
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The system cycle budget: the most generous per-core budget, since
+    /// the slowest core bounds completion under shared-fabric contention.
+    pub fn cycle_budget(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.config().max_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fallible system run: executes to completion and verifies every core
+    /// against the golden interpreter, returning a typed [`SimError`] on
+    /// budget exhaustion, livelock, or divergence.
+    pub fn try_run(&mut self) -> Result<SystemResult, SimError> {
+        let budget = self.cycle_budget();
+        let mut watchdog = Watchdog::new(DEFAULT_LIVELOCK_CYCLES);
         let mut now = 0u64;
         while !self.cores.iter().all(|c| c.done()) {
             self.fabric.tick(now);
@@ -144,20 +166,78 @@ impl System {
                 }
             }
             now += 1;
-            assert!(now < self.cfg.max_cycles, "system exceeded cycle budget");
+            let committed: u64 = self.cores.iter().map(|c| c.stats().instructions).sum();
+            if let Err(stalled) = watchdog.observe(now, committed) {
+                return Err(SimError::Livelock {
+                    stalled_cycles: stalled,
+                    dump: self.debug_dump(),
+                    diag: self.capture_diag(now),
+                });
+            }
+            if now >= budget {
+                return Err(SimError::CycleBudgetExceeded {
+                    budget,
+                    diag: self.capture_diag(now),
+                });
+            }
         }
         for core in &mut self.cores {
             core.finalize_stats();
             core.drain(&mut self.mem);
         }
         for (core, w) in self.cores.iter().zip(&self.workloads) {
-            crate::runner::verify_against_golden(w, core.config().nthreads, core, &self.mem);
+            crate::runner::try_verify_against_golden(
+                w,
+                core.config().nthreads,
+                core,
+                &self.mem,
+                now,
+            )?;
         }
-        SystemResult {
+        Ok(SystemResult {
             cycles: now,
             per_core: self.cores.iter().map(|c| *c.stats()).collect(),
             fabric: *self.fabric.stats(),
+        })
+    }
+
+    /// Runs the system to completion and verifies every core against the
+    /// golden interpreter.
+    ///
+    /// # Panics
+    /// Panics with the [`SimError`] display on any failure; use
+    /// [`System::try_run`] to handle failures structurally.
+    pub fn run(&mut self) -> SystemResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Diagnostics for the most-stuck core: the first core that has not
+    /// finished (or core 0 if all finished), labelled with its workload.
+    fn capture_diag(&self, now: u64) -> Box<RunDiagnostics> {
+        let i = self
+            .cores
+            .iter()
+            .position(|c| !c.done())
+            .unwrap_or_default();
+        RunDiagnostics::capture(self.workloads[i].name, &self.cores[i], now)
+    }
+
+    /// Concatenated per-core pipeline dumps for every unfinished core.
+    fn debug_dump(&self) -> String {
+        let mut s = String::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            if !core.done() {
+                s.push_str(&format!(
+                    "--- core {i} ({}) ---\n{}",
+                    self.workloads[i].name,
+                    core.debug_dump()
+                ));
+            }
         }
+        if s.is_empty() {
+            s.push_str("(all cores report done)");
+        }
+        s
     }
 }
 
@@ -171,7 +251,6 @@ mod tests {
             ncores,
             core,
             fabric: FabricConfig::default(),
-            max_cycles: 200_000_000,
         }
     }
 
@@ -225,6 +304,40 @@ mod tests {
         assert!(r.per_core[1].instructions > 1000);
         // The ViReC core ran 8 threads, the banked core 4.
         assert!(r.per_core[1].context_switches > r.per_core[0].context_switches / 4);
+    }
+
+    #[test]
+    fn budget_derives_from_core_configs_and_is_typed() {
+        let mut core = CoreConfig::banked(4);
+        core.max_cycles = 3_000; // far too small for 512 elements
+        let cfg = sys_cfg(2, core);
+        let mut sys = System::new(cfg, kernels::spatter::gather, 512);
+        assert_eq!(sys.cycle_budget(), 3_000);
+        let err = sys.try_run().unwrap_err();
+        match &err {
+            SimError::CycleBudgetExceeded { budget, diag } => {
+                assert_eq!(*budget, 3_000);
+                assert!(!diag.workload.is_empty());
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heterogeneous_budget_takes_the_max() {
+        let mut small = CoreConfig::banked(2);
+        small.max_cycles = 1_000;
+        let big = CoreConfig::virec(4, 32); // preset budget 200M
+        let cfg = sys_cfg(2, small);
+        let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![
+            (kernels::spatter::gather, 64),
+            (kernels::spatter::gather, 64),
+        ];
+        let mut sys = System::new_heterogeneous(cfg, &[small, big], &specs);
+        assert_eq!(sys.cycle_budget(), big.max_cycles);
+        // The generous budget lets both cores finish despite `small`'s cap.
+        let r = sys.try_run().expect("system completes under max budget");
+        assert!(r.cycles > 0);
     }
 
     #[test]

@@ -22,11 +22,12 @@ fn main() {
     for ncores in [1usize, 2, 4, 8] {
         let mut ipc = Vec::new();
         for threads in [8usize, 10] {
+            let mut core = CoreConfig::virec(threads, 64);
+            core.max_cycles = 2_000_000_000;
             let cfg = SystemConfig {
                 ncores,
-                core: CoreConfig::virec(threads, 64),
+                core,
                 fabric: FabricConfig::default(),
-                max_cycles: 2_000_000_000,
             };
             let r = System::new(cfg, kernels::spatter::gather, n).run();
             ipc.push(r.mean_core_ipc());

@@ -11,7 +11,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use virec::area::AreaModel;
 use virec::core::{CoreConfig, EngineKind, PolicyKind};
-use virec::sim::runner::{run_prefetch_exact, run_single, RunOptions};
+use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
+use virec::sim::{run_campaign, FaultSite, InjectionOutcome};
 use virec::workloads::{by_name, suite_names, Layout};
 
 fn usage() -> ExitCode {
@@ -20,10 +21,12 @@ fn usage() -> ExitCode {
 
 USAGE:
     virec-cli list
-    virec-cli run  --workload <name> [--n <elems>] [--engine <e>]
-                   [--threads <t>] [--regs <r>] [--policy <p>] [--no-verify]
-                   [--group-evict <g>] [--switch-prefetch]
-    virec-cli area [--threads <t>] [--regs <r>]
+    virec-cli run      --workload <name> [--n <elems>] [--engine <e>]
+                       [--threads <t>] [--regs <r>] [--policy <p>] [--no-verify]
+                       [--group-evict <g>] [--switch-prefetch] [--max-cycles <c>]
+    virec-cli campaign [--workload <name>] [--n <elems>] [--engine virec|banked]
+                       [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
+    virec-cli area     [--threads <t>] [--regs <r>]
 
 ENGINES:  virec (default) | banked | software | prefetch_full | prefetch_exact | nsf
 POLICIES: lrc (default) | mrt-plru | plru | lru | mrt-lru | fifo | random"
@@ -118,20 +121,36 @@ fn cmd_run(flags: HashMap<String, String>) -> ExitCode {
     if get("switch-prefetch").is_some() {
         cfg.switch_prefetch = true;
     }
+    if let Some(c) = get("max-cycles") {
+        let Ok(c) = c.parse() else {
+            eprintln!("error: invalid --max-cycles");
+            return ExitCode::from(2);
+        };
+        cfg.max_cycles = c;
+    }
     let opts = RunOptions {
         verify: get("no-verify").is_none(),
         ..RunOptions::default()
     };
 
     let result = if cfg.engine == EngineKind::PrefetchExact {
-        run_prefetch_exact(
+        try_run_prefetch_exact(
             threads,
             workload.active_context_size(),
             &workload,
             opts.fabric,
         )
     } else {
-        run_single(cfg, &workload, &opts)
+        try_run_single(cfg, &workload, &opts)
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            // One structured line: machine-greppable kind, then the full
+            // error (which carries the diagnostics summary).
+            eprintln!("error[{}]: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
     };
 
     println!("workload          : {} (n={n})", workload.name);
@@ -141,6 +160,63 @@ fn cmd_run(flags: HashMap<String, String>) -> ExitCode {
     );
     print!("{}", result.stats.report());
     ExitCode::SUCCESS
+}
+
+fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let wname = get("workload").unwrap_or("gather");
+    let n: u64 = get("n").map_or(Ok(1024), str::parse).unwrap_or(0);
+    let threads: usize = get("threads").map_or(Ok(4), str::parse).unwrap_or(0);
+    let faults: usize = get("faults").map_or(Ok(64), str::parse).unwrap_or(0);
+    let seed: u64 = get("seed").map_or(Ok(0xF00D_5EED), str::parse).unwrap_or(0);
+    if n == 0 || threads == 0 || faults == 0 || seed == 0 {
+        eprintln!("error: invalid --n, --threads, --faults or --seed");
+        return ExitCode::from(2);
+    }
+    let Some(workload) = by_name(wname, n, Layout::for_core(0)) else {
+        eprintln!("error: unknown workload {wname:?}; see `virec-cli list`");
+        return ExitCode::from(2);
+    };
+    let regs: usize = get("regs")
+        .map_or(
+            Ok((threads * workload.active_context_size()).max(12)),
+            |s| s.parse(),
+        )
+        .unwrap_or(0);
+    let engine = get("engine").unwrap_or("virec");
+    let (cfg, sites) = match engine {
+        "virec" => (CoreConfig::virec(threads, regs), &FaultSite::ALL[..]),
+        "banked" => (CoreConfig::banked(threads), &FaultSite::NON_VRMU[..]),
+        other => {
+            eprintln!("error: campaign supports virec|banked, not {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Crashed outcomes unwind through a panic; keep the report as the
+    // only output.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_campaign(cfg, &workload, faults, seed, sites)
+    }));
+    std::panic::set_hook(prev);
+    let Ok(report) = report else {
+        eprintln!("error[campaign]: the clean reference run failed");
+        return ExitCode::FAILURE;
+    };
+    println!("{}", report.summary());
+    for rec in &report.records {
+        if rec.outcome == InjectionOutcome::Silent {
+            println!("  SILENT escape: seed {} faults {:?}", rec.seed, rec.faults);
+        }
+    }
+    if report.all_detected() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error[silent_fault]: an effectful fault escaped every checker");
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_area(flags: HashMap<String, String>) -> ExitCode {
@@ -198,6 +274,13 @@ fn main() -> ExitCode {
         }
         "run" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_run(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "campaign" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_campaign(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

@@ -25,11 +25,12 @@ fn identical_runs_are_bit_identical() {
 #[test]
 fn system_runs_are_deterministic_and_verified() {
     let build = || {
+        let mut core = CoreConfig::virec(4, 32);
+        core.max_cycles = 500_000_000; // system budget derives from the cores
         let cfg = SystemConfig {
             ncores: 4,
-            core: CoreConfig::virec(4, 32),
+            core,
             fabric: FabricConfig::default(),
-            max_cycles: 500_000_000,
         };
         System::new(cfg, kernels::spatter::gather, 512).run()
     };
@@ -45,11 +46,12 @@ fn system_runs_are_deterministic_and_verified() {
 #[test]
 fn eight_core_system_with_ten_threads_verifies() {
     // The largest configuration of Figure 11 (shrunk problem size).
+    let mut core = CoreConfig::virec(10, 64);
+    core.max_cycles = 1_000_000_000;
     let cfg = SystemConfig {
         ncores: 8,
-        core: CoreConfig::virec(10, 64),
+        core,
         fabric: FabricConfig::default(),
-        max_cycles: 1_000_000_000,
     };
     let r = System::new(cfg, kernels::spatter::gather, 256).run();
     assert_eq!(r.per_core.len(), 8);

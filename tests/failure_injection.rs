@@ -1,13 +1,24 @@
 //! Failure injection: the verification machinery must *fail* when state is
 //! corrupted — otherwise the hundreds of green differential tests would
 //! prove nothing.
+//!
+//! The first half corrupts drained state by hand and expects the golden
+//! checker to panic (through the thin `verify_against_golden` wrapper).
+//! The second half drives the deterministic [`virec::sim::FaultPlan`]
+//! machinery: seeded mid-run corruption of VRMU tag-store entries and
+//! rollback-queue slots, a stuck-fill livelock, and the graceful-sweep
+//! harness that turns failures into structured rows.
 
 use virec::core::{CoreConfig, RegRegion};
-use virec::isa::{reg::names::X4, FlatMem};
+use virec::isa::{reg::names::X4, FlatMem, Instr, Program};
 use virec::mem::{Fabric, FabricConfig};
 use virec::sim::offload::offload;
-use virec::sim::runner::verify_against_golden;
-use virec::workloads::{kernels, Layout};
+use virec::sim::runner::{
+    try_run_single, try_verify_against_golden, verify_against_golden, RunOptions,
+};
+use virec::sim::{run_campaign, FaultEvent, FaultPlan, FaultSite, InjectionOutcome, SimError};
+use virec::workloads::{kernels, Layout, Workload};
+use virec_bench::harness::{run_cell, Cell, SweepLog};
 
 /// Runs gather to completion and returns (core, mem) without verification.
 fn run_unverified(cfg: CoreConfig, n: u64) -> (virec::core::Core, FlatMem) {
@@ -68,4 +79,170 @@ fn wrong_thread_count_is_detected() {
     let (core, mem) = run_unverified(CoreConfig::virec(4, 32), 256);
     let w = kernels::spatter::gather(256, Layout::for_core(0));
     verify_against_golden(&w, 3, &core, &mem);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded FaultPlan campaigns: deterministic mid-run corruption of live
+// microarchitectural state, classified against the golden checker and the
+// clean run's architectural digest.
+// ---------------------------------------------------------------------------
+
+fn gather() -> Workload {
+    kernels::spatter::gather(256, Layout::for_core(0))
+}
+
+#[test]
+fn tag_store_campaign_has_no_silent_escapes() {
+    let w = gather();
+    let report = run_campaign(
+        CoreConfig::virec(4, 32),
+        &w,
+        24,
+        0xBEEF_0001,
+        &[FaultSite::TagValue],
+    );
+    assert!(report.all_detected(), "silent escape: {}", report.summary());
+    let caught = report.count(InjectionOutcome::Detected) + report.count(InjectionOutcome::Crashed);
+    assert!(
+        caught >= 1,
+        "no tag-store fault ever landed: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn rollback_queue_campaign_has_no_silent_escapes() {
+    let w = gather();
+    let report = run_campaign(
+        CoreConfig::virec(4, 32),
+        &w,
+        24,
+        0xBEEF_0002,
+        &[FaultSite::RollbackSlot],
+    );
+    assert!(report.all_detected(), "silent escape: {}", report.summary());
+}
+
+#[test]
+fn banked_campaign_has_no_silent_escapes() {
+    let w = gather();
+    let report = run_campaign(
+        CoreConfig::banked(4),
+        &w,
+        24,
+        0xBEEF_0003,
+        &FaultSite::NON_VRMU,
+    );
+    assert!(report.all_detected(), "silent escape: {}", report.summary());
+    let caught = report.count(InjectionOutcome::Detected) + report.count(InjectionOutcome::Crashed);
+    assert!(caught >= 1, "no fault ever landed: {}", report.summary());
+}
+
+#[test]
+fn stuck_fill_surfaces_as_livelock() {
+    // A lost BSI fill leaves a tag-store entry unreadable and unevictable:
+    // the owning thread can never decode past it, commits stop, and the
+    // watchdog must flag a livelock (not a budget overrun) with a dump.
+    let w = gather();
+    let opts = RunOptions {
+        livelock_cycles: 20_000,
+        faults: FaultPlan::single(FaultEvent {
+            cycle: 2_000,
+            site: FaultSite::StuckFill,
+            index: 0,
+            bit: 0,
+        }),
+        ..RunOptions::default()
+    };
+    match try_run_single(CoreConfig::virec(4, 32), &w, &opts) {
+        Err(SimError::FaultDetected { faults, cause, .. }) => {
+            assert!(!faults.is_empty());
+            match *cause {
+                SimError::Livelock {
+                    stalled_cycles,
+                    ref dump,
+                    ..
+                } => {
+                    assert!(stalled_cycles >= 20_000);
+                    assert!(!dump.is_empty(), "livelock must dump pipeline state");
+                }
+                ref other => panic!("expected livelock, got {other}"),
+            }
+        }
+        Err(other) => panic!("expected a detected fault, got {other}"),
+        Ok(_) => panic!("a stuck fill must not complete"),
+    }
+}
+
+#[test]
+fn golden_run_stuck_is_typed() {
+    // A golden interpreter that never halts must surface as a typed
+    // GoldenRunStuck at the derived step cap, not spin forever.
+    let (core, mem) = run_unverified(CoreConfig::virec(4, 32), 256);
+    let w = gather();
+    let spin = Workload::from_parts(
+        "spin",
+        1,
+        w.layout,
+        Program::new("spin", vec![Instr::B { target: 0 }]),
+        Box::new(|_| {}),
+        Box::new(|_, _| Vec::new()),
+    );
+    match try_verify_against_golden(&spin, 4, &core, &mem, core.stats().cycles) {
+        Err(SimError::GoldenRunStuck {
+            thread, step_cap, ..
+        }) => {
+            assert_eq!(thread, 0);
+            assert!(step_cap >= 100_000);
+        }
+        other => panic!("expected GoldenRunStuck, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful sweeps: one failing configuration becomes a structured row and
+// its siblings still complete.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sweep_continues_past_a_failing_config() {
+    let w = gather();
+    let opts = RunOptions::default();
+    let mut log = SweepLog::new();
+
+    // A config whose budget is hopeless even after the relaxed retry.
+    let mut starved = CoreConfig::virec(4, 32);
+    starved.max_cycles = 100;
+    let failed = log.cell("starved", starved, &w, &opts);
+    match failed {
+        Cell::Failed { kind, retried, .. } => {
+            assert_eq!(kind, "cycle_budget");
+            assert!(retried, "budget failures are retried once before failing");
+        }
+        Cell::Done(_) => panic!("a 100-cycle budget cannot complete gather"),
+    }
+
+    // Its sibling still runs and verifies.
+    let ok = log.cell("healthy", CoreConfig::virec(4, 32), &w, &opts);
+    assert!(
+        ok.done().is_some(),
+        "the sweep must continue past a failure"
+    );
+    assert_eq!(log.failed(), 1);
+    assert!(!log.all_ok());
+}
+
+#[test]
+fn budget_retry_rescues_a_slow_config() {
+    // A budget that is too small by less than RETRY_BUDGET_FACTOR must be
+    // rescued by the single relaxed retry and report success.
+    let w = gather();
+    let clean = try_run_single(CoreConfig::virec(4, 32), &w, &RunOptions::default())
+        .expect("clean gather completes");
+    let mut tight = CoreConfig::virec(4, 32);
+    tight.max_cycles = clean.cycles - 1; // fails; 4x relaxation succeeds
+    match run_cell(tight, &w, &RunOptions::default()) {
+        Cell::Done(r) => assert_eq!(r.cycles, clean.cycles),
+        Cell::Failed { error, .. } => panic!("retry should have rescued the run: {error}"),
+    }
 }
