@@ -7,59 +7,70 @@
 //! * `blocking_bsi` — one backing-store request at a time;
 //! * `no_branchpred`— static not-taken only;
 //! * `nsf`          — all of the above plus PLRU (the NSF baseline \[41\]).
+//!
+//! The workloads × variants grid runs as one declarative sweep; relative
+//! performance is computed against each workload's `full` cell, so a
+//! failed variant degrades to `-` without losing the row.
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
-use virec_sim::report::{f3, geomean, Table};
-use virec_workloads::suite;
+use virec_sim::experiment::{builder, ExperimentSpec};
+use virec_sim::report::Table;
+use virec_sim::runner::RunOptions;
+use virec_workloads::SUITE;
 
 /// A named configuration mutation.
-type Variant = (&'static str, Box<dyn Fn(CoreConfig) -> CoreConfig>);
+type Variant = (&'static str, fn(CoreConfig) -> CoreConfig);
+
+/// Named configuration mutations, in column order (`full` first: it is the
+/// normalization baseline).
+const VARIANTS: &[Variant] = &[
+    ("full", |c| c),
+    ("no_dummy", |mut c| {
+        c.dummy_fill_opt = false;
+        c
+    }),
+    ("no_pinning", |mut c| {
+        c.reg_line_pinning = false;
+        c
+    }),
+    ("blocking_bsi", |mut c| {
+        c.nonblocking_bsi = false;
+        c
+    }),
+    ("no_branchpred", |mut c| {
+        c.branch_pred = false;
+        c
+    }),
+    ("nsf", |mut c| {
+        c.dummy_fill_opt = false;
+        c.reg_line_pinning = false;
+        c.nonblocking_bsi = false;
+        c.policy = PolicyKind::Plru;
+        c
+    }),
+];
 
 fn main() {
     let n = problem_size();
     let threads = 8;
-    let variants: Vec<Variant> = vec![
-        ("full", Box::new(|c| c)),
-        (
-            "no_dummy",
-            Box::new(|mut c: CoreConfig| {
-                c.dummy_fill_opt = false;
-                c
-            }),
-        ),
-        (
-            "no_pinning",
-            Box::new(|mut c: CoreConfig| {
-                c.reg_line_pinning = false;
-                c
-            }),
-        ),
-        (
-            "blocking_bsi",
-            Box::new(|mut c: CoreConfig| {
-                c.nonblocking_bsi = false;
-                c
-            }),
-        ),
-        (
-            "no_branchpred",
-            Box::new(|mut c: CoreConfig| {
-                c.branch_pred = false;
-                c
-            }),
-        ),
-        (
-            "nsf",
-            Box::new(|mut c: CoreConfig| {
-                c.dummy_fill_opt = false;
-                c.reg_line_pinning = false;
-                c.nonblocking_bsi = false;
-                c.policy = PolicyKind::Plru;
-                c
-            }),
-        ),
-    ];
+    let opts = RunOptions::default();
+
+    let mut spec = ExperimentSpec::new("ablation_virec_opts");
+    for (name, ctor) in SUITE {
+        let w = ctor(n, layout0());
+        let build = builder(*ctor, n, layout0());
+        let base_cfg = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
+        for (vname, mutate) in VARIANTS {
+            spec.single(
+                format!("{name}/{vname}"),
+                build.clone(),
+                mutate(base_cfg),
+                &opts,
+            );
+        }
+    }
+    let res = run_spec(&spec);
 
     let mut t = Table::new(
         &format!("Ablation — ViReC optimizations, 8 threads, 80% ctx, n={n}"),
@@ -73,28 +84,26 @@ fn main() {
             "nsf",
         ],
     );
-    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for w in suite(n, layout0()) {
-        let base_cfg = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
-        let full_cycles = run(base_cfg, &w).cycles as f64;
-        let mut cells = vec![w.name.to_string()];
-        for (vi, (_, f)) in variants.iter().enumerate() {
-            let cfg = f(base_cfg);
-            let r = run(cfg, &w);
-            let relative = full_cycles / r.cycles as f64; // <1 = slower than full
-            per_variant[vi].push(relative);
-            cells.push(f3(relative));
+    let mut rel = RelTracker::new();
+    for (name, _) in SUITE {
+        let full = res.cycles(&format!("{name}/full"));
+        let mut cells = vec![name.to_string()];
+        for (vname, _) in VARIANTS {
+            let cycles = res.cycles(&format!("{name}/{vname}"));
+            // <1 = slower than full ViReC
+            cells.push(rel.rel_cell(vname, full, cycles));
         }
         t.row(cells);
     }
     t.print();
 
     let mut m = Table::new(
-        "Ablation — geomean performance relative to full ViReC",
+        "Ablation — geomean performance relative to full ViReC (completed runs only)",
         &["variant", "geomean"],
     );
-    for (vi, (name, _)) in variants.iter().enumerate() {
-        m.row(vec![name.to_string(), f3(geomean(&per_variant[vi]))]);
+    for (vname, _) in VARIANTS {
+        m.row(vec![vname.to_string(), rel.geomean_cell(vname)]);
     }
     m.print();
+    res.print_failures();
 }

@@ -1,16 +1,72 @@
 //! Extensions beyond the paper (its stated future work, §8): group
 //! evictions and a prefetch+caching hybrid, evaluated against baseline
 //! ViReC at 8 threads across context sizes.
+//!
+//! The fracs × workloads × variants grid runs as one declarative sweep;
+//! speedups are relative to each workload's baseline cell, so a failed
+//! variant degrades to `-` without losing the row.
 
 use virec_bench::harness::*;
-use virec_core::PolicyKind;
-use virec_sim::report::{f3, geomean, Table};
-use virec_workloads::suite;
+use virec_core::{CoreConfig, PolicyKind};
+use virec_sim::experiment::{builder, ExperimentSpec};
+use virec_sim::report::Table;
+use virec_sim::runner::RunOptions;
+use virec_workloads::SUITE;
+
+/// A named configuration mutation.
+type Variant = (&'static str, fn(CoreConfig) -> CoreConfig);
+
+const VARIANTS: &[Variant] = &[
+    ("group_evict2", |mut c| {
+        c.group_evict = 2;
+        c
+    }),
+    ("group_evict4", |mut c| {
+        c.group_evict = 4;
+        c
+    }),
+    ("switch_prefetch", |mut c| {
+        c.switch_prefetch = true;
+        c
+    }),
+    ("both", |mut c| {
+        c.group_evict = 2;
+        c.switch_prefetch = true;
+        c
+    }),
+];
+
+const FRACS: [f64; 2] = [0.8, 0.4];
+
+fn key(name: &str, frac: f64, variant: &str) -> String {
+    format!("{}/{:.0}%/{}", name, frac * 100.0, variant)
+}
 
 fn main() {
     let n = problem_size();
     let threads = 8;
-    for frac in [0.8f64, 0.4] {
+    let opts = RunOptions::default();
+
+    let mut spec = ExperimentSpec::new("ext_future_work");
+    for frac in FRACS {
+        for (name, ctor) in SUITE {
+            let w = ctor(n, layout0());
+            let build = builder(*ctor, n, layout0());
+            let base_cfg = virec_cfg(&w, threads, frac, PolicyKind::Lrc);
+            spec.single(key(name, frac, "baseline"), build.clone(), base_cfg, &opts);
+            for (vname, mutate) in VARIANTS {
+                spec.single(
+                    key(name, frac, vname),
+                    build.clone(),
+                    mutate(base_cfg),
+                    &opts,
+                );
+            }
+        }
+    }
+    let res = run_spec(&spec);
+
+    for frac in FRACS {
         let mut t = Table::new(
             &format!(
                 "Future-work extensions — 8 threads, {:.0}% context, n={n}",
@@ -25,56 +81,29 @@ fn main() {
                 "both",
             ],
         );
-        let mut rel = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for w in suite(n, layout0()) {
-            let base_cfg = virec_cfg(&w, threads, frac, PolicyKind::Lrc);
-            let base = run(base_cfg, &w).cycles as f64;
-            let mut row = vec![w.name.to_string(), format!("{}", base as u64)];
-            let variants = [
-                {
-                    let mut c = base_cfg;
-                    c.group_evict = 2;
-                    c
-                },
-                {
-                    let mut c = base_cfg;
-                    c.group_evict = 4;
-                    c
-                },
-                {
-                    let mut c = base_cfg;
-                    c.switch_prefetch = true;
-                    c
-                },
-                {
-                    let mut c = base_cfg;
-                    c.group_evict = 2;
-                    c.switch_prefetch = true;
-                    c
-                },
-            ];
-            for (i, cfg) in variants.into_iter().enumerate() {
-                let r = run(cfg, &w);
-                let speedup = base / r.cycles as f64;
-                rel[i].push(speedup);
-                row.push(f3(speedup));
+        let mut rel = RelTracker::new();
+        for (name, _) in SUITE {
+            let base = res.cycles(&key(name, frac, "baseline"));
+            let mut row = vec![name.to_string(), cycles_cell(base)];
+            for (vname, _) in VARIANTS {
+                let cycles = res.cycles(&key(name, frac, vname));
+                row.push(rel.rel_cell(vname, base, cycles));
             }
             t.row(row);
         }
         t.print();
+
         let mut m = Table::new(
             &format!(
-                "Future-work extensions — geomean speedup at {:.0}% context",
+                "Future-work extensions — geomean speedup at {:.0}% context (completed runs only)",
                 frac * 100.0
             ),
             &["variant", "geomean_speedup"],
         );
-        for (name, v) in ["group_evict2", "group_evict4", "switch_prefetch", "both"]
-            .iter()
-            .zip(&rel)
-        {
-            m.row(vec![name.to_string(), f3(geomean(v))]);
+        for (vname, _) in VARIANTS {
+            m.row(vec![vname.to_string(), rel.geomean_cell(vname)]);
         }
         m.print();
     }
+    res.print_failures();
 }

@@ -6,15 +6,51 @@
 //! overhead (< 0.1% in their experiments — higher here since our synthetic
 //! outer loops run more often) in exchange for a smaller context that the
 //! ViReC RF no longer needs to track.
+//!
+//! Each kernel contributes a base and a reduced cell (the reduced builder
+//! applies the rewrite inside the worker); a failed half degrades that
+//! column to `-`.
+
+use std::sync::Arc;
 
 use virec_bench::harness::*;
 use virec_core::PolicyKind;
-use virec_sim::report::{f3, pct, Table};
-use virec_workloads::{kernels, reduce_workload};
+use virec_sim::experiment::{builder, ExperimentSpec, WorkloadBuilder};
+use virec_sim::report::{pct, Table};
+use virec_sim::runner::RunOptions;
+use virec_workloads::{kernels, reduce_workload, WorkloadCtor};
+
+const KERNELS: &[WorkloadCtor] = &[kernels::sparse::spmv, kernels::meabo::meabo];
 
 fn main() {
     let n = problem_size().min(4096);
     let threads = 8;
+    let opts = RunOptions::default();
+
+    let mut spec = ExperimentSpec::new("ext_register_reduction");
+    let mut rows = Vec::new();
+    for &ctor in KERNELS {
+        let base_w = ctor(n, layout0());
+        let (_, demoted) = reduce_workload(ctor(n, layout0()));
+        if demoted.is_empty() {
+            continue;
+        }
+        let name = base_w.name.to_string();
+        // Same physical RF size: the reduced kernel simply stops competing
+        // for RF space with cold outer registers.
+        let cfg = virec_cfg(&base_w, threads, 0.4, PolicyKind::Lrc);
+        spec.single(
+            format!("{name}/base"),
+            builder(ctor, n, layout0()),
+            cfg,
+            &opts,
+        );
+        let reduced: WorkloadBuilder = Arc::new(move || reduce_workload(ctor(n, layout0())).0);
+        spec.single(format!("{name}/reduced"), reduced, cfg, &opts);
+        rows.push((name, demoted.len()));
+    }
+    let res = run_spec(&spec);
+
     let mut t = Table::new(
         &format!("Register reduction (§4.2) — 8 threads, 40% context, n={n}"),
         &[
@@ -28,28 +64,31 @@ fn main() {
             "reduced_hit",
         ],
     );
-    for ctor in [kernels::sparse::spmv, kernels::meabo::meabo] {
-        let base_w = ctor(n, layout0());
-        let (red_w, demoted) = reduce_workload(ctor(n, layout0()));
-        if demoted.is_empty() {
-            continue;
-        }
-        let cfg = virec_cfg(&base_w, threads, 0.4, PolicyKind::Lrc);
-        let base = run(cfg, &base_w);
-        // Same physical RF size: the reduced kernel simply stops competing
-        // for RF space with cold outer registers.
-        let red = run(cfg, &red_w);
-        let overhead = red.stats.instructions as f64 / base.stats.instructions as f64 - 1.0;
+    for (name, demoted) in rows {
+        let base = res.run(&format!("{name}/base"));
+        let red = res.run(&format!("{name}/reduced"));
+        let hit = |r: Option<&virec_sim::RunResult>| {
+            r.map(|r| pct(r.stats.rf_hit_rate()))
+                .unwrap_or_else(|| "-".into())
+        };
+        let (overhead, speedup) = match (base, red) {
+            (Some(b), Some(r)) => (
+                pct(r.stats.instructions as f64 / b.stats.instructions as f64 - 1.0),
+                opt_f3(Some(b.cycles as f64 / r.cycles as f64)),
+            ),
+            _ => ("-".into(), "-".into()),
+        };
         t.row(vec![
-            base_w.name.to_string(),
-            demoted.len().to_string(),
-            pct(overhead),
-            base.cycles.to_string(),
-            red.cycles.to_string(),
-            f3(base.cycles as f64 / red.cycles as f64),
-            pct(base.stats.rf_hit_rate()),
-            pct(red.stats.rf_hit_rate()),
+            name.clone(),
+            demoted.to_string(),
+            overhead,
+            cycles_cell(base.map(|r| r.cycles)),
+            cycles_cell(red.map(|r| r.cycles)),
+            speedup,
+            hit(base),
+            hit(red),
         ]);
     }
     t.print();
+    res.print_failures();
 }

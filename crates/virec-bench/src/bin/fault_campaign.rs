@@ -7,18 +7,23 @@
 //! that exist without a VRMU), classifying every run against the golden
 //! interpreter and the clean run's architectural digest.
 //!
-//! Exit status is nonzero if any effectful fault escaped detection
-//! (a `SILENT` outcome) — that is a checker bug, not a simulator bug.
+//! Each engine's campaign is one custom cell; the outcome counts land in
+//! the `results/` JSON while the full per-injection records flow through
+//! a side channel for the SILENT-escape listing. Exit status is nonzero
+//! if any effectful fault escaped detection (a `SILENT` outcome) — that
+//! is a checker bug, not a simulator bug.
 //!
 //! ```sh
 //! cargo run --release -p virec-bench --bin fault_campaign
 //! VIREC_FAULTS=256 VIREC_N=2048 cargo run --release -p virec-bench --bin fault_campaign
 //! ```
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use virec_bench::harness::*;
 use virec_core::CoreConfig;
+use virec_sim::experiment::{CellData, ExperimentSpec};
 use virec_sim::report::{pct, Table};
 use virec_sim::{run_campaign, CampaignReport, FaultSite, InjectionOutcome};
 use virec_workloads::kernels;
@@ -40,34 +45,51 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xF00D_5EED);
-    let w = kernels::spatter::gather(n, layout0());
 
-    // Crashed outcomes unwind through a panic; silence the default hook so
-    // the report is the only output, and restore it afterwards.
-    let quiet = |cfg: CoreConfig, sites: &[FaultSite]| -> Option<CampaignReport> {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let report = catch_unwind(AssertUnwindSafe(|| {
-            run_campaign(cfg, &w, injections, base_seed, sites)
-        }));
-        std::panic::set_hook(prev);
-        report.ok()
-    };
+    // The executor already converts panics (a clean reference run failing)
+    // into structured failure rows; the full reports travel through this
+    // side channel so the SILENT-escape listing can show per-record detail.
+    let reports: Arc<Mutex<BTreeMap<String, CampaignReport>>> = Default::default();
+
+    let mut spec = ExperimentSpec::new("fault_campaign");
+    for (key, cfg, sites) in [
+        ("virec", CoreConfig::virec(4, 32), &FaultSite::ALL[..]),
+        ("banked", CoreConfig::banked(4), &FaultSite::NON_VRMU[..]),
+    ] {
+        let reports = Arc::clone(&reports);
+        spec.custom(key, move || {
+            let w = kernels::spatter::gather(n, layout0());
+            let r = run_campaign(cfg, &w, injections, base_seed, sites);
+            let data = CellData::metrics([
+                ("injections", r.records.len() as f64),
+                ("detected", r.count(InjectionOutcome::Detected) as f64),
+                ("crashed", r.count(InjectionOutcome::Crashed) as f64),
+                ("masked", r.count(InjectionOutcome::Masked) as f64),
+                ("not_applied", r.count(InjectionOutcome::NotApplied) as f64),
+                ("silent", r.count(InjectionOutcome::Silent) as f64),
+                ("detection_rate", r.detection_rate()),
+                ("clean_cycles", r.clean_cycles as f64),
+            ]);
+            reports.lock().unwrap().insert(key.to_string(), r);
+            Ok(data)
+        });
+    }
+
+    // Crashed outcomes unwind through a panic inside the campaign; silence
+    // the default hook so the report is the only output, and restore it
+    // afterwards.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let res = run_spec(&spec);
+    std::panic::set_hook(prev);
 
     println!("fault campaign: gather n={n}, {injections} injections per engine\n");
-    let mut reports = Vec::new();
-    for (cfg, sites) in [
-        (CoreConfig::virec(4, 32), &FaultSite::ALL[..]),
-        (CoreConfig::banked(4), &FaultSite::NON_VRMU[..]),
-    ] {
-        match quiet(cfg, sites) {
-            Some(r) => reports.push(r),
-            None => {
-                eprintln!("campaign aborted: the clean reference run failed");
-                std::process::exit(1);
-            }
-        }
+    if !res.all_ok() {
+        res.print_failures();
+        eprintln!("campaign aborted: the clean reference run failed");
+        std::process::exit(1);
     }
+    let reports = reports.lock().unwrap();
 
     let mut t = Table::new(
         "Fault-injection campaign — detection by engine",
@@ -83,7 +105,8 @@ fn main() {
             "clean_cycles",
         ],
     );
-    for r in &reports {
+    for key in ["virec", "banked"] {
+        let r = &reports[key];
         t.row(vec![
             r.engine.clone(),
             r.records.len().to_string(),
@@ -99,7 +122,8 @@ fn main() {
     t.print();
 
     let mut escaped = false;
-    for r in &reports {
+    for key in ["virec", "banked"] {
+        let r = &reports[key];
         println!("{}", r.summary());
         for rec in &r.records {
             if rec.outcome == InjectionOutcome::Silent {

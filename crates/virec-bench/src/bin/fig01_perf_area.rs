@@ -10,13 +10,19 @@
 //! and ViReC dominate OoO in performance/area; ViReC-100% matches banked
 //! performance at ~40% less area; ViReC degrades gracefully as the stored
 //! context shrinks.
+//!
+//! All points — including the trace-model OoO host, declared as a custom
+//! cell — run as one declarative grid; only the normalizing in-order run
+//! is fatal to lose.
 
 use virec_area::AreaModel;
 use virec_bench::harness::*;
 use virec_core::ooo::{run_ooo, OooConfig};
 use virec_core::{CoreConfig, PolicyKind};
 use virec_isa::FlatMem;
+use virec_sim::experiment::{builder, CellData, ExperimentSpec};
 use virec_sim::report::{f3, Table};
+use virec_sim::runner::RunOptions;
 use virec_workloads::kernels;
 
 fn main() {
@@ -27,29 +33,17 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(262_144);
     let w = kernels::spatter::gather(n, layout0());
+    let build = builder(kernels::spatter::gather, n, layout0());
+    let opts = RunOptions::default();
     let area = AreaModel::default();
-    let mut t = Table::new(
-        &format!("Figure 1 — performance-area tradeoff, gather n={n}"),
-        &["config", "area_mm2", "cycles", "perf_norm", "perf_per_mm2"],
-    );
 
+    let mut spec = ExperimentSpec::new("fig01_perf_area");
     // Single in-order core: the normalization baseline.
-    let ino = run(CoreConfig::banked(1), &w);
-    let ino_cycles = ino.cycles as f64;
-    let mut push = |name: String, mm2: f64, cycles: f64| {
-        let perf = ino_cycles / cycles;
-        t.row(vec![
-            name,
-            f3(mm2),
-            format!("{}", cycles as u64),
-            f3(perf),
-            f3(perf / mm2),
-        ]);
-    };
-    push("inorder".into(), area.inorder_core(), ino_cycles);
-
+    spec.single("inorder", build.clone(), CoreConfig::banked(1), &opts);
     // OoO host core (trace model, clock-normalized to the 1 GHz domain).
-    {
+    let ooo_build = build.clone();
+    spec.custom("ooo", move || {
+        let w = ooo_build();
         let mut mem = FlatMem::new(0, virec_workloads::layout::mem_size(1));
         w.init_mem(&mut mem);
         let init = w.thread_ctx(0, 1);
@@ -60,29 +54,71 @@ fn main() {
             &init,
             200_000_000,
         );
-        push(
-            "ooo".into(),
-            area.ooo_core(),
+        Ok(CellData::metrics([(
+            "cycles",
             r.nmp_equivalent_cycles as f64,
-        );
-    }
-
+        )]))
+    });
     for threads in [4usize, 8] {
-        let b = run(CoreConfig::banked(threads), &w);
-        push(
+        spec.single(
             format!("banked_{threads}t"),
-            area.banked_core(threads),
-            b.cycles as f64,
+            build.clone(),
+            CoreConfig::banked(threads),
+            &opts,
         );
         for (label, frac) in CTX_FRACTIONS {
-            let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
-            let r = run(cfg, &w);
-            push(
+            spec.single(
                 format!("virec_{threads}t_{label}"),
+                build.clone(),
+                virec_cfg(&w, threads, *frac, PolicyKind::Lrc),
+                &opts,
+            );
+        }
+    }
+    let res = run_spec(&spec);
+
+    // Everything is relative to the in-order point, so its failure is fatal.
+    let Some(ino_cycles) = res.cycles("inorder").map(|c| c as f64) else {
+        res.print_failures();
+        eprintln!("figure 1: the normalizing in-order run failed; aborting");
+        std::process::exit(1);
+    };
+
+    let mut t = Table::new(
+        &format!("Figure 1 — performance-area tradeoff, gather n={n}"),
+        &["config", "area_mm2", "cycles", "perf_norm", "perf_per_mm2"],
+    );
+    let mut push = |key: &str, mm2: f64| match res.cycles(key) {
+        Some(cycles) => {
+            let perf = ino_cycles / cycles as f64;
+            t.row(vec![
+                key.to_string(),
+                f3(mm2),
+                cycles.to_string(),
+                f3(perf),
+                f3(perf / mm2),
+            ]);
+        }
+        None => t.row(vec![
+            key.to_string(),
+            f3(mm2),
+            "FAILED".into(),
+            "-".into(),
+            "-".into(),
+        ]),
+    };
+    push("inorder", area.inorder_core());
+    push("ooo", area.ooo_core());
+    for threads in [4usize, 8] {
+        push(&format!("banked_{threads}t"), area.banked_core(threads));
+        for (label, frac) in CTX_FRACTIONS {
+            let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
+            push(
+                &format!("virec_{threads}t_{label}"),
                 area.virec_core(cfg.phys_regs),
-                r.cycles as f64,
             );
         }
     }
     t.print();
+    res.print_failures();
 }

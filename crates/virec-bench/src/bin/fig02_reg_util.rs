@@ -5,14 +5,49 @@
 //! plus the dynamically-measured mean per-quantum register use from a
 //! recorded banked run. Paper shape: most workloads use well under 30% of
 //! the context in the loops where they spend their runtime.
+//!
+//! The dynamic recording runs as one custom cell per workload; static
+//! analysis happens at render time. A failed recording degrades to `-`.
 
 use virec_bench::harness::*;
+use virec_core::CoreConfig;
+use virec_sim::experiment::{builder, CellData, ExperimentSpec};
 use virec_sim::report::{pct, Table};
-use virec_sim::runner::record_oracle;
-use virec_workloads::suite;
+use virec_sim::runner::{try_run_single, RunOptions};
+use virec_workloads::{suite, SUITE};
 
 fn main() {
     let n = problem_size().min(4096);
+
+    let mut spec = ExperimentSpec::new("fig02_reg_util");
+    for (name, ctor) in SUITE {
+        let build = builder(*ctor, n, layout0());
+        // Dynamic: mean registers touched per scheduling quantum on a
+        // 4-thread banked core, from an oracle-recording run.
+        spec.custom(name.to_string(), move || {
+            let w = build();
+            let opts = RunOptions {
+                verify: false,
+                record_oracle: true,
+                ..RunOptions::default()
+            };
+            let r = try_run_single(CoreConfig::banked(4), &w, &opts)?;
+            let (sum, count) = r
+                .oracle
+                .sets
+                .iter()
+                .flatten()
+                .fold((0u64, 0u64), |(s, c), m| (s + m.count_ones() as u64, c + 1));
+            let mean_q = if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            };
+            Ok(CellData::metrics([("mean_quantum_regs", mean_q)]))
+        });
+    }
+    let res = run_spec(&spec);
+
     let mut t = Table::new(
         &format!("Figure 2 — register utilization, n={n}"),
         &[
@@ -26,27 +61,19 @@ fn main() {
     );
     for w in suite(n, layout0()) {
         let u = w.register_usage();
-        // Dynamic: mean registers touched per scheduling quantum on a
-        // 4-thread banked core.
-        let oracle = record_oracle(&w, 4, Default::default());
-        let (sum, count) = oracle
-            .sets
-            .iter()
-            .flatten()
-            .fold((0u64, 0u64), |(s, c), m| (s + m.count_ones() as u64, c + 1));
-        let mean_q = if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
-        };
+        let mean_q = res
+            .metric(w.name, "mean_quantum_regs")
+            .map(|m| format!("{m:.1}"))
+            .unwrap_or_else(|| "-".into());
         t.row(vec![
             w.name.to_string(),
             u.innermost.len().to_string(),
             u.all_used.len().to_string(),
             pct(u.innermost_utilization()),
-            format!("{mean_q:.1}"),
+            mean_q,
             u.max_depth.to_string(),
         ]);
     }
     t.print();
+    res.print_failures();
 }

@@ -11,21 +11,71 @@
 //! worst; exact prefetch beats ViReC-40% but loses to ViReC-60/80%; ViReC
 //! clearly beats the NSF.
 //!
-//! Failed configurations become structured failure rows (error kind plus
-//! diagnostics) and the sweep continues; the geomean rows only aggregate
-//! the configurations that completed.
+//! The whole grid is declared as one [`ExperimentSpec`] and executed on the
+//! worker pool (`VIREC_JOBS`); failed configurations become structured
+//! failure rows and the geomean rows only aggregate completed runs.
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
-use virec_sim::report::{f3, geomean, Table};
-use virec_sim::runner::{try_run_prefetch_exact, RunOptions};
-use virec_workloads::suite;
+use virec_sim::experiment::{builder, ExperimentSpec};
+use virec_sim::report::Table;
+use virec_sim::runner::RunOptions;
+use virec_workloads::SUITE;
+
+/// Non-baseline configurations, in column order.
+const CONFIGS: &[&str] = &[
+    "virec40", "virec60", "virec80", "nsf80", "pf_full", "pf_exact",
+];
+
+const THREADS: [usize; 3] = [4, 6, 8];
 
 fn main() {
     let n = problem_size();
-    let threads_list = [4usize, 6, 8];
     let opts = RunOptions::default();
-    let mut log = SweepLog::new();
+
+    let mut spec = ExperimentSpec::new("fig09_perf_comparison");
+    for (name, ctor) in SUITE {
+        let w = ctor(n, layout0());
+        let build = builder(*ctor, n, layout0());
+        for &threads in &THREADS {
+            spec.single(
+                format!("{name}/{threads}t/banked"),
+                build.clone(),
+                CoreConfig::banked(threads),
+                &opts,
+            );
+            for (key, frac) in [("virec40", 0.4), ("virec60", 0.6), ("virec80", 0.8)] {
+                spec.single(
+                    format!("{name}/{threads}t/{key}"),
+                    build.clone(),
+                    virec_cfg(&w, threads, frac, PolicyKind::Lrc),
+                    &opts,
+                );
+            }
+            let cfg80 = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
+            spec.single(
+                format!("{name}/{threads}t/nsf80"),
+                build.clone(),
+                CoreConfig::nsf(threads, cfg80.phys_regs),
+                &opts,
+            );
+            spec.single(
+                format!("{name}/{threads}t/pf_full"),
+                build.clone(),
+                CoreConfig::prefetch_full(threads, w.active_context_size()),
+                &opts,
+            );
+            spec.prefetch_exact(
+                format!("{name}/{threads}t/pf_exact"),
+                build.clone(),
+                threads,
+                w.active_context_size(),
+                Default::default(),
+            );
+        }
+    }
+    let res = run_spec(&spec);
+
     let mut t = Table::new(
         &format!("Figure 9 — relative performance vs banked, n={n}"),
         &[
@@ -40,77 +90,14 @@ fn main() {
             "pf_exact",
         ],
     );
-
-    // Collect relative performances for the mean rows.
-    let mut rel: std::collections::HashMap<(&str, usize), Vec<f64>> = Default::default();
-
-    for w in suite(n, layout0()) {
-        for &threads in &threads_list {
-            let banked = log.cell(
-                &format!("{}/{threads}t/banked", w.name),
-                CoreConfig::banked(threads),
-                &w,
-                &opts,
-            );
-            let mut cells = vec![w.name.to_string(), threads.to_string()];
-            let base = match banked.cycles() {
-                Some(c) => {
-                    cells.push(c.to_string());
-                    Some(c as f64)
-                }
-                None => {
-                    cells.push("FAILED".into());
-                    None
-                }
-            };
-            // Records the relative performance of a variant run, or a
-            // failure marker when either side of the ratio is missing.
-            let mut push_rel =
-                |cells: &mut Vec<String>, key: &'static str, cycles: Option<u64>| match (
-                    base, cycles,
-                ) {
-                    (Some(base), Some(c)) => {
-                        let rp = base / c as f64;
-                        rel.entry((key, threads)).or_default().push(rp);
-                        cells.push(f3(rp));
-                    }
-                    _ => cells.push("-".into()),
-                };
-            for (key, frac) in [("virec40", 0.4), ("virec60", 0.6), ("virec80", 0.8)] {
-                let cfg = virec_cfg(&w, threads, frac, PolicyKind::Lrc);
-                let r = log.cell(&format!("{}/{threads}t/{key}", w.name), cfg, &w, &opts);
-                push_rel(&mut cells, key, r.cycles());
-            }
-            {
-                let cfg80 = virec_cfg(&w, threads, 0.8, PolicyKind::Lrc);
-                let nsf = log.cell(
-                    &format!("{}/{threads}t/nsf80", w.name),
-                    CoreConfig::nsf(threads, cfg80.phys_regs),
-                    &w,
-                    &opts,
-                );
-                push_rel(&mut cells, "nsf80", nsf.cycles());
-            }
-            {
-                let pf = log.cell(
-                    &format!("{}/{threads}t/pf_full", w.name),
-                    CoreConfig::prefetch_full(threads, w.active_context_size()),
-                    &w,
-                    &opts,
-                );
-                push_rel(&mut cells, "pf_full", pf.cycles());
-            }
-            {
-                let pe = log.cell_from(
-                    &format!("{}/{threads}t/pf_exact", w.name),
-                    try_run_prefetch_exact(
-                        threads,
-                        w.active_context_size(),
-                        &w,
-                        Default::default(),
-                    ),
-                );
-                push_rel(&mut cells, "pf_exact", pe.map(|r| r.cycles));
+    let mut rel = RelTracker::new();
+    for (name, _) in SUITE {
+        for &threads in &THREADS {
+            let base = res.cycles(&format!("{name}/{threads}t/banked"));
+            let mut cells = vec![name.to_string(), threads.to_string(), cycles_cell(base)];
+            for key in CONFIGS {
+                let cycles = res.cycles(&format!("{name}/{threads}t/{key}"));
+                cells.push(rel.rel_cell(&format!("{key}/{threads}t"), base, cycles));
             }
             t.row(cells);
         }
@@ -121,18 +108,13 @@ fn main() {
         "Figure 9 — geomean relative performance (banked = 1.0, completed runs only)",
         &["config", "4t", "6t", "8t"],
     );
-    for key in [
-        "virec40", "virec60", "virec80", "nsf80", "pf_full", "pf_exact",
-    ] {
+    for key in CONFIGS {
         let mut row = vec![key.to_string()];
-        for &threads in &threads_list {
-            match rel.get(&(key, threads)) {
-                Some(v) if !v.is_empty() => row.push(f3(geomean(v))),
-                _ => row.push("-".into()),
-            }
+        for &threads in &THREADS {
+            row.push(rel.geomean_cell(&format!("{key}/{threads}t")));
         }
         means.row(row);
     }
     means.print();
-    log.print();
+    res.print_failures();
 }

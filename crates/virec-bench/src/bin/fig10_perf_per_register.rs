@@ -8,21 +8,68 @@
 //! additional threads. E.g. 32 registers run 4 threads at 100% or 8 threads
 //! at 40% — with the 8-thread configuration substantially faster.
 //!
-//! Failed configurations become structured failure rows and the sweep
-//! continues (the normalizing single-thread banked run is the only cell
-//! the figure cannot survive losing).
+//! The grid runs as one declarative sweep; failed configurations become
+//! structured failure rows (the normalizing single-thread banked run is the
+//! only cell the figure cannot survive losing).
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
+use virec_sim::experiment::{builder, ExperimentSpec};
 use virec_sim::report::{f3, Table};
 use virec_sim::runner::RunOptions;
 use virec_workloads::kernels;
 
+const THREADS: [usize; 6] = [1, 2, 4, 6, 8, 10];
+
 fn main() {
     let n = problem_size();
     let w = kernels::spatter::gather(n, layout0());
+    let build = builder(kernels::spatter::gather, n, layout0());
     let opts = RunOptions::default();
-    let mut log = SweepLog::new();
+
+    let mut spec = ExperimentSpec::new("fig10_perf_per_register");
+    // Performance is normalized to the single-thread banked run.
+    spec.single(
+        "banked_1t_base",
+        build.clone(),
+        CoreConfig::banked(1),
+        &opts,
+    );
+    for threads in THREADS {
+        for (label, frac) in CTX_FRACTIONS {
+            spec.single(
+                format!("{threads}t/virec_{label}"),
+                build.clone(),
+                virec_cfg(&w, threads, *frac, PolicyKind::Lrc),
+                &opts,
+            );
+        }
+        spec.single(
+            format!("{threads}t/banked"),
+            build.clone(),
+            CoreConfig::banked(threads),
+            &opts,
+        );
+    }
+    // The paper's headline scaling claim: 32 registers as 4 threads @100%
+    // vs 8 threads @40%.
+    spec.single(
+        "claim/virec_4t_32r",
+        build.clone(),
+        CoreConfig::virec(4, 32),
+        &opts,
+    );
+    spec.single("claim/virec_8t_32r", build, CoreConfig::virec(8, 32), &opts);
+    let res = run_spec(&spec);
+
+    // Everything in the figure is relative to this cell, so its failure is
+    // fatal.
+    let Some(base) = res.cycles("banked_1t_base").map(|c| c as f64) else {
+        res.print_failures();
+        eprintln!("figure 10: the normalizing run failed; aborting");
+        std::process::exit(1);
+    };
+
     let mut t = Table::new(
         &format!("Figure 10 — performance per register, gather n={n}"),
         &[
@@ -34,55 +81,13 @@ fn main() {
             "perf_per_reg",
         ],
     );
-    // Performance normalized to the single-thread banked run. Everything
-    // in the figure is relative to this cell, so its failure is fatal.
-    let base = match log.cell("banked_1t_base", CoreConfig::banked(1), &w, &opts) {
-        Cell::Done(r) => r.cycles as f64,
-        Cell::Failed { .. } => {
-            log.print();
-            eprintln!("figure 10: the normalizing run failed; aborting");
-            std::process::exit(1);
-        }
-    };
-    for threads in [1usize, 2, 4, 6, 8, 10] {
-        for (label, frac) in CTX_FRACTIONS {
-            let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
-            let cell = log.cell(&format!("{threads}t/virec_{label}"), cfg, &w, &opts);
-            match cell.cycles() {
-                Some(cycles) => {
-                    let perf = base / cycles as f64;
-                    t.row(vec![
-                        threads.to_string(),
-                        format!("virec_{label}"),
-                        cfg.phys_regs.to_string(),
-                        cycles.to_string(),
-                        f3(perf),
-                        f3(perf / cfg.phys_regs as f64),
-                    ]);
-                }
-                None => t.row(vec![
-                    threads.to_string(),
-                    format!("virec_{label}"),
-                    cfg.phys_regs.to_string(),
-                    "FAILED".into(),
-                    "-".into(),
-                    "-".into(),
-                ]),
-            }
-        }
-        let b = log.cell(
-            &format!("{threads}t/banked"),
-            CoreConfig::banked(threads),
-            &w,
-            &opts,
-        );
-        let regs = threads * 64; // 32 int + 32 fp per bank (Table 1)
-        match b.cycles() {
+    let point = |t: &mut Table, threads: usize, config: &str, regs: usize, cycles: Option<u64>| {
+        match cycles {
             Some(cycles) => {
                 let perf = base / cycles as f64;
                 t.row(vec![
                     threads.to_string(),
-                    "banked".into(),
+                    config.to_string(),
                     regs.to_string(),
                     cycles.to_string(),
                     f3(perf),
@@ -91,21 +96,40 @@ fn main() {
             }
             None => t.row(vec![
                 threads.to_string(),
-                "banked".into(),
+                config.to_string(),
                 regs.to_string(),
                 "FAILED".into(),
                 "-".into(),
                 "-".into(),
             ]),
         }
+    };
+    for threads in THREADS {
+        for (label, frac) in CTX_FRACTIONS {
+            let cfg = virec_cfg(&w, threads, *frac, PolicyKind::Lrc);
+            point(
+                &mut t,
+                threads,
+                &format!("virec_{label}"),
+                cfg.phys_regs,
+                res.cycles(&format!("{threads}t/virec_{label}")),
+            );
+        }
+        let regs = threads * 64; // 32 int + 32 fp per bank (Table 1)
+        point(
+            &mut t,
+            threads,
+            "banked",
+            regs,
+            res.cycles(&format!("{threads}t/banked")),
+        );
     }
     t.print();
 
-    // The paper's headline scaling claim: 32 registers as 4 threads @100%
-    // vs 8 threads @40%.
-    let four_full = log.cell("claim/virec_4t_32r", CoreConfig::virec(4, 32), &w, &opts);
-    let eight_small = log.cell("claim/virec_8t_32r", CoreConfig::virec(8, 32), &w, &opts);
-    if let (Some(four), Some(eight)) = (four_full.cycles(), eight_small.cycles()) {
+    if let (Some(four), Some(eight)) = (
+        res.cycles("claim/virec_4t_32r"),
+        res.cycles("claim/virec_8t_32r"),
+    ) {
         let speedup = four as f64 / eight as f64;
         let mut s = Table::new(
             "Figure 10 — same 32-register RF, threads vs context",
@@ -123,5 +147,5 @@ fn main() {
         ]);
         s.print();
     }
-    log.print();
+    res.print_failures();
 }

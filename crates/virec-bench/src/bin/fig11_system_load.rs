@@ -6,15 +6,43 @@
 //! 8 threads suffice to hide memory latency; as contention raises the
 //! observed latency, 10 threads win for the 4- and 8-core systems —
 //! the thread-scaling flexibility a statically banked core lacks.
+//!
+//! Each (cores, threads) point is one `System` cell of a declarative
+//! sweep; a failed point degrades to a `FAILED` row.
 
 use virec_bench::harness::*;
 use virec_core::CoreConfig;
+use virec_sim::experiment::ExperimentSpec;
 use virec_sim::report::{f3, Table};
-use virec_sim::{System, SystemConfig};
+use virec_sim::SystemConfig;
 use virec_workloads::kernels;
+
+const CORES: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 2] = [8, 10];
 
 fn main() {
     let n = problem_size();
+
+    let mut spec = ExperimentSpec::new("fig11_system_load");
+    for ncores in CORES {
+        for threads in THREADS {
+            let mut core = CoreConfig::virec(threads, 64);
+            core.max_cycles = 2_000_000_000;
+            let cfg = SystemConfig {
+                ncores,
+                core,
+                fabric: Default::default(),
+            };
+            spec.system(
+                format!("{ncores}c/{threads}t"),
+                cfg,
+                kernels::spatter::gather,
+                n,
+            );
+        }
+    }
+    let res = run_spec(&spec);
+
     let mut t = Table::new(
         &format!("Figure 11 — system-load scaling, gather n={n}, ViReC 64 regs"),
         &[
@@ -26,18 +54,9 @@ fn main() {
             "observed_queue_delay",
         ],
     );
-    let mut log = SweepLog::new();
-    for ncores in [1usize, 2, 4, 8] {
-        for threads in [8usize, 10] {
-            let mut core = CoreConfig::virec(threads, 64);
-            core.max_cycles = 2_000_000_000;
-            let cfg = SystemConfig {
-                ncores,
-                core,
-                fabric: Default::default(),
-            };
-            let mut sys = System::new(cfg, kernels::spatter::gather, n);
-            match log.cell_from(&format!("{ncores}c/{threads}t"), sys.try_run()) {
+    for ncores in CORES {
+        for threads in THREADS {
+            match res.system(&format!("{ncores}c/{threads}t")) {
                 Some(r) => t.row(vec![
                     ncores.to_string(),
                     threads.to_string(),
@@ -58,5 +77,5 @@ fn main() {
         }
     }
     t.print();
-    log.print();
+    res.print_failures();
 }

@@ -8,15 +8,17 @@
 //! mean hit rates around 94%/83% at 80%/40% context; LRC speeds up over
 //! PLRU substantially more at 80% than at 40% context.
 //!
-//! A failed policy run becomes a structured failure row and the sweep
-//! continues; the mean rows aggregate only the runs that completed, and
-//! speedups are only reported where the PLRU normalizer completed.
+//! The full fractions × workloads × policies grid is one declarative
+//! sweep. A failed policy run becomes a structured failure row and the
+//! sweep continues; the mean rows aggregate only the runs that completed,
+//! and speedups are only reported where the PLRU normalizer completed.
 
 use virec_bench::harness::*;
 use virec_core::PolicyKind;
-use virec_sim::report::{f3, geomean, pct, Table};
+use virec_sim::experiment::{builder, ExperimentSpec};
+use virec_sim::report::{pct, Table};
 use virec_sim::runner::RunOptions;
-use virec_workloads::suite;
+use virec_workloads::SUITE;
 
 const POLICIES: &[PolicyKind] = &[
     PolicyKind::Lrc,
@@ -29,12 +31,35 @@ const POLICIES: &[PolicyKind] = &[
     PolicyKind::Srrip,
 ];
 
+const FRACS: [f64; 2] = [0.8, 0.4];
+
+fn key(name: &str, frac: f64, policy: PolicyKind) -> String {
+    format!("{}/{:.0}%/{}", name, frac * 100.0, policy.label())
+}
+
 fn main() {
     let n = problem_size();
     let threads = 8;
     let opts = RunOptions::default();
-    let mut log = SweepLog::new();
-    for frac in [0.8f64, 0.4] {
+
+    let mut spec = ExperimentSpec::new("fig12_policy_hitrate");
+    for frac in FRACS {
+        for (name, ctor) in SUITE {
+            let w = ctor(n, layout0());
+            let build = builder(*ctor, n, layout0());
+            for &p in POLICIES {
+                spec.single(
+                    key(name, frac, p),
+                    build.clone(),
+                    virec_cfg(&w, threads, frac, p),
+                    &opts,
+                );
+            }
+        }
+    }
+    let res = run_spec(&spec);
+
+    for frac in FRACS {
         let mut t = Table::new(
             &format!(
                 "Figure 12 — policy hit rate, 8 threads, {:.0}% context, n={n}",
@@ -44,29 +69,20 @@ fn main() {
                 "workload", "LRC", "MRT-LRU", "MRT-PLRU", "PLRU", "LRU", "FIFO", "Random", "SRRIP",
             ],
         );
-        let mut hit: std::collections::HashMap<PolicyKind, Vec<f64>> = Default::default();
-        let mut speed: std::collections::HashMap<PolicyKind, Vec<f64>> = Default::default();
-        for w in suite(n, layout0()) {
-            let mut cells = vec![w.name.to_string()];
-            let mut results = std::collections::HashMap::new();
-            for &p in POLICIES {
-                let cfg = virec_cfg(&w, threads, frac, p);
-                let label = format!("{}/{:.0}%/{}", w.name, frac * 100.0, p.label());
-                results.insert(p, log.cell(&label, cfg, &w, &opts));
-            }
+        let mut hit = RelTracker::new();
+        let mut speed = RelTracker::new();
+        for (name, _) in SUITE {
+            let mut cells = vec![name.to_string()];
             // Speedups are normalized to PLRU, so they are only recorded
             // for workloads where the PLRU run completed.
-            let plru_cycles = results[&PolicyKind::Plru].cycles().map(|c| c as f64);
+            let plru_cycles = res.cycles(&key(name, frac, PolicyKind::Plru));
             for &p in POLICIES {
-                match results[&p].done() {
+                match res.run(&key(name, frac, p)) {
                     Some(r) => {
                         cells.push(pct(r.stats.rf_hit_rate()));
-                        hit.entry(p).or_default().push(r.stats.rf_hit_rate());
-                        if let Some(plru_cycles) = plru_cycles {
-                            speed
-                                .entry(p)
-                                .or_default()
-                                .push(plru_cycles / r.cycles as f64);
+                        hit.push(p.label(), r.stats.rf_hit_rate());
+                        if let Some(plru) = plru_cycles {
+                            speed.push(p.label(), plru as f64 / r.cycles as f64);
                         }
                     }
                     None => cells.push("FAILED".into()),
@@ -84,19 +100,14 @@ fn main() {
             &["policy", "mean_hit_rate", "geomean_speedup_vs_PLRU"],
         );
         for &p in POLICIES {
-            let hits = hit.get(&p).map(Vec::as_slice).unwrap_or(&[]);
-            let mean_hit = if hits.is_empty() {
-                "-".into()
-            } else {
-                pct(hits.iter().sum::<f64>() / hits.len() as f64)
-            };
-            let speedup = match speed.get(&p) {
-                Some(v) if !v.is_empty() => f3(geomean(v)),
-                _ => "-".into(),
-            };
-            m.row(vec![p.label().into(), mean_hit, speedup]);
+            let mean_hit = hit.mean(p.label()).map(pct).unwrap_or_else(|| "-".into());
+            m.row(vec![
+                p.label().into(),
+                mean_hit,
+                speed.geomean_cell(p.label()),
+            ]);
         }
         m.print();
     }
-    log.print();
+    res.print_failures();
 }

@@ -6,60 +6,75 @@
 //! dcache); shrinking the dcache hurts ViReC earlier than banked because
 //! pinned register lines consume capacity.
 //!
-//! A failed run becomes a structured failure row and the sweep continues;
-//! the geomeans aggregate only the workloads that completed.
+//! Both sweeps (latency points × suite × engine, capacity points × suite
+//! × engine) run as one declarative grid. A failed run becomes a
+//! structured failure row and the sweep continues; the geomeans aggregate
+//! only the workloads that completed.
 
 use virec_bench::harness::*;
 use virec_core::{CoreConfig, PolicyKind};
-use virec_sim::report::{f3, geomean, Table};
+use virec_sim::experiment::{builder, ExperimentSpec};
+use virec_sim::report::{f3, Table};
 use virec_sim::runner::RunOptions;
-use virec_workloads::suite;
+use virec_workloads::SUITE;
 
-fn run_geomean(
-    mut cfg_virec: CoreConfig,
-    cfg_banked: CoreConfig,
-    n: u64,
-    point: &str,
-    log: &mut SweepLog,
-) -> (Option<f64>, Option<f64>) {
+const THREADS: usize = 8;
+const LATENCIES: [u32; 5] = [1, 2, 4, 8, 16];
+const CAPACITIES_KB: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Declares the suite at one sweep point: per-workload ViReC (80%, RF
+/// sized per workload) and banked cells, both with `tweak` applied to the
+/// dcache config.
+fn declare_point(spec: &mut ExperimentSpec, n: u64, point: &str, tweak: impl Fn(&mut CoreConfig)) {
     let opts = RunOptions::default();
-    let mut v = Vec::new();
-    let mut b = Vec::new();
-    for w in suite(n, layout0()) {
-        // Context-size the ViReC RF per workload at 80%.
-        let sized = virec_cfg(&w, cfg_virec.nthreads, 0.8, PolicyKind::Lrc);
-        cfg_virec.phys_regs = sized.phys_regs;
-        if let Some(r) = log
-            .cell(&format!("{point}/{}/virec80", w.name), cfg_virec, &w, &opts)
-            .done()
-        {
-            v.push(r.ipc());
-        }
-        if let Some(r) = log
-            .cell(&format!("{point}/{}/banked", w.name), cfg_banked, &w, &opts)
-            .done()
-        {
-            b.push(r.ipc());
-        }
+    for (name, ctor) in SUITE {
+        let w = ctor(n, layout0());
+        let build = builder(*ctor, n, layout0());
+        let mut cv = virec_cfg(&w, THREADS, 0.8, PolicyKind::Lrc);
+        tweak(&mut cv);
+        spec.single(format!("{point}/{name}/virec80"), build.clone(), cv, &opts);
+        let mut cb = CoreConfig::banked(THREADS);
+        tweak(&mut cb);
+        spec.single(format!("{point}/{name}/banked"), build, cb, &opts);
     }
-    let gm = |xs: &[f64]| {
-        if xs.is_empty() {
-            None
-        } else {
-            Some(geomean(xs))
-        }
-    };
-    (gm(&v), gm(&b))
 }
 
-fn opt_f3(x: Option<f64>) -> String {
-    x.map(f3).unwrap_or_else(|| "-".into())
+/// Geomean IPC over the suite for one (point, engine), completed runs only.
+fn point_geomean(res: &virec_sim::ExperimentResult, point: &str, engine: &str) -> Option<f64> {
+    let mut rel = RelTracker::new();
+    for (name, _) in SUITE {
+        if let Some(r) = res.run(&format!("{point}/{name}/{engine}")) {
+            rel.push("ipc", r.ipc());
+        }
+    }
+    rel.geomean("ipc")
 }
 
 fn main() {
     let n = problem_size().min(4096);
-    let threads = 8;
-    let mut log = SweepLog::new();
+
+    let mut spec = ExperimentSpec::new("fig13_dcache_sweep");
+    for latency in LATENCIES {
+        declare_point(&mut spec, n, &format!("lat{latency}"), |c| {
+            c.dcache.hit_latency = latency;
+        });
+    }
+    for kb in CAPACITIES_KB {
+        declare_point(&mut spec, n, &format!("cap{kb}k"), |c| {
+            c.dcache.size_bytes = kb * 1024;
+        });
+    }
+    let res = run_spec(&spec);
+
+    let point_row = |t: &mut Table, label: String, point: &str| {
+        let v = point_geomean(&res, point, "virec80");
+        let b = point_geomean(&res, point, "banked");
+        let ratio = match (v, b) {
+            (Some(v), Some(b)) => f3(v / b),
+            _ => "-".into(),
+        };
+        t.row(vec![label, opt_f3(v), opt_f3(b), ratio]);
+    };
 
     let mut lat = Table::new(
         &format!("Figure 13a — dcache latency sweep, 8 threads, n={n}"),
@@ -70,17 +85,8 @@ fn main() {
             "virec/banked",
         ],
     );
-    for latency in [1u32, 2, 4, 8, 16] {
-        let mut cv = CoreConfig::virec(threads, 64);
-        cv.dcache.hit_latency = latency;
-        let mut cb = CoreConfig::banked(threads);
-        cb.dcache.hit_latency = latency;
-        let (v, b) = run_geomean(cv, cb, n, &format!("lat{latency}"), &mut log);
-        let ratio = match (v, b) {
-            (Some(v), Some(b)) => f3(v / b),
-            _ => "-".into(),
-        };
-        lat.row(vec![latency.to_string(), opt_f3(v), opt_f3(b), ratio]);
+    for latency in LATENCIES {
+        point_row(&mut lat, latency.to_string(), &format!("lat{latency}"));
     }
     lat.print();
 
@@ -88,18 +94,9 @@ fn main() {
         &format!("Figure 13b — dcache capacity sweep, 8 threads, n={n}"),
         &["dcache_kB", "virec80_ipc", "banked_ipc", "virec/banked"],
     );
-    for kb in [2usize, 4, 8, 16, 32] {
-        let mut cv = CoreConfig::virec(threads, 64);
-        cv.dcache.size_bytes = kb * 1024;
-        let mut cb = CoreConfig::banked(threads);
-        cb.dcache.size_bytes = kb * 1024;
-        let (v, b) = run_geomean(cv, cb, n, &format!("cap{kb}k"), &mut log);
-        let ratio = match (v, b) {
-            (Some(v), Some(b)) => f3(v / b),
-            _ => "-".into(),
-        };
-        cap.row(vec![kb.to_string(), opt_f3(v), opt_f3(b), ratio]);
+    for kb in CAPACITIES_KB {
+        point_row(&mut cap, kb.to_string(), &format!("cap{kb}k"));
     }
     cap.print();
-    log.print();
+    res.print_failures();
 }

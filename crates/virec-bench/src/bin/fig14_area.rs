@@ -6,12 +6,73 @@
 //! banked curve (≈40% savings at 8–16 threads, ≈20% overhead over the base
 //! core), while ViReC with full 64-register contexts grows faster than
 //! banking due to the superlinear CAM tag store.
+//!
+//! No simulation — the cells evaluate the analytic area model — but the
+//! points still run through the declarative layer so the numbers land in
+//! the machine-readable `results/` JSON alongside the simulated figures.
 
 use virec_area::AreaModel;
-use virec_sim::report::{f3, Table};
+use virec_bench::harness::*;
+use virec_sim::experiment::{CellData, ExperimentSpec};
+use virec_sim::report::Table;
+
+const THREADS: [usize; 6] = [1, 2, 4, 8, 12, 16];
+const REGS_PER_THREAD: [usize; 4] = [4, 8, 10, 64];
+const BREAKDOWN_REGS: [usize; 5] = [24, 32, 64, 80, 120];
+const DELAY_REGS: [usize; 4] = [24, 64, 80, 120];
+const DELAY_BANKS: [usize; 3] = [4, 8, 16];
 
 fn main() {
-    let m = AreaModel::default();
+    let mut spec = ExperimentSpec::new("fig14_area");
+    for threads in THREADS {
+        spec.custom(format!("area/{threads}t"), move || {
+            let m = AreaModel::default();
+            Ok(CellData::metrics([
+                ("banked", m.banked_core(threads)),
+                ("virec_4rt", m.virec_core(4 * threads)),
+                ("virec_8rt", m.virec_core(8 * threads)),
+                ("virec_10rt", m.virec_core(10 * threads)),
+                ("virec_64rt", m.virec_core(64 * threads)),
+            ]))
+        });
+    }
+    for regs in BREAKDOWN_REGS {
+        spec.custom(format!("breakdown/{regs}r"), move || {
+            let m = AreaModel::default();
+            Ok(CellData::metrics([
+                ("rf", m.rf_area(regs)),
+                ("tag_store", m.tag_store_area(regs)),
+                ("vrmu_logic", m.vrmu_logic_area(regs)),
+                ("total_overhead", m.virec_overhead(regs)),
+            ]))
+        });
+    }
+    spec.custom("delay/baseline_32r", || {
+        Ok(CellData::metrics([(
+            "delay_ns",
+            AreaModel::default().virec_rf_delay(32),
+        )]))
+    });
+    for regs in DELAY_REGS {
+        spec.custom(format!("delay/virec_{regs}r"), move || {
+            Ok(CellData::metrics([(
+                "delay_ns",
+                AreaModel::default().virec_rf_delay(regs),
+            )]))
+        });
+    }
+    for banks in DELAY_BANKS {
+        spec.custom(format!("delay/banked_{banks}b"), move || {
+            Ok(CellData::metrics([(
+                "delay_ns",
+                AreaModel::default().banked_rf_delay(banks),
+            )]))
+        });
+    }
+    let res = run_spec(&spec);
+
+    let metric = |key: &str, name: &str| opt_f3(res.metric(key, name));
+
     let mut t = Table::new(
         "Figure 14 — core area (mm², 45 nm) vs thread count",
         &[
@@ -23,15 +84,13 @@ fn main() {
             "virec 64r/t",
         ],
     );
-    for threads in [1usize, 2, 4, 8, 12, 16] {
-        t.row(vec![
-            threads.to_string(),
-            f3(m.banked_core(threads)),
-            f3(m.virec_core(4 * threads)),
-            f3(m.virec_core(8 * threads)),
-            f3(m.virec_core(10 * threads)),
-            f3(m.virec_core(64 * threads)),
-        ]);
+    for threads in THREADS {
+        let key = format!("area/{threads}t");
+        let mut row = vec![threads.to_string(), metric(&key, "banked")];
+        for rt in REGS_PER_THREAD {
+            row.push(metric(&key, &format!("virec_{rt}rt")));
+        }
+        t.row(row);
     }
     t.print();
 
@@ -45,13 +104,14 @@ fn main() {
             "total_overhead",
         ],
     );
-    for regs in [24usize, 32, 64, 80, 120] {
+    for regs in BREAKDOWN_REGS {
+        let key = format!("breakdown/{regs}r");
         b.row(vec![
             regs.to_string(),
-            f3(m.rf_area(regs)),
-            f3(m.tag_store_area(regs)),
-            f3(m.vrmu_logic_area(regs)),
-            f3(m.virec_overhead(regs)),
+            metric(&key, "rf"),
+            metric(&key, "tag_store"),
+            metric(&key, "vrmu_logic"),
+            metric(&key, "total_overhead"),
         ]);
     }
     b.print();
@@ -59,19 +119,20 @@ fn main() {
     let mut d = Table::new("§6.2 — RF read delay (ns)", &["config", "delay_ns"]);
     d.row(vec![
         "baseline 32-entry RF".into(),
-        f3(m.virec_rf_delay(32)),
+        metric("delay/baseline_32r", "delay_ns"),
     ]);
-    for regs in [24usize, 64, 80, 120] {
+    for regs in DELAY_REGS {
         d.row(vec![
             format!("virec {regs} regs"),
-            f3(m.virec_rf_delay(regs)),
+            metric(&format!("delay/virec_{regs}r"), "delay_ns"),
         ]);
     }
-    for threads in [4usize, 8, 16] {
+    for banks in DELAY_BANKS {
         d.row(vec![
-            format!("banked {threads} banks"),
-            f3(m.banked_rf_delay(threads)),
+            format!("banked {banks} banks"),
+            metric(&format!("delay/banked_{banks}b"), "delay_ns"),
         ]);
     }
     d.print();
+    res.print_failures();
 }

@@ -1,32 +1,99 @@
 //! Table 1: simulation parameters of every modelled processor.
+//!
+//! No simulation — the cells snapshot the `CoreConfig` constructors and
+//! fabric defaults as field rows — but they run through the declarative
+//! layer so the modelled parameters land in the machine-readable
+//! `results/` JSON next to the measured figures.
 
+use virec_bench::harness::*;
 use virec_core::CoreConfig;
-use virec_mem::{DramConfig, FabricConfig};
+use virec_mem::FabricConfig;
+use virec_sim::experiment::{CellData, ExperimentSpec};
 use virec_sim::report::Table;
 
-fn describe(name: &str, cfg: &CoreConfig, t: &mut Table) {
-    t.row(vec![
-        name.into(),
-        format!("{:?}", cfg.engine),
-        cfg.nthreads.to_string(),
-        cfg.phys_regs.to_string(),
-        cfg.sq_entries.to_string(),
-        format!(
-            "{}kB/{}-way",
-            cfg.icache.size_bytes / 1024,
-            cfg.icache.assoc
-        ),
-        format!(
-            "{}kB/{}-way/{}cyc",
-            cfg.dcache.size_bytes / 1024,
-            cfg.dcache.assoc,
-            cfg.dcache.hit_latency
-        ),
-        format!("{:?}", cfg.policy),
-    ]);
-}
+/// A table row: `(row label, cell key, config constructor)`.
+type Processor = (&'static str, &'static str, fn() -> CoreConfig);
+
+/// Every modelled processor.
+const PROCESSORS: &[Processor] = &[
+    ("inorder (CVA6-like)", "core/inorder", CoreConfig::inorder),
+    ("banked 8t", "core/banked_8t", || CoreConfig::banked(8)),
+    ("virec 8t (80% ctx of 8)", "core/virec_8t_80", || {
+        CoreConfig::virec(8, 52)
+    }),
+    ("virec 8t (100% ctx of 8)", "core/virec_8t_100", || {
+        CoreConfig::virec(8, 64)
+    }),
+    ("nsf 8t", "core/nsf_8t", || CoreConfig::nsf(8, 52)),
+    ("software 8t", "core/software_8t", || {
+        CoreConfig::software(8)
+    }),
+    ("prefetch_full 8t", "core/prefetch_full_8t", || {
+        CoreConfig::prefetch_full(8, 8)
+    }),
+    ("prefetch_exact 8t", "core/prefetch_exact_8t", || {
+        CoreConfig::prefetch_exact(8, 8)
+    }),
+];
 
 fn main() {
+    let mut spec = ExperimentSpec::new("table1_configs");
+    for (_, key, make) in PROCESSORS {
+        spec.custom(*key, move || {
+            let cfg = make();
+            Ok(CellData::fields([
+                ("engine", format!("{:?}", cfg.engine)),
+                ("threads", cfg.nthreads.to_string()),
+                ("regs", cfg.phys_regs.to_string()),
+                ("sq", cfg.sq_entries.to_string()),
+                (
+                    "icache",
+                    format!(
+                        "{}kB/{}-way",
+                        cfg.icache.size_bytes / 1024,
+                        cfg.icache.assoc
+                    ),
+                ),
+                (
+                    "dcache",
+                    format!(
+                        "{}kB/{}-way/{}cyc",
+                        cfg.dcache.size_bytes / 1024,
+                        cfg.dcache.assoc,
+                        cfg.dcache.hit_latency
+                    ),
+                ),
+                ("policy", format!("{:?}", cfg.policy)),
+            ]))
+        });
+    }
+    spec.custom("memory_system", || {
+        let f = FabricConfig::default();
+        let d = f.dram;
+        Ok(CellData::fields([
+            ("DRAM channels", d.channels.to_string()),
+            ("banks/channel", d.banks_per_channel.to_string()),
+            (
+                "tRP-tRCD-tCL (cycles)",
+                format!("{}-{}-{}", d.t_rp, d.t_rcd, d.t_cl),
+            ),
+            ("burst (cycles)", d.t_burst.to_string()),
+            ("row buffer (lines)", d.lines_per_row.to_string()),
+            ("crossbar hop (cycles)", f.xbar_latency.to_string()),
+            (
+                "crossbar accepts/cycle",
+                f.xbar_accepts_per_cycle.to_string(),
+            ),
+        ]))
+    });
+    let res = run_spec(&spec);
+
+    let field = |key: &str, name: &str| {
+        res.field(key, name)
+            .map(str::to_string)
+            .unwrap_or_else(|| "-".into())
+    };
+
     let mut t = Table::new(
         "Table 1 — performance simulation parameters",
         &[
@@ -40,48 +107,32 @@ fn main() {
             "policy",
         ],
     );
-    describe("inorder (CVA6-like)", &CoreConfig::inorder(), &mut t);
-    describe("banked 8t", &CoreConfig::banked(8), &mut t);
-    describe("virec 8t (80% ctx of 8)", &CoreConfig::virec(8, 52), &mut t);
-    describe(
-        "virec 8t (100% ctx of 8)",
-        &CoreConfig::virec(8, 64),
-        &mut t,
-    );
-    describe("nsf 8t", &CoreConfig::nsf(8, 52), &mut t);
-    describe("software 8t", &CoreConfig::software(8), &mut t);
-    describe("prefetch_full 8t", &CoreConfig::prefetch_full(8, 8), &mut t);
-    describe(
-        "prefetch_exact 8t",
-        &CoreConfig::prefetch_exact(8, 8),
-        &mut t,
-    );
+    for (label, key, _) in PROCESSORS {
+        t.row(vec![
+            (*label).into(),
+            field(key, "engine"),
+            field(key, "threads"),
+            field(key, "regs"),
+            field(key, "sq"),
+            field(key, "icache"),
+            field(key, "dcache"),
+            field(key, "policy"),
+        ]);
+    }
     t.print();
 
-    let f = FabricConfig::default();
-    let d: DramConfig = f.dram;
     let mut m = Table::new("Table 1 — memory system", &["parameter", "value"]);
-    m.row(vec!["DRAM channels".into(), d.channels.to_string()]);
-    m.row(vec![
-        "banks/channel".into(),
-        d.banks_per_channel.to_string(),
-    ]);
-    m.row(vec![
-        "tRP-tRCD-tCL (cycles)".into(),
-        format!("{}-{}-{}", d.t_rp, d.t_rcd, d.t_cl),
-    ]);
-    m.row(vec!["burst (cycles)".into(), d.t_burst.to_string()]);
-    m.row(vec![
-        "row buffer (lines)".into(),
-        d.lines_per_row.to_string(),
-    ]);
-    m.row(vec![
-        "crossbar hop (cycles)".into(),
-        f.xbar_latency.to_string(),
-    ]);
-    m.row(vec![
-        "crossbar accepts/cycle".into(),
-        f.xbar_accepts_per_cycle.to_string(),
-    ]);
+    for name in [
+        "DRAM channels",
+        "banks/channel",
+        "tRP-tRCD-tCL (cycles)",
+        "burst (cycles)",
+        "row buffer (lines)",
+        "crossbar hop (cycles)",
+        "crossbar accepts/cycle",
+    ] {
+        m.row(vec![name.into(), field("memory_system", name)]);
+    }
     m.print();
+    res.print_failures();
 }

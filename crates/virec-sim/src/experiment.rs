@@ -1,0 +1,831 @@
+//! Declarative experiment layer: named grids of simulation cells executed
+//! on a worker pool with deterministic collection.
+//!
+//! Every figure reproduction follows the same shape — build a grid of
+//! `(workload, configuration)` cells, run each one, derive relative
+//! performance and geomeans, print tables. This module factors that shape
+//! into three pieces:
+//!
+//! * [`ExperimentSpec`] — a named list of keyed [`CellSpec`]s. Cells carry
+//!   workload *constructors* (not pre-built [`Workload`]s), so every worker
+//!   builds its own instance and the whole spec is `Send + Sync`.
+//! * [`Executor`] — runs cells on a `std::thread` pool (`jobs` workers).
+//!   Results are keyed and re-sorted into declaration order, so the output
+//!   of a parallel run is byte-identical to a serial one.
+//! * [`ExperimentResult`] — keyed access to per-cell outcomes, failure
+//!   reporting, and machine-readable JSON emission for `results/`.
+//!
+//! A failing cell (budget exhaustion, livelock, divergence, even a panic)
+//! degrades to a structured [`CellOutcome::Failed`] row without aborting
+//! its siblings. Pure cycle-budget failures are retried with a relaxed
+//! budget according to the spec's [`RetryPolicy`].
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::SimError;
+use crate::runner::{try_run_prefetch_exact, try_run_single, RunOptions, RunResult};
+use crate::system::{System, SystemConfig, SystemResult};
+use virec_core::CoreConfig;
+use virec_mem::FabricConfig;
+use virec_workloads::{Layout, Workload, WorkloadCtor};
+
+/// A shareable workload constructor: each worker calls it to build its own
+/// [`Workload`] instance, which keeps cells ownable per thread.
+pub type WorkloadBuilder = Arc<dyn Fn() -> Workload + Send + Sync>;
+
+/// Wraps a suite constructor into a [`WorkloadBuilder`] at a fixed problem
+/// size and layout.
+pub fn builder(ctor: WorkloadCtor, n: u64, layout: Layout) -> WorkloadBuilder {
+    Arc::new(move || ctor(n, layout))
+}
+
+/// How budget failures are retried before a cell is declared failed.
+///
+/// The defaults reproduce the historical sweep behaviour: one retry with a
+/// 4× relaxed `max_cycles`. Retries apply to [`Job::Single`] and
+/// [`Job::System`] cells (the kinds whose budget the executor can scale);
+/// prefetch-exact and custom cells fail on their first budget error.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Number of relaxed re-runs after a cycle-budget failure.
+    pub budget_retries: u32,
+    /// Budget multiplier applied on each retry (compounding).
+    pub budget_factor: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget_retries: 1,
+            budget_factor: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every budget failure is immediately a failed row.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            budget_retries: 0,
+            budget_factor: 1,
+        }
+    }
+}
+
+/// What a cell runs. All variants are `Send + Sync`, so the executor can
+/// hand any cell to any worker.
+#[derive(Clone)]
+pub enum Job {
+    /// A fallible single-core run ([`try_run_single`]).
+    Single {
+        /// Builds the worker-local workload instance.
+        build: WorkloadBuilder,
+        /// Core configuration (its `max_cycles` is scaled on retries).
+        cfg: CoreConfig,
+        /// Run options (fabric, verification, faults, …).
+        opts: RunOptions,
+    },
+    /// Oracle recording plus an exact-context prefetching run
+    /// ([`try_run_prefetch_exact`]).
+    PrefetchExact {
+        /// Builds the worker-local workload instance.
+        build: WorkloadBuilder,
+        /// Hardware thread count.
+        nthreads: usize,
+        /// Physical registers per thread for the prefetch core.
+        regs_per_thread: usize,
+        /// Fabric configuration shared by recording and replay.
+        fabric: FabricConfig,
+    },
+    /// A multi-core system run ([`System::try_run`]); every core runs
+    /// `ctor(n, Layout::for_core(i))`.
+    System {
+        /// System (cores + fabric) configuration; the per-core
+        /// `max_cycles` is scaled on retries.
+        cfg: SystemConfig,
+        /// Workload constructor (a plain `fn`, inherently `Send`).
+        ctor: WorkloadCtor,
+        /// Problem size per core.
+        n: u64,
+    },
+    /// Anything else — area-model evaluations, compiled-kernel drives,
+    /// campaign wrappers. Must be deterministic; budget retries do not
+    /// apply.
+    Custom(Arc<dyn Fn() -> Result<CellData, SimError> + Send + Sync>),
+}
+
+/// One keyed cell of an experiment grid.
+#[derive(Clone)]
+pub struct CellSpec {
+    /// Unique, stable key (also the JSON row label and sort identity).
+    pub key: String,
+    /// What the cell runs.
+    pub job: Job,
+}
+
+/// A named, declarative experiment: keys plus jobs, executed by an
+/// [`Executor`].
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Experiment name (used for the JSON file name in `results/`).
+    pub name: String,
+    /// Budget-retry policy applied to every cell.
+    pub retry: RetryPolicy,
+    cells: Vec<CellSpec>,
+    keys: HashMap<String, usize>,
+}
+
+impl ExperimentSpec {
+    /// An empty spec with the default retry policy.
+    pub fn new(name: &str) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.to_string(),
+            retry: RetryPolicy::default(),
+            cells: Vec::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ExperimentSpec {
+        self.retry = retry;
+        self
+    }
+
+    /// Adds a cell.
+    ///
+    /// # Panics
+    /// Panics if `key` was already declared — keys are the identity that
+    /// makes parallel collection deterministic, so duplicates are bugs.
+    pub fn push(&mut self, key: impl Into<String>, job: Job) {
+        let key = key.into();
+        assert!(
+            self.keys.insert(key.clone(), self.cells.len()).is_none(),
+            "duplicate experiment cell key {key:?}"
+        );
+        self.cells.push(CellSpec { key, job });
+    }
+
+    /// Declares a single-core run cell.
+    pub fn single(
+        &mut self,
+        key: impl Into<String>,
+        build: WorkloadBuilder,
+        cfg: CoreConfig,
+        opts: &RunOptions,
+    ) {
+        self.push(
+            key,
+            Job::Single {
+                build,
+                cfg,
+                opts: opts.clone(),
+            },
+        );
+    }
+
+    /// Declares an exact-context prefetching cell.
+    pub fn prefetch_exact(
+        &mut self,
+        key: impl Into<String>,
+        build: WorkloadBuilder,
+        nthreads: usize,
+        regs_per_thread: usize,
+        fabric: FabricConfig,
+    ) {
+        self.push(
+            key,
+            Job::PrefetchExact {
+                build,
+                nthreads,
+                regs_per_thread,
+                fabric,
+            },
+        );
+    }
+
+    /// Declares a multi-core system cell.
+    pub fn system(
+        &mut self,
+        key: impl Into<String>,
+        cfg: SystemConfig,
+        ctor: WorkloadCtor,
+        n: u64,
+    ) {
+        self.push(key, Job::System { cfg, ctor, n });
+    }
+
+    /// Declares a custom cell.
+    pub fn custom(
+        &mut self,
+        key: impl Into<String>,
+        f: impl Fn() -> Result<CellData, SimError> + Send + Sync + 'static,
+    ) {
+        self.push(key, Job::Custom(Arc::new(f)));
+    }
+
+    /// Number of declared cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The declared cells, in order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+}
+
+/// The payload of a completed cell.
+#[derive(Clone, Debug)]
+pub enum CellData {
+    /// A verified single-core run.
+    Run(Box<RunResult>),
+    /// A multi-core system run.
+    System(Box<SystemResult>),
+    /// Named numeric metrics (area models, derived measurements).
+    Metrics(Vec<(String, f64)>),
+    /// Named descriptive fields (configuration listings).
+    Fields(Vec<(String, String)>),
+}
+
+impl CellData {
+    /// Builds a metrics payload from `(name, value)` pairs.
+    pub fn metrics<const N: usize>(pairs: [(&str, f64); N]) -> CellData {
+        CellData::Metrics(pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect())
+    }
+
+    /// Builds a fields payload from `(name, value)` pairs.
+    pub fn fields<const N: usize>(pairs: [(&str, String); N]) -> CellData {
+        CellData::Fields(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Total cycles, when the payload carries them (a run, a system run,
+    /// or a metric literally named `cycles`).
+    pub fn cycles(&self) -> Option<u64> {
+        match self {
+            CellData::Run(r) => Some(r.cycles),
+            CellData::System(s) => Some(s.cycles),
+            CellData::Metrics(_) => self.metric("cycles").map(|v| v as u64),
+            CellData::Fields(_) => None,
+        }
+    }
+
+    /// A named metric (for [`CellData::Metrics`] payloads).
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        match self {
+            CellData::Metrics(m) => m.iter().find(|(k, _)| k == name).map(|(_, v)| *v),
+            _ => None,
+        }
+    }
+
+    /// A named descriptive field (for [`CellData::Fields`] payloads).
+    pub fn field(&self, name: &str) -> Option<&str> {
+        match self {
+            CellData::Fields(f) => f.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one cell: a payload or a structured failure row.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell completed.
+    Ok(CellData),
+    /// The cell failed; siblings are unaffected.
+    Failed {
+        /// Machine-readable kind (`cycle_budget`, `livelock`, …, `panic`).
+        kind: &'static str,
+        /// Full error line.
+        error: String,
+        /// True if the failure survived at least one relaxed budget retry.
+        retried: bool,
+    },
+}
+
+/// One collected result row.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell's key, copied from the spec.
+    pub key: String,
+    /// What happened.
+    pub outcome: CellOutcome,
+}
+
+impl CellResult {
+    /// The payload if the cell completed.
+    pub fn data(&self) -> Option<&CellData> {
+        match &self.outcome {
+            CellOutcome::Ok(d) => Some(d),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Results of an executed experiment, in declaration order.
+pub struct ExperimentResult {
+    /// Experiment name (copied from the spec).
+    pub name: String,
+    /// Per-cell results, in the spec's declaration order.
+    pub cells: Vec<CellResult>,
+    /// Worker count the run used.
+    pub jobs: usize,
+    index: HashMap<String, usize>,
+}
+
+impl ExperimentResult {
+    /// The result row for `key`.
+    ///
+    /// # Panics
+    /// Panics on an undeclared key — a figure asking for a cell it never
+    /// declared is a bug, not a runtime condition.
+    pub fn cell(&self, key: &str) -> &CellResult {
+        let i = *self
+            .index
+            .get(key)
+            .unwrap_or_else(|| panic!("experiment {:?} has no cell {key:?}", self.name));
+        &self.cells[i]
+    }
+
+    /// The payload of `key`, if it completed.
+    pub fn data(&self, key: &str) -> Option<&CellData> {
+        self.cell(key).data()
+    }
+
+    /// The single-core run result of `key`, if it completed with one.
+    pub fn run(&self, key: &str) -> Option<&RunResult> {
+        match self.data(key) {
+            Some(CellData::Run(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The system run result of `key`, if it completed with one.
+    pub fn system(&self, key: &str) -> Option<&SystemResult> {
+        match self.data(key) {
+            Some(CellData::System(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Cycles of `key`, if available.
+    pub fn cycles(&self, key: &str) -> Option<u64> {
+        self.data(key).and_then(CellData::cycles)
+    }
+
+    /// A named metric of `key`, if available.
+    pub fn metric(&self, key: &str, name: &str) -> Option<f64> {
+        self.data(key).and_then(|d| d.metric(name))
+    }
+
+    /// A named descriptive field of `key`, if available.
+    pub fn field(&self, key: &str, name: &str) -> Option<&str> {
+        self.data(key).and_then(|d| d.field(name))
+    }
+
+    /// `(key, formatted error)` for every failed cell, in declaration
+    /// order.
+    pub fn failures(&self) -> Vec<(String, String)> {
+        self.cells
+            .iter()
+            .filter_map(|c| match &c.outcome {
+                CellOutcome::Failed {
+                    kind,
+                    error,
+                    retried,
+                } => {
+                    let suffix = if *retried {
+                        " (after budget retry)"
+                    } else {
+                        ""
+                    };
+                    Some((c.key.clone(), format!("[{kind}{suffix}] {error}")))
+                }
+                CellOutcome::Ok(_) => None,
+            })
+            .collect()
+    }
+
+    /// True if every cell completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Number of failed cells.
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Prints the failure rows (no-op when the sweep was clean).
+    pub fn print_failures(&self) {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return;
+        }
+        println!("\n{} failed configuration(s):", failures.len());
+        for (key, error) in &failures {
+            println!("  {key}: {error}");
+        }
+    }
+
+    /// Machine-readable JSON rows, in declaration order. Deliberately
+    /// excludes wall-clock timing so a parallel run's output is
+    /// byte-identical to a serial one.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * self.cells.len() + 64);
+        out.push_str("{\n  \"experiment\": ");
+        json_string(&mut out, &self.name);
+        out.push_str(",\n  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"key\": ");
+            json_string(&mut out, &c.key);
+            match &c.outcome {
+                CellOutcome::Ok(d) => {
+                    out.push_str(", \"status\": \"ok\"");
+                    json_cell_data(&mut out, d);
+                }
+                CellOutcome::Failed {
+                    kind,
+                    error,
+                    retried,
+                } => {
+                    out.push_str(", \"status\": \"failed\", \"error_kind\": ");
+                    json_string(&mut out, kind);
+                    out.push_str(&format!(", \"retried\": {retried}, \"error\": "));
+                    // Keep only the structured first line; livelock dumps
+                    // span pages and belong in stderr, not result rows.
+                    json_string(&mut out, error.lines().next().unwrap_or(""));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes [`ExperimentResult::to_json`] to `<dir>/<name>.json`,
+    /// creating the directory if needed. Returns the written path.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` for JSON: finite shortest-roundtrip, non-finite as
+/// null (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_cell_data(out: &mut String, d: &CellData) {
+    match d {
+        CellData::Run(r) => {
+            out.push_str(&format!(
+                ", \"cycles\": {}, \"instructions\": {}, \"ipc\": {}, \
+                 \"context_switches\": {}, \"rf_hits\": {}, \"rf_misses\": {}, \
+                 \"rf_hit_rate\": {}, \"arch_digest\": \"{:#018x}\"",
+                r.cycles,
+                r.stats.instructions,
+                json_f64(r.ipc()),
+                r.stats.context_switches,
+                r.stats.rf_hits,
+                r.stats.rf_misses,
+                json_f64(r.stats.rf_hit_rate()),
+                r.arch_digest,
+            ));
+        }
+        CellData::System(s) => {
+            out.push_str(&format!(
+                ", \"cycles\": {}, \"ncores\": {}, \"total_ipc\": {}, \
+                 \"mean_core_ipc\": {}, \"mean_queue_delay\": {}",
+                s.cycles,
+                s.per_core.len(),
+                json_f64(s.total_ipc()),
+                json_f64(s.mean_core_ipc()),
+                json_f64(s.mean_queue_delay()),
+            ));
+        }
+        CellData::Metrics(m) => {
+            for (k, v) in m {
+                out.push_str(", ");
+                json_string(out, k);
+                out.push_str(": ");
+                out.push_str(&json_f64(*v));
+            }
+        }
+        CellData::Fields(f) => {
+            for (k, v) in f {
+                out.push_str(", ");
+                json_string(out, k);
+                out.push_str(": ");
+                json_string(out, v);
+            }
+        }
+    }
+}
+
+/// Runs an [`ExperimentSpec`] on a pool of worker threads.
+///
+/// Cells are claimed from a shared queue and executed concurrently; each
+/// result is stored at its cell's declaration index, so the collected
+/// [`ExperimentResult`] — and everything rendered from it — is identical
+/// for any worker count.
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// A pool with `jobs` workers (clamped to at least 1). `jobs == 1`
+    /// executes inline on the calling thread, with no pool at all.
+    pub fn new(jobs: usize) -> Executor {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// Executes every cell and collects results in declaration order.
+    pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
+        let outcomes: Vec<CellOutcome> = if self.jobs == 1 || spec.cells.len() <= 1 {
+            spec.cells
+                .iter()
+                .map(|c| execute_cell(&c.job, spec.retry))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<CellOutcome>>> =
+                spec.cells.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let workers = self.jobs.min(spec.cells.len());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = spec.cells.get(i) else {
+                            break;
+                        };
+                        let outcome = execute_cell(&cell.job, spec.retry);
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("every cell ran"))
+                .collect()
+        };
+        ExperimentResult {
+            name: spec.name.clone(),
+            cells: spec
+                .cells
+                .iter()
+                .zip(outcomes)
+                .map(|(c, outcome)| CellResult {
+                    key: c.key.clone(),
+                    outcome,
+                })
+                .collect(),
+            jobs: self.jobs,
+            index: spec.keys.clone(),
+        }
+    }
+}
+
+/// Runs one cell with graceful degradation: typed errors and panics both
+/// become failure rows, and budget failures of scalable jobs are retried
+/// per the policy.
+fn execute_cell(job: &Job, retry: RetryPolicy) -> CellOutcome {
+    let attempt = |scale: u64| -> Result<CellData, SimError> {
+        match job {
+            Job::Single { build, cfg, opts } => {
+                let w = build();
+                let mut cfg = *cfg;
+                cfg.max_cycles = cfg.max_cycles.saturating_mul(scale);
+                try_run_single(cfg, &w, opts).map(|r| CellData::Run(Box::new(r)))
+            }
+            Job::PrefetchExact {
+                build,
+                nthreads,
+                regs_per_thread,
+                fabric,
+            } => {
+                let w = build();
+                try_run_prefetch_exact(*nthreads, *regs_per_thread, &w, *fabric)
+                    .map(|r| CellData::Run(Box::new(r)))
+            }
+            Job::System { cfg, ctor, n } => {
+                let mut cfg = *cfg;
+                cfg.core.max_cycles = cfg.core.max_cycles.saturating_mul(scale);
+                System::new(cfg, *ctor, *n)
+                    .try_run()
+                    .map(|r| CellData::System(Box::new(r)))
+            }
+            Job::Custom(f) => f(),
+        }
+    };
+    let scalable = matches!(job, Job::Single { .. } | Job::System { .. });
+    let mut scale = 1u64;
+    let mut retried = false;
+    let mut retries_left = if scalable { retry.budget_retries } else { 0 };
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| attempt(scale))) {
+            Ok(Ok(data)) => return CellOutcome::Ok(data),
+            Ok(Err(SimError::CycleBudgetExceeded { .. })) if retries_left > 0 => {
+                retries_left -= 1;
+                retried = true;
+                scale = scale.saturating_mul(retry.budget_factor);
+            }
+            Ok(Err(e)) => {
+                return CellOutcome::Failed {
+                    kind: e.kind(),
+                    error: e.to_string(),
+                    retried,
+                }
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("cell panicked");
+                return CellOutcome::Failed {
+                    kind: "panic",
+                    error: msg.to_string(),
+                    retried,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_workloads::kernels;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn specs_are_shareable_across_workers() {
+        assert_send_sync::<ExperimentSpec>();
+        assert_send_sync::<Job>();
+    }
+
+    fn tiny_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new("unit");
+        let b = builder(kernels::spatter::gather, 128, Layout::for_core(0));
+        spec.single(
+            "gather/virec",
+            b.clone(),
+            CoreConfig::virec(4, 32),
+            &RunOptions::default(),
+        );
+        spec.single(
+            "gather/banked",
+            b,
+            CoreConfig::banked(4),
+            &RunOptions::default(),
+        );
+        spec.custom("area", || {
+            Ok(CellData::metrics([("mm2", 1.5), ("cycles", 10.0)]))
+        });
+        spec
+    }
+
+    #[test]
+    fn serial_and_parallel_results_are_identical() {
+        let spec = tiny_spec();
+        let serial = Executor::new(1).run(&spec);
+        let parallel = Executor::new(4).run(&spec);
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(
+            serial.cycles("gather/virec"),
+            parallel.cycles("gather/virec")
+        );
+        assert!(serial.all_ok());
+        // Declaration order is preserved.
+        let keys: Vec<&str> = parallel.cells.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, ["gather/virec", "gather/banked", "area"]);
+    }
+
+    #[test]
+    fn metrics_cells_expose_named_values() {
+        let res = Executor::new(2).run(&tiny_spec());
+        assert_eq!(res.metric("area", "mm2"), Some(1.5));
+        assert_eq!(res.cycles("area"), Some(10));
+        assert_eq!(res.metric("area", "absent"), None);
+    }
+
+    #[test]
+    fn failing_cell_degrades_without_aborting_siblings() {
+        let mut spec = ExperimentSpec::new("unit_fail").with_retry(RetryPolicy {
+            budget_retries: 1,
+            budget_factor: 2,
+        });
+        let b = builder(kernels::spatter::gather, 256, Layout::for_core(0));
+        let mut starved = CoreConfig::virec(4, 32);
+        starved.max_cycles = 50; // hopeless even at 2x
+        spec.single("starved", b.clone(), starved, &RunOptions::default());
+        spec.single(
+            "healthy",
+            b,
+            CoreConfig::virec(4, 32),
+            &RunOptions::default(),
+        );
+        spec.custom("panics", || panic!("boom"));
+        let res = Executor::new(3).run(&spec);
+        match &res.cell("starved").outcome {
+            CellOutcome::Failed { kind, retried, .. } => {
+                assert_eq!(*kind, "cycle_budget");
+                assert!(*retried, "budget failures are retried first");
+            }
+            CellOutcome::Ok(_) => panic!("a 50-cycle budget cannot complete gather"),
+        }
+        match &res.cell("panics").outcome {
+            CellOutcome::Failed { kind, error, .. } => {
+                assert_eq!(*kind, "panic");
+                assert!(error.contains("boom"));
+            }
+            CellOutcome::Ok(_) => panic!("panicking cell must fail"),
+        }
+        assert!(res.run("healthy").is_some(), "siblings must complete");
+        assert_eq!(res.failed(), 2);
+        assert!(!res.all_ok());
+        assert_eq!(res.failures().len(), 2);
+    }
+
+    #[test]
+    fn retry_policy_none_fails_immediately() {
+        let mut spec = ExperimentSpec::new("unit_noretry").with_retry(RetryPolicy::none());
+        let b = builder(kernels::spatter::gather, 256, Layout::for_core(0));
+        let mut starved = CoreConfig::virec(4, 32);
+        starved.max_cycles = 50;
+        spec.single("starved", b, starved, &RunOptions::default());
+        match &Executor::new(1).run(&spec).cell("starved").outcome {
+            CellOutcome::Failed { retried, .. } => {
+                assert!(!retried, "RetryPolicy::none must not retry")
+            }
+            CellOutcome::Ok(_) => panic!("cannot complete in 50 cycles"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment cell key")]
+    fn duplicate_keys_are_rejected() {
+        let mut spec = ExperimentSpec::new("dup");
+        spec.custom("k", || Ok(CellData::Metrics(Vec::new())));
+        spec.custom("k", || Ok(CellData::Metrics(Vec::new())));
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut spec = ExperimentSpec::new("json \"quoted\"");
+        spec.custom("fields", || {
+            Ok(CellData::fields([("desc", "a\"b\\c\nd".to_string())]))
+        });
+        let res = Executor::new(1).run(&spec);
+        let js = res.to_json();
+        assert!(
+            js.contains("\"experiment\": \"json \\\"quoted\\\"\""),
+            "{js}"
+        );
+        assert!(js.contains("\"desc\": \"a\\\"b\\\\c\\nd\""), "{js}");
+        assert!(js.contains("\"status\": \"ok\""));
+    }
+}

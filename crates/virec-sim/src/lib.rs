@@ -13,6 +13,9 @@
 //! * [`runner`] — single-core experiments with optional golden verification
 //!   and oracle recording for exact-context prefetching.
 //! * [`system`] — multi-core systems sharing the fabric (Figure 11).
+//! * [`experiment`] — the declarative experiment layer: keyed cell grids
+//!   ([`ExperimentSpec`]) executed by a worker-pool [`Executor`] with
+//!   deterministic collection and JSON result emission.
 //! * [`report`] — plain-text table/CSV emission for the figure binaries.
 //! * [`error`] — typed simulation errors ([`SimError`]) with per-run
 //!   diagnostics; every runner has a `try_` form returning `Result`.
@@ -22,6 +25,7 @@
 //!   classification against the golden checker.
 
 pub mod error;
+pub mod experiment;
 pub mod fault;
 pub mod offload;
 pub mod report;
@@ -30,6 +34,10 @@ pub mod system;
 pub mod watchdog;
 
 pub use error::{DivergenceSite, RunDiagnostics, SimError};
+pub use experiment::{
+    builder, CellData, CellOutcome, CellResult, CellSpec, Executor, ExperimentResult,
+    ExperimentSpec, Job, RetryPolicy, WorkloadBuilder,
+};
 pub use fault::{
     run_campaign, CampaignReport, FaultEvent, FaultPlan, FaultSite, InjectionOutcome,
     InjectionRecord,

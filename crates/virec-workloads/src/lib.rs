@@ -39,4 +39,4 @@ pub mod workload;
 
 pub use layout::Layout;
 pub use reduction::reduce_workload;
-pub use workload::{by_name, suite, suite_names, Workload, WorkloadCtor};
+pub use workload::{by_name, suite, suite_names, Workload, WorkloadCtor, SUITE};

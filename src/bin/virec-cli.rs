@@ -4,13 +4,17 @@
 //! virec-cli list
 //! virec-cli run --workload gather --n 4096 --engine virec --threads 8 --regs 52
 //! virec-cli run --workload spmv --engine banked --threads 4
+//! virec-cli sweep --jobs 4 --workloads gather,spmv --engines banked,virec40,virec80
 //! virec-cli area --threads 8 --regs 64
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Instant;
 use virec::area::AreaModel;
+use virec::bench::harness::{self, EngineSel, SuiteSweep};
 use virec::core::{CoreConfig, EngineKind, PolicyKind};
+use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
 use virec::sim::{run_campaign, FaultSite, InjectionOutcome};
 use virec::workloads::{by_name, suite_names, Layout};
@@ -24,12 +28,17 @@ USAGE:
     virec-cli run      --workload <name> [--n <elems>] [--engine <e>]
                        [--threads <t>] [--regs <r>] [--policy <p>] [--no-verify]
                        [--group-evict <g>] [--switch-prefetch] [--max-cycles <c>]
+    virec-cli sweep    [--jobs <j>] [--workloads <w1,w2,..>] [--n <elems>]
+                       [--threads <t>] [--engines <e1,e2,..>] [--json <dir>]
+                       [--budget-retries <k>] [--budget-factor <f>]
     virec-cli campaign [--workload <name>] [--n <elems>] [--engine virec|banked]
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
     virec-cli area     [--threads <t>] [--regs <r>]
 
 ENGINES:  virec (default) | banked | software | prefetch_full | prefetch_exact | nsf
-POLICIES: lrc (default) | mrt-plru | plru | lru | mrt-lru | fifo | random"
+POLICIES: lrc (default) | mrt-plru | plru | lru | mrt-lru | fifo | random
+SWEEP ENGINES: banked | software | virec<pct> | nsf<pct> | pf_full | pf_exact
+    (e.g. virec80; the first engine is the normalization baseline)"
     );
     ExitCode::from(2)
 }
@@ -162,6 +171,91 @@ fn cmd_run(flags: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `virec-cli sweep` — a workloads × engines grid on the parallel
+/// experiment executor. Tables and JSON are byte-identical for any
+/// `--jobs`; a failed cell degrades to a FAILED row without aborting its
+/// siblings, but does fail the exit status (for CI smoke use).
+fn cmd_sweep(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let n: u64 = get("n").map_or(Ok(1024), str::parse).unwrap_or(0);
+    let threads: usize = get("threads").map_or(Ok(8), str::parse).unwrap_or(0);
+    let jobs: usize = get("jobs")
+        .map_or_else(|| Ok(harness::jobs()), str::parse)
+        .unwrap_or(0);
+    if n == 0 || threads == 0 || jobs == 0 {
+        eprintln!("error: invalid --n, --threads or --jobs");
+        return ExitCode::from(2);
+    }
+    let workloads: Vec<String> = match get("workloads") {
+        None => suite_names().iter().map(|s| s.to_string()).collect(),
+        Some(list) => {
+            let names: Vec<String> = list.split(',').map(str::to_string).collect();
+            for name in &names {
+                if by_name(name, 64, Layout::for_core(0)).is_none() {
+                    eprintln!("error: unknown workload {name:?}; see `virec-cli list`");
+                    return ExitCode::from(2);
+                }
+            }
+            names
+        }
+    };
+    let engine_list = get("engines").unwrap_or("banked,virec40,virec80");
+    let mut engines = Vec::new();
+    for s in engine_list.split(',') {
+        let Some(e) = EngineSel::parse(s) else {
+            eprintln!("error: unknown sweep engine {s:?} (see usage)");
+            return ExitCode::from(2);
+        };
+        engines.push(e);
+    }
+    let retry = RetryPolicy {
+        budget_retries: get("budget-retries")
+            .map_or(Ok(RetryPolicy::default().budget_retries), str::parse)
+            .unwrap_or(u32::MAX),
+        budget_factor: get("budget-factor")
+            .map_or(Ok(RetryPolicy::default().budget_factor), str::parse)
+            .unwrap_or(0),
+    };
+    if retry.budget_retries == u32::MAX || retry.budget_factor == 0 {
+        eprintln!("error: invalid --budget-retries or --budget-factor");
+        return ExitCode::from(2);
+    }
+
+    let sweep = SuiteSweep {
+        name: "sweep".into(),
+        workloads,
+        engines,
+        n,
+        threads,
+        retry,
+    };
+    let spec = sweep.spec();
+    let start = Instant::now();
+    let res = Executor::new(jobs).run(&spec);
+    eprintln!(
+        "[sweep] {} cell(s) on {} worker(s) in {:.2?}",
+        spec.len(),
+        jobs,
+        start.elapsed()
+    );
+    print!("{}", sweep.render(&res));
+    let dir = get("json")
+        .map(std::path::PathBuf::from)
+        .or_else(harness::results_dir);
+    if let Some(dir) = dir {
+        match res.write_json(&dir) {
+            Ok(path) => eprintln!("[sweep] wrote {}", path.display()),
+            Err(e) => eprintln!("[sweep] could not write results JSON: {e}"),
+        }
+    }
+    res.print_failures();
+    if res.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
     let get = |k: &str| flags.get(k).map(|s| s.as_str());
     let wname = get("workload").unwrap_or("gather");
@@ -274,6 +368,13 @@ fn main() -> ExitCode {
         }
         "run" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_run(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "sweep" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_sweep(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

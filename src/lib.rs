@@ -12,14 +12,18 @@
 //! * [`core`] — the in-order CGMT pipeline, the VRMU with the LRC policy,
 //!   and all baseline context engines (banked, software, prefetching, NSF).
 //! * [`workloads`] — the memory-intensive kernels of the paper's evaluation.
-//! * [`sim`] — multi-core systems, task offload, experiment runner.
+//! * [`sim`] — multi-core systems, task offload, the declarative
+//!   experiment layer and its parallel executor.
 //! * [`area`] — the analytic area/delay model (CACTI-like, 45 nm).
 //! * [`cc`] — a mini-compiler with a configurable register budget (§4.2).
+//! * [`bench`] — the shared sweep harness behind the fig*/table* binaries
+//!   and `virec-cli sweep`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
 
 pub use virec_area as area;
+pub use virec_bench as bench;
 pub use virec_cc as cc;
 pub use virec_core as core;
 pub use virec_isa as isa;

@@ -12,13 +12,13 @@
 use virec::core::{CoreConfig, RegRegion};
 use virec::isa::{reg::names::X4, FlatMem, Instr, Program};
 use virec::mem::{Fabric, FabricConfig};
+use virec::sim::experiment::{builder, CellOutcome, Executor, ExperimentSpec};
 use virec::sim::offload::offload;
 use virec::sim::runner::{
     try_run_single, try_verify_against_golden, verify_against_golden, RunOptions,
 };
 use virec::sim::{run_campaign, FaultEvent, FaultPlan, FaultSite, InjectionOutcome, SimError};
 use virec::workloads::{kernels, Layout, Workload};
-use virec_bench::harness::{run_cell, Cell, SweepLog};
 
 /// Runs gather to completion and returns (core, mem) without verification.
 fn run_unverified(cfg: CoreConfig, n: u64) -> (virec::core::Core, FlatMem) {
@@ -206,43 +206,55 @@ fn golden_run_stuck_is_typed() {
 
 #[test]
 fn sweep_continues_past_a_failing_config() {
-    let w = gather();
+    let build = builder(kernels::spatter::gather, 256, Layout::for_core(0));
     let opts = RunOptions::default();
-    let mut log = SweepLog::new();
 
-    // A config whose budget is hopeless even after the relaxed retry.
+    // A config whose budget is hopeless even after the relaxed retry,
+    // declared next to a healthy sibling and run on the parallel executor.
     let mut starved = CoreConfig::virec(4, 32);
     starved.max_cycles = 100;
-    let failed = log.cell("starved", starved, &w, &opts);
-    match failed {
-        Cell::Failed { kind, retried, .. } => {
-            assert_eq!(kind, "cycle_budget");
+    let mut spec = ExperimentSpec::new("failure_sweep");
+    spec.single("starved", build.clone(), starved, &opts);
+    spec.single("healthy", build, CoreConfig::virec(4, 32), &opts);
+    let res = Executor::new(2).run(&spec);
+
+    match &res.cell("starved").outcome {
+        CellOutcome::Failed { kind, retried, .. } => {
+            assert_eq!(*kind, "cycle_budget");
             assert!(retried, "budget failures are retried once before failing");
         }
-        Cell::Done(_) => panic!("a 100-cycle budget cannot complete gather"),
+        CellOutcome::Ok(_) => panic!("a 100-cycle budget cannot complete gather"),
     }
 
-    // Its sibling still runs and verifies.
-    let ok = log.cell("healthy", CoreConfig::virec(4, 32), &w, &opts);
+    // Its sibling still ran and verified.
     assert!(
-        ok.done().is_some(),
+        res.run("healthy").is_some(),
         "the sweep must continue past a failure"
     );
-    assert_eq!(log.failed(), 1);
-    assert!(!log.all_ok());
+    assert_eq!(res.failed(), 1);
+    assert!(!res.all_ok());
+    assert_eq!(res.failures().len(), 1);
 }
 
 #[test]
 fn budget_retry_rescues_a_slow_config() {
-    // A budget that is too small by less than RETRY_BUDGET_FACTOR must be
-    // rescued by the single relaxed retry and report success.
+    // A budget that is too small by less than the default retry factor
+    // must be rescued by the single relaxed retry and report success.
     let w = gather();
     let clean = try_run_single(CoreConfig::virec(4, 32), &w, &RunOptions::default())
         .expect("clean gather completes");
     let mut tight = CoreConfig::virec(4, 32);
     tight.max_cycles = clean.cycles - 1; // fails; 4x relaxation succeeds
-    match run_cell(tight, &w, &RunOptions::default()) {
-        Cell::Done(r) => assert_eq!(r.cycles, clean.cycles),
-        Cell::Failed { error, .. } => panic!("retry should have rescued the run: {error}"),
+    let mut spec = ExperimentSpec::new("retry_sweep");
+    spec.single(
+        "tight",
+        builder(kernels::spatter::gather, 256, Layout::for_core(0)),
+        tight,
+        &RunOptions::default(),
+    );
+    let res = Executor::new(1).run(&spec);
+    match res.run("tight") {
+        Some(r) => assert_eq!(r.cycles, clean.cycles),
+        None => panic!("retry should have rescued the run: {:?}", res.failures()),
     }
 }
