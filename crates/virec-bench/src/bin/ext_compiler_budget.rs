@@ -116,7 +116,7 @@ fn main() {
 
     let mut spec = ExperimentSpec::new("ext_compiler_budget");
     for budget in BUDGETS {
-        spec.custom(format!("budget{budget}"), move || {
+        spec.custom(format!("budget{budget}"), move |_| {
             run_budget(budget, n, nthreads)
         });
     }

@@ -9,9 +9,12 @@
 //!
 //! Each engine's campaign is one custom cell; the outcome counts land in
 //! the `results/` JSON while the full per-injection records flow through
-//! a side channel for the SILENT-escape listing. Exit status is nonzero
-//! if any effectful fault escaped detection (a `SILENT` outcome) — that
-//! is a checker bug, not a simulator bug.
+//! a side channel for the SILENT-escape listing. Every checker-detected
+//! injection is re-executed once without the fault plan and must
+//! reproduce the clean run's architectural digest (`Recovered`). Exit
+//! status is nonzero if any effectful fault escaped detection (a
+//! `SILENT` outcome) or any detected injection failed to recover — both
+//! are checker/recovery bugs, not simulator bugs.
 //!
 //! ```sh
 //! cargo run --release -p virec-bench --bin fault_campaign
@@ -57,17 +60,19 @@ fn main() {
         ("banked", CoreConfig::banked(4), &FaultSite::NON_VRMU[..]),
     ] {
         let reports = Arc::clone(&reports);
-        spec.custom(key, move || {
+        spec.custom(key, move |_| {
             let w = kernels::spatter::gather(n, layout0());
             let r = run_campaign(cfg, &w, injections, base_seed, sites);
             let data = CellData::metrics([
                 ("injections", r.records.len() as f64),
+                ("recovered", r.count(InjectionOutcome::Recovered) as f64),
                 ("detected", r.count(InjectionOutcome::Detected) as f64),
                 ("crashed", r.count(InjectionOutcome::Crashed) as f64),
                 ("masked", r.count(InjectionOutcome::Masked) as f64),
                 ("not_applied", r.count(InjectionOutcome::NotApplied) as f64),
                 ("silent", r.count(InjectionOutcome::Silent) as f64),
                 ("detection_rate", r.detection_rate()),
+                ("recovery_rate", r.recovery_rate()),
                 ("clean_cycles", r.clean_cycles as f64),
             ]);
             reports.lock().unwrap().insert(key.to_string(), r);
@@ -96,12 +101,14 @@ fn main() {
         &[
             "engine",
             "injections",
+            "recovered",
             "detected",
             "crashed",
             "masked",
             "not_applied",
             "silent",
             "detection_rate",
+            "recovery_rate",
             "clean_cycles",
         ],
     );
@@ -110,25 +117,38 @@ fn main() {
         t.row(vec![
             r.engine.clone(),
             r.records.len().to_string(),
+            r.count(InjectionOutcome::Recovered).to_string(),
             r.count(InjectionOutcome::Detected).to_string(),
             r.count(InjectionOutcome::Crashed).to_string(),
             r.count(InjectionOutcome::Masked).to_string(),
             r.count(InjectionOutcome::NotApplied).to_string(),
             r.count(InjectionOutcome::Silent).to_string(),
             pct(r.detection_rate()),
+            pct(r.recovery_rate()),
             r.clean_cycles.to_string(),
         ]);
     }
     t.print();
 
     let mut escaped = false;
+    let mut unrecovered = false;
     for key in ["virec", "banked"] {
         let r = &reports[key];
         println!("{}", r.summary());
         for rec in &r.records {
-            if rec.outcome == InjectionOutcome::Silent {
-                escaped = true;
-                println!("  SILENT escape: seed {} faults {:?}", rec.seed, rec.faults);
+            match rec.outcome {
+                InjectionOutcome::Silent => {
+                    escaped = true;
+                    println!("  SILENT escape: seed {} faults {:?}", rec.seed, rec.faults);
+                }
+                InjectionOutcome::Detected => {
+                    unrecovered = true;
+                    println!(
+                        "  unrecovered detection: seed {} faults {:?}",
+                        rec.seed, rec.faults
+                    );
+                }
+                _ => {}
             }
         }
     }
@@ -136,5 +156,9 @@ fn main() {
         eprintln!("\nFAIL: at least one effectful fault escaped every checker");
         std::process::exit(1);
     }
-    println!("\nOK: every effectful fault was detected");
+    if unrecovered {
+        eprintln!("\nFAIL: at least one detected injection did not recover on re-execution");
+        std::process::exit(1);
+    }
+    println!("\nOK: every effectful fault was detected and every detection recovered");
 }

@@ -42,7 +42,7 @@ fn main() {
     spec.single("inorder", build.clone(), CoreConfig::banked(1), &opts);
     // OoO host core (trace model, clock-normalized to the 1 GHz domain).
     let ooo_build = build.clone();
-    spec.custom("ooo", move || {
+    spec.custom("ooo", move |_| {
         let w = ooo_build();
         let mut mem = FlatMem::new(0, virec_workloads::layout::mem_size(1));
         w.init_mem(&mut mem);

@@ -24,7 +24,7 @@ fn main() {
         let build = builder(*ctor, n, layout0());
         // Dynamic: mean registers touched per scheduling quantum on a
         // 4-thread banked core, from an oracle-recording run.
-        spec.custom(name.to_string(), move || {
+        spec.custom(name.to_string(), move |_| {
             let w = build();
             let opts = RunOptions {
                 verify: false,

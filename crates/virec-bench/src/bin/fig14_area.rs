@@ -25,7 +25,7 @@ const DELAY_BANKS: [usize; 3] = [4, 8, 16];
 fn main() {
     let mut spec = ExperimentSpec::new("fig14_area");
     for threads in THREADS {
-        spec.custom(format!("area/{threads}t"), move || {
+        spec.custom(format!("area/{threads}t"), move |_| {
             let m = AreaModel::default();
             Ok(CellData::metrics([
                 ("banked", m.banked_core(threads)),
@@ -37,7 +37,7 @@ fn main() {
         });
     }
     for regs in BREAKDOWN_REGS {
-        spec.custom(format!("breakdown/{regs}r"), move || {
+        spec.custom(format!("breakdown/{regs}r"), move |_| {
             let m = AreaModel::default();
             Ok(CellData::metrics([
                 ("rf", m.rf_area(regs)),
@@ -47,14 +47,14 @@ fn main() {
             ]))
         });
     }
-    spec.custom("delay/baseline_32r", || {
+    spec.custom("delay/baseline_32r", |_| {
         Ok(CellData::metrics([(
             "delay_ns",
             AreaModel::default().virec_rf_delay(32),
         )]))
     });
     for regs in DELAY_REGS {
-        spec.custom(format!("delay/virec_{regs}r"), move || {
+        spec.custom(format!("delay/virec_{regs}r"), move |_| {
             Ok(CellData::metrics([(
                 "delay_ns",
                 AreaModel::default().virec_rf_delay(regs),
@@ -62,7 +62,7 @@ fn main() {
         });
     }
     for banks in DELAY_BANKS {
-        spec.custom(format!("delay/banked_{banks}b"), move || {
+        spec.custom(format!("delay/banked_{banks}b"), move |_| {
             Ok(CellData::metrics([(
                 "delay_ns",
                 AreaModel::default().banked_rf_delay(banks),

@@ -39,7 +39,7 @@ const PROCESSORS: &[Processor] = &[
 fn main() {
     let mut spec = ExperimentSpec::new("table1_configs");
     for (_, key, make) in PROCESSORS {
-        spec.custom(*key, move || {
+        spec.custom(*key, move |_| {
             let cfg = make();
             Ok(CellData::fields([
                 ("engine", format!("{:?}", cfg.engine)),
@@ -67,7 +67,7 @@ fn main() {
             ]))
         });
     }
-    spec.custom("memory_system", || {
+    spec.custom("memory_system", |_| {
         let f = FabricConfig::default();
         let d = f.dram;
         Ok(CellData::fields([

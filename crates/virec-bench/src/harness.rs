@@ -9,7 +9,12 @@
 //!    (`VIREC_JOBS`, default: all cores) and writes machine-readable JSON
 //!    rows into `results/` (`VIREC_RESULTS` overrides, `off` disables).
 //!    Collection is keyed and re-sorted, so tables and JSON are
-//!    byte-identical for any worker count.
+//!    byte-identical for any worker count. Every sweep journals completed
+//!    cells to `results/<name>.journal.jsonl`; `--resume` (or
+//!    `VIREC_RESUME=1`) replays the journal instead of re-running,
+//!    `--deadline <ms>` (or `VIREC_DEADLINE_MS`) bounds each cell's
+//!    wall-clock time, and Ctrl-C drains gracefully — finish the in-flight
+//!    cells, flush the journal, exit 130 with a resume hint.
 //! 3. **Render** — build tables from the keyed results; failed cells
 //!    surface as `FAILED` rows and [`RelTracker`] accumulates the
 //!    relative-performance columns and geomean rows the paper's figures
@@ -23,6 +28,7 @@ use virec_core::{CoreConfig, PolicyKind};
 use virec_sim::experiment::{builder, Executor, ExperimentResult, ExperimentSpec, RetryPolicy};
 use virec_sim::report::{f3, geomean};
 use virec_sim::runner::RunOptions;
+use virec_sim::{interrupt_tokens, JournalConfig};
 use virec_workloads::{by_name, Layout, Workload};
 
 /// Default problem size for figure regeneration (large enough that caches
@@ -64,13 +70,99 @@ pub fn results_dir() -> Option<PathBuf> {
     }
 }
 
+/// Sweep-level control knobs shared by every figure binary and
+/// `virec-cli sweep`: crash-safe resume, a per-cell wall-clock deadline,
+/// and the deterministic interruption hook tests and CI use in place of a
+/// real Ctrl-C.
+#[derive(Clone, Debug, Default)]
+pub struct SweepControl {
+    /// Replay journaled cells instead of re-running them (`--resume` on
+    /// the command line, or `VIREC_RESUME=1`).
+    pub resume: bool,
+    /// Per-cell wall-clock deadline in milliseconds (`--deadline <ms>` or
+    /// `VIREC_DEADLINE_MS`); 0 disables the deadline.
+    pub deadline_ms: u64,
+    /// Drain after this many completed cells (`VIREC_INTERRUPT_AFTER`) —
+    /// the same code path a SIGINT takes, made deterministic for tests.
+    pub interrupt_after: Option<usize>,
+}
+
+impl SweepControl {
+    /// Reads the control knobs from the process arguments (`--resume`,
+    /// `--deadline <ms>`) and environment (`VIREC_RESUME`,
+    /// `VIREC_DEADLINE_MS`, `VIREC_INTERRUPT_AFTER`). Flags win over the
+    /// environment so a resumed invocation can be typed at the shell
+    /// without unsetting anything.
+    pub fn from_env_and_args() -> SweepControl {
+        let env_flag =
+            |name: &str| std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0" && v != "off");
+        let mut ctl = SweepControl {
+            resume: env_flag("VIREC_RESUME"),
+            deadline_ms: std::env::var("VIREC_DEADLINE_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            interrupt_after: std::env::var("VIREC_INTERRUPT_AFTER")
+                .ok()
+                .and_then(|s| s.parse().ok()),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        for (i, arg) in args.iter().enumerate() {
+            match arg.as_str() {
+                "--resume" => ctl.resume = true,
+                "--deadline" => {
+                    if let Some(ms) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        ctl.deadline_ms = ms;
+                    }
+                }
+                _ => {}
+            }
+        }
+        ctl
+    }
+}
+
 /// Executes a spec on the configured worker pool, emits its JSON rows, and
 /// reports wall-clock progress on stderr (never stdout: the printed tables
 /// must be byte-identical for any `--jobs`).
+///
+/// Control knobs come from [`SweepControl::from_env_and_args`]; an
+/// interrupted sweep (Ctrl-C or `VIREC_INTERRUPT_AFTER`) flushes the
+/// journal, prints a resume hint, and exits with status 130 — the
+/// conventional SIGINT exit — instead of writing a partial results file.
 pub fn run_spec(spec: &ExperimentSpec) -> ExperimentResult {
+    run_spec_controlled(spec, &SweepControl::from_env_and_args())
+}
+
+/// [`run_spec`] with explicit [`SweepControl`] (the CLI parses its own
+/// flags and calls this directly).
+pub fn run_spec_controlled(spec: &ExperimentSpec, ctl: &SweepControl) -> ExperimentResult {
     let jobs = jobs();
     let start = Instant::now();
-    let res = Executor::new(jobs).run(spec);
+    let (drain, abort) = interrupt_tokens();
+    let mut exec = Executor::new(jobs)
+        .with_interrupts(drain, abort)
+        .with_deadline_ms(ctl.deadline_ms);
+    if let Some(n) = ctl.interrupt_after {
+        exec = exec.with_interrupt_after(n);
+    }
+    let dir = results_dir();
+    let journal = dir.as_ref().map(|d| JournalConfig {
+        dir: d.clone(),
+        resume: ctl.resume,
+    });
+    let res = match exec.run_journaled(spec, journal.as_ref()) {
+        Ok(res) => res,
+        Err(e) => {
+            // Journal I/O failing (read-only results dir, full disk) must
+            // not take the sweep down — fall back to an unjournaled run.
+            eprintln!(
+                "[{}] cell journal unavailable ({e}); running without crash-safety",
+                spec.name
+            );
+            exec.run(spec)
+        }
+    };
     eprintln!(
         "[{}] {} cell(s) on {} worker(s) in {:.2?}",
         spec.name,
@@ -78,7 +170,16 @@ pub fn run_spec(spec: &ExperimentSpec) -> ExperimentResult {
         jobs,
         start.elapsed()
     );
-    if let Some(dir) = results_dir() {
+    if res.interrupted {
+        eprintln!(
+            "[{}] interrupted: {} cell(s) not run; journal retained — re-run with --resume \
+             (or VIREC_RESUME=1) to pick up where this sweep left off",
+            spec.name,
+            res.skipped()
+        );
+        std::process::exit(130);
+    }
+    if let Some(dir) = dir {
         match res.write_json(&dir) {
             Ok(path) => eprintln!("[{}] wrote {}", spec.name, path.display()),
             Err(e) => eprintln!("[{}] could not write results JSON: {e}", spec.name),

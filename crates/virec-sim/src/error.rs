@@ -53,6 +53,23 @@ impl RunDiagnostics {
         })
     }
 
+    /// A placeholder snapshot for failures raised outside a live core —
+    /// e.g. a custom experiment cell observing its cancellation gate. Only
+    /// the workload label carries information; every counter is zero.
+    pub fn placeholder(label: &str) -> Box<RunDiagnostics> {
+        Box::new(RunDiagnostics {
+            workload: label.to_string(),
+            engine: EngineKind::ViReC,
+            policy: PolicyKind::Lrc,
+            nthreads: 0,
+            cycles: 0,
+            instructions: 0,
+            context_switches: 0,
+            rf_misses: 0,
+            last_commit_pc: Vec::new(),
+        })
+    }
+
     /// Renders the snapshot as a compact `key=value` record.
     pub fn summary(&self) -> String {
         let pcs: Vec<String> = self
@@ -166,6 +183,17 @@ pub enum SimError {
         /// Core snapshot after the run.
         diag: Box<RunDiagnostics>,
     },
+    /// The run's wall-clock gate tripped: either its per-cell deadline
+    /// expired or a cooperative cancellation (SIGINT abort) was requested.
+    Deadline {
+        /// Wall-clock milliseconds the run had consumed when it tripped.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds (0 when the trip came
+        /// from an external cancellation with no deadline set).
+        limit_ms: u64,
+        /// Core snapshot at the abort cycle.
+        diag: Box<RunDiagnostics>,
+    },
     /// An injected fault was caught: the underlying failure is wrapped so
     /// campaign drivers can separate detection from the detection mechanism.
     FaultDetected {
@@ -186,7 +214,23 @@ impl SimError {
             SimError::Livelock { .. } => "livelock",
             SimError::GoldenDivergence { .. } => "golden_divergence",
             SimError::GoldenRunStuck { .. } => "golden_stuck",
+            SimError::Deadline { .. } => "deadline",
             SimError::FaultDetected { .. } => "fault_detected",
+        }
+    }
+
+    /// True when this failure came from an expired per-cell wall-clock
+    /// deadline (as opposed to an external cancellation, which is a
+    /// property of the interrupted process, not of the cell — resumable
+    /// runs re-execute cancelled cells but replay expired ones).
+    pub fn deadline_expired(&self) -> bool {
+        match self.root_cause() {
+            SimError::Deadline {
+                elapsed_ms,
+                limit_ms,
+                ..
+            } => *limit_ms > 0 && elapsed_ms >= limit_ms,
+            _ => false,
         }
     }
 
@@ -197,6 +241,7 @@ impl SimError {
             | SimError::Livelock { diag, .. }
             | SimError::GoldenDivergence { diag, .. }
             | SimError::GoldenRunStuck { diag, .. }
+            | SimError::Deadline { diag, .. }
             | SimError::FaultDetected { diag, .. } => diag,
         }
     }
@@ -249,6 +294,30 @@ impl std::fmt::Display for SimError {
                 step_cap,
                 diag.summary()
             ),
+            SimError::Deadline {
+                elapsed_ms,
+                limit_ms,
+                diag,
+            } => {
+                if *limit_ms > 0 && elapsed_ms >= limit_ms {
+                    write!(
+                        f,
+                        "{}: wall-clock deadline of {} ms expired after {} ms [{}]",
+                        diag.workload,
+                        limit_ms,
+                        elapsed_ms,
+                        diag.summary()
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{}: cancelled after {} ms [{}]",
+                        diag.workload,
+                        elapsed_ms,
+                        diag.summary()
+                    )
+                }
+            }
             SimError::FaultDetected {
                 faults,
                 cause,
@@ -345,6 +414,30 @@ mod tests {
         assert_eq!(wrapped.kind(), "fault_detected");
         assert_eq!(wrapped.root_cause().kind(), "livelock");
         assert_eq!(wrapped.diagnostics().workload, "test_wl");
+    }
+
+    #[test]
+    fn deadline_display_distinguishes_expiry_from_cancellation() {
+        let expired = SimError::Deadline {
+            elapsed_ms: 120,
+            limit_ms: 100,
+            diag: diag(),
+        };
+        assert!(expired.to_string().contains("deadline of 100 ms expired"));
+        assert!(expired.deadline_expired());
+        assert_eq!(expired.kind(), "deadline");
+
+        let cancelled = SimError::Deadline {
+            elapsed_ms: 7,
+            limit_ms: 0,
+            diag: diag(),
+        };
+        assert!(cancelled.to_string().contains("cancelled after 7 ms"));
+        assert!(!cancelled.deadline_expired());
+
+        let placeholder = RunDiagnostics::placeholder("cell/key");
+        assert_eq!(placeholder.workload, "cell/key");
+        assert_eq!(placeholder.cycles, 0);
     }
 
     #[test]

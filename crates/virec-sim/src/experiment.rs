@@ -19,6 +19,14 @@
 //! degrades to a structured [`CellOutcome::Failed`] row without aborting
 //! its siblings. Pure cycle-budget failures are retried with a relaxed
 //! budget according to the spec's [`RetryPolicy`].
+//!
+//! Sweeps are additionally *crash-safe*: with a
+//! [`JournalConfig`](crate::journal::JournalConfig) the executor appends
+//! each finished cell to an fsync'd journal, replays it on `--resume`
+//! (re-running only the remainder, byte-identical output), honours
+//! per-cell wall-clock deadlines through each cell's
+//! [`RunGate`](crate::cancel::RunGate), and drains cleanly when an
+//! interrupt token fires.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -26,8 +34,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::cancel::{CancelToken, RunGate};
 use crate::error::SimError;
-use crate::runner::{try_run_prefetch_exact, try_run_single, RunOptions, RunResult};
+use crate::journal::{self, JournalConfig};
+use crate::runner::{try_run_prefetch_exact_gated, try_run_single, RunOptions, RunResult};
 use crate::system::{System, SystemConfig, SystemResult};
 use virec_core::CoreConfig;
 use virec_mem::FabricConfig;
@@ -43,7 +53,11 @@ pub fn builder(ctor: WorkloadCtor, n: u64, layout: Layout) -> WorkloadBuilder {
     Arc::new(move || ctor(n, layout))
 }
 
-/// How budget failures are retried before a cell is declared failed.
+/// How budget failures are retried before a cell is declared failed: a
+/// bounded geometric schedule. Attempt `k` runs with the budget scaled by
+/// `budget_factor^k`, capped at `scale_cap`, for at most `max_retries`
+/// re-runs; the schedule stops early once the cap is reached (another
+/// attempt at the same budget cannot succeed).
 ///
 /// The defaults reproduce the historical sweep behaviour: one retry with a
 /// 4× relaxed `max_cycles`. Retries apply to [`Job::Single`] and
@@ -51,17 +65,20 @@ pub fn builder(ctor: WorkloadCtor, n: u64, layout: Layout) -> WorkloadBuilder {
 /// prefetch-exact and custom cells fail on their first budget error.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
-    /// Number of relaxed re-runs after a cycle-budget failure.
-    pub budget_retries: u32,
+    /// Maximum number of relaxed re-runs after cycle-budget failures.
+    pub max_retries: u32,
     /// Budget multiplier applied on each retry (compounding).
     pub budget_factor: u64,
+    /// Upper bound on the cumulative budget multiplier.
+    pub scale_cap: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy {
-            budget_retries: 1,
+            max_retries: 1,
             budget_factor: 4,
+            scale_cap: 256,
         }
     }
 }
@@ -70,9 +87,21 @@ impl RetryPolicy {
     /// No retries: every budget failure is immediately a failed row.
     pub fn none() -> RetryPolicy {
         RetryPolicy {
-            budget_retries: 0,
+            max_retries: 0,
             budget_factor: 1,
+            scale_cap: 1,
         }
+    }
+
+    /// The cumulative budget scale to try after an attempt at `scale`
+    /// failed, or `None` when the schedule is exhausted (the cap is
+    /// reached, or the factor is 1 and another attempt would re-run the
+    /// identical budget).
+    pub fn next_scale(&self, scale: u64) -> Option<u64> {
+        let next = scale
+            .saturating_mul(self.budget_factor.max(1))
+            .min(self.scale_cap.max(1));
+        (next > scale).then_some(next)
     }
 }
 
@@ -114,8 +143,37 @@ pub enum Job {
     },
     /// Anything else — area-model evaluations, compiled-kernel drives,
     /// campaign wrappers. Must be deterministic; budget retries do not
-    /// apply.
-    Custom(Arc<dyn Fn() -> Result<CellData, SimError> + Send + Sync>),
+    /// apply. The closure receives the cell's [`CellCtx`] and should call
+    /// [`CellCtx::check`] periodically if it can run long.
+    Custom(Arc<CustomFn>),
+}
+
+/// The closure type behind [`Job::Custom`].
+pub type CustomFn = dyn Fn(&CellCtx) -> Result<CellData, SimError> + Send + Sync;
+
+/// Execution context handed to custom cells: the cell's key and its
+/// cancellation gate.
+pub struct CellCtx<'a> {
+    /// The cell's key (labels deadline diagnostics).
+    pub key: &'a str,
+    /// The cell's wall-clock-deadline / cancellation gate.
+    pub gate: &'a RunGate,
+}
+
+impl CellCtx<'_> {
+    /// Cooperative cancellation point: returns a typed
+    /// [`SimError::Deadline`] once the cell's gate has tripped. Cheap
+    /// enough to call inside loops.
+    pub fn check(&self) -> Result<(), SimError> {
+        match self.gate.trip() {
+            Some(trip) => Err(SimError::Deadline {
+                elapsed_ms: trip.elapsed_ms,
+                limit_ms: trip.limit_ms,
+                diag: crate::error::RunDiagnostics::placeholder(self.key),
+            }),
+            None => Ok(()),
+        }
+    }
 }
 
 /// One keyed cell of an experiment grid.
@@ -223,7 +281,7 @@ impl ExperimentSpec {
     pub fn custom(
         &mut self,
         key: impl Into<String>,
-        f: impl Fn() -> Result<CellData, SimError> + Send + Sync + 'static,
+        f: impl Fn(&CellCtx) -> Result<CellData, SimError> + Send + Sync + 'static,
     ) {
         self.push(key, Job::Custom(Arc::new(f)));
     }
@@ -315,6 +373,10 @@ pub enum CellOutcome {
         /// True if the failure survived at least one relaxed budget retry.
         retried: bool,
     },
+    /// The cell was never executed: the sweep drained (SIGINT, or a test
+    /// interruption) before a worker claimed it. Skipped cells are not
+    /// journaled, so a resumed run executes them.
+    Skipped,
 }
 
 /// One collected result row.
@@ -331,7 +393,7 @@ impl CellResult {
     pub fn data(&self) -> Option<&CellData> {
         match &self.outcome {
             CellOutcome::Ok(d) => Some(d),
-            CellOutcome::Failed { .. } => None,
+            CellOutcome::Failed { .. } | CellOutcome::Skipped => None,
         }
     }
 }
@@ -344,6 +406,10 @@ pub struct ExperimentResult {
     pub cells: Vec<CellResult>,
     /// Worker count the run used.
     pub jobs: usize,
+    /// True when the sweep drained before every cell ran (some cells are
+    /// [`CellOutcome::Skipped`]); the final JSON should not be written and
+    /// the journal is left in place for `--resume`.
+    pub interrupted: bool,
     index: HashMap<String, usize>,
 }
 
@@ -415,14 +481,15 @@ impl ExperimentResult {
                     };
                     Some((c.key.clone(), format!("[{kind}{suffix}] {error}")))
                 }
-                CellOutcome::Ok(_) => None,
+                CellOutcome::Ok(_) | CellOutcome::Skipped => None,
             })
             .collect()
     }
 
-    /// True if every cell completed.
+    /// True if every cell completed successfully (none failed, none
+    /// skipped by an interruption).
     pub fn all_ok(&self) -> bool {
-        self.failed() == 0
+        self.failed() == 0 && self.skipped() == 0
     }
 
     /// Number of failed cells.
@@ -430,6 +497,14 @@ impl ExperimentResult {
         self.cells
             .iter()
             .filter(|c| matches!(c.outcome, CellOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Number of cells skipped by an interrupted (drained) sweep.
+    pub fn skipped(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Skipped))
             .count()
     }
 
@@ -474,6 +549,7 @@ impl ExperimentResult {
                     // span pages and belong in stderr, not result rows.
                     json_string(&mut out, error.lines().next().unwrap_or(""));
                 }
+                CellOutcome::Skipped => out.push_str(", \"status\": \"skipped\""),
             }
             out.push('}');
         }
@@ -483,15 +559,25 @@ impl ExperimentResult {
 
     /// Writes [`ExperimentResult::to_json`] to `<dir>/<name>.json`,
     /// creating the directory if needed. Returns the written path.
+    ///
+    /// The write is atomic (temp file, fsync, rename): a crash mid-write
+    /// can never leave truncated JSON for a later resume to trip over.
     pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
+        let tmp = dir.join(format!(".tmp.{}.json", self.name));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
         Ok(path)
     }
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -570,74 +656,247 @@ fn json_cell_data(out: &mut String, d: &CellData) {
 /// result is stored at its cell's declaration index, so the collected
 /// [`ExperimentResult`] — and everything rendered from it — is identical
 /// for any worker count.
+///
+/// With [`Executor::run_journaled`] the pool is additionally crash-safe:
+/// finished cells are appended to an fsync'd journal and replayed on
+/// resume. [`Executor::with_interrupts`] wires in the SIGINT drain/abort
+/// token pair and [`Executor::with_deadline_ms`] bounds each cell's
+/// wall-clock time.
 pub struct Executor {
     jobs: usize,
+    drain: CancelToken,
+    abort: CancelToken,
+    deadline_ms: u64,
+    gated: bool,
+    interrupt_after: Option<usize>,
 }
 
 impl Executor {
     /// A pool with `jobs` workers (clamped to at least 1). `jobs == 1`
     /// executes inline on the calling thread, with no pool at all.
     pub fn new(jobs: usize) -> Executor {
-        Executor { jobs: jobs.max(1) }
+        Executor {
+            jobs: jobs.max(1),
+            drain: CancelToken::new(),
+            abort: CancelToken::new(),
+            deadline_ms: 0,
+            gated: false,
+            interrupt_after: None,
+        }
+    }
+
+    /// Installs a `(drain, abort)` cancellation pair — usually from
+    /// [`crate::cancel::interrupt_tokens`]. Once `drain` cancels, workers
+    /// finish their current cell and claim no more; `abort` additionally
+    /// trips every in-flight cell's gate.
+    pub fn with_interrupts(mut self, drain: CancelToken, abort: CancelToken) -> Executor {
+        self.drain = drain;
+        self.abort = abort;
+        self.gated = true;
+        self
+    }
+
+    /// Sets a per-cell wall-clock deadline in milliseconds (0 disables
+    /// it). A cell past its deadline degrades to a structured `deadline`
+    /// failure row; siblings are unaffected.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Executor {
+        self.deadline_ms = deadline_ms;
+        self.gated = self.gated || deadline_ms > 0;
+        self
+    }
+
+    /// Deterministic interruption for tests and CI smoke runs: drain the
+    /// sweep after `n` cells complete in this run, exactly as if SIGINT
+    /// had arrived (fully deterministic with one worker).
+    pub fn with_interrupt_after(mut self, n: usize) -> Executor {
+        self.interrupt_after = Some(n);
+        self
     }
 
     /// Executes every cell and collects results in declaration order.
     pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
-        let outcomes: Vec<CellOutcome> = if self.jobs == 1 || spec.cells.len() <= 1 {
-            spec.cells
-                .iter()
-                .map(|c| execute_cell(&c.job, spec.retry))
-                .collect()
-        } else {
-            let slots: Vec<Mutex<Option<CellOutcome>>> =
-                spec.cells.iter().map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            let workers = self.jobs.min(spec.cells.len());
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = spec.cells.get(i) else {
-                            break;
-                        };
-                        let outcome = execute_cell(&cell.job, spec.retry);
-                        *slots[i].lock().unwrap() = Some(outcome);
-                    });
+        self.run_journaled(spec, None)
+            .expect("journal-free runs perform no I/O")
+    }
+
+    /// Executes the spec with optional crash-safe journaling.
+    ///
+    /// With a [`JournalConfig`], every finished cell is appended to
+    /// `<dir>/<name>.journal.jsonl` and fsync'd before it counts as
+    /// complete. When `resume` is set and a matching journal exists, its
+    /// outcomes are replayed verbatim — replayed cells are *not*
+    /// re-executed — and only the remainder runs; the collected result
+    /// (tables, JSON) is byte-identical to an uninterrupted run. The
+    /// journal is deleted after a complete (non-interrupted) sweep.
+    ///
+    /// `Err` is returned only for journal I/O that cannot be recovered
+    /// (e.g. the results directory is not writable).
+    pub fn run_journaled(
+        &self,
+        spec: &ExperimentSpec,
+        journal_cfg: Option<&JournalConfig>,
+    ) -> std::io::Result<ExperimentResult> {
+        let n = spec.cells.len();
+        let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let mut writer: Option<Mutex<journal::JournalWriter>> = None;
+        if let Some(jc) = journal_cfg {
+            let fingerprint =
+                journal::spec_fingerprint(&spec.name, spec.cells.iter().map(|c| c.key.as_str()));
+            let path = journal::journal_path(&jc.dir, &spec.name);
+            let mut replayed = false;
+            if jc.resume {
+                match journal::load(&path, &spec.name, fingerprint) {
+                    journal::JournalLoad::Loaded {
+                        records,
+                        skipped_lines,
+                    } => {
+                        if skipped_lines > 0 {
+                            eprintln!(
+                                "journal {}: skipped {skipped_lines} corrupt record(s)",
+                                path.display()
+                            );
+                        }
+                        let mut applied = 0usize;
+                        for (key, outcome) in records {
+                            match spec.keys.get(&key) {
+                                Some(&i) => {
+                                    *slots[i].lock().unwrap() = Some(outcome);
+                                    applied += 1;
+                                }
+                                None => eprintln!(
+                                    "journal {}: ignoring unknown cell {key:?}",
+                                    path.display()
+                                ),
+                            }
+                        }
+                        eprintln!(
+                            "resume: replaying {applied}/{n} journaled cell(s) of {}",
+                            spec.name
+                        );
+                        replayed = true;
+                    }
+                    journal::JournalLoad::Mismatch => {
+                        eprintln!(
+                            "journal {}: belongs to a different spec; starting fresh",
+                            path.display()
+                        );
+                    }
+                    journal::JournalLoad::Missing => {}
                 }
-            });
-            slots
-                .into_iter()
-                .map(|s| s.into_inner().unwrap().expect("every cell ran"))
-                .collect()
-        };
-        ExperimentResult {
-            name: spec.name.clone(),
-            cells: spec
-                .cells
-                .iter()
-                .zip(outcomes)
-                .map(|(c, outcome)| CellResult {
-                    key: c.key.clone(),
-                    outcome,
-                })
-                .collect(),
-            jobs: self.jobs,
-            index: spec.keys.clone(),
+            }
+            let w = if replayed {
+                journal::JournalWriter::append_to(&path)?
+            } else {
+                journal::JournalWriter::create(&jc.dir, &spec.name, fingerprint)?
+            };
+            writer = Some(Mutex::new(w));
         }
+
+        let pending: Vec<usize> = (0..n)
+            .filter(|&i| slots[i].lock().unwrap().is_none())
+            .collect();
+        let next = AtomicUsize::new(0);
+        let completions = AtomicUsize::new(0);
+        {
+            let worker = || loop {
+                if self.drain.is_cancelled() {
+                    break;
+                }
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = pending.get(k) else {
+                    break;
+                };
+                let cell = &spec.cells[i];
+                // One gate per cell: the deadline clock spans every retry
+                // and (for prefetch cells) both the record and replay
+                // phases.
+                let gate = RunGate::new(self.abort.clone(), self.deadline_ms);
+                let (outcome, journalable) = execute_cell(cell, spec.retry, &gate, self.gated);
+                if journalable {
+                    if let Some(w) = &writer {
+                        let line = journal::record_line(&cell.key, &outcome);
+                        if let Err(e) = w.lock().unwrap().append(&line) {
+                            eprintln!("journal append failed for {}: {e}", cell.key);
+                        }
+                    }
+                }
+                *slots[i].lock().unwrap() = Some(outcome);
+                let done = completions.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.interrupt_after.is_some_and(|limit| done >= limit) {
+                    self.drain.cancel();
+                }
+            };
+            let workers = self.jobs.min(pending.len().max(1));
+            if workers <= 1 {
+                worker();
+            } else {
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(worker);
+                    }
+                });
+            }
+        }
+
+        let mut interrupted = false;
+        let cells: Vec<CellResult> = spec
+            .cells
+            .iter()
+            .zip(slots)
+            .map(|(c, slot)| CellResult {
+                key: c.key.clone(),
+                outcome: slot.into_inner().unwrap().unwrap_or_else(|| {
+                    interrupted = true;
+                    CellOutcome::Skipped
+                }),
+            })
+            .collect();
+
+        // A complete sweep no longer needs its journal; an interrupted one
+        // keeps it so `--resume` can pick up where this run stopped.
+        if !interrupted {
+            if let Some(jc) = journal_cfg {
+                let _ = std::fs::remove_file(journal::journal_path(&jc.dir, &spec.name));
+            }
+        }
+
+        Ok(ExperimentResult {
+            name: spec.name.clone(),
+            cells,
+            jobs: self.jobs,
+            interrupted,
+            index: spec.keys.clone(),
+        })
     }
 }
 
 /// Runs one cell with graceful degradation: typed errors and panics both
 /// become failure rows, and budget failures of scalable jobs are retried
-/// per the policy.
-fn execute_cell(job: &Job, retry: RetryPolicy) -> CellOutcome {
+/// per the policy. The second return value says whether the outcome is
+/// *journalable*: failures caused by an external cancellation (as opposed
+/// to an expired per-cell deadline) describe the interrupted process, not
+/// the cell, and must re-run on resume.
+fn execute_cell(
+    cell: &CellSpec,
+    retry: RetryPolicy,
+    gate: &RunGate,
+    gated: bool,
+) -> (CellOutcome, bool) {
+    let job = &cell.job;
     let attempt = |scale: u64| -> Result<CellData, SimError> {
         match job {
             Job::Single { build, cfg, opts } => {
                 let w = build();
                 let mut cfg = *cfg;
                 cfg.max_cycles = cfg.max_cycles.saturating_mul(scale);
-                try_run_single(cfg, &w, opts).map(|r| CellData::Run(Box::new(r)))
+                let mut opts = opts.clone();
+                if gated {
+                    // Executor-managed gating overrides any gate the spec
+                    // put in the cell's RunOptions.
+                    opts.gate = gate.clone();
+                }
+                try_run_single(cfg, &w, &opts).map(|r| CellData::Run(Box::new(r)))
             }
             Job::PrefetchExact {
                 build,
@@ -646,37 +905,47 @@ fn execute_cell(job: &Job, retry: RetryPolicy) -> CellOutcome {
                 fabric,
             } => {
                 let w = build();
-                try_run_prefetch_exact(*nthreads, *regs_per_thread, &w, *fabric)
+                try_run_prefetch_exact_gated(*nthreads, *regs_per_thread, &w, *fabric, gate)
                     .map(|r| CellData::Run(Box::new(r)))
             }
             Job::System { cfg, ctor, n } => {
                 let mut cfg = *cfg;
                 cfg.core.max_cycles = cfg.core.max_cycles.saturating_mul(scale);
                 System::new(cfg, *ctor, *n)
-                    .try_run()
+                    .try_run_gated(gate)
                     .map(|r| CellData::System(Box::new(r)))
             }
-            Job::Custom(f) => f(),
+            Job::Custom(f) => f(&CellCtx {
+                key: &cell.key,
+                gate,
+            }),
         }
     };
     let scalable = matches!(job, Job::Single { .. } | Job::System { .. });
     let mut scale = 1u64;
     let mut retried = false;
-    let mut retries_left = if scalable { retry.budget_retries } else { 0 };
+    let mut retries_left = if scalable { retry.max_retries } else { 0 };
     loop {
         match catch_unwind(AssertUnwindSafe(|| attempt(scale))) {
-            Ok(Ok(data)) => return CellOutcome::Ok(data),
-            Ok(Err(SimError::CycleBudgetExceeded { .. })) if retries_left > 0 => {
+            Ok(Ok(data)) => return (CellOutcome::Ok(data), true),
+            Ok(Err(SimError::CycleBudgetExceeded { .. }))
+                if retries_left > 0 && retry.next_scale(scale).is_some() =>
+            {
                 retries_left -= 1;
                 retried = true;
-                scale = scale.saturating_mul(retry.budget_factor);
+                scale = retry.next_scale(scale).expect("checked in the guard");
             }
             Ok(Err(e)) => {
-                return CellOutcome::Failed {
-                    kind: e.kind(),
-                    error: e.to_string(),
-                    retried,
-                }
+                let journalable =
+                    !matches!(e.root_cause(), SimError::Deadline { .. }) || e.deadline_expired();
+                return (
+                    CellOutcome::Failed {
+                        kind: e.kind(),
+                        error: e.to_string(),
+                        retried,
+                    },
+                    journalable,
+                );
             }
             Err(payload) => {
                 let msg = payload
@@ -684,11 +953,14 @@ fn execute_cell(job: &Job, retry: RetryPolicy) -> CellOutcome {
                     .map(String::as_str)
                     .or_else(|| payload.downcast_ref::<&str>().copied())
                     .unwrap_or("cell panicked");
-                return CellOutcome::Failed {
-                    kind: "panic",
-                    error: msg.to_string(),
-                    retried,
-                };
+                return (
+                    CellOutcome::Failed {
+                        kind: "panic",
+                        error: msg.to_string(),
+                        retried,
+                    },
+                    true,
+                );
             }
         }
     }
@@ -722,7 +994,7 @@ mod tests {
             CoreConfig::banked(4),
             &RunOptions::default(),
         );
-        spec.custom("area", || {
+        spec.custom("area", |_| {
             Ok(CellData::metrics([("mm2", 1.5), ("cycles", 10.0)]))
         });
         spec
@@ -755,8 +1027,9 @@ mod tests {
     #[test]
     fn failing_cell_degrades_without_aborting_siblings() {
         let mut spec = ExperimentSpec::new("unit_fail").with_retry(RetryPolicy {
-            budget_retries: 1,
+            max_retries: 1,
             budget_factor: 2,
+            ..RetryPolicy::default()
         });
         let b = builder(kernels::spatter::gather, 256, Layout::for_core(0));
         let mut starved = CoreConfig::virec(4, 32);
@@ -768,21 +1041,21 @@ mod tests {
             CoreConfig::virec(4, 32),
             &RunOptions::default(),
         );
-        spec.custom("panics", || panic!("boom"));
+        spec.custom("panics", |_| panic!("boom"));
         let res = Executor::new(3).run(&spec);
         match &res.cell("starved").outcome {
             CellOutcome::Failed { kind, retried, .. } => {
                 assert_eq!(*kind, "cycle_budget");
                 assert!(*retried, "budget failures are retried first");
             }
-            CellOutcome::Ok(_) => panic!("a 50-cycle budget cannot complete gather"),
+            other => panic!("a 50-cycle budget cannot complete gather: {other:?}"),
         }
         match &res.cell("panics").outcome {
             CellOutcome::Failed { kind, error, .. } => {
                 assert_eq!(*kind, "panic");
                 assert!(error.contains("boom"));
             }
-            CellOutcome::Ok(_) => panic!("panicking cell must fail"),
+            other => panic!("panicking cell must fail: {other:?}"),
         }
         assert!(res.run("healthy").is_some(), "siblings must complete");
         assert_eq!(res.failed(), 2);
@@ -801,22 +1074,55 @@ mod tests {
             CellOutcome::Failed { retried, .. } => {
                 assert!(!retried, "RetryPolicy::none must not retry")
             }
-            CellOutcome::Ok(_) => panic!("cannot complete in 50 cycles"),
+            other => panic!("cannot complete in 50 cycles: {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_schedule_is_bounded_geometric() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.next_scale(1), Some(4), "default first retry is 4x");
+        assert_eq!(p.next_scale(64), Some(256));
+        assert_eq!(p.next_scale(256), None, "the cap exhausts the schedule");
+        assert_eq!(RetryPolicy::none().next_scale(1), None);
+        let deep = RetryPolicy {
+            max_retries: 8,
+            budget_factor: 2,
+            scale_cap: 16,
+        };
+        assert_eq!(deep.next_scale(1), Some(2));
+        assert_eq!(deep.next_scale(8), Some(16));
+        assert_eq!(deep.next_scale(16), None);
+    }
+
+    #[test]
+    fn interrupt_after_drains_and_marks_skipped() {
+        let mut spec = ExperimentSpec::new("unit_drain");
+        for k in ["a", "b", "c", "d"] {
+            spec.custom(k, |_| Ok(CellData::metrics([("cycles", 1.0)])));
+        }
+        let res = Executor::new(1).with_interrupt_after(2).run(&spec);
+        assert!(res.interrupted);
+        assert_eq!(res.skipped(), 2);
+        assert!(!res.all_ok());
+        assert!(matches!(res.cell("a").outcome, CellOutcome::Ok(_)));
+        assert!(matches!(res.cell("d").outcome, CellOutcome::Skipped));
+        let js = res.to_json();
+        assert_eq!(js.matches("\"status\": \"skipped\"").count(), 2, "{js}");
     }
 
     #[test]
     #[should_panic(expected = "duplicate experiment cell key")]
     fn duplicate_keys_are_rejected() {
         let mut spec = ExperimentSpec::new("dup");
-        spec.custom("k", || Ok(CellData::Metrics(Vec::new())));
-        spec.custom("k", || Ok(CellData::Metrics(Vec::new())));
+        spec.custom("k", |_| Ok(CellData::Metrics(Vec::new())));
+        spec.custom("k", |_| Ok(CellData::Metrics(Vec::new())));
     }
 
     #[test]
     fn json_escapes_and_shapes() {
         let mut spec = ExperimentSpec::new("json \"quoted\"");
-        spec.custom("fields", || {
+        spec.custom("fields", |_| {
             Ok(CellData::fields([("desc", "a\"b\\c\nd".to_string())]))
         });
         let res = Executor::new(1).run(&spec);

@@ -119,8 +119,13 @@ impl FaultPlan {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InjectionOutcome {
     /// The run failed with [`SimError::FaultDetected`]: the checker (or
-    /// watchdog/budget) caught the corruption.
+    /// watchdog/budget) caught the corruption — but the recovery re-run
+    /// did not reproduce the clean run's state. Detection without repair.
     Detected,
+    /// The corruption was detected **and** re-executing the cell without
+    /// the fault plan reproduced the clean run's architectural digest:
+    /// the detect-and-re-execute recovery path works end to end.
+    Recovered,
     /// The corrupted run panicked on an internal consistency assert —
     /// also a successful detection, via a different tripwire.
     Crashed,
@@ -169,9 +174,12 @@ impl CampaignReport {
     /// Detection rate over *effectful* faults: caught / (applied − masked).
     /// Masked faults hit dead state and are undetectable by any
     /// architectural checker; they are excluded, as in hardware FIT
-    /// accounting.
+    /// accounting. Recovered injections were detected first, so they
+    /// count as caught.
     pub fn detection_rate(&self) -> f64 {
-        let caught = self.count(InjectionOutcome::Detected) + self.count(InjectionOutcome::Crashed);
+        let caught = self.count(InjectionOutcome::Detected)
+            + self.count(InjectionOutcome::Recovered)
+            + self.count(InjectionOutcome::Crashed);
         let effectful = caught + self.count(InjectionOutcome::Silent);
         if effectful == 0 {
             1.0
@@ -180,24 +188,46 @@ impl CampaignReport {
         }
     }
 
+    /// Recovery rate over checker-detected injections: how many of them a
+    /// single fault-free re-execution repaired (crashes detect via a
+    /// different tripwire and are not re-executed). 1.0 when nothing was
+    /// detected.
+    pub fn recovery_rate(&self) -> f64 {
+        let detected =
+            self.count(InjectionOutcome::Detected) + self.count(InjectionOutcome::Recovered);
+        if detected == 0 {
+            1.0
+        } else {
+            self.count(InjectionOutcome::Recovered) as f64 / detected as f64
+        }
+    }
+
     /// True when no effectful fault escaped: zero silent corruptions.
     pub fn all_detected(&self) -> bool {
         self.count(InjectionOutcome::Silent) == 0
     }
 
+    /// True when every checker-detected injection also recovered on its
+    /// fault-free re-execution.
+    pub fn all_recovered(&self) -> bool {
+        self.count(InjectionOutcome::Detected) == 0
+    }
+
     /// One summary line for logs and the campaign driver.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} injections — {} detected, {} crashed, {} masked, {} not applied, {} SILENT \
-             (detection rate {:.1}%)",
+            "{}: {} injections — {} recovered, {} detected-only, {} crashed, {} masked, \
+             {} not applied, {} SILENT (detection rate {:.1}%, recovery rate {:.1}%)",
             self.engine,
             self.records.len(),
+            self.count(InjectionOutcome::Recovered),
             self.count(InjectionOutcome::Detected),
             self.count(InjectionOutcome::Crashed),
             self.count(InjectionOutcome::Masked),
             self.count(InjectionOutcome::NotApplied),
             self.count(InjectionOutcome::Silent),
-            self.detection_rate() * 100.0
+            self.detection_rate() * 100.0,
+            self.recovery_rate() * 100.0
         )
     }
 }
@@ -259,12 +289,31 @@ pub fn run_campaign(
                 faults,
                 cause,
                 diag: _,
-            })) => InjectionRecord {
-                seed,
-                faults,
-                outcome: InjectionOutcome::Detected,
-                error_kind: Some(cause.kind().to_string()),
-            },
+            })) => {
+                // Detection is half the story: re-execute once without the
+                // fault plan — the checkpoint/restart answer to a detected
+                // soft error — and verify the re-run reproduces the clean
+                // run's architectural state.
+                let recovery_opts = RunOptions {
+                    livelock_cycles,
+                    ..RunOptions::default()
+                };
+                let recovered = catch_unwind(AssertUnwindSafe(|| {
+                    try_run_single(attacked, workload, &recovery_opts)
+                }))
+                .map(|r| matches!(r, Ok(rerun) if rerun.arch_digest == clean.arch_digest))
+                .unwrap_or(false);
+                InjectionRecord {
+                    seed,
+                    faults,
+                    outcome: if recovered {
+                        InjectionOutcome::Recovered
+                    } else {
+                        InjectionOutcome::Detected
+                    },
+                    error_kind: Some(cause.kind().to_string()),
+                }
+            }
             Ok(Err(other)) => InjectionRecord {
                 // A failure without an applied fault: infrastructure bug,
                 // surface it loudly as a crash rather than a detection.
@@ -362,8 +411,8 @@ mod tests {
         let report = CampaignReport {
             engine: "virec".into(),
             records: vec![
-                rec(InjectionOutcome::Detected),
-                rec(InjectionOutcome::Detected),
+                rec(InjectionOutcome::Recovered),
+                rec(InjectionOutcome::Recovered),
                 rec(InjectionOutcome::Crashed),
                 rec(InjectionOutcome::Masked),
                 rec(InjectionOutcome::NotApplied),
@@ -371,7 +420,16 @@ mod tests {
             clean_cycles: 1000,
         };
         assert!(report.all_detected());
+        assert!(report.all_recovered());
         assert_eq!(report.detection_rate(), 1.0);
+        assert_eq!(report.recovery_rate(), 1.0);
+
+        let mut partial = report.clone();
+        partial.records.push(rec(InjectionOutcome::Detected));
+        assert!(partial.all_detected(), "detection still holds");
+        assert!(!partial.all_recovered());
+        assert!((partial.recovery_rate() - 2.0 / 3.0).abs() < 1e-12);
+
         let mut bad = report.clone();
         bad.records.push(rec(InjectionOutcome::Silent));
         assert!(!bad.all_detected());

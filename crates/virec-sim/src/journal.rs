@@ -1,0 +1,891 @@
+//! Append-only cell journal for crash-safe, resumable sweeps.
+//!
+//! As the [`Executor`](crate::experiment::Executor) finishes each cell it
+//! appends one JSON record to `results/<name>.journal.jsonl` and fsyncs
+//! it. If the process is killed — OOM, Ctrl-C, power loss — a later run
+//! with `--resume` replays the journaled outcomes verbatim and only
+//! re-executes the remainder, producing tables and final JSON
+//! byte-identical to an uninterrupted run.
+//!
+//! File layout:
+//!
+//! ```text
+//! {"journal":"virec","version":1,"experiment":"fig09","fingerprint":"0x…"}
+//! {"key":"gather/banked","status":"ok","data":{"kind":"run",…}}
+//! {"key":"gather/virec80","status":"failed","error_kind":"livelock",…}
+//! ```
+//!
+//! * The header is written via temp-file + `rename`, so a journal either
+//!   exists with a valid header or not at all.
+//! * Each record is flushed and `fdatasync`'d before the cell is counted
+//!   complete; a crash can truncate at most the final, in-flight line.
+//! * The header carries a fingerprint of the spec (name + cell keys); a
+//!   journal from a different spec is refused rather than misapplied.
+//! * Truncated or corrupt records are skipped with a warning — the cells
+//!   they covered simply re-run.
+//!
+//! Numeric fidelity: counters are `u64` and must round-trip exactly, so
+//! the parser keeps raw number tokens and `arch_digest` travels as a hex
+//! string (an `f64` detour would corrupt it). Metric values use Rust's
+//! shortest-roundtrip float formatting; non-finite values are tagged
+//! strings (`"NaN"`, `"inf"`, `"-inf"`).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::experiment::{json_string, CellData, CellOutcome};
+use crate::runner::RunResult;
+use crate::system::SystemResult;
+use virec_core::{CoreStats, OracleSchedule};
+use virec_mem::{CacheStats, FabricStats};
+
+/// Journal location for experiment `name` under `dir`.
+pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.journal.jsonl"))
+}
+
+/// FNV-1a fingerprint of a spec's identity: its name and every cell key,
+/// in declaration order. A resumed journal must match or it is refused.
+pub fn spec_fingerprint<'a>(name: &str, keys: impl Iterator<Item = &'a str>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    eat(name.as_bytes());
+    for k in keys {
+        eat(k.as_bytes());
+    }
+    h
+}
+
+/// Where journals are written and whether existing ones are replayed.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding `<name>.journal.jsonl` (usually the results dir).
+    pub dir: PathBuf,
+    /// Replay an existing journal instead of starting fresh.
+    pub resume: bool,
+}
+
+/// Appends records to an open journal, one fsync'd line per cell.
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal: the header line is written to a temp file,
+    /// synced, then renamed into place, so a half-written header can never
+    /// be observed. The returned writer appends to the renamed file.
+    pub fn create(dir: &Path, name: &str, fingerprint: u64) -> std::io::Result<JournalWriter> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".tmp.{name}.journal.jsonl"));
+        let mut file = File::create(&tmp)?;
+        let mut header = String::from("{\"journal\":\"virec\",\"version\":1,\"experiment\":");
+        json_string(&mut header, name);
+        header.push_str(&format!(",\"fingerprint\":\"{fingerprint:#018x}\"}}\n"));
+        file.write_all(header.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, journal_path(dir, name))?;
+        // The handle survives the rename: it names the inode, not the path.
+        Ok(JournalWriter { file })
+    }
+
+    /// Opens an existing journal for appending (the resume path).
+    pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one record line and forces it to disk before returning.
+    pub fn append(&mut self, line: &str) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+}
+
+/// Result of replaying a journal file.
+pub enum JournalLoad {
+    /// No journal at the path — nothing to resume.
+    Missing,
+    /// A journal exists but belongs to a different spec (name or cell set
+    /// changed); it must not be applied.
+    Mismatch,
+    /// Replayed records, in file order, plus the count of corrupt or
+    /// truncated lines that were skipped.
+    Loaded {
+        /// `(key, outcome)` per valid record.
+        records: Vec<(String, CellOutcome)>,
+        /// Lines that failed to parse and were skipped.
+        skipped_lines: usize,
+    },
+}
+
+/// Replays the journal at `path`, validating its header against the
+/// spec's name and fingerprint. Corrupt records are skipped, not fatal.
+pub fn load(path: &Path, name: &str, fingerprint: u64) -> JournalLoad {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return JournalLoad::Missing,
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next().and_then(parse_json) else {
+        return JournalLoad::Mismatch;
+    };
+    let head_ok = header.get("journal").and_then(Json::str) == Some("virec")
+        && header.get("experiment").and_then(Json::str) == Some(name)
+        && header.get("fingerprint").and_then(Json::u64) == Some(fingerprint);
+    if !head_ok {
+        return JournalLoad::Mismatch;
+    }
+    let mut records = Vec::new();
+    let mut skipped_lines = 0usize;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Some(rec) => records.push(rec),
+            None => skipped_lines += 1,
+        }
+    }
+    JournalLoad::Loaded {
+        records,
+        skipped_lines,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one completed cell as a single journal line (no newline).
+pub fn record_line(key: &str, outcome: &CellOutcome) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"key\":");
+    json_string(&mut out, key);
+    match outcome {
+        CellOutcome::Ok(data) => {
+            out.push_str(",\"status\":\"ok\",\"data\":");
+            enc_data(&mut out, data);
+        }
+        CellOutcome::Failed {
+            kind,
+            error,
+            retried,
+        } => {
+            out.push_str(",\"status\":\"failed\",\"error_kind\":");
+            json_string(&mut out, kind);
+            out.push_str(&format!(",\"retried\":{retried},\"error\":"));
+            json_string(&mut out, error);
+        }
+        // Skipped cells were never executed; they have no journal record.
+        CellOutcome::Skipped => out.push_str(",\"status\":\"skipped\""),
+    }
+    out.push('}');
+    out
+}
+
+fn enc_data(out: &mut String, data: &CellData) {
+    match data {
+        CellData::Run(r) => {
+            out.push_str(&format!(
+                "{{\"kind\":\"run\",\"cycles\":{},\"arch_digest\":\"{:#018x}\",\
+                 \"faults_applied\":[",
+                r.cycles, r.arch_digest
+            ));
+            for (i, f) in r.faults_applied.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(out, f);
+            }
+            out.push_str("],\"stats\":");
+            enc_core_stats(out, &r.stats);
+            out.push('}');
+        }
+        CellData::System(s) => {
+            out.push_str(&format!(
+                "{{\"kind\":\"system\",\"cycles\":{},\"per_core\":[",
+                s.cycles
+            ));
+            for (i, c) in s.per_core.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                enc_core_stats(out, c);
+            }
+            let f = &s.fabric;
+            out.push_str(&format!(
+                "],\"fabric\":{{\"reads\":{},\"writes\":{},\"row_hits\":{},\
+                 \"row_conflicts\":{},\"row_empty\":{},\"queue_cycles\":{}}}}}",
+                f.reads, f.writes, f.row_hits, f.row_conflicts, f.row_empty, f.queue_cycles
+            ));
+        }
+        CellData::Metrics(m) => {
+            out.push_str("{\"kind\":\"metrics\",\"values\":[");
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json_string(out, k);
+                out.push(',');
+                enc_f64(out, *v);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        CellData::Fields(f) => {
+            out.push_str("{\"kind\":\"fields\",\"values\":[");
+            for (i, (k, v)) in f.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json_string(out, k);
+                out.push(',');
+                json_string(out, v);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn enc_core_stats(out: &mut String, s: &CoreStats) {
+    out.push_str(&format!(
+        "{{\"cycles\":{},\"instructions\":{},\"context_switches\":{},\
+         \"switches_masked\":{},\"rf_hits\":{},\"rf_misses\":{},\
+         \"rf_dummy_fills\":{},\"rf_spills\":{},\"stall_reg_fill\":{},\
+         \"stall_mem\":{},\"stall_idle\":{},\"stall_fetch\":{},\
+         \"stall_sq_full\":{},\"stall_ctx_software\":{},\
+         \"branch_mispredicts\":{},\"dcache\":",
+        s.cycles,
+        s.instructions,
+        s.context_switches,
+        s.switches_masked,
+        s.rf_hits,
+        s.rf_misses,
+        s.rf_dummy_fills,
+        s.rf_spills,
+        s.stall_reg_fill,
+        s.stall_mem,
+        s.stall_idle,
+        s.stall_fetch,
+        s.stall_sq_full,
+        s.stall_ctx_software,
+        s.branch_mispredicts,
+    ));
+    enc_cache_stats(out, &s.dcache);
+    out.push_str(",\"icache\":");
+    enc_cache_stats(out, &s.icache);
+    out.push('}');
+}
+
+fn enc_cache_stats(out: &mut String, c: &CacheStats) {
+    out.push_str(&format!(
+        "{{\"hits\":{},\"misses\":{},\"mshr_stalls\":{},\"port_stalls\":{},\
+         \"evictions\":{},\"writebacks\":{},\"pinned_bypasses\":{},\
+         \"reg_hits\":{},\"reg_misses\":{}}}",
+        c.hits,
+        c.misses,
+        c.mshr_stalls,
+        c.port_stalls,
+        c.evictions,
+        c.writebacks,
+        c.pinned_bypasses,
+        c.reg_hits,
+        c.reg_misses
+    ));
+}
+
+/// Exact-roundtrip `f64`: shortest-roundtrip decimal for finite values,
+/// tagged strings for the non-finite ones JSON cannot carry.
+fn enc_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record decoding
+// ---------------------------------------------------------------------------
+
+/// Parses one journal record line. `None` means corrupt/unknown — the
+/// caller skips the line and the cell simply re-runs.
+pub fn parse_record(line: &str) -> Option<(String, CellOutcome)> {
+    let v = parse_json(line)?;
+    let key = v.get("key")?.str()?.to_string();
+    let outcome = match v.get("status")?.str()? {
+        "ok" => CellOutcome::Ok(dec_data(v.get("data")?)?),
+        "failed" => CellOutcome::Failed {
+            kind: static_kind(v.get("error_kind")?.str()?),
+            error: v.get("error")?.str()?.to_string(),
+            retried: v.get("retried")?.bool()?,
+        },
+        _ => return None,
+    };
+    Some((key, outcome))
+}
+
+/// Maps a parsed kind string back onto the `&'static str` tags the error
+/// type uses. Unknown tags (a journal from a newer build) still replay as
+/// failures, just with an `unknown` kind.
+fn static_kind(s: &str) -> &'static str {
+    match s {
+        "cycle_budget" => "cycle_budget",
+        "livelock" => "livelock",
+        "golden_divergence" => "golden_divergence",
+        "golden_stuck" => "golden_stuck",
+        "fault_detected" => "fault_detected",
+        "deadline" => "deadline",
+        "panic" => "panic",
+        _ => "unknown",
+    }
+}
+
+fn dec_data(v: &Json) -> Option<CellData> {
+    match v.get("kind")?.str()? {
+        "run" => Some(CellData::Run(Box::new(RunResult {
+            cycles: v.get("cycles")?.u64()?,
+            stats: dec_core_stats(v.get("stats")?)?,
+            // The oracle is never rendered into tables or JSON; replayed
+            // cells carry an empty one.
+            oracle: OracleSchedule::default(),
+            faults_applied: v
+                .get("faults_applied")?
+                .arr()?
+                .iter()
+                .map(|f| f.str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+            arch_digest: v.get("arch_digest")?.u64()?,
+        }))),
+        "system" => Some(CellData::System(Box::new(SystemResult {
+            cycles: v.get("cycles")?.u64()?,
+            per_core: v
+                .get("per_core")?
+                .arr()?
+                .iter()
+                .map(dec_core_stats)
+                .collect::<Option<Vec<_>>>()?,
+            fabric: dec_fabric_stats(v.get("fabric")?)?,
+        }))),
+        "metrics" => Some(CellData::Metrics(
+            v.get("values")?
+                .arr()?
+                .iter()
+                .map(|pair| {
+                    let p = pair.arr()?;
+                    Some((p.first()?.str()?.to_string(), p.get(1)?.f64()?))
+                })
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        "fields" => Some(CellData::Fields(
+            v.get("values")?
+                .arr()?
+                .iter()
+                .map(|pair| {
+                    let p = pair.arr()?;
+                    Some((p.first()?.str()?.to_string(), p.get(1)?.str()?.to_string()))
+                })
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        _ => None,
+    }
+}
+
+fn dec_core_stats(v: &Json) -> Option<CoreStats> {
+    let u = |k: &str| v.get(k).and_then(Json::u64);
+    Some(CoreStats {
+        cycles: u("cycles")?,
+        instructions: u("instructions")?,
+        context_switches: u("context_switches")?,
+        switches_masked: u("switches_masked")?,
+        rf_hits: u("rf_hits")?,
+        rf_misses: u("rf_misses")?,
+        rf_dummy_fills: u("rf_dummy_fills")?,
+        rf_spills: u("rf_spills")?,
+        stall_reg_fill: u("stall_reg_fill")?,
+        stall_mem: u("stall_mem")?,
+        stall_idle: u("stall_idle")?,
+        stall_fetch: u("stall_fetch")?,
+        stall_sq_full: u("stall_sq_full")?,
+        stall_ctx_software: u("stall_ctx_software")?,
+        branch_mispredicts: u("branch_mispredicts")?,
+        dcache: dec_cache_stats(v.get("dcache")?)?,
+        icache: dec_cache_stats(v.get("icache")?)?,
+    })
+}
+
+fn dec_cache_stats(v: &Json) -> Option<CacheStats> {
+    let u = |k: &str| v.get(k).and_then(Json::u64);
+    Some(CacheStats {
+        hits: u("hits")?,
+        misses: u("misses")?,
+        mshr_stalls: u("mshr_stalls")?,
+        port_stalls: u("port_stalls")?,
+        evictions: u("evictions")?,
+        writebacks: u("writebacks")?,
+        pinned_bypasses: u("pinned_bypasses")?,
+        reg_hits: u("reg_hits")?,
+        reg_misses: u("reg_misses")?,
+    })
+}
+
+fn dec_fabric_stats(v: &Json) -> Option<FabricStats> {
+    let u = |k: &str| v.get(k).and_then(Json::u64);
+    Some(FabricStats {
+        reads: u("reads")?,
+        writes: u("writes")?,
+        row_hits: u("row_hits")?,
+        row_conflicts: u("row_conflicts")?,
+        row_empty: u("row_empty")?,
+        queue_cycles: u("queue_cycles")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser
+// ---------------------------------------------------------------------------
+// Numbers are kept as raw tokens so `u64` counters round-trip exactly
+// (an f64 detour would corrupt values above 2^53).
+
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `u64` from a raw number token or a `"0x…"` hex string.
+    fn u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            Json::Str(s) => s
+                .strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok()),
+            _ => None,
+        }
+    }
+
+    /// `f64` from a raw number token or a non-finite tag string.
+    fn f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(bytes, &mut i)?;
+    skip_ws(bytes, &mut i);
+    (i == bytes.len()).then_some(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Option<Json> {
+    skip_ws(b, i);
+    match *b.get(*i)? {
+        b'{' => {
+            *i += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match parse_value(b, i)? {
+                    Json::Str(s) => s,
+                    _ => return None,
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return None;
+                }
+                *i += 1;
+                fields.push((key, parse_value(b, i)?));
+                skip_ws(b, i);
+                match b.get(*i)? {
+                    b',' => *i += 1,
+                    b'}' => {
+                        *i += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i)? {
+                    b',' => *i += 1,
+                    b']' => {
+                        *i += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            *i += 1;
+            let mut s = String::new();
+            loop {
+                match *b.get(*i)? {
+                    b'"' => {
+                        *i += 1;
+                        return Some(Json::Str(s));
+                    }
+                    b'\\' => {
+                        *i += 1;
+                        match *b.get(*i)? {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'r' => s.push('\r'),
+                            b'b' => s.push('\u{8}'),
+                            b'f' => s.push('\u{c}'),
+                            b'u' => {
+                                let hex = b.get(*i + 1..*i + 5)?;
+                                let code =
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                                s.push(char::from_u32(code)?);
+                                *i += 4;
+                            }
+                            _ => return None,
+                        }
+                        *i += 1;
+                    }
+                    _ => {
+                        // Advance by whole UTF-8 code points.
+                        let rest = std::str::from_utf8(&b[*i..]).ok()?;
+                        let ch = rest.chars().next()?;
+                        s.push(ch);
+                        *i += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        b't' => {
+            if b.get(*i..*i + 4)? == b"true" {
+                *i += 4;
+                Some(Json::Bool(true))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if b.get(*i..*i + 5)? == b"false" {
+                *i += 5;
+                Some(Json::Bool(false))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if b.get(*i..*i + 4)? == b"null" {
+                *i += 4;
+                Some(Json::Null)
+            } else {
+                None
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                *i += 1;
+            }
+            Some(Json::Num(
+                std::str::from_utf8(&b[start..*i]).ok()?.to_string(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_result() -> RunResult {
+        RunResult {
+            cycles: 987_654_321_987,
+            stats: CoreStats {
+                cycles: 987_654_321_987,
+                instructions: 42,
+                context_switches: 7,
+                switches_masked: 1,
+                rf_hits: 2,
+                rf_misses: 3,
+                rf_dummy_fills: 4,
+                rf_spills: 5,
+                stall_reg_fill: 6,
+                stall_mem: 8,
+                stall_idle: 9,
+                stall_fetch: 10,
+                stall_sq_full: 11,
+                stall_ctx_software: 12,
+                branch_mispredicts: 13,
+                dcache: CacheStats {
+                    hits: 100,
+                    misses: 1,
+                    ..Default::default()
+                },
+                icache: CacheStats {
+                    reg_misses: 9,
+                    ..Default::default()
+                },
+            },
+            oracle: OracleSchedule::default(),
+            faults_applied: vec!["cycle 9: dram word 0x40 bit 3".into()],
+            arch_digest: u64::MAX - 1,
+        }
+    }
+
+    fn roundtrip(key: &str, outcome: &CellOutcome) -> (String, CellOutcome) {
+        let line = record_line(key, outcome);
+        parse_record(&line).unwrap_or_else(|| panic!("record must parse: {line}"))
+    }
+
+    #[test]
+    fn run_record_roundtrips_exactly() {
+        let outcome = CellOutcome::Ok(CellData::Run(Box::new(run_result())));
+        let (key, back) = roundtrip("a/b", &outcome);
+        assert_eq!(key, "a/b");
+        match back {
+            CellOutcome::Ok(CellData::Run(r)) => {
+                let orig = run_result();
+                assert_eq!(r.cycles, orig.cycles);
+                assert_eq!(
+                    r.arch_digest, orig.arch_digest,
+                    "u64 digest must not lose bits"
+                );
+                assert_eq!(r.stats.branch_mispredicts, 13);
+                assert_eq!(r.stats.dcache.hits, 100);
+                assert_eq!(r.stats.icache.reg_misses, 9);
+                assert_eq!(r.faults_applied, orig.faults_applied);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn system_record_roundtrips() {
+        let sys = SystemResult {
+            cycles: 1234,
+            per_core: vec![run_result().stats, CoreStats::default()],
+            fabric: FabricStats {
+                reads: 1,
+                writes: 2,
+                row_hits: 3,
+                row_conflicts: 4,
+                row_empty: 5,
+                queue_cycles: 6,
+            },
+        };
+        let outcome = CellOutcome::Ok(CellData::System(Box::new(sys)));
+        let (_, back) = roundtrip("sys", &outcome);
+        match back {
+            CellOutcome::Ok(CellData::System(s)) => {
+                assert_eq!(s.cycles, 1234);
+                assert_eq!(s.per_core.len(), 2);
+                assert_eq!(s.per_core[0].instructions, 42);
+                assert_eq!(s.fabric.queue_cycles, 6);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metric_values_roundtrip_bit_exactly() {
+        let vals = vec![
+            ("third".to_string(), 1.0 / 3.0),
+            ("tiny".to_string(), f64::MIN_POSITIVE),
+            ("neg".to_string(), -0.0),
+            ("nan".to_string(), f64::NAN),
+            ("inf".to_string(), f64::INFINITY),
+            ("ninf".to_string(), f64::NEG_INFINITY),
+        ];
+        let outcome = CellOutcome::Ok(CellData::Metrics(vals.clone()));
+        let (_, back) = roundtrip("m", &outcome);
+        match back {
+            CellOutcome::Ok(CellData::Metrics(m)) => {
+                for ((k, v), (k2, v2)) in vals.iter().zip(&m) {
+                    assert_eq!(k, k2);
+                    assert!(
+                        v.to_bits() == v2.to_bits() || (v.is_nan() && v2.is_nan()),
+                        "{k}: {v} vs {v2}"
+                    );
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_record_roundtrips_with_static_kind() {
+        let outcome = CellOutcome::Failed {
+            kind: "deadline",
+            error: "wall-clock deadline of 50 ms expired\nwith a second line".into(),
+            retried: true,
+        };
+        let (_, back) = roundtrip("hung", &outcome);
+        match back {
+            CellOutcome::Failed {
+                kind,
+                error,
+                retried,
+            } => {
+                assert_eq!(kind, "deadline");
+                assert!(error.contains("second line"), "newlines must survive");
+                assert!(retried);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_do_not_parse() {
+        assert!(parse_record("{\"key\":\"x\",\"status\":\"ok\",\"data\":{\"ki").is_none());
+        assert!(parse_record("garbage").is_none());
+        assert!(parse_record("{\"key\":\"x\",\"status\":\"weird\"}").is_none());
+        // trailing garbage after a valid value is rejected too
+        assert!(parse_record("{\"key\":\"x\",\"status\":\"ok\"} extra").is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_name_and_keys() {
+        let a = spec_fingerprint("exp", ["k1", "k2"].into_iter());
+        assert_eq!(a, spec_fingerprint("exp", ["k1", "k2"].into_iter()));
+        assert_ne!(a, spec_fingerprint("exp2", ["k1", "k2"].into_iter()));
+        assert_ne!(a, spec_fingerprint("exp", ["k1"].into_iter()));
+        assert_ne!(a, spec_fingerprint("exp", ["k1k", "2"].into_iter()));
+    }
+
+    #[test]
+    fn writer_and_loader_cooperate() {
+        let dir = std::env::temp_dir().join(format!("virec_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fp = spec_fingerprint("unit", ["a", "b"].into_iter());
+        let mut w = JournalWriter::create(&dir, "unit", fp).expect("create journal");
+        w.append(&record_line(
+            "a",
+            &CellOutcome::Ok(CellData::Metrics(vec![("cycles".into(), 10.0)])),
+        ))
+        .expect("append");
+        let path = journal_path(&dir, "unit");
+
+        // A matching load replays the record.
+        match load(&path, "unit", fp) {
+            JournalLoad::Loaded {
+                records,
+                skipped_lines,
+            } => {
+                assert_eq!(records.len(), 1);
+                assert_eq!(records[0].0, "a");
+                assert_eq!(skipped_lines, 0);
+            }
+            _ => panic!("journal must load"),
+        }
+
+        // A truncated trailing record is skipped, not fatal.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"key\":\"b\",\"status\":\"ok\",\"da")
+                .unwrap();
+        }
+        match load(&path, "unit", fp) {
+            JournalLoad::Loaded {
+                records,
+                skipped_lines,
+            } => {
+                assert_eq!(records.len(), 1);
+                assert_eq!(skipped_lines, 1);
+            }
+            _ => panic!("truncated journal must still load"),
+        }
+
+        // The wrong fingerprint is refused.
+        assert!(matches!(load(&path, "unit", fp ^ 1), JournalLoad::Mismatch));
+        assert!(matches!(load(&path, "other", fp), JournalLoad::Mismatch));
+        assert!(matches!(
+            load(&dir.join("absent.journal.jsonl"), "unit", fp),
+            JournalLoad::Missing
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

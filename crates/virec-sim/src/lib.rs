@@ -23,25 +23,33 @@
 //!   from slow runs.
 //! * [`fault`] — deterministic seeded fault injection and campaign
 //!   classification against the golden checker.
+//! * [`cancel`] — cooperative cancellation tokens, per-cell wall-clock
+//!   deadline gates, and the process-wide SIGINT/SIGTERM drain/abort pair.
+//! * [`journal`] — the append-only, fsync'd cell journal behind
+//!   crash-safe `--resume` sweeps.
 
+pub mod cancel;
 pub mod error;
 pub mod experiment;
 pub mod fault;
+pub mod journal;
 pub mod offload;
 pub mod report;
 pub mod runner;
 pub mod system;
 pub mod watchdog;
 
+pub use cancel::{interrupt_tokens, CancelToken, GateTrip, RunGate};
 pub use error::{DivergenceSite, RunDiagnostics, SimError};
 pub use experiment::{
-    builder, CellData, CellOutcome, CellResult, CellSpec, Executor, ExperimentResult,
+    builder, CellCtx, CellData, CellOutcome, CellResult, CellSpec, Executor, ExperimentResult,
     ExperimentSpec, Job, RetryPolicy, WorkloadBuilder,
 };
 pub use fault::{
     run_campaign, CampaignReport, FaultEvent, FaultPlan, FaultSite, InjectionOutcome,
     InjectionRecord,
 };
+pub use journal::JournalConfig;
 pub use runner::{
     run_single, try_run_single, try_verify_against_golden, verify_against_golden, RunOptions,
     RunResult,

@@ -6,6 +6,7 @@
 //! returning a typed [`SimError`] instead of panicking. [`run_single`] is
 //! the thin panicking wrapper the examples and figure binaries use.
 
+use crate::cancel::{GateTrip, RunGate};
 use crate::error::{DivergenceSite, RunDiagnostics, SimError};
 use crate::fault::{engine_fault_of, FaultEvent, FaultPlan, FaultSite};
 use crate::offload::offload;
@@ -32,6 +33,10 @@ pub struct RunOptions {
     pub livelock_cycles: u64,
     /// Scheduled fault injections (empty for ordinary runs).
     pub faults: FaultPlan,
+    /// Wall-clock deadline / cooperative-cancellation gate; the default
+    /// never trips. The step loop polls it cheaply and degrades to a
+    /// typed [`SimError::Deadline`] when it fires.
+    pub gate: RunGate,
 }
 
 impl Default for RunOptions {
@@ -43,7 +48,17 @@ impl Default for RunOptions {
             oracle: OracleSchedule::default(),
             livelock_cycles: DEFAULT_LIVELOCK_CYCLES,
             faults: FaultPlan::empty(),
+            gate: RunGate::unbounded(),
         }
+    }
+}
+
+/// Builds the typed error for a tripped gate from a live core snapshot.
+pub(crate) fn deadline_error(trip: GateTrip, workload: &str, core: &Core, cycles: u64) -> SimError {
+    SimError::Deadline {
+        elapsed_ms: trip.elapsed_ms,
+        limit_ms: trip.limit_ms,
+        diag: RunDiagnostics::capture(workload, core, cycles),
     }
 }
 
@@ -120,8 +135,24 @@ pub fn try_run_single(
         }
     };
 
+    // Check the gate once up front so a pre-cancelled run (e.g. a SIGINT
+    // abort that lands between cells) trips deterministically even when
+    // the workload would finish in under one poll interval.
+    if let Some(trip) = opts.gate.trip() {
+        return Err(wrap(
+            deadline_error(trip, workload.name, &core, 0),
+            &faults_applied,
+        ));
+    }
+
     let mut now = 0u64;
     while !core.done() {
+        if let Some(trip) = opts.gate.poll(now) {
+            return Err(wrap(
+                deadline_error(trip, workload.name, &core, now),
+                &faults_applied,
+            ));
+        }
         fabric.tick(now);
         core.tick(now, &mut fabric, &mut mem);
 
@@ -367,18 +398,31 @@ pub fn verify_against_golden(workload: &Workload, nthreads: usize, core: &Core, 
         .unwrap_or_else(|e| panic!("{e}"));
 }
 
-/// Records the per-quantum oracle by running the workload on a banked core
-/// with the same thread count (the recording substrate for §6.1's exact
-/// prefetching comparison).
-pub fn record_oracle(workload: &Workload, nthreads: usize, fabric: FabricConfig) -> OracleSchedule {
+/// Fallible oracle recording: runs the workload on a banked core with the
+/// same thread count under `gate`, returning the recorded schedule.
+pub fn try_record_oracle(
+    workload: &Workload,
+    nthreads: usize,
+    fabric: FabricConfig,
+    gate: &RunGate,
+) -> Result<OracleSchedule, SimError> {
     let cfg = CoreConfig::banked(nthreads);
     let opts = RunOptions {
         fabric,
         verify: false,
         record_oracle: true,
+        gate: gate.clone(),
         ..RunOptions::default()
     };
-    run_single(cfg, workload, &opts).oracle
+    try_run_single(cfg, workload, &opts).map(|r| r.oracle)
+}
+
+/// Records the per-quantum oracle by running the workload on a banked core
+/// with the same thread count (the recording substrate for §6.1's exact
+/// prefetching comparison).
+pub fn record_oracle(workload: &Workload, nthreads: usize, fabric: FabricConfig) -> OracleSchedule {
+    try_record_oracle(workload, nthreads, fabric, &RunGate::unbounded())
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Convenience: run an exact-context prefetching core, recording the oracle
@@ -406,11 +450,31 @@ pub fn try_run_prefetch_exact(
     workload: &Workload,
     fabric: FabricConfig,
 ) -> Result<RunResult, SimError> {
-    let oracle = record_oracle(workload, nthreads, fabric);
+    try_run_prefetch_exact_gated(
+        nthreads,
+        regs_per_thread,
+        workload,
+        fabric,
+        &RunGate::unbounded(),
+    )
+}
+
+/// [`try_run_prefetch_exact`] under a cancellation gate. The same gate —
+/// and therefore the same wall-clock deadline — spans both the oracle
+/// recording and the replay phase, so the cell's total time is bounded.
+pub fn try_run_prefetch_exact_gated(
+    nthreads: usize,
+    regs_per_thread: usize,
+    workload: &Workload,
+    fabric: FabricConfig,
+    gate: &RunGate,
+) -> Result<RunResult, SimError> {
+    let oracle = try_record_oracle(workload, nthreads, fabric, gate)?;
     let cfg = CoreConfig::prefetch_exact(nthreads, regs_per_thread);
     let opts = RunOptions {
         fabric,
         oracle,
+        gate: gate.clone(),
         ..RunOptions::default()
     };
     try_run_single(cfg, workload, &opts)
@@ -494,6 +558,41 @@ mod tests {
             other => panic!("expected CycleBudgetExceeded, got {other:?}"),
         }
         assert_eq!(err.kind(), "cycle_budget");
+    }
+
+    #[test]
+    fn cancelled_gate_surfaces_as_typed_deadline() {
+        use crate::cancel::CancelToken;
+        let w = kernels::spatter::gather(256, Layout::for_core(0));
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = RunOptions {
+            gate: RunGate::new(token, 0),
+            ..RunOptions::default()
+        };
+        let err = try_run_single(CoreConfig::virec(4, 32), &w, &opts).unwrap_err();
+        match &err {
+            SimError::Deadline { limit_ms, .. } => assert_eq!(*limit_ms, 0),
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "deadline");
+        assert!(!err.deadline_expired(), "a cancellation is not an expiry");
+    }
+
+    #[test]
+    fn expired_deadline_stops_a_long_run() {
+        // A deadline that has already passed when the loop starts polling:
+        // the run must stop at the first poll with an expired trip.
+        let w = kernels::spatter::gather(4096, Layout::for_core(0));
+        let gate = RunGate::new(crate::cancel::CancelToken::new(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let opts = RunOptions {
+            gate,
+            ..RunOptions::default()
+        };
+        let err = try_run_single(CoreConfig::virec(4, 32), &w, &opts).unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert!(err.deadline_expired());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! crossbar and DRAM, so memory latency observed by each core grows with
 //! system activity.
 
+use crate::cancel::RunGate;
 use crate::error::{RunDiagnostics, SimError};
 use crate::offload::offload;
 use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
@@ -155,10 +156,31 @@ impl System {
     /// against the golden interpreter, returning a typed [`SimError`] on
     /// budget exhaustion, livelock, or divergence.
     pub fn try_run(&mut self) -> Result<SystemResult, SimError> {
+        self.try_run_gated(&RunGate::unbounded())
+    }
+
+    /// [`System::try_run`] under a cancellation gate: the step loop polls
+    /// `gate` and degrades to a typed [`SimError::Deadline`] when the
+    /// per-cell wall-clock deadline expires or cancellation is requested.
+    pub fn try_run_gated(&mut self, gate: &RunGate) -> Result<SystemResult, SimError> {
         let budget = self.cycle_budget();
         let mut watchdog = Watchdog::new(DEFAULT_LIVELOCK_CYCLES);
+        if let Some(trip) = gate.trip() {
+            return Err(SimError::Deadline {
+                elapsed_ms: trip.elapsed_ms,
+                limit_ms: trip.limit_ms,
+                diag: self.capture_diag(0),
+            });
+        }
         let mut now = 0u64;
         while !self.cores.iter().all(|c| c.done()) {
+            if let Some(trip) = gate.poll(now) {
+                return Err(SimError::Deadline {
+                    elapsed_ms: trip.elapsed_ms,
+                    limit_ms: trip.limit_ms,
+                    diag: self.capture_diag(now),
+                });
+            }
             self.fabric.tick(now);
             for core in &mut self.cores {
                 if !core.done() {

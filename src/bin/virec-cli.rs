@@ -16,7 +16,7 @@ use virec::bench::harness::{self, EngineSel, SuiteSweep};
 use virec::core::{CoreConfig, EngineKind, PolicyKind};
 use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
-use virec::sim::{run_campaign, FaultSite, InjectionOutcome};
+use virec::sim::{interrupt_tokens, run_campaign, FaultSite, InjectionOutcome, JournalConfig};
 use virec::workloads::{by_name, suite_names, Layout};
 
 fn usage() -> ExitCode {
@@ -30,7 +30,8 @@ USAGE:
                        [--group-evict <g>] [--switch-prefetch] [--max-cycles <c>]
     virec-cli sweep    [--jobs <j>] [--workloads <w1,w2,..>] [--n <elems>]
                        [--threads <t>] [--engines <e1,e2,..>] [--json <dir>]
-                       [--budget-retries <k>] [--budget-factor <f>]
+                       [--max-retries <k>] [--budget-factor <f>] [--budget-cap <c>]
+                       [--resume] [--deadline <ms>]
     virec-cli campaign [--workload <name>] [--n <elems>] [--engine virec|banked]
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
     virec-cli area     [--threads <t>] [--regs <r>]
@@ -38,7 +39,12 @@ USAGE:
 ENGINES:  virec (default) | banked | software | prefetch_full | prefetch_exact | nsf
 POLICIES: lrc (default) | mrt-plru | plru | lru | mrt-lru | fifo | random
 SWEEP ENGINES: banked | software | virec<pct> | nsf<pct> | pf_full | pf_exact
-    (e.g. virec80; the first engine is the normalization baseline)"
+    (e.g. virec80; the first engine is the normalization baseline)
+
+Sweeps journal completed cells to <json-dir>/<name>.journal.jsonl. An
+interrupted sweep (Ctrl-C, or a cell hitting --deadline is just a FAILED
+row) exits 130; re-run the same command with --resume to replay journaled
+cells and execute only the remainder."
     );
     ExitCode::from(2)
 }
@@ -52,7 +58,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // Boolean flags.
-        if matches!(key, "no-verify" | "switch-prefetch") {
+        if matches!(key, "no-verify" | "switch-prefetch" | "resume") {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -208,17 +214,38 @@ fn cmd_sweep(flags: HashMap<String, String>) -> ExitCode {
         };
         engines.push(e);
     }
+    let defaults = RetryPolicy::default();
     let retry = RetryPolicy {
-        budget_retries: get("budget-retries")
-            .map_or(Ok(RetryPolicy::default().budget_retries), str::parse)
+        // `--budget-retries` is the pre-generalization spelling; keep it
+        // as an alias so existing scripts stay valid.
+        max_retries: get("max-retries")
+            .or_else(|| get("budget-retries"))
+            .map_or(Ok(defaults.max_retries), str::parse)
             .unwrap_or(u32::MAX),
         budget_factor: get("budget-factor")
-            .map_or(Ok(RetryPolicy::default().budget_factor), str::parse)
+            .map_or(Ok(defaults.budget_factor), str::parse)
+            .unwrap_or(0),
+        scale_cap: get("budget-cap")
+            .map_or(Ok(defaults.scale_cap), str::parse)
             .unwrap_or(0),
     };
-    if retry.budget_retries == u32::MAX || retry.budget_factor == 0 {
-        eprintln!("error: invalid --budget-retries or --budget-factor");
+    if retry.max_retries == u32::MAX || retry.budget_factor == 0 || retry.scale_cap == 0 {
+        eprintln!("error: invalid --max-retries, --budget-factor or --budget-cap");
         return ExitCode::from(2);
+    }
+
+    // Resume/deadline come from the environment too (VIREC_RESUME,
+    // VIREC_DEADLINE_MS, VIREC_INTERRUPT_AFTER); explicit flags win.
+    let mut ctl = harness::SweepControl::from_env_and_args();
+    if get("resume").is_some() {
+        ctl.resume = true;
+    }
+    if let Some(ms) = get("deadline") {
+        let Ok(ms) = ms.parse() else {
+            eprintln!("error: invalid --deadline");
+            return ExitCode::from(2);
+        };
+        ctl.deadline_ms = ms;
     }
 
     let sweep = SuiteSweep {
@@ -231,17 +258,42 @@ fn cmd_sweep(flags: HashMap<String, String>) -> ExitCode {
     };
     let spec = sweep.spec();
     let start = Instant::now();
-    let res = Executor::new(jobs).run(&spec);
+    let (drain, abort) = interrupt_tokens();
+    let mut exec = Executor::new(jobs)
+        .with_interrupts(drain, abort)
+        .with_deadline_ms(ctl.deadline_ms);
+    if let Some(k) = ctl.interrupt_after {
+        exec = exec.with_interrupt_after(k);
+    }
+    let dir = get("json")
+        .map(std::path::PathBuf::from)
+        .or_else(harness::results_dir);
+    let journal = dir.as_ref().map(|d| JournalConfig {
+        dir: d.clone(),
+        resume: ctl.resume,
+    });
+    let res = match exec.run_journaled(&spec, journal.as_ref()) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("[sweep] cell journal unavailable ({e}); running without crash-safety");
+            exec.run(&spec)
+        }
+    };
     eprintln!(
         "[sweep] {} cell(s) on {} worker(s) in {:.2?}",
         spec.len(),
         jobs,
         start.elapsed()
     );
+    if res.interrupted {
+        eprintln!(
+            "[sweep] interrupted: {} cell(s) not run; journal retained — re-run the same \
+             command with --resume to pick up where this sweep left off",
+            res.skipped()
+        );
+        return ExitCode::from(130);
+    }
     print!("{}", sweep.render(&res));
-    let dir = get("json")
-        .map(std::path::PathBuf::from)
-        .or_else(harness::results_dir);
     if let Some(dir) = dir {
         match res.write_json(&dir) {
             Ok(path) => eprintln!("[sweep] wrote {}", path.display()),
@@ -301,16 +353,28 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
     };
     println!("{}", report.summary());
     for rec in &report.records {
-        if rec.outcome == InjectionOutcome::Silent {
-            println!("  SILENT escape: seed {} faults {:?}", rec.seed, rec.faults);
+        match rec.outcome {
+            InjectionOutcome::Silent => {
+                println!("  SILENT escape: seed {} faults {:?}", rec.seed, rec.faults);
+            }
+            InjectionOutcome::Detected => {
+                println!(
+                    "  unrecovered detection: seed {} faults {:?}",
+                    rec.seed, rec.faults
+                );
+            }
+            _ => {}
         }
     }
-    if report.all_detected() {
-        ExitCode::SUCCESS
-    } else {
+    if !report.all_detected() {
         eprintln!("error[silent_fault]: an effectful fault escaped every checker");
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+    if !report.all_recovered() {
+        eprintln!("error[unrecovered]: a detected injection did not recover on re-execution");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_area(flags: HashMap<String, String>) -> ExitCode {

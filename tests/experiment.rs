@@ -77,7 +77,7 @@ fn failing_cell_degrades_without_aborting_siblings() {
     assert_eq!(res.failed(), 1);
     match &res.cell("starved").outcome {
         CellOutcome::Failed { kind, .. } => assert_eq!(*kind, "cycle_budget"),
-        CellOutcome::Ok(_) => panic!("a 50-cycle budget cannot complete gather"),
+        other => panic!("a 50-cycle budget cannot complete gather: {other:?}"),
     }
     for key in ["before", "after_a", "after_b"] {
         assert!(res.run(key).is_some(), "sibling {key} must complete");
@@ -115,13 +115,14 @@ fn retry_policy_is_configurable() {
             assert_eq!(*kind, "cycle_budget");
             assert!(!retried, "no-retry policy must not retry");
         }
-        CellOutcome::Ok(_) => panic!("the tight budget should fail without a retry"),
+        other => panic!("the tight budget should fail without a retry: {other:?}"),
     }
 
     // ...and a custom factor of 2 with one retry rescues it again.
     let mut spec = ExperimentSpec::new("retry_custom").with_retry(RetryPolicy {
-        budget_retries: 1,
+        max_retries: 1,
         budget_factor: 2,
+        ..RetryPolicy::default()
     });
     spec.single("tight", build, tight, &Default::default());
     let res = Executor::new(1).run(&spec);
@@ -131,9 +132,9 @@ fn retry_policy_is_configurable() {
 #[test]
 fn panicking_custom_cell_becomes_a_failure_row() {
     let mut spec = ExperimentSpec::new("panic_sweep");
-    spec.custom("boom", || panic!("cell exploded"));
-    spec.custom("ok", || Ok(CellData::metrics([("cycles", 1.0)])));
-    spec.custom("typed", || {
+    spec.custom("boom", |_| panic!("cell exploded"));
+    spec.custom("ok", |_| Ok(CellData::metrics([("cycles", 1.0)])));
+    spec.custom("typed", |_| {
         Err(SimError::GoldenRunStuck {
             thread: 0,
             step_cap: 1,
@@ -158,11 +159,11 @@ fn panicking_custom_cell_becomes_a_failure_row() {
             assert_eq!(*kind, "panic");
             assert!(error.contains("cell exploded"), "got: {error}");
         }
-        CellOutcome::Ok(_) => panic!("the panicking cell must fail"),
+        other => panic!("the panicking cell must fail: {other:?}"),
     }
     match &res.cell("typed").outcome {
         CellOutcome::Failed { kind, .. } => assert_eq!(*kind, "golden_stuck"),
-        CellOutcome::Ok(_) => panic!("the typed error must fail the cell"),
+        other => panic!("the typed error must fail the cell: {other:?}"),
     }
     assert_eq!(res.cycles("ok"), Some(1));
 }

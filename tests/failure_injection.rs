@@ -102,7 +102,14 @@ fn tag_store_campaign_has_no_silent_escapes() {
         &[FaultSite::TagValue],
     );
     assert!(report.all_detected(), "silent escape: {}", report.summary());
-    let caught = report.count(InjectionOutcome::Detected) + report.count(InjectionOutcome::Crashed);
+    assert!(
+        report.all_recovered(),
+        "unrecovered detection: {}",
+        report.summary()
+    );
+    let caught = report.count(InjectionOutcome::Detected)
+        + report.count(InjectionOutcome::Recovered)
+        + report.count(InjectionOutcome::Crashed);
     assert!(
         caught >= 1,
         "no tag-store fault ever landed: {}",
@@ -121,6 +128,11 @@ fn rollback_queue_campaign_has_no_silent_escapes() {
         &[FaultSite::RollbackSlot],
     );
     assert!(report.all_detected(), "silent escape: {}", report.summary());
+    assert!(
+        report.all_recovered(),
+        "unrecovered detection: {}",
+        report.summary()
+    );
 }
 
 #[test]
@@ -134,7 +146,14 @@ fn banked_campaign_has_no_silent_escapes() {
         &FaultSite::NON_VRMU,
     );
     assert!(report.all_detected(), "silent escape: {}", report.summary());
-    let caught = report.count(InjectionOutcome::Detected) + report.count(InjectionOutcome::Crashed);
+    assert!(
+        report.all_recovered(),
+        "unrecovered detection: {}",
+        report.summary()
+    );
+    let caught = report.count(InjectionOutcome::Detected)
+        + report.count(InjectionOutcome::Recovered)
+        + report.count(InjectionOutcome::Crashed);
     assert!(caught >= 1, "no fault ever landed: {}", report.summary());
 }
 
@@ -223,7 +242,7 @@ fn sweep_continues_past_a_failing_config() {
             assert_eq!(*kind, "cycle_budget");
             assert!(retried, "budget failures are retried once before failing");
         }
-        CellOutcome::Ok(_) => panic!("a 100-cycle budget cannot complete gather"),
+        other => panic!("a 100-cycle budget cannot complete gather: {other:?}"),
     }
 
     // Its sibling still ran and verified.
