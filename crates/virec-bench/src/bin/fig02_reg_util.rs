@@ -2,9 +2,14 @@
 //!
 //! For each kernel we report the innermost-loop register working set from
 //! static analysis (the fraction of the 31-register architectural context),
-//! plus the dynamically-measured mean per-quantum register use from a
-//! recorded banked run. Paper shape: most workloads use well under 30% of
-//! the context in the loops where they spend their runtime.
+//! the *exact* live register set at the innermost loop head from dataflow
+//! liveness (what an oracle prefetcher would actually fill: smaller than
+//! the referenced set where registers are written before read, larger for
+//! nested kernels where outer-loop state stays live across the inner
+//! head), plus the dynamically-measured mean per-quantum register use from
+//! a recorded banked run. Paper shape: most workloads use
+//! well under 30% of the context in the loops where they spend their
+//! runtime.
 //!
 //! The dynamic recording runs as one custom cell per workload; static
 //! analysis happens at render time. A failed recording degrades to `-`.
@@ -14,6 +19,7 @@ use virec_core::CoreConfig;
 use virec_sim::experiment::{builder, CellData, ExperimentSpec};
 use virec_sim::report::{pct, Table};
 use virec_sim::runner::{try_run_single, RunOptions};
+use virec_verify::StaticOracle;
 use virec_workloads::{suite, SUITE};
 
 fn main() {
@@ -53,6 +59,8 @@ fn main() {
         &[
             "workload",
             "inner_regs",
+            "live_at_head",
+            "delta",
             "all_regs",
             "inner_util",
             "mean_quantum_regs",
@@ -65,9 +73,29 @@ fn main() {
             .metric(w.name, "mean_quantum_regs")
             .map(|m| format!("{m:.1}"))
             .unwrap_or_else(|| "-".into());
+        // Exact liveness at the head of the (first) innermost loop: the
+        // registers an oracle prefetcher must fill for execution to
+        // proceed when a quantum resumes there (halt_live = 0: final-state
+        // values can be demand-filled, so only the dataflow of the
+        // remaining execution counts). `delta` = referenced-but-not-live
+        // in the innermost body — registers the span-based analysis counts
+        // that a dataflow-exact context could drop (dummy-fillable).
+        let (live, delta) = match StaticOracle::build(w.program(), 0) {
+            Ok(o) => match u.loops.iter().find(|l| l.depth == u.max_depth) {
+                Some(inner) => {
+                    let live = o.prefetch_mask(inner.head).count_ones();
+                    let delta = u.innermost.len() as i64 - live as i64;
+                    (live.to_string(), format!("{delta:+}"))
+                }
+                None => ("-".into(), "-".into()),
+            },
+            Err(_) => ("-".into(), "-".into()),
+        };
         t.row(vec![
             w.name.to_string(),
             u.innermost.len().to_string(),
+            live,
+            delta,
             u.all_used.len().to_string(),
             pct(u.innermost_utilization()),
             mean_q,

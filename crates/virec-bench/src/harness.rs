@@ -377,16 +377,33 @@ impl SuiteSweep {
         format!("{workload}/{}t/{}", self.threads, engine.label())
     }
 
-    /// Builds the experiment grid.
+    /// Builds the experiment grid. Every swept kernel is preflighted
+    /// through the static lint gate first: a malformed or dataflow-dirty
+    /// kernel fails fast here instead of burning sweep cycles and
+    /// surfacing as a confusing mid-sweep divergence.
     ///
     /// # Panics
     /// Panics on an unknown workload name (callers validate user input
-    /// before constructing the sweep).
+    /// before constructing the sweep) or on a kernel with lint
+    /// diagnostics.
     pub fn spec(&self) -> ExperimentSpec {
         let mut spec = ExperimentSpec::new(&self.name).with_retry(self.retry);
         for wname in &self.workloads {
             let w = by_name(wname, self.n, layout0())
                 .unwrap_or_else(|| panic!("unknown workload {wname:?}"));
+            let diags = virec_verify::lint_program(
+                w.program().instrs(),
+                &virec_verify::workload_lint_config(&w),
+            );
+            assert!(
+                diags.is_empty(),
+                "workload {wname:?} fails the lint gate:\n{}",
+                diags
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
             for engine in &self.engines {
                 let key = self.key(wname, engine);
                 let build = builder(

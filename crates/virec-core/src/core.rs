@@ -22,7 +22,10 @@
 //!   "committed since last switch" CSL mask.
 
 use crate::config::{CoreConfig, EngineKind};
-use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault, OracleSchedule};
+use crate::engine::{
+    AcquireOutcome, ContextEngine, EngineEnv, EngineFault, OracleSchedule, QuantumRecord,
+    QuantumTrace,
+};
 use crate::engines::{BankedEngine, PrefetchEngine, SoftwareEngine, VirecEngine};
 use crate::regions::RegRegion;
 use crate::stats::CoreStats;
@@ -173,6 +176,15 @@ pub struct Core {
     recorder: Option<Vec<Vec<u32>>>,
     quantum_mask: Vec<u32>,
 
+    /// Quantum tracer (static-analysis cross-checks): closed quanta plus
+    /// the in-flight quantum's start PC and use/demand/written masks. Only
+    /// the running thread accumulates, so scalars suffice.
+    qtracer: Option<QuantumTrace>,
+    q_start_pc: u32,
+    q_used: u32,
+    q_demand: u32,
+    q_written: u32,
+
     /// PC of each thread's most recently committed instruction (failure
     /// diagnostics — pinpoints where a thread was when a run went wrong).
     last_commit_pc: Vec<Option<u32>>,
@@ -254,6 +266,11 @@ impl Core {
             orphan_ifetches: Vec::new(),
             recorder: None,
             quantum_mask: vec![0; cfg.nthreads],
+            qtracer: None,
+            q_start_pc: 0,
+            q_used: 0,
+            q_demand: 0,
+            q_written: 0,
             last_commit_pc: vec![None; cfg.nthreads],
             tracer: None,
             stats: CoreStats::default(),
@@ -278,6 +295,17 @@ impl Core {
     /// exact-context prefetching).
     pub fn enable_quantum_recording(&mut self) {
         self.recorder = Some(vec![Vec::new(); self.cfg.nthreads]);
+    }
+
+    /// Enables per-quantum tracing of use/demand masks and engine live-bit
+    /// samples, for cross-checking against static liveness (virec-verify).
+    pub fn enable_quantum_trace(&mut self) {
+        self.qtracer = Some(QuantumTrace::default());
+    }
+
+    /// Takes the recorded quantum trace (call after the run).
+    pub fn take_quantum_trace(&mut self) -> QuantumTrace {
+        self.qtracer.take().unwrap_or_default()
     }
 
     /// Takes the recorded oracle schedule (call after the run).
@@ -566,6 +594,12 @@ impl Core {
             self.engine.on_switch(now, out, tid, &mut env);
         }
         self.started = true;
+        if self.qtracer.is_some() {
+            self.q_start_pc = self.fetch_pc;
+            self.q_used = 0;
+            self.q_demand = 0;
+            self.q_written = 0;
+        }
         self.emit(
             now,
             TraceEvent::SwitchIn {
@@ -637,6 +671,23 @@ impl Core {
             self.orphan_ifetches.push(m);
         }
         self.engine.flush_all_inflight(tid);
+        // Close the quantum-trace record, sampling engine live bits after
+        // the §5.1 compaction but before halt reclamation.
+        if let Some(tracer) = self.qtracer.as_mut() {
+            let live = self.engine.live_bits(tid);
+            let (resident, committed) = live.unwrap_or((0, 0));
+            tracer.quanta.push(QuantumRecord {
+                tid,
+                start_pc: self.q_start_pc,
+                resume_pc,
+                used: self.q_used,
+                demand: self.q_demand,
+                resident,
+                committed,
+                has_live_bits: live.is_some(),
+                halted,
+            });
+        }
         if halted {
             let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
             self.engine.on_thread_halt(tid, &mut env);
@@ -920,6 +971,19 @@ impl Core {
                         mask |= 1 << r.index();
                     }
                     self.quantum_mask[tid as usize] |= mask;
+                }
+                if self.qtracer.is_some() {
+                    // Acquired instructions are on the true execution path
+                    // (branches resolve at decode-exit), so the
+                    // read-before-written accumulation below is exactly the
+                    // quantum's demand set.
+                    for r in slot.instr.regs().iter() {
+                        self.q_used |= 1 << r.index();
+                    }
+                    let uses = virec_isa::dataflow::use_mask(&slot.instr);
+                    let defs = virec_isa::dataflow::def_mask(&slot.instr);
+                    self.q_demand |= uses & !self.q_written;
+                    self.q_written |= defs;
                 }
             }
             self.decode = Some(slot);

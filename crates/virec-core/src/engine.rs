@@ -87,6 +87,44 @@ impl OracleSchedule {
     }
 }
 
+/// One scheduling quantum observed by the core's quantum tracer
+/// ([`crate::Core::enable_quantum_trace`]). Register masks use bit `i` for
+/// `x{i}` and bit 31 for the condition flags, matching
+/// `virec_isa::dataflow`.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantumRecord {
+    /// The thread that ran.
+    pub tid: u8,
+    /// PC the quantum started fetching from.
+    pub start_pc: u32,
+    /// PC the thread will replay from after the switch-out flush.
+    pub resume_pc: u32,
+    /// Registers of every decode-acquired instruction (no flags bit; the
+    /// same mask the prefetch oracle records).
+    pub used: u32,
+    /// Registers (and flags) read before being written within the quantum —
+    /// the true demand set, a subset of static `live_in(start_pc)`.
+    pub demand: u32,
+    /// Registers resident in engine storage at switch-out, sampled *after*
+    /// the §5.1 rollback-queue compaction (zero if the engine has no
+    /// per-register bookkeeping).
+    pub resident: u32,
+    /// Subset of `resident` whose commit (C) bit is set.
+    pub committed: u32,
+    /// Whether `resident`/`committed` carry real engine state.
+    pub has_live_bits: bool,
+    /// Whether the quantum ended because the thread halted.
+    pub halted: bool,
+}
+
+/// All quanta of a run, in switch-out order.
+#[derive(Clone, Debug, Default)]
+pub struct QuantumTrace {
+    /// Closed quanta (a run aborted by the cycle budget may additionally
+    /// have one unclosed quantum in flight, which is dropped).
+    pub quanta: Vec<QuantumRecord>,
+}
+
 /// Storage and availability of thread register contexts.
 pub trait ContextEngine {
     /// Attempts to make every register of `instr` available for `tid`.
@@ -151,6 +189,16 @@ pub trait ContextEngine {
     /// not applied.
     fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
         let _ = fault;
+        None
+    }
+
+    /// `(resident, committed)` architectural-register masks for `tid`:
+    /// which registers currently occupy engine storage and which of those
+    /// have their commit (C) bit set (§5.1). `None` when the engine keeps
+    /// no per-register residency bookkeeping (banked/software/prefetch
+    /// engines hold full contexts).
+    fn live_bits(&self, tid: u8) -> Option<(u32, u32)> {
+        let _ = tid;
         None
     }
 

@@ -9,7 +9,7 @@ mod virec;
 pub use banked::BankedEngine;
 pub use prefetch::PrefetchEngine;
 pub use software::SoftwareEngine;
-pub use virec::VirecEngine;
+pub use virec::{VirecEngine, ROLLBACK_DEPTH};
 
 use virec_mem::{AccessKind, AccessResult, Cache, Fabric, MshrId};
 

@@ -16,7 +16,7 @@ use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg, RegList};
 /// Depth of the rollback queue: the maximum number of in-flight
 /// instructions in the backend (decode + execute + mem stages, plus one
 /// being committed).
-const ROLLBACK_DEPTH: usize = 4;
+pub const ROLLBACK_DEPTH: usize = 4;
 
 /// State of a multi-cycle acquisition.
 struct PendingAcquire {
@@ -365,6 +365,19 @@ impl ContextEngine for VirecEngine {
             EngineFault::RollbackSlot { nth, bit } => self.rollback.corrupt_slot(nth as usize, bit),
             EngineFault::StuckFill { nth } => self.tags.corrupt_stuck_fill(nth as usize),
         }
+    }
+
+    fn live_bits(&self, tid: u8) -> Option<(u32, u32)> {
+        let mut resident = 0u32;
+        let mut committed = 0u32;
+        for e in self.tags.valid_entries().filter(|e| e.tid == tid) {
+            let bit = 1u32 << e.reg.index();
+            resident |= bit;
+            if e.meta.c_bit {
+                committed |= bit;
+            }
+        }
+        Some((resident, committed))
     }
 
     fn occupancy(&self) -> (usize, usize) {

@@ -31,7 +31,10 @@ pub mod vrmu;
 
 pub use config::{CoreConfig, EngineKind, PolicyKind};
 pub use core::Core;
-pub use engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault, OracleSchedule};
+pub use engine::{
+    AcquireOutcome, ContextEngine, EngineEnv, EngineFault, OracleSchedule, QuantumRecord,
+    QuantumTrace,
+};
 pub use ooo::{run_ooo, OooConfig, OooResult};
 pub use regions::RegRegion;
 pub use stats::CoreStats;

@@ -4,18 +4,27 @@
 //! memory-intensive workloads) and to characterize the *active context* —
 //! the registers accessed inside the innermost loops, which is what ViReC
 //! sizes its physical register file against (§2, §4.2).
+//!
+//! Loop bodies are taken from the natural loops of the basic-block CFG
+//! ([`crate::cfg`]), so the register sets are exact even when a body is not
+//! a contiguous PC range. [`RegisterUsage::try_analyze`] additionally
+//! *enforces* the contiguous-loop/reducibility assumption this module
+//! historically documented but never checked, returning a typed
+//! [`AnalysisError`] when a program violates it.
 
+use crate::cfg::{Cfg, CfgError};
 use crate::instr::Instr;
 use crate::program::Program;
 use crate::reg::{Reg, NUM_ALLOCATABLE};
 use std::collections::BTreeSet;
 
 /// A natural loop identified from a back edge `source -> target` with
-/// `target <= source`; its body is the contiguous range `target..=source`.
+/// `target <= source`.
 ///
-/// The assembler emits reducible, structurally nested loops, so the
-/// contiguous-range approximation is exact for all workloads in this
-/// repository (asserted by [`RegisterUsage::analyze`]).
+/// The assembler emits reducible, structurally nested loops, so for every
+/// program in this repository the body is the contiguous range
+/// `head..=back_edge`; [`RegisterUsage::try_analyze`] validates this against
+/// the CFG instead of assuming it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Loop {
     /// First instruction of the loop body.
@@ -25,6 +34,39 @@ pub struct Loop {
     /// Nesting depth, 1 = outermost.
     pub depth: u32,
 }
+
+/// Violation of the structural assumptions [`RegisterUsage`] documents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The program's control flow is structurally broken (empty program or
+    /// out-of-bounds branch target).
+    Malformed(CfgError),
+    /// The CFG contains a retreating edge that is not a back edge: loop
+    /// structure is irreducible and nesting depths are undefined.
+    Irreducible,
+    /// A natural loop's body is not the contiguous PC range
+    /// `head..=back_edge` that the span approximation assumes.
+    NonContiguousLoop {
+        /// First instruction of the loop header block.
+        head: u32,
+        /// PC of the back-edge branch.
+        back_edge: u32,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AnalysisError::Malformed(e) => write!(f, "malformed control flow: {e}"),
+            AnalysisError::Irreducible => write!(f, "irreducible loop structure"),
+            AnalysisError::NonContiguousLoop { head, back_edge } => {
+                write!(f, "loop {head}..={back_edge} has a non-contiguous body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
 
 /// Register-usage summary of a program.
 ///
@@ -57,30 +99,81 @@ pub struct RegisterUsage {
 }
 
 impl RegisterUsage {
-    /// Analyzes a program.
-    pub fn analyze(program: &Program) -> RegisterUsage {
+    /// Analyzes a program, enforcing the documented structural assumptions:
+    /// well-formed control flow, reducible loops, contiguous loop bodies.
+    pub fn try_analyze(program: &Program) -> Result<RegisterUsage, AnalysisError> {
         let instrs = program.instrs();
-        let mut loops = find_loops(instrs);
-        // Depth = number of enclosing loops (including itself).
-        let spans: Vec<(u32, u32)> = loops.iter().map(|l| (l.head, l.back_edge)).collect();
-        for l in &mut loops {
-            l.depth = spans
-                .iter()
-                .filter(|&&(h, b)| h <= l.head && l.back_edge <= b)
-                .count() as u32;
+        let cfg = Cfg::build(instrs).map_err(AnalysisError::Malformed)?;
+        if !cfg.reducible {
+            return Err(AnalysisError::Irreducible);
         }
+        if let Some(l) = cfg.loops.iter().find(|l| !l.contiguous) {
+            return Err(AnalysisError::NonContiguousLoop {
+                head: cfg.blocks[l.head].start as u32,
+                back_edge: cfg.blocks[l.back_edge.0].terminator() as u32,
+            });
+        }
+        Ok(Self::from_cfg(&cfg, instrs))
+    }
+
+    /// Analyzes a program, never panicking.
+    ///
+    /// Programs that violate the structural assumptions degrade instead of
+    /// silently mis-sizing the active context: non-contiguous loop bodies
+    /// are handled *exactly* via the CFG's natural-loop bodies, and
+    /// irreducible or malformed programs fall back to treating every
+    /// referenced register as active (`active_context_size` =
+    /// `all_used.len()`, a safe over-approximation).
+    pub fn analyze(program: &Program) -> RegisterUsage {
+        match Self::try_analyze(program) {
+            Ok(u) => u,
+            Err(AnalysisError::NonContiguousLoop { .. }) => {
+                let instrs = program.instrs();
+                let cfg = Cfg::build(instrs).expect("CFG built once already");
+                Self::from_cfg(&cfg, instrs)
+            }
+            Err(AnalysisError::Irreducible) | Err(AnalysisError::Malformed(_)) => {
+                let mut all_used = BTreeSet::new();
+                for i in program.instrs() {
+                    for r in i.regs().iter() {
+                        all_used.insert(r);
+                    }
+                }
+                RegisterUsage {
+                    loops: Vec::new(),
+                    all_used: all_used.clone(),
+                    innermost: BTreeSet::new(),
+                    outer_only: all_used,
+                    max_depth: 0,
+                }
+            }
+        }
+    }
+
+    /// Builds the summary from exact natural-loop bodies.
+    fn from_cfg(cfg: &Cfg, instrs: &[Instr]) -> RegisterUsage {
+        let loops: Vec<Loop> = cfg
+            .loops
+            .iter()
+            .map(|l| Loop {
+                head: cfg.blocks[l.head].start as u32,
+                back_edge: cfg.blocks[l.back_edge.0].terminator() as u32,
+                depth: l.depth,
+            })
+            .collect();
         let max_depth = loops.iter().map(|l| l.depth).max().unwrap_or(0);
+
+        let mut innermost_pcs: BTreeSet<usize> = BTreeSet::new();
+        for l in cfg.loops.iter().filter(|l| l.depth == max_depth) {
+            innermost_pcs.extend(l.pcs(cfg));
+        }
 
         let mut all_used = BTreeSet::new();
         let mut innermost = BTreeSet::new();
         for (pc, i) in instrs.iter().enumerate() {
-            let pc = pc as u32;
-            let in_innermost = loops
-                .iter()
-                .any(|l| l.depth == max_depth && l.head <= pc && pc <= l.back_edge);
             for r in i.regs().iter() {
                 all_used.insert(r);
-                if in_innermost && max_depth > 0 {
+                if max_depth > 0 && innermost_pcs.contains(&pc) {
                     innermost.insert(r);
                 }
             }
@@ -111,25 +204,6 @@ impl RegisterUsage {
             self.innermost.len()
         }
     }
-}
-
-/// Finds all natural loops via back edges (branch to an earlier or equal PC).
-fn find_loops(instrs: &[Instr]) -> Vec<Loop> {
-    let mut loops = Vec::new();
-    for (pc, i) in instrs.iter().enumerate() {
-        if let Some(t) = i.branch_target() {
-            if t as usize <= pc {
-                loops.push(Loop {
-                    head: t,
-                    back_edge: pc as u32,
-                    depth: 0,
-                });
-            }
-        }
-    }
-    loops.sort_by_key(|l| (l.head, std::cmp::Reverse(l.back_edge)));
-    loops.dedup_by_key(|l| (l.head, l.back_edge));
-    loops
 }
 
 #[cfg(test)]
@@ -208,5 +282,41 @@ mod tests {
         assert_eq!(u.max_depth, 1);
         assert_eq!(u.loops.len(), 1);
         assert!(u.innermost.contains(&X1));
+    }
+
+    #[test]
+    fn try_analyze_accepts_structured_programs() {
+        assert!(RegisterUsage::try_analyze(&nested_prog()).is_ok());
+    }
+
+    #[test]
+    fn non_contiguous_loop_is_typed_error_but_analyzed_exactly() {
+        // A loop whose body detours *past* the back edge:
+        //   0: mov x1, #4
+        //   1: top: sub x1, x1, 1     (head)
+        //   2: b check                (jump forward over the back edge)
+        //   3: exit: halt
+        //   4: check: cbnz x1, top    (back edge, body = {1,2,4})
+        //   after cbnz falls through to 5: b exit
+        let mut a = Asm::new("nc");
+        a.mov_imm(X1, 4);
+        a.label("top");
+        a.subi(X1, X1, 1);
+        a.add(X0, X0, X1);
+        a.b("check");
+        a.label("exit");
+        a.halt();
+        a.label("check");
+        a.cbnz(X1, "top");
+        a.b("exit");
+        let p = a.assemble();
+        let err = RegisterUsage::try_analyze(&p).unwrap_err();
+        assert!(matches!(err, AnalysisError::NonContiguousLoop { .. }));
+        // analyze() still sizes the active context from the exact body:
+        // x0 and x1 are in the loop, nothing else.
+        let u = RegisterUsage::analyze(&p);
+        assert_eq!(u.max_depth, 1);
+        assert_eq!(u.active_context_size(), 2);
+        assert!(u.innermost.contains(&X0) && u.innermost.contains(&X1));
     }
 }

@@ -1,0 +1,537 @@
+//! Basic-block control-flow graph over assembled instruction sequences.
+//!
+//! The CFG is the substrate for the exact dataflow analyses in
+//! [`crate::dataflow`] and for the lint pass in `virec-verify`: leaders are
+//! split at branch targets and after every branch/halt, blocks are linked by
+//! successor/predecessor edges, and the reachable subgraph gets reverse
+//! postorder, iterative dominators, back edges, and natural loops with
+//! nesting depths, a reducibility verdict, and per-loop contiguity (the
+//! assumption [`crate::analysis::RegisterUsage`] historically relied on
+//! without checking).
+//!
+//! Construction is fallible on purpose: [`crate::program::Program::new`]
+//! panics on out-of-bounds branch targets, so [`Cfg::build`] takes a raw
+//! `&[Instr]` and reports malformed control flow as a typed [`CfgError`],
+//! which the linter surfaces as a diagnostic instead of a crash.
+
+use crate::instr::Instr;
+use std::collections::BTreeSet;
+
+/// Structural errors that prevent CFG construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CfgError {
+    /// The program has no instructions.
+    Empty,
+    /// A branch at `pc` targets an instruction index past the end.
+    OutOfBoundsTarget {
+        /// PC of the offending branch.
+        pc: usize,
+        /// The (invalid) target index.
+        target: usize,
+    },
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CfgError::Empty => write!(f, "program has no instructions"),
+            CfgError::OutOfBoundsTarget { pc, target } => {
+                write!(f, "branch at pc {pc} targets {target}, past the end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// A maximal straight-line run of instructions `start..end` (end exclusive).
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// PC of the first instruction.
+    pub start: usize,
+    /// One past the PC of the last instruction.
+    pub end: usize,
+    /// Successor block indices (0, 1, or 2 entries).
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// PC of the block terminator (its last instruction).
+    pub fn terminator(&self) -> usize {
+        self.end - 1
+    }
+}
+
+/// A natural loop formed by one back edge.
+///
+/// Unlike [`crate::analysis::Loop`], the body is the *exact* set of blocks
+/// that can reach the back edge without passing through the header — not a
+/// contiguous PC range. [`NaturalLoop::contiguous`] records whether the two
+/// coincide.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Header block index (the back edge's target).
+    pub head: usize,
+    /// The back edge as `(tail block, header block)`.
+    pub back_edge: (usize, usize),
+    /// Sorted indices of every block in the loop body (header included).
+    pub blocks: Vec<usize>,
+    /// Nesting depth, 1 = outermost.
+    pub depth: u32,
+    /// Whether the body PCs form exactly the contiguous range
+    /// `header.start ..= tail.end - 1` — the approximation
+    /// [`crate::analysis`] uses.
+    pub contiguous: bool,
+}
+
+impl NaturalLoop {
+    /// Sorted PCs of every instruction in the loop body.
+    pub fn pcs(&self, cfg: &Cfg) -> Vec<usize> {
+        let mut pcs: Vec<usize> = self
+            .blocks
+            .iter()
+            .flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end)
+            .collect();
+        pcs.sort_unstable();
+        pcs
+    }
+}
+
+/// The control-flow graph of a program, with dominator and loop structure
+/// computed over the subgraph reachable from PC 0 (where every thread
+/// starts).
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks ordered by start PC.
+    pub blocks: Vec<BasicBlock>,
+    /// Block index containing each PC.
+    pub block_of: Vec<usize>,
+    /// Per-block reachability from block 0.
+    pub reachable: Vec<bool>,
+    /// Reachable block indices in reverse postorder (entry first).
+    pub rpo: Vec<usize>,
+    /// Position of each block in [`Cfg::rpo`] (`usize::MAX` if unreachable).
+    pub rpo_index: Vec<usize>,
+    /// Immediate dominator of each reachable block (the entry dominates
+    /// itself; `usize::MAX` for unreachable blocks).
+    pub idom: Vec<usize>,
+    /// Back edges `(tail, header)`: edges whose target dominates the source.
+    pub back_edges: Vec<(usize, usize)>,
+    /// Natural loops, one per back edge, ordered by header start PC.
+    pub loops: Vec<NaturalLoop>,
+    /// Whether every retreating edge is a back edge (no irreducible loops).
+    pub reducible: bool,
+    /// PCs whose fall-through leaves the program (missing-halt candidates).
+    pub falls_off_end: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG, failing on empty programs and out-of-bounds branch
+    /// targets. Mid-instruction targets cannot exist in this ISA — programs
+    /// are indexed at instruction granularity, so every in-range index *is*
+    /// an instruction boundary; the out-of-bounds check covers the rest.
+    pub fn build(instrs: &[Instr]) -> Result<Cfg, CfgError> {
+        if instrs.is_empty() {
+            return Err(CfgError::Empty);
+        }
+        let len = instrs.len();
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(t) = i.branch_target() {
+                if t as usize >= len {
+                    return Err(CfgError::OutOfBoundsTarget {
+                        pc,
+                        target: t as usize,
+                    });
+                }
+            }
+        }
+
+        // Leaders: entry, branch targets, and the instruction after every
+        // control-flow terminator.
+        let mut leaders = BTreeSet::new();
+        leaders.insert(0usize);
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(t) = i.branch_target() {
+                leaders.insert(t as usize);
+                leaders.insert(pc + 1);
+            } else if matches!(i, Instr::Halt) {
+                leaders.insert(pc + 1);
+            }
+        }
+        leaders.remove(&len);
+        let starts: Vec<usize> = leaders.into_iter().collect();
+
+        let mut blocks: Vec<BasicBlock> = starts
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| BasicBlock {
+                start: s,
+                end: starts.get(b + 1).copied().unwrap_or(len),
+                succs: Vec::new(),
+                preds: Vec::new(),
+            })
+            .collect();
+        let mut block_of = vec![0usize; len];
+        for (b, blk) in blocks.iter().enumerate() {
+            block_of[blk.start..blk.end].fill(b);
+        }
+
+        let mut falls_off_end = Vec::new();
+        let nblocks = blocks.len();
+        for blk in blocks.iter_mut() {
+            let term_pc = blk.end - 1;
+            let term = &instrs[term_pc];
+            let mut succs = Vec::new();
+            let mut fallthrough = |succs: &mut Vec<usize>| {
+                if term_pc + 1 < len {
+                    succs.push(block_of[term_pc + 1]);
+                } else {
+                    falls_off_end.push(term_pc);
+                }
+            };
+            match term {
+                Instr::Halt => {}
+                Instr::B { target } => succs.push(block_of[*target as usize]),
+                _ => {
+                    fallthrough(&mut succs);
+                    if let Some(t) = term.branch_target() {
+                        let tb = block_of[t as usize];
+                        if !succs.contains(&tb) {
+                            succs.push(tb);
+                        }
+                    }
+                }
+            }
+            blk.succs = succs;
+        }
+        for b in 0..nblocks {
+            for s in blocks[b].succs.clone() {
+                blocks[s].preds.push(b);
+            }
+        }
+
+        // Reachability + postorder from the entry (iterative DFS).
+        let mut reachable = vec![false; nblocks];
+        let mut postorder = Vec::with_capacity(nblocks);
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        reachable[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < blocks[b].succs.len() {
+                let s = blocks[b].succs[*next];
+                *next += 1;
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+        let mut rpo_index = vec![usize::MAX; nblocks];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        // Iterative dominators (Cooper–Harvey–Kennedy) over the reachable
+        // subgraph in reverse postorder.
+        let mut idom = vec![usize::MAX; nblocks];
+        idom[0] = 0;
+        let intersect = |idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = idom[a];
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &blocks[b].preds {
+                    if idom[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_index, new_idom, p)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let dominates = |idom: &[usize], a: usize, mut b: usize| {
+            if idom[b] == usize::MAX {
+                return false;
+            }
+            loop {
+                if b == a {
+                    return true;
+                }
+                if b == 0 {
+                    return false;
+                }
+                b = idom[b];
+            }
+        };
+
+        // Back edges and reducibility: a retreating edge (target not later in
+        // RPO) that is *not* a back edge witnesses an irreducible region.
+        let mut back_edges = Vec::new();
+        let mut reducible = true;
+        for &u in &rpo {
+            for &v in &blocks[u].succs {
+                if rpo_index[v] == usize::MAX || rpo_index[v] > rpo_index[u] {
+                    continue;
+                }
+                if dominates(&idom, v, u) {
+                    back_edges.push((u, v));
+                } else {
+                    reducible = false;
+                }
+            }
+        }
+
+        // Natural loops: one per back edge, body grown backwards from the
+        // tail until the header (which dominates everything inside).
+        let mut loops = Vec::new();
+        for &(tail, head) in &back_edges {
+            let mut body = BTreeSet::new();
+            body.insert(head);
+            let mut work = vec![tail];
+            while let Some(b) = work.pop() {
+                if body.insert(b) {
+                    work.extend(blocks[b].preds.iter().copied());
+                }
+            }
+            let lo = body.iter().map(|&b| blocks[b].start).min().unwrap();
+            let hi = body.iter().map(|&b| blocks[b].end).max().unwrap();
+            let npcs: usize = body.iter().map(|&b| blocks[b].end - blocks[b].start).sum();
+            let contiguous = lo == blocks[head].start && hi == blocks[tail].end && npcs == hi - lo;
+            loops.push(NaturalLoop {
+                head,
+                back_edge: (tail, head),
+                blocks: body.into_iter().collect(),
+                depth: 0,
+                contiguous,
+            });
+        }
+        // Depth = number of loops whose body contains this loop's body
+        // (including itself); matches the span-counting convention of
+        // `crate::analysis` on structured code.
+        let bodies: Vec<BTreeSet<usize>> = loops
+            .iter()
+            .map(|l| l.blocks.iter().copied().collect())
+            .collect();
+        for (i, l) in loops.iter_mut().enumerate() {
+            l.depth = bodies
+                .iter()
+                .filter(|other| bodies[i].is_subset(other))
+                .count() as u32;
+        }
+        loops.sort_by_key(|l| {
+            (
+                blocks[l.head].start,
+                std::cmp::Reverse(blocks[l.back_edge.0].end),
+            )
+        });
+
+        Ok(Cfg {
+            blocks,
+            block_of,
+            reachable,
+            rpo,
+            rpo_index,
+            idom,
+            back_edges,
+            loops,
+            reducible,
+            falls_off_end,
+        })
+    }
+
+    /// Whether block `a` dominates block `b` (both must be reachable).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom[b] == usize::MAX {
+            return false;
+        }
+        let mut b = b;
+        loop {
+            if b == a {
+                return true;
+            }
+            if b == 0 {
+                return false;
+            }
+            b = self.idom[b];
+        }
+    }
+
+    /// PCs of instructions in unreachable blocks, sorted.
+    pub fn unreachable_pcs(&self) -> Vec<usize> {
+        let mut pcs = Vec::new();
+        for (b, blk) in self.blocks.iter().enumerate() {
+            if !self.reachable[b] {
+                pcs.extend(blk.start..blk.end);
+            }
+        }
+        pcs
+    }
+
+    /// Whether every loop body is a contiguous PC range — the precondition
+    /// for the span-based approximation in [`crate::analysis`].
+    pub fn all_loops_contiguous(&self) -> bool {
+        self.loops.iter().all(|l| l.contiguous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::program::Asm;
+    use crate::reg::names::*;
+
+    fn build(a: Asm) -> Cfg {
+        let p = a.assemble();
+        Cfg::build(p.instrs()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new("s");
+        a.mov_imm(X0, 1);
+        a.addi(X1, X0, 2);
+        a.halt();
+        let cfg = build(a);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(cfg.reducible);
+        assert!(cfg.loops.is_empty());
+        assert!(cfg.falls_off_end.is_empty());
+    }
+
+    #[test]
+    fn single_loop_shape() {
+        let mut a = Asm::new("l");
+        a.mov_imm(X1, 8);
+        a.label("top");
+        a.subi(X1, X1, 1);
+        a.cbnz(X1, "top");
+        a.halt();
+        let cfg = build(a);
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.depth, 1);
+        assert!(l.contiguous);
+        assert_eq!(cfg.blocks[l.head].start, 1);
+        assert!(cfg.reducible);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let mut a = Asm::new("n");
+        a.mov_imm(X10, 4);
+        a.label("outer");
+        a.mov_imm(X1, 8);
+        a.label("inner");
+        a.subi(X1, X1, 1);
+        a.cbnz(X1, "inner");
+        a.subi(X10, X10, 1);
+        a.cbnz(X10, "outer");
+        a.halt();
+        let cfg = build(a);
+        assert_eq!(cfg.loops.len(), 2);
+        let depths: Vec<u32> = cfg.loops.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, vec![1, 2], "outer first (sorted by head pc)");
+        assert!(cfg.all_loops_contiguous());
+    }
+
+    #[test]
+    fn unreachable_code_detected() {
+        let mut a = Asm::new("u");
+        a.b("end");
+        a.mov_imm(X0, 1); // dead
+        a.label("end");
+        a.halt();
+        let cfg = build(a);
+        assert_eq!(cfg.unreachable_pcs(), vec![1]);
+    }
+
+    #[test]
+    fn fallthrough_off_end_recorded() {
+        let mut a = Asm::new("f");
+        a.mov_imm(X0, 1);
+        a.cbnz(X0, "skip");
+        a.label("skip");
+        a.mov_imm(X1, 2); // no halt after
+        let cfg = build(a);
+        assert_eq!(cfg.falls_off_end, vec![2]);
+    }
+
+    #[test]
+    fn oob_target_is_typed_error() {
+        use crate::instr::Instr;
+        let instrs = vec![Instr::B { target: 9 }, Instr::Halt];
+        assert_eq!(
+            Cfg::build(&instrs).unwrap_err(),
+            CfgError::OutOfBoundsTarget { pc: 0, target: 9 }
+        );
+        assert_eq!(Cfg::build(&[]).unwrap_err(), CfgError::Empty);
+    }
+
+    #[test]
+    fn irreducible_region_flagged() {
+        use crate::instr::{AluOp, Instr, Operand2};
+        // Two mutually-jumping blocks entered from two different points:
+        //   0: cbnz x0 -> 3
+        //   1: nop           (A)
+        //   2: b 4
+        //   3: nop           (B head entered from outside)
+        //   4: cbnz x1 -> 1  (B -> A: retreating but 1 doesn't dominate)
+        //   5: halt
+        let instrs = vec![
+            Instr::Cbnz { src: X0, target: 3 },
+            Instr::Nop,
+            Instr::B { target: 4 },
+            Instr::Nop,
+            Instr::Cbnz { src: X1, target: 1 },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: X2,
+                src: X2,
+                rhs: Operand2::Imm(0),
+            },
+            Instr::Halt,
+        ];
+        let cfg = Cfg::build(&instrs).unwrap();
+        assert!(!cfg.reducible);
+    }
+
+    #[test]
+    fn conditional_exit_loop() {
+        let mut a = Asm::new("c");
+        a.mov_imm(X1, 3);
+        a.label("top");
+        a.subi(X1, X1, 1);
+        a.cmpi(X1, 0);
+        a.bcc(Cond::Gt, "top");
+        a.halt();
+        let cfg = build(a);
+        assert_eq!(cfg.loops.len(), 1);
+        assert!(cfg.loops[0].contiguous);
+    }
+}

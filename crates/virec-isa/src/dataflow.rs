@@ -1,0 +1,405 @@
+//! Bitset dataflow fixpoints over the [`crate::cfg::Cfg`]: backward
+//! liveness with exact per-PC live sets, and forward reaching definitions
+//! with entry pseudo-definitions (the basis of the maybe-uninitialized-read
+//! lint).
+//!
+//! Register sets are `u32` masks: bit `i` (0..=30) is `x{i}`, and
+//! [`FLAGS_BIT`] (bit 31) tracks the condition flags as a pseudo-register.
+//! `xzr` never appears in a mask — [`crate::instr::RegList`] filters it, and
+//! reading it always yields zero, so it is neither defined nor live.
+
+use crate::cfg::Cfg;
+use crate::instr::Instr;
+use crate::reg::{Reg, NUM_ALLOCATABLE};
+
+/// Mask bit for the condition flags pseudo-register.
+pub const FLAGS_BIT: u32 = 1 << 31;
+
+/// Mask covering every allocatable architectural register (`x0..=x30`),
+/// excluding the flags.
+pub const ALL_REGS: u32 = (1 << NUM_ALLOCATABLE) - 1;
+
+/// Registers (and flags) an instruction reads.
+pub fn use_mask(i: &Instr) -> u32 {
+    let mut m = 0u32;
+    for r in i.srcs().iter() {
+        m |= 1 << r.index();
+    }
+    if i.reads_flags() {
+        m |= FLAGS_BIT;
+    }
+    m
+}
+
+/// Registers (and flags) an instruction writes.
+pub fn def_mask(i: &Instr) -> u32 {
+    let mut m = 0u32;
+    for r in i.dsts().iter() {
+        m |= 1 << r.index();
+    }
+    if i.writes_flags() {
+        m |= FLAGS_BIT;
+    }
+    m
+}
+
+/// Expands the register bits of a mask (flags stripped) into `Reg`s.
+pub fn regs_of_mask(mask: u32) -> Vec<Reg> {
+    (0..NUM_ALLOCATABLE)
+        .filter(|b| mask & (1 << b) != 0)
+        .map(|b| Reg::new(b as u8))
+        .collect()
+}
+
+/// Per-PC liveness: `live_in[pc]` is the set of registers (and flags) that
+/// may be read before being written on some path starting *at* `pc`;
+/// `live_out[pc]` the same for paths starting after `pc`.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Live set immediately before each instruction.
+    pub live_in: Vec<u32>,
+    /// Live set immediately after each instruction.
+    pub live_out: Vec<u32>,
+}
+
+impl Liveness {
+    /// Backward may-liveness fixpoint.
+    ///
+    /// `halt_live` is treated as the use set of `Halt`: the simulator
+    /// compares the *full* final architectural state against the golden
+    /// interpreter, so by default every register is observable at program
+    /// exit ([`ALL_REGS`]) — which also keeps the dead-store lint sound for
+    /// values only "used" by that final comparison.
+    pub fn compute(cfg: &Cfg, instrs: &[Instr], halt_live: u32) -> Liveness {
+        let pc_use = |pc: usize| -> u32 {
+            if matches!(instrs[pc], Instr::Halt) {
+                halt_live
+            } else {
+                use_mask(&instrs[pc])
+            }
+        };
+
+        // Block summaries: use = read before written, def = written.
+        let nb = cfg.blocks.len();
+        let mut buse = vec![0u32; nb];
+        let mut bdef = vec![0u32; nb];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for pc in (blk.start..blk.end).rev() {
+                let d = def_mask(&instrs[pc]);
+                buse[b] = pc_use(pc) | (buse[b] & !d);
+                bdef[b] |= d;
+            }
+        }
+
+        // Round-robin to fixpoint in postorder (backward problem);
+        // unreachable blocks are appended so their sets converge too.
+        let mut bin = vec![0u32; nb];
+        let mut bout = vec![0u32; nb];
+        let mut order: Vec<usize> = cfg.rpo.iter().rev().copied().collect();
+        order.extend((0..nb).filter(|b| !cfg.reachable[*b]));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = 0u32;
+                for &s in &cfg.blocks[b].succs {
+                    out |= bin[s];
+                }
+                let inn = buse[b] | (out & !bdef[b]);
+                if out != bout[b] || inn != bin[b] {
+                    bout[b] = out;
+                    bin[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        // Per-PC expansion within each block.
+        let n = instrs.len();
+        let mut live_in = vec![0u32; n];
+        let mut live_out = vec![0u32; n];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            let mut live = bout[b];
+            for pc in (blk.start..blk.end).rev() {
+                live_out[pc] = live;
+                live = pc_use(pc) | (live & !def_mask(&instrs[pc]));
+                live_in[pc] = live;
+            }
+            debug_assert_eq!(live, bin[b]);
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+/// A definition site tracked by [`ReachingDefs`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// PC of the defining instruction, or `None` for the entry
+    /// pseudo-definition carrying the register's initial (possibly
+    /// uninitialized) value.
+    pub pc: Option<usize>,
+    /// Bit index of the defined register (31 = flags).
+    pub bit: u32,
+}
+
+/// Forward reaching-definitions fixpoint with one entry pseudo-definition
+/// per register.
+///
+/// An entry pseudo-def whose register is *not* in `initial_regs` models an
+/// uninitialized value; if it reaches a read, the program may observe
+/// garbage — the maybe-uninitialized-read lint.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// All definition sites; the first 32 are the entry pseudo-defs for
+    /// bits 0..=31.
+    pub sites: Vec<DefSite>,
+    /// Per-PC reaching set, one bit per site (indexes [`ReachingDefs::sites`]).
+    at: Vec<Vec<u64>>,
+    /// Registers whose entry pseudo-def models an uninitialized value.
+    uninit_entry: u32,
+}
+
+fn bs_contains(w: &[u64], i: usize) -> bool {
+    w[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn bs_set(w: &mut [u64], i: usize) {
+    w[i / 64] |= 1 << (i % 64);
+}
+
+fn bs_clear(w: &mut [u64], i: usize) {
+    w[i / 64] &= !(1 << (i % 64));
+}
+
+impl ReachingDefs {
+    /// Forward may fixpoint over the reachable subgraph. `initial_regs` is
+    /// the mask of registers (plus optionally [`FLAGS_BIT`]) holding defined
+    /// values at entry — ABI parameters, per-thread context registers, the
+    /// frame pointer.
+    pub fn compute(cfg: &Cfg, instrs: &[Instr], initial_regs: u32) -> ReachingDefs {
+        let mut sites: Vec<DefSite> = (0..32).map(|bit| DefSite { pc: None, bit }).collect();
+        // sites_of[bit] = indices of all sites defining that register.
+        let mut sites_of: Vec<Vec<usize>> = (0..32).map(|b| vec![b]).collect();
+        let mut site_at_pc: Vec<Vec<usize>> = vec![Vec::new(); instrs.len()];
+        for (pc, i) in instrs.iter().enumerate() {
+            let d = def_mask(i);
+            for bit in 0..32 {
+                if d & (1 << bit) != 0 {
+                    let id = sites.len();
+                    sites.push(DefSite { pc: Some(pc), bit });
+                    sites_of[bit as usize].push(id);
+                    site_at_pc[pc].push(id);
+                }
+            }
+        }
+        let nsites = sites.len();
+        let words = nsites.div_ceil(64);
+
+        // Block gen/kill in terms of site bitsets.
+        let nb = cfg.blocks.len();
+        let apply_pc = |set: &mut Vec<u64>, pc: usize| {
+            for &id in &site_at_pc[pc] {
+                let bit = sites[id].bit as usize;
+                for &other in &sites_of[bit] {
+                    bs_clear(set, other);
+                }
+                bs_set(set, id);
+            }
+        };
+
+        let mut bin: Vec<Vec<u64>> = vec![vec![0u64; words]; nb];
+        let mut bout: Vec<Vec<u64>> = vec![vec![0u64; words]; nb];
+        // Entry: all 32 pseudo-defs reach block 0.
+        for bit in 0..32 {
+            bs_set(&mut bin[0], bit);
+        }
+        {
+            let mut s = bin[0].clone();
+            for pc in cfg.blocks[0].start..cfg.blocks[0].end {
+                apply_pc(&mut s, pc);
+            }
+            bout[0] = s;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                let mut inn = if b == 0 {
+                    bin[0].clone()
+                } else {
+                    let mut m = vec![0u64; words];
+                    for &p in &cfg.blocks[b].preds {
+                        for (w, pw) in m.iter_mut().zip(&bout[p]) {
+                            *w |= pw;
+                        }
+                    }
+                    m
+                };
+                if b != 0 && inn != bin[b] {
+                    bin[b] = inn.clone();
+                    changed = true;
+                }
+                for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+                    apply_pc(&mut inn, pc);
+                }
+                if inn != bout[b] {
+                    bout[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        // Per-PC expansion (reachable blocks only; unreachable PCs keep an
+        // empty set — no path from entry reaches them).
+        let mut at: Vec<Vec<u64>> = vec![vec![0u64; words]; instrs.len()];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            let mut s = bin[b].clone();
+            for (pc, slot) in at.iter_mut().enumerate().take(blk.end).skip(blk.start) {
+                slot.clone_from(&s);
+                apply_pc(&mut s, pc);
+            }
+        }
+
+        ReachingDefs {
+            sites,
+            at,
+            uninit_entry: !initial_regs,
+        }
+    }
+
+    /// Mask of registers whose entry (uninitialized) pseudo-def reaches `pc`.
+    pub fn maybe_uninit_at(&self, pc: usize) -> u32 {
+        let mut m = 0u32;
+        for bit in 0..32u32 {
+            if self.uninit_entry & (1 << bit) != 0 && bs_contains(&self.at[pc], bit as usize) {
+                m |= 1 << bit;
+            }
+        }
+        m
+    }
+
+    /// Definition sites of register bit `bit` reaching `pc`.
+    pub fn defs_reaching(&self, pc: usize, bit: u32) -> Vec<DefSite> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(id, s)| s.bit == bit && bs_contains(&self.at[pc], *id))
+            .map(|(_, s)| *s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Asm;
+    use crate::reg::names::*;
+
+    fn cfg_of(a: Asm) -> (Cfg, Vec<Instr>) {
+        let p = a.assemble();
+        let instrs = p.instrs().to_vec();
+        (Cfg::build(&instrs).unwrap(), instrs)
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_at_head() {
+        let mut a = Asm::new("l");
+        a.mov_imm(X1, 8); // 0
+        a.label("top");
+        a.add(X0, X0, X1); // 1
+        a.subi(X1, X1, 1); // 2
+        a.cbnz(X1, "top"); // 3
+        a.halt(); // 4
+        let (cfg, instrs) = cfg_of(a);
+        let lv = Liveness::compute(&cfg, &instrs, ALL_REGS);
+        // At the loop head both the accumulator and the counter are live.
+        assert_ne!(lv.live_in[1] & (1 << 0), 0, "x0 live at head");
+        assert_ne!(lv.live_in[1] & (1 << 1), 0, "x1 live at head");
+        // x0 is live-in at entry too: it is read before any write.
+        assert_ne!(lv.live_in[0] & 1, 0);
+    }
+
+    #[test]
+    fn halt_live_controls_exit_liveness() {
+        let mut a = Asm::new("h");
+        a.mov_imm(X5, 7);
+        a.halt();
+        let (cfg, instrs) = cfg_of(a);
+        let all = Liveness::compute(&cfg, &instrs, ALL_REGS);
+        assert_ne!(all.live_out[0] & (1 << 5), 0, "x5 observable at halt");
+        let none = Liveness::compute(&cfg, &instrs, 0);
+        assert_eq!(
+            none.live_out[0] & (1 << 5),
+            0,
+            "dead when halt uses nothing"
+        );
+    }
+
+    #[test]
+    fn flags_tracked_through_branches() {
+        use crate::cond::Cond;
+        let mut a = Asm::new("f");
+        a.cmpi(X0, 3); // 0: defines flags
+        a.bcc(Cond::Gt, "t"); // 1: reads flags
+        a.label("t");
+        a.halt();
+        let (cfg, instrs) = cfg_of(a);
+        let lv = Liveness::compute(&cfg, &instrs, ALL_REGS);
+        assert_ne!(lv.live_out[0] & FLAGS_BIT, 0);
+        assert_eq!(lv.live_in[0] & FLAGS_BIT, 0, "flags defined at 0");
+    }
+
+    #[test]
+    fn uninit_read_reaches_use() {
+        let mut a = Asm::new("u");
+        a.add(X0, X2, X3); // reads x2/x3, never written
+        a.halt();
+        let (cfg, instrs) = cfg_of(a);
+        let rd = ReachingDefs::compute(&cfg, &instrs, 0);
+        let mu = rd.maybe_uninit_at(0);
+        assert_ne!(mu & (1 << 2), 0);
+        assert_ne!(mu & (1 << 3), 0);
+        // Initial regs suppress it.
+        let rd2 = ReachingDefs::compute(&cfg, &instrs, (1 << 2) | (1 << 3));
+        assert_eq!(rd2.maybe_uninit_at(0) & ((1 << 2) | (1 << 3)), 0);
+    }
+
+    #[test]
+    fn one_armed_init_is_maybe_uninit() {
+        let mut a = Asm::new("m");
+        a.cbnz(X0, "skip"); // 0 (x0 initial)
+        a.mov_imm(X1, 1); // 1: defines x1 on one path only
+        a.label("skip");
+        a.add(X2, X1, X1); // 2: reads x1 — maybe uninit
+        a.halt();
+        let (cfg, instrs) = cfg_of(a);
+        let rd = ReachingDefs::compute(&cfg, &instrs, 1 << 0);
+        assert_ne!(rd.maybe_uninit_at(2) & (1 << 1), 0);
+        // Both the entry pseudo-def and the pc-1 def reach pc 2.
+        let defs = rd.defs_reaching(2, 1);
+        assert!(defs.contains(&DefSite { pc: None, bit: 1 }));
+        assert!(defs.contains(&DefSite {
+            pc: Some(1),
+            bit: 1
+        }));
+    }
+
+    #[test]
+    fn dominating_def_kills_entry_pseudo_def() {
+        let mut a = Asm::new("d");
+        a.mov_imm(X1, 5); // 0
+        a.label("top");
+        a.subi(X1, X1, 1); // 1
+        a.cbnz(X1, "top"); // 2
+        a.add(X0, X1, X1); // 3
+        a.halt();
+        let (cfg, instrs) = cfg_of(a);
+        let rd = ReachingDefs::compute(&cfg, &instrs, 0);
+        for pc in 1..4 {
+            assert_eq!(rd.maybe_uninit_at(pc) & (1 << 1), 0, "pc {pc}");
+        }
+    }
+}

@@ -24,6 +24,15 @@ pub struct ThreadCtx {
     pub pc: u32,
     /// Whether the thread has executed `halt`.
     pub halted: bool,
+    /// Bitmask of registers (bit 31 = flags) still holding uninitialized
+    /// values; bits clear as they are written. Seeded via
+    /// [`ThreadCtx::set`] for ABI/context registers.
+    #[cfg(feature = "uninit-poison")]
+    pub poison: u32,
+    /// Every read of a poisoned register, as `(pc, mask of poisoned bits
+    /// read)` in execution order.
+    #[cfg(feature = "uninit-poison")]
+    pub poison_reads: Vec<(u32, u32)>,
 }
 
 impl Default for ThreadCtx {
@@ -40,6 +49,10 @@ impl ThreadCtx {
             flags: Flags::default(),
             pc: 0,
             halted: false,
+            #[cfg(feature = "uninit-poison")]
+            poison: crate::dataflow::ALL_REGS | crate::dataflow::FLAGS_BIT,
+            #[cfg(feature = "uninit-poison")]
+            poison_reads: Vec::new(),
         }
     }
 
@@ -58,6 +71,10 @@ impl ThreadCtx {
     pub fn set(&mut self, r: Reg, v: u64) {
         if !r.is_zero() {
             self.regs[r.index()] = v;
+            #[cfg(feature = "uninit-poison")]
+            {
+                self.poison &= !(1u32 << r.index());
+            }
         }
     }
 
@@ -115,6 +132,13 @@ impl<'a, M: DataMemory> Interpreter<'a, M> {
         }
         let i = self.program.fetch(ctx.pc);
         let mut next_pc = ctx.pc + 1;
+        #[cfg(feature = "uninit-poison")]
+        {
+            let hit = crate::dataflow::use_mask(&i) & ctx.poison;
+            if hit != 0 {
+                ctx.poison_reads.push((ctx.pc, hit));
+            }
+        }
         match i {
             Instr::Alu { op, dst, src, rhs } => {
                 let b = match rhs {
@@ -186,6 +210,10 @@ impl<'a, M: DataMemory> Interpreter<'a, M> {
             Instr::Halt => {
                 ctx.halted = true;
             }
+        }
+        #[cfg(feature = "uninit-poison")]
+        {
+            ctx.poison &= !crate::dataflow::def_mask(&i);
         }
         ctx.pc = next_pc;
     }
@@ -353,6 +381,39 @@ mod tests {
         let pc = ctx.pc;
         interp.step(&mut ctx); // no-op
         assert_eq!(ctx.pc, pc);
+    }
+
+    #[cfg(feature = "uninit-poison")]
+    #[test]
+    fn poison_reads_recorded_and_cleared_by_writes() {
+        use crate::dataflow::FLAGS_BIT;
+        let mut a = Asm::new("p");
+        a.add(X0, X2, X3); // 0: x2/x3 never written → poisoned read
+        a.mov_imm(X2, 1); // 1: clears x2's poison
+        a.add(X4, X2, XZR); // 2: clean read
+        a.cmpi(X4, 0); // 3: defines flags
+        a.csel(X5, X4, X0, Cond::Eq); // 4: clean flags read
+        a.halt();
+        let p = a.assemble();
+        let mut m = FlatMem::new(0, 8);
+        let mut ctx = ThreadCtx::new();
+        Interpreter::new(&p, &mut m).run(&mut ctx, 100);
+        assert_eq!(ctx.poison_reads, vec![(0, (1 << 2) | (1 << 3))]);
+        assert_eq!(ctx.poison & ((1 << 2) | (1 << 4) | FLAGS_BIT), 0);
+    }
+
+    #[cfg(feature = "uninit-poison")]
+    #[test]
+    fn initial_context_registers_are_not_poisoned() {
+        let mut a = Asm::new("p2");
+        a.add(X0, X1, XZR);
+        a.halt();
+        let p = a.assemble();
+        let mut m = FlatMem::new(0, 8);
+        let mut ctx = ThreadCtx::new();
+        ctx.set(X1, 7); // ABI-style initialization clears the poison bit
+        Interpreter::new(&p, &mut m).run(&mut ctx, 100);
+        assert!(ctx.poison_reads.is_empty());
     }
 
     #[test]

@@ -20,11 +20,17 @@
 //! * [`analysis`] — static loop-nesting and register-pressure analysis used
 //!   to reproduce the paper's Figure 2 (register utilization) and to apply
 //!   the compiler register-reduction of §4.2.
+//! * [`cfg`] / [`dataflow`] — basic-block CFG construction plus exact
+//!   backward-liveness and reaching-definitions fixpoints: the static
+//!   ground truth behind the `virec-verify` lint gate and the LRC/oracle
+//!   prefetch cross-checks.
 //! * [`mem::FlatMem`] — the flat functional memory shared by the golden
 //!   interpreter and the timing models.
 
 pub mod analysis;
+pub mod cfg;
 pub mod cond;
+pub mod dataflow;
 pub mod instr;
 pub mod interp;
 pub mod mem;
@@ -32,7 +38,9 @@ pub mod program;
 pub mod reduce;
 pub mod reg;
 
+pub use cfg::{Cfg, CfgError, NaturalLoop};
 pub use cond::{Cond, Flags};
+pub use dataflow::{Liveness, ReachingDefs};
 pub use instr::{AccessSize, AluOp, Instr, MemOffset, Operand2, RegList};
 pub use interp::{ExecOutcome, Interpreter, ThreadCtx};
 pub use mem::{DataMemory, FlatMem};

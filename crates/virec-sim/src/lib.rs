@@ -51,8 +51,8 @@ pub use fault::{
 };
 pub use journal::JournalConfig;
 pub use runner::{
-    run_single, try_run_single, try_verify_against_golden, verify_against_golden, RunOptions,
-    RunResult,
+    run_single, try_run_single, try_run_single_traced, try_verify_against_golden,
+    verify_against_golden, RunOptions, RunResult,
 };
 pub use system::{System, SystemConfig, SystemResult};
 pub use watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};

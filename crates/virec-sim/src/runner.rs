@@ -11,7 +11,7 @@ use crate::error::{DivergenceSite, RunDiagnostics, SimError};
 use crate::fault::{engine_fault_of, FaultEvent, FaultPlan, FaultSite};
 use crate::offload::offload;
 use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
-use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule};
+use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule, QuantumTrace};
 use virec_isa::{ExecOutcome, FlatMem, Interpreter, Reg, ThreadCtx};
 use virec_mem::{Fabric, FabricConfig};
 use virec_workloads::{layout, Workload};
@@ -100,6 +100,29 @@ pub fn try_run_single(
     workload: &Workload,
     opts: &RunOptions,
 ) -> Result<RunResult, SimError> {
+    try_run_single_impl(cfg, workload, opts, false).map(|(r, _)| r)
+}
+
+/// [`try_run_single`] plus a per-quantum trace: start/resume PCs, the
+/// decode-acquired use and read-before-written demand masks, and the
+/// engine's resident/committed live-bit samples at each switch-out. Used by
+/// `virec-verify` to cross-check the timing model against static liveness.
+/// `RunResult` itself is unchanged (it round-trips through the sweep
+/// journal codec), so the trace rides alongside.
+pub fn try_run_single_traced(
+    cfg: CoreConfig,
+    workload: &Workload,
+    opts: &RunOptions,
+) -> Result<(RunResult, QuantumTrace), SimError> {
+    try_run_single_impl(cfg, workload, opts, true)
+}
+
+fn try_run_single_impl(
+    cfg: CoreConfig,
+    workload: &Workload,
+    opts: &RunOptions,
+    want_trace: bool,
+) -> Result<(RunResult, QuantumTrace), SimError> {
     let mut mem = FlatMem::new(
         0,
         layout::mem_size(1).max((workload.layout.data_base + workload.layout.data_size) as usize),
@@ -116,6 +139,9 @@ pub fn try_run_single(
     );
     if opts.record_oracle {
         core.enable_quantum_recording();
+    }
+    if want_trace {
+        core.enable_quantum_trace();
     }
 
     let mut fabric = Fabric::new(opts.fabric);
@@ -200,13 +226,17 @@ pub fn try_run_single(
     }
 
     let oracle = core.take_oracle();
-    Ok(RunResult {
-        cycles: now,
-        stats: *core.stats(),
-        oracle,
-        faults_applied,
-        arch_digest,
-    })
+    let trace = core.take_quantum_trace();
+    Ok((
+        RunResult {
+            cycles: now,
+            stats: *core.stats(),
+            oracle,
+            faults_applied,
+            arch_digest,
+        },
+        trace,
+    ))
 }
 
 /// Runs `workload` on a single core with `nthreads` hardware threads.

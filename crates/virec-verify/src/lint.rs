@@ -1,0 +1,375 @@
+//! The ISA lint gate: typed diagnostics from CFG + dataflow analysis.
+//!
+//! A program that lints clean is structurally well-formed (every branch
+//! lands on an instruction, every path reaches `halt`, all code is
+//! reachable, loops are reducible and contiguous) and dataflow-clean (no
+//! read of a maybe-uninitialized register, no dead register store, no
+//! clobber of a reserved register). The maybe-uninitialized lint is proven
+//! sound against the golden interpreter's poison tracking by a property
+//! test (`uninit-poison` feature of `virec-isa`).
+
+use virec_isa::cfg::{Cfg, CfgError};
+use virec_isa::dataflow::{
+    def_mask, regs_of_mask, use_mask, Liveness, ReachingDefs, ALL_REGS, FLAGS_BIT,
+};
+use virec_isa::Instr;
+
+/// What the linter assumes about the program's environment.
+#[derive(Clone, Copy, Debug)]
+pub struct LintConfig {
+    /// Registers (optionally plus [`FLAGS_BIT`]) holding defined values at
+    /// entry: ABI parameters, per-thread context registers, the frame
+    /// pointer. Reads reachable by the entry value of any *other* register
+    /// are maybe-uninitialized.
+    pub initial_regs: u32,
+    /// Registers the program must never write (e.g. the compiler's
+    /// reserved frame pointer).
+    pub reserved: u32,
+    /// Registers treated as read by `halt`. The simulator diffs the full
+    /// final register file against the golden interpreter, so the default
+    /// is [`ALL_REGS`] — which keeps the dead-store lint from flagging
+    /// values whose only "use" is that final comparison.
+    pub halt_live: u32,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            initial_regs: ALL_REGS,
+            reserved: 0,
+            halt_live: ALL_REGS,
+        }
+    }
+}
+
+/// The category of a lint finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// CFG construction failed: empty program or out-of-bounds branch
+    /// target (mid-instruction targets cannot exist at instruction
+    /// granularity).
+    MalformedControlFlow,
+    /// Execution can fall off the end of the program without a `halt`.
+    MissingHalt,
+    /// Instructions no path from the entry reaches.
+    UnreachableCode,
+    /// A retreating edge that is not a back edge: nesting depths (and the
+    /// active-context approximation built on them) are undefined.
+    IrreducibleLoop,
+    /// A natural loop whose body is not the contiguous PC range the
+    /// span-based register analysis assumes.
+    NonContiguousLoop,
+    /// A read may observe a register never written on some path from entry.
+    MaybeUninitRead,
+    /// A register write no path can observe.
+    DeadStore,
+    /// A write to a register the environment reserves.
+    ReservedClobber,
+}
+
+impl LintKind {
+    /// Stable machine-readable name (CI greps for these).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::MalformedControlFlow => "malformed-control-flow",
+            LintKind::MissingHalt => "missing-halt",
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::IrreducibleLoop => "irreducible-loop",
+            LintKind::NonContiguousLoop => "non-contiguous-loop",
+            LintKind::MaybeUninitRead => "maybe-uninit-read",
+            LintKind::DeadStore => "dead-store",
+            LintKind::ReservedClobber => "reserved-clobber",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Category.
+    pub kind: LintKind,
+    /// Offending PC (`None` for program-level findings).
+    pub pc: Option<usize>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "[{}] pc {}: {}", self.kind.name(), pc, self.message),
+            None => write!(f, "[{}] {}", self.kind.name(), self.message),
+        }
+    }
+}
+
+fn reg_list(mask: u32) -> String {
+    let mut parts: Vec<String> = regs_of_mask(mask).iter().map(|r| r.to_string()).collect();
+    if mask & FLAGS_BIT != 0 {
+        parts.push("flags".into());
+    }
+    parts.join(",")
+}
+
+/// Lints an instruction sequence under `cfg`'s environment assumptions.
+/// Findings are ordered by (kind, pc), so output is deterministic.
+pub fn lint_program(instrs: &[Instr], config: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let cfg = match Cfg::build(instrs) {
+        Ok(c) => c,
+        Err(e) => {
+            let pc = match e {
+                CfgError::OutOfBoundsTarget { pc, .. } => Some(pc),
+                CfgError::Empty => None,
+            };
+            return vec![Diagnostic {
+                kind: LintKind::MalformedControlFlow,
+                pc,
+                message: e.to_string(),
+            }];
+        }
+    };
+
+    for &pc in &cfg.falls_off_end {
+        diags.push(Diagnostic {
+            kind: LintKind::MissingHalt,
+            pc: Some(pc),
+            message: "execution can fall off the end of the program".into(),
+        });
+    }
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            diags.push(Diagnostic {
+                kind: LintKind::UnreachableCode,
+                pc: Some(blk.start),
+                message: format!(
+                    "instructions {}..={} are unreachable from the entry",
+                    blk.start,
+                    blk.end - 1
+                ),
+            });
+        }
+    }
+
+    if !cfg.reducible {
+        diags.push(Diagnostic {
+            kind: LintKind::IrreducibleLoop,
+            pc: None,
+            message: "control flow contains an irreducible region \
+                      (a retreating edge that is not a back edge)"
+                .into(),
+        });
+    }
+    for l in cfg.loops.iter().filter(|l| !l.contiguous) {
+        diags.push(Diagnostic {
+            kind: LintKind::NonContiguousLoop,
+            pc: Some(cfg.blocks[l.head].start),
+            message: format!(
+                "loop headed at pc {} has a non-contiguous body \
+                 (back edge at pc {})",
+                cfg.blocks[l.head].start,
+                cfg.blocks[l.back_edge.0].terminator()
+            ),
+        });
+    }
+
+    let liveness = Liveness::compute(&cfg, instrs, config.halt_live);
+    let reaching = ReachingDefs::compute(&cfg, instrs, config.initial_regs);
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue; // already reported as unreachable
+        }
+        for (pc, instr) in instrs.iter().enumerate().take(blk.end).skip(blk.start) {
+            let uses = use_mask(instr);
+            let defs = def_mask(instr);
+
+            let uninit = uses & reaching.maybe_uninit_at(pc);
+            if uninit != 0 {
+                diags.push(Diagnostic {
+                    kind: LintKind::MaybeUninitRead,
+                    pc: Some(pc),
+                    message: format!(
+                        "read of maybe-uninitialized {}: `{instr}`",
+                        reg_list(uninit)
+                    ),
+                });
+            }
+
+            // Dead stores: register defs only — flag writes (cmp) are
+            // routinely unconsumed on fall-through paths and harmless.
+            let dead = defs & !FLAGS_BIT & !liveness.live_out[pc];
+            if dead != 0 {
+                diags.push(Diagnostic {
+                    kind: LintKind::DeadStore,
+                    pc: Some(pc),
+                    message: format!(
+                        "value written to {} is never read: `{instr}`",
+                        reg_list(dead)
+                    ),
+                });
+            }
+
+            let clobber = defs & config.reserved;
+            if clobber != 0 {
+                diags.push(Diagnostic {
+                    kind: LintKind::ReservedClobber,
+                    pc: Some(pc),
+                    message: format!("write to reserved {}: `{instr}`", reg_list(clobber)),
+                });
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| (d.kind, d.pc));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_isa::reg::names::*;
+    use virec_isa::{Asm, Cond};
+
+    fn lint_asm(a: Asm, config: &LintConfig) -> Vec<Diagnostic> {
+        let p = a.assemble();
+        lint_program(p.instrs(), config)
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<LintKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let mut a = Asm::new("clean");
+        a.mov_imm(X0, 0);
+        a.mov_imm(X1, 8);
+        a.label("top");
+        a.add(X0, X0, X1);
+        a.subi(X1, X1, 1);
+        a.cbnz(X1, "top");
+        a.halt();
+        let diags = lint_asm(
+            a,
+            &LintConfig {
+                initial_regs: 0,
+                ..LintConfig::default()
+            },
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn uninit_read_flagged() {
+        let mut a = Asm::new("u");
+        a.add(X0, X2, X3);
+        a.halt();
+        let diags = lint_asm(
+            a,
+            &LintConfig {
+                initial_regs: 1 << 2, // x2 is a parameter, x3 is not
+                ..LintConfig::default()
+            },
+        );
+        assert_eq!(kinds(&diags), vec![LintKind::MaybeUninitRead]);
+        // Only x3 is named as uninitialized (the part before the
+        // instruction echo); x2 is a parameter.
+        let named = diags[0].message.split('`').next().unwrap();
+        assert!(named.contains("x3"), "{}", diags[0].message);
+        assert!(!named.contains("x2"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn flags_read_before_cmp_flagged() {
+        let mut a = Asm::new("f");
+        a.bcc(Cond::Eq, "end");
+        a.label("end");
+        a.halt();
+        let diags = lint_asm(a, &LintConfig::default());
+        assert_eq!(kinds(&diags), vec![LintKind::MaybeUninitRead]);
+        assert!(diags[0].message.contains("flags"));
+    }
+
+    #[test]
+    fn dead_store_flagged() {
+        let mut a = Asm::new("d");
+        a.mov_imm(X0, 1); // overwritten before any read
+        a.mov_imm(X0, 2);
+        a.halt();
+        let diags = lint_asm(a, &LintConfig::default());
+        assert_eq!(kinds(&diags), vec![LintKind::DeadStore]);
+        assert_eq!(diags[0].pc, Some(0));
+    }
+
+    #[test]
+    fn halt_live_keeps_final_values_alive() {
+        let mut a = Asm::new("h");
+        a.mov_imm(X0, 1); // only "use" is the final golden comparison
+        a.halt();
+        assert!(lint_asm(a, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unreachable_and_missing_halt_flagged() {
+        let mut a = Asm::new("m");
+        a.b("end");
+        a.mov_imm(X0, 1); // unreachable
+        a.label("end");
+        a.mov_imm(X1, 2); // falls off the end (and is thus also dead)
+        let diags = lint_asm(a, &LintConfig::default());
+        assert_eq!(
+            kinds(&diags),
+            vec![
+                LintKind::MissingHalt,
+                LintKind::UnreachableCode,
+                LintKind::DeadStore
+            ]
+        );
+    }
+
+    #[test]
+    fn reserved_clobber_flagged() {
+        let mut a = Asm::new("r");
+        a.mov_imm(X28, 0x8000);
+        a.halt();
+        let diags = lint_asm(
+            a,
+            &LintConfig {
+                reserved: 1 << 28,
+                ..LintConfig::default()
+            },
+        );
+        // The write is both a reserved clobber and (x28 being in halt_live)
+        // not a dead store.
+        assert_eq!(kinds(&diags), vec![LintKind::ReservedClobber]);
+    }
+
+    #[test]
+    fn oob_branch_is_stable_malformed_diagnostic() {
+        use virec_isa::Instr;
+        let instrs = vec![Instr::B { target: 7 }, Instr::Halt];
+        let diags = lint_program(&instrs, &LintConfig::default());
+        assert_eq!(kinds(&diags), vec![LintKind::MalformedControlFlow]);
+        assert_eq!(
+            diags[0].to_string(),
+            "[malformed-control-flow] pc 0: branch at pc 0 targets 7, past the end"
+        );
+    }
+
+    #[test]
+    fn findings_are_deterministically_ordered() {
+        let mut a = Asm::new("o");
+        a.mov_imm(X0, 1);
+        a.mov_imm(X0, 2); // pc 0 dead
+        a.mov_imm(X1, 3);
+        a.mov_imm(X1, 4); // pc 2 dead
+        a.halt();
+        let d1 = lint_asm(a, &LintConfig::default());
+        assert_eq!(
+            d1.iter().map(|d| d.pc).collect::<Vec<_>>(),
+            vec![Some(0), Some(2)]
+        );
+    }
+}

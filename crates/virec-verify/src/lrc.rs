@@ -1,0 +1,273 @@
+//! LRC live-bit cross-checks against static liveness (§5.1).
+//!
+//! The LRC replacement policy orders victims by commit (C) bits: a resident
+//! register whose value has been produced by a *committed* instruction is a
+//! safe eviction candidate, while an uncommitted resident register belongs
+//! to a flushed in-flight instruction. §5.1's rollback-queue compaction
+//! clears the C bits of exactly those registers at context-switch time, so
+//! after every switch-out the engine's tag state must satisfy two static
+//! facts:
+//!
+//! 1. **Commit bits are resident state**: `committed ⊆ resident`. A C bit
+//!    can only be set by an allocate or touch of a live tag entry.
+//! 2. **Uncommitted residents sit in the flushed window**: every resident-
+//!    but-uncommitted register must be referenced by an instruction within
+//!    [`ROLLBACK_DEPTH`] steps of the thread's resume PC — because the only
+//!    way to lose a C bit is `flush_all_inflight`, and the flushed window
+//!    restarts at `resume_pc`.
+//!
+//! [`check_liveness_on_golden_trace`] closes the loop from the other side:
+//! it validates the liveness analysis itself against *dynamic* future-use
+//! sets computed from a golden-interpreter trace. For every executed PC,
+//! the set of registers the thread actually reads before overwriting them
+//! downstream must be contained in `live_in(pc)` — an exact dynamic lower
+//! bound on the static answer.
+
+use crate::oracle::StaticOracle;
+use virec_core::engines::ROLLBACK_DEPTH;
+use virec_core::CoreConfig;
+use virec_isa::dataflow::{def_mask, use_mask, ALL_REGS};
+use virec_isa::{FlatMem, Interpreter, ThreadCtx};
+use virec_sim::{try_run_single_traced, RunOptions};
+use virec_workloads::{layout, Workload};
+
+/// Statistics from a successful cross-check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LrcReport {
+    /// Quanta in the trace.
+    pub quanta: usize,
+    /// Quanta that carried engine live-bit samples (ViReC engine only).
+    pub sampled: usize,
+    /// Quanta with at least one uncommitted resident register (i.e. the
+    /// §5.1 compaction actually fired and left evidence).
+    pub compacted: usize,
+    /// Dynamic trace steps checked by
+    /// [`check_liveness_on_golden_trace`] (0 for [`check_lrc`]).
+    pub steps_checked: u64,
+}
+
+/// A violated LRC or liveness invariant.
+#[derive(Clone, Debug)]
+pub enum LrcViolation {
+    /// The simulation itself failed before any invariant could be checked.
+    RunFailed(String),
+    /// A commit bit was set on a non-resident register — C bits must be a
+    /// subset of the resident set by construction.
+    CommittedNotResident {
+        /// Thread.
+        tid: u8,
+        /// Per-thread quantum index.
+        quantum: usize,
+        /// `committed & !resident`.
+        ghost: u32,
+    },
+    /// A resident-but-uncommitted register is not referenced by any
+    /// instruction within the rollback window of the thread's resume PC —
+    /// the cleared C bit cannot have come from §5.1 compaction.
+    UncommittedOutsideWindow {
+        /// Thread.
+        tid: u8,
+        /// Per-thread quantum index.
+        quantum: usize,
+        /// PC the thread will resume at.
+        resume_pc: u32,
+        /// Resident-but-uncommitted mask.
+        uncommitted: u32,
+        /// Static near-access mask of the rollback window.
+        window: u32,
+    },
+    /// The dynamic future-use set at an executed PC exceeds static
+    /// liveness — the liveness analysis is unsound.
+    FutureUseNotLive {
+        /// Thread.
+        tid: usize,
+        /// Executed PC.
+        pc: u32,
+        /// Registers actually read before being overwritten downstream.
+        future_use: u32,
+        /// Static live-in mask at `pc`.
+        live_in: u32,
+    },
+}
+
+impl std::fmt::Display for LrcViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LrcViolation::RunFailed(e) => write!(f, "simulation failed: {e}"),
+            LrcViolation::CommittedNotResident {
+                tid,
+                quantum,
+                ghost,
+            } => write!(
+                f,
+                "tid {tid} quantum {quantum}: commit bits {ghost:#010x} set on \
+                 non-resident registers"
+            ),
+            LrcViolation::UncommittedOutsideWindow {
+                tid,
+                quantum,
+                resume_pc,
+                uncommitted,
+                window,
+            } => write!(
+                f,
+                "tid {tid} quantum {quantum}: uncommitted residents {uncommitted:#010x} \
+                 outside the {ROLLBACK_DEPTH}-deep rollback window {window:#010x} \
+                 at resume pc {resume_pc}"
+            ),
+            LrcViolation::FutureUseNotLive {
+                tid,
+                pc,
+                future_use,
+                live_in,
+            } => write!(
+                f,
+                "tid {tid} pc {pc}: dynamic future-use {future_use:#010x} exceeds \
+                 static live-in {live_in:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LrcViolation {}
+
+/// Runs `workload` on a ViReC core (LRC policy) with quantum tracing and
+/// checks the engine's live-bit state — the resident and committed masks
+/// sampled after §5.1 rollback-queue compaction at every context switch —
+/// against the static invariants described in the module docs.
+pub fn check_lrc(
+    workload: &Workload,
+    nthreads: usize,
+    phys_regs: usize,
+) -> Result<LrcReport, LrcViolation> {
+    let oracle = StaticOracle::build(workload.program(), ALL_REGS)
+        .map_err(|e| LrcViolation::RunFailed(format!("CFG build failed: {e}")))?;
+    let nprog = workload.program().instrs().len() as u32;
+
+    // CoreConfig::virec defaults to PolicyKind::Lrc — the policy under test.
+    let cfg = CoreConfig::virec(nthreads, phys_regs);
+    let (_, trace) = try_run_single_traced(cfg, workload, &RunOptions::default())
+        .map_err(|e| LrcViolation::RunFailed(e.to_string()))?;
+
+    let mut report = LrcReport::default();
+    let mut per_tid_quantum = std::collections::HashMap::new();
+    for q in &trace.quanta {
+        let k = per_tid_quantum.entry(q.tid).or_insert(0usize);
+        let quantum = *k;
+        *k += 1;
+        report.quanta += 1;
+        if !q.has_live_bits {
+            continue;
+        }
+        report.sampled += 1;
+
+        let ghost = q.committed & !q.resident;
+        if ghost != 0 {
+            return Err(LrcViolation::CommittedNotResident {
+                tid: q.tid,
+                quantum,
+                ghost,
+            });
+        }
+
+        let uncommitted = q.resident & !q.committed;
+        if uncommitted != 0 {
+            report.compacted += 1;
+            // A halted thread resumes nowhere; only the residency invariant
+            // applies. (resume_pc may also sit one past the program when the
+            // final quantum ends exactly at `halt`.)
+            if !q.halted && q.resume_pc < nprog {
+                let window = oracle.near_access_mask(q.resume_pc, ROLLBACK_DEPTH);
+                if uncommitted & !window != 0 {
+                    return Err(LrcViolation::UncommittedOutsideWindow {
+                        tid: q.tid,
+                        quantum,
+                        resume_pc: q.resume_pc,
+                        uncommitted,
+                        window,
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Validates static liveness against dynamic future-use sets from golden-
+/// interpreter traces of every thread: at each executed PC, the registers
+/// the thread goes on to read before overwriting must be live there.
+pub fn check_liveness_on_golden_trace(
+    workload: &Workload,
+    nthreads: usize,
+) -> Result<LrcReport, LrcViolation> {
+    let oracle = StaticOracle::build(workload.program(), ALL_REGS)
+        .map_err(|e| LrcViolation::RunFailed(format!("CFG build failed: {e}")))?;
+    let instrs = workload.program().instrs();
+
+    let mut report = LrcReport::default();
+    for t in 0..nthreads {
+        let mut mem = FlatMem::new(
+            0,
+            layout::mem_size(1)
+                .max((workload.layout.data_base + workload.layout.data_size) as usize),
+        );
+        workload.init_mem(&mut mem);
+        let mut ctx = ThreadCtx::new();
+        for (r, v) in workload.thread_ctx(t, nthreads) {
+            ctx.set(r, v);
+        }
+
+        // Record the executed PC sequence.
+        let mut interp = Interpreter::new(workload.program(), &mut mem);
+        let mut pcs = Vec::new();
+        let step_cap = 4_000_000u64;
+        while !ctx.halted {
+            if pcs.len() as u64 >= step_cap {
+                return Err(LrcViolation::RunFailed(format!(
+                    "golden run of thread {t} exceeded {step_cap} steps"
+                )));
+            }
+            pcs.push(ctx.pc);
+            interp.step(&mut ctx);
+        }
+        // Walk the trace backward accumulating the dynamic future-use set:
+        // fu(pc_i) = use(pc_i) ∪ (fu(pc_{i+1}) \ def(pc_i)). At the final
+        // instruction (`halt`) nothing further is read.
+        let mut fu = 0u32;
+        for &pc in pcs.iter().rev() {
+            let i = &instrs[pc as usize];
+            fu = (fu & !def_mask(i)) | use_mask(i);
+            let live = oracle.live_in(pc);
+            if fu & !live != 0 {
+                return Err(LrcViolation::FutureUseNotLive {
+                    tid: t,
+                    pc,
+                    future_use: fu,
+                    live_in: live,
+                });
+            }
+            report.steps_checked += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virec_workloads::{by_name, Layout};
+
+    #[test]
+    fn lrc_live_bits_match_static_liveness_on_daxpy() {
+        let w = by_name("daxpy", 128, Layout::for_core(0)).unwrap();
+        let report = check_lrc(&w, 4, 24).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.sampled > 0, "ViReC runs must sample live bits");
+    }
+
+    #[test]
+    fn golden_future_use_is_bounded_by_liveness() {
+        let w = by_name("gather", 64, Layout::for_core(0)).unwrap();
+        let report = check_liveness_on_golden_trace(&w, 4).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.steps_checked > 0);
+    }
+}

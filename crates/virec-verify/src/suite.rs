@@ -1,0 +1,245 @@
+//! Lint configurations and drivers for the repository's two program
+//! sources: the built-in workload suite and the `virec-cc` budget ladder.
+//!
+//! These are the entry points behind `virec-cli lint` and the CI lint gate:
+//! every kernel the harness can sweep, and every program the compiler can
+//! emit at every register budget, must produce zero diagnostics. The
+//! [`broken_fixture`] is the negative control — a deliberately malformed
+//! program CI uses to prove the gate actually rejects bad input.
+
+use crate::lint::{lint_program, Diagnostic, LintConfig};
+use virec_cc::compile;
+use virec_cc::ir::{BinOp, Cmp, Function, Operand, Stmt};
+use virec_isa::dataflow::ALL_REGS;
+use virec_isa::Instr;
+use virec_workloads::{suite, Layout, Workload};
+
+/// Thread count used to derive workload initial-register sets. Matches the
+/// default evaluation configuration (Table 1).
+const CTX_THREADS: usize = 4;
+
+/// Register budgets swept by [`lint_compiled_budgets`] — the full legal
+/// range's endpoints plus the paper's §4.2 sweep points.
+pub const LINT_BUDGETS: &[usize] = &[1, 2, 3, 4, 6, 8, 10, 14, 17];
+
+/// Lint outcome for one named program.
+#[derive(Clone, Debug)]
+pub struct SuiteLint {
+    /// Program name (workload name, or `kernel@b<budget>` for compiled
+    /// functions).
+    pub name: String,
+    /// Diagnostics, sorted by (kind, pc); empty means clean.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl SuiteLint {
+    /// True when the program linted clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Derives the lint configuration for a built-in workload: a register is
+/// "initialized" iff *every* thread's offloaded context sets it — reading
+/// anything else before writing it is a lint error.
+pub fn workload_lint_config(w: &Workload) -> LintConfig {
+    let mut initial = ALL_REGS;
+    for t in 0..CTX_THREADS {
+        let mut regs = 0u32;
+        for (r, _) in w.thread_ctx(t, CTX_THREADS) {
+            regs |= 1 << r.index();
+        }
+        initial &= regs;
+    }
+    LintConfig {
+        initial_regs: initial,
+        // Workload kernels own the whole architectural file.
+        reserved: 0,
+        // The harness diffs the full final register file against the golden
+        // interpreter, so every register is observable at halt.
+        halt_live: ALL_REGS,
+    }
+}
+
+/// Lints every workload in the built-in suite at problem size `n`.
+pub fn lint_workloads(n: u64) -> Vec<SuiteLint> {
+    suite(n, Layout::for_core(0))
+        .iter()
+        .map(|w| {
+            let cfg = workload_lint_config(w);
+            SuiteLint {
+                name: w.name.to_string(),
+                diagnostics: lint_program(w.program().instrs(), &cfg),
+            }
+        })
+        .collect()
+}
+
+/// A gather kernel in `virec-cc` IR: `Σ data[idx[i]]` over three params.
+/// Mirrors the compiler's own differential-test kernel so the lint gate
+/// sees the same spill patterns the correctness tests exercise.
+fn gather_ir() -> Function {
+    Function {
+        name: "gather_ir".into(),
+        params: vec![0, 1, 2],
+        body: vec![
+            Stmt::def_const(3, 0),
+            Stmt::def_const(4, 0),
+            Stmt::While {
+                cond: (Operand::Temp(4), Cmp::Lt, Operand::Temp(2)),
+                body: vec![
+                    Stmt::Load {
+                        dst: 5,
+                        base: 1,
+                        index: Operand::Temp(4),
+                    },
+                    Stmt::Load {
+                        dst: 6,
+                        base: 0,
+                        index: Operand::Temp(5),
+                    },
+                    Stmt::def_bin(3, BinOp::Add, Operand::Temp(3), Operand::Temp(6)),
+                    Stmt::def_bin(4, BinOp::Add, Operand::Temp(4), Operand::Const(1)),
+                ],
+            },
+            Stmt::Return {
+                value: Operand::Temp(3),
+            },
+        ],
+    }
+}
+
+/// A nested-loop kernel: `Σ_{i<4} Σ_{j<6} i*j`. Exercises loop nesting and
+/// higher live-range pressure in the allocator.
+fn nested_ir() -> Function {
+    Function {
+        name: "nested_ir".into(),
+        params: vec![],
+        body: vec![
+            Stmt::def_const(0, 0),
+            Stmt::def_const(1, 0),
+            Stmt::While {
+                cond: (Operand::Temp(1), Cmp::Lt, Operand::Const(4)),
+                body: vec![
+                    Stmt::def_const(2, 0),
+                    Stmt::While {
+                        cond: (Operand::Temp(2), Cmp::Lt, Operand::Const(6)),
+                        body: vec![
+                            Stmt::def_bin(3, BinOp::Mul, Operand::Temp(1), Operand::Temp(2)),
+                            Stmt::def_bin(0, BinOp::Add, Operand::Temp(0), Operand::Temp(3)),
+                            Stmt::def_bin(2, BinOp::Add, Operand::Temp(2), Operand::Const(1)),
+                        ],
+                    },
+                    Stmt::def_bin(1, BinOp::Add, Operand::Temp(1), Operand::Const(1)),
+                ],
+            },
+            Stmt::Return {
+                value: Operand::Temp(0),
+            },
+        ],
+    }
+}
+
+/// Lints every compiler output across [`LINT_BUDGETS`]: the ABI guarantees
+/// exactly the parameter registers plus the frame pointer on entry, and the
+/// frame pointer must never be clobbered.
+pub fn lint_compiled_budgets() -> Vec<SuiteLint> {
+    let mut out = Vec::new();
+    for f in [gather_ir(), nested_ir()] {
+        for &budget in LINT_BUDGETS {
+            let c = match compile(&f, budget) {
+                Ok(c) => c,
+                Err(e) => {
+                    out.push(SuiteLint {
+                        name: format!("{}@b{budget}", f.name),
+                        diagnostics: vec![Diagnostic {
+                            kind: crate::lint::LintKind::MalformedControlFlow,
+                            pc: None,
+                            message: format!("compile failed: {e:?}"),
+                        }],
+                    });
+                    continue;
+                }
+            };
+            let mut initial = 1u32 << c.frame_reg.index();
+            for r in &c.param_regs {
+                initial |= 1 << r.index();
+            }
+            let cfg = LintConfig {
+                initial_regs: initial,
+                reserved: 1 << c.frame_reg.index(),
+                halt_live: ALL_REGS,
+            };
+            out.push(SuiteLint {
+                name: format!("{}@b{budget}", f.name),
+                diagnostics: lint_program(c.program.instrs(), &cfg),
+            });
+        }
+    }
+    out
+}
+
+/// Lints the whole surface: every suite workload at size `n` plus every
+/// compiled budget. The CI gate fails if any entry is non-clean.
+pub fn lint_everything(n: u64) -> Vec<SuiteLint> {
+    let mut out = lint_workloads(n);
+    out.extend(lint_compiled_budgets());
+    out
+}
+
+/// A deliberately malformed program — a branch past the end of the text —
+/// used by CI to prove the lint gate exits nonzero with a stable
+/// diagnostic (`[malformed-control-flow] pc 0: branch at pc 0 targets 7,
+/// past the end`).
+pub fn broken_fixture() -> Vec<Instr> {
+    vec![Instr::B { target: 7 }, Instr::Halt]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_lint_clean() {
+        for l in lint_workloads(256) {
+            assert!(
+                l.is_clean(),
+                "{} has diagnostics:\n{}",
+                l.name,
+                l.diagnostics
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn all_compiled_budgets_lint_clean() {
+        let lints = lint_compiled_budgets();
+        assert_eq!(lints.len(), 2 * LINT_BUDGETS.len());
+        for l in &lints {
+            assert!(
+                l.is_clean(),
+                "{} has diagnostics:\n{}",
+                l.name,
+                l.diagnostics
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn broken_fixture_produces_the_stable_diagnostic() {
+        let diags = lint_program(&broken_fixture(), &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0].to_string(),
+            "[malformed-control-flow] pc 0: branch at pc 0 targets 7, past the end"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Property: the maybe-uninit lint is sound *and* complete against the
+//! golden interpreter's poison tracking (`uninit-poison` feature of
+//! `virec-isa`).
+//!
+//! For random programs (no memory ops, all branch targets in range) and
+//! random initial-register sets:
+//!
+//! * **soundness** — if the linter reports no [`LintKind::MaybeUninitRead`],
+//!   execution from a context where exactly the initial registers are
+//!   written never reads a poisoned (never-written) register or poisoned
+//!   flags;
+//! * **completeness** — every dynamic poison read happens at a PC the
+//!   linter flagged: the executed path is one of the CFG paths the
+//!   may-analysis unions over, so the entry pseudo-definition of the
+//!   unwritten register must reach that PC statically.
+
+use proptest::prelude::*;
+use virec_isa::instr::{AluOp, Operand2};
+use virec_isa::{Cond, FlatMem, Instr, Interpreter, Program, Reg, ThreadCtx};
+use virec_verify::{lint_program, LintConfig, LintKind};
+
+/// Pool of registers the generator draws from.
+const POOL: u8 = 8;
+
+/// Deterministic xorshift so each proptest case expands a seed into a
+/// whole program.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let s = &mut self.0;
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new((self.next() % POOL as u64) as u8)
+    }
+
+    fn operand2(&mut self) -> Operand2 {
+        if self.next().is_multiple_of(2) {
+            Operand2::Reg(self.reg())
+        } else {
+            Operand2::Imm((self.next() % 64) as i64)
+        }
+    }
+}
+
+/// A random program of `len` instructions plus a final `halt`; every branch
+/// target is in range (possibly the `halt` itself), so the CFG always
+/// builds.
+fn random_program(seed: u64, len: usize) -> Program {
+    let mut rng = Rng(seed | 1);
+    let mut instrs = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let target = (rng.next() % (len as u64 + 1)) as u32;
+        let i = match rng.next() % 8 {
+            0 => Instr::MovImm {
+                dst: rng.reg(),
+                imm: (rng.next() % 1024) as i64,
+            },
+            1 => Instr::Alu {
+                op: [AluOp::Add, AluOp::Sub, AluOp::Eor][(rng.next() % 3) as usize],
+                dst: rng.reg(),
+                src: rng.reg(),
+                rhs: rng.operand2(),
+            },
+            2 => Instr::Cmp {
+                src: rng.reg(),
+                rhs: rng.operand2(),
+            },
+            3 => Instr::Csel {
+                dst: rng.reg(),
+                a: rng.reg(),
+                b: rng.reg(),
+                cond: [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge][(rng.next() % 4) as usize],
+            },
+            4 => Instr::Bcc {
+                cond: [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge][(rng.next() % 4) as usize],
+                target,
+            },
+            5 => Instr::Cbz {
+                src: rng.reg(),
+                target,
+            },
+            6 => Instr::Cbnz {
+                src: rng.reg(),
+                target,
+            },
+            _ => Instr::Nop,
+        };
+        instrs.push(i);
+    }
+    instrs.push(Instr::Halt);
+    Program::new("prop", instrs)
+}
+
+/// A random subset of the register pool, biased toward fully-initialized
+/// contexts so the soundness direction gets real coverage.
+fn random_initial(seed: u64) -> u32 {
+    let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    match rng.next() % 3 {
+        0 => (1u32 << POOL) - 1,
+        _ => (rng.next() as u32) & ((1u32 << POOL) - 1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lint_clean_programs_never_read_poison(seed in any::<u64>(), len in 1usize..24) {
+        let program = random_program(seed, len);
+        let initial = random_initial(seed);
+        let diags = lint_program(
+            program.instrs(),
+            &LintConfig {
+                initial_regs: initial,
+                reserved: 0,
+                ..LintConfig::default()
+            },
+        );
+        let flagged: Vec<usize> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::MaybeUninitRead)
+            .filter_map(|d| d.pc)
+            .collect();
+
+        // Execute from a context where exactly `initial` is written.
+        // Infinite loops are fine: any poison read in any prefix counts.
+        let mut mem = FlatMem::new(0, 64);
+        let mut ctx = ThreadCtx::new();
+        for r in 0..POOL {
+            if initial & (1 << r) != 0 {
+                ctx.set(Reg::new(r), seed.wrapping_mul(r as u64 + 3));
+            }
+        }
+        Interpreter::new(&program, &mut mem).run(&mut ctx, 10_000);
+
+        let listing = || {
+            program
+                .instrs()
+                .iter()
+                .enumerate()
+                .map(|(pc, i)| format!("{pc:3}: {i}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        if flagged.is_empty() {
+            // Soundness: no diagnostic => no dynamic poison read.
+            prop_assert!(
+                ctx.poison_reads.is_empty(),
+                "lint-clean program read poison at {:?}\n{}",
+                ctx.poison_reads,
+                listing(),
+            );
+        }
+        // Completeness: every dynamic poison read was statically flagged.
+        for (pc, bits) in &ctx.poison_reads {
+            prop_assert!(
+                flagged.contains(&(*pc as usize)),
+                "poison read of {bits:#x} at pc {pc} not flagged (flagged: {flagged:?})\n{}",
+                listing(),
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@ use virec::core::{CoreConfig, EngineKind, PolicyKind};
 use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
 use virec::sim::{interrupt_tokens, run_campaign, FaultSite, InjectionOutcome, JournalConfig};
+use virec::verify::{broken_fixture, lint_everything, lint_program, LintConfig};
 use virec::workloads::{by_name, suite_names, Layout};
 
 fn usage() -> ExitCode {
@@ -34,6 +35,7 @@ USAGE:
                        [--resume] [--deadline <ms>]
     virec-cli campaign [--workload <name>] [--n <elems>] [--engine virec|banked]
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
+    virec-cli lint     [--n <elems>] [--broken-fixture]
     virec-cli area     [--threads <t>] [--regs <r>]
 
 ENGINES:  virec (default) | banked | software | prefetch_full | prefetch_exact | nsf
@@ -58,7 +60,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // Boolean flags.
-        if matches!(key, "no-verify" | "switch-prefetch" | "resume") {
+        if matches!(
+            key,
+            "no-verify" | "switch-prefetch" | "resume" | "broken-fixture"
+        ) {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -377,6 +382,56 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `virec-cli lint` — the static-analysis gate: every built-in workload
+/// kernel and every `virec-cc` output at every register budget must lint
+/// clean. `--broken-fixture` lints a deliberately malformed program instead
+/// (the CI negative control: it must exit nonzero with a stable
+/// diagnostic).
+fn cmd_lint(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    if get("broken-fixture").is_some() {
+        let diags = lint_program(&broken_fixture(), &LintConfig::default());
+        for d in &diags {
+            println!("broken-fixture: {d}");
+        }
+        if diags.is_empty() {
+            eprintln!("error: the broken fixture linted clean — the gate is not catching bugs");
+        }
+        // Nonzero either way: with diagnostics (the designed outcome) so
+        // CI can assert the gate rejects malformed programs, and without
+        // them because a gate that passes its negative control is broken.
+        return ExitCode::FAILURE;
+    }
+
+    let n: u64 = get("n").map_or(Ok(256), str::parse).unwrap_or(0);
+    if n == 0 {
+        eprintln!("error: invalid --n");
+        return ExitCode::from(2);
+    }
+    let lints = lint_everything(n);
+    let mut dirty = 0usize;
+    for l in &lints {
+        if l.is_clean() {
+            println!("lint: {:<22} clean", l.name);
+        } else {
+            dirty += 1;
+            for d in &l.diagnostics {
+                println!("lint: {:<22} {d}", l.name);
+            }
+        }
+    }
+    println!(
+        "lint: {} program(s), {} with diagnostics",
+        lints.len(),
+        dirty
+    );
+    if dirty == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_area(flags: HashMap<String, String>) -> ExitCode {
     let threads: usize = flags
         .get("threads")
@@ -446,6 +501,13 @@ fn main() -> ExitCode {
         },
         "campaign" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_campaign(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "lint" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_lint(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

@@ -16,6 +16,9 @@
 //!   experiment layer and its parallel executor.
 //! * [`area`] — the analytic area/delay model (CACTI-like, 45 nm).
 //! * [`cc`] — a mini-compiler with a configurable register budget (§4.2).
+//! * [`verify`] — CFG/dataflow static analysis: the lint gate behind
+//!   `virec-cli lint`, exact-liveness prefetch oracles, and LRC live-bit
+//!   cross-checks.
 //! * [`bench`] — the shared sweep harness behind the fig*/table* binaries
 //!   and `virec-cli sweep`.
 //!
@@ -29,4 +32,5 @@ pub use virec_core as core;
 pub use virec_isa as isa;
 pub use virec_mem as mem;
 pub use virec_sim as sim;
+pub use virec_verify as verify;
 pub use virec_workloads as workloads;
