@@ -115,6 +115,7 @@ fn main() {
     let nthreads = 8;
 
     let mut spec = ExperimentSpec::new("ext_compiler_budget");
+    spec.set_meta("n", n);
     for budget in BUDGETS {
         spec.custom(format!("budget{budget}"), move |_| {
             run_budget(budget, n, nthreads)

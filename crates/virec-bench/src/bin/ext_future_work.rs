@@ -48,6 +48,7 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut spec = ExperimentSpec::new("ext_future_work");
+    spec.set_meta("n", n);
     for frac in FRACS {
         for (name, ctor) in SUITE {
             let w = ctor(n, layout0());

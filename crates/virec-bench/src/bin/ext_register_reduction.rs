@@ -28,6 +28,7 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut spec = ExperimentSpec::new("ext_register_reduction");
+    spec.set_meta("n", n);
     let mut rows = Vec::new();
     for &ctor in KERNELS {
         let base_w = ctor(n, layout0());

@@ -55,6 +55,7 @@ fn main() {
     let reports: Arc<Mutex<BTreeMap<String, CampaignReport>>> = Default::default();
 
     let mut spec = ExperimentSpec::new("fault_campaign");
+    spec.set_meta("n", n);
     for (key, cfg, sites) in [
         ("virec", CoreConfig::virec(4, 32), &FaultSite::ALL[..]),
         ("banked", CoreConfig::banked(4), &FaultSite::NON_VRMU[..]),

@@ -38,6 +38,7 @@ fn main() {
     let area = AreaModel::default();
 
     let mut spec = ExperimentSpec::new("fig01_perf_area");
+    spec.set_meta("n", n);
     // Single in-order core: the normalization baseline.
     spec.single("inorder", build.clone(), CoreConfig::banked(1), &opts);
     // OoO host core (trace model, clock-normalized to the 1 GHz domain).

@@ -26,6 +26,7 @@ fn main() {
     let n = problem_size().min(4096);
 
     let mut spec = ExperimentSpec::new("fig02_reg_util");
+    spec.set_meta("n", n);
     for (name, ctor) in SUITE {
         let build = builder(*ctor, n, layout0());
         // Dynamic: mean registers touched per scheduling quantum on a

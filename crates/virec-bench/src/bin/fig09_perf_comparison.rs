@@ -34,6 +34,7 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut spec = ExperimentSpec::new("fig09_perf_comparison");
+    spec.set_meta("n", n);
     for (name, ctor) in SUITE {
         let w = ctor(n, layout0());
         let build = builder(*ctor, n, layout0());

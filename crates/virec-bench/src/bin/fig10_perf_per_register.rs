@@ -28,6 +28,7 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut spec = ExperimentSpec::new("fig10_perf_per_register");
+    spec.set_meta("n", n);
     // Performance is normalized to the single-thread banked run.
     spec.single(
         "banked_1t_base",

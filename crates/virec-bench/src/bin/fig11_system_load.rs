@@ -24,6 +24,7 @@ fn main() {
     let n = problem_size();
 
     let mut spec = ExperimentSpec::new("fig11_system_load");
+    spec.set_meta("n", n);
     for ncores in CORES {
         for threads in THREADS {
             let mut core = CoreConfig::virec(threads, 64);

@@ -43,6 +43,7 @@ fn main() {
     let opts = RunOptions::default();
 
     let mut spec = ExperimentSpec::new("fig12_policy_hitrate");
+    spec.set_meta("n", n);
     for frac in FRACS {
         for (name, ctor) in SUITE {
             let w = ctor(n, layout0());

@@ -54,6 +54,7 @@ fn main() {
     let n = problem_size().min(4096);
 
     let mut spec = ExperimentSpec::new("fig13_dcache_sweep");
+    spec.set_meta("n", n);
     for latency in LATENCIES {
         declare_point(&mut spec, n, &format!("lat{latency}"), |c| {
             c.dcache.hit_latency = latency;

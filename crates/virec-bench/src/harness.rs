@@ -388,6 +388,8 @@ impl SuiteSweep {
     /// diagnostics.
     pub fn spec(&self) -> ExperimentSpec {
         let mut spec = ExperimentSpec::new(&self.name).with_retry(self.retry);
+        spec.set_meta("n", self.n);
+        spec.set_meta("threads", self.threads);
         for wname in &self.workloads {
             let w = by_name(wname, self.n, layout0())
                 .unwrap_or_else(|| panic!("unknown workload {wname:?}"));

@@ -193,6 +193,7 @@ pub struct ExperimentSpec {
     pub name: String,
     /// Budget-retry policy applied to every cell.
     pub retry: RetryPolicy,
+    meta: Vec<(String, String)>,
     cells: Vec<CellSpec>,
     keys: HashMap<String, usize>,
 }
@@ -203,6 +204,7 @@ impl ExperimentSpec {
         ExperimentSpec {
             name: name.to_string(),
             retry: RetryPolicy::default(),
+            meta: Vec::new(),
             cells: Vec::new(),
             keys: HashMap::new(),
         }
@@ -212,6 +214,26 @@ impl ExperimentSpec {
     pub fn with_retry(mut self, retry: RetryPolicy) -> ExperimentSpec {
         self.retry = retry;
         self
+    }
+
+    /// Records a provenance key/value pair — problem size, thread count,
+    /// any knob that changes the numbers. Metadata is carried into the
+    /// result JSON and into the journal fingerprint, so an archived file
+    /// states the configuration it was produced under and a journal
+    /// recorded at a different configuration is refused on resume.
+    /// Setting an existing key replaces its value.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl ToString) {
+        let key = key.into();
+        let value = value.to_string();
+        match self.meta.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.meta.push((key, value)),
+        }
+    }
+
+    /// The recorded provenance metadata, in declaration order.
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
     }
 
     /// Adds a cell.
@@ -402,6 +424,8 @@ impl CellResult {
 pub struct ExperimentResult {
     /// Experiment name (copied from the spec).
     pub name: String,
+    /// Provenance metadata (copied from the spec).
+    pub meta: Vec<(String, String)>,
     /// Per-cell results, in the spec's declaration order.
     pub cells: Vec<CellResult>,
     /// Worker count the run used.
@@ -523,11 +547,31 @@ impl ExperimentResult {
     /// Machine-readable JSON rows, in declaration order. Deliberately
     /// excludes wall-clock timing so a parallel run's output is
     /// byte-identical to a serial one.
+    ///
+    /// The header carries the spec's provenance metadata (problem size
+    /// and friends, see [`ExperimentSpec::set_meta`]) plus the journal
+    /// fingerprint over name, cell keys, and metadata — so a results
+    /// file states what configuration produced it instead of being
+    /// indistinguishable from a run at a different size.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 * self.cells.len() + 64);
         out.push_str("{\n  \"experiment\": ");
         json_string(&mut out, &self.name);
-        out.push_str(",\n  \"cells\": [");
+        out.push_str(",\n  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            out.push_str(if i == 0 { "" } else { ", " });
+            json_string(&mut out, k);
+            out.push_str(": ");
+            json_string(&mut out, v);
+        }
+        let fingerprint = journal::spec_fingerprint(
+            &self.name,
+            self.cells.iter().map(|c| c.key.as_str()),
+            self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+        );
+        out.push_str(&format!(
+            "}},\n  \"fingerprint\": \"{fingerprint:016x}\",\n  \"cells\": ["
+        ));
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             out.push_str("    {\"key\": ");
@@ -741,8 +785,11 @@ impl Executor {
 
         let mut writer: Option<Mutex<journal::JournalWriter>> = None;
         if let Some(jc) = journal_cfg {
-            let fingerprint =
-                journal::spec_fingerprint(&spec.name, spec.cells.iter().map(|c| c.key.as_str()));
+            let fingerprint = journal::spec_fingerprint(
+                &spec.name,
+                spec.cells.iter().map(|c| c.key.as_str()),
+                spec.meta.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+            );
             let path = journal::journal_path(&jc.dir, &spec.name);
             let mut replayed = false;
             if jc.resume {
@@ -863,6 +910,7 @@ impl Executor {
 
         Ok(ExperimentResult {
             name: spec.name.clone(),
+            meta: spec.meta.clone(),
             cells,
             jobs: self.jobs,
             interrupted,
@@ -1117,6 +1165,31 @@ mod tests {
         let mut spec = ExperimentSpec::new("dup");
         spec.custom("k", |_| Ok(CellData::Metrics(Vec::new())));
         spec.custom("k", |_| Ok(CellData::Metrics(Vec::new())));
+    }
+
+    #[test]
+    fn meta_lands_in_json_header_and_fingerprint() {
+        let mut spec = ExperimentSpec::new("meta_unit");
+        spec.set_meta("n", 512u64);
+        spec.custom("c", |_| Ok(CellData::metrics([("cycles", 1.0)])));
+        let js512 = Executor::new(1).run(&spec).to_json();
+        assert!(js512.contains("\"meta\": {\"n\": \"512\"}"), "{js512}");
+        assert!(js512.contains("\"fingerprint\": \""), "{js512}");
+
+        // set_meta on an existing key replaces the value, and the emitted
+        // fingerprint moves with it: files from different problem sizes
+        // are distinguishable from their headers alone.
+        spec.set_meta("n", 4096u64);
+        assert_eq!(spec.meta(), [("n".to_string(), "4096".to_string())]);
+        let js4096 = Executor::new(1).run(&spec).to_json();
+        assert!(js4096.contains("\"meta\": {\"n\": \"4096\"}"), "{js4096}");
+        let fp = |js: &str| {
+            js.lines()
+                .find(|l| l.contains("\"fingerprint\""))
+                .expect("header emits a fingerprint")
+                .to_string()
+        };
+        assert_ne!(fp(&js512), fp(&js4096));
     }
 
     #[test]

@@ -45,9 +45,16 @@ pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.journal.jsonl"))
 }
 
-/// FNV-1a fingerprint of a spec's identity: its name and every cell key,
-/// in declaration order. A resumed journal must match or it is refused.
-pub fn spec_fingerprint<'a>(name: &str, keys: impl Iterator<Item = &'a str>) -> u64 {
+/// FNV-1a fingerprint of a spec's identity: its name, every cell key in
+/// declaration order, and its provenance metadata (problem size and
+/// friends). A resumed journal must match or it is refused — cell keys
+/// alone would happily replay a journal recorded at a different problem
+/// size, whose rows describe different numbers under identical keys.
+pub fn spec_fingerprint<'a>(
+    name: &str,
+    keys: impl Iterator<Item = &'a str>,
+    meta: impl Iterator<Item = (&'a str, &'a str)>,
+) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -60,6 +67,10 @@ pub fn spec_fingerprint<'a>(name: &str, keys: impl Iterator<Item = &'a str>) -> 
     eat(name.as_bytes());
     for k in keys {
         eat(k.as_bytes());
+    }
+    for (k, v) in meta {
+        eat(k.as_bytes());
+        eat(v.as_bytes());
     }
     h
 }
@@ -827,19 +838,39 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_tracks_name_and_keys() {
-        let a = spec_fingerprint("exp", ["k1", "k2"].into_iter());
-        assert_eq!(a, spec_fingerprint("exp", ["k1", "k2"].into_iter()));
-        assert_ne!(a, spec_fingerprint("exp2", ["k1", "k2"].into_iter()));
-        assert_ne!(a, spec_fingerprint("exp", ["k1"].into_iter()));
-        assert_ne!(a, spec_fingerprint("exp", ["k1k", "2"].into_iter()));
+    fn fingerprint_tracks_name_keys_and_meta() {
+        let no_meta = std::iter::empty::<(&str, &str)>;
+        let a = spec_fingerprint("exp", ["k1", "k2"].into_iter(), no_meta());
+        assert_eq!(
+            a,
+            spec_fingerprint("exp", ["k1", "k2"].into_iter(), no_meta())
+        );
+        assert_ne!(
+            a,
+            spec_fingerprint("exp2", ["k1", "k2"].into_iter(), no_meta())
+        );
+        assert_ne!(a, spec_fingerprint("exp", ["k1"].into_iter(), no_meta()));
+        assert_ne!(
+            a,
+            spec_fingerprint("exp", ["k1k", "2"].into_iter(), no_meta())
+        );
+        // A different problem size is a different experiment: its journal
+        // rows carry different numbers under identical cell keys.
+        let n512 = spec_fingerprint("exp", ["k1", "k2"].into_iter(), [("n", "512")].into_iter());
+        let n4096 = spec_fingerprint("exp", ["k1", "k2"].into_iter(), [("n", "4096")].into_iter());
+        assert_ne!(a, n512);
+        assert_ne!(n512, n4096);
+        assert_ne!(
+            n512,
+            spec_fingerprint("exp", ["k1", "k2"].into_iter(), [("n5", "12")].into_iter())
+        );
     }
 
     #[test]
     fn writer_and_loader_cooperate() {
         let dir = std::env::temp_dir().join(format!("virec_journal_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let fp = spec_fingerprint("unit", ["a", "b"].into_iter());
+        let fp = spec_fingerprint("unit", ["a", "b"].into_iter(), std::iter::empty());
         let mut w = JournalWriter::create(&dir, "unit", fp).expect("create journal");
         w.append(&record_line(
             "a",

@@ -223,3 +223,43 @@ fn mismatched_journal_is_refused_and_the_sweep_starts_fresh() {
     assert_eq!(executed.load(Ordering::SeqCst), 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn journal_from_a_different_problem_size_is_refused() {
+    let dir = temp_dir("meta_mismatch");
+
+    // Identical cell keys, but the spec declares it ran at n=512...
+    let spec_at = |n: u64, runs: &Arc<AtomicUsize>| {
+        let mut spec = mixed_spec("resume_meta", runs);
+        spec.set_meta("n", n);
+        spec
+    };
+    let runs = Arc::new(AtomicUsize::new(0));
+    let cfg = JournalConfig {
+        dir: dir.clone(),
+        resume: false,
+    };
+    let interrupted = Executor::new(1)
+        .with_interrupt_after(2)
+        .run_journaled(&spec_at(512, &runs), Some(&cfg))
+        .expect("journal dir is writable");
+    assert!(interrupted.interrupted);
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+    // ...so a resume at n=4096 must not replay its rows: the journaled
+    // numbers describe a different problem size under the same keys.
+    let cfg = JournalConfig {
+        dir: dir.clone(),
+        resume: true,
+    };
+    let res = Executor::new(1)
+        .run_journaled(&spec_at(4096, &runs), Some(&cfg))
+        .expect("journal dir is writable");
+    assert!(!res.interrupted);
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        2,
+        "the journaled cell must re-execute, not replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
