@@ -1,0 +1,177 @@
+//! Area cost of the in-situ protection model (SEC-DED on word storage,
+//! parity on the VRMU CAM structures), layered over [`AreaModel`].
+//!
+//! The storage terms follow directly from the code geometry: the (72,64)
+//! extended Hamming code spends 8 check bits per 64 data bits — a fixed
+//! **12.5%** on every protected word array — and the CAM structures carry
+//! one parity bit per entry. The logic terms (encoder/corrector trees at
+//! the RF ports, parity trees at the CAM write/lookup paths) are small
+//! fixed blocks calibrated to 45 nm synthesis of comparable Hsiao codecs.
+//!
+//! The headline consequence mirrors the paper's area argument: because
+//! ViReC keeps the register file *small* (5–10 registers per thread), full
+//! SEC-DED over its RF costs far less absolute silicon than protecting a
+//! banked design's 64-registers-per-thread banks — the protection gap
+//! widens with thread count exactly as the unprotected area gap does, and
+//! the extra parity ViReC pays on its tag store / rollback queue does not
+//! close it.
+
+use crate::model::AreaModel;
+
+/// Fraction of a SEC-DED-protected word array spent on check bits:
+/// 8 check bits per 64 data bits in the (72,64) code.
+pub const SECDED_STORAGE_FRAC: f64 = 8.0 / 64.0;
+
+/// Fraction of a parity-protected CAM array spent on the parity column.
+/// A tag-store entry holds a 5-bit architectural name, a thread id, a
+/// physical index and a valid bit (≈13 bits), so one parity bit adds
+/// roughly 1/13 of the entry.
+pub const PARITY_STORAGE_FRAC: f64 = 1.0 / 13.0;
+
+/// ECC overhead of one engine, split into its two components (mm²).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EccOverhead {
+    /// Extra storage cells: check-bit columns widening the protected
+    /// arrays.
+    pub storage_mm2: f64,
+    /// Codec logic: encoder/corrector trees at the word-array ports and
+    /// parity trees at the CAM paths.
+    pub logic_mm2: f64,
+}
+
+impl EccOverhead {
+    /// Total ECC silicon for the engine.
+    pub fn total_mm2(&self) -> f64 {
+        self.storage_mm2 + self.logic_mm2
+    }
+}
+
+/// Analytic model of the protection hardware, parameterized so the codec
+/// constants can be recalibrated independently of [`AreaModel`].
+#[derive(Clone, Copy, Debug)]
+pub struct EccAreaModel {
+    /// One (72,64) Hsiao encoder + corrector tree per RF port (mm²).
+    pub secded_codec_mm2: f64,
+    /// Parity generate/check tree for one CAM structure (mm²).
+    pub parity_logic_mm2: f64,
+    /// Register-file ports carrying a codec (reads correct, writes encode).
+    pub rf_ports: usize,
+}
+
+impl Default for EccAreaModel {
+    fn default() -> Self {
+        EccAreaModel {
+            secded_codec_mm2: 2.0e-3,
+            parity_logic_mm2: 4.0e-4,
+            rf_ports: 3,
+        }
+    }
+}
+
+impl EccAreaModel {
+    /// Codec logic shared by every word-protected register organization:
+    /// one encoder/corrector per RF port.
+    fn word_codec_mm2(&self) -> f64 {
+        self.secded_codec_mm2 * self.rf_ports as f64
+    }
+
+    /// ECC overhead for a ViReC core with `regs` physical registers:
+    /// SEC-DED over the (small) RF, parity over the tag-store CAM and the
+    /// rollback queue, plus their codec trees.
+    pub fn virec_overhead(&self, area: &AreaModel, regs: usize) -> EccOverhead {
+        let secded_storage = SECDED_STORAGE_FRAC * area.rf_area(regs);
+        let parity_storage =
+            PARITY_STORAGE_FRAC * (area.tag_store_area(regs) + area.vrmu_logic_area(regs));
+        EccOverhead {
+            storage_mm2: secded_storage + parity_storage,
+            // Two parity trees: the tag store and the rollback queue.
+            logic_mm2: self.word_codec_mm2() + 2.0 * self.parity_logic_mm2,
+        }
+    }
+
+    /// ECC overhead for a banked core with `threads` banks of 64
+    /// registers: SEC-DED over every bank. Only one bank drives the shared
+    /// read/write ports at a time, so the codec trees are shared and do
+    /// not scale with thread count — the storage term does.
+    pub fn banked_overhead(&self, area: &AreaModel, threads: usize) -> EccOverhead {
+        EccOverhead {
+            storage_mm2: SECDED_STORAGE_FRAC * area.bank_mm2 * threads as f64,
+            logic_mm2: self.word_codec_mm2(),
+        }
+    }
+
+    /// Protected ViReC core area (base + virec overhead + ECC).
+    pub fn virec_core(&self, area: &AreaModel, regs: usize) -> f64 {
+        area.virec_core(regs) + self.virec_overhead(area, regs).total_mm2()
+    }
+
+    /// Protected banked core area (base + banks + ECC).
+    pub fn banked_core(&self, area: &AreaModel, threads: usize) -> f64 {
+        area.banked_core(threads) + self.banked_overhead(area, threads).total_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (AreaModel, EccAreaModel) {
+        (AreaModel::default(), EccAreaModel::default())
+    }
+
+    #[test]
+    fn secded_storage_is_exactly_one_eighth() {
+        // 8 check bits per 64 data bits — the geometry is not tunable.
+        assert_eq!(SECDED_STORAGE_FRAC, 0.125);
+        let (a, e) = models();
+        let banked = e.banked_overhead(&a, 8);
+        assert!((banked.storage_mm2 - 0.125 * a.bank_mm2 * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virec_protection_is_cheaper_than_banked_at_paper_points() {
+        // 8 registers per thread vs 64-per-bank: the small RF keeps the
+        // absolute ECC bill lower even though ViReC also pays parity on
+        // the CAM structures.
+        let (a, e) = models();
+        for threads in [8, 16] {
+            let v = e.virec_overhead(&a, 8 * threads).total_mm2();
+            let b = e.banked_overhead(&a, threads).total_mm2();
+            assert!(v < b, "{threads} threads: virec {v} vs banked {b}");
+        }
+    }
+
+    #[test]
+    fn protection_gap_widens_with_threads() {
+        let (a, e) = models();
+        let gap = |t: usize| {
+            e.banked_overhead(&a, t).total_mm2() - e.virec_overhead(&a, 8 * t).total_mm2()
+        };
+        assert!(gap(16) > gap(8));
+        assert!(gap(8) > gap(4));
+    }
+
+    #[test]
+    fn ecc_stays_a_small_fraction_of_the_core() {
+        // Full protection must not distort the paper's area story. ViReC's
+        // RF is small, so its ECC bill stays under 4% of the protected
+        // core; banked pays 12.5% on every 64-register bank, which lands
+        // at 5–7% of its (much larger) core at 8–16 threads.
+        let (a, e) = models();
+        for threads in [8, 16] {
+            let v = e.virec_overhead(&a, 8 * threads).total_mm2() / e.virec_core(&a, 8 * threads);
+            let b = e.banked_overhead(&a, threads).total_mm2() / e.banked_core(&a, threads);
+            assert!(v < 0.04, "virec fraction {v}");
+            assert!(b < 0.08, "banked fraction {b}");
+            assert!(v < b, "protection must tax virec less than banked");
+        }
+    }
+
+    #[test]
+    fn virec_area_advantage_survives_protection() {
+        // The paper's ≈40% savings claim with both designs protected.
+        let (a, e) = models();
+        let savings = 1.0 - e.virec_core(&a, 64) / e.banked_core(&a, 8);
+        assert!((0.35..=0.45).contains(&savings), "got {savings}");
+    }
+}

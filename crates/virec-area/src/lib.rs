@@ -24,7 +24,15 @@
 //!   in-order core's area.
 //!
 //! All areas are mm² at 45 nm; delays are ns.
+//!
+//! The [`ecc`] module layers the in-situ protection hardware on top: a
+//! fixed 12.5% storage tax on SEC-DED-protected word arrays, one parity
+//! bit per CAM entry, and small fixed codec blocks — with the headline
+//! that protecting ViReC's small RF costs far less silicon than
+//! protecting a banked design's per-thread banks.
 
+pub mod ecc;
 pub mod model;
 
+pub use ecc::{EccAreaModel, EccOverhead, PARITY_STORAGE_FRAC, SECDED_STORAGE_FRAC};
 pub use model::AreaModel;

@@ -16,9 +16,16 @@
 //! `SILENT` outcome) or any detected injection failed to recover — both
 //! are checker/recovery bugs, not simulator bugs.
 //!
+//! `VIREC_PROTECTION=secded` (or `parity`) routes every injection through
+//! the in-situ protection model with architectural checkpointing enabled,
+//! adding the corrected / checkpoint-recovered / detected-uncorrectable
+//! classifications; `VIREC_MULTI_FAULT=1` switches to double-bit bursts
+//! that defeat single-error correction.
+//!
 //! ```sh
 //! cargo run --release -p virec-bench --bin fault_campaign
 //! VIREC_FAULTS=256 VIREC_N=2048 cargo run --release -p virec-bench --bin fault_campaign
+//! VIREC_PROTECTION=secded cargo run --release -p virec-bench --bin fault_campaign
 //! ```
 
 use std::collections::BTreeMap;
@@ -28,7 +35,11 @@ use virec_bench::harness::*;
 use virec_core::CoreConfig;
 use virec_sim::experiment::{CellData, ExperimentSpec};
 use virec_sim::report::{pct, Table};
-use virec_sim::{run_campaign, CampaignReport, FaultSite, InjectionOutcome};
+use virec_sim::runner::default_checkpoint_interval;
+use virec_sim::{
+    run_campaign_with, CampaignOptions, CampaignReport, FaultSite, InjectionOutcome,
+    ProtectionConfig,
+};
 use virec_workloads::kernels;
 
 /// Injection count per engine (`VIREC_FAULTS`, default 64).
@@ -37,6 +48,27 @@ fn injection_count() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(64)
+}
+
+/// Campaign options from `VIREC_PROTECTION` / `VIREC_MULTI_FAULT`
+/// (defaults: unprotected, single-fault — the historical behavior).
+fn campaign_options() -> CampaignOptions {
+    let protection: ProtectionConfig = match std::env::var("VIREC_PROTECTION") {
+        Ok(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("VIREC_PROTECTION: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => ProtectionConfig::none(),
+    };
+    CampaignOptions {
+        protection,
+        multi_fault: std::env::var("VIREC_MULTI_FAULT").is_ok_and(|v| v != "0"),
+        checkpoint_interval: if protection.is_none() {
+            0
+        } else {
+            default_checkpoint_interval()
+        },
+    }
 }
 
 fn main() {
@@ -54,8 +86,15 @@ fn main() {
     // side channel so the SILENT-escape listing can show per-record detail.
     let reports: Arc<Mutex<BTreeMap<String, CampaignReport>>> = Default::default();
 
+    let campaign = campaign_options();
+
     let mut spec = ExperimentSpec::new("fault_campaign");
     spec.set_meta("n", n);
+    spec.set_meta(
+        "protection",
+        std::env::var("VIREC_PROTECTION").unwrap_or_else(|_| "none".into()),
+    );
+    spec.set_meta("multi_fault", campaign.multi_fault);
     for (key, cfg, sites) in [
         ("virec", CoreConfig::virec(4, 32), &FaultSite::ALL[..]),
         ("banked", CoreConfig::banked(4), &FaultSite::NON_VRMU[..]),
@@ -63,9 +102,18 @@ fn main() {
         let reports = Arc::clone(&reports);
         spec.custom(key, move |_| {
             let w = kernels::spatter::gather(n, layout0());
-            let r = run_campaign(cfg, &w, injections, base_seed, sites);
+            let r = run_campaign_with(cfg, &w, injections, base_seed, sites, &campaign);
             let data = CellData::metrics([
                 ("injections", r.records.len() as f64),
+                ("corrected", r.count(InjectionOutcome::Corrected) as f64),
+                (
+                    "ckpt_recovered",
+                    r.count(InjectionOutcome::CheckpointRecovered) as f64,
+                ),
+                (
+                    "detected_uncorrectable",
+                    r.count(InjectionOutcome::DetectedUncorrectable) as f64,
+                ),
                 ("recovered", r.count(InjectionOutcome::Recovered) as f64),
                 ("detected", r.count(InjectionOutcome::Detected) as f64),
                 ("crashed", r.count(InjectionOutcome::Crashed) as f64),
@@ -74,6 +122,7 @@ fn main() {
                 ("silent", r.count(InjectionOutcome::Silent) as f64),
                 ("detection_rate", r.detection_rate()),
                 ("recovery_rate", r.recovery_rate()),
+                ("mean_replay_cycles", r.mean_replay_cycles().unwrap_or(0.0)),
                 ("clean_cycles", r.clean_cycles as f64),
             ]);
             reports.lock().unwrap().insert(key.to_string(), r);
@@ -102,6 +151,9 @@ fn main() {
         &[
             "engine",
             "injections",
+            "corrected",
+            "ckpt_recovered",
+            "detected_uncorr",
             "recovered",
             "detected",
             "crashed",
@@ -110,6 +162,7 @@ fn main() {
             "silent",
             "detection_rate",
             "recovery_rate",
+            "mean_replay",
             "clean_cycles",
         ],
     );
@@ -118,6 +171,9 @@ fn main() {
         t.row(vec![
             r.engine.clone(),
             r.records.len().to_string(),
+            r.count(InjectionOutcome::Corrected).to_string(),
+            r.count(InjectionOutcome::CheckpointRecovered).to_string(),
+            r.count(InjectionOutcome::DetectedUncorrectable).to_string(),
             r.count(InjectionOutcome::Recovered).to_string(),
             r.count(InjectionOutcome::Detected).to_string(),
             r.count(InjectionOutcome::Crashed).to_string(),
@@ -126,6 +182,8 @@ fn main() {
             r.count(InjectionOutcome::Silent).to_string(),
             pct(r.detection_rate()),
             pct(r.recovery_rate()),
+            r.mean_replay_cycles()
+                .map_or_else(|| "-".into(), |m| format!("{m:.0}")),
             r.clean_cycles.to_string(),
         ]);
     }

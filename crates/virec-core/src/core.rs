@@ -33,7 +33,7 @@ use crate::thread::{Thread, ThreadStatus};
 use crate::trace::{TraceEvent, Tracer};
 use std::collections::VecDeque;
 use virec_isa::{AccessSize, DataMemory, Flags, FlatMem, Instr, Program, Reg};
-use virec_mem::{AccessKind, AccessResult, Cache, Fabric, MshrId, PortId};
+use virec_mem::{AccessKind, AccessResult, Cache, Fabric, MshrId, MshrRetireError, PortId};
 
 /// A fetched instruction waiting for decode.
 #[derive(Clone, Copy, Debug)]
@@ -189,8 +189,69 @@ pub struct Core {
     /// diagnostics — pinpoints where a thread was when a run went wrong).
     last_commit_pc: Vec<Option<u32>>,
 
+    /// First structural hazard observed (e.g. a corrupted MSHR id whose
+    /// retire failed). A healthy machine never sets this; the runner polls
+    /// it and converts the run into a detected failure instead of a panic.
+    structural_fault: Option<String>,
+
     tracer: Option<Tracer>,
     stats: CoreStats,
+}
+
+/// Records the first structural hazard into `slot` (later ones are dropped:
+/// the machine is already poisoned and the first cause is the useful one).
+fn note_structural(slot: &mut Option<String>, e: MshrRetireError) {
+    if slot.is_none() {
+        *slot = Some(e.to_string());
+    }
+}
+
+/// Deep copy for architectural checkpointing. The tracer callback is not
+/// cloneable and is dropped from the copy; replayed windows therefore do not
+/// re-emit trace events, which keeps recorded traces free of duplicates.
+impl Clone for Core {
+    fn clone(&self) -> Core {
+        Core {
+            cfg: self.cfg,
+            program: self.program.clone(),
+            region: self.region,
+            code_base: self.code_base,
+            icache: self.icache.clone(),
+            dcache: self.dcache.clone(),
+            engine: self.engine.clone_box(),
+            threads: self.threads.clone(),
+            running: self.running,
+            started: self.started,
+            pending_in: self.pending_in,
+            last_tid: self.last_tid,
+            committed_since_switch: self.committed_since_switch,
+            fetch_pc: self.fetch_pc,
+            fetch_stopped: self.fetch_stopped,
+            fetch_wait_mshr: self.fetch_wait_mshr,
+            fetched: self.fetched,
+            decode: self.decode,
+            exec: self.exec,
+            mem_slot: self.mem_slot,
+            sq: self.sq.clone(),
+            use_sysbuf: self.use_sysbuf,
+            sys_ready: self.sys_ready.clone(),
+            sys_queue: self.sys_queue.clone(),
+            sys_wait: self.sys_wait.clone(),
+            sys_demand_outstanding: self.sys_demand_outstanding,
+            orphan_ifetches: self.orphan_ifetches.clone(),
+            recorder: self.recorder.clone(),
+            quantum_mask: self.quantum_mask.clone(),
+            qtracer: self.qtracer.clone(),
+            q_start_pc: self.q_start_pc,
+            q_used: self.q_used,
+            q_demand: self.q_demand,
+            q_written: self.q_written,
+            last_commit_pc: self.last_commit_pc.clone(),
+            structural_fault: self.structural_fault.clone(),
+            tracer: None,
+            stats: self.stats,
+        }
+    }
 }
 
 impl Core {
@@ -272,6 +333,7 @@ impl Core {
             q_demand: 0,
             q_written: 0,
             last_commit_pc: vec![None; cfg.nthreads],
+            structural_fault: None,
             tracer: None,
             stats: CoreStats::default(),
             cfg,
@@ -391,6 +453,13 @@ impl Core {
     /// threads that never committed).
     pub fn last_commit_pcs(&self) -> &[Option<u32>] {
         &self.last_commit_pc
+    }
+
+    /// First structural hazard observed by the pipeline (a failed MSHR
+    /// retire from a corrupted id), or `None` for a healthy machine. The
+    /// runner polls this every cycle and aborts the run with a typed error.
+    pub fn structural_fault(&self) -> Option<&str> {
+        self.structural_fault.as_deref()
     }
 
     /// Delivers a fault to the context engine (the fault-injection
@@ -529,7 +598,9 @@ impl Core {
         for (i, t) in self.threads.iter_mut().enumerate() {
             if let ThreadStatus::Blocked(mshr) = t.status {
                 if self.dcache.mshr_ready(mshr, now) {
-                    self.dcache.mshr_retire(mshr);
+                    if let Err(e) = self.dcache.mshr_retire(mshr) {
+                        note_structural(&mut self.structural_fault, e);
+                    }
                     t.status = ThreadStatus::Ready;
                     woke.push(i as u8);
                 }
@@ -542,9 +613,12 @@ impl Core {
 
     fn poll_orphans(&mut self, now: u64) {
         let icache = &mut self.icache;
+        let structural = &mut self.structural_fault;
         self.orphan_ifetches.retain(|&m| {
             if icache.mshr_ready(m, now) {
-                icache.mshr_retire(m);
+                if let Err(e) = icache.mshr_retire(m) {
+                    note_structural(structural, e);
+                }
                 false
             } else {
                 true
@@ -747,7 +821,9 @@ impl Core {
             }
             MemPhase::WaitMshr { mshr } => {
                 if self.dcache.mshr_ready(mshr, now) {
-                    self.dcache.mshr_retire(mshr);
+                    if let Err(e) = self.dcache.mshr_retire(mshr) {
+                        note_structural(&mut self.structural_fault, e);
+                    }
                     if let Instr::Ldr { dst, size, .. } = slot.instr {
                         slot.load_val = mem.read(slot.addr, size);
                         self.engine.write(tid, dst, slot.load_val);
@@ -904,7 +980,9 @@ impl Core {
             }
             SqState::WaitMshr { mshr } => {
                 if self.dcache.mshr_ready(mshr, now) {
-                    self.dcache.mshr_retire(mshr);
+                    if let Err(e) = self.dcache.mshr_retire(mshr) {
+                        note_structural(&mut self.structural_fault, e);
+                    }
                     self.sq.pop_front();
                 }
             }
@@ -1123,7 +1201,9 @@ impl Core {
         }
         if let Some(m) = self.fetch_wait_mshr {
             if self.icache.mshr_ready(m, now) {
-                self.icache.mshr_retire(m);
+                if let Err(e) = self.icache.mshr_retire(m) {
+                    note_structural(&mut self.structural_fault, e);
+                }
                 self.fetch_wait_mshr = None;
                 self.deliver_fetch(now + 1);
             }
@@ -1182,7 +1262,9 @@ impl Core {
                 SysWait::At(t) => t <= now,
                 SysWait::Mshr(m) => {
                     if self.dcache.mshr_ready(m, now) {
-                        self.dcache.mshr_retire(m);
+                        if let Err(e) = self.dcache.mshr_retire(m) {
+                            note_structural(&mut self.structural_fault, e);
+                        }
                         true
                     } else {
                         false

@@ -217,4 +217,9 @@ pub trait ContextEngine {
     /// Writes all live register state back to the backing region so the
     /// final memory image can be compared against the golden interpreter.
     fn drain(&mut self, region: RegRegion, mem: &mut FlatMem);
+
+    /// Deep-copies the engine, including all in-flight machinery, for
+    /// architectural checkpointing (the runner snapshots the whole machine
+    /// and restores it on a detected-uncorrectable fault).
+    fn clone_box(&self) -> Box<dyn ContextEngine>;
 }

@@ -12,6 +12,7 @@ use crate::regions::{RegRegion, BYTES_PER_THREAD};
 use crate::stats::CoreStats;
 use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg};
 
+#[derive(Clone, Copy)]
 enum LoadState {
     NotLoaded,
     Loading,
@@ -19,6 +20,7 @@ enum LoadState {
 }
 
 /// Statically banked context storage.
+#[derive(Clone)]
 pub struct BankedEngine {
     banks: Vec<[u64; 32]>,
     state: Vec<LoadState>,
@@ -159,6 +161,10 @@ impl ContextEngine for BankedEngine {
                 mem.write(region.reg_addr(t, r), AccessSize::B8, bank[r.index()]);
             }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ContextEngine> {
+        Box::new(self.clone())
     }
 }
 

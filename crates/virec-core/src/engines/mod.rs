@@ -16,11 +16,13 @@ use virec_mem::{AccessKind, AccessResult, Cache, Fabric, MshrId};
 /// A queue of timing-only line/word transfers through the dcache, shared by
 /// the banked first-activation loads, software save/restore sequences, and
 /// the prefetch engines' context movement.
+#[derive(Clone)]
 pub(crate) struct Xfer {
     queued: std::collections::VecDeque<(u64, bool)>,
     outstanding: Vec<XferWait>,
 }
 
+#[derive(Clone, Copy)]
 pub(crate) enum XferWait {
     At(u64),
     Mshr(MshrId),
@@ -57,7 +59,11 @@ impl Xfer {
                 XferWait::At(t) => t <= now,
                 XferWait::Mshr(id) => {
                     if dcache.mshr_ready(id, now) {
-                        dcache.mshr_retire(id);
+                        // Guarded by mshr_ready, so a retire failure means the
+                        // id itself was corrupted; the transfer is complete
+                        // either way (timing-only model), so degrade silently
+                        // here and let the golden checker catch state damage.
+                        let _ = dcache.mshr_retire(id);
                         true
                     } else {
                         false

@@ -29,6 +29,7 @@ enum BankState {
     Saving,
 }
 
+#[derive(Clone)]
 struct Bank {
     owner: Option<u8>,
     state: BankState,
@@ -55,6 +56,7 @@ fn mask_of(regs: impl Iterator<Item = Reg>) -> u32 {
 const FULL_MASK: u32 = (1 << 31) - 1; // x0..x30
 
 /// The double-buffer prefetching engine.
+#[derive(Clone)]
 pub struct PrefetchEngine {
     exact: bool,
     oracle: OracleSchedule,
@@ -323,6 +325,10 @@ impl ContextEngine for PrefetchEngine {
                 mem.write(region.reg_addr(t, r), AccessSize::B8, ctx[r.index()]);
             }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ContextEngine> {
+        Box::new(self.clone())
     }
 }
 

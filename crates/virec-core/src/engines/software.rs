@@ -12,6 +12,7 @@ use crate::regions::RegRegion;
 use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg};
 
 /// Software save/restore context management.
+#[derive(Clone)]
 pub struct SoftwareEngine {
     /// Architectural values per thread (functionally always current; the
     /// xfer queue models when the memory traffic happens).
@@ -133,6 +134,10 @@ impl ContextEngine for SoftwareEngine {
                 mem.write(region.reg_addr(t, r), AccessSize::B8, ctx[r.index()]);
             }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ContextEngine> {
+        Box::new(self.clone())
     }
 }
 

@@ -19,6 +19,7 @@ use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg, RegList};
 pub const ROLLBACK_DEPTH: usize = 4;
 
 /// State of a multi-cycle acquisition.
+#[derive(Clone)]
 struct PendingAcquire {
     tid: u8,
     /// Registers still waiting for a free/evictable physical entry.
@@ -30,6 +31,7 @@ struct PendingAcquire {
 }
 
 /// The ViReC engine (§5).
+#[derive(Clone)]
 pub struct VirecEngine {
     tags: TagStore,
     rollback: RollbackQueue,
@@ -401,6 +403,10 @@ impl ContextEngine for VirecEngine {
                 mem.write(addr, AccessSize::B8, e.value);
             }
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn ContextEngine> {
+        Box::new(self.clone())
     }
 }
 

@@ -99,6 +99,7 @@ const NO_ENTRY: u16 = u16::MAX;
 /// Lookups are O(1) through a `(thread, register) -> entry` reverse map —
 /// the simulator's hottest path (hardware does this with the CAM match
 /// lines).
+#[derive(Clone)]
 pub struct TagStore {
     entries: Vec<TagEntry>,
     /// Reverse map: `tid * 32 + reg` -> entry index (or `NO_ENTRY`).
@@ -450,6 +451,7 @@ pub struct RollbackEntry {
 
 /// The rollback queue (§5.1): FIFO with a depth equal to the maximum number
 /// of instructions in the processor backend.
+#[derive(Clone)]
 pub struct RollbackQueue {
     entries: VecDeque<RollbackEntry>,
     depth: usize,

@@ -93,6 +93,31 @@ impl AccessKind {
 /// Identifier for a pending miss; poll with [`Cache::mshr_ready`].
 pub type MshrId = u64;
 
+/// Why an MSHR could not be retired. In a healthy machine retires always
+/// follow a successful [`Cache::mshr_ready`] poll, so either variant means
+/// the id itself is wrong — a corrupted pipeline slot (e.g. an injected
+/// fault flipped the stored id), not an ordinary timing condition. The
+/// core degrades this to a detected structural hazard instead of aborting
+/// the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrRetireError {
+    /// No MSHR with this id exists.
+    Unknown(MshrId),
+    /// The MSHR exists but its fill has not completed.
+    NotReady(MshrId),
+}
+
+impl std::fmt::Display for MshrRetireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrRetireError::Unknown(id) => write!(f, "retiring unknown MSHR {id}"),
+            MshrRetireError::NotReady(id) => write!(f, "retiring MSHR {id} before completion"),
+        }
+    }
+}
+
+impl std::error::Error for MshrRetireError {}
+
 /// Result of a cache access attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessResult {
@@ -162,13 +187,14 @@ struct Mshr {
 ///     cache.tick(now, &mut fabric);
 ///     now += 1;
 /// }
-/// cache.mshr_retire(mshr);
+/// cache.mshr_retire(mshr).unwrap();
 /// // ...and the refill hits.
 /// assert!(matches!(
 ///     cache.access(now, 0x1000, AccessKind::DataLoad, &mut fabric),
 ///     AccessResult::Hit { .. }
 /// ));
 /// ```
+#[derive(Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     port: PortId,
@@ -332,22 +358,24 @@ impl Cache {
 
     /// Releases one requester's interest in a completed MSHR.
     ///
-    /// # Panics
-    /// Panics if the MSHR does not exist or is not ready.
-    pub fn mshr_retire(&mut self, mshr: MshrId) {
+    /// Returns a typed [`MshrRetireError`] — never panics — if the id names
+    /// no MSHR or one whose fill has not completed. Both indicate a
+    /// corrupted requester-side id (a fault, not a timing race): callers
+    /// surface the error as a detected structural hazard.
+    pub fn mshr_retire(&mut self, mshr: MshrId) -> Result<(), MshrRetireError> {
         let idx = self
             .mshrs
             .iter()
             .position(|m| m.id == mshr)
-            .expect("retiring unknown MSHR");
-        assert!(
-            self.mshrs[idx].ready_at.is_some(),
-            "retiring MSHR before completion"
-        );
+            .ok_or(MshrRetireError::Unknown(mshr))?;
+        if self.mshrs[idx].ready_at.is_none() {
+            return Err(MshrRetireError::NotReady(mshr));
+        }
         self.mshrs[idx].outstanding -= 1;
         if self.mshrs[idx].outstanding == 0 {
             self.mshrs.swap_remove(idx);
         }
+        Ok(())
     }
 
     /// Advances the cache: completes fills whose fabric requests returned and
@@ -517,7 +545,7 @@ mod tests {
                     f.tick(now);
                     c.tick(now, f);
                     if c.mshr_ready(mshr, now) {
-                        c.mshr_retire(mshr);
+                        c.mshr_retire(mshr).unwrap();
                         return now;
                     }
                     now += 1;
@@ -559,8 +587,8 @@ mod tests {
             c.tick(now, &mut f);
             now += 1;
         }
-        c.mshr_retire(m1);
-        c.mshr_retire(m2);
+        c.mshr_retire(m1).unwrap();
+        c.mshr_retire(m2).unwrap();
         c.check_invariants();
     }
 

@@ -127,6 +127,7 @@ struct Bank {
 }
 
 /// The crossbar + DRAM fabric shared by all near-memory cores.
+#[derive(Clone)]
 pub struct Fabric {
     cfg: FabricConfig,
     banks: Vec<Bank>,

@@ -27,7 +27,7 @@ pub mod cache;
 pub mod fabric;
 pub mod stats;
 
-pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, MshrId};
+pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, MshrId, MshrRetireError};
 pub use fabric::{DramConfig, Fabric, FabricConfig, FabricStats, PortId};
 pub use stats::CacheStats;
 

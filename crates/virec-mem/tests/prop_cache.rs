@@ -88,7 +88,7 @@ proptest! {
         // Retire every merged requester exactly once per Miss result.
         for m in outstanding {
             if cache.mshr_ready(m, now) {
-                cache.mshr_retire(m);
+                cache.mshr_retire(m).unwrap();
             }
         }
         cache.check_invariants();
@@ -113,7 +113,7 @@ proptest! {
             now += 1;
             prop_assert!(now < 10_000);
         }
-        cache.mshr_retire(mshr);
+        cache.mshr_retire(mshr).unwrap();
         let r = cache.access(now, addr, AccessKind::DataLoad, &mut fabric);
         prop_assert!(matches!(r, AccessResult::Hit { .. }), "{r:?}");
     }
@@ -160,7 +160,7 @@ proptest! {
                         cache.tick(now, &mut fabric);
                         now += 1;
                     }
-                    cache.mshr_retire(mshr);
+                    cache.mshr_retire(mshr).unwrap();
                 }
                 _ => { now += 1; }
             }

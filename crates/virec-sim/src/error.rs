@@ -194,6 +194,28 @@ pub enum SimError {
         /// Core snapshot at the abort cycle.
         diag: Box<RunDiagnostics>,
     },
+    /// The modeled protection logic flagged a detected-but-uncorrectable
+    /// error (double-bit under SEC-DED, parity mismatch) and no checkpoint
+    /// was available to restore — the run must be re-executed from scratch.
+    Uncorrectable {
+        /// The corrupted site, in the stable kebab-case [`crate::fault::FaultSite`]
+        /// spelling.
+        site: String,
+        /// Human-readable description of the detected corruption.
+        detail: String,
+        /// Core snapshot at the detection cycle.
+        diag: Box<RunDiagnostics>,
+    },
+    /// The pipeline observed an internal structural hazard (e.g. a failed
+    /// MSHR retire from a corrupted id) — a condition the hardware would
+    /// raise a machine-check for, degraded to a typed error instead of a
+    /// process abort.
+    StructuralHazard {
+        /// What the pipeline observed.
+        detail: String,
+        /// Core snapshot at the detection cycle.
+        diag: Box<RunDiagnostics>,
+    },
     /// An injected fault was caught: the underlying failure is wrapped so
     /// campaign drivers can separate detection from the detection mechanism.
     FaultDetected {
@@ -215,6 +237,8 @@ impl SimError {
             SimError::GoldenDivergence { .. } => "golden_divergence",
             SimError::GoldenRunStuck { .. } => "golden_stuck",
             SimError::Deadline { .. } => "deadline",
+            SimError::Uncorrectable { .. } => "uncorrectable",
+            SimError::StructuralHazard { .. } => "structural_hazard",
             SimError::FaultDetected { .. } => "fault_detected",
         }
     }
@@ -242,6 +266,8 @@ impl SimError {
             | SimError::GoldenDivergence { diag, .. }
             | SimError::GoldenRunStuck { diag, .. }
             | SimError::Deadline { diag, .. }
+            | SimError::Uncorrectable { diag, .. }
+            | SimError::StructuralHazard { diag, .. }
             | SimError::FaultDetected { diag, .. } => diag,
         }
     }
@@ -318,6 +344,21 @@ impl std::fmt::Display for SimError {
                     )
                 }
             }
+            SimError::Uncorrectable { site, detail, diag } => write!(
+                f,
+                "{}: uncorrectable error at {} ({}) [{}]",
+                diag.workload,
+                site,
+                detail,
+                diag.summary()
+            ),
+            SimError::StructuralHazard { detail, diag } => write!(
+                f,
+                "{}: structural hazard — {} [{}]",
+                diag.workload,
+                detail,
+                diag.summary()
+            ),
             SimError::FaultDetected {
                 faults,
                 cause,

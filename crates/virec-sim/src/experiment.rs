@@ -829,6 +829,12 @@ impl Executor {
                             path.display()
                         );
                     }
+                    journal::JournalLoad::CorruptHeader => {
+                        eprintln!(
+                            "journal {}: corrupt or truncated header; starting fresh",
+                            path.display()
+                        );
+                    }
                     journal::JournalLoad::Missing => {}
                 }
             }

@@ -12,9 +12,11 @@
 //! golden check is the detector, and the acceptance bar is that **no
 //! effectful fault survives silently**.
 
+use crate::ecc::ProtectionConfig;
 use crate::error::SimError;
-use crate::runner::{try_run_single, RunOptions, RunResult};
+use crate::runner::{default_checkpoint_interval, try_run_single, RunOptions, RunResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
 use virec_core::policy::XorShift;
 use virec_core::{CoreConfig, EngineFault};
 use virec_workloads::Workload;
@@ -57,10 +59,68 @@ impl FaultSite {
         FaultSite::DramLine,
         FaultSite::FabricResponse,
     ];
+
+    /// Word-organized sites covered by SEC-DED under the full coverage map
+    /// ([`crate::ecc::ProtectionConfig::secded`]) — the sites a double-bit
+    /// burst campaign targets to exercise the detection limit.
+    pub const SECDED_WORDS: [FaultSite; 3] = [
+        FaultSite::BackingReg,
+        FaultSite::DramLine,
+        FaultSite::FabricResponse,
+    ];
+
+    /// Stable kebab-case name (the `--sites` / journal spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::TagValue => "tag-value",
+            FaultSite::RollbackSlot => "rollback-slot",
+            FaultSite::StuckFill => "stuck-fill",
+            FaultSite::BackingReg => "backing-reg",
+            FaultSite::DramLine => "dram-line",
+            FaultSite::FabricResponse => "fabric-response",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultSite {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FaultSite, String> {
+        FaultSite::ALL
+            .into_iter()
+            .find(|site| site.name() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+                format!(
+                    "unknown fault site '{s}' (expected one of: {})",
+                    known.join(", ")
+                )
+            })
+    }
+}
+
+/// Parses a comma-separated `--sites` filter (`tag-value,dram-line`) into a
+/// site list. Rejects empty lists and unknown names.
+pub fn parse_sites(s: &str) -> Result<Vec<FaultSite>, String> {
+    let sites: Vec<FaultSite> = s
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(str::trim)
+        .map(FaultSite::from_str)
+        .collect::<Result<_, _>>()?;
+    if sites.is_empty() {
+        return Err("empty site list".into());
+    }
+    Ok(sites)
 }
 
 /// One scheduled corruption.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultEvent {
     /// Cycle at which the fault is applied (after the core's tick).
     pub cycle: u64,
@@ -109,6 +169,44 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// A double-bit burst: `count` upsets drawn from `sites`, each flipping
+    /// **two distinct bits of the same word in the same cycle** — the
+    /// multi-bit upset pattern that defeats single-error correction and
+    /// exercises the SEC-DED detection limit. Fully determined by `seed`.
+    pub fn seeded_burst(
+        seed: u64,
+        count: usize,
+        window: (u64, u64),
+        sites: &[FaultSite],
+    ) -> FaultPlan {
+        assert!(!sites.is_empty(), "fault plan needs at least one site");
+        let mut rng = XorShift::new(seed);
+        let span = window.1.saturating_sub(window.0).max(1);
+        let mut events = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            let cycle = window.0 + rng.next_u64() % span;
+            let site = sites[(rng.next_u64() % sites.len() as u64) as usize];
+            let index = rng.next_u64();
+            let bit = (rng.next_u64() % 64) as u8;
+            // Second flip in the same word, guaranteed distinct so the two
+            // cannot XOR-cancel into a no-op.
+            let bit2 = ((bit as u64 + 1 + rng.next_u64() % 63) % 64) as u8;
+            events.push(FaultEvent {
+                cycle,
+                site,
+                index,
+                bit,
+            });
+            events.push(FaultEvent {
+                cycle,
+                site,
+                index,
+                bit: bit2,
+            });
+        }
+        FaultPlan { events }
+    }
+
     /// True if the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -129,6 +227,19 @@ pub enum InjectionOutcome {
     /// The corrupted run panicked on an internal consistency assert —
     /// also a successful detection, via a different tripwire.
     Crashed,
+    /// The protection model corrected the flip in place (single-bit under
+    /// SEC-DED): the run finished clean with a nonzero scrub counter and
+    /// the clean run's digest. The strongest outcome — no time was lost.
+    Corrected,
+    /// The protection model detected an uncorrectable flip and the runner
+    /// restored an architectural checkpoint mid-run, replaying only the
+    /// window since the snapshot. The run finished with the clean digest.
+    CheckpointRecovered,
+    /// The protection model detected an uncorrectable flip with no
+    /// checkpoint available; the campaign-level full re-execution
+    /// reproduced the clean digest. Detection via check bits, recovery by
+    /// re-running from scratch.
+    DetectedUncorrectable,
     /// The fault was applied but changed nothing observable: the corrupted
     /// state was dead (never read again). Verification passed and the
     /// architectural digest matches the clean run. Benign by construction.
@@ -152,6 +263,9 @@ pub struct InjectionRecord {
     pub outcome: InjectionOutcome,
     /// Error kind for detected runs (`cycle_budget`, `golden_divergence`…).
     pub error_kind: Option<String>,
+    /// Cycles replayed from the restored checkpoint (present only for
+    /// [`InjectionOutcome::CheckpointRecovered`]).
+    pub replay_cycles: Option<u64>,
 }
 
 /// Aggregate result of [`run_campaign`].
@@ -174,12 +288,16 @@ impl CampaignReport {
     /// Detection rate over *effectful* faults: caught / (applied − masked).
     /// Masked faults hit dead state and are undetectable by any
     /// architectural checker; they are excluded, as in hardware FIT
-    /// accounting. Recovered injections were detected first, so they
+    /// accounting. Corrected, checkpoint-recovered, ECC-detected, and
+    /// re-execution-recovered injections were all caught first, so they
     /// count as caught.
     pub fn detection_rate(&self) -> f64 {
         let caught = self.count(InjectionOutcome::Detected)
             + self.count(InjectionOutcome::Recovered)
-            + self.count(InjectionOutcome::Crashed);
+            + self.count(InjectionOutcome::Crashed)
+            + self.count(InjectionOutcome::Corrected)
+            + self.count(InjectionOutcome::CheckpointRecovered)
+            + self.count(InjectionOutcome::DetectedUncorrectable);
         let effectful = caught + self.count(InjectionOutcome::Silent);
         if effectful == 0 {
             1.0
@@ -188,17 +306,38 @@ impl CampaignReport {
         }
     }
 
-    /// Recovery rate over checker-detected injections: how many of them a
-    /// single fault-free re-execution repaired (crashes detect via a
-    /// different tripwire and are not re-executed). 1.0 when nothing was
-    /// detected.
+    /// Recovery rate over detected injections: how many ended with the
+    /// clean run's architectural state — corrected in place, restored from
+    /// a checkpoint, or repaired by a fault-free re-execution (crashes
+    /// detect via a different tripwire and are not re-executed). 1.0 when
+    /// nothing was detected.
     pub fn recovery_rate(&self) -> f64 {
-        let detected =
-            self.count(InjectionOutcome::Detected) + self.count(InjectionOutcome::Recovered);
+        let repaired = self.count(InjectionOutcome::Recovered)
+            + self.count(InjectionOutcome::Corrected)
+            + self.count(InjectionOutcome::CheckpointRecovered)
+            + self.count(InjectionOutcome::DetectedUncorrectable);
+        let detected = repaired + self.count(InjectionOutcome::Detected);
         if detected == 0 {
             1.0
         } else {
-            self.count(InjectionOutcome::Recovered) as f64 / detected as f64
+            repaired as f64 / detected as f64
+        }
+    }
+
+    /// Mean cycles replayed per checkpoint recovery, or `None` when no
+    /// injection took the checkpoint path. Compare against
+    /// [`CampaignReport::clean_cycles`] — the cost of the full
+    /// re-execution that recovery used to require.
+    pub fn mean_replay_cycles(&self) -> Option<f64> {
+        let replays: Vec<u64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.replay_cycles)
+            .collect();
+        if replays.is_empty() {
+            None
+        } else {
+            Some(replays.iter().sum::<u64>() as f64 / replays.len() as f64)
         }
     }
 
@@ -215,11 +354,15 @@ impl CampaignReport {
 
     /// One summary line for logs and the campaign driver.
     pub fn summary(&self) -> String {
-        format!(
-            "{}: {} injections — {} recovered, {} detected-only, {} crashed, {} masked, \
+        let mut s = format!(
+            "{}: {} injections — {} corrected, {} ckpt-recovered, {} detected-uncorrectable, \
+             {} recovered, {} detected-only, {} crashed, {} masked, \
              {} not applied, {} SILENT (detection rate {:.1}%, recovery rate {:.1}%)",
             self.engine,
             self.records.len(),
+            self.count(InjectionOutcome::Corrected),
+            self.count(InjectionOutcome::CheckpointRecovered),
+            self.count(InjectionOutcome::DetectedUncorrectable),
             self.count(InjectionOutcome::Recovered),
             self.count(InjectionOutcome::Detected),
             self.count(InjectionOutcome::Crashed),
@@ -228,13 +371,58 @@ impl CampaignReport {
             self.count(InjectionOutcome::Silent),
             self.detection_rate() * 100.0,
             self.recovery_rate() * 100.0
-        )
+        );
+        if let Some(mean) = self.mean_replay_cycles() {
+            s.push_str(&format!(
+                " [mean replay {:.0} cycles vs {} full re-execution]",
+                mean, self.clean_cycles
+            ));
+        }
+        s
+    }
+}
+
+/// Knobs for [`run_campaign_with`]: the protection coverage map, the
+/// checkpoint spacing, and the single- vs. double-bit injection mode.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignOptions {
+    /// Per-site protection levels routed in front of every injection.
+    pub protection: ProtectionConfig,
+    /// Double-bit burst mode: every injection flips two distinct bits of
+    /// the same word in the same cycle, defeating single-error correction.
+    pub multi_fault: bool,
+    /// Architectural-checkpoint spacing in cycles (0 disables mid-run
+    /// recovery; detected-uncorrectable faults then fall back to full
+    /// re-execution).
+    pub checkpoint_interval: u64,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions {
+            protection: ProtectionConfig::none(),
+            multi_fault: false,
+            checkpoint_interval: 0,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The full protect–detect–correct–recover stack: the SEC-DED coverage
+    /// map plus checkpointing at the default spacing.
+    pub fn protected() -> CampaignOptions {
+        CampaignOptions {
+            protection: ProtectionConfig::secded(),
+            multi_fault: false,
+            checkpoint_interval: default_checkpoint_interval(),
+        }
     }
 }
 
 /// Runs a clean reference, then `injections` seeded single-fault runs of
 /// `cfg` on `workload`, classifying each against the golden checker and the
-/// clean run's architectural digest.
+/// clean run's architectural digest. Equivalent to [`run_campaign_with`]
+/// under [`CampaignOptions::default`] — no protection, no checkpoints.
 ///
 /// # Panics
 /// Panics if the clean (fault-free) run itself fails — the configuration
@@ -245,6 +433,33 @@ pub fn run_campaign(
     injections: usize,
     base_seed: u64,
     sites: &[FaultSite],
+) -> CampaignReport {
+    run_campaign_with(
+        cfg,
+        workload,
+        injections,
+        base_seed,
+        sites,
+        &CampaignOptions::default(),
+    )
+}
+
+/// [`run_campaign`] with an explicit protection/checkpoint/burst
+/// configuration. Each injection is routed through the coverage map first;
+/// outcomes extend the detector-only classification with [`InjectionOutcome::Corrected`],
+/// [`InjectionOutcome::CheckpointRecovered`], and
+/// [`InjectionOutcome::DetectedUncorrectable`].
+///
+/// # Panics
+/// Panics if the clean (fault-free) run itself fails — the configuration
+/// must be healthy before it is attacked.
+pub fn run_campaign_with(
+    cfg: CoreConfig,
+    workload: &Workload,
+    injections: usize,
+    base_seed: u64,
+    sites: &[FaultSite],
+    campaign: &CampaignOptions,
 ) -> CampaignReport {
     let clean_opts = RunOptions::default();
     let clean: RunResult = try_run_single(cfg, workload, &clean_opts)
@@ -270,9 +485,16 @@ pub fn run_campaign(
     let mut records = Vec::with_capacity(injections);
     for i in 0..injections {
         let seed = base_seed.wrapping_add(i as u64).max(1);
+        let faults = if campaign.multi_fault {
+            FaultPlan::seeded_burst(seed, 1, window, sites)
+        } else {
+            FaultPlan::seeded(seed, 1, window, sites)
+        };
         let opts = RunOptions {
-            faults: FaultPlan::seeded(seed, 1, window, sites),
+            faults,
             livelock_cycles,
+            protection: campaign.protection,
+            checkpoint_interval: campaign.checkpoint_interval,
             ..RunOptions::default()
         };
         let run = catch_unwind(AssertUnwindSafe(|| {
@@ -284,6 +506,7 @@ pub fn run_campaign(
                 faults: vec!["(panicked before reporting)".into()],
                 outcome: InjectionOutcome::Crashed,
                 error_kind: None,
+                replay_cycles: None,
             },
             Ok(Err(SimError::FaultDetected {
                 faults,
@@ -303,15 +526,20 @@ pub fn run_campaign(
                 }))
                 .map(|r| matches!(r, Ok(rerun) if rerun.arch_digest == clean.arch_digest))
                 .unwrap_or(false);
+                // An ECC-detected uncorrectable (no checkpoint was
+                // available) is its own recovered class: the check bits,
+                // not the differential checker, were the tripwire.
+                let ecc_detected = cause.kind() == "uncorrectable";
                 InjectionRecord {
                     seed,
                     faults,
-                    outcome: if recovered {
-                        InjectionOutcome::Recovered
-                    } else {
-                        InjectionOutcome::Detected
+                    outcome: match (recovered, ecc_detected) {
+                        (true, true) => InjectionOutcome::DetectedUncorrectable,
+                        (true, false) => InjectionOutcome::Recovered,
+                        (false, _) => InjectionOutcome::Detected,
                     },
                     error_kind: Some(cause.kind().to_string()),
+                    replay_cycles: None,
                 }
             }
             Ok(Err(other)) => InjectionRecord {
@@ -321,20 +549,30 @@ pub fn run_campaign(
                 faults: Vec::new(),
                 outcome: InjectionOutcome::Crashed,
                 error_kind: Some(other.kind().to_string()),
+                replay_cycles: None,
             },
             Ok(Ok(result)) => {
-                let outcome = if result.faults_applied.is_empty() {
-                    InjectionOutcome::NotApplied
-                } else if result.arch_digest == clean.arch_digest {
-                    InjectionOutcome::Masked
+                let clean_digest = result.arch_digest == clean.arch_digest;
+                let (outcome, replay) = if result.ecc.restores > 0 && clean_digest {
+                    (
+                        InjectionOutcome::CheckpointRecovered,
+                        Some(result.ecc.replay_cycles),
+                    )
+                } else if result.ecc.corrected > 0 && clean_digest {
+                    (InjectionOutcome::Corrected, None)
+                } else if result.faults_applied.is_empty() {
+                    (InjectionOutcome::NotApplied, None)
+                } else if clean_digest {
+                    (InjectionOutcome::Masked, None)
                 } else {
-                    InjectionOutcome::Silent
+                    (InjectionOutcome::Silent, None)
                 };
                 InjectionRecord {
                     seed,
                     faults: result.faults_applied,
                     outcome,
                     error_kind: None,
+                    replay_cycles: replay,
                 }
             }
         };
@@ -401,12 +639,50 @@ mod tests {
     }
 
     #[test]
+    fn site_names_round_trip() {
+        for site in FaultSite::ALL {
+            let name = site.to_string();
+            assert_eq!(
+                name.parse::<FaultSite>().unwrap(),
+                site,
+                "round trip through '{name}'"
+            );
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "'{name}' is not stable kebab-case"
+            );
+        }
+        assert!("tag_value".parse::<FaultSite>().is_err());
+        assert_eq!(
+            parse_sites("tag-value,dram-line").unwrap(),
+            vec![FaultSite::TagValue, FaultSite::DramLine]
+        );
+        assert!(parse_sites("").is_err());
+        assert!(parse_sites("tag-value,bogus").is_err());
+    }
+
+    #[test]
+    fn burst_plans_pair_distinct_bits_in_one_word() {
+        let p = FaultPlan::seeded_burst(99, 16, (100, 1000), &FaultSite::SECDED_WORDS);
+        assert_eq!(p.events.len(), 32);
+        for pair in p.events.chunks(2) {
+            assert_eq!(pair[0].cycle, pair[1].cycle, "same cycle");
+            assert_eq!(pair[0].site, pair[1].site, "same site");
+            assert_eq!(pair[0].index, pair[1].index, "same word");
+            assert_ne!(pair[0].bit, pair[1].bit, "distinct bits");
+        }
+        let q = FaultPlan::seeded_burst(99, 16, (100, 1000), &FaultSite::SECDED_WORDS);
+        assert_eq!(p.events, q.events, "seed determines the burst");
+    }
+
+    #[test]
     fn report_math() {
         let rec = |outcome| InjectionRecord {
             seed: 1,
             faults: vec![],
             outcome,
             error_kind: None,
+            replay_cycles: None,
         };
         let report = CampaignReport {
             engine: "virec".into(),
@@ -435,5 +711,25 @@ mod tests {
         assert!(!bad.all_detected());
         assert!(bad.detection_rate() < 1.0);
         assert!(bad.summary().contains("1 SILENT"));
+
+        let mut protected = report.clone();
+        protected.records.push(rec(InjectionOutcome::Corrected));
+        protected
+            .records
+            .push(rec(InjectionOutcome::DetectedUncorrectable));
+        protected.records.push(InjectionRecord {
+            seed: 9,
+            faults: vec![],
+            outcome: InjectionOutcome::CheckpointRecovered,
+            error_kind: None,
+            replay_cycles: Some(400),
+        });
+        assert!(protected.all_detected());
+        assert!(protected.all_recovered());
+        assert_eq!(protected.detection_rate(), 1.0);
+        assert_eq!(protected.recovery_rate(), 1.0);
+        assert_eq!(protected.mean_replay_cycles(), Some(400.0));
+        assert!(protected.summary().contains("1 ckpt-recovered"));
+        assert!(protected.summary().contains("mean replay 400 cycles"));
     }
 }

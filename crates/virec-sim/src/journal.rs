@@ -34,6 +34,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use crate::ecc::EccStats;
 use crate::experiment::{json_string, CellData, CellOutcome};
 use crate::runner::RunResult;
 use crate::system::SystemResult;
@@ -128,6 +129,11 @@ pub enum JournalLoad {
     /// A journal exists but belongs to a different spec (name or cell set
     /// changed); it must not be applied.
     Mismatch,
+    /// The file exists but its header line is corrupt or truncated (e.g.
+    /// the process died mid-create, or the file was damaged on disk), so
+    /// nothing about it can be trusted. Resume falls back to a fresh start
+    /// with a warning rather than failing the sweep.
+    CorruptHeader,
     /// Replayed records, in file order, plus the count of corrupt or
     /// truncated lines that were skipped.
     Loaded {
@@ -146,11 +152,16 @@ pub fn load(path: &Path, name: &str, fingerprint: u64) -> JournalLoad {
         Err(_) => return JournalLoad::Missing,
     };
     let mut lines = text.lines();
+    // An unparseable first line (or one missing the journal marker) is a
+    // damaged file, not a spec conflict: distinguish it so resume can warn
+    // accurately and start fresh instead of treating it as a mismatch.
     let Some(header) = lines.next().and_then(parse_json) else {
-        return JournalLoad::Mismatch;
+        return JournalLoad::CorruptHeader;
     };
-    let head_ok = header.get("journal").and_then(Json::str) == Some("virec")
-        && header.get("experiment").and_then(Json::str) == Some(name)
+    if header.get("journal").and_then(Json::str) != Some("virec") {
+        return JournalLoad::CorruptHeader;
+    }
+    let head_ok = header.get("experiment").and_then(Json::str) == Some(name)
         && header.get("fingerprint").and_then(Json::u64) == Some(fingerprint);
     if !head_ok {
         return JournalLoad::Mismatch;
@@ -219,6 +230,24 @@ fn enc_data(out: &mut String, data: &CellData) {
             }
             out.push_str("],\"stats\":");
             enc_core_stats(out, &r.stats);
+            // Protection counters ride along only when something ticked —
+            // unprotected runs keep the exact pre-ECC record shape, so
+            // journals written by older builds and newer ones interleave.
+            if !r.ecc.is_empty() {
+                let e = &r.ecc;
+                out.push_str(&format!(
+                    ",\"ecc\":{{\"corrected\":{},\"detected_uncorrectable\":{},\
+                     \"unprotected\":{},\"parity_escapes\":{},\"checkpoints_taken\":{},\
+                     \"restores\":{},\"replay_cycles\":{}}}",
+                    e.corrected,
+                    e.detected_uncorrectable,
+                    e.unprotected,
+                    e.parity_escapes,
+                    e.checkpoints_taken,
+                    e.restores,
+                    e.replay_cycles
+                ));
+            }
             out.push('}');
         }
         CellData::System(s) => {
@@ -362,6 +391,8 @@ fn static_kind(s: &str) -> &'static str {
         "golden_divergence" => "golden_divergence",
         "golden_stuck" => "golden_stuck",
         "fault_detected" => "fault_detected",
+        "uncorrectable" => "uncorrectable",
+        "structural_hazard" => "structural_hazard",
         "deadline" => "deadline",
         "panic" => "panic",
         _ => "unknown",
@@ -383,6 +414,20 @@ fn dec_data(v: &Json) -> Option<CellData> {
                 .map(|f| f.str().map(str::to_string))
                 .collect::<Option<Vec<_>>>()?,
             arch_digest: v.get("arch_digest")?.u64()?,
+            // Absent in records written before the protection model (and in
+            // all unprotected runs): every counter is zero.
+            ecc: match v.get("ecc") {
+                Some(e) => EccStats {
+                    corrected: e.get("corrected")?.u64()?,
+                    detected_uncorrectable: e.get("detected_uncorrectable")?.u64()?,
+                    unprotected: e.get("unprotected")?.u64()?,
+                    parity_escapes: e.get("parity_escapes")?.u64()?,
+                    checkpoints_taken: e.get("checkpoints_taken")?.u64()?,
+                    restores: e.get("restores")?.u64()?,
+                    replay_cycles: e.get("replay_cycles")?.u64()?,
+                },
+                None => EccStats::default(),
+            },
         }))),
         "system" => Some(CellData::System(Box::new(SystemResult {
             cycles: v.get("cycles")?.u64()?,
@@ -723,6 +768,15 @@ mod tests {
             oracle: OracleSchedule::default(),
             faults_applied: vec!["cycle 9: dram word 0x40 bit 3".into()],
             arch_digest: u64::MAX - 1,
+            ecc: EccStats {
+                corrected: 2,
+                detected_uncorrectable: 1,
+                unprotected: 3,
+                parity_escapes: 0,
+                checkpoints_taken: 5,
+                restores: 1,
+                replay_cycles: 400,
+            },
         }
     }
 
@@ -748,6 +802,7 @@ mod tests {
                 assert_eq!(r.stats.dcache.hits, 100);
                 assert_eq!(r.stats.icache.reg_misses, 9);
                 assert_eq!(r.faults_applied, orig.faults_applied);
+                assert_eq!(r.ecc, orig.ecc, "protection counters must round-trip");
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -917,6 +972,22 @@ mod tests {
             load(&dir.join("absent.journal.jsonl"), "unit", fp),
             JournalLoad::Missing
         ));
+
+        // A damaged header is not a spec conflict: it signals CorruptHeader
+        // so resume warns accurately and starts fresh.
+        for broken in [
+            "",                                   // empty file
+            "{\"journal\":\"vi",                  // truncated mid-create
+            "not json at all",                    // garbage
+            "{\"experiment\":\"unit\"}",          // parses, but no marker
+            "{\"journal\":\"other-tool\"}\n{}\n", // foreign file
+        ] {
+            std::fs::write(&path, broken).unwrap();
+            assert!(
+                matches!(load(&path, "unit", fp), JournalLoad::CorruptHeader),
+                "header {broken:?} must classify as CorruptHeader"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,12 +23,16 @@
 //!   from slow runs.
 //! * [`fault`] — deterministic seeded fault injection and campaign
 //!   classification against the golden checker.
+//! * [`ecc`] — the SEC-DED/parity protection model: a (72,64) extended
+//!   Hamming codec plus the per-site coverage map injected faults are
+//!   routed through before they corrupt anything.
 //! * [`cancel`] — cooperative cancellation tokens, per-cell wall-clock
 //!   deadline gates, and the process-wide SIGINT/SIGTERM drain/abort pair.
 //! * [`journal`] — the append-only, fsync'd cell journal behind
 //!   crash-safe `--resume` sweeps.
 
 pub mod cancel;
+pub mod ecc;
 pub mod error;
 pub mod experiment;
 pub mod fault;
@@ -40,14 +44,15 @@ pub mod system;
 pub mod watchdog;
 
 pub use cancel::{interrupt_tokens, CancelToken, GateTrip, RunGate};
+pub use ecc::{EccStats, ProtectionConfig, ProtectionLevel};
 pub use error::{DivergenceSite, RunDiagnostics, SimError};
 pub use experiment::{
     builder, CellCtx, CellData, CellOutcome, CellResult, CellSpec, Executor, ExperimentResult,
     ExperimentSpec, Job, RetryPolicy, WorkloadBuilder,
 };
 pub use fault::{
-    run_campaign, CampaignReport, FaultEvent, FaultPlan, FaultSite, InjectionOutcome,
-    InjectionRecord,
+    parse_sites, run_campaign, run_campaign_with, CampaignOptions, CampaignReport, FaultEvent,
+    FaultPlan, FaultSite, InjectionOutcome, InjectionRecord,
 };
 pub use journal::JournalConfig;
 pub use runner::{

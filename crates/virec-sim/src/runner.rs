@@ -7,14 +7,28 @@
 //! the thin panicking wrapper the examples and figure binaries use.
 
 use crate::cancel::{GateTrip, RunGate};
+use crate::ecc::{
+    secded_decode, secded_encode, EccStats, ProtectionConfig, ProtectionLevel, SecDedOutcome,
+};
 use crate::error::{DivergenceSite, RunDiagnostics, SimError};
 use crate::fault::{engine_fault_of, FaultEvent, FaultPlan, FaultSite};
 use crate::offload::offload;
 use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
+use std::collections::VecDeque;
+use virec_core::engines::ROLLBACK_DEPTH;
 use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule, QuantumTrace};
 use virec_isa::{ExecOutcome, FlatMem, Interpreter, Reg, ThreadCtx};
 use virec_mem::{Fabric, FabricConfig};
 use virec_workloads::{layout, Workload};
+
+/// Default architectural-checkpoint spacing: the rollback depth (the
+/// backend's in-flight window, §5.1) times a nominal 256-cycle scheduling
+/// quantum — deep enough that checkpointing stays off the critical path,
+/// shallow enough that replay after a detected-uncorrectable fault is a
+/// small fraction of a run.
+pub fn default_checkpoint_interval() -> u64 {
+    ROLLBACK_DEPTH as u64 * 256
+}
 
 /// Options for a single-core run.
 #[derive(Clone, Debug)]
@@ -33,6 +47,17 @@ pub struct RunOptions {
     pub livelock_cycles: u64,
     /// Scheduled fault injections (empty for ordinary runs).
     pub faults: FaultPlan,
+    /// Per-site protection levels the fault events are routed through
+    /// before they corrupt anything (default: everything unprotected, the
+    /// pre-ECC behavior).
+    pub protection: ProtectionConfig,
+    /// Architectural-checkpoint spacing in cycles; 0 disables
+    /// checkpointing (the default — ordinary runs pay nothing). See
+    /// [`default_checkpoint_interval`] for the campaign default.
+    pub checkpoint_interval: u64,
+    /// Depth of the in-memory checkpoint ring (ignored when
+    /// checkpointing is disabled).
+    pub checkpoint_depth: usize,
     /// Wall-clock deadline / cooperative-cancellation gate; the default
     /// never trips. The step loop polls it cheaply and degrades to a
     /// typed [`SimError::Deadline`] when it fires.
@@ -48,6 +73,9 @@ impl Default for RunOptions {
             oracle: OracleSchedule::default(),
             livelock_cycles: DEFAULT_LIVELOCK_CYCLES,
             faults: FaultPlan::empty(),
+            protection: ProtectionConfig::none(),
+            checkpoint_interval: 0,
+            checkpoint_depth: 4,
             gate: RunGate::unbounded(),
         }
     }
@@ -77,6 +105,9 @@ pub struct RunResult {
     /// plus the data segment) — used by fault campaigns to distinguish
     /// masked faults from silent corruptions.
     pub arch_digest: u64,
+    /// Protection-model and checkpoint/replay counters (all zero unless
+    /// the run carried a fault plan with protection or checkpointing on).
+    pub ecc: EccStats,
 }
 
 impl RunResult {
@@ -148,6 +179,10 @@ fn try_run_single_impl(
     let mut watchdog = Watchdog::new(opts.livelock_cycles);
     let mut pending: Vec<FaultEvent> = opts.faults.events.clone();
     let mut faults_applied: Vec<String> = Vec::new();
+    let mut ecc = EccStats::default();
+    let mut checkpoints: VecDeque<Checkpoint> = VecDeque::new();
+    let ckpt_interval = opts.checkpoint_interval;
+    let ckpt_depth = opts.checkpoint_depth.max(1);
     let wrap = |e: SimError, applied: &[String]| -> SimError {
         if applied.is_empty() {
             e
@@ -179,20 +214,114 @@ fn try_run_single_impl(
                 &faults_applied,
             ));
         }
+        if ckpt_interval > 0 && now.is_multiple_of(ckpt_interval) {
+            if checkpoints.len() == ckpt_depth {
+                checkpoints.pop_front();
+            }
+            checkpoints.push_back(Checkpoint {
+                cycle: now,
+                core: core.clone(),
+                fabric: fabric.clone(),
+                mem: mem.clone(),
+                pending: pending.clone(),
+                faults_applied: faults_applied.clone(),
+                ecc,
+            });
+            ecc.checkpoints_taken += 1;
+        }
         fabric.tick(now);
         core.tick(now, &mut fabric, &mut mem);
 
+        if let Some(detail) = core.structural_fault() {
+            let e = SimError::StructuralHazard {
+                detail: detail.to_string(),
+                diag: RunDiagnostics::capture(workload.name, &core, now),
+            };
+            return Err(wrap(e, &faults_applied));
+        }
+
         if !pending.is_empty() {
+            // Collect every event due this cycle, then group the ones that
+            // hit the same word of the same site — that is a multi-bit
+            // upset, and the protection model must see it whole (a
+            // double-bit flip is one DUE, not two correctable singles).
+            let mut due: Vec<FaultEvent> = Vec::new();
             let mut i = 0;
             while i < pending.len() {
                 if pending[i].cycle <= now {
-                    let event = pending.swap_remove(i);
-                    if let Some(desc) = apply_fault(&event, &mut core, &fabric, &mut mem, workload)
-                    {
-                        faults_applied.push(format!("cycle {now}: {desc}"));
-                    }
+                    due.push(pending.swap_remove(i));
                 } else {
                     i += 1;
+                }
+            }
+            let mut groups: Vec<Vec<FaultEvent>> = Vec::new();
+            for ev in due {
+                match groups
+                    .iter_mut()
+                    .find(|g| g[0].site == ev.site && g[0].index == ev.index)
+                {
+                    Some(g) => g.push(ev),
+                    None => groups.push(vec![ev]),
+                }
+            }
+            let mut suppress: Vec<FaultEvent> = Vec::new();
+            let mut detected_desc = String::new();
+            for group in &groups {
+                if let Protected::Uncorrectable(desc) = protect_apply_group(
+                    group,
+                    now,
+                    &opts.protection,
+                    &mut core,
+                    &fabric,
+                    &mut mem,
+                    workload,
+                    &mut ecc,
+                    &mut faults_applied,
+                ) {
+                    suppress.extend_from_slice(group);
+                    detected_desc = desc;
+                }
+            }
+            if !suppress.is_empty() {
+                match checkpoints.back() {
+                    Some(ck) => {
+                        // Mid-run recovery: rewind to the newest checkpoint
+                        // (snapshotted before this cycle's injection) and
+                        // replay with the detected fault suppressed.
+                        let detect_cycle = now;
+                        core = ck.core.clone();
+                        fabric = ck.fabric.clone();
+                        mem = ck.mem.clone();
+                        pending = ck.pending.clone();
+                        faults_applied = ck.faults_applied.clone();
+                        now = ck.cycle;
+                        pending.retain(|e| !suppress.contains(e));
+                        // Correction/escape counters rewind with the state
+                        // (re-fired events in the replay window re-count);
+                        // the cumulative recovery counters carry forward.
+                        let (taken, restores, replay) =
+                            (ecc.checkpoints_taken, ecc.restores, ecc.replay_cycles);
+                        ecc = ck.ecc;
+                        ecc.checkpoints_taken = taken;
+                        ecc.detected_uncorrectable += 1;
+                        ecc.restores = restores + 1;
+                        ecc.replay_cycles = replay + (detect_cycle - ck.cycle);
+                        faults_applied.push(format!(
+                            "{detected_desc}; restored checkpoint @ cycle {} (replaying {} cycles)",
+                            ck.cycle,
+                            detect_cycle - ck.cycle
+                        ));
+                        watchdog = Watchdog::new(opts.livelock_cycles);
+                        continue;
+                    }
+                    None => {
+                        let e = SimError::Uncorrectable {
+                            site: suppress[0].site.to_string(),
+                            detail: detected_desc,
+                            diag: RunDiagnostics::capture(workload.name, &core, now),
+                        };
+                        return Err(wrap(e, &faults_applied));
+                    }
                 }
             }
         }
@@ -234,9 +363,195 @@ fn try_run_single_impl(
             oracle,
             faults_applied,
             arch_digest,
+            ecc,
         },
         trace,
     ))
+}
+
+/// One entry of the in-memory checkpoint ring: a full deep copy of the
+/// machine (core, fabric, functional memory) plus the injection bookkeeping
+/// needed to replay deterministically from this cycle.
+struct Checkpoint {
+    cycle: u64,
+    core: Core,
+    fabric: Fabric,
+    mem: FlatMem,
+    pending: Vec<FaultEvent>,
+    faults_applied: Vec<String>,
+    ecc: EccStats,
+}
+
+/// What the protection model decided about one fault group.
+enum Protected {
+    /// Absorbed (corrected / not applicable) or applied (pass-through,
+    /// parity escape); the run continues.
+    Continue,
+    /// Detected but uncorrectable: the machine was *not* corrupted (the
+    /// detection is precise), and the runner must either restore a
+    /// checkpoint or fail with [`SimError::Uncorrectable`].
+    Uncorrectable(String),
+}
+
+/// Routes one fault group (same cycle, same site, same word) through the
+/// coverage map and applies whatever the modeled hardware lets through.
+#[allow(clippy::too_many_arguments)]
+fn protect_apply_group(
+    group: &[FaultEvent],
+    now: u64,
+    protection: &ProtectionConfig,
+    core: &mut Core,
+    fabric: &Fabric,
+    mem: &mut FlatMem,
+    workload: &Workload,
+    ecc: &mut EccStats,
+    applied: &mut Vec<String>,
+) -> Protected {
+    let site = group[0].site;
+    let level = protection.level(site);
+    if level == ProtectionLevel::None {
+        for ev in group {
+            if let Some(desc) = apply_fault(ev, core, fabric, mem, workload) {
+                if !protection.is_none() {
+                    ecc.unprotected += 1;
+                }
+                applied.push(format!("cycle {now}: {desc}"));
+            }
+        }
+        return Protected::Continue;
+    }
+    match site {
+        FaultSite::TagValue | FaultSite::RollbackSlot => {
+            // Probe applicability on a deep copy so detected or corrected
+            // flips never touch the real machine — the check bits caught
+            // them before any consumer read the entry.
+            let mut probe = core.clone();
+            let landed: Vec<String> = group
+                .iter()
+                .filter_map(engine_fault_of)
+                .filter_map(|f| probe.inject_fault(f))
+                .collect();
+            let n = landed.len();
+            if n == 0 {
+                return Protected::Continue; // structure empty: nothing to protect
+            }
+            match level {
+                ProtectionLevel::Parity if n % 2 == 1 => {
+                    ecc.detected_uncorrectable += 1;
+                    let desc = format!(
+                        "cycle {now}: parity detected {} ({})",
+                        site,
+                        landed.join("; ")
+                    );
+                    applied.push(desc.clone());
+                    Protected::Uncorrectable(desc)
+                }
+                ProtectionLevel::Parity => {
+                    // Even-weight flip: the parity bit is blind to it. The
+                    // corruption goes through for real and the differential
+                    // checker is the only remaining net.
+                    for f in group.iter().filter_map(engine_fault_of) {
+                        core.inject_fault(f);
+                    }
+                    ecc.parity_escapes += 1;
+                    applied.push(format!(
+                        "cycle {now}: parity escape {} ({})",
+                        site,
+                        landed.join("; ")
+                    ));
+                    Protected::Continue
+                }
+                ProtectionLevel::SecDed if n == 1 => {
+                    ecc.corrected += 1;
+                    applied.push(format!(
+                        "cycle {now}: secded corrected {} ({})",
+                        site, landed[0]
+                    ));
+                    Protected::Continue
+                }
+                ProtectionLevel::SecDed if n == 2 => {
+                    ecc.detected_uncorrectable += 1;
+                    let desc = format!(
+                        "cycle {now}: secded detected double-bit {} ({})",
+                        site,
+                        landed.join("; ")
+                    );
+                    applied.push(desc.clone());
+                    Protected::Uncorrectable(desc)
+                }
+                _ => {
+                    // ≥ 3 simultaneous flips: beyond the SEC-DED guarantee;
+                    // modeled as raw pass-through.
+                    for f in group.iter().filter_map(engine_fault_of) {
+                        core.inject_fault(f);
+                    }
+                    ecc.unprotected += n as u64;
+                    applied.push(format!("cycle {now}: {} flips passed {}", n, site));
+                    Protected::Continue
+                }
+            }
+        }
+        FaultSite::StuckFill => unreachable!("stuck-fill is never protected"),
+        FaultSite::BackingReg | FaultSite::DramLine | FaultSite::FabricResponse => {
+            let Some((addr, base)) = word_target(&group[0], core, fabric, mem, workload) else {
+                return Protected::Continue; // target out of range / no in-flight request
+            };
+            let mask: u64 = group.iter().fold(0, |m, ev| m ^ (1u64 << (ev.bit % 64)));
+            if mask == 0 {
+                return Protected::Continue; // flips cancelled each other
+            }
+            let word = mem.read_u64(addr);
+            match level {
+                ProtectionLevel::Parity if mask.count_ones() % 2 == 1 => {
+                    ecc.detected_uncorrectable += 1;
+                    let desc = format!("cycle {now}: parity detected {base} mask {mask:#x}");
+                    applied.push(desc.clone());
+                    Protected::Uncorrectable(desc)
+                }
+                ProtectionLevel::Parity => {
+                    mem.write_u64(addr, word ^ mask);
+                    ecc.parity_escapes += 1;
+                    applied.push(format!("cycle {now}: parity escape {base} mask {mask:#x}"));
+                    Protected::Continue
+                }
+                ProtectionLevel::SecDed if mask.count_ones() > 2 => {
+                    mem.write_u64(addr, word ^ mask);
+                    ecc.unprotected += group.len() as u64;
+                    applied.push(format!(
+                        "cycle {now}: {} flips passed {base} mask {mask:#x}",
+                        mask.count_ones()
+                    ));
+                    Protected::Continue
+                }
+                ProtectionLevel::SecDed => {
+                    // Run the real codec against the real word so the model
+                    // is grounded in the (72,64) code, not a flip count.
+                    let check = secded_encode(word);
+                    match secded_decode(word ^ mask, check) {
+                        SecDedOutcome::CorrectedData(orig) => {
+                            debug_assert_eq!(orig, word, "SEC-DED must restore the stored word");
+                            ecc.corrected += 1;
+                            applied.push(format!(
+                                "cycle {now}: secded corrected {base} bit {}",
+                                mask.trailing_zeros()
+                            ));
+                            Protected::Continue
+                        }
+                        SecDedOutcome::DoubleError => {
+                            ecc.detected_uncorrectable += 1;
+                            let desc = format!(
+                                "cycle {now}: secded detected double-bit {base} mask {mask:#x}"
+                            );
+                            applied.push(desc.clone());
+                            Protected::Uncorrectable(desc)
+                        }
+                        SecDedOutcome::Clean | SecDedOutcome::CorrectedCheck => Protected::Continue,
+                    }
+                }
+                ProtectionLevel::None => unreachable!("handled above"),
+            }
+        }
+    }
 }
 
 /// Runs `workload` on a single core with `nthreads` hardware threads.
@@ -260,9 +575,49 @@ pub fn run_single(cfg: CoreConfig, workload: &Workload, opts: &RunOptions) -> Ru
     try_run_single(cfg, workload, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Applies one fault event to the live machine. Returns a description when
-/// the fault landed, `None` when the targeted structure had nothing to
-/// corrupt (e.g. a VRMU site on a banked engine, or no in-flight request).
+/// Resolves a word-site fault event to the memory word it targets. Returns
+/// `(address, description)` or `None` when the target is out of range (or,
+/// for `FabricResponse`, when no request is in flight).
+fn word_target(
+    event: &FaultEvent,
+    core: &Core,
+    fabric: &Fabric,
+    mem: &FlatMem,
+    workload: &Workload,
+) -> Option<(u64, String)> {
+    let mem_end = mem.size() as u64;
+    match event.site {
+        FaultSite::BackingReg => {
+            let nthreads = core.config().nthreads as u64;
+            let t = (event.index % nthreads) as usize;
+            let r = Reg::new(((event.index / nthreads) % 31) as u8);
+            let addr = core.region().reg_addr(t, r);
+            (addr + 8 <= mem_end).then(|| (addr, format!("backing-store t{t} {r}")))
+        }
+        FaultSite::DramLine => {
+            let words = (workload.layout.data_size / 8).max(1);
+            let addr = workload.layout.data_base + (event.index % words) * 8;
+            (addr + 8 <= mem_end).then(|| (addr, format!("dram word {addr:#x}")))
+        }
+        FaultSite::FabricResponse => {
+            let addr = fabric.inflight_addr(event.index as usize)?;
+            let line = addr & !63;
+            let word = line + (event.bit as u64 % 8) * 8;
+            (word + 8 <= mem_end).then(|| {
+                (
+                    word,
+                    format!("fabric response line {line:#x} word {}", event.bit % 8),
+                )
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Applies one fault event to the live machine with no protection in the
+/// way. Returns a description when the fault landed, `None` when the
+/// targeted structure had nothing to corrupt (e.g. a VRMU site on a banked
+/// engine, or no in-flight request).
 fn apply_fault(
     event: &FaultEvent,
     core: &mut Core,
@@ -270,48 +625,15 @@ fn apply_fault(
     mem: &mut FlatMem,
     workload: &Workload,
 ) -> Option<String> {
-    let flip = |mem: &mut FlatMem, addr: u64, bit: u8| {
-        let v = mem.read_u64(addr);
-        mem.write_u64(addr, v ^ (1u64 << (bit % 64)));
-    };
-    let mem_end = mem.size() as u64;
     match event.site {
         FaultSite::TagValue | FaultSite::RollbackSlot | FaultSite::StuckFill => {
             core.inject_fault(engine_fault_of(event)?)
         }
-        FaultSite::BackingReg => {
-            let nthreads = core.config().nthreads as u64;
-            let t = (event.index % nthreads) as usize;
-            let r = Reg::new(((event.index / nthreads) % 31) as u8);
-            let addr = core.region().reg_addr(t, r);
-            if addr + 8 > mem_end {
-                return None;
-            }
-            flip(mem, addr, event.bit);
-            Some(format!("backing-store t{t} {r} bit {}", event.bit % 64))
-        }
-        FaultSite::DramLine => {
-            let words = (workload.layout.data_size / 8).max(1);
-            let addr = workload.layout.data_base + (event.index % words) * 8;
-            if addr + 8 > mem_end {
-                return None;
-            }
-            flip(mem, addr, event.bit);
-            Some(format!("dram word {addr:#x} bit {}", event.bit % 64))
-        }
-        FaultSite::FabricResponse => {
-            let addr = fabric.inflight_addr(event.index as usize)?;
-            let line = addr & !63;
-            let word = line + (event.bit as u64 % 8) * 8;
-            if word + 8 > mem_end {
-                return None;
-            }
-            flip(mem, word, event.bit);
-            Some(format!(
-                "fabric response line {line:#x} word {} bit {}",
-                event.bit % 8,
-                event.bit % 64
-            ))
+        FaultSite::BackingReg | FaultSite::DramLine | FaultSite::FabricResponse => {
+            let (addr, base) = word_target(event, core, fabric, mem, workload)?;
+            let v = mem.read_u64(addr);
+            mem.write_u64(addr, v ^ (1u64 << (event.bit % 64)));
+            Some(format!("{base} bit {}", event.bit % 64))
         }
     }
 }

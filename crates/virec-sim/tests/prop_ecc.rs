@@ -1,0 +1,103 @@
+//! Property tests for the (72,64) SEC-DED codec and the parity bit: over
+//! random 64-bit words, every single-bit flip must be corrected back to the
+//! original data, every double-bit flip must be detected and never
+//! miscorrected, and parity must flag every odd-weight error pattern.
+
+use proptest::prelude::*;
+use virec_sim::ecc::{parity_bit, secded_decode, secded_encode, SecDedOutcome, SECDED_CHECK_BITS};
+
+/// The data word reconstructed by the decoder, or `None` when the outcome
+/// carries no data correction (check-bit error or detected double error).
+fn corrected_data(outcome: SecDedOutcome, raw: u64) -> Option<u64> {
+    match outcome {
+        SecDedOutcome::Clean | SecDedOutcome::CorrectedCheck => Some(raw),
+        SecDedOutcome::CorrectedData(w) => Some(w),
+        SecDedOutcome::DoubleError => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn clean_words_decode_clean(data in any::<u64>()) {
+        let check = secded_encode(data);
+        prop_assert_eq!(secded_decode(data, check), SecDedOutcome::Clean);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected(data in any::<u64>()) {
+        let check = secded_encode(data);
+        // Flip each of the 64 data bits in turn.
+        for bit in 0..64 {
+            let outcome = secded_decode(data ^ (1u64 << bit), check);
+            prop_assert_eq!(
+                outcome,
+                SecDedOutcome::CorrectedData(data),
+                "data bit {} of {:#018x} must correct",
+                bit,
+                data
+            );
+        }
+        // Flip each of the 8 check bits in turn: the data is untouched and
+        // the decoder must say so rather than "repair" a healthy word.
+        for bit in 0..SECDED_CHECK_BITS {
+            let outcome = secded_decode(data, check ^ (1u8 << bit));
+            prop_assert_eq!(
+                outcome,
+                SecDedOutcome::CorrectedCheck,
+                "check bit {} of {:#018x} must correct",
+                bit,
+                data
+            );
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected_never_miscorrected(data in any::<u64>()) {
+        let check = secded_encode(data);
+        let total = 64 + SECDED_CHECK_BITS as usize; // 72 codeword bits
+        for a in 0..total {
+            for b in (a + 1)..total {
+                let mut d = data;
+                let mut c = check;
+                for bit in [a, b] {
+                    if bit < 64 {
+                        d ^= 1u64 << bit;
+                    } else {
+                        c ^= 1u8 << (bit - 64);
+                    }
+                }
+                let outcome = secded_decode(d, c);
+                prop_assert_eq!(
+                    outcome,
+                    SecDedOutcome::DoubleError,
+                    "flips ({}, {}) of {:#018x} must detect as a double error",
+                    a,
+                    b,
+                    data
+                );
+                // Detection alone is not enough: the decoder must never hand
+                // back a "corrected" word for an uncorrectable pattern.
+                prop_assert_eq!(corrected_data(outcome, d), None);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_detects_every_odd_weight_flip(data in any::<u64>(), pattern in any::<u64>()) {
+        let p = parity_bit(data);
+        let corrupted = data ^ pattern;
+        if pattern.count_ones() % 2 == 1 {
+            prop_assert_ne!(
+                parity_bit(corrupted), p,
+                "odd-weight pattern {:#018x} must flip the parity of {:#018x}",
+                pattern, data
+            );
+        } else {
+            // Even-weight patterns (including no flip) are the documented
+            // escape: parity cannot see them.
+            prop_assert_eq!(parity_bit(corrupted), p);
+        }
+    }
+}

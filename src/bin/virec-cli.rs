@@ -15,8 +15,12 @@ use virec::area::AreaModel;
 use virec::bench::harness::{self, EngineSel, SuiteSweep};
 use virec::core::{CoreConfig, EngineKind, PolicyKind};
 use virec::sim::experiment::{Executor, RetryPolicy};
+use virec::sim::runner::default_checkpoint_interval;
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
-use virec::sim::{interrupt_tokens, run_campaign, FaultSite, InjectionOutcome, JournalConfig};
+use virec::sim::{
+    interrupt_tokens, parse_sites, run_campaign_with, CampaignOptions, FaultSite, InjectionOutcome,
+    JournalConfig, ProtectionConfig,
+};
 use virec::verify::{broken_fixture, lint_everything, lint_program, LintConfig};
 use virec::workloads::{by_name, suite_names, Layout};
 
@@ -35,6 +39,8 @@ USAGE:
                        [--resume] [--deadline <ms>]
     virec-cli campaign [--workload <name>] [--n <elems>] [--engine virec|banked]
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
+                       [--protection none|parity|secded] [--multi-fault]
+                       [--sites <s1,s2,..>]
     virec-cli lint     [--n <elems>] [--broken-fixture]
     virec-cli area     [--threads <t>] [--regs <r>]
 
@@ -62,7 +68,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         // Boolean flags.
         if matches!(
             key,
-            "no-verify" | "switch-prefetch" | "resume" | "broken-fixture"
+            "no-verify" | "switch-prefetch" | "resume" | "broken-fixture" | "multi-fault"
         ) {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -335,7 +341,7 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
         )
         .unwrap_or(0);
     let engine = get("engine").unwrap_or("virec");
-    let (cfg, sites) = match engine {
+    let (cfg, engine_sites) = match engine {
         "virec" => (CoreConfig::virec(threads, regs), &FaultSite::ALL[..]),
         "banked" => (CoreConfig::banked(threads), &FaultSite::NON_VRMU[..]),
         other => {
@@ -343,13 +349,48 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // --sites narrows the injection surface; sites the chosen engine does
+    // not have (VRMU structures on banked) are rejected, not ignored.
+    let sites: Vec<FaultSite> = match get("sites") {
+        None => engine_sites.to_vec(),
+        Some(list) => match parse_sites(list) {
+            Ok(requested) => {
+                if let Some(bad) = requested.iter().find(|s| !engine_sites.contains(s)) {
+                    eprintln!("error: site {bad} does not exist on the {engine} engine");
+                    return ExitCode::from(2);
+                }
+                requested
+            }
+            Err(e) => {
+                eprintln!("error: --sites: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let protection: ProtectionConfig = match get("protection").unwrap_or("none").parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: --protection: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let campaign = CampaignOptions {
+        protection,
+        multi_fault: get("multi-fault").is_some(),
+        // Mid-run recovery only makes sense with a detector in front of it.
+        checkpoint_interval: if protection.is_none() {
+            0
+        } else {
+            default_checkpoint_interval()
+        },
+    };
 
     // Crashed outcomes unwind through a panic; keep the report as the
     // only output.
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_campaign(cfg, &workload, faults, seed, sites)
+        run_campaign_with(cfg, &workload, faults, seed, &sites, &campaign)
     }));
     std::panic::set_hook(prev);
     let Ok(report) = report else {

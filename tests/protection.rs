@@ -1,0 +1,128 @@
+//! End-to-end acceptance of the in-situ protection model: injection
+//! campaigns routed through the SEC-DED/parity coverage map must never let
+//! an effectful fault escape silently, single-bit upsets on protected word
+//! storage must be corrected in place, detected-uncorrectable upsets must
+//! recover from an architectural checkpoint at a fraction of the cost of
+//! full re-execution, and double-bit bursts must defeat correction without
+//! ever defeating detection.
+
+use virec::core::CoreConfig;
+use virec::sim::runner::default_checkpoint_interval;
+use virec::sim::{
+    run_campaign_with, CampaignOptions, CampaignReport, FaultSite, InjectionOutcome,
+    ProtectionConfig,
+};
+use virec::workloads::{kernels, Layout};
+
+const N: u64 = 512;
+const INJECTIONS: usize = 64;
+const SEED: u64 = 0xF00D_5EED;
+
+fn protected_campaign(cfg: CoreConfig, sites: &[FaultSite], multi_fault: bool) -> CampaignReport {
+    let workload = kernels::spatter::gather(N, Layout::for_core(0));
+    let campaign = CampaignOptions {
+        protection: ProtectionConfig::secded(),
+        multi_fault,
+        checkpoint_interval: default_checkpoint_interval(),
+    };
+    run_campaign_with(cfg, &workload, INJECTIONS, SEED, sites, &campaign)
+}
+
+/// The headline single-fault acceptance run: full SEC-DED coverage, no
+/// silent escapes, live corrections, and checkpoint recovery strictly
+/// cheaper than re-running the workload — on both register organizations.
+#[test]
+fn secded_campaign_corrects_and_recovers_cheaply() {
+    let configs: [(CoreConfig, &[FaultSite]); 2] = [
+        (CoreConfig::virec(4, 32), &FaultSite::ALL),
+        (CoreConfig::banked(4), &FaultSite::NON_VRMU),
+    ];
+    for (cfg, sites) in configs {
+        let report = protected_campaign(cfg, sites, false);
+        let engine = report.engine.clone();
+        assert_eq!(
+            report.count(InjectionOutcome::Silent),
+            0,
+            "{engine}: a protected campaign must have no silent escapes"
+        );
+        assert!(
+            report.count(InjectionOutcome::Corrected) > 0,
+            "{engine}: single-bit upsets on SEC-DED words must correct in place"
+        );
+        assert!(
+            report.count(InjectionOutcome::CheckpointRecovered) > 0,
+            "{engine}: detected-uncorrectable upsets must restore a checkpoint"
+        );
+        let replay = report
+            .mean_replay_cycles()
+            .expect("checkpoint recoveries must record their replay cost");
+        assert!(
+            replay < report.clean_cycles as f64,
+            "{engine}: mean replay {replay} cycles must beat full re-execution \
+             ({} cycles)",
+            report.clean_cycles
+        );
+    }
+}
+
+/// Double-bit bursts in one word defeat SEC-DED correction by design; the
+/// campaign must still detect every one — through the decoder, the
+/// checkpoint restore path, or the golden checker — with zero silent
+/// escapes and zero bogus "corrections".
+#[test]
+fn double_bit_bursts_never_escape_silently() {
+    let report = protected_campaign(CoreConfig::virec(4, 32), &FaultSite::SECDED_WORDS, true);
+    assert_eq!(report.count(InjectionOutcome::Silent), 0);
+    assert_eq!(
+        report.count(InjectionOutcome::Corrected),
+        0,
+        "a double-bit burst must never classify as corrected"
+    );
+    // Every burst that actually landed was either repaired mid-run from a
+    // checkpoint or flagged uncorrectable and re-executed.
+    for rec in &report.records {
+        assert!(
+            matches!(
+                rec.outcome,
+                InjectionOutcome::CheckpointRecovered
+                    | InjectionOutcome::DetectedUncorrectable
+                    | InjectionOutcome::NotApplied
+                    | InjectionOutcome::Masked
+            ),
+            "burst seed {} classified {:?}",
+            rec.seed,
+            rec.outcome
+        );
+    }
+    assert!(
+        report.count(InjectionOutcome::CheckpointRecovered)
+            + report.count(InjectionOutcome::DetectedUncorrectable)
+            > 0,
+        "the burst campaign must actually exercise the uncorrectable path"
+    );
+}
+
+/// Without checkpoints, a detected-uncorrectable word fault cannot be
+/// repaired mid-run: it must surface as `DetectedUncorrectable` (recovered
+/// by full re-execution) — never silently, never as a correction.
+#[test]
+fn uncorrectable_without_checkpoints_falls_back_to_reexecution() {
+    let workload = kernels::spatter::gather(N, Layout::for_core(0));
+    let campaign = CampaignOptions {
+        protection: ProtectionConfig::secded(),
+        multi_fault: true,
+        checkpoint_interval: 0,
+    };
+    let report = run_campaign_with(
+        CoreConfig::virec(4, 32),
+        &workload,
+        24,
+        SEED,
+        &FaultSite::SECDED_WORDS,
+        &campaign,
+    );
+    assert_eq!(report.count(InjectionOutcome::Silent), 0);
+    assert_eq!(report.count(InjectionOutcome::CheckpointRecovered), 0);
+    assert!(report.count(InjectionOutcome::DetectedUncorrectable) > 0);
+    assert!(report.all_detected() && report.all_recovered());
+}

@@ -225,6 +225,38 @@ fn mismatched_journal_is_refused_and_the_sweep_starts_fresh() {
 }
 
 #[test]
+fn corrupt_journal_header_falls_back_to_a_fresh_start() {
+    let dir = temp_dir("corrupt_header");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let baseline = Executor::new(1).run(&mixed_spec("resume_header", &runs));
+
+    // A crash during journal creation (or on-disk damage) can leave the
+    // header line truncated. The body may even hold well-formed records —
+    // but without a trusted header nothing can be attributed to this spec.
+    let jpath = journal_path(&dir, "resume_header");
+    std::fs::write(&jpath, "{\"journal\":\"vi").expect("write damaged journal");
+
+    // Resume must warn, discard the damaged file, run every cell fresh,
+    // and converge to the uninterrupted result — not error out.
+    let runs = Arc::new(AtomicUsize::new(0));
+    let cfg = JournalConfig {
+        dir: dir.clone(),
+        resume: true,
+    };
+    let res = Executor::new(1)
+        .run_journaled(&mixed_spec("resume_header", &runs), Some(&cfg))
+        .expect("a damaged header must not fail the sweep");
+    assert!(!res.interrupted);
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "every cell must execute fresh when the header is unreadable"
+    );
+    assert_eq!(baseline.to_json(), res.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn journal_from_a_different_problem_size_is_refused() {
     let dir = temp_dir("meta_mismatch");
 
