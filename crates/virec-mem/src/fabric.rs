@@ -110,6 +110,22 @@ pub struct FabricStats {
     pub queue_cycles: u64,
 }
 
+impl FabricStats {
+    /// Per-field difference `self - earlier` (saturating). With `earlier`
+    /// a snapshot of the same monotonically growing counters, this is the
+    /// traffic of the interval between the two observations.
+    pub fn delta_since(&self, earlier: &FabricStats) -> FabricStats {
+        FabricStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            row_hits: self.row_hits.saturating_sub(earlier.row_hits),
+            row_conflicts: self.row_conflicts.saturating_sub(earlier.row_conflicts),
+            row_empty: self.row_empty.saturating_sub(earlier.row_empty),
+            queue_cycles: self.queue_cycles.saturating_sub(earlier.queue_cycles),
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Pending {
     token: ReqToken,
@@ -140,6 +156,8 @@ pub struct Fabric {
     done: HashMap<ReqToken, u64>,
     next_token: ReqToken,
     stats: FabricStats,
+    /// Snapshot of `stats` at the last [`Fabric::epoch_stats`] call.
+    epoch_mark: FabricStats,
 }
 
 impl Fabric {
@@ -155,6 +173,7 @@ impl Fabric {
             done: HashMap::new(),
             next_token: 0,
             stats: FabricStats::default(),
+            epoch_mark: FabricStats::default(),
         }
     }
 
@@ -166,6 +185,16 @@ impl Fabric {
     /// Statistics so far.
     pub fn stats(&self) -> &FabricStats {
         &self.stats
+    }
+
+    /// Traffic since the previous `epoch_stats` call (or since construction
+    /// for the first call), advancing the epoch mark. Callers sampling the
+    /// fabric on a fixed cadence get per-interval counters without having
+    /// to snapshot and subtract themselves.
+    pub fn epoch_stats(&mut self) -> FabricStats {
+        let delta = self.stats.delta_since(&self.epoch_mark);
+        self.epoch_mark = self.stats;
+        delta
     }
 
     /// Best-case (unloaded, row-hit) read latency through the fabric.
@@ -418,6 +447,47 @@ mod tests {
         run_until_done(&mut f, t, 1000);
         assert_eq!(f.stats().writes, 1);
         assert_eq!(f.stats().reads, 0);
+    }
+
+    #[test]
+    fn epoch_stats_report_per_interval_traffic() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let t = f.submit(0, 0, 0, false);
+        run_until_done(&mut f, t, 1000);
+        let first = f.epoch_stats();
+        assert_eq!(first.reads, 1);
+        assert_eq!(first.writes, 0);
+
+        // Nothing happened since the mark: the next epoch is empty.
+        let idle = f.epoch_stats();
+        assert_eq!(idle.reads, 0);
+        assert_eq!(idle.writes, 0);
+
+        let t = f.submit(0, 0, 0x40, true);
+        run_until_done(&mut f, t, 1000);
+        let second = f.epoch_stats();
+        assert_eq!(second.writes, 1);
+        assert_eq!(second.reads, 0);
+        // Cumulative stats are untouched by epoch sampling.
+        assert_eq!(f.stats().reads, 1);
+        assert_eq!(f.stats().writes, 1);
+    }
+
+    #[test]
+    fn delta_since_saturates_per_field() {
+        let a = FabricStats {
+            reads: 5,
+            writes: 1,
+            ..FabricStats::default()
+        };
+        let b = FabricStats {
+            reads: 2,
+            writes: 3,
+            ..FabricStats::default()
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.reads, 3);
+        assert_eq!(d.writes, 0); // saturates instead of wrapping
     }
 
     #[test]

@@ -148,6 +148,16 @@ impl std::fmt::Display for DivergenceSite {
 /// Everything that can go wrong during a simulation run.
 #[derive(Clone, Debug)]
 pub enum SimError {
+    /// A system or service was asked to build with an invalid shape
+    /// (zero cores, mismatched per-core slices, an empty task mix) —
+    /// rejected before any core exists, so the diagnostics are a
+    /// placeholder.
+    Config {
+        /// What was wrong with the configuration.
+        detail: String,
+        /// Placeholder snapshot (no core was live yet).
+        diag: Box<RunDiagnostics>,
+    },
     /// The run consumed its whole cycle budget while still making progress.
     CycleBudgetExceeded {
         /// The configured budget (`CoreConfig::max_cycles`).
@@ -232,6 +242,7 @@ impl SimError {
     /// Stable machine-readable kind tag (one token, for CSV/log fields).
     pub fn kind(&self) -> &'static str {
         match self {
+            SimError::Config { .. } => "config",
             SimError::CycleBudgetExceeded { .. } => "cycle_budget",
             SimError::Livelock { .. } => "livelock",
             SimError::GoldenDivergence { .. } => "golden_divergence",
@@ -261,7 +272,8 @@ impl SimError {
     /// The diagnostic snapshot attached to this error.
     pub fn diagnostics(&self) -> &RunDiagnostics {
         match self {
-            SimError::CycleBudgetExceeded { diag, .. }
+            SimError::Config { diag, .. }
+            | SimError::CycleBudgetExceeded { diag, .. }
             | SimError::Livelock { diag, .. }
             | SimError::GoldenDivergence { diag, .. }
             | SimError::GoldenRunStuck { diag, .. }
@@ -284,6 +296,9 @@ impl SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SimError::Config { detail, diag } => {
+                write!(f, "{}: invalid configuration — {}", diag.workload, detail)
+            }
             SimError::CycleBudgetExceeded { budget, diag } => write!(
                 f,
                 "{}: exceeded {} cycles (engine {:?}, {} threads) [{}]",

@@ -30,6 +30,10 @@
 //!   deadline gates, and the process-wide SIGINT/SIGTERM drain/abort pair.
 //! * [`journal`] — the append-only, fsync'd cell journal behind
 //!   crash-safe `--resume` sweeps.
+//! * [`serve`] — the fault-tolerant streaming task service: a seeded
+//!   arrival process dispatched through a bounded admission queue onto the
+//!   multi-core offload path, with per-task deadlines, retry/backoff, core
+//!   quarantine with failover, and typed load shedding under overload.
 
 pub mod cancel;
 pub mod ecc;
@@ -40,6 +44,7 @@ pub mod journal;
 pub mod offload;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod system;
 pub mod watchdog;
 
@@ -56,8 +61,11 @@ pub use fault::{
 };
 pub use journal::JournalConfig;
 pub use runner::{
-    run_single, try_run_single, try_run_single_traced, try_verify_against_golden,
-    verify_against_golden, RunOptions, RunResult,
+    arch_digest, golden_arch_digest, run_single, try_run_single, try_run_single_traced,
+    try_verify_against_golden, verify_against_golden, RunOptions, RunResult,
 };
-pub use system::{System, SystemConfig, SystemResult};
+pub use serve::{
+    run_service, RejectReason, ServeConfig, ServeFaultPlan, ServeReport, TaskOutcome, TaskService,
+};
+pub use system::{System, SystemConfig, SystemConfigError, SystemResult};
 pub use watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};

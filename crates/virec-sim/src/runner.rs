@@ -638,28 +638,91 @@ fn apply_fault(
     }
 }
 
-/// FNV-1a digest of the final architectural state: every allocatable
-/// register of every thread, then the data segment bytes.
-fn arch_digest(core: &Core, mem: &FlatMem, workload: &Workload, nthreads: usize) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |byte: u8| {
-        h ^= byte as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    };
-    for t in 0..nthreads {
-        for r in Reg::allocatable() {
-            for b in core.arch_reg(t, r, mem).to_le_bytes() {
-                eat(b);
-            }
+/// Incremental FNV-1a over the architectural-state byte stream: thread
+/// registers in `(thread, allocatable reg)` order, then the data segment.
+/// Shared by the timing-side and golden-side digests so the two are
+/// directly comparable.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.eat(b);
         }
     }
-    let data_lo = workload.layout.data_base as usize;
-    let data_hi =
-        (workload.layout.data_base + workload.layout.data_size).min(mem.size() as u64) as usize;
-    for &b in &mem.bytes()[data_lo..data_hi] {
-        eat(b);
+
+    fn eat_data_segment(&mut self, mem: &FlatMem, workload: &Workload) {
+        let data_lo = workload.layout.data_base as usize;
+        let data_hi =
+            (workload.layout.data_base + workload.layout.data_size).min(mem.size() as u64) as usize;
+        for &b in &mem.bytes()[data_lo..data_hi] {
+            self.eat(b);
+        }
     }
-    h
+}
+
+/// FNV-1a digest of a finished core's architectural state: every
+/// allocatable register of every thread, then the data segment bytes.
+/// Used by fault campaigns to distinguish masked faults from silent
+/// corruptions, and by the serve layer's per-task cross-check.
+pub fn arch_digest(core: &Core, mem: &FlatMem, workload: &Workload, nthreads: usize) -> u64 {
+    let mut h = Fnv::new();
+    for t in 0..nthreads {
+        for r in Reg::allocatable() {
+            h.eat_u64(core.arch_reg(t, r, mem));
+        }
+    }
+    h.eat_data_segment(mem, workload);
+    h.0
+}
+
+/// The [`arch_digest`] a fault-free run of `workload` must produce,
+/// computed from a fresh golden-interpreter execution — the reference the
+/// serve layer compares completed tasks against without re-running the
+/// timing model. Fails with [`SimError::GoldenRunStuck`] if a thread does
+/// not halt within `step_cap` interpreter steps.
+pub fn golden_arch_digest(
+    workload: &Workload,
+    nthreads: usize,
+    step_cap: u64,
+) -> Result<u64, SimError> {
+    let mem_size =
+        layout::mem_size(1).max((workload.layout.data_base + workload.layout.data_size) as usize);
+    let mut gold_mem = FlatMem::new(0, mem_size);
+    workload.init_mem(&mut gold_mem);
+    let mut ctxs = Vec::with_capacity(nthreads);
+    for t in 0..nthreads {
+        let mut ctx = ThreadCtx::new();
+        for (r, v) in workload.thread_ctx(t, nthreads) {
+            ctx.set(r, v);
+        }
+        let out = Interpreter::new(workload.program(), &mut gold_mem).run(&mut ctx, step_cap);
+        if !matches!(out, ExecOutcome::Halted { .. }) {
+            return Err(SimError::GoldenRunStuck {
+                thread: t,
+                step_cap,
+                diag: RunDiagnostics::placeholder(workload.name),
+            });
+        }
+        ctxs.push(ctx);
+    }
+    let mut h = Fnv::new();
+    for ctx in &ctxs {
+        for r in Reg::allocatable() {
+            h.eat_u64(ctx.get(r));
+        }
+    }
+    h.eat_data_segment(&gold_mem, workload);
+    Ok(h.0)
 }
 
 /// Step cap for the golden interpreter, derived from the timing run's
@@ -957,6 +1020,20 @@ mod tests {
         let w2 = kernels::stream::reduction(128, Layout::for_core(0));
         let c = run_single(CoreConfig::virec(4, 24), &w2, &RunOptions::default());
         assert_ne!(a.arch_digest, c.arch_digest);
+    }
+
+    #[test]
+    fn golden_digest_matches_a_clean_run() {
+        // The golden-side digest hashes the same byte stream as the
+        // timing-side one, so a verified run must reproduce it exactly.
+        let w = kernels::spatter::gather(128, Layout::for_core(0));
+        let r = run_single(CoreConfig::banked(4), &w, &RunOptions::default());
+        let g = golden_arch_digest(&w, 4, 1_000_000).expect("golden halts");
+        assert_eq!(r.arch_digest, g);
+        // And at a non-zero core slot (the serve layer's failover path).
+        let w1 = kernels::stream::reduction(128, Layout::for_core(1));
+        let g1 = golden_arch_digest(&w1, 4, 1_000_000).expect("golden halts");
+        assert_ne!(g, g1, "different slots/kernels must not collide");
     }
 
     #[test]

@@ -1,0 +1,1273 @@
+//! Fault-tolerant streaming task service over the multi-core offload path.
+//!
+//! The paper's offload mechanism (§6) ships thread contexts from a host
+//! into near-memory cores; everything below PR 6 ran one fixed workload
+//! per core to completion. [`TaskService`] is the host-side serving layer
+//! on top of that machinery: a seeded, reproducible arrival process of
+//! offload tasks flows through a bounded admission queue onto idle cores
+//! (fresh [`offload`] image per dispatch), and the service keeps its
+//! throughput and accounting invariants under faults, hangs, and overload:
+//!
+//! * **Admission control** — arrivals beyond [`ServeConfig::queue_depth`]
+//!   are shed with a typed [`RejectReason::QueueFull`]; once every core is
+//!   quarantined, arriving *and* queued tasks drain with
+//!   [`RejectReason::QuarantinedCapacity`] instead of deadlocking.
+//! * **Per-task deadlines** — a cycle-denominated SLO deadline relative to
+//!   arrival ([`ServeConfig::deadline_cycles`]) plus an optional wall-clock
+//!   gate per attempt reusing [`RunGate`] ([`ServeConfig::task_deadline_ms`]).
+//! * **Retry with backoff** — failed attempts re-dispatch with a
+//!   geometrically scaled cycle budget, reusing the experiment layer's
+//!   [`RetryPolicy`].
+//! * **Quarantine & failover** — [`ServeConfig::quarantine_after`]
+//!   consecutive failed attempts on one core quarantine it; the in-flight
+//!   task that tripped the quarantine is re-dispatched to a healthy core
+//!   without being charged a retry. Every task resolves to exactly one
+//!   [`TaskOutcome`]: `completed + rejected + failed == submitted`, always.
+//! * **Fault campaign** — [`ServeFaultPlan`] injects seeded word upsets
+//!   into the data image of running tasks (single-bit transients and
+//!   double-bit bursts on "sticky" bad cores), routed through the PR-5
+//!   SEC-DED/parity protection model before they corrupt anything. An
+//!   independent golden-digest cross-check counts silent corruptions on
+//!   completed tasks even when verification is off.
+//!
+//! The report carries the serving-layer SLO metrics the north star asks
+//! for: tasks/sec, p50/p99/p999 latency, availability (healthy core-cycles
+//! over total capacity), goodput, and per-epoch fabric traffic.
+
+use crate::cancel::{CancelToken, RunGate};
+use crate::ecc::{secded_decode, secded_encode, ProtectionConfig, ProtectionLevel, SecDedOutcome};
+use crate::error::{RunDiagnostics, SimError};
+use crate::experiment::{CellData, RetryPolicy};
+use crate::fault::FaultSite;
+use crate::offload::offload;
+use crate::runner::{arch_digest, engine_label, golden_arch_digest, try_verify_against_golden};
+use crate::system::SystemConfigError;
+use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
+use std::collections::{HashMap, HashSet, VecDeque};
+use virec_core::policy::XorShift;
+use virec_core::{Core, CoreConfig};
+use virec_isa::FlatMem;
+use virec_mem::{Fabric, FabricConfig, FabricStats};
+use virec_workloads::{kernels, layout, Layout, Workload, WorkloadCtor};
+
+/// Why an arriving (or queued) task was shed by admission control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue was full at arrival.
+    QueueFull,
+    /// Every core was quarantined: no capacity remained to ever run it.
+    QuarantinedCapacity,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "queue_full"),
+            RejectReason::QuarantinedCapacity => write!(f, "quarantined_capacity"),
+        }
+    }
+}
+
+/// Final, exactly-once outcome of one submitted task.
+#[derive(Clone, Debug)]
+pub enum TaskOutcome {
+    /// The task ran to completion (and verified, when verification is on).
+    Completed {
+        /// Arrival-to-completion latency in cycles.
+        latency: u64,
+        /// Dispatch attempts consumed (1 = completed on the first try).
+        attempts: u32,
+        /// Core slot that ran the successful attempt.
+        core: usize,
+    },
+    /// Shed by admission control without ever running.
+    Rejected(RejectReason),
+    /// Every attempt the retry policy allowed failed.
+    Failed {
+        /// Dispatch attempts consumed (0 = expired while still queued).
+        attempts: u32,
+        /// `SimError::kind`-style tag of the last failure.
+        kind: &'static str,
+    },
+}
+
+/// Seeded service-level fault campaign: which tasks suffer transient
+/// upsets and which cores turn sticky-bad mid-run.
+///
+/// Faults are realized as word flips in the tail of the running task's
+/// data segment — bytes the kernel never touches, so the upset perturbs
+/// the *architectural image* the golden checker compares, on any engine,
+/// without changing the timing run. Routed through the per-site protection
+/// model first: under SEC-DED a single-bit transient corrects in place and
+/// a sticky double-bit burst raises detected-uncorrectable mid-attempt.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeFaultPlan {
+    /// Number of distinct tasks (seeded choice) whose *first* attempt
+    /// suffers a single-bit upset; retries run clean.
+    pub transient: usize,
+    /// Number of cores (seeded choice) that go bad: every attempt
+    /// dispatched to such a core after onset suffers a double-bit burst.
+    pub sticky_cores: usize,
+    /// Global dispatch count after which sticky cores turn bad (lets the
+    /// service warm up healthy before the campaign bites).
+    pub sticky_after: usize,
+}
+
+impl ServeFaultPlan {
+    /// No injected faults.
+    pub fn none() -> ServeFaultPlan {
+        ServeFaultPlan::default()
+    }
+
+    /// A campaign with `transient` one-shot task upsets and
+    /// `sticky_cores` bad cores turning after a short warmup.
+    pub fn campaign(transient: usize, sticky_cores: usize) -> ServeFaultPlan {
+        ServeFaultPlan {
+            transient,
+            sticky_cores,
+            sticky_after: 4,
+        }
+    }
+}
+
+/// The default task mix: one spec per entry, chosen per arrival by the
+/// seeded generator. Covers the paper's headline kernel plus streaming,
+/// reduction, and dense-copy behaviour at problem size `n`.
+pub fn default_mix(n: u64) -> Vec<(WorkloadCtor, u64)> {
+    vec![
+        (kernels::spatter::gather as WorkloadCtor, n),
+        (kernels::stream::stream_triad as WorkloadCtor, n),
+        (kernels::stream::reduction as WorkloadCtor, n),
+        (kernels::dense::copy as WorkloadCtor, n),
+    ]
+}
+
+/// Configuration of a [`TaskService`] run.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Number of near-memory cores available to the dispatcher.
+    pub ncores: usize,
+    /// Per-core configuration (every slot runs the same engine).
+    pub core: CoreConfig,
+    /// Shared fabric configuration.
+    pub fabric: FabricConfig,
+    /// Total tasks the arrival process generates.
+    pub tasks: usize,
+    /// Seed of the arrival process, task mix, and fault campaign.
+    pub seed: u64,
+    /// Mean cycles between arrivals (jittered uniformly in
+    /// `[mean/2, 3*mean/2)`); clamped to at least 1.
+    pub mean_interarrival: u64,
+    /// Bound of the admission queue; arrivals past it are shed with
+    /// [`RejectReason::QueueFull`]. Must be nonzero.
+    pub queue_depth: usize,
+    /// Per-task SLO deadline in cycles from *arrival* (queued wait
+    /// included); 0 disables. An exceeded task fails with kind `deadline`.
+    pub deadline_cycles: u64,
+    /// Per-attempt wall-clock deadline in milliseconds through a
+    /// [`RunGate`]; 0 disables.
+    pub task_deadline_ms: u64,
+    /// Retry policy for failed attempts: bounded count, geometrically
+    /// scaled cycle budget.
+    pub retry: RetryPolicy,
+    /// Consecutive failed attempts on one core before it is quarantined;
+    /// 0 disables quarantine.
+    pub quarantine_after: u32,
+    /// Protection levels the injected faults are routed through.
+    pub protection: ProtectionConfig,
+    /// The seeded service-level fault campaign.
+    pub faults: ServeFaultPlan,
+    /// Task mix: each arrival picks one `(ctor, n)` spec (seeded).
+    pub mix: Vec<(WorkloadCtor, u64)>,
+    /// Verify every completed attempt against the golden interpreter.
+    pub verify: bool,
+    /// Cycles per reporting epoch (fabric-traffic snapshots); 0 disables.
+    pub epoch_cycles: u64,
+}
+
+impl ServeConfig {
+    /// A streaming-service configuration with sensible defaults: default
+    /// fabric, mean inter-arrival 2048 cycles, queue depth `2*ncores + 4`,
+    /// no deadlines, default retry policy, quarantine after 3 consecutive
+    /// failures, no protection, no faults, the [`default_mix`] at n=64,
+    /// verification on.
+    pub fn streaming(ncores: usize, core: CoreConfig, tasks: usize, seed: u64) -> ServeConfig {
+        ServeConfig {
+            ncores,
+            core,
+            fabric: FabricConfig::default(),
+            tasks,
+            seed,
+            mean_interarrival: 2048,
+            queue_depth: 2 * ncores.max(1) + 4,
+            deadline_cycles: 0,
+            task_deadline_ms: 0,
+            retry: RetryPolicy::default(),
+            quarantine_after: 3,
+            protection: ProtectionConfig::none(),
+            faults: ServeFaultPlan::none(),
+            mix: default_mix(64),
+            verify: true,
+            epoch_cycles: 1 << 16,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.ncores == 0 {
+            return Err(SystemConfigError::ZeroCores.into());
+        }
+        if self.queue_depth == 0 {
+            return Err(config_error("admission queue depth must be nonzero"));
+        }
+        if self.mix.is_empty() {
+            return Err(config_error("the task mix must name at least one workload"));
+        }
+        Ok(())
+    }
+}
+
+fn config_error(detail: &str) -> SimError {
+    SimError::Config {
+        detail: detail.to_string(),
+        diag: RunDiagnostics::placeholder("serve-config"),
+    }
+}
+
+/// Fabric traffic and service occupancy over one reporting epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// Service cycle at the end of the epoch.
+    pub cycle: u64,
+    /// Fabric traffic during this epoch (delta since the previous one).
+    pub fabric: FabricStats,
+    /// Admission-queue length at epoch end.
+    pub queue_len: usize,
+    /// Busy core slots at epoch end.
+    pub busy: usize,
+    /// Healthy (non-quarantined) core slots at epoch end.
+    pub healthy: usize,
+    /// Tasks completed so far.
+    pub completed: usize,
+}
+
+/// Aggregated outcome of a [`TaskService`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Engine label of the serving cores (`virec`, `banked`, ...).
+    pub engine: String,
+    /// Core count the service was built with.
+    pub ncores: usize,
+    /// Tasks the arrival process generated.
+    pub submitted: usize,
+    /// Tasks that completed (and verified) exactly once.
+    pub completed: usize,
+    /// Arrivals shed because the admission queue was full.
+    pub rejected_queue_full: usize,
+    /// Tasks shed because every core was quarantined.
+    pub rejected_quarantined: usize,
+    /// Tasks whose every allowed attempt failed.
+    pub failed: usize,
+    /// Re-dispatches charged to the retry policy.
+    pub retries: usize,
+    /// Re-dispatches caused by a core quarantine (not charged a retry).
+    pub failovers: usize,
+    /// Cores quarantined by the health tracker.
+    pub quarantined_cores: usize,
+    /// Fault events realized by the campaign (corrected ones included).
+    pub faults_injected: usize,
+    /// Injected upsets corrected in place by the protection model.
+    pub faults_corrected: usize,
+    /// Injected upsets detected but uncorrectable (attempt aborted).
+    pub faults_uncorrectable: usize,
+    /// Completed tasks whose final state digest disagreed with the golden
+    /// reference — must be zero whenever verification is on.
+    pub silent_corruptions: usize,
+    /// Tasks that resolved to more than one outcome (must be zero).
+    pub duplicated: usize,
+    /// Tasks that never resolved to any outcome (must be zero).
+    pub lost: usize,
+    /// Total service cycles.
+    pub cycles: u64,
+    /// Sum over all cycles of the healthy-core count (availability).
+    pub healthy_core_cycles: u64,
+    /// Completion latencies in cycles, sorted ascending.
+    pub latencies: Vec<u64>,
+    /// Per-epoch fabric/occupancy snapshots.
+    pub epochs: Vec<EpochStats>,
+    /// Human-readable description of the most recent attempt failure, kept
+    /// for post-mortem diagnosis of faulty campaigns.
+    pub last_failure: Option<String>,
+}
+
+impl ServeReport {
+    /// Tasks that resolved to some outcome.
+    pub fn accounted(&self) -> usize {
+        self.completed + self.rejected_queue_full + self.rejected_quarantined + self.failed
+    }
+
+    /// Completed fraction of submitted tasks.
+    pub fn goodput(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.submitted as f64
+    }
+
+    /// Time-weighted fraction of core capacity that stayed healthy.
+    pub fn availability(&self) -> f64 {
+        let capacity = self.ncores as u64 * self.cycles;
+        if capacity == 0 {
+            return 1.0;
+        }
+        self.healthy_core_cycles as f64 / capacity as f64
+    }
+
+    /// Completed tasks per second at the 1 GHz timing convention
+    /// (cycles ≈ ns).
+    pub fn tasks_per_sec(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.cycles as f64 * 1e-9)
+    }
+
+    /// Nearest-rank latency percentile in cycles (`p` in 0..=1); 0 when no
+    /// task completed.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let idx = (p.clamp(0.0, 1.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[idx]
+    }
+
+    /// Median completion latency in cycles.
+    pub fn p50(&self) -> u64 {
+        self.latency_percentile(0.50)
+    }
+
+    /// 99th-percentile completion latency in cycles.
+    pub fn p99(&self) -> u64 {
+        self.latency_percentile(0.99)
+    }
+
+    /// 99.9th-percentile completion latency in cycles.
+    pub fn p999(&self) -> u64 {
+        self.latency_percentile(0.999)
+    }
+
+    /// Multi-line, stable-format summary (one `serve[engine]:` prefix per
+    /// line; CI greps these).
+    pub fn summary(&self) -> String {
+        let e = &self.engine;
+        format!(
+            "serve[{e}]: submitted={} completed={} rejected_queue_full={} \
+             rejected_quarantined={} failed={} lost={} duplicated={}\n\
+             serve[{e}]: faults injected={} corrected={} uncorrectable={} \
+             silent_corruptions={} retries={} failovers={} quarantined_cores={}\n\
+             serve[{e}]: p50={} p99={} p999={} cycles, tasks_per_sec={:.0}, \
+             availability={:.1}%, goodput={:.1}%",
+            self.submitted,
+            self.completed,
+            self.rejected_queue_full,
+            self.rejected_quarantined,
+            self.failed,
+            self.lost,
+            self.duplicated,
+            self.faults_injected,
+            self.faults_corrected,
+            self.faults_uncorrectable,
+            self.silent_corruptions,
+            self.retries,
+            self.failovers,
+            self.quarantined_cores,
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.tasks_per_sec(),
+            self.availability() * 100.0,
+            self.goodput() * 100.0,
+        )
+    }
+
+    /// The SLO summary as experiment-layer metrics, for emission into the
+    /// machine-readable `results/<name>.json` provenance format.
+    pub fn metrics(&self) -> CellData {
+        CellData::Metrics(vec![
+            ("submitted".to_string(), self.submitted as f64),
+            ("completed".to_string(), self.completed as f64),
+            (
+                "rejected_queue_full".to_string(),
+                self.rejected_queue_full as f64,
+            ),
+            (
+                "rejected_quarantined".to_string(),
+                self.rejected_quarantined as f64,
+            ),
+            ("failed".to_string(), self.failed as f64),
+            ("lost".to_string(), self.lost as f64),
+            ("duplicated".to_string(), self.duplicated as f64),
+            ("retries".to_string(), self.retries as f64),
+            ("failovers".to_string(), self.failovers as f64),
+            (
+                "quarantined_cores".to_string(),
+                self.quarantined_cores as f64,
+            ),
+            ("faults_injected".to_string(), self.faults_injected as f64),
+            ("faults_corrected".to_string(), self.faults_corrected as f64),
+            (
+                "faults_uncorrectable".to_string(),
+                self.faults_uncorrectable as f64,
+            ),
+            (
+                "silent_corruptions".to_string(),
+                self.silent_corruptions as f64,
+            ),
+            ("cycles".to_string(), self.cycles as f64),
+            ("tasks_per_sec".to_string(), self.tasks_per_sec()),
+            ("p50_cycles".to_string(), self.p50() as f64),
+            ("p99_cycles".to_string(), self.p99() as f64),
+            ("p999_cycles".to_string(), self.p999() as f64),
+            ("availability".to_string(), self.availability()),
+            ("goodput".to_string(), self.goodput()),
+        ])
+    }
+}
+
+/// One admitted task's dispatch state.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    id: usize,
+    spec: usize,
+    arrival: u64,
+    attempts: u32,
+    retries_left: u32,
+    scale: u64,
+}
+
+/// A word upset scheduled against one attempt, applied `at` cycles after
+/// dispatch.
+#[derive(Clone, Copy, Debug)]
+struct AttemptFault {
+    at: u64,
+    addr: u64,
+    mask: u64,
+}
+
+struct InFlight {
+    task: Task,
+    core: Core,
+    watchdog: Watchdog,
+    dispatched_at: u64,
+    budget: u64,
+    gate: RunGate,
+    fault: Option<AttemptFault>,
+}
+
+enum Slot {
+    Idle,
+    Busy(Box<InFlight>),
+    Quarantined,
+}
+
+enum AttemptEnd {
+    Done,
+    Fail { kind: &'static str, detail: String },
+}
+
+/// The host-side streaming dispatcher: admission queue, per-core dispatch
+/// through [`offload`], retry/quarantine/failover, and SLO accounting.
+pub struct TaskService {
+    cfg: ServeConfig,
+    mem: FlatMem,
+    fabric: Fabric,
+    slots: Vec<Slot>,
+    consec: Vec<u32>,
+    workloads: Vec<Vec<Workload>>,
+    golden: HashMap<(usize, usize), u64>,
+    sticky: Vec<bool>,
+    transient_tasks: HashSet<usize>,
+    arrivals: Vec<(u64, usize)>,
+    rng: XorShift,
+    token: CancelToken,
+    /// Slot the next dispatch scan starts from (round-robin, so light
+    /// load still exercises every healthy core rather than pinning to
+    /// slot 0).
+    next_slot: usize,
+    dispatches: usize,
+    accounted: usize,
+    outcomes: Vec<Option<TaskOutcome>>,
+    report: ServeReport,
+}
+
+impl TaskService {
+    /// Builds the service: validates the configuration, realizes the
+    /// seeded arrival process and fault campaign, and pre-instantiates the
+    /// per-slot workload images.
+    pub fn new(cfg: ServeConfig) -> Result<TaskService, SimError> {
+        cfg.validate()?;
+        let mut rng = XorShift::new(cfg.seed);
+        let mean = cfg.mean_interarrival.max(1);
+        let mut t = 0u64;
+        let arrivals: Vec<(u64, usize)> = (0..cfg.tasks)
+            .map(|_| {
+                t += mean / 2 + rng.next_u64() % mean;
+                let spec = (rng.next_u64() % cfg.mix.len() as u64) as usize;
+                (t, spec)
+            })
+            .collect();
+
+        let mut plan_rng = XorShift::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut transient_tasks = HashSet::new();
+        if cfg.tasks > 0 {
+            while transient_tasks.len() < cfg.faults.transient.min(cfg.tasks) {
+                transient_tasks.insert((plan_rng.next_u64() % cfg.tasks as u64) as usize);
+            }
+        }
+        let mut sticky = vec![false; cfg.ncores];
+        let mut picked = 0;
+        while picked < cfg.faults.sticky_cores.min(cfg.ncores) {
+            let c = (plan_rng.next_u64() % cfg.ncores as u64) as usize;
+            if !sticky[c] {
+                sticky[c] = true;
+                picked += 1;
+            }
+        }
+
+        let workloads: Vec<Vec<Workload>> = (0..cfg.ncores)
+            .map(|slot| {
+                cfg.mix
+                    .iter()
+                    .map(|&(ctor, n)| ctor(n, Layout::for_core(slot)))
+                    .collect()
+            })
+            .collect();
+
+        let report = ServeReport {
+            engine: engine_label(&cfg.core).to_string(),
+            ncores: cfg.ncores,
+            submitted: cfg.tasks,
+            ..ServeReport::default()
+        };
+        Ok(TaskService {
+            mem: FlatMem::new(0, layout::mem_size(cfg.ncores)),
+            fabric: Fabric::new(cfg.fabric),
+            slots: (0..cfg.ncores).map(|_| Slot::Idle).collect(),
+            consec: vec![0; cfg.ncores],
+            workloads,
+            golden: HashMap::new(),
+            sticky,
+            transient_tasks,
+            arrivals,
+            rng: plan_rng,
+            token: CancelToken::new(),
+            next_slot: 0,
+            dispatches: 0,
+            accounted: 0,
+            outcomes: vec![None; cfg.tasks],
+            report,
+            cfg,
+        })
+    }
+
+    /// Runs the whole arrival process to drain and returns the report.
+    pub fn run(&mut self) -> Result<ServeReport, SimError> {
+        self.run_gated(&RunGate::unbounded())
+    }
+
+    /// [`TaskService::run`] under a service-wide cancellation gate. The
+    /// gate's token is shared into every per-attempt gate, so one
+    /// cancellation stops the service and all in-flight attempts.
+    pub fn run_gated(&mut self, gate: &RunGate) -> Result<ServeReport, SimError> {
+        self.token = gate.token().clone();
+        let mut queue: VecDeque<Task> = VecDeque::new();
+        let mut next_arrival = 0usize;
+        let mut now = 0u64;
+        let mut next_epoch = self.cfg.epoch_cycles;
+
+        while self.accounted < self.cfg.tasks {
+            if let Some(trip) = gate.poll(now) {
+                return Err(SimError::Deadline {
+                    elapsed_ms: trip.elapsed_ms,
+                    limit_ms: trip.limit_ms,
+                    diag: RunDiagnostics::placeholder("serve"),
+                });
+            }
+
+            // Admission: arrivals due this cycle either queue or shed.
+            while next_arrival < self.arrivals.len() && self.arrivals[next_arrival].0 <= now {
+                let (arrival, spec) = self.arrivals[next_arrival];
+                let id = next_arrival;
+                next_arrival += 1;
+                let task = Task {
+                    id,
+                    spec,
+                    arrival,
+                    attempts: 0,
+                    retries_left: self.cfg.retry.max_retries,
+                    scale: 1,
+                };
+                if self.healthy() == 0 {
+                    self.finish(id, TaskOutcome::Rejected(RejectReason::QuarantinedCapacity));
+                } else if queue.len() >= self.cfg.queue_depth {
+                    self.finish(id, TaskOutcome::Rejected(RejectReason::QueueFull));
+                } else {
+                    queue.push_back(task);
+                }
+            }
+
+            // SLO shedding: tasks whose deadline passed while still queued.
+            if self.cfg.deadline_cycles > 0 {
+                let expired: Vec<Task> = {
+                    let deadline = self.cfg.deadline_cycles;
+                    let mut kept = VecDeque::with_capacity(queue.len());
+                    let mut out = Vec::new();
+                    for t in queue.drain(..) {
+                        if now.saturating_sub(t.arrival) >= deadline {
+                            out.push(t);
+                        } else {
+                            kept.push_back(t);
+                        }
+                    }
+                    queue = kept;
+                    out
+                };
+                for t in expired {
+                    self.finish(
+                        t.id,
+                        TaskOutcome::Failed {
+                            attempts: t.attempts,
+                            kind: "deadline",
+                        },
+                    );
+                }
+            }
+
+            // Dispatch queued tasks onto idle healthy slots. The scan
+            // starts one past the last dispatched slot, so under light
+            // load work rotates over every healthy core instead of
+            // pinning to slot 0 (which would starve the fault campaign's
+            // sticky cores of dispatches and hide them from quarantine).
+            for off in 0..self.slots.len() {
+                if queue.is_empty() {
+                    break;
+                }
+                let i = (self.next_slot + off) % self.slots.len();
+                if matches!(self.slots[i], Slot::Idle) {
+                    let task = queue.pop_front().expect("queue checked non-empty");
+                    self.dispatch(i, task, now);
+                    self.next_slot = (i + 1) % self.slots.len();
+                }
+            }
+
+            // A fully-quarantined service must drain, not hang.
+            if self.healthy() == 0 {
+                for t in queue.drain(..) {
+                    self.finish(
+                        t.id,
+                        TaskOutcome::Rejected(RejectReason::QuarantinedCapacity),
+                    );
+                }
+            }
+
+            let busy = self.slots.iter().any(|s| matches!(s, Slot::Busy(_)));
+            if busy {
+                self.fabric.tick(now);
+                let events = self.step_slots(now);
+                for (slot, end) in events {
+                    self.settle(slot, end, now, &mut queue);
+                }
+                self.report.healthy_core_cycles += self.healthy() as u64;
+                now += 1;
+            } else if next_arrival < self.arrivals.len() {
+                // Idle: fast-forward to the next arrival.
+                let target = self.arrivals[next_arrival].0.max(now + 1);
+                self.report.healthy_core_cycles += self.healthy() as u64 * (target - now);
+                now = target;
+            } else {
+                // No work in flight, nothing queued (drained above), no
+                // arrivals left: every task is accounted.
+                break;
+            }
+
+            if self.cfg.epoch_cycles > 0 && now >= next_epoch {
+                self.push_epoch(now, queue.len());
+                next_epoch = now + self.cfg.epoch_cycles;
+            }
+        }
+
+        if self.cfg.epoch_cycles > 0 {
+            self.push_epoch(now, queue.len());
+        }
+        self.report.cycles = now;
+        self.report.lost = self.outcomes.iter().filter(|o| o.is_none()).count();
+        self.report.latencies.sort_unstable();
+        Ok(self.report.clone())
+    }
+
+    /// Every task's final outcome, indexed by task id (`None` = lost).
+    pub fn outcomes(&self) -> &[Option<TaskOutcome>] {
+        &self.outcomes
+    }
+
+    fn healthy(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s, Slot::Quarantined))
+            .count()
+    }
+
+    fn push_epoch(&mut self, now: u64, queue_len: usize) {
+        let fabric = self.fabric.epoch_stats();
+        self.report.epochs.push(EpochStats {
+            cycle: now,
+            fabric,
+            queue_len,
+            busy: self
+                .slots
+                .iter()
+                .filter(|s| matches!(s, Slot::Busy(_)))
+                .count(),
+            healthy: self.healthy(),
+            completed: self.report.completed,
+        });
+    }
+
+    /// Zeroes the slot's whole address span so a re-offload starts from a
+    /// clean image: stale data from a previous (possibly killed or
+    /// corrupted) task must never leak into the next task's golden
+    /// comparison.
+    fn scrub(&mut self, slot: usize) {
+        const CHUNK: usize = 1 << 16;
+        static ZEROS: [u8; CHUNK] = [0; CHUNK];
+        let base = slot as u64 * layout::CORE_SPAN;
+        let mut off = 0u64;
+        while off < layout::CORE_SPAN {
+            let len = CHUNK.min((layout::CORE_SPAN - off) as usize);
+            self.mem.write_bytes(base + off, &ZEROS[..len]);
+            off += len as u64;
+        }
+    }
+
+    fn dispatch(&mut self, slot: usize, mut task: Task, now: u64) {
+        task.attempts += 1;
+        self.dispatches += 1;
+        self.scrub(slot);
+        let fault = self.plan_attempt_fault(slot, &task);
+        let w = &self.workloads[slot][task.spec];
+        let region = offload(&mut self.mem, w, self.cfg.core.nthreads);
+        let core = Core::new(
+            self.cfg.core,
+            w.program().clone(),
+            region,
+            w.layout.code_base,
+            (2 * slot, 2 * slot + 1),
+        );
+        let budget = self.cfg.core.max_cycles.saturating_mul(task.scale);
+        self.slots[slot] = Slot::Busy(Box::new(InFlight {
+            task,
+            core,
+            watchdog: Watchdog::new(DEFAULT_LIVELOCK_CYCLES),
+            dispatched_at: now,
+            budget,
+            gate: RunGate::new(self.token.clone(), self.cfg.task_deadline_ms),
+            fault,
+        }));
+    }
+
+    /// Realizes the campaign for one attempt: sticky cores burst two bits
+    /// of one word, transient tasks flip one bit on their first attempt.
+    fn plan_attempt_fault(&mut self, slot: usize, task: &Task) -> Option<AttemptFault> {
+        let sticky = self.sticky[slot] && self.dispatches > self.cfg.faults.sticky_after;
+        let transient = task.attempts == 1 && self.transient_tasks.contains(&task.id);
+        if !sticky && !transient {
+            return None;
+        }
+        let w = &self.workloads[slot][task.spec];
+        // Tail of the data segment: bytes no kernel touches, so the flip
+        // perturbs the compared image without changing execution.
+        let addr = w.layout.data_base + w.layout.data_size - 64 + 8 * (self.rng.next_u64() % 8);
+        let b1 = (self.rng.next_u64() % 64) as u8;
+        let mask = if sticky {
+            let b2 = (b1 as u64 + 1 + self.rng.next_u64() % 63) % 64;
+            (1u64 << b1) | (1u64 << b2)
+        } else {
+            1u64 << b1
+        };
+        Some(AttemptFault {
+            at: 16 + self.rng.next_u64() % 240,
+            addr,
+            mask,
+        })
+    }
+
+    /// Routes one scheduled word upset through the protection model.
+    /// Returns the failure description when the upset was detected but
+    /// uncorrectable (the attempt must abort).
+    fn apply_fault(&mut self, fault: AttemptFault) -> Option<String> {
+        self.report.faults_injected += 1;
+        let level = self.cfg.protection.level(FaultSite::DramLine);
+        let word = self.mem.read_u64(fault.addr);
+        let mask = fault.mask;
+        match level {
+            ProtectionLevel::None => {
+                self.mem.write_u64(fault.addr, word ^ mask);
+                None
+            }
+            ProtectionLevel::Parity if mask.count_ones() % 2 == 1 => {
+                self.report.faults_uncorrectable += 1;
+                Some(format!(
+                    "parity detected upset at {:#x} mask {mask:#x}",
+                    fault.addr
+                ))
+            }
+            ProtectionLevel::Parity => {
+                // Even-weight flip: parity is blind, the corruption lands.
+                self.mem.write_u64(fault.addr, word ^ mask);
+                None
+            }
+            ProtectionLevel::SecDed => {
+                let check = secded_encode(word);
+                match secded_decode(word ^ mask, check) {
+                    SecDedOutcome::CorrectedData(orig) => {
+                        debug_assert_eq!(orig, word);
+                        self.report.faults_corrected += 1;
+                        None
+                    }
+                    SecDedOutcome::DoubleError => {
+                        self.report.faults_uncorrectable += 1;
+                        Some(format!(
+                            "secded detected double-bit upset at {:#x} mask {mask:#x}",
+                            fault.addr
+                        ))
+                    }
+                    SecDedOutcome::Clean | SecDedOutcome::CorrectedCheck => None,
+                }
+            }
+        }
+    }
+
+    /// Advances every busy slot one cycle; returns the attempts that ended
+    /// this cycle (completed or failed) for settlement.
+    fn step_slots(&mut self, now: u64) -> Vec<(usize, AttemptEnd)> {
+        let mut events: Vec<(usize, AttemptEnd)> = Vec::new();
+        // Due faults first (they may abort the attempt before its tick).
+        for i in 0..self.slots.len() {
+            let due = match &mut self.slots[i] {
+                Slot::Busy(inf) => match inf.fault {
+                    Some(f) if now - inf.dispatched_at >= f.at => {
+                        inf.fault = None;
+                        Some(f)
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(f) = due {
+                if let Some(detail) = self.apply_fault(f) {
+                    events.push((
+                        i,
+                        AttemptEnd::Fail {
+                            kind: "uncorrectable",
+                            detail,
+                        },
+                    ));
+                }
+            }
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Slot::Busy(inf) = slot else { continue };
+            if events.iter().any(|(s, _)| *s == i) {
+                continue; // already aborted by an uncorrectable upset
+            }
+            let local = now - inf.dispatched_at;
+            if let Some(trip) = inf.gate.poll(local) {
+                events.push((
+                    i,
+                    AttemptEnd::Fail {
+                        kind: "deadline",
+                        detail: format!(
+                            "wall-clock gate tripped after {} ms (limit {} ms)",
+                            trip.elapsed_ms, trip.limit_ms
+                        ),
+                    },
+                ));
+                continue;
+            }
+            if self.cfg.deadline_cycles > 0
+                && now.saturating_sub(inf.task.arrival) >= self.cfg.deadline_cycles
+            {
+                events.push((
+                    i,
+                    AttemptEnd::Fail {
+                        kind: "deadline",
+                        detail: format!(
+                            "task exceeded its {}-cycle SLO deadline",
+                            self.cfg.deadline_cycles
+                        ),
+                    },
+                ));
+                continue;
+            }
+            inf.core.tick(now, &mut self.fabric, &mut self.mem);
+            if let Some(detail) = inf.core.structural_fault() {
+                events.push((
+                    i,
+                    AttemptEnd::Fail {
+                        kind: "structural_hazard",
+                        detail: detail.to_string(),
+                    },
+                ));
+                continue;
+            }
+            if inf.core.done() {
+                events.push((i, AttemptEnd::Done));
+                continue;
+            }
+            if let Err(stalled) = inf
+                .watchdog
+                .observe(local + 1, inf.core.stats().instructions)
+            {
+                events.push((
+                    i,
+                    AttemptEnd::Fail {
+                        kind: "livelock",
+                        detail: format!("no commit for {stalled} cycles"),
+                    },
+                ));
+                continue;
+            }
+            if local + 1 >= inf.budget {
+                events.push((
+                    i,
+                    AttemptEnd::Fail {
+                        kind: "cycle_budget",
+                        detail: format!("attempt exceeded {} cycles", inf.budget),
+                    },
+                ));
+            }
+        }
+        events
+    }
+
+    /// Resolves one ended attempt: completion (verify + silent-corruption
+    /// cross-check) or failure (retry / quarantine + failover / final).
+    fn settle(&mut self, slot: usize, end: AttemptEnd, now: u64, queue: &mut VecDeque<Task>) {
+        let Slot::Busy(inf) = std::mem::replace(&mut self.slots[slot], Slot::Idle) else {
+            return;
+        };
+        let inf = *inf;
+        let mut task = inf.task;
+        let end = match end {
+            AttemptEnd::Done => {
+                let mut core = inf.core;
+                core.finalize_stats();
+                core.drain(&mut self.mem);
+                let w = &self.workloads[slot][task.spec];
+                let nthreads = self.cfg.core.nthreads;
+                let verdict = if self.cfg.verify {
+                    try_verify_against_golden(w, nthreads, &core, &self.mem, now).err()
+                } else {
+                    None
+                };
+                match verdict {
+                    Some(e) => AttemptEnd::Fail {
+                        kind: e.kind(),
+                        detail: e.to_string(),
+                    },
+                    None => {
+                        // Independent second net: a completed task whose
+                        // digest disagrees with the golden reference is a
+                        // silent corruption (provably impossible while
+                        // verification is on).
+                        let digest = arch_digest(&core, &self.mem, w, nthreads);
+                        let step_cap = core.stats().instructions.saturating_mul(4) + 100_000;
+                        let key = (slot, task.spec);
+                        let golden = match self.golden.get(&key) {
+                            Some(g) => Some(*g),
+                            None => match golden_arch_digest(w, nthreads, step_cap) {
+                                Ok(g) => {
+                                    self.golden.insert(key, g);
+                                    Some(g)
+                                }
+                                Err(_) => None,
+                            },
+                        };
+                        if golden.is_some_and(|g| g != digest) {
+                            self.report.silent_corruptions += 1;
+                        }
+                        self.consec[slot] = 0;
+                        self.finish(
+                            task.id,
+                            TaskOutcome::Completed {
+                                latency: now.saturating_sub(task.arrival) + 1,
+                                attempts: task.attempts,
+                                core: slot,
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            fail => fail,
+        };
+        let AttemptEnd::Fail { kind, detail } = end else {
+            unreachable!("completions returned above")
+        };
+        self.report.last_failure = Some(format!(
+            "task {} attempt {} on core {slot}: {kind}: {detail}",
+            task.id, task.attempts
+        ));
+        self.consec[slot] += 1;
+        let quarantine_now = self.cfg.quarantine_after > 0
+            && self.consec[slot] >= self.cfg.quarantine_after
+            && !matches!(self.slots[slot], Slot::Quarantined);
+        if quarantine_now {
+            self.slots[slot] = Slot::Quarantined;
+            self.report.quarantined_cores += 1;
+            if self.healthy() > 0 {
+                // Failover: the task that tripped the quarantine gets a
+                // free re-dispatch to a healthy core.
+                self.report.failovers += 1;
+                queue.push_front(task);
+            } else {
+                self.finish(
+                    task.id,
+                    TaskOutcome::Failed {
+                        attempts: task.attempts,
+                        kind,
+                    },
+                );
+            }
+            return;
+        }
+        match self.cfg.retry.next_scale(task.scale) {
+            Some(next) if task.retries_left > 0 => {
+                task.retries_left -= 1;
+                task.scale = next;
+                self.report.retries += 1;
+                queue.push_front(task);
+            }
+            _ => self.finish(
+                task.id,
+                TaskOutcome::Failed {
+                    attempts: task.attempts,
+                    kind,
+                },
+            ),
+        }
+    }
+
+    /// Records the final outcome of `id` exactly once; a second resolution
+    /// is counted as a duplication (an invariant violation CI fails on)
+    /// and otherwise ignored.
+    fn finish(&mut self, id: usize, outcome: TaskOutcome) {
+        if self.outcomes[id].is_some() {
+            self.report.duplicated += 1;
+            return;
+        }
+        match &outcome {
+            TaskOutcome::Completed { latency, .. } => {
+                self.report.completed += 1;
+                self.report.latencies.push(*latency);
+            }
+            TaskOutcome::Rejected(RejectReason::QueueFull) => {
+                self.report.rejected_queue_full += 1;
+            }
+            TaskOutcome::Rejected(RejectReason::QuarantinedCapacity) => {
+                self.report.rejected_quarantined += 1;
+            }
+            TaskOutcome::Failed { .. } => self.report.failed += 1,
+        }
+        self.outcomes[id] = Some(outcome);
+        self.accounted += 1;
+    }
+}
+
+/// Convenience wrapper: builds and runs a service in one call.
+pub fn run_service(cfg: ServeConfig) -> Result<ServeReport, SimError> {
+    TaskService::new(cfg)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(ncores: usize, tasks: usize) -> ServeConfig {
+        let mut cfg = ServeConfig::streaming(ncores, CoreConfig::banked(2), tasks, 0xA11CE);
+        cfg.mix = default_mix(32);
+        cfg.mean_interarrival = 512;
+        cfg
+    }
+
+    #[test]
+    fn clean_service_completes_every_task() {
+        let r = run_service(quick_cfg(2, 12)).expect("service runs");
+        assert_eq!(r.completed, 12);
+        assert_eq!(r.accounted(), r.submitted);
+        assert_eq!(r.lost + r.duplicated + r.failed, 0);
+        assert_eq!(r.latencies.len(), 12);
+        assert!(r.p50() <= r.p99() && r.p99() <= r.p999());
+        assert!(r.tasks_per_sec() > 0.0);
+        assert!((r.availability() - 1.0).abs() < 1e-12);
+        assert!((r.goodput() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = run_service(quick_cfg(3, 16)).unwrap();
+        let b = run_service(quick_cfg(3, 16)).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn zero_cores_is_a_typed_config_error() {
+        let err = TaskService::new(quick_cfg(0, 4)).err().expect("must fail");
+        assert_eq!(err.kind(), "config");
+    }
+
+    #[test]
+    fn zero_queue_depth_is_a_typed_config_error() {
+        let mut cfg = quick_cfg(1, 4);
+        cfg.queue_depth = 0;
+        assert_eq!(TaskService::new(cfg).err().unwrap().kind(), "config");
+    }
+
+    #[test]
+    fn empty_mix_is_a_typed_config_error() {
+        let mut cfg = quick_cfg(1, 4);
+        cfg.mix.clear();
+        assert_eq!(TaskService::new(cfg).err().unwrap().kind(), "config");
+    }
+
+    #[test]
+    fn overload_sheds_with_queue_full_not_deadlock() {
+        let mut cfg = quick_cfg(1, 40);
+        cfg.mean_interarrival = 8; // far beyond one core's capacity
+        cfg.queue_depth = 2;
+        let r = run_service(cfg).unwrap();
+        assert!(r.rejected_queue_full > 0, "overload must shed load");
+        assert_eq!(r.accounted(), r.submitted);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.duplicated, 0);
+    }
+
+    #[test]
+    fn transient_fault_is_detected_and_retried() {
+        let mut cfg = quick_cfg(1, 6);
+        cfg.faults = ServeFaultPlan {
+            transient: 6,
+            sticky_cores: 0,
+            sticky_after: 0,
+        };
+        cfg.quarantine_after = 0; // isolate the retry path
+        let r = run_service(cfg).unwrap();
+        assert_eq!(r.faults_injected, 6);
+        assert!(r.retries > 0, "detected divergences must trigger retries");
+        assert_eq!(r.completed, 6, "clean retries must complete every task");
+        assert_eq!(r.silent_corruptions, 0);
+        assert_eq!(r.accounted(), r.submitted);
+    }
+
+    #[test]
+    fn secded_corrects_single_bit_transients_in_place() {
+        let mut cfg = quick_cfg(1, 6);
+        cfg.faults = ServeFaultPlan {
+            transient: 6,
+            sticky_cores: 0,
+            sticky_after: 0,
+        };
+        cfg.protection = ProtectionConfig::secded();
+        let r = run_service(cfg).unwrap();
+        assert_eq!(r.faults_corrected, 6);
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.retries, 0, "corrected upsets never cost a retry");
+    }
+
+    #[test]
+    fn sticky_core_quarantines_and_fails_over() {
+        let mut cfg = quick_cfg(2, 20);
+        cfg.faults = ServeFaultPlan {
+            transient: 0,
+            sticky_cores: 1,
+            sticky_after: 2,
+        };
+        cfg.protection = ProtectionConfig::secded();
+        cfg.quarantine_after = 2;
+        let r = run_service(cfg).unwrap();
+        assert_eq!(r.quarantined_cores, 1);
+        assert!(
+            r.failovers >= 1,
+            "quarantine must re-dispatch in-flight work"
+        );
+        assert!(r.faults_uncorrectable >= 2);
+        assert_eq!(r.accounted(), r.submitted);
+        assert_eq!(r.lost + r.duplicated + r.silent_corruptions, 0);
+        assert!(r.availability() < 1.0, "a quarantined core costs capacity");
+    }
+
+    #[test]
+    fn fully_quarantined_service_drains_with_rejections() {
+        let mut cfg = quick_cfg(1, 15);
+        cfg.faults = ServeFaultPlan {
+            transient: 0,
+            sticky_cores: 1,
+            sticky_after: 0,
+        };
+        cfg.protection = ProtectionConfig::secded();
+        cfg.quarantine_after = 1;
+        cfg.retry = RetryPolicy::none();
+        let r = run_service(cfg).unwrap();
+        assert_eq!(r.quarantined_cores, 1);
+        assert!(r.rejected_quarantined > 0, "drain must be typed rejections");
+        assert_eq!(r.completed + r.failed + r.rejected_quarantined, r.submitted);
+        assert_eq!(r.lost, 0);
+    }
+
+    #[test]
+    fn queued_tasks_past_their_slo_deadline_fail_typed() {
+        let mut cfg = quick_cfg(1, 30);
+        cfg.mean_interarrival = 8;
+        cfg.queue_depth = 30; // admit everything; the deadline must shed
+        cfg.deadline_cycles = 2_000;
+        let r = run_service(cfg).unwrap();
+        assert!(r.failed > 0, "queued tasks must expire against the SLO");
+        assert_eq!(r.accounted(), r.submitted);
+    }
+
+    #[test]
+    fn epochs_capture_fabric_traffic() {
+        let mut cfg = quick_cfg(2, 10);
+        cfg.epoch_cycles = 4096;
+        let r = run_service(cfg).unwrap();
+        assert!(!r.epochs.is_empty());
+        let reads: u64 = r.epochs.iter().map(|e| e.fabric.reads).sum();
+        assert!(reads > 0, "epoch deltas must add up to real traffic");
+    }
+
+    #[test]
+    fn summary_and_metrics_are_consistent() {
+        let r = run_service(quick_cfg(2, 8)).unwrap();
+        let s = r.summary();
+        assert!(s.contains("lost=0 duplicated=0"), "{s}");
+        assert!(s.contains("silent_corruptions=0"), "{s}");
+        let CellData::Metrics(m) = r.metrics() else {
+            panic!("metrics cell expected")
+        };
+        let get = |k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("completed") as usize, r.completed);
+        assert_eq!(get("p99_cycles") as u64, r.p99());
+        assert!((get("availability") - r.availability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reject_reason_labels_are_stable() {
+        assert_eq!(RejectReason::QueueFull.to_string(), "queue_full");
+        assert_eq!(
+            RejectReason::QuarantinedCapacity.to_string(),
+            "quarantined_capacity"
+        );
+    }
+}

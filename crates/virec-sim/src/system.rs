@@ -28,6 +28,63 @@ pub struct SystemConfig {
     pub fabric: FabricConfig,
 }
 
+/// Why a [`System`] (or the serve layer built on top of it) could not be
+/// constructed. Surfaced as [`SimError::Config`] through `From`, so
+/// callers working at the `SimError` level get a typed `config` kind
+/// instead of a construction panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemConfigError {
+    /// `ncores` was zero — a system needs at least one core.
+    ZeroCores,
+    /// The workload-spec slice length disagrees with `ncores`.
+    WorkloadArity {
+        /// `cfg.ncores`.
+        expected: usize,
+        /// `specs.len()`.
+        got: usize,
+    },
+    /// The per-core-config slice length disagrees with `ncores`.
+    CoreArity {
+        /// `cfg.ncores`.
+        expected: usize,
+        /// `core_cfgs.len()`.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemConfigError::ZeroCores => {
+                write!(f, "a system needs at least one core (ncores == 0)")
+            }
+            SystemConfigError::WorkloadArity { expected, got } => {
+                write!(
+                    f,
+                    "one workload spec per core: expected {expected}, got {got}"
+                )
+            }
+            SystemConfigError::CoreArity { expected, got } => {
+                write!(
+                    f,
+                    "one core config per core: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemConfigError {}
+
+impl From<SystemConfigError> for SimError {
+    fn from(e: SystemConfigError) -> SimError {
+        SimError::Config {
+            detail: e.to_string(),
+            diag: RunDiagnostics::placeholder("system-config"),
+        }
+    }
+}
+
 /// Result of a system run.
 #[derive(Clone, Debug)]
 pub struct SystemResult {
@@ -57,8 +114,12 @@ impl SystemResult {
         insts as f64 / self.cycles as f64
     }
 
-    /// Mean per-core IPC.
+    /// Mean per-core IPC (0.0 for an empty system, not a division by
+    /// zero).
     pub fn mean_core_ipc(&self) -> f64 {
+        if self.per_core.is_empty() {
+            return 0.0;
+        }
         let sum: f64 = self
             .per_core
             .iter()
@@ -79,9 +140,23 @@ pub struct System {
 
 impl System {
     /// Builds a system where core `i` runs `ctor(n, Layout::for_core(i))`.
+    ///
+    /// # Panics
+    /// Panics on an invalid shape; see [`System::try_new`].
     pub fn new(cfg: SystemConfig, ctor: WorkloadCtor, n: u64) -> System {
+        Self::try_new(cfg, ctor, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::new`]: rejects `ncores == 0` with a
+    /// typed [`SystemConfigError`] instead of building a degenerate
+    /// system.
+    pub fn try_new(
+        cfg: SystemConfig,
+        ctor: WorkloadCtor,
+        n: u64,
+    ) -> Result<System, SystemConfigError> {
         let specs = vec![(ctor, n); cfg.ncores];
-        Self::new_mixed(cfg, &specs)
+        Self::try_new_mixed(cfg, &specs)
     }
 
     /// Builds a heterogeneous system: core `i` runs `specs[i]` — a
@@ -89,10 +164,20 @@ impl System {
     /// different kernel.
     ///
     /// # Panics
-    /// Panics if `specs.len() != cfg.ncores`.
+    /// Panics if `specs.len() != cfg.ncores`; see
+    /// [`System::try_new_mixed`].
     pub fn new_mixed(cfg: SystemConfig, specs: &[(WorkloadCtor, u64)]) -> System {
+        Self::try_new_mixed(cfg, specs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::new_mixed`], returning a typed
+    /// [`SystemConfigError`] on any invalid shape.
+    pub fn try_new_mixed(
+        cfg: SystemConfig,
+        specs: &[(WorkloadCtor, u64)],
+    ) -> Result<System, SystemConfigError> {
         let cores = vec![cfg.core; specs.len()];
-        Self::new_heterogeneous(cfg, &cores, specs)
+        Self::try_new_heterogeneous(cfg, &cores, specs)
     }
 
     /// Fully heterogeneous construction: per-core configurations *and*
@@ -100,14 +185,39 @@ impl System {
     /// the same crossbar.
     ///
     /// # Panics
-    /// Panics if the slice lengths disagree with `cfg.ncores`.
+    /// Panics if the slice lengths disagree with `cfg.ncores`; see
+    /// [`System::try_new_heterogeneous`].
     pub fn new_heterogeneous(
         cfg: SystemConfig,
         core_cfgs: &[CoreConfig],
         specs: &[(WorkloadCtor, u64)],
     ) -> System {
-        assert_eq!(specs.len(), cfg.ncores, "one workload spec per core");
-        assert_eq!(core_cfgs.len(), cfg.ncores, "one core config per core");
+        Self::try_new_heterogeneous(cfg, core_cfgs, specs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`System::new_heterogeneous`]: every invalid
+    /// shape (zero cores, mismatched spec or core-config arity) is a
+    /// typed [`SystemConfigError`] instead of an assertion failure.
+    pub fn try_new_heterogeneous(
+        cfg: SystemConfig,
+        core_cfgs: &[CoreConfig],
+        specs: &[(WorkloadCtor, u64)],
+    ) -> Result<System, SystemConfigError> {
+        if cfg.ncores == 0 {
+            return Err(SystemConfigError::ZeroCores);
+        }
+        if specs.len() != cfg.ncores {
+            return Err(SystemConfigError::WorkloadArity {
+                expected: cfg.ncores,
+                got: specs.len(),
+            });
+        }
+        if core_cfgs.len() != cfg.ncores {
+            return Err(SystemConfigError::CoreArity {
+                expected: cfg.ncores,
+                got: core_cfgs.len(),
+            });
+        }
         let mut mem = FlatMem::new(0, layout::mem_size(cfg.ncores));
         let mut cores = Vec::with_capacity(cfg.ncores);
         let mut workloads = Vec::with_capacity(cfg.ncores);
@@ -123,13 +233,13 @@ impl System {
             ));
             workloads.push(w);
         }
-        System {
+        Ok(System {
             cores,
             fabric: Fabric::new(cfg.fabric),
             mem,
             workloads,
             cfg,
-        }
+        })
     }
 
     /// Per-core statistics access while the system is alive (post-run).
@@ -308,6 +418,72 @@ mod tests {
         let cfg = sys_cfg(2, CoreConfig::banked(2));
         let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![(kernels::spatter::gather, 64)];
         let _ = System::new_mixed(cfg, &specs);
+    }
+
+    #[test]
+    fn mixed_arity_is_a_typed_error() {
+        let cfg = sys_cfg(2, CoreConfig::banked(2));
+        let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![(kernels::spatter::gather, 64)];
+        let err = System::try_new_mixed(cfg, &specs).err().expect("must fail");
+        assert_eq!(
+            err,
+            SystemConfigError::WorkloadArity {
+                expected: 2,
+                got: 1
+            }
+        );
+        let sim: SimError = err.into();
+        assert_eq!(sim.kind(), "config");
+        assert!(sim.to_string().contains("one workload spec per core"));
+    }
+
+    #[test]
+    fn core_config_arity_is_a_typed_error() {
+        let cfg = sys_cfg(2, CoreConfig::banked(2));
+        let specs: Vec<(virec_workloads::WorkloadCtor, u64)> = vec![
+            (kernels::spatter::gather, 64),
+            (kernels::spatter::gather, 64),
+        ];
+        let err = System::try_new_heterogeneous(cfg, &[CoreConfig::banked(2)], &specs)
+            .err()
+            .expect("must fail");
+        assert_eq!(
+            err,
+            SystemConfigError::CoreArity {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("one core config per core"));
+    }
+
+    #[test]
+    fn zero_cores_is_a_typed_error() {
+        let cfg = sys_cfg(0, CoreConfig::banked(2));
+        let err = System::try_new(cfg, kernels::spatter::gather, 64)
+            .err()
+            .expect("must fail");
+        assert_eq!(err, SystemConfigError::ZeroCores);
+        let sim: SimError = err.into();
+        assert_eq!(sim.kind(), "config");
+    }
+
+    #[test]
+    fn mean_core_ipc_of_an_empty_result_is_zero() {
+        let r = SystemResult {
+            cycles: 100,
+            per_core: Vec::new(),
+            fabric: FabricStats::default(),
+        };
+        assert_eq!(r.mean_core_ipc(), 0.0);
+    }
+
+    #[test]
+    fn try_new_builds_a_working_system() {
+        let cfg = sys_cfg(2, CoreConfig::banked(2));
+        let mut sys = System::try_new(cfg, kernels::spatter::gather, 64).expect("valid shape");
+        let r = sys.try_run().expect("runs");
+        assert_eq!(r.per_core.len(), 2);
     }
 
     #[test]

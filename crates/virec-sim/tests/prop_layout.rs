@@ -1,0 +1,91 @@
+//! Property tests for the per-core memory carve-up the serving layer
+//! depends on: for any core count the dispatcher may run, each core's
+//! offload register region and data segment must stay inside that core's
+//! span, never overlap any other core's windows, and fit inside
+//! `layout::mem_size(ncores)`. A violation here would let one task's
+//! dispatch image (or its fault injections) corrupt a neighbour mid-run.
+
+use proptest::prelude::*;
+use virec_core::RegRegion;
+use virec_workloads::layout::{self, CORE_SPAN};
+use virec_workloads::Layout;
+
+/// The address windows core `i` may touch: its offload register region
+/// (sized for `nthreads`) and its data segment.
+fn windows(core: usize, nthreads: usize) -> [(u64, u64); 2] {
+    let l = Layout::for_core(core);
+    let region = RegRegion::new(l.region_base, nthreads);
+    [
+        (region.base, region.end()),
+        (l.data_base, l.data_base + l.data_size),
+    ]
+}
+
+fn disjoint(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.1 <= b.0 || b.1 <= a.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn core_windows_stay_inside_their_span(
+        core in 0usize..16,
+        nthreads in 1usize..=16,
+    ) {
+        let base = core as u64 * CORE_SPAN;
+        for (lo, hi) in windows(core, nthreads) {
+            prop_assert!(lo < hi);
+            prop_assert!(lo >= base, "window {lo:#x} below core base {base:#x}");
+            prop_assert!(
+                hi <= base + CORE_SPAN,
+                "window end {hi:#x} past core span end {:#x}",
+                base + CORE_SPAN
+            );
+        }
+        // The register region must never spill into the data segment the
+        // kernels (and the serve-layer fault injector) write.
+        let [region, data] = windows(core, nthreads);
+        prop_assert!(region.1 <= data.0);
+    }
+
+    #[test]
+    fn no_two_cores_share_any_window(
+        ncores in 1usize..=16,
+        nthreads in 1usize..=16,
+    ) {
+        for a in 0..ncores {
+            for b in (a + 1)..ncores {
+                for wa in windows(a, nthreads) {
+                    for wb in windows(b, nthreads) {
+                        prop_assert!(
+                            disjoint(wa, wb),
+                            "cores {a} and {b} overlap: {wa:x?} vs {wb:x?}"
+                        );
+                    }
+                }
+            }
+            // Code segments are disjoint from every data window too (they
+            // live in a separate high range, one per core).
+            let ca = Layout::for_core(a).code_base;
+            for b in 0..ncores {
+                if a != b {
+                    prop_assert_ne!(ca, Layout::for_core(b).code_base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mem_size_covers_every_core(ncores in 1usize..=16) {
+        let size = layout::mem_size(ncores) as u64;
+        for core in 0..ncores {
+            for (_, hi) in windows(core, 16) {
+                prop_assert!(
+                    hi <= size,
+                    "core {core} window ends at {hi:#x} but mem_size is {size:#x}"
+                );
+            }
+        }
+    }
+}

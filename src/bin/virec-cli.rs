@@ -18,8 +18,8 @@ use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::default_checkpoint_interval;
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
 use virec::sim::{
-    interrupt_tokens, parse_sites, run_campaign_with, CampaignOptions, FaultSite, InjectionOutcome,
-    JournalConfig, ProtectionConfig,
+    interrupt_tokens, parse_sites, run_campaign_with, run_service, CampaignOptions, FaultSite,
+    InjectionOutcome, JournalConfig, ProtectionConfig, ServeConfig, ServeFaultPlan,
 };
 use virec::verify::{broken_fixture, lint_everything, lint_program, LintConfig};
 use virec::workloads::{by_name, suite_names, Layout};
@@ -41,6 +41,12 @@ USAGE:
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
                        [--protection none|parity|secded] [--multi-fault]
                        [--sites <s1,s2,..>]
+    virec-cli serve    [--cores <c>] [--tasks <k>] [--rate <tasks/Mcycle>]
+                       [--engine virec|banked] [--threads <t>] [--regs <r>]
+                       [--n <elems>] [--queue-depth <d>] [--deadline <cycles>]
+                       [--quarantine-after <k>] [--protection none|parity|secded]
+                       [--faults <k>] [--sticky-cores <k>] [--seed <s>]
+                       [--no-verify]
     virec-cli lint     [--n <elems>] [--broken-fixture]
     virec-cli area     [--threads <t>] [--regs <r>]
 
@@ -423,6 +429,117 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `virec-cli serve` — the fault-tolerant streaming task service: a seeded
+/// arrival process dispatched onto a multi-core system through the bounded
+/// admission queue, with retry, quarantine/failover, and typed shedding.
+/// Exits nonzero when any task is lost, any task resolves twice, or any
+/// completed task's state digest disagrees with the golden reference.
+fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let cores: usize = get("cores").map_or(Ok(4), str::parse).unwrap_or(0);
+    let tasks: usize = get("tasks").map_or(Ok(128), str::parse).unwrap_or(0);
+    let threads: usize = get("threads").map_or(Ok(4), str::parse).unwrap_or(0);
+    let n: u64 = get("n").map_or(Ok(64), str::parse).unwrap_or(0);
+    let seed: u64 = get("seed").map_or(Ok(0xF00D_5EED), str::parse).unwrap_or(0);
+    if cores == 0 || tasks == 0 || threads == 0 || n == 0 || seed == 0 {
+        eprintln!("error: invalid --cores, --tasks, --threads, --n or --seed");
+        return ExitCode::from(2);
+    }
+    let engine = get("engine").unwrap_or("virec");
+    let core = match engine {
+        "virec" => {
+            let ctx = by_name("gather", n, Layout::for_core(0))
+                .expect("gather is a suite workload")
+                .active_context_size();
+            let regs: usize = get("regs")
+                .map_or(Ok((threads * ctx).max(12)), str::parse)
+                .unwrap_or(0);
+            if regs == 0 {
+                eprintln!("error: invalid --regs");
+                return ExitCode::from(2);
+            }
+            CoreConfig::virec(threads, regs)
+        }
+        "banked" => CoreConfig::banked(threads),
+        other => {
+            eprintln!("error: serve supports virec|banked, not {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = ServeConfig::streaming(cores, core, tasks, seed);
+    cfg.mix = virec::sim::serve::default_mix(n);
+    cfg.verify = get("no-verify").is_none();
+    // --rate is in tasks per million cycles; the service wants the mean
+    // inter-arrival gap in cycles.
+    if let Some(r) = get("rate") {
+        let Ok(rate) = r.parse::<f64>() else {
+            eprintln!("error: invalid --rate");
+            return ExitCode::from(2);
+        };
+        if rate <= 0.0 {
+            eprintln!("error: --rate must be positive");
+            return ExitCode::from(2);
+        }
+        cfg.mean_interarrival = ((1.0e6 / rate) as u64).max(1);
+    }
+    if let Some(d) = get("queue-depth") {
+        cfg.queue_depth = d.parse().unwrap_or(0);
+    }
+    if let Some(d) = get("deadline") {
+        let Ok(d) = d.parse() else {
+            eprintln!("error: invalid --deadline");
+            return ExitCode::from(2);
+        };
+        cfg.deadline_cycles = d;
+    }
+    if let Some(q) = get("quarantine-after") {
+        let Ok(q) = q.parse() else {
+            eprintln!("error: invalid --quarantine-after");
+            return ExitCode::from(2);
+        };
+        cfg.quarantine_after = q;
+    }
+    match get("protection").unwrap_or("none").parse() {
+        Ok(p) => cfg.protection = p,
+        Err(e) => {
+            eprintln!("error: --protection: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let transient: usize = get("faults")
+        .map_or(Ok(0), str::parse)
+        .unwrap_or(usize::MAX);
+    let sticky: usize = get("sticky-cores")
+        .map_or(Ok(0), str::parse)
+        .unwrap_or(usize::MAX);
+    if transient == usize::MAX || sticky == usize::MAX {
+        eprintln!("error: invalid --faults or --sticky-cores");
+        return ExitCode::from(2);
+    }
+    cfg.faults = ServeFaultPlan::campaign(transient, sticky);
+
+    let report = match run_service(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[{}]: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary());
+    if let Some(f) = &report.last_failure {
+        eprintln!("[serve] last attempt failure: {f}");
+    }
+    if report.lost > 0 || report.duplicated > 0 || report.silent_corruptions > 0 {
+        eprintln!(
+            "error[accounting]: lost={} duplicated={} silent_corruptions={}",
+            report.lost, report.duplicated, report.silent_corruptions
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// `virec-cli lint` — the static-analysis gate: every built-in workload
 /// kernel and every `virec-cc` output at every register budget must lint
 /// clean. `--broken-fixture` lints a deliberately malformed program instead
@@ -542,6 +659,13 @@ fn main() -> ExitCode {
         },
         "campaign" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_campaign(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "serve" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_serve(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()
