@@ -142,6 +142,23 @@ impl Bsi {
                 .any(|o| matches!(o.action, Action::Fill { demand: true, .. }))
     }
 
+    /// Earliest future cycle at which [`Bsi::tick`] could do anything.
+    /// Call after `tick(now)`. Queued fills/spills retry issue every cycle;
+    /// hit completions wake at their recorded cycle; MSHR waits contribute
+    /// nothing — the dcache's `next_event` covers their completion.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.fills.is_empty() || !self.spills.is_empty() {
+            return Some(now + 1);
+        }
+        self.outstanding
+            .iter()
+            .filter_map(|o| match o.wait {
+                Wait::At(t) => Some(t.max(now + 1)),
+                Wait::Mshr(_) => None,
+            })
+            .min()
+    }
+
     fn fill_kind(&self) -> AccessKind {
         if self.pinning {
             AccessKind::RegFill

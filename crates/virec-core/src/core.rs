@@ -252,6 +252,51 @@ impl Clone for Core {
             stats: self.stats,
         }
     }
+
+    /// Allocation-reusing deep copy: the checkpoint ring overwrites evicted
+    /// snapshots in place, so the `clone_from` of every heap-backed field
+    /// recycles its existing buffer instead of reallocating. The engine has
+    /// no in-place path (it is a boxed trait object) and is re-boxed.
+    fn clone_from(&mut self, src: &Core) {
+        self.cfg = src.cfg;
+        self.program.clone_from(&src.program);
+        self.region = src.region;
+        self.code_base = src.code_base;
+        self.icache.clone_from(&src.icache);
+        self.dcache.clone_from(&src.dcache);
+        self.engine = src.engine.clone_box();
+        self.threads.clone_from(&src.threads);
+        self.running = src.running;
+        self.started = src.started;
+        self.pending_in = src.pending_in;
+        self.last_tid = src.last_tid;
+        self.committed_since_switch = src.committed_since_switch;
+        self.fetch_pc = src.fetch_pc;
+        self.fetch_stopped = src.fetch_stopped;
+        self.fetch_wait_mshr = src.fetch_wait_mshr;
+        self.fetched = src.fetched;
+        self.decode = src.decode;
+        self.exec = src.exec;
+        self.mem_slot = src.mem_slot;
+        self.sq.clone_from(&src.sq);
+        self.use_sysbuf = src.use_sysbuf;
+        self.sys_ready.clone_from(&src.sys_ready);
+        self.sys_queue.clone_from(&src.sys_queue);
+        self.sys_wait.clone_from(&src.sys_wait);
+        self.sys_demand_outstanding = src.sys_demand_outstanding;
+        self.orphan_ifetches.clone_from(&src.orphan_ifetches);
+        self.recorder.clone_from(&src.recorder);
+        self.quantum_mask.clone_from(&src.quantum_mask);
+        self.qtracer.clone_from(&src.qtracer);
+        self.q_start_pc = src.q_start_pc;
+        self.q_used = src.q_used;
+        self.q_demand = src.q_demand;
+        self.q_written = src.q_written;
+        self.last_commit_pc.clone_from(&src.last_commit_pc);
+        self.structural_fault.clone_from(&src.structural_fault);
+        self.tracer = None;
+        self.stats = src.stats;
+    }
 }
 
 impl Core {
@@ -589,6 +634,159 @@ impl Core {
         self.tick_sysops(now, fabric);
         self.stage_fetch(now, fabric);
         self.schedule(now, fabric, mem);
+    }
+
+    /// Earliest future cycle at which [`Core::tick`] could do anything
+    /// beyond the fixed per-cycle bookkeeping that [`Core::credit_skipped`]
+    /// reproduces. Call after `tick(now)`. `None` means the core is fully
+    /// quiescent until new work arrives (e.g. a thread is activated).
+    ///
+    /// The contract mirrors the tick body stage by stage: every state that
+    /// retries something each cycle answers `now + 1`; every timer-driven
+    /// state answers its recorded cycle; MSHR waits answer nothing because
+    /// the caches' own next events cover fill completion (a filled MSHR
+    /// keeps reporting `now + 1` until its waiter retires it).
+    pub fn next_event(&self, now: u64, fabric: &Fabric) -> Option<u64> {
+        // Fast path: every source below clamps to `now + 1`, so the moment
+        // any retry-every-cycle state is live the answer is exactly
+        // `now + 1` and the queue/MSHR scans can be bypassed. These are the
+        // cheap O(1) tests; on productive cycles one of them almost always
+        // fires, keeping the event query off the simulation's hot path.
+        if matches!(
+            self.mem_slot,
+            Some(MemSlot {
+                phase: MemPhase::Start,
+                ..
+            })
+        ) || self.decode.as_ref().is_some_and(|d| !d.ready)
+            || !self.sys_queue.is_empty()
+            || matches!(
+                self.sq.front(),
+                Some(SqEntry {
+                    state: SqState::Issue,
+                    ..
+                })
+            )
+            || (self.running.is_some()
+                && self.fetched.is_none()
+                && !self.fetch_stopped
+                && !self.sys_demand_outstanding
+                && self.fetch_wait_mshr.is_none())
+            || (self.running.is_none()
+                && (self.pending_in.is_some() || self.threads.iter().any(|t| t.runnable())))
+            || (self.decode.is_none() && self.fetched.as_ref().is_some_and(|f| f.avail_at <= now))
+        {
+            return Some(now + 1);
+        }
+
+        let mut min: Option<u64> = None;
+        let mut push = |t: u64| {
+            let t = t.max(now + 1);
+            min = Some(min.map_or(t, |m: u64| m.min(t)));
+        };
+
+        if let Some(t) = self.dcache.next_event(now, fabric) {
+            push(t);
+        }
+        if let Some(t) = self.icache.next_event(now, fabric) {
+            push(t);
+        }
+        if let Some(t) = self.engine.next_event(now) {
+            push(t);
+        }
+
+        if let Some(slot) = &self.mem_slot {
+            match slot.phase {
+                // Issue retries every cycle until a port/MSHR frees up.
+                MemPhase::Start => push(now + 1),
+                MemPhase::Wait { at } | MemPhase::Done { at } => push(at),
+                // The dcache's next event covers the fill.
+                MemPhase::WaitMshr { .. } => {}
+            }
+        }
+        if let Some(head) = self.sq.front() {
+            match head.state {
+                SqState::Issue => push(now + 1),
+                SqState::Wait { at } => push(at),
+                SqState::WaitMshr { .. } => {}
+            }
+        }
+        if let Some(e) = &self.exec {
+            // A finished execute slot (done_at <= now) is blocked on the mem
+            // slot, whose events cover the unblock — they drain in the same
+            // tick (backend-first stage order).
+            if e.done_at > now {
+                push(e.done_at);
+            }
+        }
+        if let Some(d) = &self.decode {
+            // Acquire is retried every cycle until Ready; a Ready slot is
+            // blocked on execute/mem, whose events cover the unblock.
+            if !d.ready {
+                push(now + 1);
+            }
+        } else if let Some(f) = &self.fetched {
+            push(f.avail_at);
+        }
+        if !self.sys_queue.is_empty() {
+            push(now + 1);
+        }
+        for (w, _) in &self.sys_wait {
+            if let SysWait::At(t) = w {
+                push(*t);
+            }
+        }
+        // Active fetch issues an icache access every cycle.
+        if self.running.is_some()
+            && self.fetched.is_none()
+            && !self.fetch_stopped
+            && !self.sys_demand_outstanding
+            && self.fetch_wait_mshr.is_none()
+        {
+            push(now + 1);
+        }
+        // Scheduling polls `thread_ready` every cycle while a switch-in is
+        // wanted or possible; when every thread is blocked, the wakeups come
+        // from the dcache events above.
+        if self.running.is_none()
+            && (self.pending_in.is_some() || self.threads.iter().any(|t| t.runnable()))
+        {
+            push(now + 1);
+        }
+        min
+    }
+
+    /// Credits a span of skipped (provably no-op) cycles to the statistics
+    /// exactly as the dense loop would have: the cycle counter advances and
+    /// the per-cycle stall classification — evaluated on the frozen state,
+    /// mirroring the if-chain at the top of [`Core::tick`] — accrues the
+    /// whole span. Digests and stats stay byte-identical either way.
+    pub fn credit_skipped(&mut self, span: u64) {
+        self.stats.cycles += span;
+        if self.running.is_none() {
+            self.stats.stall_idle += span;
+        } else if matches!(
+            self.mem_slot,
+            Some(MemSlot {
+                phase: MemPhase::WaitMshr { .. },
+                ..
+            })
+        ) {
+            self.stats.stall_mem += span;
+        } else if matches!(
+            self.decode,
+            Some(DecodeSlot {
+                started: true,
+                ready: false,
+                ..
+            })
+        ) {
+            self.stats.stall_reg_fill += span;
+        } else if self.fetched.is_none()
+            && (self.fetch_wait_mshr.is_some() || self.sys_demand_outstanding)
+        {
+            self.stats.stall_fetch += span;
+        }
     }
 
     // ---- scheduling ----------------------------------------------------

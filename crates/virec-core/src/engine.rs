@@ -171,6 +171,16 @@ pub trait ContextEngine {
     /// Advances engine-internal machinery (BSI, transfer queues) one cycle.
     fn tick(&mut self, now: u64, env: &mut EngineEnv<'_>);
 
+    /// Earliest future cycle at which [`ContextEngine::tick`] could do
+    /// anything beyond fixed per-cycle bookkeeping, assuming no new work
+    /// arrives from the pipeline. Called after `tick(now)` by the
+    /// event-driven runner; `None` means fully quiescent. The default is
+    /// the always-safe dense answer — every cycle is an event — so engines
+    /// that do not implement the query never allow skipping past them.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
+
     /// CSL mask: a register load or store is outstanding in the BSI (§5.2).
     fn bsi_busy(&self) -> bool {
         false

@@ -122,6 +122,12 @@ impl ContextEngine for BankedEngine {
         }
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Ready-promotion happens in the same tick that drains the xfer, so
+        // after a tick `loading_tid` is only set while the xfer is busy.
+        self.xfer.next_event(now)
+    }
+
     fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
         // Banked storage has no tag store or rollback queue; only register
         // cells can be hit.

@@ -51,6 +51,23 @@ impl Xfer {
         self.queued.is_empty() && self.outstanding.is_empty()
     }
 
+    /// Earliest future cycle at which [`Xfer::tick`] could do anything.
+    /// Call after `tick(now)`. Queued transfers retry issue every cycle;
+    /// `At` waits complete at their recorded cycle; MSHR waits contribute
+    /// nothing — the dcache's own `next_event` covers their completion.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.queued.is_empty() {
+            return Some(now + 1);
+        }
+        self.outstanding
+            .iter()
+            .filter_map(|w| match *w {
+                XferWait::At(t) => Some(t.max(now + 1)),
+                XferWait::Mshr(_) => None,
+            })
+            .min()
+    }
+
     /// Issues queued transfers and completes outstanding ones.
     pub(crate) fn tick(&mut self, now: u64, dcache: &mut Cache, fabric: &mut Fabric) {
         let mut i = 0;

@@ -125,6 +125,16 @@ impl ContextEngine for SoftwareEngine {
         }
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Every tick while the xfer is busy bumps `stall_ctx_software`, so
+        // no cycle may be skipped until it drains — even MSHR waits.
+        if self.xfer.idle() {
+            None
+        } else {
+            Some(now + 1)
+        }
+    }
+
     fn drain(&mut self, region: RegRegion, mem: &mut FlatMem) {
         for (t, ctx) in self.ctxs.iter().enumerate() {
             if !self.loaded[t] {

@@ -349,6 +349,12 @@ impl ContextEngine for VirecEngine {
             .tick(now, env.dcache, env.fabric, &mut self.tags, env.mem);
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Tick only advances the BSI; pending acquires progress via the
+        // decode stage, which the core's own next-event logic covers.
+        self.bsi.next_event(now)
+    }
+
     fn bsi_busy(&self) -> bool {
         // §5.2: the BSI masks context switches during an *ongoing fill
         // request* (to simplify fill logic / protect registers being

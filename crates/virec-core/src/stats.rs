@@ -2,8 +2,10 @@
 
 use virec_mem::CacheStats;
 
-/// Counters collected while a core runs.
-#[derive(Clone, Copy, Debug, Default)]
+/// Counters collected while a core runs. `PartialEq` is part of the
+/// event-driven loop's contract: differential tests assert the dense and
+/// wakeup-scheduled loops produce byte-identical counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Total cycles simulated.
     pub cycles: u64,

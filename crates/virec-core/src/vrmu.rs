@@ -104,6 +104,11 @@ pub struct TagStore {
     entries: Vec<TagEntry>,
     /// Reverse map: `tid * 32 + reg` -> entry index (or `NO_ENTRY`).
     map: Vec<u16>,
+    /// Occupancy bitset mirroring `entries[i].meta.valid` (bit `i % 64` of
+    /// word `i / 64`). Validity only changes inside this module (allocate /
+    /// evict), so the mirror cannot go stale through `entry_mut`. Hot-path
+    /// scans walk set bits with `trailing_zeros` instead of every entry.
+    valid: Vec<u64>,
     policy: PolicyKind,
     stamp: u64,
     fill_seq: u64,
@@ -118,6 +123,7 @@ impl TagStore {
         TagStore {
             entries: vec![TagEntry::EMPTY; phys_regs],
             map: vec![NO_ENTRY; MAX_THREADS * 32],
+            valid: vec![0; phys_regs.div_ceil(64)],
             policy,
             stamp: 0,
             fill_seq: 0,
@@ -135,6 +141,45 @@ impl TagStore {
     fn map_slot(tid: u8, reg: Reg) -> usize {
         debug_assert!((tid as usize) < MAX_THREADS);
         tid as usize * 32 + reg.index()
+    }
+
+    #[inline]
+    fn set_valid(&mut self, idx: usize) {
+        self.valid[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_valid(&mut self, idx: usize) {
+        self.valid[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Indices of valid entries in ascending order, one `trailing_zeros`
+    /// per set bit.
+    fn valid_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.valid.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+
+    /// Lowest-index free entry (first zero bit). Padding bits past the
+    /// capacity sit above every real bit in the last word, so a hit on one
+    /// means the store is genuinely full.
+    fn first_free(&self) -> Option<usize> {
+        for (w, &bits) in self.valid.iter().enumerate() {
+            if bits != u64::MAX {
+                let idx = w * 64 + (!bits).trailing_zeros() as usize;
+                return (idx < self.entries.len()).then_some(idx);
+            }
+        }
+        None
     }
 
     /// Looks up `(tid, reg)`; does not touch metadata.
@@ -163,17 +208,20 @@ impl TagStore {
     /// metadata.
     pub fn touch(&mut self, idx: usize) {
         self.stamp += 1;
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if !e.meta.valid {
-                continue;
-            }
-            if i == idx {
-                e.meta.a_bits = 0;
-                e.meta.c_bit = true;
-                e.meta.last_access = self.stamp;
-                e.meta.rrpv = 0; // SRRIP hit promotion
-            } else {
-                e.meta.a_bits = (e.meta.a_bits + 1).min(AGE_MAX);
+        for w in 0..self.valid.len() {
+            let mut bits = self.valid[w];
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let e = &mut self.entries[i];
+                if i == idx {
+                    e.meta.a_bits = 0;
+                    e.meta.c_bit = true;
+                    e.meta.last_access = self.stamp;
+                    e.meta.rrpv = 0; // SRRIP hit promotion
+                } else {
+                    e.meta.a_bits = (e.meta.a_bits + 1).min(AGE_MAX);
+                }
             }
         }
     }
@@ -185,14 +233,19 @@ impl TagStore {
             return;
         }
         for _ in 0..RRPV_MAX {
-            let any_max = self.entries.iter().any(|e| {
-                e.meta.valid && e.lock_count == 0 && !e.fill_pending && e.meta.rrpv >= RRPV_MAX
+            let any_max = self.valid_indices().any(|i| {
+                let e = &self.entries[i];
+                e.lock_count == 0 && !e.fill_pending && e.meta.rrpv >= RRPV_MAX
             });
             if any_max {
                 return;
             }
-            for e in &mut self.entries {
-                if e.meta.valid {
+            for w in 0..self.valid.len() {
+                let mut bits = self.valid[w];
+                while bits != 0 {
+                    let i = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let e = &mut self.entries[i];
                     e.meta.rrpv = (e.meta.rrpv + 1).min(RRPV_MAX);
                 }
             }
@@ -204,7 +257,7 @@ impl TagStore {
     /// caller) and locked by one reference.
     pub fn allocate(&mut self, tid: u8, reg: Reg) -> AllocOutcome {
         debug_assert!(self.lookup(tid, reg).is_none(), "allocating resident reg");
-        let idx_and_victim = if let Some(idx) = self.entries.iter().position(|e| !e.meta.valid) {
+        let idx_and_victim = if let Some(idx) = self.first_free() {
             Some((idx, None))
         } else {
             self.srrip_age();
@@ -232,6 +285,7 @@ impl TagStore {
             self.map[Self::map_slot(v.tid, v.reg)] = NO_ENTRY;
         }
         self.map[Self::map_slot(tid, reg)] = idx as u16;
+        self.set_valid(idx);
 
         self.fill_seq += 1;
         self.stamp += 1;
@@ -284,15 +338,16 @@ impl TagStore {
         let idx = select_victim(self.policy, &metas, self.rotate, &mut self.rng)?;
         let v = self.entries[idx];
         self.entries[idx] = TagEntry::EMPTY;
+        self.clear_valid(idx);
         self.map[Self::map_slot(v.tid, v.reg)] = NO_ENTRY;
         Some((v.tid, v.reg, v.value, v.dirty))
     }
 
     /// Registers currently resident for thread `tid`.
     pub fn resident_regs(&self, tid: u8) -> Vec<Reg> {
-        self.entries
-            .iter()
-            .filter(|e| e.meta.valid && e.tid == tid)
+        self.valid_indices()
+            .map(|i| &self.entries[i])
+            .filter(|e| e.tid == tid)
             .map(|e| e.reg)
             .collect()
     }
@@ -301,16 +356,19 @@ impl TagStore {
     /// thread get the maximum thread-recency value, everyone else is
     /// decremented, and the incoming thread's registers are zeroed.
     pub fn on_context_switch(&mut self, out_tid: u8, in_tid: u8) {
-        for e in &mut self.entries {
-            if !e.meta.valid {
-                continue;
-            }
-            if e.tid == out_tid {
-                e.meta.t_bits = AGE_MAX;
-            } else if e.tid == in_tid {
-                e.meta.t_bits = 0;
-            } else {
-                e.meta.t_bits = e.meta.t_bits.saturating_sub(1);
+        for w in 0..self.valid.len() {
+            let mut bits = self.valid[w];
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let e = &mut self.entries[i];
+                if e.tid == out_tid {
+                    e.meta.t_bits = AGE_MAX;
+                } else if e.tid == in_tid {
+                    e.meta.t_bits = 0;
+                } else {
+                    e.meta.t_bits = e.meta.t_bits.saturating_sub(1);
+                }
             }
         }
     }
@@ -338,36 +396,28 @@ impl TagStore {
 
     /// Iterates over valid entries (for drain and debugging).
     pub fn valid_entries(&self) -> impl Iterator<Item = &TagEntry> {
-        self.entries.iter().filter(|e| e.meta.valid)
+        self.valid_indices().map(|i| &self.entries[i])
     }
 
     /// Number of valid entries (VRMU occupancy).
     pub fn valid_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.meta.valid).count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Number of entries with a fill in flight (for livelock dumps).
     pub fn fills_pending_count(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.meta.valid && e.fill_pending)
+        self.valid_indices()
+            .filter(|&i| self.entries[i].fill_pending)
             .count()
     }
 
     /// Entry index of the `nth` valid entry, wrapping modulo occupancy.
     fn nth_valid(&self, nth: usize) -> Option<usize> {
-        let valid: Vec<usize> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.meta.valid)
-            .map(|(i, _)| i)
-            .collect();
-        if valid.is_empty() {
-            None
-        } else {
-            Some(valid[nth % valid.len()])
+        let occupancy = self.valid_count();
+        if occupancy == 0 {
+            return None;
         }
+        self.valid_indices().nth(nth % occupancy)
     }
 
     /// Fault injection: flips `bit` of the physical-RF cell behind the
@@ -405,6 +455,11 @@ impl TagStore {
     /// tags and a reverse map consistent with the entry array.
     pub fn check_invariants(&self) {
         for (i, a) in self.entries.iter().enumerate() {
+            assert_eq!(
+                (self.valid[i / 64] >> (i % 64)) & 1 == 1,
+                a.meta.valid,
+                "occupancy bitset out of sync at entry {i}"
+            );
             if !a.meta.valid {
                 continue;
             }

@@ -406,6 +406,40 @@ impl Cache {
         }
     }
 
+    /// Earliest future cycle at which [`Cache::tick`] could do anything, or
+    /// a requester waiting on an MSHR could observe completion. Call after
+    /// `tick(now)`. `None` means the cache has nothing in flight. Unfilled
+    /// MSHRs and posted writebacks whose fabric completion times are not yet
+    /// decided contribute nothing: the fabric's own [`Fabric::next_event`]
+    /// covers their progression, and once the fabric schedules them their
+    /// `done_at` times appear here.
+    pub fn next_event(&self, now: u64, fabric: &Fabric) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut push = |t: u64| {
+            let t = t.max(now + 1);
+            min = Some(min.map_or(t, |m: u64| m.min(t)));
+        };
+        for m in &self.mshrs {
+            match m.ready_at {
+                // Filled: waiters poll `mshr_ready` and act at this cycle.
+                Some(t) => push(t),
+                // Unfilled: the install happens on the tick at the fabric's
+                // response time, once scheduling has decided it.
+                None => {
+                    if let Some(t) = fabric.done_at(m.token) {
+                        push(t);
+                    }
+                }
+            }
+        }
+        for &t in &self.writeback_tokens {
+            if let Some(done) = fabric.done_at(t) {
+                push(done);
+            }
+        }
+        min
+    }
+
     fn install(&mut self, now: u64, line_addr: u64, waiters: &[AccessKind], fabric: &mut Fabric) {
         let set = self.set_index(line_addr);
         let tag = line_addr / LINE_BYTES;

@@ -228,6 +228,37 @@ impl Fabric {
         debug_assert!(removed.is_some(), "retiring unknown token {token}");
     }
 
+    /// Absolute cycle at which `token`'s response becomes available, once
+    /// bank scheduling has decided it. `None` while the request is still
+    /// queued or in flight (its completion time is not yet known).
+    pub fn done_at(&self, token: ReqToken) -> Option<u64> {
+        self.done.get(&token).copied()
+    }
+
+    /// Earliest future cycle at which [`Fabric::tick`] could do anything,
+    /// assuming no new submissions arrive. Call after `tick(now)`. `None`
+    /// means the fabric is quiescent (no queued or in-flight requests);
+    /// completed-but-unretired responses need no further fabric ticks.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.accept_queue.is_empty() {
+            // Crossbar acceptance happens every tick while the queue is
+            // non-empty.
+            return Some(now + 1);
+        }
+        // An in-flight request is serviceable once it has arrived at the
+        // controller and its bank is free. Bank busy times only shrink via
+        // other services, which themselves require a tick at or after this
+        // minimum, so the min over requests is a safe wakeup.
+        self.inflight
+            .iter()
+            .map(|p| {
+                let (chan, bank_idx, _) = self.map_addr(p.addr);
+                let bidx = chan * self.cfg.dram.banks_per_channel + bank_idx;
+                p.arrive_at.max(self.banks[bidx].busy_until).max(now + 1)
+            })
+            .min()
+    }
+
     /// Number of requests somewhere in the fabric (excluding completed).
     pub fn outstanding(&self) -> usize {
         self.accept_queue.len() + self.inflight.len()

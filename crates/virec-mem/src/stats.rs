@@ -1,7 +1,7 @@
 //! Cache statistics counters.
 
 /// Hit/miss and pinning statistics for one cache.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand accesses that hit.
     pub hits: u64,

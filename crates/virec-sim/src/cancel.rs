@@ -138,6 +138,20 @@ impl RunGate {
         }
         self.trip()
     }
+
+    /// Schedule-based variant of [`RunGate::poll`] for event-driven loops
+    /// that may fast-forward the cycle counter: checks once `cycle` reaches
+    /// `*next` and advances the schedule. Starting from `next = 0` this
+    /// reproduces the dense cadence (0, 8192, …) exactly while guaranteeing
+    /// a skipped span cannot starve cancellation — the first iteration at
+    /// or past a due poll always performs the check.
+    pub fn poll_due(&self, cycle: u64, next: &mut u64) -> Option<GateTrip> {
+        if cycle < *next {
+            return None;
+        }
+        *next = cycle + GATE_POLL_CYCLES;
+        self.trip()
+    }
 }
 
 struct InterruptState {

@@ -428,6 +428,9 @@ fn dec_data(v: &Json) -> Option<CellData> {
                 },
                 None => EccStats::default(),
             },
+            // Wall-clock snapshot cost is not journaled (non-deterministic);
+            // replayed cells report zero.
+            checkpoint_clone_ns: 0,
         }))),
         "system" => Some(CellData::System(Box::new(SystemResult {
             cycles: v.get("cycles")?.u64()?,
@@ -777,6 +780,8 @@ mod tests {
                 restores: 1,
                 replay_cycles: 400,
             },
+            // Never journaled; roundtrips compare against the restored zero.
+            checkpoint_clone_ns: 0,
         }
     }
 

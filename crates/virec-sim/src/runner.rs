@@ -62,6 +62,11 @@ pub struct RunOptions {
     /// never trips. The step loop polls it cheaply and degrades to a
     /// typed [`SimError::Deadline`] when it fires.
     pub gate: RunGate,
+    /// Force the dense cycle-by-cycle loop instead of event-driven cycle
+    /// skipping. Both loops produce byte-identical stats and digests; the
+    /// dense loop exists as a differential reference and escape hatch
+    /// (also reachable via the `VIREC_NO_SKIP=1` environment variable).
+    pub dense_loop: bool,
 }
 
 impl Default for RunOptions {
@@ -77,8 +82,15 @@ impl Default for RunOptions {
             checkpoint_interval: 0,
             checkpoint_depth: 4,
             gate: RunGate::unbounded(),
+            dense_loop: false,
         }
     }
+}
+
+/// True when event-driven cycle skipping is disabled, either per-run
+/// ([`RunOptions::dense_loop`]) or process-wide (`VIREC_NO_SKIP=1`).
+pub(crate) fn dense_requested(opt_dense: bool) -> bool {
+    opt_dense || std::env::var_os("VIREC_NO_SKIP").is_some_and(|v| v == "1")
 }
 
 /// Builds the typed error for a tripped gate from a live core snapshot.
@@ -108,6 +120,10 @@ pub struct RunResult {
     /// Protection-model and checkpoint/replay counters (all zero unless
     /// the run carried a fault plan with protection or checkpointing on).
     pub ecc: EccStats,
+    /// Wall-clock nanoseconds spent snapshotting into the checkpoint ring
+    /// (zero when checkpointing is off). Non-deterministic by nature, so it
+    /// is reported but never journaled or folded into digests.
+    pub checkpoint_clone_ns: u64,
 }
 
 impl RunResult {
@@ -206,27 +222,46 @@ fn try_run_single_impl(
         ));
     }
 
+    let dense = dense_requested(opts.dense_loop);
+    let mut next_poll = 0u64;
+    let mut checkpoint_clone_ns = 0u64;
+
     let mut now = 0u64;
     while !core.done() {
-        if let Some(trip) = opts.gate.poll(now) {
+        if let Some(trip) = opts.gate.poll_due(now, &mut next_poll) {
             return Err(wrap(
                 deadline_error(trip, workload.name, &core, now),
                 &faults_applied,
             ));
         }
         if ckpt_interval > 0 && now.is_multiple_of(ckpt_interval) {
+            let snap_start = std::time::Instant::now();
             if checkpoints.len() == ckpt_depth {
-                checkpoints.pop_front();
+                // Swap-and-overwrite: recycle the evicted ring slot's heap
+                // buffers (memory image, cache arrays, queues) instead of
+                // reallocating a full deep copy for every snapshot. Only
+                // the boxed engine is necessarily a fresh allocation.
+                let mut slot = checkpoints.pop_front().expect("ring is non-empty at depth");
+                slot.cycle = now;
+                slot.core.clone_from(&core);
+                slot.fabric.clone_from(&fabric);
+                slot.mem.clone_from(&mem);
+                slot.pending.clone_from(&pending);
+                slot.faults_applied.clone_from(&faults_applied);
+                slot.ecc = ecc;
+                checkpoints.push_back(slot);
+            } else {
+                checkpoints.push_back(Checkpoint {
+                    cycle: now,
+                    core: core.clone(),
+                    fabric: fabric.clone(),
+                    mem: mem.clone(),
+                    pending: pending.clone(),
+                    faults_applied: faults_applied.clone(),
+                    ecc,
+                });
             }
-            checkpoints.push_back(Checkpoint {
-                cycle: now,
-                core: core.clone(),
-                fabric: fabric.clone(),
-                mem: mem.clone(),
-                pending: pending.clone(),
-                faults_applied: faults_applied.clone(),
-                ecc,
-            });
+            checkpoint_clone_ns += snap_start.elapsed().as_nanos() as u64;
             ecc.checkpoints_taken += 1;
         }
         fabric.tick(now);
@@ -312,6 +347,9 @@ fn try_run_single_impl(
                             detect_cycle - ck.cycle
                         ));
                         watchdog = Watchdog::new(opts.livelock_cycles);
+                        // The poll schedule rewinds with the clock so the
+                        // replay window stays responsive to cancellation.
+                        next_poll = now;
                         continue;
                     }
                     None => {
@@ -342,6 +380,46 @@ fn try_run_single_impl(
             };
             return Err(wrap(e, &faults_applied));
         }
+
+        // Event-driven fast-forward (tentpole of the wakeup-scheduled core):
+        // the cycle just ticked was `now - 1`; if no component can do
+        // anything before `wake`, every tick in `[now, wake)` is provably a
+        // no-op and the clock jumps there directly, crediting the span to
+        // the same stall counters the dense loop would have bumped. Wakeups
+        // are capped so scheduled faults, checkpoints, the watchdog's firing
+        // observation, and the cycle budget all land on exactly the cycles
+        // the dense loop gives them.
+        if !dense && !core.done() {
+            let ticked = now - 1;
+            // On a productive cycle the core's answer is exactly `now`
+            // (its fast path); bail before paying for the fabric scan and
+            // the cap arithmetic.
+            let core_next = core.next_event(ticked, &fabric);
+            if core_next == Some(now) {
+                continue;
+            }
+            let mut wake = [core_next, fabric.next_event(ticked)]
+                .into_iter()
+                .flatten()
+                .min()
+                .unwrap_or(u64::MAX);
+            if let Some(deadline) = watchdog.deadline() {
+                // Tick deadline-1; the observation at `deadline` then
+                // reports a stall of exactly the threshold, as dense does.
+                wake = wake.min(deadline - 1);
+            }
+            wake = wake.min(cfg.max_cycles - 1);
+            for ev in &pending {
+                wake = wake.min(ev.cycle);
+            }
+            if ckpt_interval > 0 {
+                wake = wake.min(now.next_multiple_of(ckpt_interval));
+            }
+            if wake > now {
+                core.credit_skipped(wake - now);
+                now = wake;
+            }
+        }
     }
     core.finalize_stats();
     core.drain(&mut mem);
@@ -364,6 +442,7 @@ fn try_run_single_impl(
             faults_applied,
             arch_digest,
             ecc,
+            checkpoint_clone_ns,
         },
         trace,
     ))

@@ -183,6 +183,10 @@ pub struct ServeConfig {
     pub verify: bool,
     /// Cycles per reporting epoch (fabric-traffic snapshots); 0 disables.
     pub epoch_cycles: u64,
+    /// Force the dense per-cycle step loop instead of the event-driven
+    /// fast-forward (also forced globally by `VIREC_NO_SKIP=1`). Both loops
+    /// produce byte-identical reports; this is a debugging escape hatch.
+    pub dense_loop: bool,
 }
 
 impl ServeConfig {
@@ -209,6 +213,7 @@ impl ServeConfig {
             mix: default_mix(64),
             verify: true,
             epoch_cycles: 1 << 16,
+            dense_loop: false,
         }
     }
 
@@ -461,6 +466,10 @@ struct InFlight {
     dispatched_at: u64,
     budget: u64,
     gate: RunGate,
+    /// Next local cycle the wall-clock gate is consulted (event-driven
+    /// loops fast-forward the clock, so the gate runs on a schedule
+    /// instead of a cycle mask).
+    next_poll: u64,
     fault: Option<AttemptFault>,
 }
 
@@ -580,13 +589,15 @@ impl TaskService {
     /// cancellation stops the service and all in-flight attempts.
     pub fn run_gated(&mut self, gate: &RunGate) -> Result<ServeReport, SimError> {
         self.token = gate.token().clone();
+        let dense = crate::runner::dense_requested(self.cfg.dense_loop);
         let mut queue: VecDeque<Task> = VecDeque::new();
         let mut next_arrival = 0usize;
+        let mut next_poll = 0u64;
         let mut now = 0u64;
         let mut next_epoch = self.cfg.epoch_cycles;
 
         while self.accounted < self.cfg.tasks {
-            if let Some(trip) = gate.poll(now) {
+            if let Some(trip) = gate.poll_due(now, &mut next_poll) {
                 return Err(SimError::Deadline {
                     elapsed_ms: trip.elapsed_ms,
                     limit_ms: trip.limit_ms,
@@ -679,6 +690,21 @@ impl TaskService {
                 }
                 self.report.healthy_core_cycles += self.healthy() as u64;
                 now += 1;
+                // Event-driven fast-forward over spans where every busy
+                // slot is provably stalled and no dispatcher action
+                // (arrival, dispatch, shed, epoch, fault, deadline) is due.
+                if !dense {
+                    if let Some(wake) = self.skip_target(&queue, next_arrival, next_epoch, now) {
+                        let span = wake - now;
+                        for slot in &mut self.slots {
+                            if let Slot::Busy(inf) = slot {
+                                inf.core.credit_skipped(span);
+                            }
+                        }
+                        self.report.healthy_core_cycles += self.healthy() as u64 * span;
+                        now = wake;
+                    }
+                }
             } else if next_arrival < self.arrivals.len() {
                 // Idle: fast-forward to the next arrival.
                 let target = self.arrivals[next_arrival].0.max(now + 1);
@@ -715,6 +741,79 @@ impl TaskService {
             .iter()
             .filter(|s| !matches!(s, Slot::Quarantined))
             .count()
+    }
+
+    /// The next cycle anything in the service can act, or `None` when no
+    /// cycle before it may be skipped. Capped so every dispatcher action
+    /// the dense loop performs lands on exactly the same cycle: the next
+    /// arrival, queued-task SLO expiries, the epoch snapshot, and per-slot
+    /// fault due-times, in-flight SLO deadlines, watchdog firing
+    /// observations, and cycle-budget exhaustion.
+    fn skip_target(
+        &self,
+        queue: &VecDeque<Task>,
+        next_arrival: usize,
+        next_epoch: u64,
+        now: u64,
+    ) -> Option<u64> {
+        // Settlement may have idled every slot this very iteration; the
+        // dense loop then exits or falls into the idle-branch fast-forward,
+        // so a skip from here would overshoot it.
+        if !self.slots.iter().any(|s| matches!(s, Slot::Busy(_))) {
+            return None;
+        }
+        // A queued task with an idle slot dispatches at the very next
+        // iteration; a queued task with zero healthy cores drains there.
+        if !queue.is_empty()
+            && (self.healthy() == 0 || self.slots.iter().any(|s| matches!(s, Slot::Idle)))
+        {
+            return None;
+        }
+        let ticked = now - 1;
+        // Any busy core answering `now` (its productive fast path) pins the
+        // joint wakeup to `now` — bail before the fabric scan and per-slot
+        // cap arithmetic.
+        let mut wake = u64::MAX;
+        for slot in &self.slots {
+            if let Slot::Busy(inf) = slot {
+                if let Some(t) = inf.core.next_event(ticked, &self.fabric) {
+                    if t <= now {
+                        return None;
+                    }
+                    wake = wake.min(t);
+                }
+            }
+        }
+        if let Some(t) = self.fabric.next_event(ticked) {
+            wake = wake.min(t);
+        }
+        for slot in &self.slots {
+            let Slot::Busy(inf) = slot else { continue };
+            if let Some(f) = inf.fault {
+                wake = wake.min(inf.dispatched_at + f.at);
+            }
+            if self.cfg.deadline_cycles > 0 {
+                wake = wake.min(inf.task.arrival + self.cfg.deadline_cycles);
+            }
+            if let Some(deadline) = inf.watchdog.deadline() {
+                // `deadline` is a local observation cycle (observe runs at
+                // local+1), so the tick that fires it is one earlier.
+                wake = wake.min(inf.dispatched_at + deadline - 1);
+            }
+            wake = wake.min((inf.dispatched_at + inf.budget).saturating_sub(1));
+        }
+        if next_arrival < self.arrivals.len() {
+            wake = wake.min(self.arrivals[next_arrival].0);
+        }
+        if self.cfg.deadline_cycles > 0 {
+            for t in queue {
+                wake = wake.min(t.arrival + self.cfg.deadline_cycles);
+            }
+        }
+        if self.cfg.epoch_cycles > 0 {
+            wake = wake.min(next_epoch);
+        }
+        (wake > now && wake != u64::MAX).then_some(wake)
     }
 
     fn push_epoch(&mut self, now: u64, queue_len: usize) {
@@ -771,6 +870,7 @@ impl TaskService {
             dispatched_at: now,
             budget,
             gate: RunGate::new(self.token.clone(), self.cfg.task_deadline_ms),
+            next_poll: 0,
             fault,
         }));
     }
@@ -881,7 +981,7 @@ impl TaskService {
                 continue; // already aborted by an uncorrectable upset
             }
             let local = now - inf.dispatched_at;
-            if let Some(trip) = inf.gate.poll(local) {
+            if let Some(trip) = inf.gate.poll_due(local, &mut inf.next_poll) {
                 events.push((
                     i,
                     AttemptEnd::Fail {

@@ -136,6 +136,10 @@ pub struct System {
     mem: FlatMem,
     workloads: Vec<Workload>,
     cfg: SystemConfig,
+    /// Force the dense per-cycle step loop (see
+    /// [`crate::runner::RunOptions::dense_loop`]); the event-driven loop is
+    /// byte-identical, so this is a debugging escape hatch only.
+    dense_loop: bool,
 }
 
 impl System {
@@ -239,7 +243,16 @@ impl System {
             mem,
             workloads,
             cfg,
+            dense_loop: false,
         })
+    }
+
+    /// Forces the dense per-cycle loop for this system (normally the run
+    /// loop fast-forwards over provably idle spans; `VIREC_NO_SKIP=1` has
+    /// the same effect globally). Both loops produce byte-identical
+    /// results, so this is a debugging/differential-testing knob.
+    pub fn set_dense_loop(&mut self, dense: bool) {
+        self.dense_loop = dense;
     }
 
     /// Per-core statistics access while the system is alive (post-run).
@@ -282,9 +295,11 @@ impl System {
                 diag: self.capture_diag(0),
             });
         }
+        let dense = crate::runner::dense_requested(self.dense_loop);
+        let mut next_poll = 0u64;
         let mut now = 0u64;
         while !self.cores.iter().all(|c| c.done()) {
-            if let Some(trip) = gate.poll(now) {
+            if let Some(trip) = gate.poll_due(now, &mut next_poll) {
                 return Err(SimError::Deadline {
                     elapsed_ms: trip.elapsed_ms,
                     limit_ms: trip.limit_ms,
@@ -311,6 +326,47 @@ impl System {
                     budget,
                     diag: self.capture_diag(now),
                 });
+            }
+            // Event-driven fast-forward: when every unfinished core and the
+            // shared fabric agree nothing can happen before `wake`, jump the
+            // whole system there and credit each unfinished core's stall
+            // counters for the span (finished cores stop ticking in the
+            // dense loop too, so they are not credited).
+            if !dense && !self.cores.iter().all(|c| c.done()) {
+                let ticked = now - 1;
+                // Any core answering `now` (its productive fast path) pins
+                // the joint wakeup to `now` — bail before the fabric scan.
+                let mut next: Option<u64> = None;
+                let mut busy_now = false;
+                for core in self.cores.iter().filter(|c| !c.done()) {
+                    if let Some(t) = core.next_event(ticked, &self.fabric) {
+                        if t <= now {
+                            busy_now = true;
+                            break;
+                        }
+                        next = Some(next.map_or(t, |m: u64| m.min(t)));
+                    }
+                }
+                if busy_now {
+                    continue;
+                }
+                if let Some(t) = self.fabric.next_event(ticked) {
+                    next = Some(next.map_or(t, |m: u64| m.min(t)));
+                }
+                let mut wake = next.unwrap_or(u64::MAX);
+                if let Some(deadline) = watchdog.deadline() {
+                    wake = wake.min(deadline - 1);
+                }
+                wake = wake.min(budget - 1);
+                if wake > now {
+                    let span = wake - now;
+                    for core in &mut self.cores {
+                        if !core.done() {
+                            core.credit_skipped(span);
+                        }
+                    }
+                    now = wake;
+                }
             }
         }
         for core in &mut self.cores {

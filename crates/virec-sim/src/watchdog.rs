@@ -37,6 +37,19 @@ impl Watchdog {
         }
     }
 
+    /// The earliest observation cycle at which the watchdog would fire if
+    /// no further instruction commits (`None` when disabled). Event-driven
+    /// loops must not fast-forward past `deadline() - 1`: the fatal
+    /// observation then happens at exactly this cycle with a stall count of
+    /// exactly `threshold`, byte-identical to the dense loop. A skipped
+    /// span counts as the single observation at its wake cycle — it neither
+    /// trips the watchdog early (no observation mid-span reports a partial
+    /// drought) nor extends the threshold (the deadline cap guarantees the
+    /// firing observation is never jumped over).
+    pub fn deadline(&self) -> Option<u64> {
+        (self.threshold > 0).then(|| self.last_progress_cycle + self.threshold)
+    }
+
     /// Feeds one cycle's progress. `committed` is the monotonically
     /// non-decreasing total of committed instructions. Returns
     /// `Err(stalled_cycles)` once the commit drought reaches the threshold.
@@ -87,5 +100,36 @@ mod tests {
         for now in 0..10_000 {
             w.observe(now, 0).unwrap();
         }
+        assert_eq!(w.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_tracks_progress() {
+        let mut w = Watchdog::new(10);
+        assert_eq!(w.deadline(), Some(10));
+        w.observe(3, 1).unwrap();
+        assert_eq!(w.deadline(), Some(13), "progress pushes the deadline out");
+        w.observe(7, 1).unwrap();
+        assert_eq!(w.deadline(), Some(13), "droughts do not move it");
+    }
+
+    #[test]
+    fn skip_to_deadline_fires_exactly_like_dense() {
+        // A fast-forwarded span observed once at the capped wake cycle
+        // reports the same stall count as dense per-cycle observation.
+        let mut dense = Watchdog::new(10);
+        dense.observe(0, 1).unwrap();
+        let mut fired = None;
+        for now in 1..=20 {
+            if let Err(stalled) = dense.observe(now, 1) {
+                fired = Some((now, stalled));
+                break;
+            }
+        }
+        let mut skip = Watchdog::new(10);
+        skip.observe(0, 1).unwrap();
+        let wake = skip.deadline().unwrap();
+        assert_eq!(skip.observe(wake, 1), Err(10));
+        assert_eq!(fired, Some((wake, 10)));
     }
 }

@@ -1,0 +1,162 @@
+//! Differential proof of the event-driven scheduler's headline invariant:
+//! the wakeup-scheduled loop and the dense cycle-by-cycle loop produce
+//! **byte-identical** statistics, architectural digests, and reports —
+//! across every context engine, the whole workload suite, a seeded
+//! fault-injection campaign with checkpointing, and a full serve run.
+//!
+//! The dense loop is selected per run via `RunOptions::dense_loop` (the
+//! `VIREC_NO_SKIP=1` environment variable forces it globally); the
+//! event-driven loop is the default everywhere else in the tree, so these
+//! tests are the only place both loops run side by side on the same input.
+
+use virec::core::CoreConfig;
+use virec::sim::runner::{try_run_single, RunOptions, RunResult};
+use virec::sim::serve::{default_mix, ServeConfig, ServeFaultPlan};
+use virec::sim::{
+    run_service, FaultPlan, FaultSite, ProtectionConfig, SimError, System, SystemConfig,
+};
+use virec::workloads::{kernels, suite, Layout};
+
+const N: u64 = 256;
+
+/// Same options, dense loop forced.
+fn densified(opts: &RunOptions) -> RunOptions {
+    RunOptions {
+        dense_loop: true,
+        ..opts.clone()
+    }
+}
+
+/// Field-by-field identity on everything deterministic in a [`RunResult`]
+/// (`checkpoint_clone_ns` is wall-clock and deliberately excluded).
+fn assert_identical(label: &str, dense: &RunResult, skip: &RunResult) {
+    assert_eq!(dense.cycles, skip.cycles, "{label}: cycles diverged");
+    assert_eq!(dense.stats, skip.stats, "{label}: stats diverged");
+    assert_eq!(
+        dense.arch_digest, skip.arch_digest,
+        "{label}: arch digest diverged"
+    );
+    assert_eq!(
+        dense.faults_applied, skip.faults_applied,
+        "{label}: applied faults diverged"
+    );
+    assert_eq!(dense.ecc, skip.ecc, "{label}: ecc counters diverged");
+}
+
+#[test]
+fn all_engines_all_workloads_byte_identical() {
+    for w in suite(N, Layout::for_core(0)) {
+        let configs = [
+            CoreConfig::virec(4, 16),
+            CoreConfig::virec(8, 12), // starved RF: maximal spill/fill traffic
+            CoreConfig::banked(4),
+            CoreConfig::software(3),
+            CoreConfig::nsf(4, 16),
+            CoreConfig::prefetch_full(4, w.active_context_size()),
+        ];
+        for cfg in configs {
+            let opts = RunOptions::default();
+            let skip = try_run_single(cfg, &w, &opts)
+                .unwrap_or_else(|e| panic!("{}: event-driven run failed: {e}", w.name));
+            let dense = try_run_single(cfg, &w, &densified(&opts))
+                .unwrap_or_else(|e| panic!("{}: dense run failed: {e}", w.name));
+            assert_identical(&format!("{} / {:?}", w.name, cfg.engine), &dense, &skip);
+            assert!(skip.cycles > 0 && skip.stats.instructions > 0);
+        }
+    }
+}
+
+/// Flattens an outcome to a comparable string: full field identity for
+/// successes, the (deterministic) display rendering for typed failures.
+fn outcome_key(r: &Result<RunResult, SimError>) -> String {
+    match r {
+        Ok(res) => format!(
+            "ok cycles={} digest={:#x} stats={:?} faults={:?} ecc={:?}",
+            res.cycles, res.arch_digest, res.stats, res.faults_applied, res.ecc
+        ),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+#[test]
+fn seeded_fault_campaign_byte_identical() {
+    // 64 seeded injections over live microarchitectural state, each run
+    // under both loops with checkpointing enabled — detection cycle,
+    // recovery/replay accounting, and final digests must all agree.
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    let cfg = CoreConfig::virec(4, 32);
+    let clean = try_run_single(cfg, &w, &RunOptions::default()).expect("clean run");
+    let window = (clean.cycles / 10, clean.cycles * 9 / 10);
+    let sites = [
+        FaultSite::TagValue,
+        FaultSite::RollbackSlot,
+        FaultSite::DramLine,
+    ];
+    for i in 0..64u64 {
+        let opts = RunOptions {
+            livelock_cycles: clean.cycles * 4,
+            faults: FaultPlan::seeded(0x5EED_7E57 ^ i, 1, window, &sites),
+            protection: ProtectionConfig::secded(),
+            checkpoint_interval: 4096,
+            checkpoint_depth: 4,
+            ..RunOptions::default()
+        };
+        let skip = try_run_single(cfg, &w, &opts);
+        let dense = try_run_single(cfg, &w, &densified(&opts));
+        assert_eq!(
+            outcome_key(&dense),
+            outcome_key(&skip),
+            "injection {i} diverged between loops"
+        );
+    }
+}
+
+#[test]
+fn system_run_byte_identical() {
+    let cfg = SystemConfig {
+        ncores: 3,
+        core: CoreConfig::virec(4, 32),
+        fabric: Default::default(),
+    };
+    let run = |dense: bool| {
+        let mut sys = System::new(cfg, kernels::spatter::gather, 192);
+        sys.set_dense_loop(dense);
+        sys.try_run().expect("system run completes")
+    };
+    let skip = run(false);
+    let dense = run(true);
+    assert_eq!(dense.cycles, skip.cycles, "system cycles diverged");
+    assert_eq!(dense.per_core, skip.per_core, "per-core stats diverged");
+    assert_eq!(
+        format!("{:?}", dense.fabric),
+        format!("{:?}", skip.fabric),
+        "fabric stats diverged"
+    );
+}
+
+#[test]
+fn serve_run_byte_identical() {
+    // A faulty, protected, deadline-bearing service run: arrivals, SLO
+    // shedding, quarantine, failover, epochs, and latency percentiles all
+    // ride on the shared clock the skip loop fast-forwards.
+    let run = |dense: bool| {
+        let mut cfg = ServeConfig::streaming(3, CoreConfig::virec(2, 16), 48, 0xD1FF_5EED);
+        cfg.mix = default_mix(32);
+        cfg.mean_interarrival = 512;
+        cfg.faults = ServeFaultPlan::campaign(8, 1);
+        cfg.protection = ProtectionConfig::secded();
+        cfg.deadline_cycles = 400_000;
+        cfg.dense_loop = dense;
+        run_service(cfg).expect("serve run completes")
+    };
+    let skip = run(false);
+    let dense = run(true);
+    // ServeReport has no wall-clock fields: the debug rendering covers
+    // every counter, latency sample, and epoch snapshot.
+    assert_eq!(
+        format!("{dense:?}"),
+        format!("{skip:?}"),
+        "serve reports diverged"
+    );
+    assert!(skip.completed > 0, "serve run must do real work");
+}
