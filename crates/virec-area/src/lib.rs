@@ -30,9 +30,16 @@
 //! bit per CAM entry, and small fixed codec blocks — with the headline
 //! that protecting ViReC's small RF costs far less silicon than
 //! protecting a banked design's per-thread banks.
+//!
+//! The [`ras`] module prices the permanent-fault survival hardware (spare
+//! VRMU ways at the CAM margin, the spare-row remap CAM, the patrol
+//! scrubber FSM, and the CE tracker file) — and shows the ≈40% area win
+//! holds with protection *and* sparing on both designs.
 
 pub mod ecc;
 pub mod model;
+pub mod ras;
 
 pub use ecc::{EccAreaModel, EccOverhead, PARITY_STORAGE_FRAC, SECDED_STORAGE_FRAC};
 pub use model::AreaModel;
+pub use ras::{RasAreaModel, RasOverhead};

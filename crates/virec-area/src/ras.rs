@@ -1,0 +1,184 @@
+//! Area cost of the RAS layer (patrol scrubber, CE trackers, spare
+//! rows/ways, remap CAM), layered over [`AreaModel`] and the ECC model —
+//! answering the ISSUE-8 question: does full protection **plus** sparing
+//! still widen ViReC's area win over banked?
+//!
+//! The spare-way term is priced at the *marginal* silicon of widening the
+//! VRMU structures by `spare_ways` physical ways (the spares are real ways,
+//! pre-masked until a retirement activates them — see
+//! `TagStore::with_spares`), so it inherits the tag store's superlinear
+//! CAM exponent. Spare DRAM rows live on the memory die, not the logic
+//! die; what the core-side model prices is the **remap CAM** in front of
+//! the row decoder (one entry per retirable row) and the steering muxes.
+//! The scrubber itself is a tiny fixed FSM (address counter + compare),
+//! and the CE trackers are one small saturating counter per tracked
+//! region.
+
+use crate::ecc::EccAreaModel;
+use crate::model::AreaModel;
+
+/// RAS overhead of one engine, split into its components (mm²).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RasOverhead {
+    /// Marginal storage of the spare ways (CAM entries + backing
+    /// registers held in reserve). Zero for engines without a VRMU.
+    pub spare_way_mm2: f64,
+    /// Remap CAM + row-steering muxes for the spare-row pool.
+    pub remap_mm2: f64,
+    /// Patrol-scrubber FSM (address counter, schedule compare, one
+    /// read-modify-write buffer).
+    pub scrubber_mm2: f64,
+    /// Leaky-bucket CE counters, one per tracked region.
+    pub trackers_mm2: f64,
+}
+
+impl RasOverhead {
+    /// Total RAS silicon for the engine.
+    pub fn total_mm2(&self) -> f64 {
+        self.spare_way_mm2 + self.remap_mm2 + self.scrubber_mm2 + self.trackers_mm2
+    }
+}
+
+/// Analytic model of the RAS hardware, parameterized like
+/// [`EccAreaModel`] so the constants can be recalibrated independently.
+#[derive(Clone, Copy, Debug)]
+pub struct RasAreaModel {
+    /// One remap-CAM entry plus its steering mux share (mm²). Calibrated
+    /// to a 48-bit match + 40-bit payload CAM row at 45 nm.
+    pub remap_entry_mm2: f64,
+    /// The patrol scrubber's fixed FSM block (mm²).
+    pub scrubber_mm2: f64,
+    /// One leaky-bucket CE counter: a few-bit saturating counter plus
+    /// threshold compare (mm²).
+    pub tracker_mm2: f64,
+    /// Spare DRAM rows provisioned (remap CAM entries).
+    pub spare_rows: usize,
+    /// Spare VRMU ways provisioned per core.
+    pub spare_ways: usize,
+    /// Regions with a dedicated CE tracker (banks + CAM ways sharing a
+    /// small tracker file).
+    pub tracked_regions: usize,
+}
+
+impl Default for RasAreaModel {
+    fn default() -> Self {
+        RasAreaModel {
+            remap_entry_mm2: 3.0e-4,
+            scrubber_mm2: 1.5e-3,
+            tracker_mm2: 1.0e-4,
+            spare_rows: 4,
+            spare_ways: 2,
+            tracked_regions: 16,
+        }
+    }
+}
+
+impl RasAreaModel {
+    /// RAS blocks every engine pays regardless of register organization:
+    /// the remap CAM, the scrubber, and the CE tracker file.
+    fn common(&self) -> RasOverhead {
+        RasOverhead {
+            spare_way_mm2: 0.0,
+            remap_mm2: self.remap_entry_mm2 * self.spare_rows as f64,
+            scrubber_mm2: self.scrubber_mm2,
+            trackers_mm2: self.tracker_mm2 * self.tracked_regions as f64,
+        }
+    }
+
+    /// RAS overhead for a ViReC core with `regs` in-service physical
+    /// registers: the common blocks plus the marginal cost of carrying
+    /// `spare_ways` extra (masked) ways through the RF, tag store, and
+    /// VRMU logic.
+    pub fn virec_overhead(&self, area: &AreaModel, regs: usize) -> RasOverhead {
+        let wide = regs + self.spare_ways;
+        let marginal = |f: &dyn Fn(usize) -> f64| f(wide) - f(regs);
+        RasOverhead {
+            spare_way_mm2: marginal(&|r| area.rf_area(r))
+                + marginal(&|r| area.tag_store_area(r))
+                + marginal(&|r| area.vrmu_logic_area(r)),
+            ..self.common()
+        }
+    }
+
+    /// RAS overhead for a banked core: no CAM ways to spare (a failed
+    /// bank entry retires through the row-remap path instead), so only
+    /// the common blocks.
+    pub fn banked_overhead(&self, _area: &AreaModel, _threads: usize) -> RasOverhead {
+        self.common()
+    }
+
+    /// Fully-protected ViReC core: base + VRMU + ECC + RAS.
+    pub fn virec_core(&self, area: &AreaModel, ecc: &EccAreaModel, regs: usize) -> f64 {
+        ecc.virec_core(area, regs) + self.virec_overhead(area, regs).total_mm2()
+    }
+
+    /// Fully-protected banked core: base + banks + ECC + RAS.
+    pub fn banked_core(&self, area: &AreaModel, ecc: &EccAreaModel, threads: usize) -> f64 {
+        ecc.banked_core(area, threads) + self.banked_overhead(area, threads).total_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (AreaModel, EccAreaModel, RasAreaModel) {
+        (
+            AreaModel::default(),
+            EccAreaModel::default(),
+            RasAreaModel::default(),
+        )
+    }
+
+    #[test]
+    fn spare_ways_are_priced_at_the_cam_margin() {
+        // Two spare ways must cost exactly what growing the VRMU by two
+        // ways costs — no more, no less.
+        let (a, _, r) = models();
+        let o = r.virec_overhead(&a, 64);
+        let expected = (a.rf_area(66) - a.rf_area(64))
+            + (a.tag_store_area(66) - a.tag_store_area(64))
+            + (a.vrmu_logic_area(66) - a.vrmu_logic_area(64));
+        assert!((o.spare_way_mm2 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ras_stays_a_small_fraction_of_the_protected_core() {
+        let (a, e, r) = models();
+        for threads in [8usize, 16] {
+            let regs = 8 * threads;
+            let v = r.virec_overhead(&a, regs).total_mm2() / r.virec_core(&a, &e, regs);
+            let b = r.banked_overhead(&a, threads).total_mm2() / r.banked_core(&a, &e, threads);
+            assert!(v < 0.03, "virec ras fraction {v}");
+            assert!(b < 0.03, "banked ras fraction {b}");
+        }
+    }
+
+    #[test]
+    fn area_win_survives_full_protection_and_sparing() {
+        // The ISSUE-8 question: with SEC-DED + parity + spares + scrubber
+        // + remap CAM on BOTH designs, ViReC's ≈40% savings claim holds.
+        let (a, e, r) = models();
+        let savings = 1.0 - r.virec_core(&a, &e, 64) / r.banked_core(&a, &e, 8);
+        assert!((0.35..=0.45).contains(&savings), "got {savings}");
+    }
+
+    #[test]
+    fn ras_gap_does_not_close_the_protection_gap() {
+        // ViReC pays more RAS silicon than banked (it spares CAM ways the
+        // banked design doesn't have) — but the extra must stay far below
+        // the protection gap it would need to close.
+        let (a, e, r) = models();
+        for threads in [8usize, 16] {
+            let regs = 8 * threads;
+            let ras_extra =
+                r.virec_overhead(&a, regs).total_mm2() - r.banked_overhead(&a, threads).total_mm2();
+            let ecc_gap =
+                e.banked_overhead(&a, threads).total_mm2() - e.virec_overhead(&a, regs).total_mm2();
+            assert!(
+                ras_extra < 0.5 * ecc_gap,
+                "{threads} threads: ras extra {ras_extra} vs ecc gap {ecc_gap}"
+            );
+        }
+    }
+}

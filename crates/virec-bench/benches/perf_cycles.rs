@@ -9,6 +9,12 @@
 //! that the event-driven loop is at least as fast as the dense loop on
 //! the memory-bound workload.
 //!
+//! Each cell also runs a third leg with the RAS layer enabled (patrol
+//! scrubber issuing real fabric traffic, CE tracking, skip horizon capped
+//! at the scrub cadence, no faults injected) and writes the RAS snapshot
+//! to `BENCH_8.json`; CI greps that the always-on RAS tax stays under 5%
+//! of event-loop throughput on the memory-bound workload.
+//!
 //! The memory-bound cell runs `gather` against a far-memory fabric
 //! (CXL-class ~400-cycle interconnect hop) — the host-side baseline of
 //! PAPER.md Fig. 1, where nearly every cycle is a DRAM stall and cycle
@@ -26,6 +32,7 @@ use std::time::Instant;
 use virec_core::CoreConfig;
 use virec_mem::FabricConfig;
 use virec_sim::runner::{run_single, RunOptions};
+use virec_sim::RasConfig;
 use virec_workloads::{kernels, Layout, Workload};
 
 /// Far-memory interconnect: a host core reaching across a CXL-class hop.
@@ -38,41 +45,54 @@ struct Cell {
     sim_cycles: u64,
     dense_cps: f64,
     event_cps: f64,
+    /// Event-loop throughput with the RAS layer live (patrol scrubber
+    /// consuming fabric bandwidth, CE tracking, skip horizon capped at
+    /// the scrub cadence) — the steady-state tax of PR-8, with no faults
+    /// injected.
+    ras_cps: f64,
+    ras_sim_cycles: u64,
 }
 
 impl Cell {
     fn speedup(&self) -> f64 {
         self.event_cps / self.dense_cps
     }
+
+    /// Event-loop throughput retained with RAS enabled (1.0 = free).
+    fn ras_retention(&self) -> f64 {
+        self.ras_cps / self.event_cps
+    }
 }
 
-/// Times `iters` full runs and returns (simulated cycles, best cycles/sec).
-fn measure(
-    cfg: CoreConfig,
-    w: &Workload,
-    fabric: FabricConfig,
-    dense: bool,
-    iters: u32,
-) -> (u64, f64) {
-    let opts = RunOptions {
+/// Times `iters` full runs of the three legs (dense, event, event+RAS)
+/// **interleaved**, so slow machine phases penalize every leg equally —
+/// the RAS-retention ratio is a between-leg comparison and would otherwise
+/// soak up scheduler drift between separate best-of-k loops. Returns
+/// (sim cycles, best cycles/sec) per leg.
+fn measure(cfg: CoreConfig, w: &Workload, fabric: FabricConfig, iters: u32) -> [(u64, f64); 3] {
+    let legs = [(true, false), (false, false), (false, true)];
+    let opts = legs.map(|(dense, ras)| RunOptions {
         verify: false, // correctness is covered by tests; keep timing pure
         dense_loop: dense,
         fabric,
+        ras: ras.then(RasConfig::default),
         ..RunOptions::default()
-    };
-    let mut cycles = 0;
-    let mut best = f64::INFINITY;
-    // One untimed warmup, then best-of-k to shrug off scheduler noise.
+    });
+    let mut cycles = [0u64; 3];
+    let mut best = [f64::INFINITY; 3];
+    // One untimed warmup round, then best-of-k to shrug off noise.
     for i in 0..=iters {
-        let start = Instant::now();
-        let res = std::hint::black_box(run_single(cfg, w, &opts));
-        let secs = start.elapsed().as_secs_f64();
-        cycles = res.stats.cycles;
-        if i > 0 {
-            best = best.min(secs);
+        for (leg, o) in opts.iter().enumerate() {
+            let start = Instant::now();
+            let res = std::hint::black_box(run_single(cfg, w, o));
+            let secs = start.elapsed().as_secs_f64();
+            cycles[leg] = res.stats.cycles;
+            if i > 0 {
+                best[leg] = best[leg].min(secs);
+            }
         }
     }
-    (cycles, cycles as f64 / best)
+    [0, 1, 2].map(|leg| (cycles[leg], cycles[leg] as f64 / best[leg]))
 }
 
 fn main() {
@@ -80,7 +100,7 @@ fn main() {
     // bench target; quick mode is already smoke-test sized, so flags are
     // accepted and ignored.
     let full = std::env::var("VIREC_PERF_FULL").is_ok_and(|v| v == "1");
-    let (n, iters) = if full { (65536, 3) } else { (2048, 2) };
+    let (n, iters) = if full { (65536, 5) } else { (2048, 2) };
     let layout = Layout::for_core(0);
     let far = FabricConfig {
         xbar_latency: FAR_XBAR_LATENCY,
@@ -110,8 +130,8 @@ fn main() {
     let mut cells = Vec::new();
     for (wname, memory_bound, fabric, w) in &workloads {
         for (ename, cfg) in engines {
-            let (dense_cycles, dense_cps) = measure(cfg, w, *fabric, true, iters);
-            let (event_cycles, event_cps) = measure(cfg, w, *fabric, false, iters);
+            let [(dense_cycles, dense_cps), (event_cycles, event_cps), (ras_cycles, ras_cps)] =
+                measure(cfg, w, *fabric, iters);
             assert_eq!(
                 dense_cycles, event_cycles,
                 "{wname}/{ename}: loops disagree on simulated cycles"
@@ -123,14 +143,19 @@ fn main() {
                 sim_cycles: event_cycles,
                 dense_cps,
                 event_cps,
+                ras_cps,
+                ras_sim_cycles: ras_cycles,
             };
             println!(
                 "perf_cycles {wname:<13} {ename:<7} sim_cycles={:<9} \
-                 dense={:.3e} event={:.3e} cycles/sec speedup={:.2}x",
+                 dense={:.3e} event={:.3e} cycles/sec speedup={:.2}x \
+                 ras={:.3e} retention={:.3}",
                 cell.sim_cycles,
                 cell.dense_cps,
                 cell.event_cps,
-                cell.speedup()
+                cell.speedup(),
+                cell.ras_cps,
+                cell.ras_retention()
             );
             cells.push(cell);
         }
@@ -144,11 +169,25 @@ fn main() {
         .all(|c| c.event_cps >= c.dense_cps);
     println!("memory_bound_speedup_ok={ok}");
 
+    // PR-8 acceptance: the always-on RAS layer (scrubber wakeups + fabric
+    // scrub traffic) costs < 5% event-loop throughput on the memory-bound
+    // workload. Also grepped by CI. Quick-mode runs finish in tens of
+    // milliseconds, where scheduler noise alone exceeds 5%, so the smoke
+    // gate only catches gross regressions; the committed BENCH_8.json is
+    // held to the real 5% bar in full mode.
+    let floor = if full { 0.95 } else { 0.80 };
+    let ras_ok = cells
+        .iter()
+        .filter(|c| c.memory_bound)
+        .all(|c| c.ras_retention() >= floor);
+    println!("ras_regression_ok={ras_ok}");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
     std::fs::write(path, render_json(&cells, full, n, iters)).expect("write BENCH_7.json");
+    let path8 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    std::fs::write(path8, render_ras_json(&cells, full, n, iters)).expect("write BENCH_8.json");
     println!(
-        "wrote {} ({} mode, n={n})",
-        path,
+        "wrote {path} and {path8} ({} mode, n={n})",
         if full { "full" } else { "quick" }
     );
 }
@@ -182,6 +221,45 @@ fn render_json(cells: &[Cell], full: bool, n: u64, iters: u32) -> String {
             c.dense_cps,
             c.event_cps,
             c.speedup()
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The PR-8 snapshot: event-loop throughput with the RAS layer live,
+/// alongside the RAS-off baseline it is held against (< 5% regression on
+/// the memory-bound cell).
+fn render_ras_json(cells: &[Cell], full: bool, n: u64, iters: u32) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"perf_cycles_ras\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if full { "full" } else { "quick" }
+    );
+    let _ = writeln!(out, "  \"n\": {n},");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(out, "  \"baseline\": \"BENCH_7.json (same run, ras off)\",");
+    let _ = writeln!(
+        out,
+        "  \"unit\": \"simulated cycles per wall-clock second\","
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"memory_bound\": {}, \
+             \"ras_sim_cycles\": {}, \"ras_cps\": {:.1}, \"baseline_cps\": {:.1}, \
+             \"retention\": {:.3}}}",
+            c.workload,
+            c.engine,
+            c.memory_bound,
+            c.ras_sim_cycles,
+            c.ras_cps,
+            c.event_cps,
+            c.ras_retention()
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }

@@ -37,8 +37,8 @@ use virec_sim::experiment::{CellData, ExperimentSpec};
 use virec_sim::report::{pct, Table};
 use virec_sim::runner::default_checkpoint_interval;
 use virec_sim::{
-    run_campaign_with, CampaignOptions, CampaignReport, FaultSite, InjectionOutcome,
-    ProtectionConfig,
+    run_campaign_with, CampaignOptions, CampaignReport, FaultClass, FaultSite, InjectionOutcome,
+    ProtectionConfig, RasConfig,
 };
 use virec_workloads::kernels;
 
@@ -50,8 +50,10 @@ fn injection_count() -> usize {
         .unwrap_or(64)
 }
 
-/// Campaign options from `VIREC_PROTECTION` / `VIREC_MULTI_FAULT`
-/// (defaults: unprotected, single-fault — the historical behavior).
+/// Campaign options from `VIREC_PROTECTION` / `VIREC_MULTI_FAULT` /
+/// `VIREC_FAULT_CLASS` (defaults: unprotected, single-fault, transient —
+/// the historical behavior). A persistent fault class turns on the RAS
+/// layer at its default rates.
 fn campaign_options() -> CampaignOptions {
     let protection: ProtectionConfig = match std::env::var("VIREC_PROTECTION") {
         Ok(s) => s.parse().unwrap_or_else(|e| {
@@ -59,6 +61,13 @@ fn campaign_options() -> CampaignOptions {
             std::process::exit(2);
         }),
         Err(_) => ProtectionConfig::none(),
+    };
+    let class: FaultClass = match std::env::var("VIREC_FAULT_CLASS") {
+        Ok(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("VIREC_FAULT_CLASS: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => FaultClass::Transient,
     };
     CampaignOptions {
         protection,
@@ -68,6 +77,8 @@ fn campaign_options() -> CampaignOptions {
         } else {
             default_checkpoint_interval()
         },
+        class,
+        ras: class.is_persistent().then(RasConfig::default),
     }
 }
 

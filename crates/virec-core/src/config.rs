@@ -116,6 +116,10 @@ pub struct CoreConfig {
     /// thread held at its last suspension (bounded, low priority, never on
     /// the critical path).
     pub switch_prefetch: bool,
+    /// Spare VRMU CAM ways provisioned for RAS retirement: physically
+    /// present but masked until a failing way is retired onto one. 0 (the
+    /// default) keeps the tag store exactly as the paper sizes it.
+    pub spare_ways: usize,
     /// Maximum cycles a single run may take before
     /// aborting (safety net for misconfigured experiments).
     pub max_cycles: u64,
@@ -139,6 +143,7 @@ impl CoreConfig {
             branch_pred: true,
             group_evict: 1,
             switch_prefetch: false,
+            spare_ways: 0,
             max_cycles: 200_000_000,
         }
     }

@@ -514,6 +514,38 @@ impl Core {
         self.engine.inject_fault(fault)
     }
 
+    /// RAS: permanently retires the `nth` occupied engine way (see
+    /// [`crate::engine::ContextEngine::retire_way`]); relocation spills go
+    /// through the real BSI/fabric path.
+    pub fn retire_value_way(
+        &mut self,
+        nth: u64,
+        use_spare: bool,
+        fabric: &mut Fabric,
+        mem: &mut FlatMem,
+    ) -> Option<crate::engine::WayRetire> {
+        let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+        self.engine.retire_way(nth, use_spare, &mut env)
+    }
+
+    /// RAS: re-applies a way retirement by physical index after a
+    /// checkpoint restore rewound engine state (idempotent).
+    pub fn remask_way(
+        &mut self,
+        idx: usize,
+        use_spare: bool,
+        fabric: &mut Fabric,
+        mem: &mut FlatMem,
+    ) -> bool {
+        let mut env = Self::env(&mut self.stats, &mut self.dcache, fabric, mem, self.region);
+        self.engine.remask_way(idx, use_spare, &mut env)
+    }
+
+    /// Spare engine ways still available for RAS retirement.
+    pub fn spare_ways_left(&self) -> usize {
+        self.engine.spare_ways_left()
+    }
+
     /// Multi-line snapshot of pipeline and engine state for livelock dumps:
     /// per-thread status and last-committed PC, latch occupancy, engine
     /// occupancy, and outstanding cache MSHRs.

@@ -62,6 +62,18 @@ pub enum EngineFault {
     },
 }
 
+/// Outcome of retiring a VRMU way via [`ContextEngine::retire_way`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WayRetire {
+    /// Physical index of the way that was masked out.
+    pub idx: usize,
+    /// Whether a provisioned spare way was activated to replace it (false
+    /// means the store shrank — degraded capacity).
+    pub spared: bool,
+    /// Human-readable description of the retired site for campaign logs.
+    pub desc: String,
+}
+
 /// Result of a decode-stage register acquisition attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AcquireOutcome {
@@ -200,6 +212,36 @@ pub trait ContextEngine {
     fn inject_fault(&mut self, fault: EngineFault) -> Option<String> {
         let _ = fault;
         None
+    }
+
+    /// RAS hook: permanently retires the `nth` occupied physical-register
+    /// way (same `nth`-modulo-occupancy addressing as
+    /// [`EngineFault::RegValue`]), relocating or spilling its occupant and
+    /// activating a spare way when `use_spare` is set and one is
+    /// provisioned. Returns `None` when the engine has no maskable ways or
+    /// retiring would shrink the store below its in-flight floor.
+    fn retire_way(
+        &mut self,
+        nth: u64,
+        use_spare: bool,
+        env: &mut EngineEnv<'_>,
+    ) -> Option<WayRetire> {
+        let _ = (nth, use_spare, env);
+        None
+    }
+
+    /// RAS hook: re-applies a way retirement by *physical* index after a
+    /// checkpoint restore rewound the tag store (idempotent). Returns
+    /// whether the mask is in place afterwards.
+    fn remask_way(&mut self, idx: usize, use_spare: bool, env: &mut EngineEnv<'_>) -> bool {
+        let _ = (idx, use_spare, env);
+        false
+    }
+
+    /// Spare VRMU ways still available for retirement (0 for engines
+    /// without maskable ways).
+    fn spare_ways_left(&self) -> usize {
+        0
     }
 
     /// `(resident, committed)` architectural-register masks for `tid`:

@@ -8,7 +8,7 @@
 
 use crate::bsi::Bsi;
 use crate::config::CoreConfig;
-use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault};
+use crate::engine::{AcquireOutcome, ContextEngine, EngineEnv, EngineFault, WayRetire};
 use crate::regions::RegRegion;
 use crate::vrmu::{AllocOutcome, RollbackEntry, RollbackQueue, TagStore};
 use virec_isa::{AccessSize, DataMemory, FlatMem, Instr, Reg, RegList};
@@ -52,7 +52,7 @@ impl VirecEngine {
     pub fn new(cfg: &CoreConfig) -> VirecEngine {
         assert!(cfg.group_evict >= 1, "group_evict must be at least 1");
         VirecEngine {
-            tags: TagStore::new(cfg.phys_regs, cfg.policy),
+            tags: TagStore::with_spares(cfg.phys_regs, cfg.spare_ways, cfg.policy),
             rollback: RollbackQueue::new(ROLLBACK_DEPTH),
             bsi: Bsi::new(cfg.nonblocking_bsi, cfg.reg_line_pinning),
             dummy_opt: cfg.dummy_fill_opt,
@@ -162,6 +162,28 @@ impl VirecEngine {
             self.bsi.enqueue_fill(tid, reg, addr, false);
         }
         true
+    }
+
+    /// Masks physical way `idx`, making room for its occupant by evicting
+    /// another entry (a real spill through the BSI) when the store is full.
+    /// Returns `Some(spared)` like [`TagStore::mask_way`], or `None` when
+    /// the mask is impossible (floor violation, or every relocation target
+    /// is locked).
+    fn mask_making_room(
+        &mut self,
+        idx: usize,
+        use_spare: bool,
+        env: &mut EngineEnv<'_>,
+    ) -> Option<bool> {
+        if let Some(spared) = self.tags.mask_way(idx, use_spare) {
+            return Some(spared);
+        }
+        // The occupant had nowhere to go (or the floor blocked the shrink).
+        // Free a slot with a genuine eviction and retry once; if the store
+        // still refuses, the retirement genuinely cannot proceed.
+        let (vt, vr, vv, vd) = self.tags.evict_one()?;
+        self.spill_victim(vt, vr, vv, vd, env);
+        self.tags.mask_way(idx, use_spare)
     }
 }
 
@@ -373,6 +395,32 @@ impl ContextEngine for VirecEngine {
             EngineFault::RollbackSlot { nth, bit } => self.rollback.corrupt_slot(nth as usize, bit),
             EngineFault::StuckFill { nth } => self.tags.corrupt_stuck_fill(nth as usize),
         }
+    }
+
+    fn retire_way(
+        &mut self,
+        nth: u64,
+        use_spare: bool,
+        env: &mut EngineEnv<'_>,
+    ) -> Option<WayRetire> {
+        // Same nth-occupied addressing the fault injector uses, so the RAS
+        // layer retires exactly the way the campaign corrupted.
+        let occ = self.tags.valid_count().max(1);
+        let idx = self.tags.resolve_nth_way((nth % occ as u64) as usize)?;
+        let spared = self.mask_making_room(idx, use_spare, env)?;
+        Some(WayRetire {
+            idx,
+            spared,
+            desc: format!("vrmu way {idx} retired (spared={spared})"),
+        })
+    }
+
+    fn remask_way(&mut self, idx: usize, use_spare: bool, env: &mut EngineEnv<'_>) -> bool {
+        self.mask_making_room(idx, use_spare, env).is_some()
+    }
+
+    fn spare_ways_left(&self) -> usize {
+        self.tags.spare_ways_left()
     }
 
     fn live_bits(&self, tid: u8) -> Option<(u32, u32)> {

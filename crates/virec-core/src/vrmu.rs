@@ -109,6 +109,12 @@ pub struct TagStore {
     /// evict), so the mirror cannot go stale through `entry_mut`. Hot-path
     /// scans walk set bits with `trailing_zeros` instead of every entry.
     valid: Vec<u64>,
+    /// Ways out of service (RAS): spare ways awaiting activation plus
+    /// retired ways. A masked way is never valid and never allocated.
+    masked: Vec<u64>,
+    /// Subset of `masked` that was permanently retired (a masked,
+    /// non-retired way is an available spare).
+    retired: Vec<u64>,
     policy: PolicyKind,
     stamp: u64,
     fill_seq: u64,
@@ -116,25 +122,69 @@ pub struct TagStore {
     rng: XorShift,
 }
 
+/// Floor on in-service ways: masking must never leave fewer active ways
+/// than the processor's in-flight register window needs (the same bound
+/// [`crate::CoreConfig::validate`] enforces on `phys_regs`).
+pub const MIN_ACTIVE_WAYS: usize = 12;
+
 impl TagStore {
     /// Creates a tag store with `phys_regs` entries managed by `policy`.
     pub fn new(phys_regs: usize, policy: PolicyKind) -> TagStore {
-        assert!(phys_regs < NO_ENTRY as usize);
-        TagStore {
-            entries: vec![TagEntry::EMPTY; phys_regs],
+        TagStore::with_spares(phys_regs, 0, policy)
+    }
+
+    /// A tag store with `spare_ways` additional ways held in reserve:
+    /// physically present but masked until a RAS retirement activates
+    /// them, so the in-service capacity stays `phys_regs`.
+    pub fn with_spares(phys_regs: usize, spare_ways: usize, policy: PolicyKind) -> TagStore {
+        let total = phys_regs + spare_ways;
+        assert!(total < NO_ENTRY as usize);
+        let words = total.div_ceil(64);
+        let mut ts = TagStore {
+            entries: vec![TagEntry::EMPTY; total],
             map: vec![NO_ENTRY; MAX_THREADS * 32],
-            valid: vec![0; phys_regs.div_ceil(64)],
+            valid: vec![0; words],
+            masked: vec![0; words],
+            retired: vec![0; words],
             policy,
             stamp: 0,
             fill_seq: 0,
             rotate: 0,
             rng: XorShift::new(0x5EED_CAFE),
+        };
+        for idx in phys_regs..total {
+            ts.masked[idx / 64] |= 1u64 << (idx % 64);
         }
+        ts
     }
 
-    /// Number of physical registers.
+    /// Number of physical ways, including masked spares and retired ways.
     pub fn capacity(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Ways currently in service (capacity minus masked ways).
+    pub fn active_capacity(&self) -> usize {
+        self.entries.len() - self.masked_count()
+    }
+
+    /// Masked ways (spares not yet activated + retired ways).
+    pub fn masked_count(&self) -> usize {
+        self.masked.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Spare ways still available for activation.
+    pub fn spare_ways_left(&self) -> usize {
+        self.masked
+            .iter()
+            .zip(&self.retired)
+            .map(|(&m, &r)| (m & !r).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether way `idx` is out of service.
+    pub fn is_masked(&self, idx: usize) -> bool {
+        (self.masked[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
     #[inline]
@@ -169,11 +219,12 @@ impl TagStore {
         })
     }
 
-    /// Lowest-index free entry (first zero bit). Padding bits past the
-    /// capacity sit above every real bit in the last word, so a hit on one
-    /// means the store is genuinely full.
+    /// Lowest-index free *in-service* entry (first bit neither valid nor
+    /// masked). Padding bits past the capacity sit above every real bit in
+    /// the last word, so a hit on one means the store is genuinely full.
     fn first_free(&self) -> Option<usize> {
-        for (w, &bits) in self.valid.iter().enumerate() {
+        for (w, (&v, &m)) in self.valid.iter().zip(&self.masked).enumerate() {
+            let bits = v | m;
             if bits != u64::MAX {
                 let idx = w * 64 + (!bits).trailing_zeros() as usize;
                 return (idx < self.entries.len()).then_some(idx);
@@ -420,6 +471,80 @@ impl TagStore {
         self.valid_indices().nth(nth % occupancy)
     }
 
+    /// Physical index of the way behind the `nth` valid entry (the RAS
+    /// layer resolves a fault's `nth` target to a concrete way before
+    /// masking it). Wraps modulo occupancy; `None` when empty.
+    pub fn resolve_nth_way(&self, nth: usize) -> Option<usize> {
+        self.nth_valid(nth)
+    }
+
+    /// Activates one spare way (masked, not retired): clears its mask bit
+    /// so it can be allocated. Returns its index, or `None` when the
+    /// spare pool is exhausted.
+    fn activate_spare(&mut self) -> Option<usize> {
+        for w in 0..self.masked.len() {
+            let spares = self.masked[w] & !self.retired[w];
+            if spares != 0 {
+                let idx = w * 64 + spares.trailing_zeros() as usize;
+                self.masked[w] &= !(1u64 << (idx % 64));
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// RAS retirement: permanently masks way `idx`, activating a spare way
+    /// (when `use_spare` and one is left) to preserve capacity. A valid
+    /// occupant is *relocated* to a free in-service way — every consumer
+    /// resolves entries through the reverse map at point of use, so live
+    /// locks and pending fills move safely.
+    ///
+    /// Returns `Some(spared)` on success (`spared`: a spare was
+    /// activated). Idempotent: a way that is already masked reports
+    /// success without consuming anything. Returns `None` — refused — when
+    /// the occupant has nowhere to go (store full of locked entries) or
+    /// masking would drop the in-service capacity below
+    /// [`MIN_ACTIVE_WAYS`]; the caller may evict an entry and retry.
+    pub fn mask_way(&mut self, idx: usize, use_spare: bool) -> Option<bool> {
+        if self.is_masked(idx) {
+            return Some(false);
+        }
+        let spare = if use_spare {
+            self.activate_spare()
+        } else {
+            None
+        };
+        // `active_capacity` already includes the just-activated spare;
+        // masking `idx` will subtract one.
+        let floor_after = self.active_capacity() - 1;
+        if floor_after < MIN_ACTIVE_WAYS {
+            if let Some(s) = spare {
+                self.masked[s / 64] |= 1u64 << (s % 64);
+            }
+            return None;
+        }
+        if self.entries[idx].meta.valid {
+            let target = match self.first_free() {
+                Some(t) if t != idx => t,
+                _ => {
+                    if let Some(s) = spare {
+                        self.masked[s / 64] |= 1u64 << (s % 64);
+                    }
+                    return None;
+                }
+            };
+            let e = self.entries[idx];
+            self.entries[target] = e;
+            self.entries[idx] = TagEntry::EMPTY;
+            self.set_valid(target);
+            self.clear_valid(idx);
+            self.map[Self::map_slot(e.tid, e.reg)] = target as u16;
+        }
+        self.masked[idx / 64] |= 1u64 << (idx % 64);
+        self.retired[idx / 64] |= 1u64 << (idx % 64);
+        Some(spare.is_some())
+    }
+
     /// Fault injection: flips `bit` of the physical-RF cell behind the
     /// `nth` valid entry (an SRAM upset in the value array). Bookkeeping
     /// state is left untouched — a clean entry that is never read again
@@ -491,6 +616,23 @@ impl TagStore {
             assert!(e.meta.valid, "map points at invalid entry");
             assert_eq!(Self::map_slot(e.tid, e.reg), slot, "map slot mismatch");
         }
+        // RAS masking: a masked way is out of service (never valid) and
+        // retired ways are a subset of masked ways.
+        for i in 0..self.entries.len() {
+            let masked = (self.masked[i / 64] >> (i % 64)) & 1 == 1;
+            let retired = (self.retired[i / 64] >> (i % 64)) & 1 == 1;
+            if masked {
+                assert!(!self.entries[i].meta.valid, "masked way {i} holds an entry");
+            }
+            if retired {
+                assert!(masked, "retired way {i} must be masked");
+            }
+        }
+        let retired_count: usize = self.retired.iter().map(|w| w.count_ones() as usize).sum();
+        assert!(
+            self.active_capacity() >= MIN_ACTIVE_WAYS || retired_count == 0,
+            "retirement shrank capacity below the in-flight window"
+        );
     }
 }
 
@@ -781,6 +923,80 @@ mod tests {
             regs: RegList::new(),
             is_mem: false,
         });
+    }
+
+    #[test]
+    fn spare_ways_start_masked() {
+        let ts = TagStore::with_spares(16, 2, PolicyKind::Lrc);
+        assert_eq!(ts.capacity(), 18);
+        assert_eq!(ts.active_capacity(), 16);
+        assert_eq!(ts.spare_ways_left(), 2);
+        assert!(ts.is_masked(16));
+        assert!(ts.is_masked(17));
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn mask_way_relocates_occupant_and_activates_spare() {
+        let mut ts = TagStore::with_spares(16, 1, PolicyKind::Lrc);
+        // Fill every in-service way so relocation must use the spare.
+        for i in 0..16 {
+            let _ = ts.allocate((i / 4) as u8, Reg::new((1 + i % 16) as u8));
+        }
+        let idx = ts.lookup(0, X1).unwrap();
+        let e = *ts.entry(idx);
+        ts.lock(idx);
+        ts.entry_mut(idx).value = 0xDEAD;
+        assert_eq!(ts.mask_way(idx, true), Some(true), "spare activated");
+        assert!(ts.is_masked(idx));
+        assert_eq!(ts.spare_ways_left(), 0);
+        assert_eq!(ts.active_capacity(), 16, "spare preserved capacity");
+        // The occupant survived relocation with its lock and value.
+        let new_idx = ts.lookup(e.tid, e.reg).unwrap();
+        assert_ne!(new_idx, idx);
+        assert_eq!(ts.entry(new_idx).value, 0xDEAD);
+        assert_eq!(ts.entry(new_idx).lock_count, 1);
+        ts.check_invariants();
+        // Idempotent re-application consumes nothing further.
+        assert_eq!(ts.mask_way(idx, true), Some(false));
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn mask_way_without_spare_shrinks_capacity() {
+        let mut ts = TagStore::new(16, PolicyKind::Lrc);
+        let _ = ts.allocate(0, X1);
+        let idx = ts.lookup(0, X1).unwrap();
+        assert_eq!(ts.mask_way(idx, true), Some(false), "no spare to activate");
+        assert_eq!(ts.active_capacity(), 15);
+        assert!(ts.lookup(0, X1).is_some(), "occupant relocated");
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn mask_way_refuses_below_floor() {
+        let mut ts = TagStore::new(MIN_ACTIVE_WAYS, PolicyKind::Lrc);
+        let _ = ts.allocate(0, X1);
+        let idx = ts.lookup(0, X1).unwrap();
+        assert_eq!(ts.mask_way(idx, false), None);
+        assert!(!ts.is_masked(idx));
+        ts.check_invariants();
+    }
+
+    #[test]
+    fn masked_ways_are_never_allocated() {
+        let mut ts = TagStore::with_spares(12, 1, PolicyKind::Lrc);
+        for i in 0..12 {
+            let _ = ts.allocate(0, Reg::new((1 + i) as u8));
+        }
+        assert_eq!(ts.valid_count(), 12);
+        // Store full, spare still masked: allocation must evict, not use
+        // the spare.
+        match ts.allocate(0, Reg::new(13)) {
+            AllocOutcome::Evicted { idx, .. } => assert!(idx < 12, "spare way must stay masked"),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        ts.check_invariants();
     }
 
     #[test]

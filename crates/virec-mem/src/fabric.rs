@@ -10,6 +10,7 @@
 //! by the system. Requests are identified by opaque tokens that requesters
 //! poll for completion.
 
+use crate::remap::{RemapTable, RetireOutcome};
 use std::collections::{HashMap, VecDeque};
 
 /// Identifies the requester port (one per cache that talks to the fabric).
@@ -108,6 +109,9 @@ pub struct FabricStats {
     pub row_empty: u64,
     /// Total cycles requests spent queued before bank service.
     pub queue_cycles: u64,
+    /// Patrol-scrub reads serviced (fire-and-forget RAS traffic; these
+    /// occupy banks and bus slots like demand reads but deliver no data).
+    pub scrub_reads: u64,
 }
 
 impl FabricStats {
@@ -122,6 +126,7 @@ impl FabricStats {
             row_conflicts: self.row_conflicts.saturating_sub(earlier.row_conflicts),
             row_empty: self.row_empty.saturating_sub(earlier.row_empty),
             queue_cycles: self.queue_cycles.saturating_sub(earlier.queue_cycles),
+            scrub_reads: self.scrub_reads.saturating_sub(earlier.scrub_reads),
         }
     }
 }
@@ -131,6 +136,9 @@ struct Pending {
     token: ReqToken,
     addr: u64,
     is_write: bool,
+    /// Fire-and-forget patrol read: occupies the bank and bus but is
+    /// never entered into the done map (nobody polls it).
+    is_scrub: bool,
     submitted: u64,
     /// Cycle the request reaches the memory controller.
     arrive_at: u64,
@@ -158,6 +166,8 @@ pub struct Fabric {
     stats: FabricStats,
     /// Snapshot of `stats` at the last [`Fabric::epoch_stats`] call.
     epoch_mark: FabricStats,
+    /// RAS spare-row remap table consulted on every address mapping.
+    remap: RemapTable,
 }
 
 impl Fabric {
@@ -174,7 +184,36 @@ impl Fabric {
             next_token: 0,
             stats: FabricStats::default(),
             epoch_mark: FabricStats::default(),
+            remap: RemapTable::default(),
         }
+    }
+
+    /// Provisions `n` spare DRAM rows for RAS retirement. Replaces the
+    /// remap table; call once at machine construction, before any
+    /// retirement.
+    pub fn provision_spare_rows(&mut self, n: u32) {
+        self.remap = RemapTable::new(n);
+    }
+
+    /// The RAS remap table (retired-row count, spares left).
+    pub fn remap(&self) -> &RemapTable {
+        &self.remap
+    }
+
+    /// Packed `(channel, bank, row)` region key of `addr` under the *raw*
+    /// (pre-remap) mapping — the key the CE tracker and the remap table
+    /// index by.
+    pub fn row_key(&self, addr: u64) -> u64 {
+        let (chan, bank, row) = self.map_addr_raw(addr);
+        RemapTable::pack(chan, bank, row)
+    }
+
+    /// Retires the DRAM row behind `addr`: remaps it onto a spare row if
+    /// one is left, otherwise fences it onto the shared remnant row.
+    /// Idempotent per row.
+    pub fn retire_row(&mut self, addr: u64) -> RetireOutcome {
+        let key = self.row_key(addr);
+        self.remap.retire(key)
     }
 
     /// The configuration this fabric was built with.
@@ -211,10 +250,29 @@ impl Fabric {
             token,
             addr,
             is_write,
+            is_scrub: false,
             submitted: now,
             arrive_at: 0,
         });
         token
+    }
+
+    /// Submits a fire-and-forget patrol-scrub read of the line at `addr`.
+    /// The read takes a real trip through the crossbar and occupies its
+    /// bank like any demand read — scrub bandwidth contends with demand
+    /// traffic — but completes silently (no token to poll, counted in
+    /// [`FabricStats::scrub_reads`]).
+    pub fn submit_scrub(&mut self, now: u64, addr: u64) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.accept_queue.push_back(Pending {
+            token,
+            addr,
+            is_write: false,
+            is_scrub: true,
+            submitted: now,
+            arrive_at: 0,
+        });
     }
 
     /// Whether the response for `token` is available at cycle `now`.
@@ -282,13 +340,26 @@ impl Fabric {
         }
     }
 
-    fn map_addr(&self, addr: u64) -> (usize, usize, u64) {
+    fn map_addr_raw(&self, addr: u64) -> (usize, usize, u64) {
         let d = &self.cfg.dram;
         let line = addr >> 6;
         let chan = (line as usize) & (d.channels - 1);
         let bank = ((line as usize) >> d.channels.trailing_zeros()) & (d.banks_per_channel - 1);
         let row = line / (d.channels as u64 * d.banks_per_channel as u64) / d.lines_per_row;
         (chan, bank, row)
+    }
+
+    /// Raw mapping plus the RAS remap indirection: a retired row's
+    /// accesses land on its spare (or the fence row) instead.
+    fn map_addr(&self, addr: u64) -> (usize, usize, u64) {
+        let (chan, bank, row) = self.map_addr_raw(addr);
+        if self.remap.is_empty() {
+            return (chan, bank, row);
+        }
+        match self.remap.resolve(RemapTable::pack(chan, bank, row)) {
+            Some(replacement) => (chan, bank, replacement),
+            None => (chan, bank, row),
+        }
     }
 
     /// Advances the fabric by one cycle: accepts crossbar requests and
@@ -349,13 +420,20 @@ impl Fabric {
                 busy_until: data_end,
             };
             let ready = data_end + self.cfg.xbar_latency as u64;
-            self.stats.queue_cycles += now.saturating_sub(p.submitted);
-            if p.is_write {
-                self.stats.writes += 1;
+            if p.is_scrub {
+                // Patrol traffic: occupies the bank and bus (already
+                // charged above) but is fire-and-forget — no done entry,
+                // and demand-queueing metrics stay demand-only.
+                self.stats.scrub_reads += 1;
             } else {
-                self.stats.reads += 1;
+                self.stats.queue_cycles += now.saturating_sub(p.submitted);
+                if p.is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                self.done.insert(p.token, ready);
             }
-            self.done.insert(p.token, ready);
             self.inflight.swap_remove(i);
             // Do not advance i: swap_remove moved a new element here.
         }
@@ -530,6 +608,68 @@ mod tests {
         assert_eq!(f.outstanding(), 0);
         f.retire(t);
         let _ = done;
+    }
+
+    #[test]
+    fn scrub_reads_count_and_contend() {
+        let cfg = FabricConfig::default();
+        let mut f = Fabric::new(cfg);
+        // Patrol the same bank the demand read needs: the demand read must
+        // wait behind the scrub's bank occupancy.
+        f.submit_scrub(0, 0x1000);
+        let t = f.submit(0, 0, 0x1000, false);
+        let done = run_until_done(&mut f, t, 10_000);
+        assert_eq!(f.stats().scrub_reads, 1);
+        assert_eq!(f.stats().reads, 1);
+        assert!(
+            done > f.unloaded_read_latency() as u64,
+            "demand read at {done} should queue behind the scrub"
+        );
+        assert_eq!(f.outstanding(), 0, "scrubs drain without retirement");
+    }
+
+    #[test]
+    fn retired_row_still_serves_traffic() {
+        let mut f = Fabric::new(FabricConfig::default());
+        f.provision_spare_rows(2);
+        let addr = 0x4000;
+        let key = f.row_key(addr);
+        assert!(matches!(
+            f.retire_row(addr),
+            crate::remap::RetireOutcome::Spared { spare: 0 }
+        ));
+        assert!(f.remap().is_retired(key));
+        // Accesses to the retired row transparently land on the spare.
+        let t = f.submit(0, 0, addr, false);
+        run_until_done(&mut f, t, 10_000);
+        assert_eq!(f.stats().reads, 1);
+        // Retirement is idempotent: no second spare is consumed.
+        f.retire_row(addr);
+        assert_eq!(f.remap().spares_left(), 1);
+    }
+
+    #[test]
+    fn fenced_rows_share_the_remnant_row() {
+        let cfg = FabricConfig::default();
+        let d = cfg.dram;
+        let mut f = Fabric::new(cfg);
+        f.provision_spare_rows(0);
+        // Two different rows of the same bank, both fenced: their accesses
+        // now collapse onto one remnant row and row-hit each other.
+        let row_stride = d.channels as u64 * d.banks_per_channel as u64 * d.lines_per_row * 64;
+        assert_eq!(f.retire_row(0), crate::remap::RetireOutcome::Fenced);
+        assert_eq!(
+            f.retire_row(row_stride),
+            crate::remap::RetireOutcome::Fenced
+        );
+        let a = f.submit(0, 0, 0, false);
+        let done_a = run_until_done(&mut f, a, 10_000);
+        let b = f.submit(done_a, 0, row_stride, false);
+        run_from_until_done(&mut f, done_a, b, 10_000);
+        assert!(
+            f.stats().row_hits >= 1,
+            "fenced rows collapse onto one row buffer"
+        );
     }
 
     #[test]

@@ -25,10 +25,12 @@
 
 pub mod cache;
 pub mod fabric;
+pub mod remap;
 pub mod stats;
 
 pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, MshrId, MshrRetireError};
 pub use fabric::{DramConfig, Fabric, FabricConfig, FabricStats, PortId};
+pub use remap::{RemapTable, RetireOutcome, FENCE_ROW, SPARE_ROW_BASE};
 pub use stats::CacheStats;
 
 /// Cache line size in bytes, fixed at 64 across the hierarchy (Table 1).

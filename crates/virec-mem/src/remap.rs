@@ -1,0 +1,170 @@
+//! Spare-row remap table: DRAM row retirement for the RAS layer.
+//!
+//! A failing row (stuck or marginal cells) is *retired*: the remap table
+//! redirects its physical row id either onto a spare row from a finite
+//! pool, or — once the pool is exhausted — onto the shared *fence* row, a
+//! reserved remnant region that absorbs all fenced traffic. Fencing keeps
+//! the machine running but slower: every fenced row of a bank collapses
+//! onto one row id, so accesses that used to hit distinct row buffers now
+//! conflict.
+//!
+//! The table is timing-only, like the rest of `virec-mem`: functional data
+//! lives in the flat memory and never moves. Migration cost is modeled by
+//! the RAS layer as real fabric traffic at retirement time.
+//!
+//! Keys pack `(channel, bank, row)` via [`RemapTable::pack`]; replacement
+//! row ids start at [`SPARE_ROW_BASE`], far above any demand row (a demand
+//! row id would need a >2^58-byte address space to reach it), so a
+//! remapped region can never alias live traffic.
+
+use std::collections::HashMap;
+
+/// First spare row id. Spare `n` maps to `SPARE_ROW_BASE + n`.
+pub const SPARE_ROW_BASE: u64 = 1 << 40;
+
+/// Row id absorbing all fenced (spare-exhausted) rows of a bank.
+pub const FENCE_ROW: u64 = SPARE_ROW_BASE - 1;
+
+/// How a retirement was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetireOutcome {
+    /// A spare row was consumed; traffic is transparently redirected.
+    Spared {
+        /// Index of the consumed spare (row id `SPARE_ROW_BASE + spare`).
+        spare: u64,
+    },
+    /// The spare pool was empty: the row is fenced onto the shared
+    /// remnant row. Capacity is lost, the machine degrades.
+    Fenced,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Entry {
+    Spared(u64),
+    Fenced,
+}
+
+/// The address-remap table consulted by [`crate::Fabric`] on every access.
+#[derive(Clone, Debug, Default)]
+pub struct RemapTable {
+    spares_left: u32,
+    next_spare: u64,
+    map: HashMap<u64, Entry>,
+}
+
+impl RemapTable {
+    /// A table with `spare_rows` spares provisioned.
+    pub fn new(spare_rows: u32) -> RemapTable {
+        RemapTable {
+            spares_left: spare_rows,
+            next_spare: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Packs a `(channel, bank, row)` triple into a table key. Rows are
+    /// assumed below 2^48 (true for any 48-bit physical address space).
+    pub fn pack(chan: usize, bank: usize, row: u64) -> u64 {
+        debug_assert!(row < 1 << 48);
+        ((chan as u64) << 56) | ((bank as u64) << 48) | row
+    }
+
+    /// Retires the row behind `key`. Idempotent: re-retiring a row returns
+    /// its existing disposition without consuming another spare, so
+    /// checkpoint-restore re-application cannot double-spend the pool. A
+    /// row is **never** silently dropped — with no spare available it is
+    /// fenced, and the caller must account the capacity loss.
+    pub fn retire(&mut self, key: u64) -> RetireOutcome {
+        if let Some(e) = self.map.get(&key) {
+            return match *e {
+                Entry::Spared(n) => RetireOutcome::Spared { spare: n },
+                Entry::Fenced => RetireOutcome::Fenced,
+            };
+        }
+        if self.spares_left > 0 {
+            self.spares_left -= 1;
+            let n = self.next_spare;
+            self.next_spare += 1;
+            self.map.insert(key, Entry::Spared(n));
+            RetireOutcome::Spared { spare: n }
+        } else {
+            self.map.insert(key, Entry::Fenced);
+            RetireOutcome::Fenced
+        }
+    }
+
+    /// Replacement row id for `key`, or `None` when the row is healthy.
+    pub fn resolve(&self, key: u64) -> Option<u64> {
+        self.map.get(&key).map(|e| match *e {
+            Entry::Spared(n) => SPARE_ROW_BASE + n,
+            Entry::Fenced => FENCE_ROW,
+        })
+    }
+
+    /// Whether `key` has been retired (spared or fenced).
+    pub fn is_retired(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Spares still available.
+    pub fn spares_left(&self) -> u32 {
+        self.spares_left
+    }
+
+    /// Number of retired rows (spared + fenced).
+    pub fn retired(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no row has been retired (the fast path can skip lookup).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spares_then_fence() {
+        let mut t = RemapTable::new(2);
+        assert_eq!(t.retire(10), RetireOutcome::Spared { spare: 0 });
+        assert_eq!(t.retire(20), RetireOutcome::Spared { spare: 1 });
+        assert_eq!(t.retire(30), RetireOutcome::Fenced);
+        assert_eq!(t.spares_left(), 0);
+        assert_eq!(t.retired(), 3);
+    }
+
+    #[test]
+    fn retire_is_idempotent() {
+        let mut t = RemapTable::new(1);
+        assert_eq!(t.retire(5), RetireOutcome::Spared { spare: 0 });
+        assert_eq!(t.retire(5), RetireOutcome::Spared { spare: 0 });
+        assert_eq!(t.spares_left(), 0);
+        assert_eq!(t.retired(), 1);
+        assert_eq!(t.retire(6), RetireOutcome::Fenced);
+        assert_eq!(t.retire(6), RetireOutcome::Fenced);
+    }
+
+    #[test]
+    fn resolve_redirects_only_retired_rows() {
+        let mut t = RemapTable::new(1);
+        assert_eq!(t.resolve(1), None);
+        t.retire(1);
+        assert_eq!(t.resolve(1), Some(SPARE_ROW_BASE));
+        t.retire(2);
+        assert_eq!(t.resolve(2), Some(FENCE_ROW));
+        assert_eq!(t.resolve(3), None);
+    }
+
+    #[test]
+    fn pack_separates_banks_and_channels() {
+        let a = RemapTable::pack(0, 0, 7);
+        let b = RemapTable::pack(0, 1, 7);
+        let c = RemapTable::pack(1, 0, 7);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

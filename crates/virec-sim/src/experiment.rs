@@ -780,6 +780,14 @@ impl Executor {
         spec: &ExperimentSpec,
         journal_cfg: Option<&JournalConfig>,
     ) -> std::io::Result<ExperimentResult> {
+        // A worker that panics mid-`lock` poisons the mutex; every cell
+        // body already runs under `catch_unwind` (a panic becomes a
+        // `Failed` row), so the data behind a poisoned lock is still
+        // consistent — recover it instead of letting one bad cell convert
+        // the collector's unwrap into a second, sweep-killing panic.
+        fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
         let n = spec.cells.len();
         let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
@@ -808,7 +816,7 @@ impl Executor {
                         for (key, outcome) in records {
                             match spec.keys.get(&key) {
                                 Some(&i) => {
-                                    *slots[i].lock().unwrap() = Some(outcome);
+                                    *relock(&slots[i]) = Some(outcome);
                                     applied += 1;
                                 }
                                 None => eprintln!(
@@ -846,9 +854,7 @@ impl Executor {
             writer = Some(Mutex::new(w));
         }
 
-        let pending: Vec<usize> = (0..n)
-            .filter(|&i| slots[i].lock().unwrap().is_none())
-            .collect();
+        let pending: Vec<usize> = (0..n).filter(|&i| relock(&slots[i]).is_none()).collect();
         let next = AtomicUsize::new(0);
         let completions = AtomicUsize::new(0);
         {
@@ -869,12 +875,12 @@ impl Executor {
                 if journalable {
                     if let Some(w) = &writer {
                         let line = journal::record_line(&cell.key, &outcome);
-                        if let Err(e) = w.lock().unwrap().append(&line) {
+                        if let Err(e) = relock(w).append(&line) {
                             eprintln!("journal append failed for {}: {e}", cell.key);
                         }
                     }
                 }
-                *slots[i].lock().unwrap() = Some(outcome);
+                *relock(&slots[i]) = Some(outcome);
                 let done = completions.fetch_add(1, Ordering::Relaxed) + 1;
                 if self.interrupt_after.is_some_and(|limit| done >= limit) {
                     self.drain.cancel();
@@ -899,10 +905,13 @@ impl Executor {
             .zip(slots)
             .map(|(c, slot)| CellResult {
                 key: c.key.clone(),
-                outcome: slot.into_inner().unwrap().unwrap_or_else(|| {
-                    interrupted = true;
-                    CellOutcome::Skipped
-                }),
+                outcome: slot
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        interrupted = true;
+                        CellOutcome::Skipped
+                    }),
             })
             .collect();
 

@@ -14,6 +14,7 @@
 
 use crate::ecc::ProtectionConfig;
 use crate::error::SimError;
+use crate::ras::RasConfig;
 use crate::runner::{default_checkpoint_interval, try_run_single, RunOptions, RunResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
@@ -22,7 +23,7 @@ use virec_core::{CoreConfig, EngineFault};
 use virec_workloads::Workload;
 
 /// A corruptible structure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultSite {
     /// Flip a bit in a valid VRMU tag-store entry's cached value.
     TagValue,
@@ -68,6 +69,21 @@ impl FaultSite {
         FaultSite::DramLine,
         FaultSite::FabricResponse,
     ];
+
+    /// Sites with *retirable* physical cells, for permanent-fault
+    /// campaigns: a stuck CAM way (tag-value) or a stuck DRAM cell
+    /// (backing-reg / dram-line). Transport upsets (fabric-response) and
+    /// control-state sites (rollback-slot, stuck-fill) have no region a
+    /// spare can replace and are excluded.
+    pub const PERMANENT: [FaultSite; 3] = [
+        FaultSite::TagValue,
+        FaultSite::BackingReg,
+        FaultSite::DramLine,
+    ];
+
+    /// Retirable sites for engines without a VRMU: no CAM ways to spare,
+    /// only DRAM rows.
+    pub const PERMANENT_NON_VRMU: [FaultSite; 2] = [FaultSite::BackingReg, FaultSite::DramLine];
 
     /// Stable kebab-case name (the `--sites` / journal spelling).
     pub fn name(self) -> &'static str {
@@ -119,6 +135,95 @@ pub fn parse_sites(s: &str) -> Result<Vec<FaultSite>, String> {
     Ok(sites)
 }
 
+/// Temporal behaviour of a scheduled fault: how the upset re-asserts after
+/// its first firing. Transient flips are one-shot soft errors; intermittent
+/// and stuck-at faults model marginal and dead cells that keep re-asserting
+/// until the RAS layer retires the region (or, for intermittent, the duty
+/// cycle ends).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// One-shot soft error: fires once and never again.
+    Transient,
+    /// Duty-cycled upset (a marginal / variable-retention cell): after the
+    /// first firing it re-asserts every `period` cycles, `repeats` more
+    /// times, then goes quiet.
+    Intermittent {
+        /// Cycles between assertions.
+        period: u64,
+        /// Further assertions after the first.
+        repeats: u32,
+    },
+    /// Permanent stuck-at cell: re-asserts every `period` cycles until the
+    /// region is retired or the run ends.
+    StuckAt {
+        /// Cycles between assertions.
+        period: u64,
+    },
+}
+
+impl FaultClass {
+    /// Default assertion period for persistent classes parsed by name.
+    pub const DEFAULT_PERIOD: u64 = 400;
+    /// Default extra assertions for `intermittent` parsed by name.
+    pub const DEFAULT_REPEATS: u32 = 6;
+
+    /// Stable kebab-case name (the `--fault-class` / journal spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Intermittent { .. } => "intermittent",
+            FaultClass::StuckAt { .. } => "stuck-at",
+        }
+    }
+
+    /// Whether the fault re-asserts after its first firing.
+    pub fn is_persistent(self) -> bool {
+        !matches!(self, FaultClass::Transient)
+    }
+
+    /// The re-armed copy scheduled after one assertion: `None` when the
+    /// fault has exhausted its duty cycle (or is transient).
+    pub fn rearm(self) -> Option<(u64, FaultClass)> {
+        match self {
+            FaultClass::Transient => None,
+            FaultClass::Intermittent { repeats: 0, .. } => None,
+            FaultClass::Intermittent { period, repeats } => Some((
+                period,
+                FaultClass::Intermittent {
+                    period,
+                    repeats: repeats - 1,
+                },
+            )),
+            FaultClass::StuckAt { period } => Some((period, FaultClass::StuckAt { period })),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultClass {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FaultClass, String> {
+        match s {
+            "transient" => Ok(FaultClass::Transient),
+            "intermittent" => Ok(FaultClass::Intermittent {
+                period: FaultClass::DEFAULT_PERIOD,
+                repeats: FaultClass::DEFAULT_REPEATS,
+            }),
+            "stuck-at" => Ok(FaultClass::StuckAt {
+                period: FaultClass::DEFAULT_PERIOD,
+            }),
+            other => Err(format!(
+                "unknown fault class '{other}' (expected one of: transient, intermittent, stuck-at)"
+            )),
+        }
+    }
+}
+
 /// One scheduled corruption.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -130,6 +235,16 @@ pub struct FaultEvent {
     pub index: u64,
     /// Bit position the site interprets modulo the field width.
     pub bit: u8,
+    /// Temporal class: one-shot, duty-cycled, or permanent.
+    pub class: FaultClass,
+}
+
+impl FaultEvent {
+    /// The `(site, index)` family key: all assertions of one physical
+    /// defect share it, and retirement removes the whole family.
+    pub fn family(&self) -> (FaultSite, u64) {
+        (self.site, self.index)
+    }
 }
 
 /// A deterministic schedule of faults for one run.
@@ -164,8 +279,54 @@ impl FaultPlan {
                 site: sites[(rng.next_u64() % sites.len() as u64) as usize],
                 index: rng.next_u64(),
                 bit: (rng.next_u64() % 64) as u8,
+                class: FaultClass::Transient,
             })
             .collect();
+        FaultPlan { events }
+    }
+
+    /// `count` faults of the given temporal `class`, drawn like
+    /// [`FaultPlan::seeded`]. For permanent faults on SEC-DED word sites,
+    /// one seed in three models a **pair** of stuck cells in the same word:
+    /// correction is defeated from the first assertion, forcing the
+    /// demand-retirement path instead of the predictive one.
+    pub fn seeded_class(
+        seed: u64,
+        count: usize,
+        window: (u64, u64),
+        sites: &[FaultSite],
+        class: FaultClass,
+    ) -> FaultPlan {
+        assert!(!sites.is_empty(), "fault plan needs at least one site");
+        let mut rng = XorShift::new(seed);
+        let span = window.1.saturating_sub(window.0).max(1);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let cycle = window.0 + rng.next_u64() % span;
+            let site = sites[(rng.next_u64() % sites.len() as u64) as usize];
+            let index = rng.next_u64();
+            let bit = (rng.next_u64() % 64) as u8;
+            let double = matches!(class, FaultClass::StuckAt { .. })
+                && FaultSite::SECDED_WORDS.contains(&site)
+                && rng.next_u64().is_multiple_of(3);
+            events.push(FaultEvent {
+                cycle,
+                site,
+                index,
+                bit,
+                class,
+            });
+            if double {
+                let bit2 = ((bit as u64 + 1 + rng.next_u64() % 63) % 64) as u8;
+                events.push(FaultEvent {
+                    cycle,
+                    site,
+                    index,
+                    bit: bit2,
+                    class,
+                });
+            }
+        }
         FaultPlan { events }
     }
 
@@ -196,12 +357,14 @@ impl FaultPlan {
                 site,
                 index,
                 bit,
+                class: FaultClass::Transient,
             });
             events.push(FaultEvent {
                 cycle,
                 site,
                 index,
                 bit: bit2,
+                class: FaultClass::Transient,
             });
         }
         FaultPlan { events }
@@ -240,6 +403,20 @@ pub enum InjectionOutcome {
     /// reproduced the clean digest. Detection via check bits, recovery by
     /// re-running from scratch.
     DetectedUncorrectable,
+    /// The RAS layer's CE tracker predictively retired the failing region
+    /// onto a spare before any uncorrectable error occurred: every
+    /// assertion was corrected in place, the leaky-bucket threshold
+    /// tripped, and the run finished with the clean digest.
+    Retired,
+    /// The fault went uncorrectable (stuck CAM way under parity, or a
+    /// double stuck cell under SEC-DED); the runner restored a checkpoint
+    /// and *demand-retired* the region onto a spare, after which the run
+    /// finished with the clean digest.
+    Remapped,
+    /// A region had to be retired but the spare pool was exhausted: the
+    /// region was fenced, capacity shrank, and the run completed — slower,
+    /// but with the clean digest. Graceful degradation instead of death.
+    Degraded,
     /// The fault was applied but changed nothing observable: the corrupted
     /// state was dead (never read again). Verification passed and the
     /// architectural digest matches the clean run. Benign by construction.
@@ -297,7 +474,10 @@ impl CampaignReport {
             + self.count(InjectionOutcome::Crashed)
             + self.count(InjectionOutcome::Corrected)
             + self.count(InjectionOutcome::CheckpointRecovered)
-            + self.count(InjectionOutcome::DetectedUncorrectable);
+            + self.count(InjectionOutcome::DetectedUncorrectable)
+            + self.count(InjectionOutcome::Retired)
+            + self.count(InjectionOutcome::Remapped)
+            + self.count(InjectionOutcome::Degraded);
         let effectful = caught + self.count(InjectionOutcome::Silent);
         if effectful == 0 {
             1.0
@@ -315,7 +495,10 @@ impl CampaignReport {
         let repaired = self.count(InjectionOutcome::Recovered)
             + self.count(InjectionOutcome::Corrected)
             + self.count(InjectionOutcome::CheckpointRecovered)
-            + self.count(InjectionOutcome::DetectedUncorrectable);
+            + self.count(InjectionOutcome::DetectedUncorrectable)
+            + self.count(InjectionOutcome::Retired)
+            + self.count(InjectionOutcome::Remapped)
+            + self.count(InjectionOutcome::Degraded);
         let detected = repaired + self.count(InjectionOutcome::Detected);
         if detected == 0 {
             1.0
@@ -356,8 +539,8 @@ impl CampaignReport {
     pub fn summary(&self) -> String {
         let mut s = format!(
             "{}: {} injections — {} corrected, {} ckpt-recovered, {} detected-uncorrectable, \
-             {} recovered, {} detected-only, {} crashed, {} masked, \
-             {} not applied, {} SILENT (detection rate {:.1}%, recovery rate {:.1}%)",
+             {} recovered, {} detected-only, {} crashed, {} retired, {} remapped, {} degraded, \
+             {} masked, {} not applied, {} SILENT (detection rate {:.1}%, recovery rate {:.1}%)",
             self.engine,
             self.records.len(),
             self.count(InjectionOutcome::Corrected),
@@ -366,6 +549,9 @@ impl CampaignReport {
             self.count(InjectionOutcome::Recovered),
             self.count(InjectionOutcome::Detected),
             self.count(InjectionOutcome::Crashed),
+            self.count(InjectionOutcome::Retired),
+            self.count(InjectionOutcome::Remapped),
+            self.count(InjectionOutcome::Degraded),
             self.count(InjectionOutcome::Masked),
             self.count(InjectionOutcome::NotApplied),
             self.count(InjectionOutcome::Silent),
@@ -379,6 +565,19 @@ impl CampaignReport {
             ));
         }
         s
+    }
+
+    /// The RAS-campaign gate line, greppable by CI:
+    /// `retired=N remapped=N degraded_runs=N silent=N`.
+    pub fn ras_summary(&self) -> String {
+        format!(
+            "{}: ras retired={} remapped={} degraded_runs={} silent={}",
+            self.engine,
+            self.count(InjectionOutcome::Retired),
+            self.count(InjectionOutcome::Remapped),
+            self.count(InjectionOutcome::Degraded),
+            self.count(InjectionOutcome::Silent)
+        )
     }
 }
 
@@ -395,6 +594,14 @@ pub struct CampaignOptions {
     /// recovery; detected-uncorrectable faults then fall back to full
     /// re-execution).
     pub checkpoint_interval: u64,
+    /// Temporal class of the injected faults (transient, intermittent,
+    /// stuck-at). Non-transient classes model defects that re-assert and
+    /// are only survivable with the RAS layer enabled.
+    pub class: FaultClass,
+    /// RAS layer (scrubber + CE tracker + sparing) for the attacked runs.
+    /// `None` disables it; persistent faults then end in a bounded typed
+    /// uncorrectable error instead of a retirement.
+    pub ras: Option<RasConfig>,
 }
 
 impl Default for CampaignOptions {
@@ -403,6 +610,8 @@ impl Default for CampaignOptions {
             protection: ProtectionConfig::none(),
             multi_fault: false,
             checkpoint_interval: 0,
+            class: FaultClass::Transient,
+            ras: None,
         }
     }
 }
@@ -415,6 +624,20 @@ impl CampaignOptions {
             protection: ProtectionConfig::secded(),
             multi_fault: false,
             checkpoint_interval: default_checkpoint_interval(),
+            class: FaultClass::Transient,
+            ras: None,
+        }
+    }
+
+    /// The permanent-fault endurance stack: SEC-DED, checkpoints, stuck-at
+    /// injections, and the RAS layer at its default rates.
+    pub fn permanent() -> CampaignOptions {
+        CampaignOptions {
+            class: FaultClass::StuckAt {
+                period: FaultClass::DEFAULT_PERIOD,
+            },
+            ras: Some(RasConfig::default()),
+            ..CampaignOptions::protected()
         }
     }
 }
@@ -485,16 +708,29 @@ pub fn run_campaign_with(
     let mut records = Vec::with_capacity(injections);
     for i in 0..injections {
         let seed = base_seed.wrapping_add(i as u64).max(1);
-        let faults = if campaign.multi_fault {
+        let faults = if campaign.class.is_persistent() {
+            FaultPlan::seeded_class(seed, 1, window, sites, campaign.class)
+        } else if campaign.multi_fault {
             FaultPlan::seeded_burst(seed, 1, window, sites)
         } else {
             FaultPlan::seeded(seed, 1, window, sites)
         };
+        // One injection in four runs on an end-of-life machine whose spare
+        // pools are already consumed: retirement then has to fence the
+        // region, exercising the degraded-mode path deterministically.
+        let mut ras = campaign.ras;
+        if let Some(rc) = &mut ras {
+            if i % 4 == 3 {
+                rc.spare_rows = 0;
+                rc.spare_ways = 0;
+            }
+        }
         let opts = RunOptions {
             faults,
             livelock_cycles,
             protection: campaign.protection,
             checkpoint_interval: campaign.checkpoint_interval,
+            ras,
             ..RunOptions::default()
         };
         let run = catch_unwind(AssertUnwindSafe(|| {
@@ -553,7 +789,16 @@ pub fn run_campaign_with(
             },
             Ok(Ok(result)) => {
                 let clean_digest = result.arch_digest == clean.arch_digest;
-                let (outcome, replay) = if result.ecc.restores > 0 && clean_digest {
+                // RAS outcomes outrank the transient-era classes: a run
+                // that fenced a region *and* replayed a checkpoint is a
+                // degradation story, not a recovery story.
+                let (outcome, replay) = if result.ras.degraded_regions > 0 && clean_digest {
+                    (InjectionOutcome::Degraded, None)
+                } else if result.ras.demand_retirements > 0 && clean_digest {
+                    (InjectionOutcome::Remapped, Some(result.ecc.replay_cycles))
+                } else if result.ras.predictive_retirements > 0 && clean_digest {
+                    (InjectionOutcome::Retired, None)
+                } else if result.ecc.restores > 0 && clean_digest {
                     (
                         InjectionOutcome::CheckpointRecovered,
                         Some(result.ecc.replay_cycles),

@@ -36,6 +36,7 @@ use std::path::{Path, PathBuf};
 
 use crate::ecc::EccStats;
 use crate::experiment::{json_string, CellData, CellOutcome};
+use crate::ras::RasStats;
 use crate::runner::RunResult;
 use crate::system::SystemResult;
 use virec_core::{CoreStats, OracleSchedule};
@@ -248,6 +249,24 @@ fn enc_data(out: &mut String, data: &CellData) {
                     e.replay_cycles
                 ));
             }
+            // RAS counters follow the same rule: emitted only when the
+            // layer did something, so pre-RAS journal lines stay valid.
+            if !r.ras.is_empty() {
+                let a = &r.ras;
+                out.push_str(&format!(
+                    ",\"ras\":{{\"scrub_reads\":{},\"ce_observations\":{},\
+                     \"predictive_retirements\":{},\"demand_retirements\":{},\
+                     \"degraded_regions\":{},\"migrated_lines\":{},\
+                     \"suppressed_assertions\":{}}}",
+                    a.scrub_reads,
+                    a.ce_observations,
+                    a.predictive_retirements,
+                    a.demand_retirements,
+                    a.degraded_regions,
+                    a.migrated_lines,
+                    a.suppressed_assertions
+                ));
+            }
             out.push('}');
         }
         CellData::System(s) => {
@@ -264,8 +283,15 @@ fn enc_data(out: &mut String, data: &CellData) {
             let f = &s.fabric;
             out.push_str(&format!(
                 "],\"fabric\":{{\"reads\":{},\"writes\":{},\"row_hits\":{},\
-                 \"row_conflicts\":{},\"row_empty\":{},\"queue_cycles\":{}}}}}",
-                f.reads, f.writes, f.row_hits, f.row_conflicts, f.row_empty, f.queue_cycles
+                 \"row_conflicts\":{},\"row_empty\":{},\"queue_cycles\":{},\
+                 \"scrub_reads\":{}}}}}",
+                f.reads,
+                f.writes,
+                f.row_hits,
+                f.row_conflicts,
+                f.row_empty,
+                f.queue_cycles,
+                f.scrub_reads
             ));
         }
         CellData::Metrics(m) => {
@@ -428,6 +454,19 @@ fn dec_data(v: &Json) -> Option<CellData> {
                 },
                 None => EccStats::default(),
             },
+            // Absent before the RAS layer (and in all runs without it).
+            ras: match v.get("ras") {
+                Some(a) => RasStats {
+                    scrub_reads: a.get("scrub_reads")?.u64()?,
+                    ce_observations: a.get("ce_observations")?.u64()?,
+                    predictive_retirements: a.get("predictive_retirements")?.u64()?,
+                    demand_retirements: a.get("demand_retirements")?.u64()?,
+                    degraded_regions: a.get("degraded_regions")?.u64()?,
+                    migrated_lines: a.get("migrated_lines")?.u64()?,
+                    suppressed_assertions: a.get("suppressed_assertions")?.u64()?,
+                },
+                None => RasStats::default(),
+            },
             // Wall-clock snapshot cost is not journaled (non-deterministic);
             // replayed cells report zero.
             checkpoint_clone_ns: 0,
@@ -513,6 +552,8 @@ fn dec_fabric_stats(v: &Json) -> Option<FabricStats> {
         row_conflicts: u("row_conflicts")?,
         row_empty: u("row_empty")?,
         queue_cycles: u("queue_cycles")?,
+        // Absent in journals written before the RAS layer.
+        scrub_reads: u("scrub_reads").unwrap_or(0),
     })
 }
 
@@ -782,6 +823,15 @@ mod tests {
             },
             // Never journaled; roundtrips compare against the restored zero.
             checkpoint_clone_ns: 0,
+            ras: RasStats {
+                scrub_reads: 11,
+                ce_observations: 4,
+                predictive_retirements: 1,
+                demand_retirements: 2,
+                degraded_regions: 1,
+                migrated_lines: 16,
+                suppressed_assertions: 3,
+            },
         }
     }
 
@@ -808,6 +858,7 @@ mod tests {
                 assert_eq!(r.stats.icache.reg_misses, 9);
                 assert_eq!(r.faults_applied, orig.faults_applied);
                 assert_eq!(r.ecc, orig.ecc, "protection counters must round-trip");
+                assert_eq!(r.ras, orig.ras, "RAS counters must round-trip");
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -825,6 +876,7 @@ mod tests {
                 row_conflicts: 4,
                 row_empty: 5,
                 queue_cycles: 6,
+                scrub_reads: 7,
             },
         };
         let outcome = CellOutcome::Ok(CellData::System(Box::new(sys)));
@@ -835,6 +887,7 @@ mod tests {
                 assert_eq!(s.per_core.len(), 2);
                 assert_eq!(s.per_core[0].instructions, 42);
                 assert_eq!(s.fabric.queue_cycles, 6);
+                assert_eq!(s.fabric.scrub_reads, 7);
             }
             other => panic!("wrong variant: {other:?}"),
         }

@@ -42,6 +42,7 @@ pub mod experiment;
 pub mod fault;
 pub mod journal;
 pub mod offload;
+pub mod ras;
 pub mod report;
 pub mod runner;
 pub mod serve;
@@ -56,10 +57,11 @@ pub use experiment::{
     ExperimentSpec, Job, RetryPolicy, WorkloadBuilder,
 };
 pub use fault::{
-    parse_sites, run_campaign, run_campaign_with, CampaignOptions, CampaignReport, FaultEvent,
-    FaultPlan, FaultSite, InjectionOutcome, InjectionRecord,
+    parse_sites, run_campaign, run_campaign_with, CampaignOptions, CampaignReport, FaultClass,
+    FaultEvent, FaultPlan, FaultSite, InjectionOutcome, InjectionRecord,
 };
 pub use journal::JournalConfig;
+pub use ras::{CeTracker, RasConfig, RasStats, RetiredRegion, Scrubber};
 pub use runner::{
     arch_digest, golden_arch_digest, run_single, try_run_single, try_run_single_traced,
     try_verify_against_golden, verify_against_golden, RunOptions, RunResult,

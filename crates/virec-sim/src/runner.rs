@@ -13,12 +13,13 @@ use crate::ecc::{
 use crate::error::{DivergenceSite, RunDiagnostics, SimError};
 use crate::fault::{engine_fault_of, FaultEvent, FaultPlan, FaultSite};
 use crate::offload::offload;
+use crate::ras::{CeTracker, RasConfig, RasStats, RetiredRegion, Scrubber};
 use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use virec_core::engines::ROLLBACK_DEPTH;
 use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule, QuantumTrace};
 use virec_isa::{ExecOutcome, FlatMem, Interpreter, Reg, ThreadCtx};
-use virec_mem::{Fabric, FabricConfig};
+use virec_mem::{Fabric, FabricConfig, RetireOutcome};
 use virec_workloads::{layout, Workload};
 
 /// Default architectural-checkpoint spacing: the rollback depth (the
@@ -67,6 +68,12 @@ pub struct RunOptions {
     /// dense loop exists as a differential reference and escape hatch
     /// (also reachable via the `VIREC_NO_SKIP=1` environment variable).
     pub dense_loop: bool,
+    /// RAS layer (patrol scrubber, CE tracker, spare pools) for surviving
+    /// persistent faults. `None` (the default) leaves the machine exactly
+    /// as before this layer existed; persistent faults then end in a
+    /// bounded typed [`SimError::Uncorrectable`] after two failed
+    /// checkpoint replays instead of a retirement.
+    pub ras: Option<RasConfig>,
 }
 
 impl Default for RunOptions {
@@ -83,6 +90,7 @@ impl Default for RunOptions {
             checkpoint_depth: 4,
             gate: RunGate::unbounded(),
             dense_loop: false,
+            ras: None,
         }
     }
 }
@@ -124,6 +132,9 @@ pub struct RunResult {
     /// (zero when checkpointing is off). Non-deterministic by nature, so it
     /// is reported but never journaled or folded into digests.
     pub checkpoint_clone_ns: u64,
+    /// RAS-layer counters (all zero unless [`RunOptions::ras`] was set and
+    /// the layer did something).
+    pub ras: RasStats,
 }
 
 impl RunResult {
@@ -170,6 +181,15 @@ fn try_run_single_impl(
     opts: &RunOptions,
     want_trace: bool,
 ) -> Result<(RunResult, QuantumTrace), SimError> {
+    // The RAS layer provisions its spare CAM ways at core construction:
+    // they are physically present (priced by virec-area) but masked until
+    // a retirement activates one.
+    let mut cfg = cfg;
+    if let Some(rc) = &opts.ras {
+        if cfg.engine == EngineKind::ViReC {
+            cfg.spare_ways = rc.spare_ways as usize;
+        }
+    }
     let mut mem = FlatMem::new(
         0,
         layout::mem_size(1).max((workload.layout.data_base + workload.layout.data_size) as usize),
@@ -199,6 +219,30 @@ fn try_run_single_impl(
     let mut checkpoints: VecDeque<Checkpoint> = VecDeque::new();
     let ckpt_interval = opts.checkpoint_interval;
     let ckpt_depth = opts.checkpoint_depth.max(1);
+
+    // RAS state lives *outside* the checkpoint ring: a physical repair
+    // (a masked way, a remapped row) survives an architectural rollback.
+    // Restores clone the machine from the ring, so the retirement log is
+    // replayed onto every restored clone.
+    let mut ras = RasStats::default();
+    let mut tracker = CeTracker::new(
+        opts.ras.map_or(1, |rc| rc.ce_threshold),
+        opts.ras.map_or(0, |rc| rc.ce_leak_interval),
+    );
+    let mut scrubber = opts.ras.and_then(|rc| {
+        (rc.scrub_interval > 0).then(|| {
+            Scrubber::new(vec![
+                (region.base, region.size()),
+                (workload.layout.data_base, workload.layout.data_size),
+            ])
+        })
+    });
+    let mut retired_log: Vec<RetiredRegion> = Vec::new();
+    let mut retired_families: Vec<(FaultSite, u64)> = Vec::new();
+    let mut due_restores: HashMap<(FaultSite, u64), u32> = HashMap::new();
+    if let Some(rc) = &opts.ras {
+        fabric.provision_spare_rows(rc.spare_rows);
+    }
     let wrap = |e: SimError, applied: &[String]| -> SimError {
         if applied.is_empty() {
             e
@@ -264,6 +308,63 @@ fn try_run_single_impl(
             checkpoint_clone_ns += snap_start.elapsed().as_nanos() as u64;
             ecc.checkpoints_taken += 1;
         }
+        if let (Some(rc), Some(sc)) = (&opts.ras, scrubber.as_mut()) {
+            if now.is_multiple_of(rc.scrub_interval) {
+                if let Some(addr) = sc.next_line() {
+                    // Patrol read: a real fabric request that occupies the
+                    // target bank like demand traffic — scrubbing is not
+                    // free bandwidth.
+                    fabric.submit_scrub(now, addr);
+                    ras.scrub_reads += 1;
+                    // Patrol detection: a persistent defect whose cells
+                    // sit in the line just scrubbed registers a
+                    // correctable error with the CE tracker before demand
+                    // traffic trips over it.
+                    let line = addr & !(virec_mem::LINE_BYTES - 1);
+                    let mut hits: Vec<(FaultEvent, u64)> = Vec::new();
+                    for ev in &pending {
+                        if ev.class.is_persistent()
+                            && matches!(ev.site, FaultSite::BackingReg | FaultSite::DramLine)
+                        {
+                            if let Some((waddr, _)) =
+                                word_target(ev, &core, &fabric, &mem, workload)
+                            {
+                                if waddr & !(virec_mem::LINE_BYTES - 1) == line {
+                                    hits.push((*ev, waddr));
+                                }
+                            }
+                        }
+                    }
+                    let mut seen: Vec<(FaultSite, u64)> = Vec::new();
+                    for (ev, waddr) in hits {
+                        let fam = ev.family();
+                        if seen.contains(&fam) || retired_families.contains(&fam) {
+                            continue;
+                        }
+                        seen.push(fam);
+                        ras.ce_observations += 1;
+                        let key = fabric.row_key(waddr);
+                        if tracker.observe(key, now) {
+                            tracker.clear(key);
+                            ras.predictive_retirements += 1;
+                            ras_retire_family(
+                                &ev,
+                                Some(waddr),
+                                &mut core,
+                                &mut fabric,
+                                &mut mem,
+                                now,
+                                &mut ras,
+                                &mut retired_log,
+                                &mut faults_applied,
+                            );
+                            retired_families.push(fam);
+                            pending.retain(|e| e.family() != fam);
+                        }
+                    }
+                }
+            }
+        }
         fabric.tick(now);
         core.tick(now, &mut fabric, &mut mem);
 
@@ -284,7 +385,25 @@ fn try_run_single_impl(
             let mut i = 0;
             while i < pending.len() {
                 if pending[i].cycle <= now {
-                    due.push(pending.swap_remove(i));
+                    let ev = pending.swap_remove(i);
+                    if retired_families.contains(&ev.family()) {
+                        // The region is out of service — its cells are no
+                        // longer wired to anything. The assertion is
+                        // dropped and the family is not re-armed.
+                        ras.suppressed_assertions += 1;
+                        continue;
+                    }
+                    // Persistent classes re-assert: schedule the next
+                    // firing up front so the skip loop's pending-fault cap
+                    // covers it like any scheduled event.
+                    if let Some((period, next)) = ev.class.rearm() {
+                        pending.push(FaultEvent {
+                            cycle: now + period,
+                            class: next,
+                            ..ev
+                        });
+                    }
+                    due.push(ev);
                 } else {
                     i += 1;
                 }
@@ -302,6 +421,7 @@ fn try_run_single_impl(
             let mut suppress: Vec<FaultEvent> = Vec::new();
             let mut detected_desc = String::new();
             for group in &groups {
+                let corrected_before = ecc.corrected;
                 if let Protected::Uncorrectable(desc) = protect_apply_group(
                     group,
                     now,
@@ -316,8 +436,76 @@ fn try_run_single_impl(
                     suppress.extend_from_slice(group);
                     detected_desc = desc;
                 }
+                // Predictive sparing: every *corrected* assertion of a
+                // persistent defect charges the region's leaky bucket; at
+                // the threshold the region is retired before a second cell
+                // failure can turn correctable into uncorrectable.
+                if opts.ras.is_some()
+                    && ecc.corrected > corrected_before
+                    && group[0].class.is_persistent()
+                {
+                    let fam = group[0].family();
+                    if !retired_families.contains(&fam) {
+                        ras.ce_observations += 1;
+                        let (key, waddr) = match group[0].site {
+                            FaultSite::BackingReg
+                            | FaultSite::DramLine
+                            | FaultSite::FabricResponse => {
+                                match word_target(&group[0], &core, &fabric, &mem, workload) {
+                                    Some((a, _)) => (fabric.row_key(a), Some(a)),
+                                    None => ((1 << 63) | group[0].index, None),
+                                }
+                            }
+                            _ => ((1 << 63) | group[0].index, None),
+                        };
+                        if tracker.observe(key, now) {
+                            tracker.clear(key);
+                            ras.predictive_retirements += 1;
+                            ras_retire_family(
+                                &group[0],
+                                waddr,
+                                &mut core,
+                                &mut fabric,
+                                &mut mem,
+                                now,
+                                &mut ras,
+                                &mut retired_log,
+                                &mut faults_applied,
+                            );
+                            retired_families.push(fam);
+                            pending.retain(|e| e.family() != fam);
+                        }
+                    }
+                }
             }
             if !suppress.is_empty() {
+                // Persistent faults cannot be outlived by replay alone —
+                // the cells stay broken. Without the RAS layer the runner
+                // bounds the retry loop: a defect family that trips a
+                // second detected-uncorrectable after a restore fails the
+                // run with a typed error instead of replaying forever.
+                if opts.ras.is_none() {
+                    for fam in suppress
+                        .iter()
+                        .filter(|e| e.class.is_persistent())
+                        .map(FaultEvent::family)
+                    {
+                        let c = due_restores.entry(fam).or_insert(0);
+                        *c += 1;
+                        if *c >= 2 {
+                            let e = SimError::Uncorrectable {
+                                site: fam.0.to_string(),
+                                detail: format!(
+                                    "persistent fault at {} index {} re-asserted after a \
+                                     checkpoint replay; no RAS layer to retire the region",
+                                    fam.0, fam.1
+                                ),
+                                diag: RunDiagnostics::capture(workload.name, &core, now),
+                            };
+                            return Err(wrap(e, &faults_applied));
+                        }
+                    }
+                }
                 match checkpoints.back() {
                     Some(ck) => {
                         // Mid-run recovery: rewind to the newest checkpoint
@@ -330,7 +518,57 @@ fn try_run_single_impl(
                         pending = ck.pending.clone();
                         faults_applied = ck.faults_applied.clone();
                         now = ck.cycle;
-                        pending.retain(|e| !suppress.contains(e));
+                        // Transient members of the detected group are
+                        // suppressed for the replay; persistent members
+                        // stay armed — only a retirement (below) or the
+                        // bounded-restore tripwire above removes them.
+                        pending.retain(|e| !suppress.contains(e) || e.class.is_persistent());
+                        // Physical repairs survive the rollback: replay the
+                        // retirement log onto the restored clone. Stats are
+                        // not recounted, and spare numbering re-applies in
+                        // log order, hence deterministically.
+                        for r in &retired_log {
+                            match *r {
+                                RetiredRegion::Way { idx, spared } => {
+                                    core.remask_way(idx, spared, &mut fabric, &mut mem);
+                                }
+                                RetiredRegion::Row { addr, .. } => {
+                                    fabric.retire_row(addr);
+                                }
+                            }
+                        }
+                        // Demand retirement: with RAS on, a detected
+                        // uncorrectable in a persistent region retires it
+                        // on the restored machine, so the replay cannot
+                        // trip over the same defect again.
+                        if opts.ras.is_some() {
+                            let mut fams: Vec<FaultEvent> = Vec::new();
+                            for ev in suppress.iter().filter(|e| e.class.is_persistent()) {
+                                if !retired_families.contains(&ev.family())
+                                    && !fams.iter().any(|f| f.family() == ev.family())
+                                {
+                                    fams.push(*ev);
+                                }
+                            }
+                            for ev in fams {
+                                let waddr = word_target(&ev, &core, &fabric, &mem, workload)
+                                    .map(|(a, _)| a);
+                                ras.demand_retirements += 1;
+                                ras_retire_family(
+                                    &ev,
+                                    waddr,
+                                    &mut core,
+                                    &mut fabric,
+                                    &mut mem,
+                                    now,
+                                    &mut ras,
+                                    &mut retired_log,
+                                    &mut faults_applied,
+                                );
+                                retired_families.push(ev.family());
+                            }
+                            pending.retain(|e| !retired_families.contains(&e.family()));
+                        }
                         // Correction/escape counters rewind with the state
                         // (re-fired events in the replay window re-count);
                         // the cumulative recovery counters carry forward.
@@ -415,6 +653,13 @@ fn try_run_single_impl(
             if ckpt_interval > 0 {
                 wake = wake.min(now.next_multiple_of(ckpt_interval));
             }
+            if let Some(rc) = &opts.ras {
+                // Scrub wakeups are scheduled events like checkpoints:
+                // the clock must land on every patrol cycle.
+                if scrubber.is_some() {
+                    wake = wake.min(now.next_multiple_of(rc.scrub_interval));
+                }
+            }
             if wake > now {
                 core.credit_skipped(wake - now);
                 now = wake;
@@ -443,6 +688,7 @@ fn try_run_single_impl(
             arch_digest,
             ecc,
             checkpoint_clone_ns,
+            ras,
         },
         trace,
     ))
@@ -470,6 +716,83 @@ enum Protected {
     /// detection is precise), and the runner must either restore a
     /// checkpoint or fail with [`SimError::Uncorrectable`].
     Uncorrectable(String),
+}
+
+/// Takes the physical region behind one persistent fault family out of
+/// service: masks a VRMU way (activating a spare when provisioned) or
+/// retires a DRAM row through the remap table (consuming a spare row or
+/// fencing onto the shared remnant row). Regions without retirable cells —
+/// control state, transport, a banked engine's register cells — are fenced
+/// logically: the family is dropped and the loss is accounted as degraded
+/// capacity. Migration of a retired row's data is modeled as real
+/// scrub-read traffic through the fabric.
+#[allow(clippy::too_many_arguments)]
+fn ras_retire_family(
+    ev: &FaultEvent,
+    word_addr: Option<u64>,
+    core: &mut Core,
+    fabric: &mut Fabric,
+    mem: &mut FlatMem,
+    now: u64,
+    ras: &mut RasStats,
+    retired_log: &mut Vec<RetiredRegion>,
+    applied: &mut Vec<String>,
+) {
+    match ev.site {
+        FaultSite::TagValue => match core.retire_value_way(ev.index, true, fabric, mem) {
+            Some(w) => {
+                if !w.spared {
+                    ras.degraded_regions += 1;
+                }
+                applied.push(format!("cycle {now}: ras {}", w.desc));
+                retired_log.push(RetiredRegion::Way {
+                    idx: w.idx,
+                    spared: w.spared,
+                });
+            }
+            None => {
+                // No maskable way (banked engine) or the store is at its
+                // in-flight floor: fence the family logically and run on
+                // with the capacity loss.
+                ras.degraded_regions += 1;
+                applied.push(format!(
+                    "cycle {now}: ras fenced unmaskable way family index {}",
+                    ev.index
+                ));
+            }
+        },
+        FaultSite::BackingReg | FaultSite::DramLine | FaultSite::FabricResponse
+            if word_addr.is_some() =>
+        {
+            let addr = word_addr.expect("guarded by match arm");
+            let outcome = fabric.retire_row(addr);
+            let spared = matches!(outcome, RetireOutcome::Spared { .. });
+            if !spared {
+                ras.degraded_regions += 1;
+            }
+            // Data migration: the row's live lines are copied to the
+            // replacement row through the fabric — repair bandwidth is
+            // real bandwidth, so it contends with demand traffic.
+            let lines = fabric.config().dram.lines_per_row.min(32);
+            let base = addr & !(virec_mem::LINE_BYTES - 1);
+            for i in 0..lines {
+                fabric.submit_scrub(now, base + i * virec_mem::LINE_BYTES);
+            }
+            ras.migrated_lines += lines;
+            applied.push(format!(
+                "cycle {now}: ras retired row behind {addr:#x} ({})",
+                if spared { "spared" } else { "fenced" }
+            ));
+            retired_log.push(RetiredRegion::Row { addr, spared });
+        }
+        _ => {
+            ras.degraded_regions += 1;
+            applied.push(format!(
+                "cycle {now}: ras fenced non-retirable site {} index {}",
+                ev.site, ev.index
+            ));
+        }
+    }
 }
 
 /// Routes one fault group (same cycle, same site, same word) through the

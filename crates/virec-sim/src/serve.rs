@@ -29,10 +29,20 @@
 //!   SEC-DED/parity protection model before they corrupt anything. An
 //!   independent golden-digest cross-check counts silent corruptions on
 //!   completed tasks even when verification is off.
+//! * **Repair & degraded mode (PR-8)** — [`ServeFaultPlan::stuck_cores`]
+//!   cores develop *permanent* defects that never heal. With
+//!   [`ServeConfig::ras`] set, the first uncorrectable burst on such a
+//!   core triggers the RAS path instead of quarantine: a spare region is
+//!   consumed and the slot spends [`crate::ras::RasConfig::repair_cycles`]
+//!   repairing (the in-flight task fails over exactly-once),
+//!   or — spare pool dry — the core is *fenced* and keeps serving at 750
+//!   millicores. Capacity is integrated in millicore-cycles so
+//!   availability reports the loss without ever dropping a task.
 //!
 //! The report carries the serving-layer SLO metrics the north star asks
-//! for: tasks/sec, p50/p99/p999 latency, availability (healthy core-cycles
-//! over total capacity), goodput, and per-epoch fabric traffic.
+//! for: tasks/sec, p50/p99/p999 latency, availability (delivered
+//! millicore-cycles over total capacity), goodput, and per-epoch fabric
+//! traffic.
 
 use crate::cancel::{CancelToken, RunGate};
 use crate::ecc::{secded_decode, secded_encode, ProtectionConfig, ProtectionLevel, SecDedOutcome};
@@ -40,6 +50,7 @@ use crate::error::{RunDiagnostics, SimError};
 use crate::experiment::{CellData, RetryPolicy};
 use crate::fault::FaultSite;
 use crate::offload::offload;
+use crate::ras::RasConfig;
 use crate::runner::{arch_digest, engine_label, golden_arch_digest, try_verify_against_golden};
 use crate::system::SystemConfigError;
 use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
@@ -108,8 +119,14 @@ pub struct ServeFaultPlan {
     /// Number of cores (seeded choice) that go bad: every attempt
     /// dispatched to such a core after onset suffers a double-bit burst.
     pub sticky_cores: usize,
-    /// Global dispatch count after which sticky cores turn bad (lets the
-    /// service warm up healthy before the campaign bites).
+    /// Number of cores (seeded choice) with a **stuck-at** defect: every
+    /// attempt after onset suffers a double-bit burst, like a sticky core —
+    /// but the damage is a localized permanent defect, so with
+    /// [`ServeConfig::ras`] enabled the service repairs (spare) or fences
+    /// the region instead of quarantining the whole core.
+    pub stuck_cores: usize,
+    /// Global dispatch count after which sticky/stuck cores turn bad (lets
+    /// the service warm up healthy before the campaign bites).
     pub sticky_after: usize,
 }
 
@@ -125,6 +142,18 @@ impl ServeFaultPlan {
         ServeFaultPlan {
             transient,
             sticky_cores,
+            stuck_cores: 0,
+            sticky_after: 4,
+        }
+    }
+
+    /// A wear campaign: `stuck_cores` cores develop permanent stuck-at
+    /// defects after a short warmup (the RAS repair/fence path's stimulus).
+    pub fn stuck(stuck_cores: usize) -> ServeFaultPlan {
+        ServeFaultPlan {
+            transient: 0,
+            sticky_cores: 0,
+            stuck_cores,
             sticky_after: 4,
         }
     }
@@ -177,6 +206,13 @@ pub struct ServeConfig {
     pub protection: ProtectionConfig,
     /// The seeded service-level fault campaign.
     pub faults: ServeFaultPlan,
+    /// RAS layer for permanent defects: `Some` lets a stuck-at core be
+    /// repaired from the spare pool (slot offline for
+    /// [`RasConfig::repair_cycles`] while data migrates) or, with the pool
+    /// dry, fenced to reduced capacity — instead of being quarantined
+    /// outright. `None` (the default) keeps the PR-6 behavior: a stuck
+    /// core fails repeatedly until the health tracker quarantines it.
+    pub ras: Option<RasConfig>,
     /// Task mix: each arrival picks one `(ctor, n)` spec (seeded).
     pub mix: Vec<(WorkloadCtor, u64)>,
     /// Verify every completed attempt against the golden interpreter.
@@ -210,6 +246,7 @@ impl ServeConfig {
             quarantine_after: 3,
             protection: ProtectionConfig::none(),
             faults: ServeFaultPlan::none(),
+            ras: None,
             mix: default_mix(64),
             verify: true,
             epoch_cycles: 1 << 16,
@@ -278,6 +315,14 @@ pub struct ServeReport {
     pub failovers: usize,
     /// Cores quarantined by the health tracker.
     pub quarantined_cores: usize,
+    /// Stuck-at defects repaired from the spare pool (slot offline for
+    /// the migration window, then back at full capacity).
+    pub repairs: usize,
+    /// Stuck-at defects fenced with the spare pool dry: the core keeps
+    /// serving at reduced capacity instead of being quarantined.
+    pub fenced_cores: usize,
+    /// Spare regions consumed by repairs.
+    pub spares_consumed: usize,
     /// Fault events realized by the campaign (corrected ones included).
     pub faults_injected: usize,
     /// Injected upsets corrected in place by the protection model.
@@ -293,8 +338,11 @@ pub struct ServeReport {
     pub lost: usize,
     /// Total service cycles.
     pub cycles: u64,
-    /// Sum over all cycles of the healthy-core count (availability).
-    pub healthy_core_cycles: u64,
+    /// Sum over all cycles of delivered capacity in **millicores**: a
+    /// healthy core contributes 1000 per cycle, a fenced (degraded) core
+    /// 750, a repairing or quarantined core 0. Availability divides this
+    /// by `ncores * cycles * 1000`.
+    pub capacity_millicore_cycles: u64,
     /// Completion latencies in cycles, sorted ascending.
     pub latencies: Vec<u64>,
     /// Per-epoch fabric/occupancy snapshots.
@@ -318,13 +366,15 @@ impl ServeReport {
         self.completed as f64 / self.submitted as f64
     }
 
-    /// Time-weighted fraction of core capacity that stayed healthy.
+    /// Time-weighted fraction of core capacity actually delivered, in
+    /// millicore-cycles: quarantined and repairing slots deliver nothing,
+    /// fenced slots deliver 750/1000, healthy slots the full 1000.
     pub fn availability(&self) -> f64 {
-        let capacity = self.ncores as u64 * self.cycles;
+        let capacity = (self.ncores as u64 * self.cycles).saturating_mul(1000);
         if capacity == 0 {
             return 1.0;
         }
-        self.healthy_core_cycles as f64 / capacity as f64
+        self.capacity_millicore_cycles as f64 / capacity as f64
     }
 
     /// Completed tasks per second at the 1 GHz timing convention
@@ -371,7 +421,8 @@ impl ServeReport {
              serve[{e}]: faults injected={} corrected={} uncorrectable={} \
              silent_corruptions={} retries={} failovers={} quarantined_cores={}\n\
              serve[{e}]: p50={} p99={} p999={} cycles, tasks_per_sec={:.0}, \
-             availability={:.1}%, goodput={:.1}%",
+             availability={:.1}%, goodput={:.1}%\n\
+             serve[{e}]: ras repairs={} fenced_cores={} spares_consumed={}",
             self.submitted,
             self.completed,
             self.rejected_queue_full,
@@ -392,6 +443,9 @@ impl ServeReport {
             self.tasks_per_sec(),
             self.availability() * 100.0,
             self.goodput() * 100.0,
+            self.repairs,
+            self.fenced_cores,
+            self.spares_consumed,
         )
     }
 
@@ -418,6 +472,9 @@ impl ServeReport {
                 "quarantined_cores".to_string(),
                 self.quarantined_cores as f64,
             ),
+            ("repairs".to_string(), self.repairs as f64),
+            ("fenced_cores".to_string(), self.fenced_cores as f64),
+            ("spares_consumed".to_string(), self.spares_consumed as f64),
             ("faults_injected".to_string(), self.faults_injected as f64),
             ("faults_corrected".to_string(), self.faults_corrected as f64),
             (
@@ -477,6 +534,11 @@ enum Slot {
     Idle,
     Busy(Box<InFlight>),
     Quarantined,
+    /// Offline while a stuck region's data migrates onto a spare; back to
+    /// `Idle` (at full capacity) at cycle `until`.
+    Repairing {
+        until: u64,
+    },
 }
 
 enum AttemptEnd {
@@ -495,6 +557,13 @@ pub struct TaskService {
     workloads: Vec<Vec<Workload>>,
     golden: HashMap<(usize, usize), u64>,
     sticky: Vec<bool>,
+    /// Cores with an un-retired stuck-at defect (cleared by repair/fence).
+    stuck: Vec<bool>,
+    /// Cores running fenced: the defect is out of service but so is part
+    /// of the capacity (750/1000 millicores).
+    fenced: Vec<bool>,
+    /// Spare regions left in the service-wide RAS pool.
+    spares_left: u32,
     transient_tasks: HashSet<usize>,
     arrivals: Vec<(u64, usize)>,
     rng: XorShift,
@@ -542,6 +611,15 @@ impl TaskService {
                 picked += 1;
             }
         }
+        let mut stuck = vec![false; cfg.ncores];
+        let mut picked = 0;
+        while picked < cfg.faults.stuck_cores.min(cfg.ncores) {
+            let c = (plan_rng.next_u64() % cfg.ncores as u64) as usize;
+            if !stuck[c] {
+                stuck[c] = true;
+                picked += 1;
+            }
+        }
 
         let workloads: Vec<Vec<Workload>> = (0..cfg.ncores)
             .map(|slot| {
@@ -566,6 +644,9 @@ impl TaskService {
             workloads,
             golden: HashMap::new(),
             sticky,
+            stuck,
+            fenced: vec![false; cfg.ncores],
+            spares_left: cfg.ras.map_or(0, |rc| rc.spare_rows),
             transient_tasks,
             arrivals,
             rng: plan_rng,
@@ -603,6 +684,14 @@ impl TaskService {
                     limit_ms: trip.limit_ms,
                     diag: RunDiagnostics::placeholder("serve"),
                 });
+            }
+
+            // Repair completions: a slot whose migration window elapsed
+            // returns to service at full capacity.
+            for slot in &mut self.slots {
+                if matches!(slot, Slot::Repairing { until } if now >= *until) {
+                    *slot = Slot::Idle;
+                }
             }
 
             // Admission: arrivals due this cycle either queue or shed.
@@ -688,7 +777,7 @@ impl TaskService {
                 for (slot, end) in events {
                     self.settle(slot, end, now, &mut queue);
                 }
-                self.report.healthy_core_cycles += self.healthy() as u64;
+                self.report.capacity_millicore_cycles += self.capacity_millicores();
                 now += 1;
                 // Event-driven fast-forward over spans where every busy
                 // slot is provably stalled and no dispatcher action
@@ -701,14 +790,31 @@ impl TaskService {
                                 inf.core.credit_skipped(span);
                             }
                         }
-                        self.report.healthy_core_cycles += self.healthy() as u64 * span;
+                        self.report.capacity_millicore_cycles += self.capacity_millicores() * span;
                         now = wake;
                     }
                 }
             } else if next_arrival < self.arrivals.len() {
-                // Idle: fast-forward to the next arrival.
-                let target = self.arrivals[next_arrival].0.max(now + 1);
-                self.report.healthy_core_cycles += self.healthy() as u64 * (target - now);
+                // Idle: fast-forward to the next arrival — but never past a
+                // repair completion, which changes both the delivered
+                // capacity and the set of dispatchable slots mid-span.
+                let mut target = self.arrivals[next_arrival].0.max(now + 1);
+                if let Some(until) = self.earliest_repair() {
+                    target = target.min(until.max(now + 1));
+                }
+                self.report.capacity_millicore_cycles +=
+                    self.capacity_millicores() * (target - now);
+                now = target;
+            } else if let Some(until) = (!queue.is_empty())
+                .then(|| self.earliest_repair())
+                .flatten()
+            {
+                // Arrivals exhausted and every serving slot offline in
+                // repair while work is still queued: advance to the first
+                // repair completion so the queue drains there.
+                let target = until.max(now + 1);
+                self.report.capacity_millicore_cycles +=
+                    self.capacity_millicores() * (target - now);
                 now = target;
             } else {
                 // No work in flight, nothing queued (drained above), no
@@ -736,11 +842,39 @@ impl TaskService {
         &self.outcomes
     }
 
+    /// Slots that can still (eventually) serve: everything but
+    /// quarantined. A repairing slot counts — it returns to service — so
+    /// admission keeps queueing instead of shedding while repairs run.
     fn healthy(&self) -> usize {
         self.slots
             .iter()
             .filter(|s| !matches!(s, Slot::Quarantined))
             .count()
+    }
+
+    /// Delivered capacity this cycle in millicores: healthy slots are
+    /// worth 1000, fenced slots 750, repairing and quarantined slots 0.
+    fn capacity_millicores(&self) -> u64 {
+        self.slots
+            .iter()
+            .zip(&self.fenced)
+            .map(|(s, &fenced)| match s {
+                Slot::Quarantined | Slot::Repairing { .. } => 0,
+                _ if fenced => 750,
+                _ => 1000,
+            })
+            .sum()
+    }
+
+    /// The earliest cycle a repairing slot returns to service.
+    fn earliest_repair(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Repairing { until } => Some(*until),
+                _ => None,
+            })
+            .min()
     }
 
     /// The next cycle anything in the service can act, or `None` when no
@@ -801,6 +935,11 @@ impl TaskService {
                 wake = wake.min(inf.dispatched_at + deadline - 1);
             }
             wake = wake.min((inf.dispatched_at + inf.budget).saturating_sub(1));
+        }
+        // A repair completion changes delivered capacity and frees a slot;
+        // the dense loop observes it on exactly that cycle.
+        if let Some(until) = self.earliest_repair() {
+            wake = wake.min(until);
         }
         if next_arrival < self.arrivals.len() {
             wake = wake.min(self.arrivals[next_arrival].0);
@@ -875,12 +1014,15 @@ impl TaskService {
         }));
     }
 
-    /// Realizes the campaign for one attempt: sticky cores burst two bits
-    /// of one word, transient tasks flip one bit on their first attempt.
+    /// Realizes the campaign for one attempt: sticky and stuck cores burst
+    /// two bits of one word, transient tasks flip one bit on their first
+    /// attempt.
     fn plan_attempt_fault(&mut self, slot: usize, task: &Task) -> Option<AttemptFault> {
-        let sticky = self.sticky[slot] && self.dispatches > self.cfg.faults.sticky_after;
+        let onset = self.dispatches > self.cfg.faults.sticky_after;
+        let sticky = self.sticky[slot] && onset;
+        let stuck = self.stuck[slot] && onset;
         let transient = task.attempts == 1 && self.transient_tasks.contains(&task.id);
-        if !sticky && !transient {
+        if !sticky && !stuck && !transient {
             return None;
         }
         let w = &self.workloads[slot][task.spec];
@@ -888,7 +1030,7 @@ impl TaskService {
         // perturbs the compared image without changing execution.
         let addr = w.layout.data_base + w.layout.data_size - 64 + 8 * (self.rng.next_u64() % 8);
         let b1 = (self.rng.next_u64() % 64) as u8;
-        let mask = if sticky {
+        let mask = if sticky || stuck {
             let b2 = (b1 as u64 + 1 + self.rng.next_u64() % 63) % 64;
             (1u64 << b1) | (1u64 << b2)
         } else {
@@ -1118,6 +1260,33 @@ impl TaskService {
             "task {} attempt {} on core {slot}: {kind}: {detail}",
             task.id, task.attempts
         ));
+        // A failure on a core with an un-retired stuck-at defect is the
+        // defect's doing, not the task's or the core's: the RAS layer
+        // retires the region — onto a spare when one is left (slot offline
+        // while the data migrates), fenced at reduced capacity otherwise —
+        // and the victim task re-dispatches for free, like a failover.
+        // Without RAS the defect keeps firing until quarantine takes the
+        // whole core (the pre-RAS behavior).
+        if self.stuck[slot] && self.dispatches > self.cfg.faults.sticky_after {
+            if let Some(rc) = self.cfg.ras {
+                self.stuck[slot] = false;
+                self.consec[slot] = 0;
+                if self.spares_left > 0 {
+                    self.spares_left -= 1;
+                    self.report.spares_consumed += 1;
+                    self.report.repairs += 1;
+                    self.slots[slot] = Slot::Repairing {
+                        until: now + rc.repair_cycles.max(1),
+                    };
+                } else {
+                    self.fenced[slot] = true;
+                    self.report.fenced_cores += 1;
+                }
+                self.report.failovers += 1;
+                queue.push_front(task);
+                return;
+            }
+        }
         self.consec[slot] += 1;
         let quarantine_now = self.cfg.quarantine_after > 0
             && self.consec[slot] >= self.cfg.quarantine_after
@@ -1260,6 +1429,7 @@ mod tests {
         cfg.faults = ServeFaultPlan {
             transient: 6,
             sticky_cores: 0,
+            stuck_cores: 0,
             sticky_after: 0,
         };
         cfg.quarantine_after = 0; // isolate the retry path
@@ -1277,6 +1447,7 @@ mod tests {
         cfg.faults = ServeFaultPlan {
             transient: 6,
             sticky_cores: 0,
+            stuck_cores: 0,
             sticky_after: 0,
         };
         cfg.protection = ProtectionConfig::secded();
@@ -1292,6 +1463,7 @@ mod tests {
         cfg.faults = ServeFaultPlan {
             transient: 0,
             sticky_cores: 1,
+            stuck_cores: 0,
             sticky_after: 2,
         };
         cfg.protection = ProtectionConfig::secded();
@@ -1314,6 +1486,7 @@ mod tests {
         cfg.faults = ServeFaultPlan {
             transient: 0,
             sticky_cores: 1,
+            stuck_cores: 0,
             sticky_after: 0,
         };
         cfg.protection = ProtectionConfig::secded();

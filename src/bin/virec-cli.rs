@@ -18,8 +18,9 @@ use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::default_checkpoint_interval;
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
 use virec::sim::{
-    interrupt_tokens, parse_sites, run_campaign_with, run_service, CampaignOptions, FaultSite,
-    InjectionOutcome, JournalConfig, ProtectionConfig, ServeConfig, ServeFaultPlan,
+    interrupt_tokens, parse_sites, run_campaign_with, run_service, CampaignOptions, FaultClass,
+    FaultPlan, FaultSite, InjectionOutcome, JournalConfig, ProtectionConfig, RasConfig,
+    ServeConfig, ServeFaultPlan,
 };
 use virec::verify::{broken_fixture, lint_everything, lint_program, LintConfig};
 use virec::workloads::{by_name, suite_names, Layout};
@@ -41,12 +42,18 @@ USAGE:
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
                        [--protection none|parity|secded] [--multi-fault]
                        [--sites <s1,s2,..>]
+                       [--fault-class transient|intermittent|stuck-at]
+    virec-cli ras      [--workload <name>] [--n <elems>] [--engine virec|banked]
+                       [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
+                       [--fault-class intermittent|stuck-at]
+                       [--scrub-interval <c>] [--spare-rows <k>] [--spare-ways <k>]
+                       [--ce-threshold <k>] [--protection parity|secded]
     virec-cli serve    [--cores <c>] [--tasks <k>] [--rate <tasks/Mcycle>]
                        [--engine virec|banked] [--threads <t>] [--regs <r>]
                        [--n <elems>] [--queue-depth <d>] [--deadline <cycles>]
                        [--quarantine-after <k>] [--protection none|parity|secded]
-                       [--faults <k>] [--sticky-cores <k>] [--seed <s>]
-                       [--no-verify]
+                       [--faults <k>] [--sticky-cores <k>] [--stuck-cores <k>]
+                       [--spare-rows <k>] [--seed <s>] [--no-verify]
     virec-cli lint     [--n <elems>] [--broken-fixture]
     virec-cli area     [--threads <t>] [--regs <r>]
 
@@ -380,6 +387,13 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let class: FaultClass = match get("fault-class").unwrap_or("transient").parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: --fault-class: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let campaign = CampaignOptions {
         protection,
         multi_fault: get("multi-fault").is_some(),
@@ -389,6 +403,10 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
         } else {
             default_checkpoint_interval()
         },
+        class,
+        // Persistent defects are only survivable with the RAS layer; a
+        // transient campaign keeps the historical no-RAS machine.
+        ras: class.is_persistent().then(RasConfig::default),
     };
 
     // Crashed outcomes unwind through a panic; keep the report as the
@@ -404,6 +422,9 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     };
     println!("{}", report.summary());
+    if class.is_persistent() {
+        println!("{}", report.ras_summary());
+    }
     for rec in &report.records {
         match rec.outcome {
             InjectionOutcome::Silent => {
@@ -426,6 +447,147 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
         eprintln!("error[unrecovered]: a detected injection did not recover on re-execution");
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+/// `virec-cli ras` — one protected run under a seeded persistent-fault
+/// plan with the RAS layer on, reporting what the scrubber, CE tracker,
+/// and spare pools did. A clean reference run sizes the injection window
+/// and provides the digest the degraded machine must still reproduce.
+fn cmd_ras(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let wname = get("workload").unwrap_or("gather");
+    let n: u64 = get("n").map_or(Ok(1024), str::parse).unwrap_or(0);
+    let threads: usize = get("threads").map_or(Ok(4), str::parse).unwrap_or(0);
+    let faults: usize = get("faults").map_or(Ok(8), str::parse).unwrap_or(0);
+    let seed: u64 = get("seed").map_or(Ok(0xF00D_5EED), str::parse).unwrap_or(0);
+    if n == 0 || threads == 0 || faults == 0 || seed == 0 {
+        eprintln!("error: invalid --n, --threads, --faults or --seed");
+        return ExitCode::from(2);
+    }
+    let Some(workload) = by_name(wname, n, Layout::for_core(0)) else {
+        eprintln!("error: unknown workload {wname:?}; see `virec-cli list`");
+        return ExitCode::from(2);
+    };
+    let regs: usize = get("regs")
+        .map_or(
+            Ok((threads * workload.active_context_size()).max(12)),
+            |s| s.parse(),
+        )
+        .unwrap_or(0);
+    let engine = get("engine").unwrap_or("virec");
+    let (cfg, sites) = match engine {
+        "virec" => (CoreConfig::virec(threads, regs), &FaultSite::PERMANENT[..]),
+        "banked" => (
+            CoreConfig::banked(threads),
+            &FaultSite::PERMANENT_NON_VRMU[..],
+        ),
+        other => {
+            eprintln!("error: ras supports virec|banked, not {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let class: FaultClass = match get("fault-class").unwrap_or("stuck-at").parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: --fault-class: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !class.is_persistent() {
+        eprintln!("error: the ras demo wants a persistent class (intermittent or stuck-at)");
+        return ExitCode::from(2);
+    }
+    let mut rc = RasConfig::default();
+    for (key, slot) in [
+        ("scrub-interval", &mut rc.scrub_interval),
+        ("ce-leak-interval", &mut rc.ce_leak_interval),
+    ] {
+        if let Some(v) = flags.get(key) {
+            let Ok(v) = v.parse() else {
+                eprintln!("error: invalid --{key}");
+                return ExitCode::from(2);
+            };
+            *slot = v;
+        }
+    }
+    for (key, slot) in [
+        ("spare-rows", &mut rc.spare_rows),
+        ("spare-ways", &mut rc.spare_ways),
+        ("ce-threshold", &mut rc.ce_threshold),
+    ] {
+        if let Some(v) = flags.get(key) {
+            let Ok(v) = v.parse() else {
+                eprintln!("error: invalid --{key}");
+                return ExitCode::from(2);
+            };
+            *slot = v;
+        }
+    }
+    // RAS needs a detector in front of it: default to SEC-DED.
+    let protection: ProtectionConfig = match get("protection").unwrap_or("secded").parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: --protection: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let clean = match try_run_single(cfg, &workload, &RunOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[{}]: clean reference run failed: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RunOptions {
+        faults: FaultPlan::seeded_class(seed, faults, (0, clean.cycles), sites, class),
+        protection,
+        checkpoint_interval: default_checkpoint_interval(),
+        ras: Some(rc),
+        ..RunOptions::default()
+    };
+    let r = match try_run_single(cfg, &workload, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[{}]: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "ras demo          : {} on {wname} (n={n}), {faults} {class} fault(s), seed {seed:#x}",
+        engine
+    );
+    println!(
+        "cycles            : clean {} vs ras {} ({:+.1}%)",
+        clean.cycles,
+        r.cycles,
+        100.0 * (r.cycles as f64 / clean.cycles as f64 - 1.0)
+    );
+    println!("scrub reads       : {}", r.ras.scrub_reads);
+    println!("ce observations   : {}", r.ras.ce_observations);
+    println!(
+        "retirements       : {} predictive, {} demand",
+        r.ras.predictive_retirements, r.ras.demand_retirements
+    );
+    println!(
+        "degraded regions  : {} (spares exhausted or unmaskable)",
+        r.ras.degraded_regions
+    );
+    println!("migrated lines    : {}", r.ras.migrated_lines);
+    println!("suppressed asserts: {}", r.ras.suppressed_assertions);
+    for f in &r.faults_applied {
+        println!("  {f}");
+    }
+    if r.arch_digest != clean.arch_digest {
+        eprintln!("error[silent_fault]: degraded run diverged from the clean digest");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "arch digest       : {:#018x} (matches clean run)",
+        r.arch_digest
+    );
     ExitCode::SUCCESS
 }
 
@@ -513,11 +675,27 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     let sticky: usize = get("sticky-cores")
         .map_or(Ok(0), str::parse)
         .unwrap_or(usize::MAX);
-    if transient == usize::MAX || sticky == usize::MAX {
-        eprintln!("error: invalid --faults or --sticky-cores");
+    let stuck: usize = get("stuck-cores")
+        .map_or(Ok(0), str::parse)
+        .unwrap_or(usize::MAX);
+    if transient == usize::MAX || sticky == usize::MAX || stuck == usize::MAX {
+        eprintln!("error: invalid --faults, --sticky-cores or --stuck-cores");
         return ExitCode::from(2);
     }
     cfg.faults = ServeFaultPlan::campaign(transient, sticky);
+    cfg.faults.stuck_cores = stuck;
+    if stuck > 0 {
+        // Stuck-at defects are only survivable with the RAS layer on.
+        let mut rc = RasConfig::default();
+        if let Some(v) = get("spare-rows") {
+            let Ok(v) = v.parse() else {
+                eprintln!("error: invalid --spare-rows");
+                return ExitCode::from(2);
+            };
+            rc.spare_rows = v;
+        }
+        cfg.ras = Some(rc);
+    }
 
     let report = match run_service(cfg) {
         Ok(r) => r,
@@ -622,6 +800,28 @@ fn cmd_area(flags: HashMap<String, String>) -> ExitCode {
         m.virec_rf_delay(regs),
         m.banked_rf_delay(threads)
     );
+    let e = virec::area::EccAreaModel::default();
+    let r = virec::area::RasAreaModel::default();
+    println!(
+        "protected + RAS (secded, {} spare rows, {} spare ways, scrubber):",
+        r.spare_rows, r.spare_ways
+    );
+    println!(
+        "  virec ras bill     : {:.4} mm²  (spare ways {:.4} + remap {:.4} + scrub {:.4} + CE {:.4})",
+        r.virec_overhead(&m, regs).total_mm2(),
+        r.virec_overhead(&m, regs).spare_way_mm2,
+        r.virec_overhead(&m, regs).remap_mm2,
+        r.virec_overhead(&m, regs).scrubber_mm2,
+        r.virec_overhead(&m, regs).trackers_mm2,
+    );
+    println!(
+        "  banked ras bill    : {:.4} mm²",
+        r.banked_overhead(&m, threads).total_mm2()
+    );
+    println!(
+        "  savings vs banked  : {:.1}%  (both designs with ECC + RAS)",
+        100.0 * (1.0 - r.virec_core(&m, &e, regs) / r.banked_core(&m, &e, threads))
+    );
     ExitCode::SUCCESS
 }
 
@@ -659,6 +859,13 @@ fn main() -> ExitCode {
         },
         "campaign" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_campaign(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "ras" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_ras(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

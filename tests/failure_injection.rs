@@ -17,7 +17,9 @@ use virec::sim::offload::offload;
 use virec::sim::runner::{
     try_run_single, try_verify_against_golden, verify_against_golden, RunOptions,
 };
-use virec::sim::{run_campaign, FaultEvent, FaultPlan, FaultSite, InjectionOutcome, SimError};
+use virec::sim::{
+    run_campaign, FaultClass, FaultEvent, FaultPlan, FaultSite, InjectionOutcome, SimError,
+};
 use virec::workloads::{kernels, Layout, Workload};
 
 /// Runs gather to completion and returns (core, mem) without verification.
@@ -170,6 +172,7 @@ fn stuck_fill_surfaces_as_livelock() {
             site: FaultSite::StuckFill,
             index: 0,
             bit: 0,
+            class: FaultClass::Transient,
         }),
         ..RunOptions::default()
     };

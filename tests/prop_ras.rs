@@ -1,0 +1,154 @@
+//! Property-based tests for the RAS layer's two stateful kernels: the
+//! spare-row remap table ([`virec::mem::RemapTable`]) and the leaky-bucket
+//! CE tracker ([`virec::sim::CeTracker`]).
+//!
+//! Four invariants, each over arbitrary operation sequences:
+//!
+//! 1. **No aliasing** — a remapped row never resolves onto a live row id
+//!    or another spare; spares are pairwise distinct.
+//! 2. **Round-trip stability** — once retired, a row's resolved location
+//!    never changes, and data migrated to a spare at retirement time is
+//!    still readable through the table after any later retirements.
+//! 3. **Exhaustion degrades, never drops** — every retirement resolves to
+//!    *somewhere* (spare or fence); the pool spends exactly
+//!    `min(distinct_rows, pool)` spares and fences the rest.
+//! 4. **The CE bucket never fires below threshold** — `observe` reports a
+//!    retirement exactly when an independently-modeled leaky bucket
+//!    reaches the threshold, and never when a region has seen fewer than
+//!    `threshold` observations in total.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use virec::mem::{RemapTable, RetireOutcome, FENCE_ROW, SPARE_ROW_BASE};
+use virec::sim::CeTracker;
+
+/// Demand row keys stay tiny so collisions (idempotent re-retirement) are
+/// common and far below [`SPARE_ROW_BASE`].
+fn keys() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..32, 1..64)
+}
+
+proptest! {
+    /// Invariant 1: resolved spare ids are pairwise distinct, disjoint
+    /// from every demand key and from the fence row; healthy rows do not
+    /// resolve at all.
+    #[test]
+    fn remapped_rows_never_alias_live_rows(seq in keys(), pool in 0u32..8) {
+        let mut t = RemapTable::new(pool);
+        for &k in &seq {
+            t.retire(k);
+        }
+        for &k in &seq {
+            let r = t.resolve(k).expect("retired rows must resolve");
+            prop_assert!(
+                r >= FENCE_ROW,
+                "resolved id {r:#x} collides with demand row space"
+            );
+            prop_assert!(!seq.contains(&r));
+            prop_assert!(r == FENCE_ROW || r >= SPARE_ROW_BASE);
+        }
+        // Distinct keys never share a spare.
+        let mut by_key: HashMap<u64, u64> = HashMap::new();
+        for &k in &seq {
+            by_key.insert(k, t.resolve(k).unwrap());
+        }
+        let spared: Vec<u64> = by_key.values().copied().filter(|&r| r != FENCE_ROW).collect();
+        let uniq: HashSet<u64> = spared.iter().copied().collect();
+        prop_assert_eq!(spared.len(), uniq.len(), "two rows aliased one spare");
+        // Healthy rows are untouched.
+        for k in 32..40u64 {
+            prop_assert_eq!(t.resolve(k), None);
+        }
+    }
+
+    /// Invariant 2: retire → migrate → remap round-trips preserve data.
+    /// A model store writes each row's payload at its resolved location
+    /// when the row is retired onto a spare; after the whole sequence the
+    /// payload is still readable through the (stable) table.
+    #[test]
+    fn data_survives_retirement_round_trips(seq in keys(), pool in 1u32..8) {
+        let mut t = RemapTable::new(pool);
+        let mut store: HashMap<u64, u64> = HashMap::new(); // resolved -> payload
+        let mut pinned: HashMap<u64, u64> = HashMap::new(); // key -> resolved at retire time
+        for &k in &seq {
+            let out = t.retire(k);
+            let loc = t.resolve(k).expect("just retired");
+            match pinned.get(&k) {
+                // Stability: re-retirement (checkpoint replay) cannot move it.
+                Some(&prev) => prop_assert_eq!(prev, loc, "retired row moved"),
+                None => {
+                    pinned.insert(k, loc);
+                    if matches!(out, RetireOutcome::Spared { .. }) {
+                        // Migration: the row's payload lands on its spare.
+                        store.insert(loc, 0xDA7A_0000 + k);
+                    }
+                }
+            }
+        }
+        for (&k, &loc) in &pinned {
+            prop_assert_eq!(t.resolve(k), Some(loc), "resolution drifted after later retirements");
+            if loc != FENCE_ROW {
+                prop_assert_eq!(store.get(&loc), Some(&(0xDA7A_0000 + k)), "migrated data lost");
+            }
+        }
+    }
+
+    /// Invariant 3: exhaustion always degrades. Every retirement gets a
+    /// disposition, exactly `min(distinct, pool)` spares are spent, the
+    /// remainder fence, and nothing is silently dropped from the table.
+    #[test]
+    fn exhaustion_always_degrades_never_drops(seq in keys(), pool in 0u32..8) {
+        let mut t = RemapTable::new(pool);
+        let mut outcomes: HashMap<u64, RetireOutcome> = HashMap::new();
+        for &k in &seq {
+            let out = t.retire(k);
+            if let Some(prev) = outcomes.insert(k, out) {
+                prop_assert_eq!(prev, out, "idempotent retire changed disposition");
+            }
+            prop_assert!(t.is_retired(k));
+            prop_assert!(t.resolve(k).is_some(), "retired row dropped from the table");
+        }
+        let distinct = outcomes.len();
+        let spared = outcomes
+            .values()
+            .filter(|o| matches!(o, RetireOutcome::Spared { .. }))
+            .count();
+        prop_assert_eq!(spared, distinct.min(pool as usize));
+        prop_assert_eq!(t.spares_left() as usize, pool as usize - spared);
+        prop_assert_eq!(t.retired(), distinct);
+    }
+
+    /// Invariant 4: the leaky bucket fires exactly at the threshold —
+    /// never below it — against an independent reference model.
+    #[test]
+    fn ce_bucket_never_fires_below_threshold(
+        obs in prop::collection::vec((0u64..4, 0u64..2_000), 1..128),
+        threshold in 1u32..6,
+        leak in prop_oneof![Just(0u64), 1u64..500],
+    ) {
+        let mut tracker = CeTracker::new(threshold, leak);
+        // Deltas -> a monotone clock, as the runner guarantees.
+        let mut model: HashMap<u64, (u32, u64)> = HashMap::new(); // key -> (level, last_leak)
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        let mut now = 0u64;
+        for &(key, delta) in &obs {
+            now += delta;
+            let fired = tracker.observe(key, now);
+            let (level, last_leak) = model.entry(key).or_insert((0, now));
+            if leak > 0 && now > *last_leak {
+                let periods = (now - *last_leak) / leak;
+                *level = level.saturating_sub(periods as u32);
+                *last_leak += periods * leak;
+            }
+            *level += 1;
+            prop_assert_eq!(fired, *level >= threshold, "bucket diverged from model");
+            let total = seen.entry(key).or_insert(0);
+            *total += 1;
+            if *total < threshold {
+                prop_assert!(!fired, "fired below threshold: {} < {}", total, threshold);
+            }
+            prop_assert_eq!(tracker.level(key), *level);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 use virec::core::CoreConfig;
 use virec::sim::runner::default_checkpoint_interval;
 use virec::sim::{
-    run_campaign_with, CampaignOptions, CampaignReport, FaultSite, InjectionOutcome,
+    run_campaign_with, CampaignOptions, CampaignReport, FaultClass, FaultSite, InjectionOutcome,
     ProtectionConfig,
 };
 use virec::workloads::{kernels, Layout};
@@ -24,6 +24,8 @@ fn protected_campaign(cfg: CoreConfig, sites: &[FaultSite], multi_fault: bool) -
         protection: ProtectionConfig::secded(),
         multi_fault,
         checkpoint_interval: default_checkpoint_interval(),
+        class: FaultClass::Transient,
+        ras: None,
     };
     run_campaign_with(cfg, &workload, INJECTIONS, SEED, sites, &campaign)
 }
@@ -112,6 +114,8 @@ fn uncorrectable_without_checkpoints_falls_back_to_reexecution() {
         protection: ProtectionConfig::secded(),
         multi_fault: true,
         checkpoint_interval: 0,
+        class: FaultClass::Transient,
+        ras: None,
     };
     let report = run_campaign_with(
         CoreConfig::virec(4, 32),

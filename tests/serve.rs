@@ -91,6 +91,7 @@ fn fully_quarantined_fleet_drains_instead_of_deadlocking() {
     cfg.faults = ServeFaultPlan {
         transient: 0,
         sticky_cores: 2,
+        stuck_cores: 0,
         sticky_after: 2,
     };
     cfg.protection = ProtectionConfig::secded(); // double-bit: detected, uncorrectable

@@ -13,7 +13,8 @@ use virec::core::CoreConfig;
 use virec::sim::runner::{try_run_single, RunOptions, RunResult};
 use virec::sim::serve::{default_mix, ServeConfig, ServeFaultPlan};
 use virec::sim::{
-    run_service, FaultPlan, FaultSite, ProtectionConfig, SimError, System, SystemConfig,
+    run_service, FaultClass, FaultPlan, FaultSite, ProtectionConfig, RasConfig, SimError, System,
+    SystemConfig,
 };
 use virec::workloads::{kernels, suite, Layout};
 
@@ -41,6 +42,7 @@ fn assert_identical(label: &str, dense: &RunResult, skip: &RunResult) {
         "{label}: applied faults diverged"
     );
     assert_eq!(dense.ecc, skip.ecc, "{label}: ecc counters diverged");
+    assert_eq!(dense.ras, skip.ras, "{label}: ras counters diverged");
 }
 
 #[test]
@@ -71,8 +73,8 @@ fn all_engines_all_workloads_byte_identical() {
 fn outcome_key(r: &Result<RunResult, SimError>) -> String {
     match r {
         Ok(res) => format!(
-            "ok cycles={} digest={:#x} stats={:?} faults={:?} ecc={:?}",
-            res.cycles, res.arch_digest, res.stats, res.faults_applied, res.ecc
+            "ok cycles={} digest={:#x} stats={:?} faults={:?} ecc={:?} ras={:?}",
+            res.cycles, res.arch_digest, res.stats, res.faults_applied, res.ecc, res.ras
         ),
         Err(e) => format!("err {e}"),
     }
@@ -108,6 +110,74 @@ fn seeded_fault_campaign_byte_identical() {
             outcome_key(&skip),
             "injection {i} diverged between loops"
         );
+    }
+}
+
+/// The PR-8 fault classes through both loops: intermittent duty-cycled
+/// upsets and permanent stuck-at cells, with the full RAS machinery live —
+/// patrol-scrubber wakeups capping the skip horizon, CE-bucket predictive
+/// retirement, demand retirement + migration, and degraded-mode fencing.
+/// Every scrub read and every retirement must land on the same cycle in
+/// both loops or the digests (and the RasStats identity) catch it.
+#[test]
+fn persistent_fault_classes_with_scrubber_byte_identical() {
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    let classes = [
+        FaultClass::Intermittent {
+            period: 500,
+            repeats: 6,
+        },
+        FaultClass::StuckAt { period: 400 },
+    ];
+    let engines = [
+        (CoreConfig::virec(4, 32), &FaultSite::PERMANENT[..]),
+        (CoreConfig::banked(4), &FaultSite::PERMANENT_NON_VRMU[..]),
+    ];
+    for (cfg, sites) in engines {
+        let clean = try_run_single(cfg, &w, &RunOptions::default()).expect("clean run");
+        let window = (clean.cycles / 10, clean.cycles * 9 / 10);
+        for class in classes {
+            for i in 0..16u64 {
+                let opts = RunOptions {
+                    livelock_cycles: clean.cycles * 8,
+                    faults: FaultPlan::seeded_class(0x8A5_0BAD ^ i, 1, window, sites, class),
+                    protection: ProtectionConfig::secded(),
+                    checkpoint_interval: 4096,
+                    checkpoint_depth: 4,
+                    ras: Some(RasConfig::default()),
+                    ..RunOptions::default()
+                };
+                let skip = try_run_single(cfg, &w, &opts);
+                let dense = try_run_single(cfg, &w, &densified(&opts));
+                assert_eq!(
+                    outcome_key(&dense),
+                    outcome_key(&skip),
+                    "{:?} injection {i} ({class:?}) diverged between loops",
+                    cfg.engine
+                );
+            }
+        }
+    }
+}
+
+/// A RAS-enabled run with no faults at all still schedules patrol-scrub
+/// wakeups; the skip loop must honor them (consuming the same fabric
+/// bandwidth at the same cycles) without perturbing the workload.
+#[test]
+fn idle_scrubber_wakeups_byte_identical() {
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    for cfg in [CoreConfig::virec(4, 16), CoreConfig::banked(4)] {
+        let opts = RunOptions {
+            ras: Some(RasConfig {
+                scrub_interval: 300, // deliberately off-cadence vs the skip horizon
+                ..RasConfig::default()
+            }),
+            ..RunOptions::default()
+        };
+        let skip = try_run_single(cfg, &w, &opts).expect("event-driven run");
+        let dense = try_run_single(cfg, &w, &densified(&opts)).expect("dense run");
+        assert_identical(&format!("scrub-only / {:?}", cfg.engine), &dense, &skip);
+        assert!(skip.ras.scrub_reads > 0, "the patrol scrubber never ran");
     }
 }
 
@@ -159,4 +229,35 @@ fn serve_run_byte_identical() {
         "serve reports diverged"
     );
     assert!(skip.completed > 0, "serve run must do real work");
+}
+
+/// Serve with permanent (stuck-at) cores and the RAS layer live: repair
+/// completions are exact-cycle events the skip loop must wake for, and the
+/// millicore availability tape has to match the dense loop to the cycle.
+#[test]
+fn serve_repairs_and_fencing_byte_identical() {
+    let run = |dense: bool| {
+        let mut cfg = ServeConfig::streaming(4, CoreConfig::virec(2, 16), 64, 0xF00D_5EED);
+        cfg.mix = default_mix(32);
+        cfg.mean_interarrival = 512;
+        cfg.faults = ServeFaultPlan::stuck(3);
+        cfg.protection = ProtectionConfig::secded();
+        cfg.ras = Some(RasConfig {
+            spare_rows: 1, // pool runs dry: exercise fencing, not just repair
+            ..RasConfig::default()
+        });
+        cfg.dense_loop = dense;
+        run_service(cfg).expect("serve run completes")
+    };
+    let skip = run(false);
+    let dense = run(true);
+    assert_eq!(
+        format!("{dense:?}"),
+        format!("{skip:?}"),
+        "serve reports diverged"
+    );
+    assert!(skip.repairs >= 1, "the spare pool never repaired");
+    assert!(skip.fenced_cores >= 1, "a dry pool must fence");
+    assert_eq!(skip.lost, 0);
+    assert_eq!(skip.duplicated, 0);
 }
