@@ -3,13 +3,19 @@
 //! against the active-context shrinkage — the trade-off the paper's
 //! compiler register reduction navigates.
 //!
-//! Each budget point compiles and drives its own core inside a custom
-//! cell; a point that exhausts the 500M-cycle cap becomes a structured
+//! Each budget point is measured under *both* allocators — Chaitin-Briggs
+//! graph coloring (the default) and the linear-scan baseline — so the
+//! table doubles as the allocator comparison: at tight budgets graph
+//! coloring's loop-depth-weighted spill costs keep hot temps in registers
+//! and emit measurably fewer spill loads/stores, which shows up directly
+//! in cycles.
+//!
+//! Each point compiles and drives its own core inside a custom cell; a
+//! point that exhausts the 500M-cycle cap becomes a structured
 //! `cycle_budget` failure row instead of aborting the sweep.
 
 use virec_bench::harness::*;
-use virec_cc::compile;
-use virec_cc::ir::{BinOp, Cmp, Function, Operand, Stmt};
+use virec_cc::{compile_with, AllocStrategy};
 use virec_core::{Core, CoreConfig, RegRegion};
 use virec_isa::analysis::RegisterUsage;
 use virec_isa::{FlatMem, Reg};
@@ -17,6 +23,7 @@ use virec_mem::{Fabric, FabricConfig};
 use virec_sim::experiment::{CellData, ExperimentSpec};
 use virec_sim::report::Table;
 use virec_sim::{RunDiagnostics, SimError};
+use virec_workloads::gather_cc_ir;
 
 const REGION_BASE: u64 = 0x1000;
 const DATA_BASE: u64 = 0x10_000;
@@ -25,42 +32,17 @@ const CODE_BASE: u64 = 0x4000_0000;
 const CYCLE_CAP: u64 = 500_000_000;
 
 const BUDGETS: [usize; 7] = [2, 3, 4, 6, 8, 10, 14];
+const STRATEGIES: [AllocStrategy; 2] = [AllocStrategy::GraphColor, AllocStrategy::LinearScan];
 
-fn gather_ir() -> Function {
-    Function {
-        name: "gather_cc".into(),
-        params: vec![0, 1, 2, 3, 4],
-        body: vec![
-            Stmt::def_const(5, 0),
-            Stmt::def_copy(6, 3),
-            Stmt::While {
-                cond: (Operand::Temp(6), Cmp::Lt, Operand::Temp(2)),
-                body: vec![
-                    Stmt::Load {
-                        dst: 7,
-                        base: 1,
-                        index: Operand::Temp(6),
-                    },
-                    Stmt::Load {
-                        dst: 8,
-                        base: 0,
-                        index: Operand::Temp(7),
-                    },
-                    Stmt::def_bin(5, BinOp::Add, Operand::Temp(5), Operand::Temp(8)),
-                    Stmt::def_bin(6, BinOp::Add, Operand::Temp(6), Operand::Temp(4)),
-                ],
-            },
-            Stmt::Return {
-                value: Operand::Temp(5),
-            },
-        ],
-    }
-}
-
-/// Compiles gather at `budget` registers and runs it to completion on a
-/// ViReC core sized at 100% of the compiled active context.
-fn run_budget(budget: usize, n: u64, nthreads: usize) -> Result<CellData, SimError> {
-    let c = compile(&gather_ir(), budget).expect("compiles");
+/// Compiles gather at `budget` registers with `strategy` and runs it to
+/// completion on a ViReC core sized at 100% of the compiled active context.
+fn run_budget(
+    budget: usize,
+    strategy: AllocStrategy,
+    n: u64,
+    nthreads: usize,
+) -> Result<CellData, SimError> {
+    let c = compile_with(&gather_cc_ir(), budget, strategy).expect("compiles");
     let active = RegisterUsage::analyze(&c.program).active_context_size();
     // Size the ViReC RF at 100% of the *compiled* active context.
     let phys = (active * nthreads).max(12);
@@ -99,6 +81,8 @@ fn run_budget(budget: usize, n: u64, nthreads: usize) -> Result<CellData, SimErr
     core.finalize_stats();
     Ok(CellData::metrics([
         ("spilled", c.spilled as f64),
+        ("spill_loads", c.spill_loads as f64),
+        ("spill_stores", c.spill_stores as f64),
         ("static_instrs", c.program.len() as f64),
         ("active_ctx", active as f64),
         ("virec_regs", phys as f64),
@@ -117,9 +101,11 @@ fn main() {
     let mut spec = ExperimentSpec::new("ext_compiler_budget");
     spec.set_meta("n", n);
     for budget in BUDGETS {
-        spec.custom(format!("budget{budget}"), move |_| {
-            run_budget(budget, n, nthreads)
-        });
+        for strategy in STRATEGIES {
+            spec.custom(format!("budget{budget}_{}", strategy.name()), move |_| {
+                run_budget(budget, strategy, n, nthreads)
+            });
+        }
     }
     let res = run_spec(&spec);
 
@@ -127,7 +113,10 @@ fn main() {
         &format!("Compiler register budget sweep — compiled gather, 8 threads, n={n}"),
         &[
             "budget",
+            "alloc",
             "spilled",
+            "loads",
+            "stores",
             "static_instrs",
             "active_ctx",
             "virec_regs",
@@ -136,33 +125,31 @@ fn main() {
         ],
     );
     for budget in BUDGETS {
-        let key = format!("budget{budget}");
-        let int = |name: &str| {
-            res.metric(&key, name)
-                .map(|v| (v as u64).to_string())
-                .unwrap_or_else(|| "-".into())
-        };
-        let mut row = vec![budget.to_string()];
-        if res.data(&key).is_some() {
-            row.extend([
-                int("spilled"),
-                int("static_instrs"),
-                int("active_ctx"),
-                int("virec_regs"),
-                int("cycles"),
-                opt_f3(res.metric(&key, "ipc")),
-            ]);
-        } else {
-            row.extend([
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "FAILED".into(),
-                "-".into(),
-            ]);
+        for strategy in STRATEGIES {
+            let key = format!("budget{budget}_{}", strategy.name());
+            let int = |name: &str| {
+                res.metric(&key, name)
+                    .map(|v| (v as u64).to_string())
+                    .unwrap_or_else(|| "-".into())
+            };
+            let mut row = vec![budget.to_string(), strategy.name().into()];
+            if res.data(&key).is_some() {
+                row.extend([
+                    int("spilled"),
+                    int("spill_loads"),
+                    int("spill_stores"),
+                    int("static_instrs"),
+                    int("active_ctx"),
+                    int("virec_regs"),
+                    int("cycles"),
+                    opt_f3(res.metric(&key, "ipc")),
+                ]);
+            } else {
+                row.extend(std::iter::repeat_n::<String>("-".into(), 7));
+                row.push("FAILED".into());
+            }
+            t.row(row);
         }
-        t.row(row);
     }
     t.print();
     res.print_failures();

@@ -1,2 +1,3 @@
 //! Shared harness code for the figure-regeneration binaries.
 pub mod harness;
+pub mod tune;

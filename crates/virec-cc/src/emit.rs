@@ -3,10 +3,21 @@
 //! Temporaries living in frame slots are reloaded into scratch registers
 //! before each use and written back after each definition — the ordinary
 //! load/store spill code of §4.2.
+//!
+//! Every emitted machine instruction is tagged with an [`EmitTag`]
+//! describing *why* it exists (a spill reload, a spill writeback, or the
+//! translation of a specific virtual instruction). The tag stream is the
+//! witness `virec-verify`'s translation validator replays against the
+//! pre-allocation IR: it lets the checker pair each `Slot(n)` reload with
+//! the stores that reach it and confine scratch registers to their
+//! instruction group.
 
 use crate::ir::{BinOp, Function};
 use crate::lower::{lower, VIndex, VInst, VOp};
-use crate::regalloc::{allocate, Loc, FRAME_PTR, SCRATCH0, SCRATCH1, SCRATCH2};
+use crate::regalloc::{
+    allocate_with, liveness_divergence, AllocError, AllocStrategy, Allocation, LivenessDivergence,
+    Loc, FRAME_PTR, SCRATCH0, SCRATCH1, SCRATCH2,
+};
 use std::collections::HashMap;
 use virec_isa::instr::Operand2;
 use virec_isa::{AluOp, Asm, Instr, MemOffset, Program, Reg};
@@ -18,6 +29,14 @@ pub enum CompileError {
     BudgetOutOfRange(usize),
     /// More than 8 parameters.
     TooManyParams(usize),
+}
+
+impl From<AllocError> for CompileError {
+    fn from(e: AllocError) -> CompileError {
+        match e {
+            AllocError::BudgetOutOfRange(b) => CompileError::BudgetOutOfRange(b),
+        }
+    }
 }
 
 impl std::fmt::Display for CompileError {
@@ -32,6 +51,36 @@ impl std::fmt::Display for CompileError {
 }
 
 impl std::error::Error for CompileError {}
+
+/// Provenance of one emitted machine instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmitTag {
+    /// Spill reload: `temp` (resident in frame slot `slot`) loaded into a
+    /// scratch register for the uses of virtual instruction `vinst`.
+    Reload {
+        /// Index into [`Compiled::vcode`].
+        vinst: usize,
+        /// The slot-resident temporary.
+        temp: u32,
+        /// Its frame slot.
+        slot: u32,
+    },
+    /// Spill writeback: `temp`'s freshly computed value stored to its
+    /// frame slot after virtual instruction `vinst`.
+    Spill {
+        /// Index into [`Compiled::vcode`].
+        vinst: usize,
+        /// The slot-resident temporary.
+        temp: u32,
+        /// Its frame slot.
+        slot: u32,
+    },
+    /// Direct translation of virtual instruction `vinst`.
+    Op {
+        /// Index into [`Compiled::vcode`].
+        vinst: usize,
+    },
+}
 
 /// A compiled function.
 #[derive(Debug)]
@@ -48,6 +97,22 @@ pub struct Compiled {
     pub spilled: usize,
     /// The register budget the function was compiled with.
     pub budget: usize,
+    /// The allocator strategy used.
+    pub strategy: AllocStrategy,
+    /// The lowered virtual code the program was emitted from (the
+    /// translation validator's reference).
+    pub vcode: Vec<VInst>,
+    /// The allocation (temp → register/slot) the emitter consumed.
+    pub alloc: Allocation,
+    /// Per-machine-instruction provenance, parallel to `program`.
+    pub emit_map: Vec<EmitTag>,
+    /// Static spill reloads emitted (`ldr` from the frame).
+    pub spill_loads: usize,
+    /// Static spill writebacks emitted (`str` to the frame).
+    pub spill_stores: usize,
+    /// Warn-level diagnostics: temps whose flat live interval
+    /// over-approximates CFG-exact liveness (what linear scan pays for).
+    pub divergences: Vec<LivenessDivergence>,
 }
 
 fn alu_of(op: BinOp) -> AluOp {
@@ -63,18 +128,27 @@ fn alu_of(op: BinOp) -> AluOp {
     }
 }
 
-/// Compiles `f` with `budget` allocatable registers (§4.2's knob).
+/// Compiles `f` with `budget` allocatable registers (§4.2's knob) using
+/// the default graph-coloring allocator.
 pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
-    if !(1..=17).contains(&budget) {
-        return Err(CompileError::BudgetOutOfRange(budget));
-    }
+    compile_with(f, budget, AllocStrategy::default())
+}
+
+/// Compiles `f` with an explicit allocation strategy.
+pub fn compile_with(
+    f: &Function,
+    budget: usize,
+    strategy: AllocStrategy,
+) -> Result<Compiled, CompileError> {
     if f.params.len() > 8 {
         return Err(CompileError::TooManyParams(f.params.len()));
     }
     let low = lower(f);
-    let alloc = allocate(&low.code, budget);
+    let alloc = allocate_with(&low.code, budget, strategy)?;
+    let divergences = liveness_divergence(&low.code);
 
     let mut asm = Asm::new(&f.name);
+    let mut tags: Vec<EmitTag> = Vec::new();
 
     /// Hands out the three spill-scratch registers in order.
     struct ScratchAlloc {
@@ -88,7 +162,7 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
         }
     }
 
-    for inst in &low.code {
+    for (vi, inst) in low.code.iter().enumerate() {
         // Per-instruction scratch assignment for slot-resident temps.
         let mut scratch_map: HashMap<u32, Reg> = HashMap::new();
         let mut salloc = ScratchAlloc { next: 0 };
@@ -110,6 +184,11 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
                                 offset: MemOffset::Imm(s as i64 * 8),
                                 size: virec_isa::AccessSize::B8,
                             });
+                            tags.push(EmitTag::Reload {
+                                vinst: vi,
+                                temp: t,
+                                slot: s,
+                            });
                             r
                         }
                     }
@@ -118,7 +197,8 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
         }
 
         // Destination register (scratch for slot-resident dsts) plus the
-        // writeback emitted after the computation.
+        // writeback emitted after the computation. The closure may emit
+        // zero or more instructions; the tag stream is padded to match.
         macro_rules! with_dst {
             ($t:expr, $emit:expr) => {{
                 let t: u32 = $t;
@@ -133,8 +213,12 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
                         (r, Some(s))
                     }
                 };
+                let before = asm.here();
                 #[allow(clippy::redundant_closure_call)]
                 ($emit)(reg);
+                for _ in before..asm.here() {
+                    tags.push(EmitTag::Op { vinst: vi });
+                }
                 if let Some(s) = slot {
                     asm.emit(Instr::Str {
                         src: reg,
@@ -142,8 +226,19 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
                         offset: MemOffset::Imm(s as i64 * 8),
                         size: virec_isa::AccessSize::B8,
                     });
+                    tags.push(EmitTag::Spill {
+                        vinst: vi,
+                        temp: t,
+                        slot: s,
+                    });
                 }
             }};
+        }
+
+        macro_rules! op {
+            () => {
+                tags.push(EmitTag::Op { vinst: vi })
+            };
         }
 
         match *inst {
@@ -211,6 +306,7 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
                     offset,
                     size: virec_isa::AccessSize::B8,
                 });
+                op!();
             }
             VInst::Cmp { a, b } => {
                 let ar = src_reg!(a);
@@ -219,27 +315,54 @@ pub fn compile(f: &Function, budget: usize) -> Result<Compiled, CompileError> {
                     VOp::Imm(i) => Operand2::Imm(i),
                 };
                 asm.emit(Instr::Cmp { src: ar, rhs });
+                op!();
             }
-            VInst::Bcc { cond, target } => asm.bcc(cond, &format!("L{target}")),
-            VInst::B { target } => asm.b(&format!("L{target}")),
+            VInst::Bcc { cond, target } => {
+                asm.bcc(cond, &format!("L{target}"));
+                op!();
+            }
+            VInst::B { target } => {
+                asm.b(&format!("L{target}"));
+                op!();
+            }
             VInst::Label(l) => asm.label(&format!("L{l}")),
             VInst::Ret { src } => {
                 let s = src_reg!(src);
                 if s != Reg::new(0) {
                     asm.mov(Reg::new(0), s);
+                    op!();
                 }
                 asm.halt();
+                op!();
             }
         }
     }
 
+    let program = asm.assemble();
+    debug_assert_eq!(tags.len(), program.len(), "emit map must cover program");
+    let spill_loads = tags
+        .iter()
+        .filter(|t| matches!(t, EmitTag::Reload { .. }))
+        .count();
+    let spill_stores = tags
+        .iter()
+        .filter(|t| matches!(t, EmitTag::Spill { .. }))
+        .count();
+
     Ok(Compiled {
-        program: asm.assemble(),
+        program,
         frame_slots: alloc.frame_slots,
         frame_reg: FRAME_PTR,
         param_regs: (0..f.params.len() as u8).map(Reg::new).collect(),
         spilled: alloc.spilled,
         budget,
+        strategy,
+        vcode: low.code,
+        alloc,
+        emit_map: tags,
+        spill_loads,
+        spill_stores,
+        divergences,
     })
 }
 
@@ -263,24 +386,27 @@ mod tests {
         ctx.get(Reg::new(0))
     }
 
-    /// Differential check across budgets: compiled result must match the IR
-    /// interpreter for every budget.
+    /// Differential check across budgets and both allocators: compiled
+    /// result must match the IR interpreter for every combination.
     fn check_budgets(f: &Function, args: &[u64], init: impl Fn(&mut FlatMem)) {
         let mut ir_mem = FlatMem::new(0, 0x10_000);
         init(&mut ir_mem);
         let want = interpret(f, args, &mut ir_mem, 10_000_000).value;
-        for budget in [1usize, 2, 3, 4, 6, 10, 17] {
-            let c = compile(f, budget).expect("compiles");
-            let mut mem = FlatMem::new(0, 0x10_000);
-            init(&mut mem);
-            let got = run_compiled(&c, args, &mut mem);
-            assert_eq!(got, want, "budget {budget} diverged");
-            // Memory effects must match too (outside the frame).
-            assert_eq!(
-                &mem.bytes()[..FRAME_BASE as usize],
-                &ir_mem.bytes()[..FRAME_BASE as usize],
-                "budget {budget}: memory image diverged"
-            );
+        for strategy in [AllocStrategy::GraphColor, AllocStrategy::LinearScan] {
+            for budget in [1usize, 2, 3, 4, 6, 10, 17] {
+                let c = compile_with(f, budget, strategy).expect("compiles");
+                let mut mem = FlatMem::new(0, 0x10_000);
+                init(&mut mem);
+                let got = run_compiled(&c, args, &mut mem);
+                assert_eq!(got, want, "budget {budget}/{} diverged", strategy.name());
+                // Memory effects must match too (outside the frame).
+                assert_eq!(
+                    &mem.bytes()[..FRAME_BASE as usize],
+                    &ir_mem.bytes()[..FRAME_BASE as usize],
+                    "budget {budget}/{}: memory image diverged",
+                    strategy.name()
+                );
+            }
         }
     }
 
@@ -339,6 +465,60 @@ mod tests {
         assert!(
             small.program.len() > big.program.len(),
             "spill code must lengthen the program"
+        );
+    }
+
+    #[test]
+    fn emit_map_is_parallel_to_the_program() {
+        let f = gather_ir();
+        for strategy in [AllocStrategy::GraphColor, AllocStrategy::LinearScan] {
+            for budget in [1usize, 2, 4, 17] {
+                let c = compile_with(&f, budget, strategy).unwrap();
+                assert_eq!(c.emit_map.len(), c.program.len());
+                // Tag provenance indices are monotone over the program.
+                let mut last = 0usize;
+                for t in &c.emit_map {
+                    let vi = match *t {
+                        EmitTag::Reload { vinst, .. }
+                        | EmitTag::Spill { vinst, .. }
+                        | EmitTag::Op { vinst } => vinst,
+                    };
+                    assert!(vi >= last, "emit map indices must be non-decreasing");
+                    last = vi;
+                }
+                // Counters agree with the tag stream and the program text.
+                let ldrs = c
+                    .emit_map
+                    .iter()
+                    .zip(c.program.instrs())
+                    .filter(|(t, i)| {
+                        matches!(t, EmitTag::Reload { .. })
+                            && matches!(i, Instr::Ldr { base, .. } if *base == FRAME_PTR)
+                    })
+                    .count();
+                assert_eq!(ldrs, c.spill_loads);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_coloring_emits_fewer_spill_reloads_at_tight_budgets() {
+        let f = gather_ir();
+        let mut strictly_better = false;
+        for budget in [1usize, 2, 3] {
+            let g = compile_with(&f, budget, AllocStrategy::GraphColor).unwrap();
+            let l = compile_with(&f, budget, AllocStrategy::LinearScan).unwrap();
+            assert!(
+                g.spill_loads <= l.spill_loads,
+                "budget {budget}: graph {} reloads > linear {}",
+                g.spill_loads,
+                l.spill_loads
+            );
+            strictly_better |= g.spill_loads < l.spill_loads;
+        }
+        assert!(
+            strictly_better,
+            "graph coloring must beat linear scan on at least one tight budget"
         );
     }
 

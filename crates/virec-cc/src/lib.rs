@@ -13,10 +13,17 @@
 //! 1. [`ir`] — a small structured IR (defs, loads/stores, `while` loops)
 //!    with a reference interpreter;
 //! 2. [`lower`] — lowering to linear virtual-register code with labels;
-//! 3. [`regalloc`] — liveness fixpoint + linear-scan allocation under a
-//!    configurable **register budget**, with spill slots in a per-thread
-//!    frame addressed through a reserved frame pointer;
-//! 4. [`emit`] — emission to a [`virec_isa::Program`].
+//! 3. [`vcfg`] — CFG-exact per-instruction liveness and natural-loop
+//!    depths over the virtual code (the compiler-side port of
+//!    `virec-verify`'s dataflow machinery);
+//! 4. [`regalloc`] — Chaitin-Briggs graph coloring with
+//!    loop-depth-weighted spill costs under a configurable **register
+//!    budget** (linear scan kept as the measured baseline), with spill
+//!    slots in a per-thread frame addressed through a reserved frame
+//!    pointer;
+//! 5. [`emit`] — emission to a [`virec_isa::Program`], tagging every
+//!    machine instruction with its provenance so `virec-verify` can
+//!    translation-validate the output against the pre-allocation IR.
 //!
 //! Shrinking the budget produces exactly the spill code the paper
 //! describes; the compiled kernels run on any `virec-core` engine and are
@@ -51,5 +58,7 @@ pub mod emit;
 pub mod ir;
 pub mod lower;
 pub mod regalloc;
+pub mod vcfg;
 
-pub use emit::{compile, CompileError, Compiled};
+pub use emit::{compile, compile_with, CompileError, Compiled, EmitTag};
+pub use regalloc::{AllocError, AllocStrategy, LivenessDivergence};

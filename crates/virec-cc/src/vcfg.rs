@@ -1,0 +1,393 @@
+//! CFG-exact dataflow over the lowered `VInst` IR.
+//!
+//! This is the compiler-side counterpart of `virec-verify`'s machine-level
+//! CFG/liveness machinery (`virec_isa::cfg` / `virec_isa::dataflow`),
+//! ported to the virtual-register form: per-instruction backward-liveness
+//! fixpoints, instruction-level dominators, and natural-loop nesting
+//! depths. The graph-coloring allocator consumes the liveness sets to
+//! build its interference graph and the loop depths to weight spill
+//! costs; the translation validator recomputes the same facts
+//! independently to check the allocation it is handed.
+
+use crate::lower::{LabelId, VInst};
+use std::collections::HashMap;
+
+/// A dense bitset over temporary ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TempSet {
+    words: Vec<u64>,
+}
+
+impl TempSet {
+    /// Empty set sized for temps `0..n`.
+    pub fn new(n: u32) -> TempSet {
+        TempSet {
+            words: vec![0; (n as usize).div_ceil(64)],
+        }
+    }
+
+    /// Inserts `t`; returns true if it was absent.
+    pub fn insert(&mut self, t: u32) -> bool {
+        let (w, b) = (t as usize / 64, t as usize % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `t`.
+    pub fn remove(&mut self, t: u32) {
+        let (w, b) = (t as usize / 64, t as usize % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: u32) -> bool {
+        let (w, b) = (t as usize / 64, t as usize % 64);
+        self.words.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &TempSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let n = *a | *b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| (w * 64 + b) as u32)
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no member is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Exact per-instruction dataflow facts over lowered virtual code.
+#[derive(Clone, Debug)]
+pub struct VDataflow {
+    /// One past the highest temp id mentioned (bitset width).
+    pub num_temps: u32,
+    /// Successor instruction indices (labels resolved).
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor instruction indices.
+    pub preds: Vec<Vec<usize>>,
+    /// Temps live on entry to each instruction.
+    pub live_in: Vec<TempSet>,
+    /// Temps live on exit from each instruction.
+    pub live_out: Vec<TempSet>,
+    /// Natural-loop nesting depth of each instruction (0 = straight-line).
+    pub loop_depth: Vec<u32>,
+    /// Instructions reachable from the entry.
+    pub reachable: Vec<bool>,
+}
+
+/// Resolves each label id to its instruction index.
+pub fn label_positions(code: &[VInst]) -> HashMap<LabelId, usize> {
+    let mut out = HashMap::new();
+    for (i, inst) in code.iter().enumerate() {
+        if let VInst::Label(l) = inst {
+            out.insert(*l, i);
+        }
+    }
+    out
+}
+
+impl VDataflow {
+    /// Computes successors, liveness, dominator-derived loop depths, and
+    /// reachability for `code`. Works at instruction granularity — the
+    /// lowered programs are small enough that block formation buys
+    /// nothing.
+    pub fn compute(code: &[VInst]) -> VDataflow {
+        let n = code.len();
+        let labels = label_positions(code);
+        let num_temps = code
+            .iter()
+            .flat_map(|i| i.uses().into_iter().chain(i.def()))
+            .max()
+            .map_or(0, |t| t + 1);
+
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let s: Vec<usize> = match code[i] {
+                VInst::B { target } => vec![labels[&target]],
+                VInst::Bcc { target, .. } => {
+                    let mut v = vec![labels[&target]];
+                    if i + 1 < n {
+                        v.push(i + 1);
+                    }
+                    v
+                }
+                VInst::Ret { .. } => vec![],
+                _ => {
+                    if i + 1 < n {
+                        vec![i + 1]
+                    } else {
+                        vec![]
+                    }
+                }
+            };
+            for &t in &s {
+                preds[t].push(i);
+            }
+            succs[i] = s;
+        }
+
+        // Reachability from instruction 0.
+        let mut reachable = vec![false; n];
+        let mut stack = if n > 0 { vec![0usize] } else { vec![] };
+        while let Some(p) = stack.pop() {
+            if std::mem::replace(&mut reachable[p], true) {
+                continue;
+            }
+            stack.extend(succs[p].iter().copied());
+        }
+
+        // Backward liveness fixpoint.
+        let mut live_in: Vec<TempSet> = (0..n).map(|_| TempSet::new(num_temps)).collect();
+        let mut live_out: Vec<TempSet> = (0..n).map(|_| TempSet::new(num_temps)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let mut out = TempSet::new(num_temps);
+                for &s in &succs[i] {
+                    out.union_with(&live_in[s]);
+                }
+                let mut inn = out.clone();
+                if let Some(d) = code[i].def() {
+                    inn.remove(d);
+                }
+                for u in code[i].uses() {
+                    inn.insert(u);
+                }
+                if inn != live_in[i] {
+                    live_in[i] = inn;
+                    changed = true;
+                }
+                live_out[i] = out;
+            }
+        }
+
+        // Instruction-level dominators (iterative bitset fixpoint over the
+        // reachable subgraph), then natural loops from back edges.
+        let full: Vec<u64> = vec![u64::MAX; n.div_ceil(64).max(1)];
+        let mut dom: Vec<Vec<u64>> = vec![full.clone(); n];
+        if n > 0 {
+            dom[0] = vec![0; full.len()];
+            dom[0][0] = 1;
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for i in 1..n {
+                    if !reachable[i] {
+                        continue;
+                    }
+                    let mut cur = full.clone();
+                    for &p in &preds[i] {
+                        if reachable[p] {
+                            for (c, d) in cur.iter_mut().zip(&dom[p]) {
+                                *c &= d;
+                            }
+                        }
+                    }
+                    cur[i / 64] |= 1 << (i % 64);
+                    if cur != dom[i] {
+                        dom[i] = cur;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let dominates =
+            |h: usize, i: usize, dom: &[Vec<u64>]| dom[i][h / 64] & (1 << (h % 64)) != 0;
+
+        let mut loop_depth = vec![0u32; n];
+        for i in 0..n {
+            if !reachable[i] {
+                continue;
+            }
+            for &h in &succs[i] {
+                if h <= i && dominates(h, i, &dom) {
+                    // Back edge i -> h: collect the natural loop body.
+                    let mut body = vec![false; n];
+                    body[h] = true;
+                    let mut stack = vec![i];
+                    while let Some(p) = stack.pop() {
+                        if std::mem::replace(&mut body[p], true) {
+                            continue;
+                        }
+                        stack.extend(preds[p].iter().copied().filter(|&q| reachable[q]));
+                    }
+                    for (pc, in_body) in body.iter().enumerate() {
+                        if *in_body {
+                            loop_depth[pc] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        VDataflow {
+            num_temps,
+            succs,
+            preds,
+            live_in,
+            live_out,
+            loop_depth,
+            reachable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cmp, Function, Operand, Stmt};
+    use crate::lower::lower;
+
+    fn counted_loop(k: i64) -> Function {
+        Function {
+            name: "cl".into(),
+            params: vec![],
+            body: vec![
+                Stmt::def_const(0, 0),
+                Stmt::def_const(1, k),
+                Stmt::While {
+                    cond: (Operand::Temp(1), Cmp::Ne, Operand::Const(0)),
+                    body: vec![
+                        Stmt::def_bin(0, BinOp::Add, Operand::Temp(0), Operand::Temp(1)),
+                        Stmt::def_bin(1, BinOp::Sub, Operand::Temp(1), Operand::Const(1)),
+                    ],
+                },
+                Stmt::Return {
+                    value: Operand::Temp(0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn loop_body_gets_depth_one() {
+        let low = lower(&counted_loop(5));
+        let df = VDataflow::compute(&low.code);
+        // The back edge exists and its source sits at depth 1.
+        let back = low
+            .code
+            .iter()
+            .position(|i| matches!(i, VInst::B { .. }))
+            .unwrap();
+        assert_eq!(df.loop_depth[back], 1);
+        // Straight-line prologue sits at depth 0.
+        assert_eq!(df.loop_depth[0], 0);
+    }
+
+    #[test]
+    fn loop_carried_temp_is_live_around_the_back_edge() {
+        let low = lower(&counted_loop(5));
+        let df = VDataflow::compute(&low.code);
+        let back = low
+            .code
+            .iter()
+            .position(|i| matches!(i, VInst::B { .. }))
+            .unwrap();
+        // acc (t0) is redefined in the body and used after the loop: live
+        // across the back edge.
+        assert!(df.live_out[back].contains(0));
+    }
+
+    #[test]
+    fn exact_liveness_is_sparser_than_flat_intervals() {
+        // Two temps with disjoint CFG live ranges that a flat interval
+        // merges: t2 defined and used before the loop, t3 inside it.
+        let f = Function {
+            name: "sparse".into(),
+            params: vec![],
+            body: vec![
+                Stmt::def_const(2, 7),
+                Stmt::def_bin(4, BinOp::Add, Operand::Temp(2), Operand::Const(1)),
+                Stmt::def_const(1, 3),
+                Stmt::While {
+                    cond: (Operand::Temp(1), Cmp::Ne, Operand::Const(0)),
+                    body: vec![
+                        Stmt::def_bin(3, BinOp::Mul, Operand::Temp(1), Operand::Temp(1)),
+                        Stmt::def_bin(4, BinOp::Add, Operand::Temp(4), Operand::Temp(3)),
+                        Stmt::def_bin(1, BinOp::Sub, Operand::Temp(1), Operand::Const(1)),
+                    ],
+                },
+                Stmt::Return {
+                    value: Operand::Temp(4),
+                },
+            ],
+        };
+        let low = lower(&f);
+        let df = VDataflow::compute(&low.code);
+        // t2 dies after its single use: it must not be live anywhere in
+        // the loop body.
+        for (pc, d) in df.loop_depth.iter().enumerate() {
+            if *d > 0 {
+                assert!(!df.live_in[pc].contains(2), "t2 must be dead at pc {pc}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loops_stack_depths() {
+        let f = Function {
+            name: "nest".into(),
+            params: vec![],
+            body: vec![
+                Stmt::def_const(0, 0),
+                Stmt::def_const(1, 0),
+                Stmt::While {
+                    cond: (Operand::Temp(1), Cmp::Lt, Operand::Const(4)),
+                    body: vec![
+                        Stmt::def_const(2, 0),
+                        Stmt::While {
+                            cond: (Operand::Temp(2), Cmp::Lt, Operand::Const(6)),
+                            body: vec![
+                                Stmt::def_bin(3, BinOp::Mul, Operand::Temp(1), Operand::Temp(2)),
+                                Stmt::def_bin(0, BinOp::Add, Operand::Temp(0), Operand::Temp(3)),
+                                Stmt::def_bin(2, BinOp::Add, Operand::Temp(2), Operand::Const(1)),
+                            ],
+                        },
+                        Stmt::def_bin(1, BinOp::Add, Operand::Temp(1), Operand::Const(1)),
+                    ],
+                },
+                Stmt::Return {
+                    value: Operand::Temp(0),
+                },
+            ],
+        };
+        let low = lower(&f);
+        let df = VDataflow::compute(&low.code);
+        assert_eq!(df.loop_depth.iter().max(), Some(&2), "inner body depth 2");
+        assert!(df.loop_depth.contains(&1), "outer-only region");
+    }
+
+    #[test]
+    fn tempset_ops() {
+        let mut s = TempSet::new(130);
+        assert!(s.insert(0) && s.insert(129) && !s.insert(0));
+        assert!(s.contains(129) && !s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        assert_eq!(s.len(), 2);
+        s.remove(0);
+        assert!(!s.contains(0) && !s.is_empty());
+    }
+}

@@ -64,6 +64,19 @@ impl Program {
     pub fn instrs(&self) -> &[Instr] {
         &self.instrs
     }
+
+    /// A copy of this program with the instruction at `pc` replaced.
+    /// Used to build negative-control fixtures (e.g. a deliberately
+    /// corrupted spill reload) for the verification gates.
+    ///
+    /// # Panics
+    /// Panics if `pc` is out of range or the replacement branches past the
+    /// end (same well-formedness contract as [`Program::new`]).
+    pub fn patched(&self, pc: usize, instr: Instr) -> Program {
+        let mut instrs = self.instrs.to_vec();
+        instrs[pc] = instr;
+        Program::new(&self.name, instrs)
+    }
 }
 
 impl fmt::Debug for Program {

@@ -23,18 +23,27 @@
 //!   bookkeeping (§5.1 commit bits sampled after rollback-queue
 //!   compaction) against static liveness, and validates liveness itself
 //!   against dynamic future-use sets from golden-interpreter traces.
-//! * [`suite`] — lint configurations and drivers for the built-in workload
-//!   suite and the `virec-cc` budget ladder (the CLI and CI entry points).
+//! * [`tv`] — translation validation of `virec-cc`'s register allocation:
+//!   replays the emitter's per-instruction witness against independently
+//!   recomputed liveness, spill/reload reaching-stores dataflow, scratch
+//!   containment, and a concrete differential run against the IR
+//!   interpreter. Every compiled kernel at every budget must validate
+//!   (`virec-cli tv`, enforced in CI).
+//! * [`suite`] — lint/TV configurations and drivers for the built-in
+//!   workload suite and the `virec-cc` budget ladder (the CLI and CI entry
+//!   points).
 
 pub mod lint;
 pub mod lrc;
 pub mod oracle;
 pub mod suite;
+pub mod tv;
 
 pub use lint::{lint_program, Diagnostic, LintConfig, LintKind};
 pub use lrc::{check_liveness_on_golden_trace, check_lrc, LrcReport, LrcViolation};
 pub use oracle::{OracleCrossCheck, OracleViolation, StaticOracle};
 pub use suite::{
-    broken_fixture, lint_compiled_budgets, lint_everything, lint_workloads, workload_lint_config,
-    SuiteLint,
+    broken_fixture, broken_spill_report, lint_compiled_budgets, lint_everything, lint_workloads,
+    tv_compiled_budgets, tv_kernels, workload_lint_config, SuiteLint,
 };
+pub use tv::{validate, TvCase, TvKind, TvReport, TvViolation};

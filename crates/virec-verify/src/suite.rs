@@ -8,10 +8,11 @@
 //! program CI uses to prove the gate actually rejects bad input.
 
 use crate::lint::{lint_program, Diagnostic, LintConfig};
-use virec_cc::compile;
+use crate::tv::{validate, TvCase, TvReport};
 use virec_cc::ir::{BinOp, Cmp, Function, Operand, Stmt};
+use virec_cc::{compile, compile_with, AllocStrategy, EmitTag};
 use virec_isa::dataflow::ALL_REGS;
-use virec_isa::Instr;
+use virec_isa::{Instr, MemOffset};
 use virec_workloads::{suite, Layout, Workload};
 
 /// Thread count used to derive workload initial-register sets. Matches the
@@ -195,6 +196,94 @@ pub fn broken_fixture() -> Vec<Instr> {
     vec![Instr::B { target: 7 }, Instr::Halt]
 }
 
+/// Concrete inputs for the gather kernel's architectural cross-check.
+fn gather_cases() -> Vec<TvCase> {
+    let mut cases = Vec::new();
+    for n in [7u64, 24] {
+        let mut mem = Vec::new();
+        for i in 0..n {
+            mem.push((0x1000 + i * 8, i.wrapping_mul(11) ^ n));
+            mem.push((0x2000 + i * 8, (i * 13) % n));
+        }
+        cases.push(TvCase {
+            args: vec![0x1000, 0x2000, n],
+            mem,
+        });
+    }
+    cases
+}
+
+/// The translation-validation kernel set: every compiled function the gate
+/// sweeps, paired with concrete inputs for the architectural cross-check.
+pub fn tv_kernels() -> Vec<(Function, Vec<TvCase>)> {
+    vec![
+        (gather_ir(), gather_cases()),
+        (nested_ir(), vec![TvCase::default()]),
+    ]
+}
+
+/// Translation-validates every compiler output across [`LINT_BUDGETS`] and
+/// both allocation strategies: the emitted machine code must provably
+/// implement the pre-allocation IR. This is the TV gate behind
+/// `virec-cli tv` and CI, and the preflight for compiled-kernel sweeps.
+pub fn tv_compiled_budgets() -> Vec<TvReport> {
+    let mut out = Vec::new();
+    for (f, cases) in tv_kernels() {
+        for strategy in [AllocStrategy::GraphColor, AllocStrategy::LinearScan] {
+            for &budget in LINT_BUDGETS {
+                let name = format!("{}@b{budget}/{}", f.name, strategy.name());
+                match compile_with(&f, budget, strategy) {
+                    Ok(c) => out.push(validate(&name, &f, &c, &cases)),
+                    Err(e) => out.push(TvReport {
+                        name,
+                        violations: vec![crate::tv::TvViolation {
+                            kind: crate::tv::TvKind::EmitMapMismatch,
+                            pc: None,
+                            message: format!("compile failed: {e:?}"),
+                        }],
+                        cases_run: 0,
+                    }),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The TV negative control: the gather kernel compiled at a spilling
+/// budget, with one reload's frame offset bumped by a slot — a
+/// miscompilation the lint gate cannot see (the program is still
+/// well-formed) but translation validation must reject with the stable
+/// `[tv:spill-slot-mismatch]` diagnostic.
+pub fn broken_spill_report() -> TvReport {
+    let f = gather_ir();
+    let mut c = compile(&f, 2).expect("budget 2 compiles");
+    let pc = c
+        .emit_map
+        .iter()
+        .position(|t| matches!(t, EmitTag::Reload { .. }))
+        .expect("budget 2 spills");
+    let Instr::Ldr {
+        dst,
+        base,
+        offset: MemOffset::Imm(off),
+        size,
+    } = c.program.fetch(pc as u32)
+    else {
+        unreachable!("tagged reload is a frame load");
+    };
+    c.program = c.program.patched(
+        pc,
+        Instr::Ldr {
+            dst,
+            base,
+            offset: MemOffset::Imm(off + 8),
+            size,
+        },
+    );
+    validate("gather_ir@b2!broken-spill", &f, &c, &gather_cases())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +320,42 @@ mod tests {
                     .join("\n")
             );
         }
+    }
+
+    #[test]
+    fn all_compiled_budgets_translation_validate() {
+        let reports = tv_compiled_budgets();
+        assert_eq!(reports.len(), 2 * 2 * LINT_BUDGETS.len());
+        for r in &reports {
+            assert!(
+                r.is_valid(),
+                "{} has TV violations:\n{}",
+                r.name,
+                r.violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            assert!(r.cases_run > 0, "{} ran no concrete cases", r.name);
+        }
+    }
+
+    #[test]
+    fn broken_spill_fixture_is_rejected_with_the_stable_diagnostic() {
+        let r = broken_spill_report();
+        assert!(!r.is_valid());
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.to_string().contains("[tv:spill-slot-mismatch]")),
+            "expected [tv:spill-slot-mismatch], got:\n{}",
+            r.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 
     #[test]

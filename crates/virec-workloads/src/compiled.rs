@@ -1,0 +1,140 @@
+//! Compiled-kernel workloads: `virec-cc` output adapted to the
+//! [`Workload`] interface so compiled programs run under the same
+//! event-driven harness, golden verification, and digesting as the
+//! hand-written suite.
+//!
+//! The canonical kernel here is `gather_cc` — the same five-parameter
+//! gather the compiler-budget experiments sweep (`t0`=data, `t1`=indices,
+//! `t2`=bound, `t3`=start, `t4`=stride) — parameterized by register
+//! budget and allocation strategy so the budget tuner can treat the
+//! compiler as just another design-space axis.
+
+use crate::layout::Layout;
+use crate::workload::Workload;
+use virec_cc::ir::{BinOp, Cmp, Function, Operand, Stmt};
+use virec_cc::{compile_with, AllocStrategy, CompileError, Compiled};
+use virec_isa::{FlatMem, Reg};
+
+/// Per-thread spill-frame stride in bytes (32 eight-byte slots).
+pub const FRAME_STRIDE: u64 = 0x100;
+
+/// The five-parameter gather kernel in compiler IR:
+/// `Σ data[idx[i]]` for `i = start; i < n; i += step`.
+pub fn gather_cc_ir() -> Function {
+    Function {
+        name: "gather_cc".into(),
+        params: vec![0, 1, 2, 3, 4],
+        body: vec![
+            Stmt::def_const(5, 0),
+            Stmt::def_copy(6, 3),
+            Stmt::While {
+                cond: (Operand::Temp(6), Cmp::Lt, Operand::Temp(2)),
+                body: vec![
+                    Stmt::Load {
+                        dst: 7,
+                        base: 1,
+                        index: Operand::Temp(6),
+                    },
+                    Stmt::Load {
+                        dst: 8,
+                        base: 0,
+                        index: Operand::Temp(7),
+                    },
+                    Stmt::def_bin(5, BinOp::Add, Operand::Temp(5), Operand::Temp(8)),
+                    Stmt::def_bin(6, BinOp::Add, Operand::Temp(6), Operand::Temp(4)),
+                ],
+            },
+            Stmt::Return {
+                value: Operand::Temp(5),
+            },
+        ],
+    }
+}
+
+/// A compiled kernel wrapped as a runnable workload, keeping the
+/// [`Compiled`] artifact alongside so callers can inspect spill counts or
+/// translation-validate the exact program being driven.
+pub struct CompiledWorkload {
+    /// The harness-facing workload.
+    pub workload: Workload,
+    /// The compiler artifact the workload's program came from.
+    pub compiled: Compiled,
+}
+
+/// Compiles `gather_cc` at `budget` registers with `strategy` and wraps it
+/// as a workload: data and index arrays live at the layout's data base,
+/// and each thread gets a private spill frame carved out past them.
+pub fn gather_cc(
+    n: u64,
+    layout: Layout,
+    budget: usize,
+    strategy: AllocStrategy,
+) -> Result<CompiledWorkload, CompileError> {
+    let compiled = compile_with(&gather_cc_ir(), budget, strategy)?;
+    assert!(
+        (compiled.frame_slots as u64) * 8 <= FRAME_STRIDE,
+        "spill frame exceeds the per-thread stride"
+    );
+
+    let data_base = layout.data_base;
+    let idx_base = data_base + n * 8;
+    // Per-thread spill frames, aligned past the kernel data.
+    let frames_base = (idx_base + n * 8).next_multiple_of(FRAME_STRIDE);
+    let frame_reg = compiled.frame_reg;
+    let program = compiled.program.clone();
+
+    let workload = Workload::from_parts(
+        "gather_cc",
+        n,
+        layout,
+        program,
+        Box::new(move |mem: &mut FlatMem| {
+            for i in 0..n {
+                mem.write_u64(data_base + i * 8, i.wrapping_mul(17));
+                mem.write_u64(idx_base + i * 8, (i * 13) % n);
+            }
+        }),
+        Box::new(move |tid, nthreads| {
+            vec![
+                (Reg::new(0), data_base),
+                (Reg::new(1), idx_base),
+                (Reg::new(2), n),
+                (Reg::new(3), tid as u64),
+                (Reg::new(4), nthreads as u64),
+                (frame_reg, frames_base + tid as u64 * FRAME_STRIDE),
+            ]
+        }),
+    );
+    Ok(CompiledWorkload { workload, compiled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_stay_clear_of_kernel_data() {
+        let layout = Layout::for_core(0);
+        let n = 64u64;
+        let cw = gather_cc(n, layout, 2, AllocStrategy::GraphColor).unwrap();
+        let idx_end = layout.data_base + 2 * n * 8;
+        for t in 0..4 {
+            let ctx = cw.workload.thread_ctx(t, 4);
+            let (_, frame) = ctx
+                .iter()
+                .find(|(r, _)| *r == cw.compiled.frame_reg)
+                .copied()
+                .unwrap();
+            assert!(frame >= idx_end);
+            assert_eq!(frame % FRAME_STRIDE, 0);
+            assert!(frame + 8 * cw.compiled.frame_slots as u64 <= frame + FRAME_STRIDE);
+        }
+    }
+
+    #[test]
+    fn budget_errors_propagate() {
+        let layout = Layout::for_core(0);
+        assert!(gather_cc(16, layout, 0, AllocStrategy::GraphColor).is_err());
+        assert!(gather_cc(16, layout, 18, AllocStrategy::LinearScan).is_err());
+    }
+}

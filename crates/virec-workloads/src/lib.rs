@@ -31,12 +31,14 @@
 //! the task-level offload model of §6, and carries the per-thread initial
 //! register context the offload mechanism ships to the reserved region.
 
+pub mod compiled;
 pub mod data;
 pub mod kernels;
 pub mod layout;
 pub mod reduction;
 pub mod workload;
 
+pub use compiled::{gather_cc, gather_cc_ir, CompiledWorkload};
 pub use layout::Layout;
 pub use reduction::reduce_workload;
 pub use workload::{by_name, suite, suite_names, Workload, WorkloadCtor, SUITE};

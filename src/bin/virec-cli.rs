@@ -13,6 +13,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 use virec::area::AreaModel;
 use virec::bench::harness::{self, EngineSel, SuiteSweep};
+use virec::bench::tune::{pareto_front, pick_for_area, tune_sweep, TuneConfig};
+use virec::cc::{regalloc, AllocStrategy};
 use virec::core::{CoreConfig, EngineKind, PolicyKind};
 use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::default_checkpoint_interval;
@@ -22,7 +24,10 @@ use virec::sim::{
     FaultPlan, FaultSite, InjectionOutcome, JournalConfig, ProtectionConfig, RasConfig,
     ServeConfig, ServeFaultPlan,
 };
-use virec::verify::{broken_fixture, lint_everything, lint_program, LintConfig};
+use virec::verify::{
+    broken_fixture, broken_spill_report, lint_everything, lint_program, tv_compiled_budgets,
+    LintConfig,
+};
 use virec::workloads::{by_name, suite_names, Layout};
 
 fn usage() -> ExitCode {
@@ -55,6 +60,10 @@ USAGE:
                        [--faults <k>] [--sticky-cores <k>] [--stuck-cores <k>]
                        [--spare-rows <k>] [--seed <s>] [--no-verify]
     virec-cli lint     [--n <elems>] [--broken-fixture]
+    virec-cli tv       [--broken-fixture]
+    virec-cli tune     [--n <elems>] [--threads <t>] [--strategy graph|linear]
+                       [--budgets <b1,b2,..>] [--capacities <c1,c2,..>]
+                       [--area-budget <mm2>]
     virec-cli area     [--threads <t>] [--regs <r>]
 
 ENGINES:  virec (default) | banked | software | prefetch_full | prefetch_exact | nsf
@@ -768,6 +777,162 @@ fn cmd_lint(flags: HashMap<String, String>) -> ExitCode {
     }
 }
 
+fn cmd_tv(flags: HashMap<String, String>) -> ExitCode {
+    if flags.contains_key("broken-fixture") {
+        let r = broken_spill_report();
+        for v in &r.violations {
+            println!("broken-fixture: {v}");
+        }
+        if r.is_valid() {
+            eprintln!(
+                "error: the broken spill fixture validated clean — the gate is not \
+                 catching miscompiles"
+            );
+        }
+        // Nonzero either way, mirroring `lint --broken-fixture`.
+        return ExitCode::FAILURE;
+    }
+
+    let reports = tv_compiled_budgets();
+    let mut bad = 0usize;
+    for r in &reports {
+        if r.is_valid() {
+            println!(
+                "tv: {:<28} validated ({} concrete case(s))",
+                r.name, r.cases_run
+            );
+        } else {
+            bad += 1;
+            for v in &r.violations {
+                println!("tv: {:<28} {v}", r.name);
+            }
+        }
+    }
+    println!("tv: {} program(s), {} with violations", reports.len(), bad);
+    if bad == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_tune(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let mut cfg = TuneConfig::default();
+    if let Some(s) = get("n") {
+        match s.parse() {
+            Ok(n) if n > 0 => cfg.n = n,
+            _ => {
+                eprintln!("error: invalid --n");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(s) = get("threads") {
+        match s.parse() {
+            Ok(t) if t > 0 => cfg.nthreads = t,
+            _ => {
+                eprintln!("error: invalid --threads");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match get("strategy") {
+        None | Some("graph") => cfg.strategy = AllocStrategy::GraphColor,
+        Some("linear") => cfg.strategy = AllocStrategy::LinearScan,
+        Some(s) => {
+            eprintln!("error: unknown strategy {s:?} (graph|linear)");
+            return ExitCode::from(2);
+        }
+    }
+    let parse_list = |s: &str| -> Result<Vec<usize>, String> {
+        s.split(',')
+            .map(|p| p.trim().parse::<usize>().map_err(|_| p.to_string()))
+            .collect::<Result<_, _>>()
+            .map_err(|p| format!("invalid list element {p:?}"))
+    };
+    if let Some(s) = get("budgets") {
+        match parse_list(s) {
+            Ok(b) if !b.is_empty() => cfg.budgets = b,
+            _ => {
+                eprintln!("error: invalid --budgets");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(s) = get("capacities") {
+        match parse_list(s) {
+            Ok(c) if !c.is_empty() => cfg.capacities = c,
+            _ => {
+                eprintln!("error: invalid --capacities");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Surface out-of-range budgets as the allocator's typed diagnostic
+    // instead of a panic deep inside the sweep.
+    for &b in &cfg.budgets {
+        if let Err(e) = regalloc::pool(b) {
+            eprintln!("error[alloc]: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let points = tune_sweep(&cfg);
+    if points.is_empty() {
+        eprintln!("error: no sweep point completed (capacities too small?)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "tune: {} point(s) over budgets {:?} x capacities {:?} (strategy={}, n={}, threads={})",
+        points.len(),
+        cfg.budgets,
+        cfg.capacities,
+        cfg.strategy.name(),
+        cfg.n,
+        cfg.nthreads
+    );
+    for p in &points {
+        println!(
+            "tune: budget={:<2} capacity={:<3} cycles={:<9} area_mm2={:.4} spilled={} \
+             spill_loads={} spill_stores={} ipc={:.3}",
+            p.budget,
+            p.capacity,
+            p.cycles,
+            p.area_mm2,
+            p.spilled,
+            p.spill_loads,
+            p.spill_stores,
+            p.ipc
+        );
+    }
+    println!();
+    for p in pareto_front(&points) {
+        println!(
+            "pareto: budget={} capacity={} cycles={} area_mm2={:.4} spill_loads={}",
+            p.budget, p.capacity, p.cycles, p.area_mm2, p.spill_loads
+        );
+    }
+    if let Some(s) = get("area-budget") {
+        let Ok(envelope) = s.parse::<f64>() else {
+            eprintln!("error: invalid --area-budget");
+            return ExitCode::from(2);
+        };
+        match pick_for_area(&points, envelope) {
+            Some(p) => println!(
+                "pick: area envelope {envelope:.4} mm2 -> budget={} capacity={} \
+                 ({} cycles, {:.4} mm2)",
+                p.budget, p.capacity, p.cycles, p.area_mm2
+            ),
+            None => {
+                eprintln!("error: no point fits the {envelope:.4} mm2 envelope");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_area(flags: HashMap<String, String>) -> ExitCode {
     let threads: usize = flags
         .get("threads")
@@ -880,6 +1045,20 @@ fn main() -> ExitCode {
         },
         "lint" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_lint(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "tv" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_tv(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "tune" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_tune(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

@@ -118,6 +118,73 @@ fn compiled_gather_matches_ir_at_every_budget() {
 }
 
 #[test]
+fn graph_coloring_beats_linear_scan_at_tight_budgets() {
+    use virec::cc::AllocStrategy;
+    use virec::core::CoreConfig;
+    use virec::sim::runner::{try_run_single, RunOptions};
+    use virec::workloads::{gather_cc, Layout};
+
+    let n = 256u64;
+    let nthreads = 4;
+    // Core 0's layout puts the data segment at this file's DATA_BASE and
+    // the adapter seeds the same data/index values as init_mem, so the
+    // golden answers line up.
+    let layout = Layout::for_core(0);
+    let want = golden(n, nthreads);
+
+    for budget in [2usize, 3] {
+        let g = gather_cc(n, layout, budget, AllocStrategy::GraphColor).unwrap();
+        let l = gather_cc(n, layout, budget, AllocStrategy::LinearScan).unwrap();
+
+        // Loop-depth-weighted spill costs keep hot temps in registers:
+        // strictly fewer static reloads at tight budgets.
+        assert!(
+            g.compiled.spill_loads < l.compiled.spill_loads,
+            "budget {budget}: graph {} reloads vs linear {}",
+            g.compiled.spill_loads,
+            l.compiled.spill_loads
+        );
+        assert!(g.compiled.spill_stores <= l.compiled.spill_stores);
+
+        // Both allocations compute the same architectural answer.
+        assert_eq!(run_on_core(&g.compiled, n, nthreads, 48), want);
+        assert_eq!(run_on_core(&l.compiled, n, nthreads, 48), want);
+
+        // Under the event-driven harness (with golden verification on),
+        // the event-driven and dense loops agree byte-for-byte on the
+        // architectural digest, and fewer reloads show up as cycles.
+        let rg = try_run_single(
+            CoreConfig::virec(nthreads, 32),
+            &g.workload,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let rg_dense = try_run_single(
+            CoreConfig::virec(nthreads, 32),
+            &g.workload,
+            &RunOptions {
+                dense_loop: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rg.arch_digest, rg_dense.arch_digest);
+        let rl = try_run_single(
+            CoreConfig::virec(nthreads, 32),
+            &l.workload,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            rg.cycles < rl.cycles,
+            "budget {budget}: graph {} cycles vs linear {}",
+            rg.cycles,
+            rl.cycles
+        );
+    }
+}
+
+#[test]
 fn budget_controls_active_context() {
     // §4.2's effect on the paper's key metric: a lower register budget
     // shrinks the active (inner-loop) register context, at the cost of
