@@ -35,11 +35,18 @@
 //! VRMU ways at the CAM margin, the spare-row remap CAM, the patrol
 //! scrubber FSM, and the CE tracker file) — and shows the ≈40% area win
 //! holds with protection *and* sparing on both designs.
+//!
+//! The [`noc`] module prices the fault-tolerant mesh fabric (5-port
+//! wormhole routers, per-link CRC-16 pairs, and retransmission buffers)
+//! against the crossbar it replaces — the protected mesh stays under 2%
+//! of the core area it connects.
 
 pub mod ecc;
 pub mod model;
+pub mod noc;
 pub mod ras;
 
 pub use ecc::{EccAreaModel, EccOverhead, PARITY_STORAGE_FRAC, SECDED_STORAGE_FRAC};
 pub use model::AreaModel;
+pub use noc::{NocAreaModel, NocOverhead, BUF_FLITS_PER_PORT, RETX_FLITS_PER_LINK};
 pub use ras::{RasAreaModel, RasOverhead};

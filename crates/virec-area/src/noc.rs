@@ -1,0 +1,189 @@
+//! Area cost of the fault-tolerant mesh NoC (routers, link CRC, and
+//! retransmission buffers), layered beside [`AreaModel`] — answering the
+//! ISSUE-10 question: does swapping the far-memory crossbar for a
+//! protected 2D mesh stay a rounding error next to the cores it serves?
+//!
+//! The router is priced per port (input FIFO, crossbar mux column, and
+//! round-robin arbiter share), so a 5-port mesh router (4 cardinal
+//! directions + local) composes from the same constants as the N-port
+//! crossbar it replaces. Link protection is priced per *directed* link:
+//! one CRC-16 generator/checker pair and a retransmission buffer deep
+//! enough to hold every flit the sender may have in flight awaiting ACK.
+//! The constants are calibrated to small 45 nm NoC router syntheses
+//! (ORION-class numbers), matching the calibration style of the ECC and
+//! RAS models.
+
+use crate::model::AreaModel;
+
+/// Input-buffer depth per router port, in flits. Mirrors the simulator's
+/// `virec_mem::NODE_BUF_FLITS` (the two must agree for the pricing to
+/// describe the simulated hardware).
+pub const BUF_FLITS_PER_PORT: usize = 4;
+
+/// Retransmission-buffer depth per directed link, in flits: the sender
+/// keeps a copy of every unacknowledged flit, bounded by the link's
+/// credit window (one buffer's worth).
+pub const RETX_FLITS_PER_LINK: usize = BUF_FLITS_PER_PORT;
+
+/// NoC silicon for one fabric, split into its components (mm²).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NocOverhead {
+    /// Router switching logic: crossbar mux columns + arbiters, summed
+    /// over every router port in the fabric.
+    pub switch_mm2: f64,
+    /// Input FIFOs: `BUF_FLITS_PER_PORT` flit slots per router port.
+    pub buffer_mm2: f64,
+    /// CRC-16 generator/checker pairs, one per directed link.
+    pub crc_mm2: f64,
+    /// Retransmission buffers (`RETX_FLITS_PER_LINK` flit copies) plus
+    /// the retry sequencing FSM, one per directed link.
+    pub retx_mm2: f64,
+}
+
+impl NocOverhead {
+    /// Total NoC silicon for the fabric.
+    pub fn total_mm2(&self) -> f64 {
+        self.switch_mm2 + self.buffer_mm2 + self.crc_mm2 + self.retx_mm2
+    }
+
+    /// The fault-tolerance share (CRC + retransmission) of the total —
+    /// what link protection adds on top of a bare best-effort mesh.
+    pub fn protection_frac(&self) -> f64 {
+        (self.crc_mm2 + self.retx_mm2) / self.total_mm2()
+    }
+}
+
+/// Analytic model of the NoC hardware, parameterized like
+/// [`RasAreaModel`](crate::ras::RasAreaModel) so the constants can be
+/// recalibrated independently.
+#[derive(Clone, Copy, Debug)]
+pub struct NocAreaModel {
+    /// One router port's crossbar mux column plus its arbiter share
+    /// (mm²). Calibrated to a 64-bit-flit 5-port wormhole router at
+    /// 45 nm, switch fraction divided by 5.
+    pub port_switch_mm2: f64,
+    /// One flit slot of input buffering (mm²) — a ~160-bit register row
+    /// with head/tail pointers amortized over the FIFO.
+    pub flit_buf_mm2: f64,
+    /// One CRC-16 generator/checker pair (mm²): ~80 XOR/AND cells plus
+    /// the compare.
+    pub crc_pair_mm2: f64,
+    /// The retry FSM per directed link (timeout counter, backoff shift,
+    /// sequence compare), excluding the flit copies (mm²).
+    pub retry_fsm_mm2: f64,
+}
+
+impl Default for NocAreaModel {
+    fn default() -> Self {
+        NocAreaModel {
+            port_switch_mm2: 2.2e-3,
+            flit_buf_mm2: 4.0e-4,
+            crc_pair_mm2: 1.2e-4,
+            retry_fsm_mm2: 2.0e-4,
+        }
+    }
+}
+
+impl NocAreaModel {
+    /// Per-directed-link protection silicon: CRC pair + retry FSM +
+    /// retransmission flit copies.
+    fn link_protection_mm2(&self) -> (f64, f64) {
+        let crc = self.crc_pair_mm2;
+        let retx = self.retry_fsm_mm2 + self.flit_buf_mm2 * RETX_FLITS_PER_LINK as f64;
+        (crc, retx)
+    }
+
+    /// Overhead of a `cols x rows` mesh: one 5-port router per node
+    /// (4 cardinal + local port), input FIFOs on every port, and CRC +
+    /// retransmission on every directed inter-router link. Matches the
+    /// simulator's link census: `2 * (rows*(cols-1) + cols*(rows-1))`
+    /// directed links.
+    pub fn mesh_overhead(&self, cols: usize, rows: usize) -> NocOverhead {
+        assert!(cols >= 1 && rows >= 1, "degenerate mesh {cols}x{rows}");
+        let nodes = cols * rows;
+        let ports = nodes * 5;
+        let links = 2 * (rows * (cols - 1) + cols * (rows - 1));
+        let (crc, retx) = self.link_protection_mm2();
+        NocOverhead {
+            switch_mm2: self.port_switch_mm2 * ports as f64,
+            buffer_mm2: self.flit_buf_mm2 * (ports * BUF_FLITS_PER_PORT) as f64,
+            crc_mm2: crc * links as f64,
+            retx_mm2: retx * links as f64,
+        }
+    }
+
+    /// Overhead of the baseline N-port crossbar: one monolithic switch
+    /// (every port sees an N-wide mux column), single-stage, no
+    /// inter-router links so no CRC/retransmission hardware — errors on
+    /// the short crossbar traces are out of the fault model, exactly as
+    /// in the simulator.
+    pub fn crossbar_overhead(&self, ports: usize) -> NocOverhead {
+        NocOverhead {
+            switch_mm2: self.port_switch_mm2 * ports as f64,
+            buffer_mm2: self.flit_buf_mm2 * (ports * BUF_FLITS_PER_PORT) as f64,
+            ..NocOverhead::default()
+        }
+    }
+
+    /// The mesh's area premium over the crossbar it replaces, as a
+    /// fraction of the total core area it connects (`ncores` ViReC cores
+    /// with `regs` registers each). This is the headline the resilience
+    /// experiment quotes.
+    pub fn mesh_premium_frac(
+        &self,
+        area: &AreaModel,
+        cols: usize,
+        rows: usize,
+        ncores: usize,
+        regs: usize,
+    ) -> f64 {
+        let mesh = self.mesh_overhead(cols, rows).total_mm2();
+        let xbar = self.crossbar_overhead(2 * ncores).total_mm2();
+        (mesh - xbar) / (area.virec_core(regs) * ncores as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_link_census_matches_the_simulator() {
+        // 2x2: 4 undirected neighbor pairs -> 8 directed links; the CRC
+        // term must price exactly 8 pairs.
+        let m = NocAreaModel::default();
+        let o = m.mesh_overhead(2, 2);
+        assert!((o.crc_mm2 - 8.0 * m.crc_pair_mm2).abs() < 1e-12);
+        // 4x2: 10 undirected -> 20 directed.
+        let o = m.mesh_overhead(4, 2);
+        assert!((o.crc_mm2 - 20.0 * m.crc_pair_mm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protection_is_a_minor_share_of_the_mesh() {
+        // CRC + retransmission must not dominate the router silicon —
+        // fault tolerance rides along, it doesn't double the fabric.
+        let m = NocAreaModel::default();
+        for (c, r) in [(2, 2), (4, 2), (4, 4)] {
+            let frac = m.mesh_overhead(c, r).protection_frac();
+            assert!(frac < 0.35, "{c}x{r}: protection fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn mesh_premium_stays_under_two_percent_of_core_area() {
+        // The ISSUE-10 question: a protected 2x2 mesh over 4 ViReC cores
+        // (64 regs each) costs under 2% of the cores it connects.
+        let (a, m) = (AreaModel::default(), NocAreaModel::default());
+        let frac = m.mesh_premium_frac(&a, 2, 2, 4, 64);
+        assert!(frac.abs() < 0.02, "mesh premium fraction {frac}");
+    }
+
+    #[test]
+    fn bigger_meshes_cost_more() {
+        let m = NocAreaModel::default();
+        let small = m.mesh_overhead(2, 2).total_mm2();
+        let big = m.mesh_overhead(4, 4).total_mm2();
+        assert!(big > 2.0 * small, "4x4 {big} vs 2x2 {small}");
+    }
+}

@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 
 use virec_bench::harness::*;
 use virec_core::CoreConfig;
+use virec_mem::FabricConfig;
 use virec_sim::experiment::{CellData, ExperimentSpec};
 use virec_sim::report::{pct, Table};
 use virec_sim::runner::default_checkpoint_interval;
@@ -79,6 +80,7 @@ fn campaign_options() -> CampaignOptions {
         },
         class,
         ras: class.is_persistent().then(RasConfig::default),
+        fabric: FabricConfig::default(),
     }
 }
 

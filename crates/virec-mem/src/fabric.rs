@@ -10,11 +10,16 @@
 //! by the system. Requests are identified by opaque tokens that requesters
 //! poll for completion.
 
+use crate::noc::{FabricTopology, LinkHealth, LinkRetireOutcome, Noc};
 use crate::remap::{RemapTable, RetireOutcome};
 use std::collections::{HashMap, VecDeque};
 
 /// Identifies the requester port (one per cache that talks to the fabric).
 pub type PortId = usize;
+
+/// Ports tracked individually in [`FabricStats::per_port`]; higher port ids
+/// alias modulo this (32 cores' worth of cache ports before aliasing).
+pub const MAX_STAT_PORTS: usize = 16;
 
 /// Opaque identifier of an in-flight fabric request.
 pub type ReqToken = u64;
@@ -76,10 +81,13 @@ impl DramConfig {
 /// multithreading.
 #[derive(Clone, Copy, Debug)]
 pub struct FabricConfig {
-    /// One-way crossbar hop latency in cycles.
+    /// One-way crossbar hop latency in cycles. Under a mesh topology this
+    /// budget is amortised over the mesh diameter as the per-hop latency.
     pub xbar_latency: u32,
     /// Requests the crossbar accepts per cycle (shared across ports).
     pub xbar_accepts_per_cycle: usize,
+    /// Interconnect topology (crossbar by default; see [`FabricTopology`]).
+    pub topology: FabricTopology,
     /// DRAM parameters.
     pub dram: DramConfig,
 }
@@ -89,13 +97,14 @@ impl Default for FabricConfig {
         FabricConfig {
             xbar_latency: 18,
             xbar_accepts_per_cycle: 4,
+            topology: FabricTopology::Crossbar,
             dram: DramConfig::default(),
         }
     }
 }
 
 /// Aggregate fabric statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Read-line requests serviced.
     pub reads: u64,
@@ -112,6 +121,20 @@ pub struct FabricStats {
     /// Patrol-scrub reads serviced (fire-and-forget RAS traffic; these
     /// occupy banks and bus slots like demand reads but deliver no data).
     pub scrub_reads: u64,
+    /// Per-requester-port `[reads, writes]` submitted, indexed by
+    /// `port % MAX_STAT_PORTS` (every topology, crossbar included).
+    pub per_port: [[u64; 2]; MAX_STAT_PORTS],
+    /// Mesh flits that completed a hop (link traversals).
+    pub noc_hops: u64,
+    /// Flits whose per-hop CRC check failed at the receiving router.
+    pub noc_crc_detected: u64,
+    /// Nacked flits retransmitted by their sending router.
+    pub noc_retransmissions: u64,
+    /// Links predictively retired and routed around.
+    pub noc_links_retired: u64,
+    /// Links fenced to half bandwidth (retirement would have disconnected
+    /// a node from the memory controller).
+    pub noc_links_fenced: u64,
 }
 
 impl FabricStats {
@@ -119,6 +142,11 @@ impl FabricStats {
     /// a snapshot of the same monotonically growing counters, this is the
     /// traffic of the interval between the two observations.
     pub fn delta_since(&self, earlier: &FabricStats) -> FabricStats {
+        let mut per_port = self.per_port;
+        for (mine, prev) in per_port.iter_mut().zip(earlier.per_port.iter()) {
+            mine[0] = mine[0].saturating_sub(prev[0]);
+            mine[1] = mine[1].saturating_sub(prev[1]);
+        }
         FabricStats {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
@@ -127,7 +155,26 @@ impl FabricStats {
             row_empty: self.row_empty.saturating_sub(earlier.row_empty),
             queue_cycles: self.queue_cycles.saturating_sub(earlier.queue_cycles),
             scrub_reads: self.scrub_reads.saturating_sub(earlier.scrub_reads),
+            per_port,
+            noc_hops: self.noc_hops.saturating_sub(earlier.noc_hops),
+            noc_crc_detected: self
+                .noc_crc_detected
+                .saturating_sub(earlier.noc_crc_detected),
+            noc_retransmissions: self
+                .noc_retransmissions
+                .saturating_sub(earlier.noc_retransmissions),
+            noc_links_retired: self
+                .noc_links_retired
+                .saturating_sub(earlier.noc_links_retired),
+            noc_links_fenced: self
+                .noc_links_fenced
+                .saturating_sub(earlier.noc_links_fenced),
         }
+    }
+
+    /// True when every counter is zero (nothing worth journaling).
+    pub fn is_empty(&self) -> bool {
+        *self == FabricStats::default()
     }
 }
 
@@ -139,6 +186,8 @@ struct Pending {
     /// Fire-and-forget patrol read: occupies the bank and bus but is
     /// never entered into the done map (nobody polls it).
     is_scrub: bool,
+    /// Requester port (drives the mesh response route; `0` for scrubs).
+    port: PortId,
     submitted: u64,
     /// Cycle the request reaches the memory controller.
     arrive_at: u64,
@@ -168,12 +217,21 @@ pub struct Fabric {
     epoch_mark: FabricStats,
     /// RAS spare-row remap table consulted on every address mapping.
     remap: RemapTable,
+    /// Mesh NoC state when the topology is [`FabricTopology::Mesh`];
+    /// `None` for the crossbar (whose paths are untouched).
+    noc: Option<Box<Noc>>,
 }
 
 impl Fabric {
     /// Creates a fabric.
     pub fn new(cfg: FabricConfig) -> Fabric {
         let nbanks = cfg.dram.channels * cfg.dram.banks_per_channel;
+        let noc = match cfg.topology {
+            FabricTopology::Crossbar => None,
+            FabricTopology::Mesh { cols, rows } => {
+                Some(Box::new(Noc::new(cols, rows, cfg.xbar_latency)))
+            }
+        };
         Fabric {
             cfg,
             banks: vec![Bank::default(); nbanks],
@@ -185,6 +243,7 @@ impl Fabric {
             stats: FabricStats::default(),
             epoch_mark: FabricStats::default(),
             remap: RemapTable::default(),
+            noc,
         }
     }
 
@@ -241,16 +300,74 @@ impl Fabric {
         2 * self.cfg.xbar_latency + self.cfg.dram.row_hit_latency()
     }
 
+    /// The interconnect topology this fabric was built with.
+    pub fn topology(&self) -> FabricTopology {
+        self.cfg.topology
+    }
+
+    /// Latched NoC watchdog fault (flit age cap exceeded or retransmission
+    /// budget exhausted), if any. Always `None` on the crossbar.
+    pub fn noc_fault(&self) -> Option<&str> {
+        self.noc.as_deref().and_then(|n| n.fault())
+    }
+
+    /// Injects one transit upset onto the mesh link selected by `index`
+    /// (modulo the link population): the next flit crossing it is
+    /// corrupted and must be caught by the receiver's CRC. Returns the
+    /// concrete link id, or `None` when there is no mesh or the selected
+    /// link is already retired/fenced (nothing left to corrupt).
+    pub fn inject_link_fault(&mut self, index: u64) -> Option<usize> {
+        self.noc.as_deref_mut()?.inject_link_fault(index)
+    }
+
+    /// Retires a mesh link (adaptive route-around), falling back to
+    /// fencing it at half bandwidth when retirement would disconnect a
+    /// node from the memory controller. Idempotent; `None` on the
+    /// crossbar.
+    pub fn retire_link(&mut self, link: usize) -> Option<LinkRetireOutcome> {
+        let noc = self.noc.as_deref_mut()?;
+        Some(noc.retire_link(link, &mut self.stats))
+    }
+
+    /// Health counts of the mesh link population (`None` on the crossbar).
+    pub fn link_health(&self) -> Option<LinkHealth> {
+        self.noc.as_deref().map(|n| n.link_health())
+    }
+
+    /// Mesh dimensions `(cols, rows)` (`None` on the crossbar).
+    pub fn mesh_dims(&self) -> Option<(usize, usize)> {
+        self.noc.as_deref().map(|n| n.dims())
+    }
+
+    /// Flits currently inside the mesh (`None` on the crossbar).
+    pub fn noc_in_network(&self) -> Option<usize> {
+        self.noc.as_deref().map(|n| n.in_network())
+    }
+
+    /// Total mesh buffer credits currently held; drains to zero with the
+    /// network (`None` on the crossbar).
+    pub fn noc_credits_held(&self) -> Option<u32> {
+        self.noc.as_deref().map(|n| n.credits_held())
+    }
+
     /// Submits a 64B line request. Returns a token to poll with
-    /// [`Fabric::is_done`].
-    pub fn submit(&mut self, now: u64, _port: PortId, addr: u64, is_write: bool) -> ReqToken {
+    /// [`Fabric::is_done`]. Under a mesh topology the request is injected
+    /// at `port`'s mesh node and routed hop by hop to the memory
+    /// controller; the crossbar enqueues it for fixed-latency acceptance.
+    pub fn submit(&mut self, now: u64, port: PortId, addr: u64, is_write: bool) -> ReqToken {
         let token = self.next_token;
         self.next_token += 1;
+        self.stats.per_port[port % MAX_STAT_PORTS][is_write as usize] += 1;
+        if let Some(noc) = self.noc.as_deref_mut() {
+            noc.inject_request(now, port, token, addr, is_write, &mut self.stats);
+            return token;
+        }
         self.accept_queue.push_back(Pending {
             token,
             addr,
             is_write,
             is_scrub: false,
+            port,
             submitted: now,
             arrive_at: 0,
         });
@@ -270,6 +387,7 @@ impl Fabric {
             addr,
             is_write: false,
             is_scrub: true,
+            port: 0,
             submitted: now,
             arrive_at: 0,
         });
@@ -298,6 +416,7 @@ impl Fabric {
     /// means the fabric is quiescent (no queued or in-flight requests);
     /// completed-but-unretired responses need no further fabric ticks.
     pub fn next_event(&self, now: u64) -> Option<u64> {
+        let noc_next = self.noc.as_deref().and_then(|n| n.next_event(now));
         if !self.accept_queue.is_empty() {
             // Crossbar acceptance happens every tick while the queue is
             // non-empty.
@@ -307,14 +426,19 @@ impl Fabric {
         // controller and its bank is free. Bank busy times only shrink via
         // other services, which themselves require a tick at or after this
         // minimum, so the min over requests is a safe wakeup.
-        self.inflight
+        let bank_next = self
+            .inflight
             .iter()
             .map(|p| {
                 let (chan, bank_idx, _) = self.map_addr(p.addr);
                 let bidx = chan * self.cfg.dram.banks_per_channel + bank_idx;
                 p.arrive_at.max(self.banks[bidx].busy_until).max(now + 1)
             })
-            .min()
+            .min();
+        match (noc_next, bank_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of requests somewhere in the fabric (excluding completed).
@@ -362,11 +486,34 @@ impl Fabric {
         }
     }
 
-    /// Advances the fabric by one cycle: accepts crossbar requests and
-    /// schedules bank accesses. Call once per core cycle with the current
-    /// cycle number (monotonically non-decreasing).
+    /// Advances the fabric by one cycle: moves mesh flits (if any),
+    /// accepts crossbar requests, and schedules bank accesses. Call once
+    /// per core cycle with the current cycle number (monotonically
+    /// non-decreasing).
     pub fn tick(&mut self, now: u64) {
-        // Crossbar acceptance: bounded number of requests per cycle.
+        if let Some(noc) = self.noc.as_deref_mut() {
+            noc.tick(now, &mut self.stats);
+            // Request flits delivered at the memory controller enter bank
+            // scheduling this cycle; response flits delivered at their
+            // source node complete their token.
+            for d in noc.delivered_req.drain(..) {
+                self.inflight.push(Pending {
+                    token: d.token,
+                    addr: d.addr,
+                    is_write: d.is_write,
+                    is_scrub: false,
+                    port: d.port,
+                    submitted: d.submitted,
+                    arrive_at: now,
+                });
+            }
+            for (token, at) in noc.delivered_resp.drain(..) {
+                self.done.insert(token, at);
+            }
+        }
+
+        // Crossbar acceptance: bounded number of requests per cycle. Under
+        // a mesh only patrol scrubs flow here (the MC-local patrol engine).
         for _ in 0..self.cfg.xbar_accepts_per_cycle {
             let Some(mut p) = self.accept_queue.pop_front() else {
                 break;
@@ -419,7 +566,6 @@ impl Fabric {
                 open_row: Some(row),
                 busy_until: data_end,
             };
-            let ready = data_end + self.cfg.xbar_latency as u64;
             if p.is_scrub {
                 // Patrol traffic: occupies the bank and bus (already
                 // charged above) but is fire-and-forget — no done entry,
@@ -432,7 +578,14 @@ impl Fabric {
                 } else {
                     self.stats.reads += 1;
                 }
-                self.done.insert(p.token, ready);
+                if let Some(noc) = self.noc.as_deref_mut() {
+                    // Mesh: the data burst rides a response flit back to
+                    // the requester's node instead of a fixed return hop.
+                    noc.schedule_response(data_end, p.token, p.addr, p.port);
+                } else {
+                    self.done
+                        .insert(p.token, data_end + self.cfg.xbar_latency as u64);
+                }
             }
             self.inflight.swap_remove(i);
             // Do not advance i: swap_remove moved a new element here.
@@ -670,6 +823,89 @@ mod tests {
             f.stats().row_hits >= 1,
             "fenced rows collapse onto one row buffer"
         );
+    }
+
+    fn mesh_cfg(cols: usize, rows: usize) -> FabricConfig {
+        FabricConfig {
+            topology: FabricTopology::Mesh { cols, rows },
+            ..FabricConfig::default()
+        }
+    }
+
+    #[test]
+    fn per_port_counters_attribute_traffic() {
+        let mut f = Fabric::new(FabricConfig::default());
+        let a = f.submit(0, 2, 0x1000, false);
+        let b = f.submit(0, 3, 0x2000, true);
+        run_until_done(&mut f, a, 10_000);
+        run_until_done(&mut f, b, 10_000);
+        assert_eq!(f.stats().per_port[2], [1, 0]);
+        assert_eq!(f.stats().per_port[3], [0, 1]);
+        // High ports alias modulo MAX_STAT_PORTS.
+        let c = f.submit(0, MAX_STAT_PORTS + 2, 0x3000, false);
+        run_until_done(&mut f, c, 10_000);
+        assert_eq!(f.stats().per_port[2], [2, 0]);
+    }
+
+    #[test]
+    fn mesh_request_completes_and_counts_hops() {
+        let mut f = Fabric::new(mesh_cfg(2, 2));
+        let t = f.submit(0, 0, 0x1000, false);
+        let done = run_until_done(&mut f, t, 10_000);
+        f.retire(t);
+        assert_eq!(f.stats().reads, 1);
+        assert!(f.stats().noc_hops >= 4, "corner round trip is >= 4 hops");
+        assert_eq!(f.outstanding(), 0);
+        // Unloaded mesh latency stays in the same regime as the crossbar.
+        let mut xbar = Fabric::new(FabricConfig::default());
+        let tx = xbar.submit(0, 0, 0x1000, false);
+        let done_x = run_until_done(&mut xbar, tx, 10_000);
+        assert!(
+            done < done_x * 3,
+            "mesh {done} should not blow up vs crossbar {done_x}"
+        );
+    }
+
+    #[test]
+    fn mesh_link_fault_retransmits_and_retires() {
+        let mut f = Fabric::new(mesh_cfg(2, 2));
+        let link = f.inject_link_fault(0).expect("mesh has links");
+        let t = f.submit(0, 0, 0x40, false);
+        run_until_done(&mut f, t, 100_000);
+        assert_eq!(f.stats().noc_crc_detected, 1);
+        assert_eq!(f.stats().noc_retransmissions, 1);
+        assert!(f.noc_fault().is_none());
+        assert_eq!(f.retire_link(link), Some(LinkRetireOutcome::Rerouted));
+        assert_eq!(f.stats().noc_links_retired, 1);
+        let t2 = f.submit(200_000, 0, 0x80, false);
+        let start = 200_000;
+        let done = run_from_until_done(&mut f, start, t2, 100_000);
+        assert!(done > start, "route-around still delivers");
+        let h = f.link_health().unwrap();
+        assert_eq!(h.retired, 1);
+    }
+
+    #[test]
+    fn crossbar_has_no_noc_surface() {
+        let mut f = Fabric::new(FabricConfig::default());
+        assert_eq!(f.topology(), FabricTopology::Crossbar);
+        assert!(f.inject_link_fault(0).is_none());
+        assert!(f.retire_link(0).is_none());
+        assert!(f.link_health().is_none());
+        assert!(f.noc_fault().is_none());
+    }
+
+    #[test]
+    fn mesh_scrubs_still_flow() {
+        let mut f = Fabric::new(mesh_cfg(2, 2));
+        f.submit_scrub(0, 0x1000);
+        let mut now = 0;
+        while f.stats().scrub_reads == 0 {
+            f.tick(now);
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert_eq!(f.outstanding(), 0);
     }
 
     #[test]

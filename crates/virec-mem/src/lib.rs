@@ -25,11 +25,16 @@
 
 pub mod cache;
 pub mod fabric;
+pub mod noc;
 pub mod remap;
 pub mod stats;
 
 pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, MshrId, MshrRetireError};
-pub use fabric::{DramConfig, Fabric, FabricConfig, FabricStats, PortId};
+pub use fabric::{DramConfig, Fabric, FabricConfig, FabricStats, PortId, MAX_STAT_PORTS};
+pub use noc::{
+    crc16, FabricTopology, LinkHealth, LinkRetireOutcome, LinkRetryPolicy, MAX_FLIT_AGE,
+    NODE_BUF_FLITS,
+};
 pub use remap::{RemapTable, RetireOutcome, FENCE_ROW, SPARE_ROW_BASE};
 pub use stats::CacheStats;
 

@@ -228,6 +228,9 @@ impl ProtectionConfig {
             FaultSite::DramLine => self.dram_line,
             FaultSite::FabricResponse => self.fabric_response,
             FaultSite::StuckFill => ProtectionLevel::None,
+            // Link upsets are covered by the NoC's own CRC/retransmission
+            // layer, not by a storage coverage map.
+            FaultSite::NocLink => ProtectionLevel::None,
         }
     }
 

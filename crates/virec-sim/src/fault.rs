@@ -20,6 +20,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use virec_core::policy::XorShift;
 use virec_core::{CoreConfig, EngineFault};
+use virec_mem::FabricConfig;
 use virec_workloads::Workload;
 
 /// A corruptible structure.
@@ -38,10 +39,19 @@ pub enum FaultSite {
     /// Flip a bit in the memory behind an in-flight fabric request
     /// (a corrupted response payload).
     FabricResponse,
+    /// Corrupt a flit in transit on a mesh NoC link (wire upset). Caught
+    /// by the link-level CRC and retransmitted; persistent classes model a
+    /// marginal link that the RAS layer retires via route-around. Only
+    /// meaningful under [`virec_mem::FabricTopology::Mesh`]; on the
+    /// crossbar the injection does not land.
+    NocLink,
 }
 
 impl FaultSite {
-    /// Every site (ViReC engines expose all of them).
+    /// The engine-internal sites: the population a seeded campaign draws
+    /// from by default. `NocLink` is deliberately **excluded** so that the
+    /// `rng % len` site draw of every pre-existing seeded campaign stays
+    /// byte-identical; link upsets are opted into via `--sites noc-link`.
     pub const ALL: [FaultSite; 6] = [
         FaultSite::TagValue,
         FaultSite::RollbackSlot,
@@ -49,6 +59,18 @@ impl FaultSite {
         FaultSite::BackingReg,
         FaultSite::DramLine,
         FaultSite::FabricResponse,
+    ];
+
+    /// Every site including the NoC transport layer — the parse / display
+    /// population for `--sites`.
+    pub const EVERY: [FaultSite; 7] = [
+        FaultSite::TagValue,
+        FaultSite::RollbackSlot,
+        FaultSite::StuckFill,
+        FaultSite::BackingReg,
+        FaultSite::DramLine,
+        FaultSite::FabricResponse,
+        FaultSite::NocLink,
     ];
 
     /// Sites meaningful for engines without a VRMU (banked, software):
@@ -94,6 +116,7 @@ impl FaultSite {
             FaultSite::BackingReg => "backing-reg",
             FaultSite::DramLine => "dram-line",
             FaultSite::FabricResponse => "fabric-response",
+            FaultSite::NocLink => "noc-link",
         }
     }
 }
@@ -107,11 +130,11 @@ impl std::fmt::Display for FaultSite {
 impl FromStr for FaultSite {
     type Err = String;
     fn from_str(s: &str) -> Result<FaultSite, String> {
-        FaultSite::ALL
+        FaultSite::EVERY
             .into_iter()
             .find(|site| site.name() == s)
             .ok_or_else(|| {
-                let known: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+                let known: Vec<&str> = FaultSite::EVERY.iter().map(|s| s.name()).collect();
                 format!(
                     "unknown fault site '{s}' (expected one of: {})",
                     known.join(", ")
@@ -602,6 +625,10 @@ pub struct CampaignOptions {
     /// `None` disables it; persistent faults then end in a bounded typed
     /// uncorrectable error instead of a retirement.
     pub ras: Option<RasConfig>,
+    /// Fabric configuration (topology, latencies) for the clean reference
+    /// and every attacked run. Mesh topologies make `noc-link` injections
+    /// land; the crossbar default keeps legacy campaigns byte-identical.
+    pub fabric: FabricConfig,
 }
 
 impl Default for CampaignOptions {
@@ -612,6 +639,7 @@ impl Default for CampaignOptions {
             checkpoint_interval: 0,
             class: FaultClass::Transient,
             ras: None,
+            fabric: FabricConfig::default(),
         }
     }
 }
@@ -626,6 +654,7 @@ impl CampaignOptions {
             checkpoint_interval: default_checkpoint_interval(),
             class: FaultClass::Transient,
             ras: None,
+            fabric: FabricConfig::default(),
         }
     }
 
@@ -684,7 +713,10 @@ pub fn run_campaign_with(
     sites: &[FaultSite],
     campaign: &CampaignOptions,
 ) -> CampaignReport {
-    let clean_opts = RunOptions::default();
+    let clean_opts = RunOptions {
+        fabric: campaign.fabric,
+        ..RunOptions::default()
+    };
     let clean: RunResult = try_run_single(cfg, workload, &clean_opts)
         .unwrap_or_else(|e| panic!("clean reference run failed: {e}"));
 
@@ -731,6 +763,7 @@ pub fn run_campaign_with(
             protection: campaign.protection,
             checkpoint_interval: campaign.checkpoint_interval,
             ras,
+            fabric: campaign.fabric,
             ..RunOptions::default()
         };
         let run = catch_unwind(AssertUnwindSafe(|| {
@@ -755,6 +788,7 @@ pub fn run_campaign_with(
                 // run's architectural state.
                 let recovery_opts = RunOptions {
                     livelock_cycles,
+                    fabric: campaign.fabric,
                     ..RunOptions::default()
                 };
                 let recovered = catch_unwind(AssertUnwindSafe(|| {
@@ -885,7 +919,7 @@ mod tests {
 
     #[test]
     fn site_names_round_trip() {
-        for site in FaultSite::ALL {
+        for site in FaultSite::EVERY {
             let name = site.to_string();
             assert_eq!(
                 name.parse::<FaultSite>().unwrap(),
@@ -902,6 +936,12 @@ mod tests {
             parse_sites("tag-value,dram-line").unwrap(),
             vec![FaultSite::TagValue, FaultSite::DramLine]
         );
+        assert_eq!(
+            parse_sites("noc-link").unwrap(),
+            vec![FaultSite::NocLink],
+            "the NoC transport site parses even though ALL excludes it"
+        );
+        assert!(!FaultSite::ALL.contains(&FaultSite::NocLink));
         assert!(parse_sites("").is_err());
         assert!(parse_sites("tag-value,bogus").is_err());
     }

@@ -40,7 +40,7 @@ use crate::ras::RasStats;
 use crate::runner::RunResult;
 use crate::system::SystemResult;
 use virec_core::{CoreStats, OracleSchedule};
-use virec_mem::{CacheStats, FabricStats};
+use virec_mem::{CacheStats, FabricStats, MAX_STAT_PORTS};
 
 /// Journal location for experiment `name` under `dir`.
 pub fn journal_path(dir: &Path, name: &str) -> PathBuf {
@@ -267,6 +267,13 @@ fn enc_data(out: &mut String, data: &CellData) {
                     a.suppressed_assertions
                 ));
             }
+            // Fabric counters (per-port attribution, NoC resilience) are
+            // new: emitted only when something was counted, so pre-NoC
+            // record shapes are preserved.
+            if !r.fabric.is_empty() {
+                out.push_str(",\"fabric\":");
+                enc_fabric_stats(out, &r.fabric);
+            }
             out.push('}');
         }
         CellData::System(s) => {
@@ -280,19 +287,9 @@ fn enc_data(out: &mut String, data: &CellData) {
                 }
                 enc_core_stats(out, c);
             }
-            let f = &s.fabric;
-            out.push_str(&format!(
-                "],\"fabric\":{{\"reads\":{},\"writes\":{},\"row_hits\":{},\
-                 \"row_conflicts\":{},\"row_empty\":{},\"queue_cycles\":{},\
-                 \"scrub_reads\":{}}}}}",
-                f.reads,
-                f.writes,
-                f.row_hits,
-                f.row_conflicts,
-                f.row_empty,
-                f.queue_cycles,
-                f.scrub_reads
-            ));
+            out.push_str("],\"fabric\":");
+            enc_fabric_stats(out, &s.fabric);
+            out.push('}');
         }
         CellData::Metrics(m) => {
             out.push_str("{\"kind\":\"metrics\",\"values\":[");
@@ -352,6 +349,40 @@ fn enc_core_stats(out: &mut String, s: &CoreStats) {
     enc_cache_stats(out, &s.dcache);
     out.push_str(",\"icache\":");
     enc_cache_stats(out, &s.icache);
+    out.push('}');
+}
+
+fn enc_fabric_stats(out: &mut String, f: &FabricStats) {
+    out.push_str(&format!(
+        "{{\"reads\":{},\"writes\":{},\"row_hits\":{},\"row_conflicts\":{},\
+         \"row_empty\":{},\"queue_cycles\":{},\"scrub_reads\":{}",
+        f.reads, f.writes, f.row_hits, f.row_conflicts, f.row_empty, f.queue_cycles, f.scrub_reads
+    ));
+    // Per-port attribution and NoC counters follow the ecc/ras rule:
+    // emitted only when non-empty, so older record shapes still parse and
+    // older builds' lines interleave with newer ones. The per-port array
+    // is truncated after its last non-zero entry.
+    if let Some(last) = f.per_port.iter().rposition(|p| p[0] != 0 || p[1] != 0) {
+        out.push_str(",\"per_port\":[");
+        for (i, p) in f.per_port[..=last].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", p[0], p[1]));
+        }
+        out.push(']');
+    }
+    for (k, v) in [
+        ("noc_hops", f.noc_hops),
+        ("noc_crc_detected", f.noc_crc_detected),
+        ("noc_retransmissions", f.noc_retransmissions),
+        ("noc_links_retired", f.noc_links_retired),
+        ("noc_links_fenced", f.noc_links_fenced),
+    ] {
+        if v != 0 {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+    }
     out.push('}');
 }
 
@@ -467,6 +498,11 @@ fn dec_data(v: &Json) -> Option<CellData> {
                 },
                 None => RasStats::default(),
             },
+            // Absent before the mesh NoC (and whenever nothing counted).
+            fabric: match v.get("fabric") {
+                Some(f) => dec_fabric_stats(f)?,
+                None => FabricStats::default(),
+            },
             // Wall-clock snapshot cost is not journaled (non-deterministic);
             // replayed cells report zero.
             checkpoint_clone_ns: 0,
@@ -545,6 +581,15 @@ fn dec_cache_stats(v: &Json) -> Option<CacheStats> {
 
 fn dec_fabric_stats(v: &Json) -> Option<FabricStats> {
     let u = |k: &str| v.get(k).and_then(Json::u64);
+    // Truncated on encode after the last non-zero pair; the tail is zero.
+    let mut per_port = [[0u64; 2]; MAX_STAT_PORTS];
+    if let Some(pairs) = v.get("per_port").and_then(Json::arr) {
+        for (slot, pair) in per_port.iter_mut().zip(pairs) {
+            let p = pair.arr()?;
+            slot[0] = p.first()?.u64()?;
+            slot[1] = p.get(1)?.u64()?;
+        }
+    }
     Some(FabricStats {
         reads: u("reads")?,
         writes: u("writes")?,
@@ -554,6 +599,13 @@ fn dec_fabric_stats(v: &Json) -> Option<FabricStats> {
         queue_cycles: u("queue_cycles")?,
         // Absent in journals written before the RAS layer.
         scrub_reads: u("scrub_reads").unwrap_or(0),
+        per_port,
+        // Absent in journals written before the mesh NoC.
+        noc_hops: u("noc_hops").unwrap_or(0),
+        noc_crc_detected: u("noc_crc_detected").unwrap_or(0),
+        noc_retransmissions: u("noc_retransmissions").unwrap_or(0),
+        noc_links_retired: u("noc_links_retired").unwrap_or(0),
+        noc_links_fenced: u("noc_links_fenced").unwrap_or(0),
     })
 }
 
@@ -832,6 +884,19 @@ mod tests {
                 migrated_lines: 16,
                 suppressed_assertions: 3,
             },
+            fabric: {
+                let mut f = FabricStats {
+                    noc_hops: 40,
+                    noc_crc_detected: 2,
+                    noc_retransmissions: 2,
+                    noc_links_retired: 1,
+                    noc_links_fenced: 1,
+                    ..FabricStats::default()
+                };
+                f.per_port[0] = [17, 3];
+                f.per_port[5] = [0, 9];
+                f
+            },
         }
     }
 
@@ -859,7 +924,27 @@ mod tests {
                 assert_eq!(r.faults_applied, orig.faults_applied);
                 assert_eq!(r.ecc, orig.ecc, "protection counters must round-trip");
                 assert_eq!(r.ras, orig.ras, "RAS counters must round-trip");
+                assert_eq!(
+                    r.fabric, orig.fabric,
+                    "per-port and NoC counters must round-trip"
+                );
             }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_fabric_block_is_omitted_from_run_records() {
+        let mut r = run_result();
+        r.fabric = FabricStats::default();
+        let line = record_line("a", &CellOutcome::Ok(CellData::Run(Box::new(r))));
+        assert!(
+            !line.contains("\"fabric\""),
+            "quiet fabric must keep the pre-NoC record shape: {line}"
+        );
+        let (_, back) = parse_record(&line).expect("record parses");
+        match back {
+            CellOutcome::Ok(CellData::Run(r)) => assert!(r.fabric.is_empty()),
             other => panic!("wrong variant: {other:?}"),
         }
     }
@@ -869,16 +954,23 @@ mod tests {
         let sys = SystemResult {
             cycles: 1234,
             per_core: vec![run_result().stats, CoreStats::default()],
-            fabric: FabricStats {
-                reads: 1,
-                writes: 2,
-                row_hits: 3,
-                row_conflicts: 4,
-                row_empty: 5,
-                queue_cycles: 6,
-                scrub_reads: 7,
+            fabric: {
+                let mut f = FabricStats {
+                    reads: 1,
+                    writes: 2,
+                    row_hits: 3,
+                    row_conflicts: 4,
+                    row_empty: 5,
+                    queue_cycles: 6,
+                    scrub_reads: 7,
+                    noc_retransmissions: 8,
+                    ..FabricStats::default()
+                };
+                f.per_port[2] = [9, 10];
+                f
             },
         };
+        let expect = sys.fabric;
         let outcome = CellOutcome::Ok(CellData::System(Box::new(sys)));
         let (_, back) = roundtrip("sys", &outcome);
         match back {
@@ -888,6 +980,7 @@ mod tests {
                 assert_eq!(s.per_core[0].instructions, 42);
                 assert_eq!(s.fabric.queue_cycles, 6);
                 assert_eq!(s.fabric.scrub_reads, 7);
+                assert_eq!(s.fabric, expect, "fabric block must round-trip exactly");
             }
             other => panic!("wrong variant: {other:?}"),
         }

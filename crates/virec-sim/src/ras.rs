@@ -115,6 +115,13 @@ pub enum RetiredRegion {
         /// Whether a spare row was consumed.
         spared: bool,
     },
+    /// A mesh NoC link was taken out of service (routed around, or fenced
+    /// to half bandwidth when no route would survive — the fabric
+    /// re-decides deterministically on replay).
+    Link {
+        /// Link id within the mesh's directed-link population.
+        link: usize,
+    },
 }
 
 /// Leaky-bucket correctable-error counters, one bucket per physical

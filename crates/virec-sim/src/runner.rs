@@ -19,7 +19,7 @@ use std::collections::{HashMap, VecDeque};
 use virec_core::engines::ROLLBACK_DEPTH;
 use virec_core::{Core, CoreConfig, CoreStats, EngineKind, OracleSchedule, QuantumTrace};
 use virec_isa::{ExecOutcome, FlatMem, Interpreter, Reg, ThreadCtx};
-use virec_mem::{Fabric, FabricConfig, RetireOutcome};
+use virec_mem::{Fabric, FabricConfig, FabricStats, LinkRetireOutcome, RetireOutcome};
 use virec_workloads::{layout, Workload};
 
 /// Default architectural-checkpoint spacing: the rollback depth (the
@@ -135,6 +135,9 @@ pub struct RunResult {
     /// RAS-layer counters (all zero unless [`RunOptions::ras`] was set and
     /// the layer did something).
     pub ras: RasStats,
+    /// Fabric counters: per-port read/write attribution plus, under a mesh
+    /// topology, NoC hop/CRC/retransmission/retirement counts.
+    pub fabric: FabricStats,
 }
 
 impl RunResult {
@@ -375,6 +378,16 @@ fn try_run_single_impl(
             };
             return Err(wrap(e, &faults_applied));
         }
+        // NoC watchdog: a flit past its age cap or out of retransmission
+        // budget means the interconnect can no longer guarantee delivery —
+        // a structural hazard, not a hang.
+        if let Some(detail) = fabric.noc_fault().map(str::to_string) {
+            let e = SimError::StructuralHazard {
+                detail,
+                diag: RunDiagnostics::capture(workload.name, &core, now),
+            };
+            return Err(wrap(e, &faults_applied));
+        }
 
         if !pending.is_empty() {
             // Collect every event due this cycle, then group the ones that
@@ -421,6 +434,60 @@ fn try_run_single_impl(
             let mut suppress: Vec<FaultEvent> = Vec::new();
             let mut detected_desc = String::new();
             for group in &groups {
+                if group[0].site == FaultSite::NocLink {
+                    // Link upsets never reach the word-protection model:
+                    // the per-hop CRC detects the corrupted flit in transit
+                    // and the nack/retransmit protocol delivers a clean
+                    // copy, so the upset is corrected at the link layer.
+                    // Persistent defects charge the link's CE leaky bucket
+                    // toward predictive retirement (route-around) or, when
+                    // no route would survive, degraded fencing.
+                    for ev in group {
+                        let Some(link) = fabric.inject_link_fault(ev.index) else {
+                            // Crossbar topology, or the link is already out
+                            // of service: nothing left to corrupt.
+                            continue;
+                        };
+                        ecc.corrected += 1;
+                        faults_applied.push(format!(
+                            "cycle {now}: noc link {link} upset (crc caught, retransmitted)"
+                        ));
+                        let fam = ev.family();
+                        if opts.ras.is_some()
+                            && ev.class.is_persistent()
+                            && !retired_families.contains(&fam)
+                        {
+                            ras.ce_observations += 1;
+                            let key = (1u64 << 62) | link as u64;
+                            if tracker.observe(key, now) {
+                                tracker.clear(key);
+                                ras.predictive_retirements += 1;
+                                match fabric
+                                    .retire_link(link)
+                                    .expect("mesh confirmed by inject_link_fault")
+                                {
+                                    LinkRetireOutcome::Rerouted => {
+                                        faults_applied.push(format!(
+                                            "cycle {now}: ras retired noc link {link} \
+                                             (rerouted)"
+                                        ));
+                                    }
+                                    LinkRetireOutcome::Fenced => {
+                                        ras.degraded_regions += 1;
+                                        faults_applied.push(format!(
+                                            "cycle {now}: ras fenced noc link {link} \
+                                             (half bandwidth, no surviving route)"
+                                        ));
+                                    }
+                                }
+                                retired_log.push(RetiredRegion::Link { link });
+                                retired_families.push(fam);
+                                pending.retain(|e| e.family() != fam);
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let corrected_before = ecc.corrected;
                 if let Protected::Uncorrectable(desc) = protect_apply_group(
                     group,
@@ -534,6 +601,12 @@ fn try_run_single_impl(
                                 }
                                 RetiredRegion::Row { addr, .. } => {
                                     fabric.retire_row(addr);
+                                }
+                                RetiredRegion::Link { link } => {
+                                    // Re-decides rerouted-vs-fenced on the
+                                    // restored fabric; log order makes the
+                                    // outcome deterministic.
+                                    let _ = fabric.retire_link(link);
                                 }
                             }
                         }
@@ -689,6 +762,7 @@ fn try_run_single_impl(
             ecc,
             checkpoint_clone_ns,
             ras,
+            fabric: *fabric.stats(),
         },
         trace,
     ))
@@ -894,6 +968,7 @@ fn protect_apply_group(
             }
         }
         FaultSite::StuckFill => unreachable!("stuck-fill is never protected"),
+        FaultSite::NocLink => unreachable!("link upsets are handled at the link layer"),
         FaultSite::BackingReg | FaultSite::DramLine | FaultSite::FabricResponse => {
             let Some((addr, base)) = word_target(&group[0], core, fabric, mem, workload) else {
                 return Protected::Continue; // target out of range / no in-flight request
@@ -1037,6 +1112,9 @@ fn apply_fault(
             mem.write_u64(addr, v ^ (1u64 << (event.bit % 64)));
             Some(format!("{base} bit {}", event.bit % 64))
         }
+        // Link upsets are consumed by the CRC/retransmission path in the
+        // run loop, never applied raw (the flit payload is timing-only).
+        FaultSite::NocLink => None,
     }
 }
 

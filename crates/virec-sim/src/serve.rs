@@ -50,7 +50,7 @@ use crate::error::{RunDiagnostics, SimError};
 use crate::experiment::{CellData, RetryPolicy};
 use crate::fault::FaultSite;
 use crate::offload::offload;
-use crate::ras::RasConfig;
+use crate::ras::{CeTracker, RasConfig};
 use crate::runner::{arch_digest, engine_label, golden_arch_digest, try_verify_against_golden};
 use crate::system::SystemConfigError;
 use crate::watchdog::{Watchdog, DEFAULT_LIVELOCK_CYCLES};
@@ -128,6 +128,11 @@ pub struct ServeFaultPlan {
     /// Global dispatch count after which sticky/stuck cores turn bad (lets
     /// the service warm up healthy before the campaign bites).
     pub sticky_after: usize,
+    /// Number of NoC link upsets injected over the run (one per dispatch
+    /// after onset, hammering one link to the RAS CE threshold before
+    /// moving to the next). Only lands when the shared fabric is a mesh
+    /// ([`virec_mem::FabricTopology::Mesh`]); ignored on the crossbar.
+    pub link_faults: usize,
 }
 
 impl ServeFaultPlan {
@@ -144,6 +149,7 @@ impl ServeFaultPlan {
             sticky_cores,
             stuck_cores: 0,
             sticky_after: 4,
+            link_faults: 0,
         }
     }
 
@@ -155,6 +161,19 @@ impl ServeFaultPlan {
             sticky_cores: 0,
             stuck_cores,
             sticky_after: 4,
+            link_faults: 0,
+        }
+    }
+
+    /// A transport-wear campaign: `link_faults` seeded upsets on mesh NoC
+    /// links, exercising CRC/retransmission and predictive link retirement.
+    pub fn links(link_faults: usize) -> ServeFaultPlan {
+        ServeFaultPlan {
+            transient: 0,
+            sticky_cores: 0,
+            stuck_cores: 0,
+            sticky_after: 4,
+            link_faults,
         }
     }
 }
@@ -268,6 +287,15 @@ impl ServeConfig {
     }
 }
 
+/// LCG step over link-injection targets: deterministic, and independent of
+/// the service's arrival/fault RNG so enabling the link campaign cannot
+/// perturb any other seeded draw.
+fn advance_link_target(t: u64) -> u64 {
+    t.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        | 1
+}
+
 fn config_error(detail: &str) -> SimError {
     SimError::Config {
         detail: detail.to_string(),
@@ -345,6 +373,10 @@ pub struct ServeReport {
     pub capacity_millicore_cycles: u64,
     /// Completion latencies in cycles, sorted ascending.
     pub latencies: Vec<u64>,
+    /// Cumulative shared-fabric statistics at end of run: per-port
+    /// attribution plus the mesh NoC counters (hops, CRC catches,
+    /// retransmissions, link retirements) when the topology is a mesh.
+    pub fabric: FabricStats,
     /// Per-epoch fabric/occupancy snapshots.
     pub epochs: Vec<EpochStats>,
     /// Human-readable description of the most recent attempt failure, kept
@@ -415,7 +447,7 @@ impl ServeReport {
     /// line; CI greps these).
     pub fn summary(&self) -> String {
         let e = &self.engine;
-        format!(
+        let mut s = format!(
             "serve[{e}]: submitted={} completed={} rejected_queue_full={} \
              rejected_quarantined={} failed={} lost={} duplicated={}\n\
              serve[{e}]: faults injected={} corrected={} uncorrectable={} \
@@ -446,13 +478,27 @@ impl ServeReport {
             self.repairs,
             self.fenced_cores,
             self.spares_consumed,
-        )
+        );
+        // Transport line only when the run actually moved flits over a
+        // mesh, so crossbar summaries stay byte-identical.
+        if self.fabric.noc_hops > 0 {
+            s.push_str(&format!(
+                "\nserve[{e}]: noc hops={} crc_detected={} retransmissions={} \
+                 links_retired={} links_fenced={}",
+                self.fabric.noc_hops,
+                self.fabric.noc_crc_detected,
+                self.fabric.noc_retransmissions,
+                self.fabric.noc_links_retired,
+                self.fabric.noc_links_fenced,
+            ));
+        }
+        s
     }
 
     /// The SLO summary as experiment-layer metrics, for emission into the
     /// machine-readable `results/<name>.json` provenance format.
     pub fn metrics(&self) -> CellData {
-        CellData::Metrics(vec![
+        let mut m = vec![
             ("submitted".to_string(), self.submitted as f64),
             ("completed".to_string(), self.completed as f64),
             (
@@ -492,7 +538,22 @@ impl ServeReport {
             ("p999_cycles".to_string(), self.p999() as f64),
             ("availability".to_string(), self.availability()),
             ("goodput".to_string(), self.goodput()),
-        ])
+        ];
+        if self.fabric.noc_hops > 0 {
+            m.push((
+                "noc_retransmissions".to_string(),
+                self.fabric.noc_retransmissions as f64,
+            ));
+            m.push((
+                "noc_links_retired".to_string(),
+                self.fabric.noc_links_retired as f64,
+            ));
+            m.push((
+                "noc_links_fenced".to_string(),
+                self.fabric.noc_links_fenced as f64,
+            ));
+        }
+        CellData::Metrics(m)
     }
 }
 
@@ -564,6 +625,15 @@ pub struct TaskService {
     fenced: Vec<bool>,
     /// Spare regions left in the service-wide RAS pool.
     spares_left: u32,
+    /// Leaky-bucket CE counters over mesh NoC links (keys `(1<<62)|link`,
+    /// mirroring the runner's keying).
+    link_tracker: CeTracker,
+    /// Remaining link upsets the campaign may inject.
+    link_faults_left: usize,
+    /// Current link-injection target (an opaque index the fabric reduces
+    /// modulo its link population); advanced by an LCG once a target is
+    /// retired, so the campaign wears out one link at a time.
+    link_target: u64,
     transient_tasks: HashSet<usize>,
     arrivals: Vec<(u64, usize)>,
     rng: XorShift,
@@ -647,6 +717,12 @@ impl TaskService {
             stuck,
             fenced: vec![false; cfg.ncores],
             spares_left: cfg.ras.map_or(0, |rc| rc.spare_rows),
+            link_tracker: {
+                let rc = cfg.ras.unwrap_or_default();
+                CeTracker::new(rc.ce_threshold, rc.ce_leak_interval)
+            },
+            link_faults_left: cfg.faults.link_faults,
+            link_target: cfg.seed | 1,
             transient_tasks,
             arrivals,
             rng: plan_rng,
@@ -773,6 +849,14 @@ impl TaskService {
             let busy = self.slots.iter().any(|s| matches!(s, Slot::Busy(_)));
             if busy {
                 self.fabric.tick(now);
+                // NoC watchdog: retry exhaustion or an over-age flit is a
+                // transport failure the service cannot account around.
+                if let Some(detail) = self.fabric.noc_fault().map(str::to_string) {
+                    return Err(SimError::StructuralHazard {
+                        detail,
+                        diag: RunDiagnostics::placeholder("serve"),
+                    });
+                }
                 let events = self.step_slots(now);
                 for (slot, end) in events {
                     self.settle(slot, end, now, &mut queue);
@@ -834,6 +918,7 @@ impl TaskService {
         self.report.cycles = now;
         self.report.lost = self.outcomes.iter().filter(|o| o.is_none()).count();
         self.report.latencies.sort_unstable();
+        self.report.fabric = *self.fabric.stats();
         Ok(self.report.clone())
     }
 
@@ -855,7 +940,8 @@ impl TaskService {
     /// Delivered capacity this cycle in millicores: healthy slots are
     /// worth 1000, fenced slots 750, repairing and quarantined slots 0.
     fn capacity_millicores(&self) -> u64 {
-        self.slots
+        let cap: u64 = self
+            .slots
             .iter()
             .zip(&self.fenced)
             .map(|(s, &fenced)| match s {
@@ -863,7 +949,16 @@ impl TaskService {
                 _ if fenced => 750,
                 _ => 1000,
             })
-            .sum()
+            .sum();
+        // Mesh link loss shrinks delivered capacity: a retired link's
+        // bandwidth is gone (traffic routes around it), a fenced link
+        // keeps half. Defect-free meshes and crossbars scale by 1.
+        match self.fabric.link_health() {
+            Some(h) if h.total > 0 => {
+                cap * (2 * h.healthy as u64 + h.fenced as u64) / (2 * h.total as u64)
+            }
+            _ => cap,
+        }
     }
 
     /// The earliest cycle a repairing slot returns to service.
@@ -990,6 +1085,7 @@ impl TaskService {
     fn dispatch(&mut self, slot: usize, mut task: Task, now: u64) {
         task.attempts += 1;
         self.dispatches += 1;
+        self.inject_link_upset(now);
         self.scrub(slot);
         let fault = self.plan_attempt_fault(slot, &task);
         let w = &self.workloads[slot][task.spec];
@@ -1012,6 +1108,34 @@ impl TaskService {
             next_poll: 0,
             fault,
         }));
+    }
+
+    /// Realizes one scheduled NoC link upset (dispatch-clocked, so both
+    /// step loops inject on exactly the same cycles): the target link's
+    /// next flit will arrive CRC-dirty and retransmit, and the service's
+    /// CE tracker retires the link — route-around or half-bandwidth fence
+    /// — once it crosses the RAS threshold. Crossbar fabrics have no
+    /// links; the campaign is inert there.
+    fn inject_link_upset(&mut self, now: u64) {
+        if self.link_faults_left == 0 || self.dispatches <= self.cfg.faults.sticky_after {
+            return;
+        }
+        let Some(link) = self.fabric.inject_link_fault(self.link_target) else {
+            // Crossbar, or the target already out of service: move on (the
+            // next dispatch attacks the advanced target).
+            if self.fabric.link_health().is_some() {
+                self.link_target = advance_link_target(self.link_target);
+            }
+            return;
+        };
+        self.link_faults_left -= 1;
+        self.report.faults_injected += 1;
+        let key = (1u64 << 62) | link as u64;
+        if self.link_tracker.observe(key, now) {
+            self.link_tracker.clear(key);
+            let _ = self.fabric.retire_link(link);
+            self.link_target = advance_link_target(self.link_target);
+        }
     }
 
     /// Realizes the campaign for one attempt: sticky and stuck cores burst
@@ -1383,6 +1507,41 @@ mod tests {
     }
 
     #[test]
+    fn mesh_link_campaign_retires_links_and_loses_no_tasks() {
+        let mut cfg = quick_cfg(4, 24);
+        cfg.fabric.topology = "mesh2x2".parse().unwrap();
+        cfg.faults = ServeFaultPlan::links(9);
+        cfg.ras = Some(RasConfig::default());
+        let r = run_service(cfg).expect("mesh service runs");
+        assert_eq!(r.accounted(), r.submitted);
+        assert_eq!(r.lost + r.duplicated + r.silent_corruptions, 0);
+        assert!(r.fabric.noc_hops > 0, "traffic must traverse the mesh");
+        assert!(
+            r.fabric.noc_retransmissions >= 1,
+            "corrupted flits must be caught and retried"
+        );
+        assert!(
+            r.fabric.noc_links_retired + r.fabric.noc_links_fenced >= 1,
+            "nine upsets at threshold 3 must retire links"
+        );
+        assert!(
+            r.availability() < 1.0,
+            "lost link bandwidth must show up in availability"
+        );
+        assert!(r.summary().contains("noc hops="));
+    }
+
+    #[test]
+    fn crossbar_link_campaign_is_inert() {
+        let mut cfg = quick_cfg(2, 8);
+        cfg.faults = ServeFaultPlan::links(6);
+        let r = run_service(cfg).expect("service runs");
+        assert_eq!(r.faults_injected, 0, "no links to attack on a crossbar");
+        assert_eq!(r.completed, 8);
+        assert!(!r.summary().contains("noc hops="));
+    }
+
+    #[test]
     fn same_seed_is_deterministic() {
         let a = run_service(quick_cfg(3, 16)).unwrap();
         let b = run_service(quick_cfg(3, 16)).unwrap();
@@ -1431,6 +1590,7 @@ mod tests {
             sticky_cores: 0,
             stuck_cores: 0,
             sticky_after: 0,
+            link_faults: 0,
         };
         cfg.quarantine_after = 0; // isolate the retry path
         let r = run_service(cfg).unwrap();
@@ -1449,6 +1609,7 @@ mod tests {
             sticky_cores: 0,
             stuck_cores: 0,
             sticky_after: 0,
+            link_faults: 0,
         };
         cfg.protection = ProtectionConfig::secded();
         let r = run_service(cfg).unwrap();
@@ -1465,6 +1626,7 @@ mod tests {
             sticky_cores: 1,
             stuck_cores: 0,
             sticky_after: 2,
+            link_faults: 0,
         };
         cfg.protection = ProtectionConfig::secded();
         cfg.quarantine_after = 2;
@@ -1488,6 +1650,7 @@ mod tests {
             sticky_cores: 1,
             stuck_cores: 0,
             sticky_after: 0,
+            link_faults: 0,
         };
         cfg.protection = ProtectionConfig::secded();
         cfg.quarantine_after = 1;

@@ -307,6 +307,15 @@ impl System {
                 });
             }
             self.fabric.tick(now);
+            // The NoC watchdog latches on retry exhaustion or an over-age
+            // flit (routing livelock): surface it as a structural hazard
+            // rather than letting the run starve into a livelock trip.
+            if let Some(detail) = self.fabric.noc_fault().map(str::to_string) {
+                return Err(SimError::StructuralHazard {
+                    detail,
+                    diag: self.capture_diag(now),
+                });
+            }
             for core in &mut self.cores {
                 if !core.done() {
                     core.tick(now, &mut self.fabric, &mut self.mem);

@@ -16,6 +16,7 @@ use virec::bench::harness::{self, EngineSel, SuiteSweep};
 use virec::bench::tune::{pareto_front, pick_for_area, tune_sweep, TuneConfig};
 use virec::cc::{regalloc, AllocStrategy};
 use virec::core::{CoreConfig, EngineKind, PolicyKind};
+use virec::mem::{FabricConfig, FabricTopology};
 use virec::sim::experiment::{Executor, RetryPolicy};
 use virec::sim::runner::default_checkpoint_interval;
 use virec::sim::runner::{try_run_prefetch_exact, try_run_single, RunOptions};
@@ -39,6 +40,7 @@ USAGE:
     virec-cli run      --workload <name> [--n <elems>] [--engine <e>]
                        [--threads <t>] [--regs <r>] [--policy <p>] [--no-verify]
                        [--group-evict <g>] [--switch-prefetch] [--max-cycles <c>]
+                       [--topology crossbar|mesh<C>x<R>]
     virec-cli sweep    [--jobs <j>] [--workloads <w1,w2,..>] [--n <elems>]
                        [--threads <t>] [--engines <e1,e2,..>] [--json <dir>]
                        [--max-retries <k>] [--budget-factor <f>] [--budget-cap <c>]
@@ -46,7 +48,7 @@ USAGE:
     virec-cli campaign [--workload <name>] [--n <elems>] [--engine virec|banked]
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
                        [--protection none|parity|secded] [--multi-fault]
-                       [--sites <s1,s2,..>]
+                       [--sites <s1,s2,..>] [--topology crossbar|mesh<C>x<R>]
                        [--fault-class transient|intermittent|stuck-at]
     virec-cli ras      [--workload <name>] [--n <elems>] [--engine virec|banked]
                        [--threads <t>] [--regs <r>] [--faults <k>] [--seed <s>]
@@ -59,6 +61,10 @@ USAGE:
                        [--quarantine-after <k>] [--protection none|parity|secded]
                        [--faults <k>] [--sticky-cores <k>] [--stuck-cores <k>]
                        [--spare-rows <k>] [--seed <s>] [--no-verify]
+                       [--topology crossbar|mesh<C>x<R>] [--link-faults <k>]
+    virec-cli noc      [--workload <name>] [--n <elems>] [--threads <t>]
+                       [--faults <k>] [--seed <s>]
+                       [--topology mesh<C>x<R>]
     virec-cli lint     [--n <elems>] [--broken-fixture]
     virec-cli tv       [--broken-fixture]
     virec-cli tune     [--n <elems>] [--threads <t>] [--strategy graph|linear]
@@ -116,6 +122,18 @@ fn parse_policy(s: &str) -> Option<PolicyKind> {
         "random" => PolicyKind::Random,
         _ => return None,
     })
+}
+
+/// Parses the shared `--topology` flag into a fabric config (crossbar when
+/// absent, so every legacy invocation is byte-identical).
+fn parse_fabric(flags: &HashMap<String, String>) -> Result<FabricConfig, String> {
+    let mut fabric = FabricConfig::default();
+    if let Some(t) = flags.get("topology") {
+        fabric.topology = t
+            .parse::<FabricTopology>()
+            .map_err(|e| format!("--topology: {e}"))?;
+    }
+    Ok(fabric)
 }
 
 fn cmd_run(flags: HashMap<String, String>) -> ExitCode {
@@ -176,8 +194,16 @@ fn cmd_run(flags: HashMap<String, String>) -> ExitCode {
         };
         cfg.max_cycles = c;
     }
+    let fabric = match parse_fabric(&flags) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = RunOptions {
         verify: get("no-verify").is_none(),
+        fabric,
         ..RunOptions::default()
     };
 
@@ -371,14 +397,33 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let fabric = match parse_fabric(&flags) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mesh = fabric.topology != FabricTopology::Crossbar;
     // --sites narrows the injection surface; sites the chosen engine does
-    // not have (VRMU structures on banked) are rejected, not ignored.
+    // not have (VRMU structures on banked) are rejected, not ignored. The
+    // transport site exists on any engine — but only when the fabric has
+    // links to corrupt.
+    let site_exists =
+        |s: &FaultSite| engine_sites.contains(s) || (*s == FaultSite::NocLink && mesh);
     let sites: Vec<FaultSite> = match get("sites") {
         None => engine_sites.to_vec(),
         Some(list) => match parse_sites(list) {
             Ok(requested) => {
-                if let Some(bad) = requested.iter().find(|s| !engine_sites.contains(s)) {
-                    eprintln!("error: site {bad} does not exist on the {engine} engine");
+                if let Some(bad) = requested.iter().find(|s| !site_exists(s)) {
+                    if *bad == FaultSite::NocLink {
+                        eprintln!(
+                            "error: site noc-link needs a mesh fabric \
+                             (pass --topology mesh<C>x<R>)"
+                        );
+                    } else {
+                        eprintln!("error: site {bad} does not exist on the {engine} engine");
+                    }
                     return ExitCode::from(2);
                 }
                 requested
@@ -416,6 +461,7 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
         // Persistent defects are only survivable with the RAS layer; a
         // transient campaign keeps the historical no-RAS machine.
         ras: class.is_persistent().then(RasConfig::default),
+        fabric,
     };
 
     // Crashed outcomes unwind through a panic; keep the report as the
@@ -641,6 +687,13 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     let mut cfg = ServeConfig::streaming(cores, core, tasks, seed);
     cfg.mix = virec::sim::serve::default_mix(n);
     cfg.verify = get("no-verify").is_none();
+    match parse_fabric(&flags) {
+        Ok(f) => cfg.fabric = f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
     // --rate is in tasks per million cycles; the service wants the mean
     // inter-arrival gap in cycles.
     if let Some(r) = get("rate") {
@@ -687,12 +740,24 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     let stuck: usize = get("stuck-cores")
         .map_or(Ok(0), str::parse)
         .unwrap_or(usize::MAX);
-    if transient == usize::MAX || sticky == usize::MAX || stuck == usize::MAX {
-        eprintln!("error: invalid --faults, --sticky-cores or --stuck-cores");
+    let link_faults: usize = get("link-faults")
+        .map_or(Ok(0), str::parse)
+        .unwrap_or(usize::MAX);
+    if transient == usize::MAX
+        || sticky == usize::MAX
+        || stuck == usize::MAX
+        || link_faults == usize::MAX
+    {
+        eprintln!("error: invalid --faults, --sticky-cores, --stuck-cores or --link-faults");
+        return ExitCode::from(2);
+    }
+    if link_faults > 0 && cfg.fabric.topology == FabricTopology::Crossbar {
+        eprintln!("error: --link-faults needs a mesh fabric (pass --topology mesh<C>x<R>)");
         return ExitCode::from(2);
     }
     cfg.faults = ServeFaultPlan::campaign(transient, sticky);
     cfg.faults.stuck_cores = stuck;
+    cfg.faults.link_faults = link_faults;
     if stuck > 0 {
         // Stuck-at defects are only survivable with the RAS layer on.
         let mut rc = RasConfig::default();
@@ -717,6 +782,156 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     if let Some(f) = &report.last_failure {
         eprintln!("[serve] last attempt failure: {f}");
     }
+    if report.lost > 0 || report.duplicated > 0 || report.silent_corruptions > 0 {
+        eprintln!(
+            "error[accounting]: lost={} duplicated={} silent_corruptions={}",
+            report.lost, report.duplicated, report.silent_corruptions
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `virec-cli noc` — the mesh-NoC resilience demo, four legs on one mesh:
+/// a transient `noc-link` campaign (every wire upset CRC-caught and
+/// retransmitted), a stuck-at campaign (the RAS layer predictively retires
+/// the flaky link and routes around it), one instrumented single run
+/// reporting the fabric's transport counters, and a faulty serve run whose
+/// link loss shows up in availability while no task is lost.
+fn cmd_noc(flags: HashMap<String, String>) -> ExitCode {
+    let get = |k: &str| flags.get(k).map(|s| s.as_str());
+    let wname = get("workload").unwrap_or("gather");
+    let n: u64 = get("n").map_or(Ok(512), str::parse).unwrap_or(0);
+    let threads: usize = get("threads").map_or(Ok(4), str::parse).unwrap_or(0);
+    let faults: usize = get("faults").map_or(Ok(32), str::parse).unwrap_or(0);
+    let seed: u64 = get("seed").map_or(Ok(0xF00D_5EED), str::parse).unwrap_or(0);
+    if n == 0 || threads == 0 || faults == 0 || seed == 0 {
+        eprintln!("error: invalid --n, --threads, --faults or --seed");
+        return ExitCode::from(2);
+    }
+    let Some(workload) = by_name(wname, n, Layout::for_core(0)) else {
+        eprintln!("error: unknown workload {wname:?}; see `virec-cli list`");
+        return ExitCode::from(2);
+    };
+    let mut fabric = match parse_fabric(&flags) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if fabric.topology == FabricTopology::Crossbar {
+        fabric.topology = FabricTopology::Mesh { cols: 2, rows: 2 };
+    }
+    let regs = (threads * workload.active_context_size()).max(12);
+    let cfg = CoreConfig::virec(threads, regs);
+    let sites = [FaultSite::NocLink];
+    println!(
+        "noc demo          : virec on {wname} (n={n}), {} fabric, seed {seed:#x}",
+        fabric.topology
+    );
+
+    // Leg 1 — transient wire upsets: the per-hop CRC catches every one and
+    // the retransmission delivers a clean flit; no checker ever fires.
+    let transient = CampaignOptions {
+        fabric,
+        ..CampaignOptions::default()
+    };
+    let report = run_campaign_with(cfg, &workload, faults, seed, &sites, &transient);
+    println!("{}", report.summary());
+    if !report.all_detected() || !report.all_recovered() {
+        eprintln!("error[noc]: a transient link upset escaped the CRC layer");
+        return ExitCode::FAILURE;
+    }
+
+    // Leg 2 — stuck-at links under the full RAS stack: the CE leaky bucket
+    // retires the marginal link before it can do worse.
+    let stuck = CampaignOptions {
+        class: FaultClass::StuckAt {
+            period: FaultClass::DEFAULT_PERIOD,
+        },
+        ras: Some(RasConfig::default()),
+        fabric,
+        ..CampaignOptions::protected()
+    };
+    let report = run_campaign_with(cfg, &workload, faults, seed, &sites, &stuck);
+    println!("{}", report.summary());
+    println!("{}", report.ras_summary());
+    if !report.all_detected() || !report.all_recovered() {
+        eprintln!("error[noc]: a stuck-at link fault was not contained");
+        return ExitCode::FAILURE;
+    }
+
+    // Leg 3 — one instrumented run: hammer the first mesh link with a
+    // stuck-at defect and report exactly what the transport layer did.
+    let clean_opts = RunOptions {
+        fabric,
+        ..RunOptions::default()
+    };
+    let clean = match try_run_single(cfg, &workload, &clean_opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[{}]: clean reference run failed: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RunOptions {
+        faults: FaultPlan::single(virec::sim::FaultEvent {
+            cycle: (clean.cycles / 4).max(1),
+            site: FaultSite::NocLink,
+            index: 0,
+            bit: 0,
+            class: FaultClass::StuckAt { period: 200 },
+        }),
+        protection: ProtectionConfig::secded(),
+        checkpoint_interval: default_checkpoint_interval(),
+        ras: Some(RasConfig::default()),
+        fabric,
+        ..RunOptions::default()
+    };
+    let r = match try_run_single(cfg, &workload, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[{}]: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "noc: hops={} crc_detected={} retransmissions={} links_retired={} links_fenced={}",
+        r.fabric.noc_hops,
+        r.fabric.noc_crc_detected,
+        r.fabric.noc_retransmissions,
+        r.fabric.noc_links_retired,
+        r.fabric.noc_links_fenced,
+    );
+    for f in &r.faults_applied {
+        println!("  {f}");
+    }
+    if r.arch_digest != clean.arch_digest {
+        eprintln!("error[silent_fault]: the degraded mesh diverged from the clean digest");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "arch digest       : {:#018x} (matches clean run)",
+        r.arch_digest
+    );
+
+    // Leg 4 — the streaming service on the same mesh under a link-wear
+    // campaign: capacity shrinks with the lost links, accounting stays
+    // exact.
+    let mut scfg = ServeConfig::streaming(4, CoreConfig::banked(2), 32, seed);
+    scfg.mix = virec::sim::serve::default_mix(n.min(64));
+    scfg.fabric = fabric;
+    scfg.faults = ServeFaultPlan::links(9);
+    scfg.ras = Some(RasConfig::default());
+    let report = match run_service(scfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[{}]: {e}", e.kind());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary());
     if report.lost > 0 || report.duplicated > 0 || report.silent_corruptions > 0 {
         eprintln!(
             "error[accounting]: lost={} duplicated={} silent_corruptions={}",
@@ -1038,6 +1253,13 @@ fn main() -> ExitCode {
         },
         "serve" => match parse_flags(&args[1..]) {
             Ok(flags) => cmd_serve(flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "noc" => match parse_flags(&args[1..]) {
+            Ok(flags) => cmd_noc(flags),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage()

@@ -7,6 +7,7 @@
 //! ever defeating detection.
 
 use virec::core::CoreConfig;
+use virec::mem::FabricConfig;
 use virec::sim::runner::default_checkpoint_interval;
 use virec::sim::{
     run_campaign_with, CampaignOptions, CampaignReport, FaultClass, FaultSite, InjectionOutcome,
@@ -26,6 +27,7 @@ fn protected_campaign(cfg: CoreConfig, sites: &[FaultSite], multi_fault: bool) -
         checkpoint_interval: default_checkpoint_interval(),
         class: FaultClass::Transient,
         ras: None,
+        fabric: FabricConfig::default(),
     };
     run_campaign_with(cfg, &workload, INJECTIONS, SEED, sites, &campaign)
 }
@@ -116,6 +118,7 @@ fn uncorrectable_without_checkpoints_falls_back_to_reexecution() {
         checkpoint_interval: 0,
         class: FaultClass::Transient,
         ras: None,
+        fabric: FabricConfig::default(),
     };
     let report = run_campaign_with(
         CoreConfig::virec(4, 32),

@@ -93,6 +93,7 @@ fn fully_quarantined_fleet_drains_instead_of_deadlocking() {
         sticky_cores: 2,
         stuck_cores: 0,
         sticky_after: 2,
+        link_faults: 0,
     };
     cfg.protection = ProtectionConfig::secded(); // double-bit: detected, uncorrectable
     cfg.quarantine_after = 2;

@@ -261,3 +261,128 @@ fn serve_repairs_and_fencing_byte_identical() {
     assert_eq!(skip.lost, 0);
     assert_eq!(skip.duplicated, 0);
 }
+
+/// Mesh NoC topologies through both loops, defect-free: per-hop arrivals,
+/// express cut-through reservations, and credit returns are all exact-cycle
+/// events the skip loop must reproduce — including the fabric's NoC
+/// counters, which `assert_identical` does not cover.
+#[test]
+fn mesh_topologies_byte_identical() {
+    use virec::mem::{FabricConfig, FabricTopology};
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    for (cols, rows) in [(2usize, 2usize), (4, 2)] {
+        for cfg in [CoreConfig::virec(4, 16), CoreConfig::banked(4)] {
+            let opts = RunOptions {
+                fabric: FabricConfig {
+                    topology: FabricTopology::Mesh { cols, rows },
+                    ..FabricConfig::default()
+                },
+                ..RunOptions::default()
+            };
+            let label = format!("mesh{cols}x{rows} / {:?}", cfg.engine);
+            let skip = try_run_single(cfg, &w, &opts)
+                .unwrap_or_else(|e| panic!("{label}: event-driven run failed: {e}"));
+            let dense = try_run_single(cfg, &w, &densified(&opts))
+                .unwrap_or_else(|e| panic!("{label}: dense run failed: {e}"));
+            assert_identical(&label, &dense, &skip);
+            assert_eq!(dense.fabric, skip.fabric, "{label}: fabric stats diverged");
+            assert!(
+                skip.fabric.noc_hops > 0,
+                "{label}: traffic must cross the mesh"
+            );
+        }
+    }
+}
+
+/// Seeded NoC link-fault campaigns (transient upsets and stuck-at links,
+/// RAS live for the persistent class) through both loops on 2x2 and 4x2
+/// meshes: every CRC catch, retransmission backoff, leaky-bucket
+/// retirement, and route-around recompute must land on the same cycle.
+#[test]
+fn mesh_link_fault_campaigns_byte_identical() {
+    use virec::mem::{FabricConfig, FabricTopology};
+    let w = kernels::spatter::gather(256, Layout::for_core(0));
+    let cfg = CoreConfig::virec(4, 32);
+    for (cols, rows) in [(2usize, 2usize), (4, 2)] {
+        let fabric = FabricConfig {
+            topology: FabricTopology::Mesh { cols, rows },
+            ..FabricConfig::default()
+        };
+        let clean = try_run_single(
+            cfg,
+            &w,
+            &RunOptions {
+                fabric,
+                ..RunOptions::default()
+            },
+        )
+        .expect("clean mesh run");
+        let window = (clean.cycles / 10, clean.cycles * 9 / 10);
+        let classes = [FaultClass::Transient, FaultClass::StuckAt { period: 400 }];
+        for class in classes {
+            for i in 0..8u64 {
+                let opts = RunOptions {
+                    livelock_cycles: clean.cycles * 8,
+                    fabric,
+                    faults: FaultPlan::seeded_class(
+                        0x90C_11FE ^ i,
+                        1,
+                        window,
+                        &[FaultSite::NocLink],
+                        class,
+                    ),
+                    protection: ProtectionConfig::secded(),
+                    checkpoint_interval: 4096,
+                    checkpoint_depth: 4,
+                    ras: matches!(class, FaultClass::StuckAt { .. }).then(RasConfig::default),
+                    ..RunOptions::default()
+                };
+                let skip = try_run_single(cfg, &w, &opts);
+                let dense = try_run_single(cfg, &w, &densified(&opts));
+                assert_eq!(
+                    outcome_key(&dense),
+                    outcome_key(&skip),
+                    "mesh{cols}x{rows} injection {i} ({class:?}) diverged between loops"
+                );
+            }
+        }
+    }
+}
+
+/// A faulty serve run on the mesh: dispatch-clocked link upsets, CRC
+/// retransmissions, link retirement, and the link-loss capacity scaling in
+/// the availability tape must all match the dense loop byte for byte.
+#[test]
+fn mesh_serve_link_faults_byte_identical() {
+    use virec::mem::{FabricConfig, FabricTopology};
+    let run = |dense: bool| {
+        let mut cfg = ServeConfig::streaming(4, CoreConfig::banked(2), 32, 0xF00D_5EED);
+        cfg.mix = default_mix(32);
+        cfg.mean_interarrival = 512;
+        cfg.fabric = FabricConfig {
+            topology: FabricTopology::Mesh { cols: 2, rows: 2 },
+            ..FabricConfig::default()
+        };
+        cfg.faults = ServeFaultPlan::links(9);
+        cfg.ras = Some(RasConfig::default());
+        cfg.dense_loop = dense;
+        run_service(cfg).expect("mesh serve run completes")
+    };
+    let skip = run(false);
+    let dense = run(true);
+    assert_eq!(
+        format!("{dense:?}"),
+        format!("{skip:?}"),
+        "mesh serve reports diverged"
+    );
+    assert!(
+        skip.fabric.noc_retransmissions >= 1,
+        "upsets must retransmit"
+    );
+    assert!(
+        skip.fabric.noc_links_retired >= 1,
+        "the flaky link must retire"
+    );
+    assert_eq!(skip.lost, 0);
+    assert_eq!(skip.silent_corruptions, 0);
+}
